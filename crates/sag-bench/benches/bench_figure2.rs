@@ -1,0 +1,22 @@
+//! Criterion bench for Experiment E3 (Figure 2): replaying a full single-type
+//! audit cycle — every alert of the day runs the online SSE and the OSSP with
+//! budget pacing and knowledge rollback.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sag_bench::FigureExperimentConfig;
+use std::hint::black_box;
+
+fn figure2_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_single_type");
+    group.sample_size(10);
+
+    group.bench_function("one_test_day_10d_history", |b| {
+        let config = FigureExperimentConfig::quick(11, true);
+        b.iter(|| black_box(sag_bench::run_figure_experiment(black_box(&config)).summary));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figure2_replay);
+criterion_main!(benches);

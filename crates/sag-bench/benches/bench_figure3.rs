@@ -1,0 +1,21 @@
+//! Criterion bench for Experiment E4 (Figure 3): replaying a full 7-type audit
+//! cycle (online SSE = 7 best-response LPs per alert, plus the OSSP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sag_bench::FigureExperimentConfig;
+use std::hint::black_box;
+
+fn figure3_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_multi_type");
+    group.sample_size(10);
+
+    group.bench_function("one_test_day_10d_history", |b| {
+        let config = FigureExperimentConfig::quick(11, false);
+        b.iter(|| black_box(sag_bench::run_figure_experiment(black_box(&config)).summary));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figure3_replay);
+criterion_main!(benches);

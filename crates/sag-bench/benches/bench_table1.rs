@@ -1,0 +1,45 @@
+//! Criterion bench for Experiment E1: generating the calibrated synthetic
+//! alert streams and computing the Table 1 daily statistics, plus the full
+//! access-log pipeline (population + rule engine) for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sag_sim::access::{AccessConfig, AccessGenerator};
+use sag_sim::population::{Population, PopulationConfig};
+use sag_sim::rules::RuleEngine;
+use sag_sim::stream::daily_count_stats;
+use sag_sim::{AlertCatalog, StreamConfig, StreamGenerator};
+use std::hint::black_box;
+
+fn stream_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_workloads");
+
+    for &days in &[1u32, 7, 56] {
+        group.bench_with_input(
+            BenchmarkId::new("calibrated_stream_days", days),
+            &days,
+            |b, &days| {
+                b.iter(|| {
+                    let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(7));
+                    let generated = gen.generate_days(days);
+                    black_box(daily_count_stats(&generated, 7))
+                });
+            },
+        );
+    }
+
+    group.bench_function("rule_engine_one_day", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let population = Population::generate(&PopulationConfig::tiny(), &mut rng);
+        let accesses =
+            AccessGenerator::new(AccessConfig::tiny()).generate_day(&population, 0, &mut rng);
+        let engine = RuleEngine::new(AlertCatalog::paper_table1());
+        b.iter(|| black_box(engine.evaluate_day(&population, black_box(&accesses)).len()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, stream_generation);
+criterion_main!(benches);

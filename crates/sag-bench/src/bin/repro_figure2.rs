@@ -1,0 +1,34 @@
+//! Experiment E3 — regenerate Figure 2: the auditor's expected utility per
+//! alert over four test days under the single alert type *Same Last Name*
+//! (budget 20), comparing OSSP vs. online SSE vs. offline SSE.
+//!
+//! Usage:
+//!   `cargo run --release -p sag-bench --bin repro_figure2 [seed] [out_dir]`
+//!
+//! When `out_dir` is given, one CSV per test day is written there
+//! (`figure2_day<N>.csv`) with the full, un-downsampled series.
+
+use sag_bench::{figure2_experiment, report};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2019);
+    let out_dir: Option<PathBuf> = args.next().map(PathBuf::from);
+
+    println!("Reproducing Figure 2 (single type: Same Last Name, budget 20, seed {seed})\n");
+    let output = figure2_experiment(seed);
+    println!("{}", report::render_figure("Figure 2", &output, 12));
+
+    if let Some(dir) = out_dir {
+        fs::create_dir_all(&dir).expect("create output directory");
+        for series in &output.series {
+            let path = dir.join(format!("figure2_day{}.csv", series.day));
+            let mut buf = Vec::new();
+            series.write_csv(&mut buf).expect("serialize series");
+            fs::write(&path, buf).expect("write series CSV");
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment E4 — regenerate Figure 3: the auditor's expected utility per
+//! alert over four test days with all seven alert types of Table 1
+//! (budget 50), comparing OSSP vs. online SSE vs. offline SSE.
+//!
+//! Usage:
+//!   `cargo run --release -p sag-bench --bin repro_figure3 [seed] [out_dir]`
+
+use sag_bench::{figure3_experiment, report};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2019);
+    let out_dir: Option<PathBuf> = args.next().map(PathBuf::from);
+
+    println!("Reproducing Figure 3 (7 alert types, budget 50, seed {seed})\n");
+    let output = figure3_experiment(seed);
+    println!("{}", report::render_figure("Figure 3", &output, 12));
+
+    if let Some(dir) = out_dir {
+        fs::create_dir_all(&dir).expect("create output directory");
+        for series in &output.series {
+            let path = dir.join(format!("figure3_day{}.csv", series.day));
+            let mut buf = Vec::new();
+            series.write_csv(&mut buf).expect("serialize series");
+            fs::write(&path, buf).expect("write series CSV");
+            println!("wrote {}", path.display());
+        }
+    }
+}

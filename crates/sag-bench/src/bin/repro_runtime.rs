@@ -1,0 +1,15 @@
+//! Experiment E5 — per-alert optimization time of the SAG on the 7-type
+//! workload. The paper reports ≈ 0.02 s per alert on 2017 laptop hardware and
+//! argues the warning latency is imperceptible; this binary measures the same
+//! quantity for this implementation.
+//!
+//! Usage: `cargo run --release -p sag-bench --bin repro_runtime [seed]`
+
+use sag_bench::{report, runtime_experiment};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
+    println!("Per-alert SAG optimization time (7 types, budget 50, seed {seed})\n");
+    let stats = runtime_experiment(seed, 41);
+    println!("{}", report::render_runtime(&stats));
+}

@@ -1,0 +1,19 @@
+//! Experiment E2 — print the payoff structures of Table 2 as shipped in
+//! `sag_core::model::PayoffTable::paper_table2()`.
+//!
+//! Usage: `cargo run --release -p sag-bench --bin repro_table2`
+
+use sag_bench::report;
+use sag_core::model::PayoffTable;
+
+fn main() {
+    println!("Payoff structures for the pre-defined alert types (paper Table 2)\n");
+    println!("{}", report::render_table2(&PayoffTable::paper_table2()));
+    println!(
+        "All rows satisfy the Theorem 3 condition (Ua,c*Ud,u - Ud,c*Ua,u > 0): {}",
+        PayoffTable::paper_table2()
+            .all()
+            .iter()
+            .all(sag_core::model::Payoffs::satisfies_theorem3_condition)
+    );
+}

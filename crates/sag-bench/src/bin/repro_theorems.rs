@@ -1,0 +1,55 @@
+//! Experiment E7 — empirical verification of Theorems 1–4 over the paper's
+//! payoffs and over randomly generated games.
+//!
+//! Usage: `cargo run --release -p sag-bench --bin repro_theorems [random_games]`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sag_core::model::{PayoffTable, Payoffs};
+use sag_core::sse::{SseInput, SseSolver};
+use sag_core::theorems;
+use sag_sim::AlertTypeId;
+
+fn main() {
+    let random_games: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+
+    // 1. Paper payoffs over a dense coverage grid.
+    let table = PayoffTable::paper_table2();
+    let mut paper_violations = 0;
+    for p in table.all() {
+        paper_violations += theorems::violations_over_theta_grid(p, 1000);
+    }
+    println!("Theorems 2-4 over Table 2 payoffs, 1001-point theta grid per type:");
+    println!("  violations: {paper_violations} (expected 0)");
+
+    // 2. Theorem 1 at an actual online SSE solution.
+    let costs = vec![1.0; 7];
+    let estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+    let sse = SseSolver::new()
+        .solve(&SseInput {
+            payoffs: &table,
+            audit_costs: &costs,
+            future_estimates: &estimates,
+            budget: 50.0,
+        })
+        .expect("paper game solves");
+    let t1_ok = (0..7u16)
+        .all(|t| theorems::theorem1_marginals_match(&sse, table.get(AlertTypeId(t)), t as usize));
+    println!("Theorem 1 (OSSP marginals equal SSE coverage) at the paper game: {t1_ok}");
+
+    // 3. Random games satisfying the model's sign assumptions.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut random_violations = 0;
+    for _ in 0..random_games {
+        let payoffs = Payoffs::new(
+            rng.gen_range(1.0..1000.0),
+            -rng.gen_range(1.0..3000.0),
+            -rng.gen_range(1.0..8000.0),
+            rng.gen_range(1.0..1000.0),
+        );
+        random_violations += theorems::violations_over_theta_grid(&payoffs, 100);
+    }
+    println!("Theorems 2-4 over {random_games} random games, 101-point grids:");
+    println!("  violations: {random_violations} (expected 0)");
+}

@@ -1,0 +1,26 @@
+//! # sag-bench — experiment harness for the SAG reproduction
+//!
+//! One module per concern:
+//!
+//! * [`experiments`] — the workload generators and experiment drivers that
+//!   regenerate every table and figure of the paper (see `DESIGN.md` for the
+//!   experiment index E1–E7);
+//! * [`report`] — plain-text/CSV rendering of the results, used by the
+//!   `repro_*` binaries and recorded in `EXPERIMENTS.md`.
+//!
+//! The Criterion benches under `benches/` measure the computational cost of
+//! the same code paths (per-alert optimization time, LP solves, stream
+//! generation), which is the paper's runtime claim (E5).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod sweeps;
+
+pub use experiments::{
+    figure2_experiment, figure3_experiment, rollback_ablation, run_figure_experiment,
+    runtime_experiment, table1_experiment, ExperimentOutput, FigureExperimentConfig,
+    RollbackAblation, RuntimeStats, Table1Row,
+};
+pub use sweeps::{budget_sweep, rolling_groups_parallel, BudgetSweepPoint, GroupResult};

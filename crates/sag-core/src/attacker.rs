@@ -1,0 +1,256 @@
+//! Attacker behaviour models and attack-outcome simulation.
+//!
+//! The equilibrium computations in [`crate::sse`] and [`crate::signaling`]
+//! already *assume* a perfectly rational attacker; this module makes that
+//! attacker concrete so that Monte-Carlo simulations can validate the
+//! analytic expected utilities and so that the ablation experiments can
+//! inject strategic attacks (e.g. a "late" attacker striking at the end of
+//! the day, the scenario knowledge rollback exists to blunt).
+
+use crate::model::{PayoffTable, Payoffs};
+use crate::scheme::{Signal, SignalingScheme};
+use rand::Rng;
+use sag_sim::{AlertTypeId, TimeOfDay};
+use serde::{Deserialize, Serialize};
+
+/// How the attacker chooses the alert type to attack with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackStrategy {
+    /// Attack the type with the highest expected utility given the published
+    /// coverage probabilities (the rational best response of the model).
+    BestResponse,
+    /// Always attack a fixed type (used to probe off-equilibrium behaviour).
+    FixedType(AlertTypeId),
+}
+
+/// When within the audit cycle the attacker strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackTiming {
+    /// At a specific time of day.
+    At(TimeOfDay),
+    /// At the very end of the cycle, when forecasts of future alerts are
+    /// lowest — the adversarial timing that motivates knowledge rollback.
+    EndOfDay,
+}
+
+impl AttackTiming {
+    /// The concrete time of day of the attack.
+    #[must_use]
+    pub fn time(&self) -> TimeOfDay {
+        match self {
+            AttackTiming::At(t) => *t,
+            AttackTiming::EndOfDay => TimeOfDay::END_OF_DAY,
+        }
+    }
+}
+
+/// A (strategy, timing) attacker model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackerModel {
+    /// Type-selection strategy.
+    pub strategy: AttackStrategy,
+    /// Attack timing.
+    pub timing: AttackTiming,
+}
+
+impl AttackerModel {
+    /// The rational attacker of the paper's equilibrium analysis, striking at
+    /// a given time.
+    #[must_use]
+    pub fn rational_at(time: TimeOfDay) -> Self {
+        AttackerModel { strategy: AttackStrategy::BestResponse, timing: AttackTiming::At(time) }
+    }
+
+    /// The late attacker used by the knowledge-rollback ablation.
+    #[must_use]
+    pub fn late() -> Self {
+        AttackerModel { strategy: AttackStrategy::BestResponse, timing: AttackTiming::EndOfDay }
+    }
+
+    /// Pick the alert type to attack given the published coverage vector.
+    ///
+    /// Returns `None` when every type yields negative expected utility (the
+    /// attacker prefers not to attack at all).
+    #[must_use]
+    pub fn choose_type(&self, payoffs: &PayoffTable, coverage: &[f64]) -> Option<AlertTypeId> {
+        match self.strategy {
+            AttackStrategy::FixedType(t) => Some(t),
+            AttackStrategy::BestResponse => {
+                let mut best: Option<(f64, AlertTypeId)> = None;
+                for t in 0..payoffs.len() {
+                    let id = AlertTypeId(t as u16);
+                    let theta = coverage.get(t).copied().unwrap_or(0.0);
+                    let utility = payoffs.get(id).attacker_expected(theta);
+                    if best.map_or(true, |(b, _)| utility > b) {
+                        best = Some((utility, id));
+                    }
+                }
+                match best {
+                    Some((utility, id)) if utility >= 0.0 => Some(id),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// The realised outcome of a single attack attempt against a signaling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Whether a warning was shown to the attacker.
+    pub warned: bool,
+    /// Whether the attacker proceeded with the access after (not) being warned.
+    pub proceeded: bool,
+    /// Whether the alert was ultimately audited.
+    pub audited: bool,
+    /// The attacker's realised payoff.
+    pub attacker_payoff: f64,
+    /// The auditor's realised payoff.
+    pub auditor_payoff: f64,
+}
+
+/// Simulate one attack against a committed signaling scheme.
+///
+/// The attacker behaves as the model prescribes: after a warning he proceeds
+/// only if his conditional expected utility is positive; without a warning he
+/// proceeds automatically (there is nothing to react to). Quitting yields 0
+/// for both players.
+pub fn simulate_attack<R: Rng + ?Sized>(
+    scheme: &SignalingScheme,
+    payoffs: &Payoffs,
+    rng: &mut R,
+) -> AttackOutcome {
+    let signal = scheme.sample_signal(rng);
+    let warned = signal == Signal::Warning;
+    let audit_prob = scheme.conditional_audit_cost(signal);
+
+    let proceeds = if warned {
+        // Conditional expected utility after the warning.
+        let expected = audit_prob * payoffs.attacker_covered
+            + (1.0 - audit_prob) * payoffs.attacker_uncovered;
+        expected > 0.0
+    } else {
+        true
+    };
+
+    if !proceeds {
+        return AttackOutcome {
+            warned,
+            proceeded: false,
+            audited: false,
+            attacker_payoff: 0.0,
+            auditor_payoff: 0.0,
+        };
+    }
+
+    let audited = rng.gen_range(0.0..1.0) < audit_prob;
+    let (attacker_payoff, auditor_payoff) = if audited {
+        (payoffs.attacker_covered, payoffs.auditor_covered)
+    } else {
+        (payoffs.attacker_uncovered, payoffs.auditor_uncovered)
+    };
+    AttackOutcome { warned, proceeded: true, audited, attacker_payoff, auditor_payoff }
+}
+
+/// Monte-Carlo estimate of the players' expected utilities against a scheme,
+/// assuming the attacker attacks (used to validate the analytic values).
+pub fn monte_carlo_expected_utilities<R: Rng + ?Sized>(
+    scheme: &SignalingScheme,
+    payoffs: &Payoffs,
+    samples: usize,
+    rng: &mut R,
+) -> (f64, f64) {
+    let mut auditor = 0.0;
+    let mut attacker = 0.0;
+    for _ in 0..samples {
+        let outcome = simulate_attack(scheme, payoffs, rng);
+        auditor += outcome.auditor_payoff;
+        attacker += outcome.attacker_payoff;
+    }
+    let n = samples.max(1) as f64;
+    (auditor / n, attacker / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PayoffTable;
+    use crate::signaling::ossp_closed_form;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn best_response_picks_highest_utility_type() {
+        let table = PayoffTable::paper_table2();
+        let model = AttackerModel::rational_at(TimeOfDay::from_hms(10, 0, 0));
+        // No coverage at all: type 7 has the largest uncovered payoff (800).
+        let choice = model.choose_type(&table, &[0.0; 7]);
+        assert_eq!(choice, Some(AlertTypeId(6)));
+        // Fully covering type 7 pushes the attacker to the next best option.
+        let mut coverage = [0.0; 7];
+        coverage[6] = 1.0;
+        let choice = model.choose_type(&table, &coverage).unwrap();
+        assert_ne!(choice, AlertTypeId(6));
+        // Full coverage everywhere deters entirely.
+        assert_eq!(model.choose_type(&table, &[1.0; 7]), None);
+    }
+
+    #[test]
+    fn fixed_type_strategy_ignores_coverage() {
+        let table = PayoffTable::paper_table2();
+        let model = AttackerModel {
+            strategy: AttackStrategy::FixedType(AlertTypeId(2)),
+            timing: AttackTiming::EndOfDay,
+        };
+        assert_eq!(model.choose_type(&table, &[1.0; 7]), Some(AlertTypeId(2)));
+        assert_eq!(model.timing.time(), TimeOfDay::END_OF_DAY);
+    }
+
+    #[test]
+    fn warned_attacker_quits_under_deterrent_scheme() {
+        let payoffs = *PayoffTable::paper_table2().get(AlertTypeId(0));
+        // theta = 0.3 => full-warning deterrent scheme.
+        let ossp = ossp_closed_form(&payoffs, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let outcome = simulate_attack(&ossp.scheme, &payoffs, &mut rng);
+            assert!(outcome.warned, "deterrent scheme always warns");
+            assert!(!outcome.proceeded, "rational attacker quits after warning");
+            assert_eq!(outcome.attacker_payoff, 0.0);
+            assert_eq!(outcome.auditor_payoff, 0.0);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_utilities() {
+        let payoffs = *PayoffTable::paper_table2().get(AlertTypeId(0));
+        let mut rng = StdRng::seed_from_u64(2);
+        for &theta in &[0.05, 0.1, 0.3, 0.6] {
+            let ossp = ossp_closed_form(&payoffs, theta);
+            let (auditor, attacker) =
+                monte_carlo_expected_utilities(&ossp.scheme, &payoffs, 60_000, &mut rng);
+            assert!(
+                (auditor - ossp.auditor_utility).abs() < 12.0,
+                "theta {theta}: MC auditor {auditor} vs analytic {}",
+                ossp.auditor_utility
+            );
+            assert!(
+                (attacker - ossp.attacker_utility).abs() < 12.0,
+                "theta {theta}: MC attacker {attacker} vs analytic {}",
+                ossp.attacker_utility
+            );
+        }
+    }
+
+    #[test]
+    fn no_signaling_scheme_simulation_matches_sse_expectations() {
+        let payoffs = *PayoffTable::paper_table2().get(AlertTypeId(3));
+        let theta = 0.2;
+        let scheme = crate::scheme::SignalingScheme::no_signaling(theta);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (auditor, attacker) =
+            monte_carlo_expected_utilities(&scheme, &payoffs, 60_000, &mut rng);
+        assert!((auditor - payoffs.auditor_expected(theta)).abs() < 15.0);
+        assert!((attacker - payoffs.attacker_expected(theta)).abs() < 15.0);
+    }
+}

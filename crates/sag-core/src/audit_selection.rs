@@ -1,0 +1,273 @@
+//! End-of-cycle audit selection.
+//!
+//! The online part of the SAG commits, per alert, to a joint
+//! (signal, audit-probability) scheme and delivers the signal immediately.
+//! The audits themselves happen retrospectively: "at the end of some period,
+//! a selected subset of suspicious accesses are then audited". This module
+//! implements that final step — drawing the audit set consistently with the
+//! committed signal-conditional probabilities, subject to the budget — and
+//! the realised-outcome accounting used to validate the expected-utility
+//! analysis by simulation.
+
+use crate::model::PayoffTable;
+use crate::scheme::{Signal, SignalingScheme};
+use rand::Rng;
+use sag_sim::Alert;
+use serde::{Deserialize, Serialize};
+
+/// One alert as recorded during the cycle: the alert itself, the scheme the
+/// auditor committed to, and the signal that was actually delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecordedAlert {
+    /// The triggered alert.
+    pub alert: Alert,
+    /// The committed joint signaling/auditing scheme.
+    pub scheme: SignalingScheme,
+    /// The signal that was sampled and delivered at trigger time.
+    pub signal: Signal,
+}
+
+impl RecordedAlert {
+    /// The audit probability the auditor owes this alert, given the signal it
+    /// was shown (`p1/(p1+q1)` after a warning, `p0/(p0+q0)` otherwise).
+    #[must_use]
+    pub fn committed_audit_probability(&self) -> f64 {
+        self.scheme.conditional_audit_cost(self.signal)
+    }
+}
+
+/// The outcome of the end-of-cycle audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSelection {
+    /// Indices (into the recorded list) of the alerts that were audited.
+    pub audited: Vec<usize>,
+    /// Total audit cost spent.
+    pub total_cost: f64,
+    /// Realised auditor utility: covered/uncovered payoffs over the attack
+    /// alerts (benign false positives contribute 0 either way).
+    pub realized_auditor_utility: f64,
+    /// Realised attacker utility summed over attack alerts.
+    pub realized_attacker_utility: f64,
+    /// Number of attack alerts that were audited (caught).
+    pub caught_attacks: usize,
+    /// Number of attack alerts that were not audited (missed).
+    pub missed_attacks: usize,
+}
+
+/// Draws end-of-cycle audit sets consistent with the online commitments.
+#[derive(Debug, Clone)]
+pub struct AuditSelector {
+    payoffs: PayoffTable,
+    audit_costs: Vec<f64>,
+}
+
+impl AuditSelector {
+    /// Create a selector for a game's payoffs and per-type audit costs.
+    #[must_use]
+    pub fn new(payoffs: PayoffTable, audit_costs: Vec<f64>) -> Self {
+        AuditSelector { payoffs, audit_costs }
+    }
+
+    /// Audit cost of one alert.
+    fn cost_of(&self, alert: &Alert) -> f64 {
+        self.audit_costs.get(alert.type_id.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Sample the audit set.
+    ///
+    /// Alerts are visited in arrival order (the order of `records`); each is
+    /// audited independently with its committed signal-conditional
+    /// probability as long as the remaining budget covers its audit cost —
+    /// mirroring how the online engine already charged the budget during the
+    /// day, so for consistent inputs the budget suffices in expectation.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        records: &[RecordedAlert],
+        budget: f64,
+        rng: &mut R,
+    ) -> AuditSelection {
+        let mut remaining = budget.max(0.0);
+        let mut audited = Vec::new();
+        let mut total_cost = 0.0;
+        let mut realized_auditor_utility = 0.0;
+        let mut realized_attacker_utility = 0.0;
+        let mut caught_attacks = 0;
+        let mut missed_attacks = 0;
+
+        for (index, record) in records.iter().enumerate() {
+            let cost = self.cost_of(&record.alert);
+            let probability = record.committed_audit_probability();
+            let can_afford = cost <= remaining + 1e-12;
+            let audit = can_afford && probability > 0.0 && rng.gen_range(0.0..1.0) < probability;
+
+            if audit {
+                remaining -= cost;
+                total_cost += cost;
+                audited.push(index);
+            }
+
+            if record.alert.is_attack {
+                let payoffs = self.payoffs.get(record.alert.type_id);
+                if audit {
+                    caught_attacks += 1;
+                    realized_auditor_utility += payoffs.auditor_covered;
+                    realized_attacker_utility += payoffs.attacker_covered;
+                } else {
+                    missed_attacks += 1;
+                    realized_auditor_utility += payoffs.auditor_uncovered;
+                    realized_attacker_utility += payoffs.attacker_uncovered;
+                }
+            }
+        }
+
+        AuditSelection {
+            audited,
+            total_cost,
+            realized_auditor_utility,
+            realized_attacker_utility,
+            caught_attacks,
+            missed_attacks,
+        }
+    }
+
+    /// Expected audit spend of a recorded cycle (the sum of committed
+    /// signal-conditional probabilities times costs) — useful for checking
+    /// that the online budget pacing and the retrospective audit agree.
+    #[must_use]
+    pub fn expected_spend(&self, records: &[RecordedAlert]) -> f64 {
+        records
+            .iter()
+            .map(|r| r.committed_audit_probability() * self.cost_of(&r.alert))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PayoffTable;
+    use crate::signaling::ossp_closed_form;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sag_sim::{AlertTypeId, TimeOfDay};
+
+    fn record(ty: u16, theta: f64, signal: Signal, is_attack: bool) -> RecordedAlert {
+        let payoffs = PayoffTable::paper_table2();
+        let scheme = ossp_closed_form(payoffs.get(AlertTypeId(ty)), theta).scheme;
+        let alert = if is_attack {
+            Alert::attack(0, TimeOfDay::from_hms(10, 0, 0), AlertTypeId(ty))
+        } else {
+            Alert::benign(0, TimeOfDay::from_hms(10, 0, 0), AlertTypeId(ty))
+        };
+        RecordedAlert { alert, scheme, signal }
+    }
+
+    fn selector() -> AuditSelector {
+        AuditSelector::new(PayoffTable::paper_table2(), vec![1.0; 7])
+    }
+
+    #[test]
+    fn committed_probability_follows_the_signal() {
+        let r = record(0, 0.1, Signal::Warning, false);
+        // theta = 0.1 < 1/6: beta > 0, warning branch audits with certainty
+        // at the closed form (p1 = theta, q1 = 1 - theta - q0).
+        assert!(r.committed_audit_probability() > 0.0);
+        let silent = record(0, 0.1, Signal::Silent, false);
+        // Theorem 3: the silent branch is never audited.
+        assert_eq!(silent.committed_audit_probability(), 0.0);
+    }
+
+    #[test]
+    fn audit_frequency_matches_commitment() {
+        let sel = selector();
+        let r = record(0, 0.1, Signal::Warning, false);
+        let records = vec![r; 2000];
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = sel.select(&records, f64::INFINITY, &mut rng);
+        let freq = outcome.audited.len() as f64 / records.len() as f64;
+        let expected = r.committed_audit_probability();
+        assert!((freq - expected).abs() < 0.05, "frequency {freq} vs committed {expected}");
+        assert!((outcome.total_cost - outcome.audited.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let sel = selector();
+        let records: Vec<RecordedAlert> =
+            (0..500).map(|_| record(0, 0.5, Signal::Warning, false)).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = sel.select(&records, 25.0, &mut rng);
+        assert!(outcome.total_cost <= 25.0 + 1e-9);
+        assert!(outcome.audited.len() <= 25);
+    }
+
+    #[test]
+    fn attacks_are_caught_or_missed_with_matching_payoffs() {
+        let sel = selector();
+        // An attack that was warned under a deterrent scheme would have quit;
+        // model the off-equilibrium attacker who proceeded anyway on the
+        // silent branch of a low-coverage scheme.
+        let attack = record(3, 0.05, Signal::Silent, true);
+        let benign = record(3, 0.05, Signal::Silent, false);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = sel.select(&[attack, benign], 10.0, &mut rng);
+        assert_eq!(outcome.caught_attacks + outcome.missed_attacks, 1);
+        let p = PayoffTable::paper_table2();
+        let pay = p.get(AlertTypeId(3));
+        if outcome.caught_attacks == 1 {
+            assert_eq!(outcome.realized_auditor_utility, pay.auditor_covered);
+            assert_eq!(outcome.realized_attacker_utility, pay.attacker_covered);
+        } else {
+            assert_eq!(outcome.realized_auditor_utility, pay.auditor_uncovered);
+            assert_eq!(outcome.realized_attacker_utility, pay.attacker_uncovered);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_realized_utility_tracks_the_analytic_expectation() {
+        // A warned attacker under a non-deterrent scheme (theta small) who
+        // proceeds faces the conditional audit probability; averaging the
+        // realised auditor utility over many cycles must approach
+        // p(audit|signal)*Ud,c + (1-p)*Ud,u.
+        let sel = selector();
+        let theta = 0.05;
+        let r = record(0, theta, Signal::Silent, true);
+        let expected = {
+            let p = PayoffTable::paper_table2();
+            let pay = p.get(AlertTypeId(0));
+            let prob = r.committed_audit_probability();
+            prob * pay.auditor_covered + (1.0 - prob) * pay.auditor_uncovered
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20_000;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            total += sel.select(&[r], 10.0, &mut rng).realized_auditor_utility;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - expected).abs() < 10.0, "MC {mean} vs analytic {expected}");
+    }
+
+    #[test]
+    fn expected_spend_matches_sum_of_commitments() {
+        let sel = selector();
+        let records = vec![
+            record(0, 0.1, Signal::Warning, false),
+            record(2, 0.2, Signal::Silent, false),
+            record(6, 0.15, Signal::Warning, true),
+        ];
+        let manual: f64 = records.iter().map(RecordedAlert::committed_audit_probability).sum();
+        assert!((sel.expected_spend(&records) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_audits_nothing() {
+        let sel = selector();
+        let records = vec![record(0, 0.9, Signal::Warning, true); 10];
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = sel.select(&records, 0.0, &mut rng);
+        assert!(outcome.audited.is_empty());
+        assert_eq!(outcome.caught_attacks, 0);
+        assert_eq!(outcome.missed_attacks, 10);
+    }
+}

@@ -1,0 +1,497 @@
+//! Bayesian extension of the SAG: multiple attacker profiles.
+//!
+//! The paper's discussion section notes that assuming a single, fixed payoff
+//! structure is restrictive — "in practice, there may exist many types of
+//! attacker. Thus, SAG can be generalized into a Bayesian setting." This
+//! module provides that generalisation as a pilot:
+//!
+//! * an **attacker profile** is a payoff table of its own (e.g. a curious
+//!   insider with mild gains vs. an identity-theft ring with large gains),
+//!   together with a prior probability;
+//! * the auditor commits to a *single* budget split / coverage vector and a
+//!   *single* signaling scheme per alert, and every profile best-responds to
+//!   it independently (a Bayesian Stackelberg game in the sense of Harsanyi
+//!   type spaces);
+//! * [`BayesianSseSolver`] computes the optimal coverage with the standard
+//!   multiple-LP method extended to joint best-response assignments (one LP
+//!   per tuple of per-profile best responses — exact, and practical for the
+//!   small numbers of profiles a deployment would model);
+//! * [`bayesian_ossp`] computes the optimal joint signaling scheme for a
+//!   triggered alert under the constraint that *every* profile that sees a
+//!   warning prefers to quit.
+
+use crate::model::PayoffTable;
+use crate::scheme::SignalingScheme;
+use crate::{Result, SagError};
+use sag_lp::{LpProblem, Objective, Relation};
+use sag_sim::AlertTypeId;
+use serde::{Deserialize, Serialize};
+
+/// One attacker profile: a prior weight and a payoff table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackerProfile {
+    /// Human-readable label (for reports).
+    pub label: String,
+    /// Prior probability of facing this profile (weights are normalised).
+    pub prior: f64,
+    /// The profile's payoffs per alert type.
+    pub payoffs: PayoffTable,
+}
+
+impl AttackerProfile {
+    /// Construct a profile.
+    #[must_use]
+    pub fn new(label: impl Into<String>, prior: f64, payoffs: PayoffTable) -> Self {
+        AttackerProfile { label: label.into(), prior, payoffs }
+    }
+}
+
+/// Inputs of a Bayesian SSE computation.
+#[derive(Debug, Clone)]
+pub struct BayesianSseInput<'a> {
+    /// Attacker profiles (at least one; priors are normalised internally).
+    pub profiles: &'a [AttackerProfile],
+    /// Audit cost per type.
+    pub audit_costs: &'a [f64],
+    /// Poisson means of future alerts per type.
+    pub future_estimates: &'a [f64],
+    /// Remaining budget.
+    pub budget: f64,
+}
+
+/// Solution of the Bayesian SSE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BayesianSseSolution {
+    /// Marginal coverage per type (common to all profiles).
+    pub coverage: Vec<f64>,
+    /// Budget split per type.
+    pub budget_split: Vec<f64>,
+    /// Best-response type per profile (same order as the input profiles).
+    pub best_responses: Vec<AlertTypeId>,
+    /// Auditor's prior-weighted expected utility.
+    pub auditor_utility: f64,
+    /// Attacker expected utility per profile.
+    pub attacker_utilities: Vec<f64>,
+}
+
+/// Exact Bayesian SSE solver via enumeration of joint best responses.
+#[derive(Debug, Clone, Default)]
+pub struct BayesianSseSolver {
+    _private: (),
+}
+
+impl BayesianSseSolver {
+    /// Create a solver.
+    #[must_use]
+    pub fn new() -> Self {
+        BayesianSseSolver { _private: () }
+    }
+
+    fn validate(input: &BayesianSseInput<'_>) -> Result<usize> {
+        if input.profiles.is_empty() {
+            return Err(SagError::InvalidConfig("no attacker profiles".into()));
+        }
+        let n = input.profiles[0].payoffs.len();
+        for p in input.profiles {
+            p.payoffs.validate()?;
+            if p.payoffs.len() != n {
+                return Err(SagError::InvalidConfig(
+                    "all profiles must cover the same alert types".into(),
+                ));
+            }
+            if !(p.prior.is_finite() && p.prior >= 0.0) {
+                return Err(SagError::InvalidConfig(format!("invalid prior {}", p.prior)));
+            }
+        }
+        if input.profiles.iter().map(|p| p.prior).sum::<f64>() <= 0.0 {
+            return Err(SagError::InvalidConfig("priors sum to zero".into()));
+        }
+        if input.audit_costs.len() != n || input.future_estimates.len() != n {
+            return Err(SagError::InvalidConfig("inconsistent lengths".into()));
+        }
+        if !input.budget.is_finite() || input.budget < 0.0 {
+            return Err(SagError::InvalidConfig(format!("invalid budget {}", input.budget)));
+        }
+        Ok(n)
+    }
+
+    /// Solve the Bayesian SSE.
+    ///
+    /// Complexity: `T^K` LPs for `T` types and `K` profiles — exact and fine
+    /// for the handful of profiles a deployment would model. Use the plain
+    /// [`SseSolver`](crate::sse::SseSolver) when `K = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SagError::InvalidConfig`] for malformed inputs and
+    /// [`SagError::NoFeasibleType`] if no joint best-response assignment is
+    /// feasible (cannot happen for valid inputs).
+    pub fn solve(&self, input: &BayesianSseInput<'_>) -> Result<BayesianSseSolution> {
+        let n = Self::validate(input)?;
+        let k = input.profiles.len();
+        let total_prior: f64 = input.profiles.iter().map(|p| p.prior).sum();
+        let weights: Vec<f64> = input.profiles.iter().map(|p| p.prior / total_prior).collect();
+        let rates: Vec<f64> = input
+            .future_estimates
+            .iter()
+            .zip(input.audit_costs)
+            .map(|(&lambda, &cost)| sag_forecast::expected_inverse_positive(lambda) / cost)
+            .collect();
+
+        let mut best: Option<BayesianSseSolution> = None;
+        let mut assignment = vec![0usize; k];
+        loop {
+            match self.solve_for_assignment(input, &weights, &rates, n, &assignment) {
+                Ok(solution) => {
+                    if best
+                        .as_ref()
+                        .map_or(true, |b| solution.auditor_utility > b.auditor_utility + 1e-12)
+                    {
+                        best = Some(solution);
+                    }
+                }
+                Err(SagError::Lp(sag_lp::LpError::Infeasible)) => {}
+                Err(other) => return Err(other),
+            }
+            // Advance the mixed-radix counter over assignments.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return best.ok_or(SagError::NoFeasibleType);
+                }
+                assignment[i] += 1;
+                if assignment[i] < n {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn solve_for_assignment(
+        &self,
+        input: &BayesianSseInput<'_>,
+        weights: &[f64],
+        rates: &[f64],
+        n: usize,
+        assignment: &[usize],
+    ) -> Result<BayesianSseSolution> {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|t| {
+                let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
+                lp.add_var(format!("B{t}"), 0.0, input.budget.min(max_useful))
+            })
+            .collect();
+
+        // Objective: prior-weighted auditor utility against each profile's
+        // assigned best-response type.
+        for (profile, (&target, &w)) in
+            input.profiles.iter().zip(assignment.iter().zip(weights))
+        {
+            let p = profile.payoffs.get(AlertTypeId(target as u16));
+            let slope = w * rates[target] * (p.auditor_covered - p.auditor_uncovered);
+            let existing = lp.objective_coeff(vars[target]);
+            lp.set_objective(vars[target], existing + slope);
+        }
+
+        // Best-response constraints per profile.
+        for (profile, &target) in input.profiles.iter().zip(assignment) {
+            let cand = profile.payoffs.get(AlertTypeId(target as u16));
+            let cand_slope = rates[target] * (cand.attacker_covered - cand.attacker_uncovered);
+            for t in 0..n {
+                if t == target {
+                    continue;
+                }
+                let other = profile.payoffs.get(AlertTypeId(t as u16));
+                let other_slope = rates[t] * (other.attacker_covered - other.attacker_uncovered);
+                lp.add_constraint(
+                    &[(vars[t], other_slope), (vars[target], -cand_slope)],
+                    Relation::Le,
+                    cand.attacker_uncovered - other.attacker_uncovered,
+                );
+            }
+        }
+
+        // Budget.
+        let budget_terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget_terms, Relation::Le, input.budget);
+
+        let sol = lp.solve().map_err(SagError::from)?;
+        let budget_split: Vec<f64> = vars.iter().map(|&v| sol.value(v)).collect();
+        let coverage: Vec<f64> =
+            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+
+        let mut auditor_utility = 0.0;
+        let mut attacker_utilities = Vec::with_capacity(input.profiles.len());
+        for (profile, (&target, &w)) in
+            input.profiles.iter().zip(assignment.iter().zip(weights))
+        {
+            let p = profile.payoffs.get(AlertTypeId(target as u16));
+            auditor_utility += w * p.auditor_expected(coverage[target]);
+            attacker_utilities.push(p.attacker_expected(coverage[target]));
+        }
+
+        Ok(BayesianSseSolution {
+            coverage,
+            budget_split,
+            best_responses: assignment.iter().map(|&t| AlertTypeId(t as u16)).collect(),
+            auditor_utility,
+            attacker_utilities,
+        })
+    }
+}
+
+/// Result of the Bayesian OSSP for one alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BayesianOsspSolution {
+    /// The committed joint signaling/auditing scheme.
+    pub scheme: SignalingScheme,
+    /// Prior-weighted auditor expected utility.
+    pub auditor_utility: f64,
+    /// Attacker expected utility per profile (0 for deterred profiles).
+    pub attacker_utilities: Vec<f64>,
+}
+
+/// Compute the optimal signaling scheme for a triggered alert of type
+/// `type_id` with marginal coverage `theta`, against a mixture of attacker
+/// profiles. The scheme must convince *every* profile to quit after a warning
+/// (the conservative design choice — a single warning text is shown to
+/// whoever is behind the access request).
+///
+/// # Errors
+///
+/// Propagates LP failures; returns [`SagError::InvalidConfig`] when profiles
+/// are malformed.
+pub fn bayesian_ossp(
+    profiles: &[AttackerProfile],
+    type_id: AlertTypeId,
+    theta: f64,
+) -> Result<BayesianOsspSolution> {
+    if profiles.is_empty() {
+        return Err(SagError::InvalidConfig("no attacker profiles".into()));
+    }
+    let theta = theta.clamp(0.0, 1.0);
+    let total_prior: f64 = profiles.iter().map(|p| p.prior).sum();
+    if total_prior <= 0.0 {
+        return Err(SagError::InvalidConfig("priors sum to zero".into()));
+    }
+
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let p1 = lp.add_prob_var("p1");
+    let q1 = lp.add_prob_var("q1");
+    let p0 = lp.add_prob_var("p0");
+    let q0 = lp.add_prob_var("q0");
+
+    let mut obj_p0 = 0.0;
+    let mut obj_q0 = 0.0;
+    for profile in profiles {
+        let w = profile.prior / total_prior;
+        let pay = profile.payoffs.get(type_id);
+        obj_p0 += w * pay.auditor_covered;
+        obj_q0 += w * pay.auditor_uncovered;
+        // Every profile must prefer to quit after a warning.
+        lp.add_constraint(
+            &[(p1, pay.attacker_covered), (q1, pay.attacker_uncovered)],
+            Relation::Le,
+            0.0,
+        );
+    }
+    lp.set_objective(p0, obj_p0);
+    lp.set_objective(q0, obj_q0);
+    lp.add_constraint(&[(p1, 1.0), (p0, 1.0)], Relation::Eq, theta);
+    lp.add_constraint(&[(q1, 1.0), (q0, 1.0)], Relation::Eq, 1.0 - theta);
+
+    let sol = lp.solve()?;
+    let scheme = SignalingScheme::new(sol.value(p1), sol.value(q1), sol.value(p0), sol.value(q0));
+
+    let mut auditor_utility = 0.0;
+    let mut attacker_utilities = Vec::with_capacity(profiles.len());
+    for profile in profiles {
+        let w = profile.prior / total_prior;
+        let pay = profile.payoffs.get(type_id);
+        let attacker = scheme.p0 * pay.attacker_covered + scheme.q0 * pay.attacker_uncovered;
+        if attacker <= 0.0 {
+            // This profile is deterred outright: contributes 0 to both sides.
+            attacker_utilities.push(0.0);
+        } else {
+            attacker_utilities.push(attacker);
+            auditor_utility +=
+                w * (scheme.p0 * pay.auditor_covered + scheme.q0 * pay.auditor_uncovered);
+        }
+    }
+
+    Ok(BayesianOsspSolution { scheme, auditor_utility, attacker_utilities })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PayoffTable, Payoffs};
+    use crate::signaling::ossp_closed_form;
+    use crate::sse::{SseInput, SseSolver};
+
+    fn opportunist() -> PayoffTable {
+        PayoffTable::paper_table2()
+    }
+
+    /// A more aggressive profile: larger gains for the attacker, larger
+    /// losses for the auditor.
+    fn professional() -> PayoffTable {
+        PayoffTable::new(
+            PayoffTable::paper_table2()
+                .all()
+                .iter()
+                .map(|p| {
+                    Payoffs::new(
+                        p.auditor_covered,
+                        p.auditor_uncovered * 2.0,
+                        p.attacker_covered / 2.0,
+                        p.attacker_uncovered * 2.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn paper_estimates() -> Vec<f64> {
+        vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27]
+    }
+
+    #[test]
+    fn single_profile_reduces_to_plain_sse() {
+        let profiles = [AttackerProfile::new("only", 1.0, opportunist())];
+        let costs = vec![1.0; 7];
+        let estimates = paper_estimates();
+        let bayes = BayesianSseSolver::new()
+            .solve(&BayesianSseInput {
+                profiles: &profiles,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget: 50.0,
+            })
+            .unwrap();
+        let plain = SseSolver::new()
+            .solve(&SseInput {
+                payoffs: &profiles[0].payoffs,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget: 50.0,
+            })
+            .unwrap();
+        assert!((bayes.auditor_utility - plain.auditor_utility).abs() < 1e-6);
+        assert_eq!(bayes.best_responses[0], plain.best_response);
+    }
+
+    #[test]
+    fn two_profiles_solve_and_respect_best_responses() {
+        let profiles = [
+            AttackerProfile::new("opportunist", 0.7, opportunist()),
+            AttackerProfile::new("professional", 0.3, professional()),
+        ];
+        let costs = vec![1.0; 7];
+        let estimates = paper_estimates();
+        let sol = BayesianSseSolver::new()
+            .solve(&BayesianSseInput {
+                profiles: &profiles,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget: 50.0,
+            })
+            .unwrap();
+        // Coverage is a probability vector within budget.
+        assert!(sol.coverage.iter().all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
+        assert!(sol.budget_split.iter().sum::<f64>() <= 50.0 + 1e-6);
+        // Each profile's reported best response really is its best response.
+        for (profile, &br) in profiles.iter().zip(&sol.best_responses) {
+            let best_utility = profile.payoffs.get(br).attacker_expected(sol.coverage[br.index()]);
+            for t in 0..7u16 {
+                let alt = profile
+                    .payoffs
+                    .get(AlertTypeId(t))
+                    .attacker_expected(sol.coverage[t as usize]);
+                assert!(best_utility >= alt - 1e-6, "profile {} type {t}", profile.label);
+            }
+        }
+    }
+
+    #[test]
+    fn bayesian_ossp_with_one_profile_matches_closed_form() {
+        let profiles = [AttackerProfile::new("only", 1.0, opportunist())];
+        for &theta in &[0.05, 0.12, 0.3, 0.8] {
+            let bayes = bayesian_ossp(&profiles, AlertTypeId(0), theta).unwrap();
+            let cf = ossp_closed_form(profiles[0].payoffs.get(AlertTypeId(0)), theta);
+            assert!(
+                (bayes.auditor_utility - cf.auditor_utility).abs() < 1e-6,
+                "theta {theta}: {} vs {}",
+                bayes.auditor_utility,
+                cf.auditor_utility
+            );
+        }
+    }
+
+    #[test]
+    fn bayesian_ossp_never_hurts_relative_to_no_signaling() {
+        let profiles = [
+            AttackerProfile::new("opportunist", 0.6, opportunist()),
+            AttackerProfile::new("professional", 0.4, professional()),
+        ];
+        for &theta in &[0.02, 0.08, 0.15, 0.4] {
+            let bayes = bayesian_ossp(&profiles, AlertTypeId(2), theta).unwrap();
+            assert!(bayes.scheme.is_valid());
+            assert!((bayes.scheme.audit_probability() - theta).abs() < 1e-6);
+            // Weighted no-signaling value (counting only attacking profiles).
+            let total: f64 = profiles.iter().map(|p| p.prior).sum();
+            let mut sse = 0.0;
+            for p in &profiles {
+                let pay = p.payoffs.get(AlertTypeId(2));
+                if pay.attacker_expected(theta) >= 0.0 {
+                    sse += p.prior / total * pay.auditor_expected(theta);
+                }
+            }
+            assert!(
+                bayes.auditor_utility >= sse - 1e-6,
+                "theta {theta}: Bayesian OSSP {} < no-signaling {sse}",
+                bayes.auditor_utility
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let costs = vec![1.0; 7];
+        let estimates = paper_estimates();
+        let empty: [AttackerProfile; 0] = [];
+        assert!(BayesianSseSolver::new()
+            .solve(&BayesianSseInput {
+                profiles: &empty,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget: 10.0,
+            })
+            .is_err());
+        let zero_prior = [AttackerProfile::new("z", 0.0, opportunist())];
+        assert!(BayesianSseSolver::new()
+            .solve(&BayesianSseInput {
+                profiles: &zero_prior,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget: 10.0,
+            })
+            .is_err());
+        assert!(bayesian_ossp(&empty, AlertTypeId(0), 0.1).is_err());
+        let mismatched = [
+            AttackerProfile::new("a", 0.5, opportunist()),
+            AttackerProfile::new("b", 0.5, PayoffTable::paper_single_type()),
+        ];
+        assert!(BayesianSseSolver::new()
+            .solve(&BayesianSseInput {
+                profiles: &mismatched,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget: 10.0,
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Robustness extension: signaling against imperfectly rational attackers.
+//!
+//! The paper's discussion section flags perfect rationality as a strong
+//! assumption: "Such a strong assumption may lead to an unexpected loss in
+//! practice. Thus, a robust version of the SAG should be developed for
+//! deployment." This module provides two concrete robustness tools:
+//!
+//! 1. **Margin-robust OSSP** ([`robust_ossp`]): the standard OSSP makes a
+//!    warned attacker exactly indifferent (`E[util | warn] = 0`); an attacker
+//!    who misjudges his own payoffs by a little may still proceed. The robust
+//!    scheme enforces `E[util | warn] ≤ −ε`, buying a deterrence margin at a
+//!    (quantified) cost in auditor utility.
+//! 2. **Oblivious-attacker evaluation** ([`evaluate_against_oblivious`]): some
+//!    attackers simply ignore the warning with probability `ρ` (alert
+//!    fatigue). The function computes the auditor's expected utility of any
+//!    committed scheme against such an attacker, which is what the robustness
+//!    ablation sweeps.
+
+use crate::model::Payoffs;
+use crate::scheme::SignalingScheme;
+use serde::{Deserialize, Serialize};
+
+/// A robust OSSP solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustOsspSolution {
+    /// The committed scheme.
+    pub scheme: SignalingScheme,
+    /// Auditor expected utility against a perfectly rational attacker.
+    pub auditor_utility: f64,
+    /// The deterrence margin actually achieved (`−E[util | warn]`, or
+    /// `f64::INFINITY` when no warning is ever sent).
+    pub achieved_margin: f64,
+    /// Whether the requested margin was feasible at this coverage level.
+    pub margin_feasible: bool,
+}
+
+/// Compute the margin-robust OSSP in closed form.
+///
+/// Relative to [`ossp_closed_form`](crate::signaling::ossp_closed_form), the
+/// warned-branch constraint is tightened from `E[util | warn] ≤ 0` to
+/// `E[util | warn] ≤ −margin`. Geometrically this forces more of the audit
+/// mass into the warning branch per unit of no-audit mass, i.e. it reduces
+/// `q1` and moves that probability to `q0`, which costs the auditor
+/// `U_{d,u}` per unit. At `margin = 0` the result coincides with the standard
+/// OSSP.
+///
+/// If the margin is unattainable even with `q1 = 0` (coverage too small), the
+/// scheme degenerates to the best attainable margin and
+/// `margin_feasible = false`.
+#[must_use]
+pub fn robust_ossp(payoffs: &Payoffs, theta: f64, margin: f64) -> RobustOsspSolution {
+    let theta = theta.clamp(0.0, 1.0);
+    let margin = margin.max(0.0);
+    let uac = payoffs.attacker_covered;
+    let uau = payoffs.attacker_uncovered;
+    let udu = payoffs.auditor_uncovered;
+
+    // With all audit mass on the warning branch (p1 = theta, p0 = 0), the
+    // warned-branch constraint p1*Uac + q1*Uau <= -margin * (p1 + q1) caps q1:
+    //   q1 * (Uau + margin) <= -theta * (Uac + margin)
+    let denom = uau + margin;
+    let max_q1 = if denom <= 0.0 {
+        // The margin exceeds the attacker's gain; any q1 satisfies it.
+        1.0 - theta
+    } else {
+        ((-theta * (uac + margin)) / denom).clamp(0.0, 1.0 - theta)
+    };
+
+    let q1 = max_q1;
+    let q0 = 1.0 - theta - q1;
+    let scheme = SignalingScheme::new(theta, q1, 0.0, q0);
+
+    // A rational attacker facing the silent branch gets q0 * Uau >= 0, so he
+    // attacks unless the whole mass is on the warning branch.
+    let attacker_silent = q0 * uau;
+    let auditor_utility = if attacker_silent > 0.0 { q0 * udu } else { 0.0 };
+
+    let warn_mass = scheme.warning_probability();
+    let achieved_margin = if warn_mass <= 0.0 {
+        f64::INFINITY
+    } else {
+        -(scheme.p1 * uac + scheme.q1 * uau) / warn_mass
+    };
+    let margin_feasible = achieved_margin >= margin - 1e-9;
+
+    RobustOsspSolution { scheme, auditor_utility, achieved_margin, margin_feasible }
+}
+
+/// Expected auditor and attacker utilities of a committed scheme against an
+/// *oblivious* attacker who ignores the warning (and proceeds anyway) with
+/// probability `rho`, and otherwise behaves rationally.
+///
+/// Returns `(auditor_utility, attacker_utility)`.
+#[must_use]
+pub fn evaluate_against_oblivious(
+    scheme: &SignalingScheme,
+    payoffs: &Payoffs,
+    rho: f64,
+) -> (f64, f64) {
+    let rho = rho.clamp(0.0, 1.0);
+    let warn = scheme.warning_probability();
+    let audit_given_warn = scheme.audit_given_warning();
+    let audit_given_silent = scheme.audit_given_silent();
+
+    // Warned branch: a rational attacker quits iff his conditional utility is
+    // non-positive; the oblivious fraction proceeds regardless.
+    let warned_attacker_if_proceed = audit_given_warn * payoffs.attacker_covered
+        + (1.0 - audit_given_warn) * payoffs.attacker_uncovered;
+    let warned_auditor_if_proceed = audit_given_warn * payoffs.auditor_covered
+        + (1.0 - audit_given_warn) * payoffs.auditor_uncovered;
+    let rational_proceeds = warned_attacker_if_proceed > 0.0;
+    let proceed_prob = if rational_proceeds { 1.0 } else { rho };
+
+    let warned_auditor = proceed_prob * warned_auditor_if_proceed;
+    let warned_attacker = proceed_prob * warned_attacker_if_proceed;
+
+    // Silent branch: everyone proceeds.
+    let silent_auditor = audit_given_silent * payoffs.auditor_covered
+        + (1.0 - audit_given_silent) * payoffs.auditor_uncovered;
+    let silent_attacker = audit_given_silent * payoffs.attacker_covered
+        + (1.0 - audit_given_silent) * payoffs.attacker_uncovered;
+
+    (
+        warn * warned_auditor + (1.0 - warn) * silent_auditor,
+        warn * warned_attacker + (1.0 - warn) * silent_attacker,
+    )
+}
+
+/// Sweep the oblivious-attacker probability and report the auditor's utility
+/// for both the standard OSSP and the margin-robust OSSP — the robustness
+/// trade-off curve.
+#[must_use]
+pub fn robustness_tradeoff_curve(
+    payoffs: &Payoffs,
+    theta: f64,
+    margin: f64,
+    rhos: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    let standard = crate::signaling::ossp_closed_form(payoffs, theta).scheme;
+    let robust = robust_ossp(payoffs, theta, margin).scheme;
+    rhos.iter()
+        .map(|&rho| {
+            let (standard_utility, _) = evaluate_against_oblivious(&standard, payoffs, rho);
+            let (robust_utility, _) = evaluate_against_oblivious(&robust, payoffs, rho);
+            (rho, standard_utility, robust_utility)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PayoffTable;
+    use crate::signaling::ossp_closed_form;
+    use sag_sim::AlertTypeId;
+
+    fn type1() -> Payoffs {
+        *PayoffTable::paper_table2().get(AlertTypeId(0))
+    }
+
+    #[test]
+    fn zero_margin_recovers_the_standard_ossp() {
+        let p = type1();
+        for &theta in &[0.02, 0.05, 0.1, 0.2, 0.5] {
+            let robust = robust_ossp(&p, theta, 0.0);
+            let standard = ossp_closed_form(&p, theta);
+            assert!(
+                (robust.auditor_utility - standard.auditor_utility).abs() < 1e-9,
+                "theta {theta}: {} vs {}",
+                robust.auditor_utility,
+                standard.auditor_utility
+            );
+            assert!((robust.scheme.q1 - standard.scheme.q1).abs() < 1e-9);
+            assert!(robust.margin_feasible);
+        }
+    }
+
+    #[test]
+    fn larger_margin_costs_auditor_utility_but_never_breaks_validity() {
+        let p = type1();
+        let theta = 0.08;
+        let mut last = f64::INFINITY;
+        for &margin in &[0.0, 10.0, 50.0, 200.0, 1000.0] {
+            let robust = robust_ossp(&p, theta, margin);
+            assert!(robust.scheme.is_valid());
+            assert!((robust.scheme.audit_probability() - theta).abs() < 1e-9);
+            assert!(robust.auditor_utility <= last + 1e-9, "margin {margin}");
+            last = robust.auditor_utility;
+            // The achieved margin is at least the requested one when feasible.
+            if robust.margin_feasible {
+                assert!(robust.achieved_margin >= margin - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_margin_is_flagged() {
+        let p = type1();
+        // No warning can ever impose a deterrence margin larger than the
+        // attacker's capture penalty |Ua,c| = 2000.
+        let robust = robust_ossp(&p, 0.001, 2_500.0);
+        assert!(!robust.margin_feasible);
+        assert!(robust.scheme.is_valid());
+    }
+
+    #[test]
+    fn oblivious_attacker_hurts_the_standard_scheme() {
+        let p = type1();
+        let theta = 0.3; // deterrent regime: standard OSSP yields 0
+        let standard = ossp_closed_form(&p, theta);
+        let (clean, _) = evaluate_against_oblivious(&standard.scheme, &p, 0.0);
+        let (noisy, _) = evaluate_against_oblivious(&standard.scheme, &p, 0.5);
+        assert!((clean - standard.auditor_utility).abs() < 1e-9);
+        assert!(noisy < clean, "ignoring warnings must hurt the auditor: {noisy} vs {clean}");
+    }
+
+    #[test]
+    fn rho_zero_matches_analytic_utilities_for_any_scheme() {
+        let p = type1();
+        for &theta in &[0.05, 0.2, 0.4] {
+            let ossp = ossp_closed_form(&p, theta);
+            let (auditor, attacker) = evaluate_against_oblivious(&ossp.scheme, &p, 0.0);
+            assert!((auditor - ossp.auditor_utility).abs() < 1e-9);
+            assert!((attacker - ossp.attacker_utility).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tradeoff_curve_is_ordered_and_robust_scheme_wins_under_heavy_noise() {
+        let p = type1();
+        let theta = 0.25;
+        let rhos = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let curve = robustness_tradeoff_curve(&p, theta, 100.0, &rhos);
+        assert_eq!(curve.len(), rhos.len());
+        for (i, &(rho, standard, robust)) in curve.iter().enumerate() {
+            assert_eq!(rho, rhos[i]);
+            // Both utilities are finite and bounded by the payoff range.
+            for v in [standard, robust] {
+                assert!(v.is_finite());
+                assert!(v <= p.auditor_covered + 1e-9);
+                assert!(v >= p.auditor_uncovered - 1e-9);
+            }
+        }
+        // Against a fully rational attacker the standard scheme is at least as
+        // good as the robust one (it is the optimum of that case)...
+        assert!(curve[0].1 >= curve[0].2 - 1e-9);
+    }
+}

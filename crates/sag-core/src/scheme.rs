@@ -1,0 +1,207 @@
+//! Joint signaling/auditing schemes.
+//!
+//! A scheme for a single alert is the joint distribution over
+//! (signal, audit) outcomes:
+//!
+//! * `p1 = P(warn, audit)`
+//! * `q1 = P(warn, no audit)`
+//! * `p0 = P(silent, audit)`
+//! * `q0 = P(silent, no audit)`
+//!
+//! with `p1 + q1 + p0 + q0 = 1`. The marginal audit probability is
+//! `p1 + p0` and the warning probability is `p1 + q1`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for probability-sum checks.
+const PROB_EPS: f64 = 1e-7;
+
+/// A joint signaling/auditing scheme for one alert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalingScheme {
+    /// `P(warn, audit)`.
+    pub p1: f64,
+    /// `P(warn, no audit)`.
+    pub q1: f64,
+    /// `P(silent, audit)`.
+    pub p0: f64,
+    /// `P(silent, no audit)`.
+    pub q0: f64,
+}
+
+/// The signal actually delivered to the requestor once the scheme is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Signal {
+    /// A warning dialog is shown ("your access may be investigated").
+    Warning,
+    /// No warning is shown.
+    Silent,
+}
+
+impl SignalingScheme {
+    /// A scheme without signaling: never warn, audit with probability `theta`.
+    ///
+    /// This is exactly the online SSE strategy expressed in scheme form
+    /// (`p1 = q1 = 0`).
+    #[must_use]
+    pub fn no_signaling(theta: f64) -> Self {
+        let theta = theta.clamp(0.0, 1.0);
+        SignalingScheme { p1: 0.0, q1: 0.0, p0: theta, q0: 1.0 - theta }
+    }
+
+    /// Construct a scheme, clamping small numerical noise.
+    #[must_use]
+    pub fn new(p1: f64, q1: f64, p0: f64, q0: f64) -> Self {
+        let clamp = |v: f64| {
+            if v.abs() < PROB_EPS {
+                0.0
+            } else {
+                v
+            }
+        };
+        SignalingScheme { p1: clamp(p1), q1: clamp(q1), p0: clamp(p0), q0: clamp(q0) }
+    }
+
+    /// Whether the four entries are a valid joint distribution.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let entries = [self.p1, self.q1, self.p0, self.q0];
+        entries.iter().all(|v| v.is_finite() && *v >= -PROB_EPS && *v <= 1.0 + PROB_EPS)
+            && (entries.iter().sum::<f64>() - 1.0).abs() <= 4.0 * PROB_EPS
+    }
+
+    /// Marginal probability that the alert will be audited (`p1 + p0`).
+    #[must_use]
+    pub fn audit_probability(&self) -> f64 {
+        self.p1 + self.p0
+    }
+
+    /// Probability that a warning is shown (`p1 + q1`).
+    #[must_use]
+    pub fn warning_probability(&self) -> f64 {
+        self.p1 + self.q1
+    }
+
+    /// Conditional audit probability given that a warning was shown.
+    ///
+    /// Returns 0 when the warning branch has zero probability.
+    #[must_use]
+    pub fn audit_given_warning(&self) -> f64 {
+        let w = self.warning_probability();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.p1 / w
+        }
+    }
+
+    /// Conditional audit probability given that no warning was shown.
+    ///
+    /// Returns 0 when the silent branch has zero probability.
+    #[must_use]
+    pub fn audit_given_silent(&self) -> f64 {
+        let s = 1.0 - self.warning_probability();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.p0 / s
+        }
+    }
+
+    /// Sample which signal to deliver.
+    pub fn sample_signal<R: Rng + ?Sized>(&self, rng: &mut R) -> Signal {
+        if rng.gen_range(0.0..1.0) < self.warning_probability() {
+            Signal::Warning
+        } else {
+            Signal::Silent
+        }
+    }
+
+    /// The budget consumed by this alert once `signal` has been delivered:
+    /// the signal-conditional audit probability (times the per-alert audit
+    /// cost, applied by the caller). This is the quantity the paper uses to
+    /// update the remaining budget.
+    #[must_use]
+    pub fn conditional_audit_cost(&self, signal: Signal) -> f64 {
+        match signal {
+            Signal::Warning => self.audit_given_warning(),
+            Signal::Silent => self.audit_given_silent(),
+        }
+    }
+
+    /// Expected budget consumption over the signal distribution — equal to the
+    /// marginal audit probability.
+    #[must_use]
+    pub fn expected_audit_cost(&self) -> f64 {
+        self.audit_probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_signaling_scheme_is_valid_and_has_right_marginals() {
+        let s = SignalingScheme::no_signaling(0.3);
+        assert!(s.is_valid());
+        assert!((s.audit_probability() - 0.3).abs() < 1e-12);
+        assert_eq!(s.warning_probability(), 0.0);
+        assert_eq!(s.audit_given_warning(), 0.0);
+        assert!((s.audit_given_silent() - 0.3).abs() < 1e-12);
+        // Out-of-range theta is clamped.
+        assert_eq!(SignalingScheme::no_signaling(7.0).audit_probability(), 1.0);
+        assert_eq!(SignalingScheme::no_signaling(-1.0).audit_probability(), 0.0);
+    }
+
+    #[test]
+    fn validity_checks_sum_and_range() {
+        assert!(SignalingScheme::new(0.25, 0.25, 0.25, 0.25).is_valid());
+        assert!(!SignalingScheme::new(0.5, 0.5, 0.5, 0.5).is_valid());
+        assert!(!SignalingScheme::new(-0.1, 0.6, 0.25, 0.25).is_valid());
+        assert!(!SignalingScheme::new(f64::NAN, 0.5, 0.25, 0.25).is_valid());
+    }
+
+    #[test]
+    fn conditional_probabilities_are_consistent() {
+        let s = SignalingScheme::new(0.2, 0.3, 0.1, 0.4);
+        assert!((s.warning_probability() - 0.5).abs() < 1e-12);
+        assert!((s.audit_given_warning() - 0.4).abs() < 1e-12);
+        assert!((s.audit_given_silent() - 0.2).abs() < 1e-12);
+        // Law of total probability recovers the marginal audit probability.
+        let total = s.warning_probability() * s.audit_given_warning()
+            + (1.0 - s.warning_probability()) * s.audit_given_silent();
+        assert!((total - s.audit_probability()).abs() < 1e-12);
+        assert!((s.expected_audit_cost() - s.audit_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_warning_probability() {
+        let s = SignalingScheme::new(0.56, 0.14, 0.0, 0.30);
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let warnings = (0..n)
+            .filter(|_| matches!(s.sample_signal(&mut rng), Signal::Warning))
+            .count();
+        let freq = warnings as f64 / n as f64;
+        assert!((freq - s.warning_probability()).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn conditional_audit_cost_by_signal() {
+        let s = SignalingScheme::new(0.3, 0.2, 0.0, 0.5);
+        assert!((s.conditional_audit_cost(Signal::Warning) - 0.6).abs() < 1e-12);
+        assert_eq!(s.conditional_audit_cost(Signal::Silent), 0.0);
+    }
+
+    #[test]
+    fn tiny_noise_is_cleaned_by_new() {
+        let s = SignalingScheme::new(1e-12, -1e-12, 0.4, 0.6);
+        assert_eq!(s.p1, 0.0);
+        assert_eq!(s.q1, 0.0);
+        assert!(s.is_valid());
+    }
+}

@@ -1,0 +1,275 @@
+//! Optimal online signaling — the OSSP (the paper's LP (3) and Theorem 3).
+//!
+//! Given the marginal audit probability `θ` for the triggered alert's type
+//! (equal to the online SSE coverage by Theorem 1), the auditor chooses the
+//! joint signaling/auditing probabilities `(p1, q1, p0, q0)` that maximise her
+//! expected utility
+//!
+//! ```text
+//! max  p0·U_{d,c} + q0·U_{d,u}
+//! s.t. p1·U_{a,c} + q1·U_{a,u} ≤ 0          (a warned attacker prefers to quit)
+//!      p0·U_{a,c} + q0·U_{a,u} ≥ 0          (an unwarned attacker still attacks*)
+//!      p1 + p0 = θ,   q1 + q0 = 1 − θ,      all in [0, 1]
+//! ```
+//!
+//! *The second constraint is implicit in the paper's LP (3) but used by the
+//! proof of Theorem 3 ("if not the case, the attacker will not attack
+//! initially"): a scheme under which attacking yields negative expected
+//! utility simply deters the attacker, and both players receive 0 — which is
+//! exactly the objective value at `p0 = q0 = 0`. Including the constraint
+//! makes the LP's optimum coincide with the game's SSE value.
+//!
+//! Both the closed form of Theorem 3 and the explicit LP (via [`sag_lp`]) are
+//! provided; the engine uses the closed form and the test-suite asserts that
+//! the two agree.
+
+use crate::model::Payoffs;
+use crate::scheme::SignalingScheme;
+use crate::Result;
+use sag_lp::{LpProblem, Objective, Relation};
+use serde::{Deserialize, Serialize};
+
+/// An OSSP solution for one alert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OsspSolution {
+    /// The optimal joint signaling/auditing scheme.
+    pub scheme: SignalingScheme,
+    /// Auditor's expected utility under the scheme (the OSSP series of the
+    /// paper's figures).
+    pub auditor_utility: f64,
+    /// Attacker's expected utility under the scheme (0 when deterred).
+    pub attacker_utility: f64,
+    /// Whether the scheme fully deters the attack (the attacker's expected
+    /// utility from attacking is non-positive, so a rational attacker walks
+    /// away and both players receive 0).
+    pub deterred: bool,
+}
+
+/// Compute the OSSP via the Theorem 3 closed form.
+///
+/// `theta` is the marginal audit probability of the triggered alert's type
+/// (clamped to `[0, 1]`). The closed form requires the Theorem 3 payoff
+/// condition `U_{a,c}·U_{d,u} − U_{d,c}·U_{a,u} > 0`, which holds for every
+/// row of the paper's Table 2; for payoffs violating it, use [`ossp_lp`].
+#[must_use]
+pub fn ossp_closed_form(payoffs: &Payoffs, theta: f64) -> OsspSolution {
+    let theta = theta.clamp(0.0, 1.0);
+    let uac = payoffs.attacker_covered;
+    let uau = payoffs.attacker_uncovered;
+    let udu = payoffs.auditor_uncovered;
+
+    // beta: the attacker's expected utility if he always proceeds.
+    let beta = theta * uac + (1.0 - theta) * uau;
+
+    if beta <= 0.0 {
+        // Coverage alone already deters: warn with probability one; a warned
+        // attacker quits (expected utility beta <= 0), so nobody attacks and
+        // both players receive 0.
+        OsspSolution {
+            scheme: SignalingScheme::new(theta, 1.0 - theta, 0.0, 0.0),
+            auditor_utility: 0.0,
+            attacker_utility: 0.0,
+            deterred: true,
+        }
+    } else {
+        // Split the "no audit" mass so that the silent branch leaves the
+        // attacker exactly indifferent: q0 = beta / Ua,u, p0 = 0.
+        let q0 = beta / uau;
+        let q1 = (1.0 - theta - q0).max(0.0);
+        OsspSolution {
+            scheme: SignalingScheme::new(theta, q1, 0.0, q0),
+            auditor_utility: q0 * udu,
+            attacker_utility: beta,
+            deterred: false,
+        }
+    }
+}
+
+/// Compute the OSSP by solving LP (3) explicitly with the simplex solver.
+///
+/// # Errors
+///
+/// Propagates LP solver failures (which do not occur for valid payoffs and
+/// `theta ∈ [0, 1]`).
+pub fn ossp_lp(payoffs: &Payoffs, theta: f64) -> Result<OsspSolution> {
+    let theta = theta.clamp(0.0, 1.0);
+    let uac = payoffs.attacker_covered;
+    let uau = payoffs.attacker_uncovered;
+    let udc = payoffs.auditor_covered;
+    let udu = payoffs.auditor_uncovered;
+
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let p1 = lp.add_prob_var("p1");
+    let q1 = lp.add_prob_var("q1");
+    let p0 = lp.add_prob_var("p0");
+    let q0 = lp.add_prob_var("q0");
+    lp.set_objective(p0, udc);
+    lp.set_objective(q0, udu);
+    // A warned attacker must prefer to quit.
+    lp.add_constraint(&[(p1, uac), (q1, uau)], Relation::Le, 0.0);
+    // An unwarned attacker must still find attacking worthwhile (participation).
+    lp.add_constraint(&[(p0, uac), (q0, uau)], Relation::Ge, 0.0);
+    // Marginal audit probability is fixed to theta (Theorem 1).
+    lp.add_constraint(&[(p1, 1.0), (p0, 1.0)], Relation::Eq, theta);
+    lp.add_constraint(&[(q1, 1.0), (q0, 1.0)], Relation::Eq, 1.0 - theta);
+
+    let sol = lp.solve()?;
+    let scheme =
+        SignalingScheme::new(sol.value(p1), sol.value(q1), sol.value(p0), sol.value(q0));
+    let attacker_utility = scheme.p0 * uac + scheme.q0 * uau;
+    // If the whole probability mass sits on the warning branch the attack is
+    // deterred outright and both utilities collapse to zero.
+    let deterred = scheme.p0 + scheme.q0 <= 1e-9 || attacker_utility <= 1e-9;
+    Ok(OsspSolution {
+        scheme,
+        auditor_utility: sol.objective(),
+        attacker_utility: if deterred { 0.0 } else { attacker_utility },
+        deterred,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PayoffTable;
+    use sag_sim::AlertTypeId;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn closed_form_deterrence_case() {
+        // Table 2 type 1, theta = 0.3: beta = -320 <= 0.
+        let p = PayoffTable::paper_table2().get(AlertTypeId(0)).to_owned();
+        let sol = ossp_closed_form(&p, 0.3);
+        assert!(sol.deterred);
+        assert_eq!(sol.auditor_utility, 0.0);
+        assert_eq!(sol.attacker_utility, 0.0);
+        assert!(sol.scheme.is_valid());
+        assert_close(sol.scheme.warning_probability(), 1.0, 1e-9);
+        assert_eq!(sol.scheme.p0, 0.0);
+        assert_eq!(sol.scheme.q0, 0.0);
+        assert_close(sol.scheme.audit_given_warning(), 0.3, 1e-9);
+    }
+
+    #[test]
+    fn closed_form_low_coverage_case() {
+        // Table 2 type 1, theta = 0.05: beta = 0.05*(-2000) + 0.95*400 = 280 > 0.
+        let p = PayoffTable::paper_table2().get(AlertTypeId(0)).to_owned();
+        let sol = ossp_closed_form(&p, 0.05);
+        assert!(!sol.deterred);
+        let beta: f64 = 280.0;
+        assert_close(sol.attacker_utility, beta, 1e-9);
+        // q0 = beta / Ua,u = 0.7; auditor = q0 * Ud,u = -280.
+        assert_close(sol.scheme.q0, 0.7, 1e-9);
+        assert_eq!(sol.scheme.p0, 0.0);
+        assert_close(sol.auditor_utility, -280.0, 1e-9);
+        assert!(sol.scheme.is_valid());
+        // p1 carries the whole audit mass.
+        assert_close(sol.scheme.p1, 0.05, 1e-9);
+        assert_close(sol.scheme.q1, 1.0 - 0.05 - 0.7, 1e-9);
+    }
+
+    #[test]
+    fn theta_is_clamped() {
+        let p = PayoffTable::paper_table2().get(AlertTypeId(0)).to_owned();
+        let sol = ossp_closed_form(&p, 1.7);
+        assert!(sol.deterred);
+        assert!(sol.scheme.is_valid());
+        let sol = ossp_closed_form(&p, -0.4);
+        assert!(!sol.deterred);
+        assert_close(sol.attacker_utility, 400.0, 1e-9);
+    }
+
+    #[test]
+    fn lp_and_closed_form_agree_across_types_and_thetas() {
+        let table = PayoffTable::paper_table2();
+        for t in 0..table.len() {
+            let p = table.get(AlertTypeId(t as u16)).to_owned();
+            for i in 0..=20 {
+                let theta = i as f64 / 20.0;
+                let cf = ossp_closed_form(&p, theta);
+                let lp = ossp_lp(&p, theta).unwrap();
+                assert!(
+                    (cf.auditor_utility - lp.auditor_utility).abs() < 1e-6,
+                    "type {t} theta {theta}: closed form {} vs LP {}",
+                    cf.auditor_utility,
+                    lp.auditor_utility
+                );
+                assert!(
+                    (cf.attacker_utility - lp.attacker_utility).abs() < 1e-6,
+                    "type {t} theta {theta}: attacker {} vs {}",
+                    cf.attacker_utility,
+                    lp.attacker_utility
+                );
+                assert_eq!(cf.deterred, lp.deterred, "type {t} theta {theta}");
+                assert!(lp.scheme.is_valid());
+                assert!(cf.scheme.is_valid());
+                // Theorem 3: no silent auditing.
+                assert!(cf.scheme.p0.abs() < 1e-9);
+                assert!(lp.scheme.p0.abs() < 1e-7, "type {t} theta {theta}: p0 {}", lp.scheme.p0);
+            }
+        }
+    }
+
+    #[test]
+    fn ossp_never_worse_than_sse_theorem2_spot_checks() {
+        let table = PayoffTable::paper_table2();
+        for t in 0..table.len() {
+            let p = table.get(AlertTypeId(t as u16)).to_owned();
+            for i in 0..=10 {
+                let theta = i as f64 / 10.0;
+                let ossp = ossp_closed_form(&p, theta);
+                // The SSE value is only realised when the attacker actually
+                // attacks; high coverage deters him and both sides get 0.
+                let sse_utility = if p.attacker_expected(theta) < 0.0 {
+                    0.0
+                } else {
+                    p.auditor_expected(theta)
+                };
+                assert!(
+                    ossp.auditor_utility >= sse_utility - 1e-9,
+                    "type {t} theta {theta}: OSSP {} < SSE {}",
+                    ossp.auditor_utility,
+                    sse_utility
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attacker_utility_matches_sse_when_not_deterred_theorem4() {
+        let table = PayoffTable::paper_table2();
+        for t in 0..table.len() {
+            let p = table.get(AlertTypeId(t as u16)).to_owned();
+            for i in 0..=10 {
+                let theta = i as f64 / 10.0;
+                let ossp = ossp_closed_form(&p, theta);
+                let sse_attacker = p.attacker_expected(theta);
+                if sse_attacker > 0.0 {
+                    assert!((ossp.attacker_utility - sse_attacker).abs() < 1e-9);
+                } else {
+                    assert_eq!(ossp.attacker_utility, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_theta_at_deterrence_threshold() {
+        let p = PayoffTable::paper_table2().get(AlertTypeId(0)).to_owned();
+        let theta_star = p.deterrence_threshold();
+        // At (floating-point nudge past) the threshold beta <= 0: the
+        // deterrence branch applies and the auditor secures 0.
+        let sol = ossp_closed_form(&p, theta_star + 1e-12);
+        assert!(sol.deterred);
+        assert_close(sol.auditor_utility, 0.0, 1e-9);
+        // Slightly below the threshold the auditor's utility is slightly
+        // negative but still much better than the SSE value.
+        let eps = 1e-3;
+        let below = ossp_closed_form(&p, theta_star - eps);
+        assert!(below.auditor_utility < 0.0);
+        assert!(below.auditor_utility > p.auditor_expected(theta_star - eps));
+    }
+}

@@ -1,0 +1,410 @@
+//! Online Strong Stackelberg Equilibrium — the paper's LP (2).
+//!
+//! Given the remaining budget `B_τ` and, for every alert type, a Poisson
+//! estimate of the number of future alerts, the auditor plans a long-term
+//! split of the budget across types. Allocating `B^t` to type `t` yields a
+//! marginal coverage probability
+//!
+//! ```text
+//! θ^t = E_{d ~ Poisson(λ^t)} [ B^t / (V^t · max(d, 1)) ]  =  B^t · ρ^t,
+//! ρ^t = E[1 / max(d, 1)] / V^t,
+//! ```
+//!
+//! which is linear in `B^t`, so the Stackelberg commitment can be computed
+//! with the standard *multiple-LP* method: for each candidate attacker
+//! best-response type `t`, solve an LP that maximises the auditor's utility
+//! against an attack on `t` subject to `t` actually being a best response and
+//! to the budget constraints; then keep the best feasible solution.
+
+use crate::model::PayoffTable;
+use crate::{Result, SagError};
+use sag_lp::{LpError, LpProblem, Objective, Relation};
+use sag_sim::AlertTypeId;
+use serde::{Deserialize, Serialize};
+
+/// Inputs of one online SSE computation (one triggered alert).
+#[derive(Debug, Clone)]
+pub struct SseInput<'a> {
+    /// Payoff structures per type.
+    pub payoffs: &'a PayoffTable,
+    /// Audit cost `V^t` per type.
+    pub audit_costs: &'a [f64],
+    /// Poisson means of the number of future alerts per type.
+    pub future_estimates: &'a [f64],
+    /// Remaining audit budget `B_τ`.
+    pub budget: f64,
+}
+
+impl SseInput<'_> {
+    fn validate(&self) -> Result<()> {
+        let n = self.payoffs.len();
+        if n == 0 {
+            return Err(SagError::InvalidConfig("empty payoff table".into()));
+        }
+        if self.audit_costs.len() != n || self.future_estimates.len() != n {
+            return Err(SagError::InvalidConfig(format!(
+                "inconsistent lengths: {} payoffs, {} costs, {} estimates",
+                n,
+                self.audit_costs.len(),
+                self.future_estimates.len()
+            )));
+        }
+        if !self.budget.is_finite() || self.budget < 0.0 {
+            return Err(SagError::InvalidConfig(format!("invalid budget {}", self.budget)));
+        }
+        if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            return Err(SagError::InvalidConfig("audit costs must be positive".into()));
+        }
+        if self.future_estimates.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(SagError::InvalidConfig("future estimates must be nonnegative".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The online SSE: marginal coverage per type and the equilibrium utilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SseSolution {
+    /// Marginal audit (coverage) probability `θ^t` per type.
+    pub coverage: Vec<f64>,
+    /// Long-term budget split `B^t` per type (the LP's decision variables).
+    pub budget_split: Vec<f64>,
+    /// The attacker's best-response type at equilibrium.
+    pub best_response: AlertTypeId,
+    /// Auditor's expected utility against the best-response attack — the
+    /// optimal objective value of LP (2), which is what the paper plots as
+    /// the *online SSE* series.
+    pub auditor_utility: f64,
+    /// Attacker's expected utility at equilibrium.
+    pub attacker_utility: f64,
+}
+
+impl SseSolution {
+    /// Auditor utility accounting for deterrence: when the attacker's
+    /// equilibrium utility is negative he simply does not attack, and the
+    /// auditor's realised utility is 0 (Theorem 2's first case).
+    #[must_use]
+    pub fn effective_auditor_utility(&self) -> f64 {
+        if self.attacker_utility < 0.0 {
+            0.0
+        } else {
+            self.auditor_utility
+        }
+    }
+
+    /// Coverage of a given type.
+    #[must_use]
+    pub fn coverage_of(&self, id: AlertTypeId) -> f64 {
+        self.coverage.get(id.index()).copied().unwrap_or(0.0)
+    }
+}
+
+/// Solver for the online SSE (the multiple-LP method over [`sag_lp`]).
+#[derive(Debug, Clone, Default)]
+pub struct SseSolver {
+    _private: (),
+}
+
+impl SseSolver {
+    /// Create a solver.
+    #[must_use]
+    pub fn new() -> Self {
+        SseSolver { _private: () }
+    }
+
+    /// Per-unit-budget coverage rates `ρ^t` for the given input.
+    fn coverage_rates(input: &SseInput<'_>) -> Vec<f64> {
+        input
+            .future_estimates
+            .iter()
+            .zip(input.audit_costs)
+            .map(|(&lambda, &cost)| sag_forecast::expected_inverse_positive(lambda) / cost)
+            .collect()
+    }
+
+    /// Solve the online SSE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SagError::InvalidConfig`] for malformed inputs and
+    /// [`SagError::NoFeasibleType`] if no candidate best-response LP is
+    /// feasible (which cannot happen for valid inputs).
+    pub fn solve(&self, input: &SseInput<'_>) -> Result<SseSolution> {
+        input.validate()?;
+        let n = input.payoffs.len();
+        let rates = Self::coverage_rates(input);
+
+        let mut best: Option<SseSolution> = None;
+        for candidate in 0..n {
+            match self.solve_for_candidate(input, &rates, candidate) {
+                Ok(solution) => {
+                    let better = best
+                        .as_ref()
+                        .map_or(true, |b| solution.auditor_utility > b.auditor_utility + 1e-12);
+                    if better {
+                        best = Some(solution);
+                    }
+                }
+                Err(SagError::Lp(LpError::Infeasible)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        best.ok_or(SagError::NoFeasibleType)
+    }
+
+    /// Solve LP (2) under the assumption that `candidate` is the attacker's
+    /// best response.
+    fn solve_for_candidate(
+        &self,
+        input: &SseInput<'_>,
+        rates: &[f64],
+        candidate: usize,
+    ) -> Result<SseSolution> {
+        let n = input.payoffs.len();
+        let payoff_of = |t: usize| input.payoffs.get(AlertTypeId(t as u16));
+
+        let mut lp = LpProblem::new(Objective::Maximize);
+        // Variables: the budget split B^t, bounded so that θ^t = ρ^t B^t ≤ 1.
+        let vars: Vec<_> = (0..n)
+            .map(|t| {
+                let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
+                lp.add_var(format!("B{t}"), 0.0, input.budget.min(max_useful))
+            })
+            .collect();
+
+        // Objective: maximise the auditor's utility against an attack on the
+        // candidate type. auditor = Ud,u + θ·(Ud,c − Ud,u), θ = ρ·B.
+        let cand = payoff_of(candidate);
+        lp.set_objective(
+            vars[candidate],
+            rates[candidate] * (cand.auditor_covered - cand.auditor_uncovered),
+        );
+
+        // Best-response constraints: attacker prefers the candidate type.
+        // Ua,u[c] + θ_c (Ua,c[c] − Ua,u[c]) ≥ Ua,u[t] + θ_t (Ua,c[t] − Ua,u[t])
+        let cand_slope = rates[candidate] * (cand.attacker_covered - cand.attacker_uncovered);
+        for t in 0..n {
+            if t == candidate {
+                continue;
+            }
+            let other = payoff_of(t);
+            let other_slope = rates[t] * (other.attacker_covered - other.attacker_uncovered);
+            // other_slope·B_t − cand_slope·B_c ≤ Ua,u[c] − Ua,u[t]
+            lp.add_constraint(
+                &[(vars[t], other_slope), (vars[candidate], -cand_slope)],
+                Relation::Le,
+                cand.attacker_uncovered - other.attacker_uncovered,
+            );
+        }
+
+        // Budget constraint.
+        let budget_terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget_terms, Relation::Le, input.budget);
+
+        let solution = lp.solve().map_err(SagError::from)?;
+
+        let budget_split: Vec<f64> = vars.iter().map(|&v| solution.value(v)).collect();
+        let coverage: Vec<f64> =
+            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+        let auditor_utility = cand.auditor_expected(coverage[candidate]);
+        let attacker_utility = cand.attacker_expected(coverage[candidate]);
+
+        Ok(SseSolution {
+            coverage,
+            budget_split,
+            best_response: AlertTypeId(candidate as u16),
+            auditor_utility,
+            attacker_utility,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PayoffTable, Payoffs};
+
+    fn single_type_input<'a>(
+        payoffs: &'a PayoffTable,
+        costs: &'a [f64],
+        estimates: &'a [f64],
+        budget: f64,
+    ) -> SseInput<'a> {
+        SseInput { payoffs, audit_costs: costs, future_estimates: estimates, budget }
+    }
+
+    #[test]
+    fn single_type_coverage_is_budget_over_expected_alerts() {
+        let payoffs = PayoffTable::paper_single_type();
+        let costs = [1.0];
+        // Large future-alert estimate: E[1/max(d,1)] ≈ 1/λ.
+        let estimates = [100.0];
+        let input = single_type_input(&payoffs, &costs, &estimates, 10.0);
+        let sol = SseSolver::new().solve(&input).unwrap();
+        assert_eq!(sol.best_response, AlertTypeId(0));
+        // Coverage should be close to B/λ = 0.1.
+        assert!((sol.coverage[0] - 0.1).abs() < 0.02, "coverage {}", sol.coverage[0]);
+        // Utilities follow the linear payoff forms.
+        let p = payoffs.get(AlertTypeId(0));
+        assert!((sol.auditor_utility - p.auditor_expected(sol.coverage[0])).abs() < 1e-9);
+        assert!((sol.attacker_utility - p.attacker_expected(sol.coverage[0])).abs() < 1e-9);
+        assert!(sol.attacker_utility > 0.0);
+        assert_eq!(sol.effective_auditor_utility(), sol.auditor_utility);
+    }
+
+    #[test]
+    fn ample_budget_caps_coverage_at_one_and_deters() {
+        let payoffs = PayoffTable::paper_single_type();
+        let costs = [1.0];
+        let estimates = [2.0];
+        // Budget far exceeding expected alerts: full coverage.
+        let input = single_type_input(&payoffs, &costs, &estimates, 1000.0);
+        let sol = SseSolver::new().solve(&input).unwrap();
+        assert!((sol.coverage[0] - 1.0).abs() < 1e-6);
+        assert!(sol.attacker_utility < 0.0);
+        // Deterrence: effective utility is 0 even though the raw LP value is
+        // the "covered" payoff.
+        assert_eq!(sol.effective_auditor_utility(), 0.0);
+        assert!((sol.auditor_utility - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_coverage_everywhere() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![50.0; 7];
+        let input = single_type_input(&payoffs, &costs, &estimates, 0.0);
+        let sol = SseSolver::new().solve(&input).unwrap();
+        assert!(sol.coverage.iter().all(|&c| c.abs() < 1e-9));
+        // With no coverage anywhere, the attacker picks the type with the
+        // highest uncovered payoff (type 7: 800).
+        assert_eq!(sol.best_response, AlertTypeId(6));
+        assert!((sol.attacker_utility - 800.0).abs() < 1e-9);
+        assert!((sol.auditor_utility - (-2000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_type_equilibrium_equalizes_attractive_types() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        // Table 1 daily volumes as the future estimates at start of day.
+        let estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        let input = single_type_input(&payoffs, &costs, &estimates, 50.0);
+        let sol = SseSolver::new().solve(&input).unwrap();
+
+        // The attacker's utility on the best-response type must be at least
+        // his utility on every other type (the best-response constraints).
+        let best = sol.attacker_utility;
+        for t in 0..7u16 {
+            let p = payoffs.get(AlertTypeId(t));
+            let alt = p.attacker_expected(sol.coverage[t as usize]);
+            assert!(best >= alt - 1e-6, "type {t}: {alt} exceeds best {best}");
+        }
+        // Budget is respected.
+        let spent: f64 = sol.budget_split.iter().sum();
+        assert!(spent <= 50.0 + 1e-6);
+        // Coverage is a probability vector.
+        assert!(sol.coverage.iter().all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
+    }
+
+    #[test]
+    fn auditor_utility_improves_with_budget() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        let mut last = f64::NEG_INFINITY;
+        for budget in [0.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+            let input = single_type_input(&payoffs, &costs, &estimates, budget);
+            let sol = SseSolver::new().solve(&input).unwrap();
+            assert!(
+                sol.auditor_utility >= last - 1e-6,
+                "budget {budget}: utility {} dropped below {last}",
+                sol.auditor_utility
+            );
+            last = sol.auditor_utility;
+        }
+    }
+
+    #[test]
+    fn attacker_utility_decreases_with_budget() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        let mut last = f64::INFINITY;
+        for budget in [0.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+            let input = single_type_input(&payoffs, &costs, &estimates, budget);
+            let sol = SseSolver::new().solve(&input).unwrap();
+            assert!(sol.attacker_utility <= last + 1e-6);
+            last = sol.attacker_utility;
+        }
+    }
+
+    #[test]
+    fn heterogeneous_audit_costs_shift_coverage() {
+        // Two identical types except type 1 is 10x more expensive to audit:
+        // with the same payoffs, coverage of the cheap type should not be
+        // lower than coverage of the expensive one.
+        let payoffs = PayoffTable::new(vec![
+            Payoffs::new(100.0, -400.0, -2000.0, 400.0),
+            Payoffs::new(100.0, -400.0, -2000.0, 400.0),
+        ]);
+        let costs = [1.0, 10.0];
+        let estimates = [50.0, 50.0];
+        let input = single_type_input(&payoffs, &costs, &estimates, 30.0);
+        let sol = SseSolver::new().solve(&input).unwrap();
+        assert!(
+            sol.coverage[0] >= sol.coverage[1] - 1e-9,
+            "coverage {:?} should favour the cheaper type",
+            sol.coverage
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let payoffs = PayoffTable::paper_single_type();
+        let costs = [1.0];
+        let estimates = [10.0];
+        let solver = SseSolver::new();
+
+        let bad_budget =
+            SseInput { payoffs: &payoffs, audit_costs: &costs, future_estimates: &estimates, budget: -1.0 };
+        assert!(matches!(solver.solve(&bad_budget), Err(SagError::InvalidConfig(_))));
+
+        let bad_lengths = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &[1.0, 2.0],
+            future_estimates: &estimates,
+            budget: 5.0,
+        };
+        assert!(matches!(solver.solve(&bad_lengths), Err(SagError::InvalidConfig(_))));
+
+        let bad_cost = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &[0.0],
+            future_estimates: &estimates,
+            budget: 5.0,
+        };
+        assert!(matches!(solver.solve(&bad_cost), Err(SagError::InvalidConfig(_))));
+
+        let bad_estimate = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &costs,
+            future_estimates: &[-2.0],
+            budget: 5.0,
+        };
+        assert!(matches!(solver.solve(&bad_estimate), Err(SagError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn coverage_of_out_of_range_type_is_zero() {
+        let sol = SseSolution {
+            coverage: vec![0.5],
+            budget_split: vec![1.0],
+            best_response: AlertTypeId(0),
+            auditor_utility: 0.0,
+            attacker_utility: 0.0,
+        };
+        assert_eq!(sol.coverage_of(AlertTypeId(0)), 0.5);
+        assert_eq!(sol.coverage_of(AlertTypeId(3)), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Arrival model fitted from historical alert logs.
+//!
+//! For each alert type the model stores the pooled, sorted arrival times of
+//! all historical days. The expected number of *remaining* alerts of a type
+//! after time `τ` on a typical day is then simply the number of pooled
+//! arrivals strictly later than `τ` divided by the number of historical days —
+//! the empirical mean the paper estimates from its 41-day history windows.
+
+use sag_sim::{AlertTypeId, DayLog, TimeOfDay};
+use serde::{Deserialize, Serialize};
+
+/// Empirical arrival model: expected remaining alerts per type vs. time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    /// Pooled sorted arrival seconds per type.
+    pooled_times: Vec<Vec<u32>>,
+    /// Number of historical days the model was fitted on.
+    num_days: usize,
+}
+
+impl ArrivalModel {
+    /// Fit the model on historical day logs for `num_types` alert types.
+    ///
+    /// Days may contain types outside `0..num_types`; those alerts are
+    /// ignored. An empty history yields a model that predicts zero arrivals.
+    #[must_use]
+    pub fn fit(history: &[DayLog], num_types: usize) -> Self {
+        let mut pooled: Vec<Vec<u32>> = vec![Vec::new(); num_types];
+        for day in history {
+            for alert in day.alerts() {
+                if alert.type_id.index() < num_types {
+                    pooled[alert.type_id.index()].push(alert.time.seconds());
+                }
+            }
+        }
+        for times in &mut pooled {
+            times.sort_unstable();
+        }
+        ArrivalModel { pooled_times: pooled, num_days: history.len() }
+    }
+
+    /// Number of alert types the model covers.
+    #[must_use]
+    pub fn num_types(&self) -> usize {
+        self.pooled_times.len()
+    }
+
+    /// Number of historical days the model was fitted on.
+    #[must_use]
+    pub fn num_days(&self) -> usize {
+        self.num_days
+    }
+
+    /// Expected number of alerts of `type_id` arriving strictly after `time`
+    /// on a typical day.
+    #[must_use]
+    pub fn expected_remaining(&self, type_id: AlertTypeId, time: TimeOfDay) -> f64 {
+        if self.num_days == 0 {
+            return 0.0;
+        }
+        let times = match self.pooled_times.get(type_id.index()) {
+            Some(t) => t,
+            None => return 0.0,
+        };
+        let idx = times.partition_point(|&s| s <= time.seconds());
+        (times.len() - idx) as f64 / self.num_days as f64
+    }
+
+    /// Expected remaining alerts after `time` for every type, ordered by type.
+    #[must_use]
+    pub fn expected_remaining_all(&self, time: TimeOfDay) -> Vec<f64> {
+        (0..self.num_types())
+            .map(|t| self.expected_remaining(AlertTypeId(t as u16), time))
+            .collect()
+    }
+
+    /// Expected total number of alerts of `type_id` over a whole day — what
+    /// the offline SSE baseline plans against.
+    #[must_use]
+    pub fn expected_daily_total(&self, type_id: AlertTypeId) -> f64 {
+        self.expected_remaining(type_id, TimeOfDay::MIDNIGHT)
+    }
+
+    /// Expected daily totals for all types.
+    #[must_use]
+    pub fn expected_daily_totals(&self) -> Vec<f64> {
+        self.expected_remaining_all(TimeOfDay::MIDNIGHT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sag_sim::{Alert, AlertCatalog, StreamConfig, StreamGenerator};
+
+    fn alert(day: u32, h: u32, m: u32, ty: u16) -> Alert {
+        Alert::benign(day, TimeOfDay::from_hms(h, m, 0), AlertTypeId(ty))
+    }
+
+    #[test]
+    fn fit_on_hand_built_history() {
+        let history = vec![
+            DayLog::new(0, vec![alert(0, 9, 0, 0), alert(0, 14, 0, 0), alert(0, 10, 0, 1)]),
+            DayLog::new(1, vec![alert(1, 9, 30, 0), alert(1, 16, 0, 1)]),
+        ];
+        let model = ArrivalModel::fit(&history, 2);
+        assert_eq!(model.num_days(), 2);
+        assert_eq!(model.num_types(), 2);
+        // Type 0: 3 alerts over 2 days => 1.5 expected per day from midnight.
+        assert!((model.expected_daily_total(AlertTypeId(0)) - 1.5).abs() < 1e-12);
+        // After 09:15 only the 09:30 and 14:00 alerts remain => 1.0 per day.
+        let after = model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(9, 15, 0));
+        assert!((after - 1.0).abs() < 1e-12);
+        // After 23:00 nothing remains.
+        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(23, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn remaining_is_exclusive_of_the_query_time() {
+        let history = vec![DayLog::new(0, vec![alert(0, 12, 0, 0)])];
+        let model = ArrivalModel::fit(&history, 1);
+        // An alert exactly at the query time does not count as "future".
+        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(12, 0, 0)), 0.0);
+        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(11, 59, 59)), 1.0);
+    }
+
+    #[test]
+    fn empty_history_and_unknown_types_predict_zero() {
+        let model = ArrivalModel::fit(&[], 3);
+        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::MIDNIGHT), 0.0);
+        let history = vec![DayLog::new(0, vec![alert(0, 9, 0, 0)])];
+        let model = ArrivalModel::fit(&history, 1);
+        assert_eq!(model.expected_remaining(AlertTypeId(5), TimeOfDay::MIDNIGHT), 0.0);
+    }
+
+    #[test]
+    fn daily_totals_track_table1_on_calibrated_streams() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(11));
+        let history = gen.generate_days(41);
+        let catalog = AlertCatalog::paper_table1();
+        let model = ArrivalModel::fit(&history, catalog.len());
+        for info in catalog.types() {
+            let estimate = model.expected_daily_total(info.id);
+            let tolerance = 4.0 * info.daily_std / (history.len() as f64).sqrt() + 1.0;
+            assert!(
+                (estimate - info.daily_mean).abs() < tolerance,
+                "type {}: estimated {estimate}, expected {}",
+                info.id,
+                info.daily_mean
+            );
+        }
+    }
+
+    #[test]
+    fn remaining_decreases_monotonically_over_the_day() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_single_type(4));
+        let history = gen.generate_days(20);
+        let model = ArrivalModel::fit(&history, 1);
+        let mut prev = f64::INFINITY;
+        for hour in 0..24 {
+            let v = model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(hour, 0, 0));
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+}

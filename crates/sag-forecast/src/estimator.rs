@@ -1,0 +1,162 @@
+//! The estimator the audit-cycle engine consumes: arrival model + rollback.
+
+use crate::arrival::ArrivalModel;
+use crate::rollback::RollbackPolicy;
+use sag_sim::{AlertTypeId, DayLog, TimeOfDay};
+use serde::{Deserialize, Serialize};
+
+/// Online estimator of future alert counts, with knowledge rollback.
+///
+/// The engine drives it as follows: for each incoming alert it queries
+/// [`estimate_all`](FutureAlertEstimator::estimate_all) *before* updating any
+/// state, then calls [`observe_alert`](FutureAlertEstimator::observe_alert)
+/// so that the rollback anchor advances to the alert just processed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FutureAlertEstimator {
+    model: ArrivalModel,
+    rollback: RollbackPolicy,
+    /// Arrival time of the most recently observed (previous) alert.
+    last_alert_time: Option<TimeOfDay>,
+}
+
+impl FutureAlertEstimator {
+    /// Build an estimator from a fitted model and rollback policy.
+    #[must_use]
+    pub fn new(model: ArrivalModel, rollback: RollbackPolicy) -> Self {
+        FutureAlertEstimator { model, rollback, last_alert_time: None }
+    }
+
+    /// Convenience constructor: fit on history with the paper's rollback.
+    #[must_use]
+    pub fn from_history(history: &[DayLog], num_types: usize) -> Self {
+        Self::new(ArrivalModel::fit(history, num_types), RollbackPolicy::paper_default())
+    }
+
+    /// The underlying arrival model.
+    #[must_use]
+    pub fn model(&self) -> &ArrivalModel {
+        &self.model
+    }
+
+    /// The rollback policy in effect.
+    #[must_use]
+    pub fn rollback(&self) -> RollbackPolicy {
+        self.rollback
+    }
+
+    /// Number of alert types covered.
+    #[must_use]
+    pub fn num_types(&self) -> usize {
+        self.model.num_types()
+    }
+
+    /// Record that an alert arrived at `time`; future queries may roll back
+    /// to the estimate at this time.
+    pub fn observe_alert(&mut self, time: TimeOfDay) {
+        self.last_alert_time = Some(time);
+    }
+
+    /// Reset the rollback anchor (start of a new audit cycle).
+    pub fn reset_cycle(&mut self) {
+        self.last_alert_time = None;
+    }
+
+    /// Expected number of future alerts of `type_id` after `now`, with
+    /// knowledge rollback applied.
+    #[must_use]
+    pub fn estimate(&self, type_id: AlertTypeId, now: TimeOfDay) -> f64 {
+        let raw = self.model.expected_remaining(type_id, now);
+        let at_prev = self.last_alert_time.map(|t| self.model.expected_remaining(type_id, t));
+        self.rollback.apply(raw, at_prev)
+    }
+
+    /// Estimates for every type, ordered by type id.
+    #[must_use]
+    pub fn estimate_all(&self, now: TimeOfDay) -> Vec<f64> {
+        (0..self.num_types()).map(|t| self.estimate(AlertTypeId(t as u16), now)).collect()
+    }
+
+    /// Expected whole-day totals (used by the offline SSE baseline).
+    #[must_use]
+    pub fn expected_daily_totals(&self) -> Vec<f64> {
+        self.model.expected_daily_totals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sag_sim::Alert;
+
+    fn history() -> Vec<DayLog> {
+        // Ten identical days, each with 10 type-0 alerts between 08:00 and
+        // 17:00 and nothing afterwards.
+        (0..10)
+            .map(|d| {
+                let alerts = (0..10)
+                    .map(|i| {
+                        Alert::benign(d, TimeOfDay::from_hms(8 + i, 0, 0), AlertTypeId(0))
+                    })
+                    .collect();
+                DayLog::new(d, alerts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimates_without_rollback_track_the_model() {
+        let model = ArrivalModel::fit(&history(), 1);
+        let est = FutureAlertEstimator::new(model.clone(), RollbackPolicy::disabled());
+        for hour in 0..24 {
+            let now = TimeOfDay::from_hms(hour, 30, 0);
+            assert_eq!(est.estimate(AlertTypeId(0), now), model.expected_remaining(AlertTypeId(0), now));
+        }
+    }
+
+    #[test]
+    fn rollback_props_up_late_day_estimates() {
+        let mut est = FutureAlertEstimator::from_history(&history(), 1);
+        // Mid-afternoon alert: plenty of future alerts, estimate is raw.
+        let afternoon = TimeOfDay::from_hms(13, 30, 0);
+        let raw_afternoon = est.model().expected_remaining(AlertTypeId(0), afternoon);
+        assert!(raw_afternoon >= 3.0);
+        assert_eq!(est.estimate(AlertTypeId(0), afternoon), raw_afternoon);
+        est.observe_alert(afternoon);
+
+        // Late-evening alert: raw estimate is 0 (below threshold 4), so the
+        // estimator rolls back to the afternoon estimate.
+        let evening = TimeOfDay::from_hms(22, 0, 0);
+        let raw_evening = est.model().expected_remaining(AlertTypeId(0), evening);
+        assert_eq!(raw_evening, 0.0);
+        assert_eq!(est.estimate(AlertTypeId(0), evening), raw_afternoon);
+    }
+
+    #[test]
+    fn reset_cycle_clears_the_anchor() {
+        let mut est = FutureAlertEstimator::from_history(&history(), 1);
+        est.observe_alert(TimeOfDay::from_hms(12, 0, 0));
+        est.reset_cycle();
+        let evening = TimeOfDay::from_hms(22, 0, 0);
+        assert_eq!(est.estimate(AlertTypeId(0), evening), 0.0);
+    }
+
+    #[test]
+    fn estimate_all_is_ordered_by_type() {
+        let days = vec![DayLog::new(
+            0,
+            vec![
+                Alert::benign(0, TimeOfDay::from_hms(9, 0, 0), AlertTypeId(0)),
+                Alert::benign(0, TimeOfDay::from_hms(9, 0, 0), AlertTypeId(1)),
+                Alert::benign(0, TimeOfDay::from_hms(9, 0, 0), AlertTypeId(1)),
+            ],
+        )];
+        let est = FutureAlertEstimator::new(
+            ArrivalModel::fit(&days, 2),
+            RollbackPolicy::disabled(),
+        );
+        let all = est.estimate_all(TimeOfDay::MIDNIGHT);
+        assert_eq!(all, vec![1.0, 2.0]);
+        assert_eq!(est.expected_daily_totals(), vec![1.0, 2.0]);
+        assert_eq!(est.num_types(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Knowledge rollback.
+//!
+//! Late in the day the historical estimate of future alerts approaches zero.
+//! An attacker who strikes at the very end of the audit cycle would then face
+//! a defender who has (rationally) spent her entire budget, making the final
+//! alerts effectively uncovered. The paper mitigates this with *knowledge
+//! rollback*: "when the mean of arrivals in the historical data drops under a
+//! certain threshold (which is 4 in both cases), we apply the estimation of
+//! the number of future alerts in the time point when the last alert was
+//! triggered." Budget consumption then stays steady and a late attacker gains
+//! no obvious advantage.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the knowledge-rollback heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollbackPolicy {
+    /// Whether rollback is applied at all (disable for the ablation study).
+    pub enabled: bool,
+    /// Estimates below this threshold trigger the rollback (paper: 4).
+    pub threshold: f64,
+}
+
+impl Default for RollbackPolicy {
+    fn default() -> Self {
+        RollbackPolicy { enabled: true, threshold: 4.0 }
+    }
+}
+
+impl RollbackPolicy {
+    /// The paper's configuration (enabled, threshold 4).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A disabled policy (raw estimates are always used).
+    #[must_use]
+    pub fn disabled() -> Self {
+        RollbackPolicy { enabled: false, threshold: 0.0 }
+    }
+
+    /// Apply the policy: given the raw estimate at the current time and the
+    /// estimate computed at the previous alert's arrival time (if any),
+    /// return the estimate the auditor should plan with.
+    #[must_use]
+    pub fn apply(&self, raw: f64, at_previous_alert: Option<f64>) -> f64 {
+        if !self.enabled || raw >= self.threshold {
+            return raw;
+        }
+        match at_previous_alert {
+            // Never report less than the raw estimate: rolling back is only
+            // meant to prop the forecast up, not to lower it.
+            Some(prev) => prev.max(raw),
+            None => raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = RollbackPolicy::paper_default();
+        assert!(p.enabled);
+        assert!((p.threshold - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_rollback_above_threshold() {
+        let p = RollbackPolicy::paper_default();
+        assert_eq!(p.apply(10.0, Some(50.0)), 10.0);
+        assert_eq!(p.apply(4.0, Some(50.0)), 4.0);
+    }
+
+    #[test]
+    fn rollback_below_threshold_uses_previous_estimate() {
+        let p = RollbackPolicy::paper_default();
+        assert_eq!(p.apply(1.0, Some(12.0)), 12.0);
+        // Previous estimate lower than raw: keep the raw value.
+        assert_eq!(p.apply(1.0, Some(0.5)), 1.0);
+        // No previous alert yet: nothing to roll back to.
+        assert_eq!(p.apply(1.0, None), 1.0);
+    }
+
+    #[test]
+    fn disabled_policy_is_identity() {
+        let p = RollbackPolicy::disabled();
+        assert_eq!(p.apply(0.1, Some(99.0)), 0.1);
+        assert_eq!(p.apply(7.0, None), 7.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the forecasting substrate.
+
+use proptest::prelude::*;
+use sag_forecast::{expected_inverse_positive, poisson_pmf, ArrivalModel, FutureAlertEstimator, RollbackPolicy};
+use sag_sim::{Alert, AlertTypeId, DayLog, TimeOfDay};
+
+fn arbitrary_history() -> impl Strategy<Value = Vec<DayLog>> {
+    let alert = (0u32..86_400, 0u16..4).prop_map(|(secs, ty)| {
+        Alert::benign(0, TimeOfDay::from_seconds(secs), AlertTypeId(ty))
+    });
+    proptest::collection::vec(proptest::collection::vec(alert, 0..80), 1..12).prop_map(|days| {
+        days.into_iter()
+            .enumerate()
+            .map(|(d, mut alerts)| {
+                for a in &mut alerts {
+                    a.day = d as u32;
+                }
+                DayLog::new(d as u32, alerts)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The expected-remaining curve is nonincreasing in time, nonnegative, and
+    /// starts at the empirical daily mean.
+    #[test]
+    fn expected_remaining_is_a_decreasing_curve(history in arbitrary_history()) {
+        let model = ArrivalModel::fit(&history, 4);
+        for t in 0..4u16 {
+            let id = AlertTypeId(t);
+            let total = model.expected_daily_total(id);
+            prop_assert!(total >= 0.0);
+            let mut last = f64::INFINITY;
+            for hour in 0..24 {
+                let v = model.expected_remaining(id, TimeOfDay::from_hms(hour, 0, 0));
+                prop_assert!(v >= 0.0);
+                prop_assert!(v <= last + 1e-12);
+                prop_assert!(v <= total + 1e-12);
+                last = v;
+            }
+            prop_assert_eq!(model.expected_remaining(id, TimeOfDay::END_OF_DAY), 0.0);
+        }
+    }
+
+    /// Rollback never lowers an estimate and is the identity above threshold
+    /// or when disabled.
+    #[test]
+    fn rollback_only_props_estimates_up(raw in 0.0f64..50.0, prev in 0.0f64..50.0, threshold in 0.0f64..10.0) {
+        let policy = RollbackPolicy { enabled: true, threshold };
+        let adjusted = policy.apply(raw, Some(prev));
+        prop_assert!(adjusted >= raw - 1e-12);
+        if raw >= threshold {
+            prop_assert_eq!(adjusted, raw);
+        }
+        let disabled = RollbackPolicy::disabled();
+        prop_assert_eq!(disabled.apply(raw, Some(prev)), raw);
+    }
+
+    /// The estimator with rollback is bounded between the raw curve and the
+    /// whole-day total.
+    #[test]
+    fn estimator_stays_within_model_bounds(history in arbitrary_history(), anchor_hour in 0u32..24, query_hour in 0u32..24) {
+        let model = ArrivalModel::fit(&history, 4);
+        let mut estimator = FutureAlertEstimator::new(model.clone(), RollbackPolicy::paper_default());
+        estimator.observe_alert(TimeOfDay::from_hms(anchor_hour, 0, 0));
+        for t in 0..4u16 {
+            let id = AlertTypeId(t);
+            let now = TimeOfDay::from_hms(query_hour, 30, 0);
+            let estimate = estimator.estimate(id, now);
+            prop_assert!(estimate >= model.expected_remaining(id, now) - 1e-12);
+            prop_assert!(estimate <= model.expected_daily_total(id) + 1e-12);
+        }
+    }
+
+    /// Poisson pmf is a distribution and `E[1/max(d,1)]` is within (0, 1] and
+    /// decreasing in the rate.
+    #[test]
+    fn poisson_quantities_are_well_behaved(lambda in 0.0f64..300.0) {
+        let k_max = (lambda + 12.0 * lambda.sqrt() + 30.0) as u64;
+        let total: f64 = (0..=k_max).map(|k| poisson_pmf(lambda, k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+        let inv = expected_inverse_positive(lambda);
+        prop_assert!(inv > 0.0 && inv <= 1.0);
+        let inv_larger_rate = expected_inverse_positive(lambda + 5.0);
+        prop_assert!(inv_larger_rate <= inv + 1e-12);
+    }
+}

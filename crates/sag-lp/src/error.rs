@@ -1,0 +1,58 @@
+//! Error types for the LP solver.
+
+use std::fmt;
+
+/// Errors that can arise while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective can be improved without bound over the feasible region.
+    Unbounded,
+    /// The problem definition is malformed (e.g. a variable index out of
+    /// range, a NaN coefficient, or inconsistent bounds).
+    Malformed(String),
+    /// The solver exceeded its iteration budget. With Bland's rule this
+    /// indicates a numerically degenerate instance far outside the intended
+    /// problem size.
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert!(LpError::Malformed("bad var".into()).to_string().contains("bad var"));
+        assert!(LpError::IterationLimit { iterations: 42 }
+            .to_string()
+            .contains("42"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LpError::Infeasible, LpError::Infeasible);
+        assert_ne!(LpError::Infeasible, LpError::Unbounded);
+    }
+}

@@ -1,0 +1,392 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! The implementation is deliberately simple: a dense tableau, reduced costs
+//! recomputed from the basis on every iteration, and Bland's rule for both the
+//! entering and the leaving variable. This is O(m·n) work per pivot, which is
+//! perfectly adequate for the tiny programs produced by the SAG (≤ ~10 rows
+//! and columns) while guaranteeing termination on degenerate instances.
+
+use crate::problem::LpProblem;
+use crate::solution::{LpSolution, SolveStats};
+use crate::standard::StandardForm;
+use crate::{LpError, Result, EPS};
+
+/// Hard cap on pivots. The SAG LPs finish in a handful of pivots; anything
+/// approaching this bound indicates a malformed or pathological instance.
+const MAX_PIVOTS: usize = 100_000;
+
+/// Mutable simplex state: tableau rows, right-hand side and current basis.
+struct Tableau {
+    /// `rows × cols` coefficient matrix (artificials included).
+    a: Vec<Vec<f64>>,
+    /// Right-hand side per row (kept nonnegative by pivoting).
+    b: Vec<f64>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Total number of columns, including artificials.
+    cols: usize,
+    /// Pivot counter across phases.
+    pivots: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.a[row][col];
+        debug_assert!(pivot_val.abs() > EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / pivot_val;
+        for j in 0..self.cols {
+            self.a[row][j] *= inv;
+        }
+        self.b[row] *= inv;
+        // Clean tiny noise on the pivot column of the pivot row.
+        self.a[row][col] = 1.0;
+
+        for i in 0..self.a.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col];
+            if factor.abs() <= EPS {
+                self.a[i][col] = 0.0;
+                continue;
+            }
+            for j in 0..self.cols {
+                self.a[i][j] -= factor * self.a[row][j];
+            }
+            self.b[i] -= factor * self.b[row];
+            self.a[i][col] = 0.0;
+            if self.b[i].abs() < EPS {
+                self.b[i] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Reduced cost of column `j` under cost vector `costs`.
+    fn reduced_cost(&self, costs: &[f64], j: usize) -> f64 {
+        let mut rc = costs[j];
+        for (i, &bi) in self.basis.iter().enumerate() {
+            let cb = costs[bi];
+            if cb != 0.0 {
+                rc -= cb * self.a[i][j];
+            }
+        }
+        rc
+    }
+
+    /// Objective value of the current basic solution under `costs`.
+    fn objective(&self, costs: &[f64]) -> f64 {
+        self.basis.iter().enumerate().map(|(i, &bi)| costs[bi] * self.b[i]).sum()
+    }
+
+    /// Run primal simplex iterations under `costs`, restricted to columns for
+    /// which `allowed(j)` is true. Returns `Ok(())` at optimality.
+    fn optimize(&mut self, costs: &[f64], allowed: impl Fn(usize) -> bool) -> Result<()> {
+        loop {
+            if self.pivots > MAX_PIVOTS {
+                return Err(LpError::IterationLimit { iterations: self.pivots });
+            }
+            // Bland's rule: entering column = smallest index with negative
+            // reduced cost.
+            let entering = (0..self.cols)
+                .filter(|&j| allowed(j))
+                .find(|&j| self.reduced_cost(costs, j) < -EPS);
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on the smallest basic column index.
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.a.len() {
+                let aij = self.a[i][col];
+                if aij > EPS {
+                    let ratio = self.b[i] / aij;
+                    let better = match best {
+                        None => true,
+                        Some((bi, br)) => {
+                            ratio < br - EPS
+                                || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        }
+                    };
+                    if better {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solve a validated problem. Called from [`LpProblem::solve`].
+pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution> {
+    let sf = StandardForm::from_problem(problem);
+    let m = sf.num_rows();
+    let n = sf.num_cols();
+
+    // Columns: [structural + slack | artificials]. One artificial per row;
+    // the initial basis is exactly the artificial columns.
+    let total = n + m;
+    let mut a = Vec::with_capacity(m);
+    for (i, row) in sf.a.iter().enumerate() {
+        let mut full = vec![0.0; total];
+        full[..n].copy_from_slice(row);
+        full[n + i] = 1.0;
+        a.push(full);
+    }
+    let basis: Vec<usize> = (n..n + m).collect();
+    let mut t = Tableau { a, b: sf.b.clone(), basis, cols: total, pivots: 0 };
+
+    // ---------------- Phase 1: minimize the sum of artificials ----------------
+    let mut phase1_costs = vec![0.0; total];
+    for cost in phase1_costs.iter_mut().skip(n) {
+        *cost = 1.0;
+    }
+    t.optimize(&phase1_costs, |_| true)?;
+    let phase1_obj = t.objective(&phase1_costs);
+    if phase1_obj > 1e-7 {
+        return Err(LpError::Infeasible);
+    }
+    let phase1_pivots = t.pivots;
+
+    // Drive any artificial still in the basis out of it (degenerate rows).
+    for i in 0..m {
+        if t.basis[i] >= n {
+            if let Some(col) = (0..n).find(|&j| t.a[i][j].abs() > EPS) {
+                t.pivot(i, col);
+            }
+            // If the whole row is zero the constraint was redundant; the
+            // artificial stays basic at value zero, which is harmless as long
+            // as it is never allowed to re-enter with a nonzero value. Since
+            // its row is all zeros it cannot change any other variable.
+        }
+    }
+
+    // ---------------- Phase 2: original objective ----------------
+    let mut phase2_costs = sf.c.clone();
+    phase2_costs.resize(total, 0.0);
+    // Forbid artificial columns from (re-)entering.
+    t.optimize(&phase2_costs, |j| j < n)?;
+
+    // Extract the solution over standard-form columns.
+    let mut y = vec![0.0; n];
+    for (i, &bi) in t.basis.iter().enumerate() {
+        if bi < n {
+            y[bi] = t.b[i];
+        }
+    }
+    let min_obj: f64 = sf.c.iter().zip(&y).map(|(c, v)| c * v).sum();
+    let values = sf.recover(&y);
+    let objective = sf.original_objective(min_obj);
+
+    let stats = SolveStats { pivots: t.pivots, phase1_pivots, rows: m, cols: n };
+    Ok(LpSolution::new(objective, values, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, LpProblem, Objective, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig's example)
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 3.0);
+        lp.set_objective(y, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", 2.0, f64::INFINITY);
+        let y = lp.add_var("y", 3.0, f64::INFINITY);
+        lp.set_objective(x, 2.0);
+        lp.set_objective(y, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 2.0 * 7.0 + 3.0 * 3.0);
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + 2y == 4, x <= 3
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, 3.0);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 1.0);
+        lp.set_objective(y, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 3.5);
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 0.5);
+    }
+
+    #[test]
+    fn infeasible_is_detected() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, 1.0);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_constraints_are_infeasible() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_is_detected() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, -1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn bounded_variables_without_constraints() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", -2.0, 5.0);
+        let y = lp.add_var("y", 1.0, 3.0);
+        lp.set_objective(x, 2.0);
+        lp.set_objective(y, -1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(x), 5.0);
+        assert_close(sol.value(y), 1.0);
+        assert_close(sol.objective(), 9.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y, x in [-10, 10], y in [-5, 5], x + y >= -3
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", -10.0, 10.0);
+        let y = lp.add_var("y", -5.0, 5.0);
+        lp.set_objective(x, 1.0);
+        lp.set_objective(y, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, -3.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), -3.0);
+        assert!(lp.is_feasible(sol.values(), 1e-7));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate instance (multiple constraints active at the
+        // optimum); Bland's rule must not cycle.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x1 = lp.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = lp.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = lp.add_var("x3", 0.0, f64::INFINITY);
+        lp.set_objective(x1, 10.0);
+        lp.set_objective(x2, -57.0);
+        lp.set_objective(x3, -9.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        // Known optimum of the Beale-style cycling example (restricted): 1.
+        assert!(sol.objective() >= 1.0 - 1e-7);
+        assert!(lp.is_feasible(sol.values(), 1e-7));
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y == 2 listed twice; solution must still be found.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 2.0);
+        assert_close(sol.value(x), 2.0);
+    }
+
+    #[test]
+    fn zero_rhs_and_zero_objective() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 0.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), 0.0);
+        assert_close(sol.value(x), 0.0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, 4.0);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 2.0);
+        let sol = lp.solve().unwrap();
+        let stats = sol.stats();
+        assert!(stats.pivots >= 1);
+        assert!(stats.rows >= 1);
+        assert!(stats.cols >= 1);
+        assert!(stats.phase1_pivots <= stats.pivots);
+    }
+
+    #[test]
+    fn lp3_shaped_signaling_program() {
+        // The OSSP program LP (3) from the paper with Table 2 type 1 payoffs
+        // and theta = 0.3, including the attacker-participation constraint
+        // p0*Ua,c + q0*Ua,u >= 0 that the Theorem 3 proof treats as implicit
+        // ("if not the case, the attacker will not attack initially"):
+        //   max 100 p0 - 400 q0
+        //   s.t. -2000 p1 + 400 q1 <= 0
+        //        -2000 p0 + 400 q0 >= 0
+        //        p1 + p0 = 0.3
+        //        q1 + q0 = 0.7
+        //        all in [0, 1]
+        let (udc, udu, uac, uau) = (100.0, -400.0, -2000.0, 400.0);
+        let theta = 0.3;
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let p1 = lp.add_prob_var("p1");
+        let q1 = lp.add_prob_var("q1");
+        let p0 = lp.add_prob_var("p0");
+        let q0 = lp.add_prob_var("q0");
+        lp.set_objective(p0, udc);
+        lp.set_objective(q0, udu);
+        lp.add_constraint(&[(p1, uac), (q1, uau)], Relation::Le, 0.0);
+        lp.add_constraint(&[(p0, uac), (q0, uau)], Relation::Ge, 0.0);
+        lp.add_constraint(&[(p1, 1.0), (p0, 1.0)], Relation::Eq, theta);
+        lp.add_constraint(&[(q1, 1.0), (q0, 1.0)], Relation::Eq, 1.0 - theta);
+        let sol = lp.solve().unwrap();
+        // Theorem 3 closed form: beta = 0.3*(-2000) + 0.7*400 = -320 <= 0,
+        // so p0 = q0 = 0 and the auditor gets 0 (full deterrence).
+        assert_close(sol.objective(), 0.0);
+        assert_close(sol.value(p0), 0.0);
+        assert_close(sol.value(q0), 0.0);
+        assert_close(sol.value(p1), theta);
+        assert_close(sol.value(q1), 1.0 - theta);
+    }
+}

@@ -1,0 +1,233 @@
+//! Conversion of an [`LpProblem`] into equality standard form.
+//!
+//! The simplex routine in [`crate::simplex`] works on the canonical form
+//!
+//! ```text
+//! minimize   c' y
+//! subject to A y = b,   y >= 0,   b >= 0
+//! ```
+//!
+//! This module performs the mechanical rewriting from the user-facing model:
+//!
+//! 1. every original variable `x_j ∈ [lo_j, hi_j]` is shifted to
+//!    `y_j = x_j − lo_j ≥ 0`; a finite upper bound becomes an extra row
+//!    `y_j ≤ hi_j − lo_j`;
+//! 2. a maximization objective is negated (and the flip undone when reporting
+//!    the objective value);
+//! 3. every `≤` row gains a slack column, every `≥` row gains a surplus
+//!    column, and rows are scaled so that the right-hand side is nonnegative.
+
+use crate::problem::{LpProblem, Objective, Relation};
+
+/// A linear program rewritten as `min c·y, A y = b, y ≥ 0, b ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Dense row-major constraint matrix, `rows × cols`.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand side, all entries nonnegative.
+    pub b: Vec<f64>,
+    /// Minimization cost vector over the `cols` columns.
+    pub c: Vec<f64>,
+    /// Number of columns that correspond to (shifted) original variables.
+    /// They occupy the first `num_structural` columns in order.
+    pub num_structural: usize,
+    /// Lower bounds of the original variables (the shift applied per column).
+    pub shifts: Vec<f64>,
+    /// Constant added to the (minimization) objective by the shift.
+    pub objective_shift: f64,
+    /// Whether the original problem was a maximization (so the reported
+    /// objective must be negated back).
+    pub maximize: bool,
+}
+
+impl StandardForm {
+    /// Number of equality rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Number of columns (structural + slack/surplus).
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Recover a point over the original variables from a point over the
+    /// standard-form columns.
+    #[must_use]
+    pub fn recover(&self, y: &[f64]) -> Vec<f64> {
+        (0..self.num_structural).map(|j| y[j] + self.shifts[j]).collect()
+    }
+
+    /// Objective value of the *original* problem corresponding to the
+    /// standard-form objective value `min_obj`.
+    #[must_use]
+    pub fn original_objective(&self, min_obj: f64) -> f64 {
+        let shifted = min_obj + self.objective_shift;
+        if self.maximize {
+            -shifted
+        } else {
+            shifted
+        }
+    }
+
+    /// Build the standard form of a (validated) problem.
+    #[must_use]
+    pub fn from_problem(problem: &LpProblem) -> Self {
+        let n = problem.variables.len();
+        let maximize = problem.objective == Objective::Maximize;
+
+        // Cost over structural columns (after shift, minimization sense).
+        let sign = if maximize { -1.0 } else { 1.0 };
+        let mut objective_shift = 0.0;
+        let mut c_structural = Vec::with_capacity(n);
+        let mut shifts = Vec::with_capacity(n);
+        for v in &problem.variables {
+            c_structural.push(sign * v.objective);
+            shifts.push(v.lower);
+            objective_shift += sign * v.objective * v.lower;
+        }
+
+        // Collect rows as (dense coeffs over structural columns, relation, rhs)
+        // with the variable shift folded into the rhs.
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+        for cons in &problem.constraints {
+            let mut coeffs = vec![0.0; n];
+            let mut rhs = cons.rhs;
+            for &(var, coeff) in &cons.terms {
+                coeffs[var.index()] += coeff;
+                rhs -= coeff * problem.variables[var.index()].lower;
+            }
+            rows.push((coeffs, cons.relation, rhs));
+        }
+        // Finite upper bounds become `y_j <= hi - lo` rows.
+        for (j, v) in problem.variables.iter().enumerate() {
+            if v.upper.is_finite() {
+                let mut coeffs = vec![0.0; n];
+                coeffs[j] = 1.0;
+                rows.push((coeffs, Relation::Le, v.upper - v.lower));
+            }
+        }
+
+        // Count slack/surplus columns needed.
+        let num_slack = rows
+            .iter()
+            .filter(|(_, rel, _)| matches!(rel, Relation::Le | Relation::Ge))
+            .count();
+        let cols = n + num_slack;
+
+        let mut a = Vec::with_capacity(rows.len());
+        let mut b = Vec::with_capacity(rows.len());
+        let mut c = c_structural;
+        c.resize(cols, 0.0);
+
+        let mut next_slack = n;
+        for (coeffs, relation, rhs) in rows {
+            let mut row = vec![0.0; cols];
+            row[..n].copy_from_slice(&coeffs);
+            match relation {
+                Relation::Le => {
+                    row[next_slack] = 1.0;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                }
+                Relation::Eq => {}
+            }
+            let mut rhs = rhs;
+            if rhs < 0.0 {
+                for entry in &mut row {
+                    *entry = -*entry;
+                }
+                rhs = -rhs;
+            }
+            a.push(row);
+            b.push(rhs);
+        }
+
+        StandardForm { a, b, c, num_structural: n, shifts, objective_shift, maximize, }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Objective, Relation};
+
+    fn toy_problem() -> LpProblem {
+        // maximize 3x + 2y, x in [1, 4], y in [0, inf), x + y >= 2
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 1.0, 4.0);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 3.0);
+        lp.set_objective(y, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        lp
+    }
+
+    #[test]
+    fn shifts_and_dimensions() {
+        let lp = toy_problem();
+        let sf = StandardForm::from_problem(&lp);
+        // rows: the >= constraint plus the finite upper bound of x
+        assert_eq!(sf.num_rows(), 2);
+        // cols: 2 structural + 1 surplus + 1 slack (for the bound row)
+        assert_eq!(sf.num_cols(), 4);
+        assert_eq!(sf.num_structural, 2);
+        assert_eq!(sf.shifts, vec![1.0, 0.0]);
+        assert!(sf.maximize);
+    }
+
+    #[test]
+    fn rhs_is_nonnegative_and_shift_folded_in() {
+        let lp = toy_problem();
+        let sf = StandardForm::from_problem(&lp);
+        for &rhs in &sf.b {
+            assert!(rhs >= 0.0);
+        }
+        // x + y >= 2 with x = 1 + y0 becomes y0 + y1 >= 1.
+        assert!((sf.b[0] - 1.0).abs() < 1e-12);
+        // bound row: y0 <= 3
+        assert!((sf.b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recover_and_objective_round_trip() {
+        let lp = toy_problem();
+        let sf = StandardForm::from_problem(&lp);
+        // standard-form point y0 = 3 (x = 4), y1 = 0 (y = 0)
+        let y = vec![3.0, 0.0, 0.0, 0.0];
+        let x = sf.recover(&y);
+        assert_eq!(x, vec![4.0, 0.0]);
+        // min objective at that point is -(3*3) = -9 over shifted vars;
+        // original objective must be 3*4 + 2*0 = 12.
+        let min_obj: f64 = sf.c.iter().zip(&y).map(|(c, v)| c * v).sum();
+        assert!((sf.original_objective(min_obj) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_flipped() {
+        // x <= -1 with x in [-5, 0] shifts to y - 5 <= -1, i.e. y <= 4 — stays
+        // positive. Use an equality with negative rhs instead: x == -2.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", -5.0, 0.0);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Eq, -2.0);
+        let sf = StandardForm::from_problem(&lp);
+        assert!(sf.b.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn minimization_objective_is_not_negated() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", 0.0, 10.0);
+        lp.set_objective(x, 5.0);
+        let sf = StandardForm::from_problem(&lp);
+        assert!(!sf.maximize);
+        assert!((sf.c[0] - 5.0).abs() < 1e-12);
+        assert!((sf.original_objective(15.0) - 15.0).abs() < 1e-12);
+    }
+}

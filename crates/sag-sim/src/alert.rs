@@ -1,0 +1,420 @@
+//! Alert types, the alert catalogue of Table 1 and individual alert events.
+
+use crate::person::PersonId;
+use crate::time::TimeOfDay;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four base suspicious-access predicates used by the rule engine.
+///
+/// The paper's alert types are combinations of these (Table 1). See
+/// [`RuleSet`] for the combination representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaseRule {
+    /// Employee and patient share the same last name.
+    SameLastName,
+    /// Patient is also an employee working in the same department.
+    DepartmentCoworker,
+    /// Employee and patient reside within 0.5 miles of each other (at
+    /// distinct addresses).
+    Neighbor,
+    /// Employee and patient share a residential address.
+    SameAddress,
+}
+
+impl BaseRule {
+    /// All base rules in a fixed order (used for bitmask encoding).
+    pub const ALL: [BaseRule; 4] = [
+        BaseRule::SameLastName,
+        BaseRule::DepartmentCoworker,
+        BaseRule::Neighbor,
+        BaseRule::SameAddress,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            BaseRule::SameLastName => 1 << 0,
+            BaseRule::DepartmentCoworker => 1 << 1,
+            BaseRule::Neighbor => 1 << 2,
+            BaseRule::SameAddress => 1 << 3,
+        }
+    }
+}
+
+/// A set of triggered base rules, stored as a bitmask.
+///
+/// An access that triggers several base rules is regarded as a *new* combined
+/// alert type (paper, Section 5), so the rule set — not the individual rules —
+/// is what maps to an [`AlertTypeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RuleSet(u8);
+
+impl RuleSet {
+    /// The empty rule set (no suspicious predicate triggered).
+    pub const EMPTY: RuleSet = RuleSet(0);
+
+    /// Build a rule set from a list of base rules.
+    #[must_use]
+    pub fn from_rules(rules: &[BaseRule]) -> Self {
+        let mut mask = 0;
+        for r in rules {
+            mask |= r.bit();
+        }
+        RuleSet(mask)
+    }
+
+    /// Add a base rule to the set.
+    pub fn insert(&mut self, rule: BaseRule) {
+        self.0 |= rule.bit();
+    }
+
+    /// Whether the set contains a given base rule.
+    #[must_use]
+    pub fn contains(self, rule: BaseRule) -> bool {
+        self.0 & rule.bit() != 0
+    }
+
+    /// Whether no rule was triggered.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of triggered base rules.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the triggered base rules in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = BaseRule> {
+        BaseRule::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(none)");
+        }
+        let mut first = true;
+        for rule in self.iter() {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            let label = match rule {
+                BaseRule::SameLastName => "Last Name",
+                BaseRule::DepartmentCoworker => "Department Co-worker",
+                BaseRule::Neighbor => "Neighbor (<= 0.5 miles)",
+                BaseRule::SameAddress => "Same Address",
+            };
+            write!(f, "{label}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Identifier of an alert *type* — an index into an [`AlertCatalog`].
+///
+/// Alert types partition alerts into classes that are equivalent for auditing
+/// purposes: same audit cost, same payoff structure, same forecast model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct AlertTypeId(pub u16);
+
+impl AlertTypeId {
+    /// Zero-based index of the type within its catalogue.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AlertTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Displayed 1-based to match the paper's Table 1 numbering.
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// Static description of an alert type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertTypeInfo {
+    /// Identifier (index in the catalogue).
+    pub id: AlertTypeId,
+    /// Human-readable description (Table 1 wording).
+    pub description: String,
+    /// The combination of base rules this type corresponds to.
+    pub rules: RuleSet,
+    /// Mean number of alerts of this type per day (Table 1).
+    pub daily_mean: f64,
+    /// Standard deviation of the daily count (Table 1).
+    pub daily_std: f64,
+}
+
+/// The catalogue of alert types in play for a deployment.
+///
+/// [`AlertCatalog::paper_table1`] reproduces the seven types of the paper's
+/// Table 1 together with their daily statistics; custom catalogues can be
+/// assembled for other scenarios (e.g. the single-type experiment of
+/// Figure 2 uses [`AlertCatalog::single_type`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertCatalog {
+    types: Vec<AlertTypeInfo>,
+}
+
+impl AlertCatalog {
+    /// Build a catalogue from explicit type descriptions.
+    #[must_use]
+    pub fn new(types: Vec<AlertTypeInfo>) -> Self {
+        AlertCatalog { types }
+    }
+
+    /// The seven alert types of the paper's Table 1, with their daily mean and
+    /// standard deviation.
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        use BaseRule::*;
+        let spec: [(&str, &[BaseRule], f64, f64); 7] = [
+            ("Same Last Name", &[SameLastName], 196.57, 17.30),
+            ("Department Co-worker", &[DepartmentCoworker], 29.02, 5.56),
+            ("Neighbor (<= 0.5 miles)", &[Neighbor], 140.46, 23.23),
+            ("Same Address", &[SameAddress], 10.84, 3.73),
+            ("Last Name; Neighbor (<= 0.5 miles)", &[SameLastName, Neighbor], 25.43, 4.51),
+            ("Last Name; Same Address", &[SameLastName, SameAddress], 15.14, 4.10),
+            (
+                "Last Name; Same Address; Neighbor (<= 0.5 miles)",
+                &[SameLastName, SameAddress, Neighbor],
+                43.27,
+                6.45,
+            ),
+        ];
+        let types = spec
+            .iter()
+            .enumerate()
+            .map(|(i, (desc, rules, mean, std))| AlertTypeInfo {
+                id: AlertTypeId(i as u16),
+                description: (*desc).to_string(),
+                rules: RuleSet::from_rules(rules),
+                daily_mean: *mean,
+                daily_std: *std,
+            })
+            .collect();
+        AlertCatalog { types }
+    }
+
+    /// A single-type catalogue containing only *Same Last Name*, as used by
+    /// the paper's Figure 2 experiment.
+    #[must_use]
+    pub fn single_type() -> Self {
+        let full = Self::paper_table1();
+        AlertCatalog { types: vec![AlertTypeInfo { id: AlertTypeId(0), ..full.types[0].clone() }] }
+    }
+
+    /// Number of alert types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the catalogue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// All type descriptions, ordered by id.
+    #[must_use]
+    pub fn types(&self) -> &[AlertTypeInfo] {
+        &self.types
+    }
+
+    /// Look up a type by id.
+    #[must_use]
+    pub fn get(&self, id: AlertTypeId) -> Option<&AlertTypeInfo> {
+        self.types.get(id.index())
+    }
+
+    /// Iterate over all type ids.
+    pub fn ids(&self) -> impl Iterator<Item = AlertTypeId> + '_ {
+        (0..self.types.len()).map(|i| AlertTypeId(i as u16))
+    }
+
+    /// Daily means per type, ordered by id.
+    #[must_use]
+    pub fn daily_means(&self) -> Vec<f64> {
+        self.types.iter().map(|t| t.daily_mean).collect()
+    }
+
+    /// Daily standard deviations per type, ordered by id.
+    #[must_use]
+    pub fn daily_stds(&self) -> Vec<f64> {
+        self.types.iter().map(|t| t.daily_std).collect()
+    }
+
+    /// Map a set of triggered base rules to an alert type of this catalogue.
+    ///
+    /// The match is exact when possible. A triggered combination that is not
+    /// listed (rare in practice: the paper's Table 1 covers the combinations
+    /// observed in the real log) falls back to the listed type that shares the
+    /// largest number of rules with the trigger, breaking ties towards the
+    /// larger (more specific) listed combination. Returns `None` only when no
+    /// rule at all was triggered or the catalogue shares no rule with the
+    /// trigger.
+    #[must_use]
+    pub fn classify(&self, triggered: RuleSet) -> Option<AlertTypeId> {
+        if triggered.is_empty() {
+            return None;
+        }
+        // Exact match first.
+        if let Some(t) = self.types.iter().find(|t| t.rules == triggered) {
+            return Some(t.id);
+        }
+        // Fallback: maximise overlap, then specificity.
+        let mut best: Option<(usize, usize, AlertTypeId)> = None;
+        for t in &self.types {
+            let overlap = t.rules.iter().filter(|r| triggered.contains(*r)).count();
+            if overlap == 0 {
+                continue;
+            }
+            let candidate = (overlap, t.rules.len(), t.id);
+            if best.map_or(true, |b| (candidate.0, candidate.1) > (b.0, b.1)) {
+                best = Some(candidate);
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+}
+
+/// A single triggered alert: the unit the audit game is played over.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Day index (0-based) within the dataset.
+    pub day: u32,
+    /// Time of day the alert was triggered.
+    pub time: TimeOfDay,
+    /// Alert type.
+    pub type_id: AlertTypeId,
+    /// Employee whose access triggered the alert, when generated from the
+    /// full access-log pipeline (absent for calibrated synthetic streams).
+    pub employee: Option<PersonId>,
+    /// Patient whose record was accessed, when known.
+    pub patient: Option<PersonId>,
+    /// Ground-truth label used by attack simulations: `false` for the routine
+    /// false-positive alerts that dominate real logs, `true` when the alert
+    /// was injected by an attacker model.
+    pub is_attack: bool,
+}
+
+impl Alert {
+    /// Convenience constructor for a benign (false-positive) alert.
+    #[must_use]
+    pub fn benign(day: u32, time: TimeOfDay, type_id: AlertTypeId) -> Self {
+        Alert { day, time, type_id, employee: None, patient: None, is_attack: false }
+    }
+
+    /// Convenience constructor for an attack alert.
+    #[must_use]
+    pub fn attack(day: u32, time: TimeOfDay, type_id: AlertTypeId) -> Self {
+        Alert { day, time, type_id, employee: None, patient: None, is_attack: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_set_insert_contains_len() {
+        let mut set = RuleSet::EMPTY;
+        assert!(set.is_empty());
+        set.insert(BaseRule::SameLastName);
+        set.insert(BaseRule::Neighbor);
+        assert!(set.contains(BaseRule::SameLastName));
+        assert!(set.contains(BaseRule::Neighbor));
+        assert!(!set.contains(BaseRule::SameAddress));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn rule_set_from_rules_is_order_insensitive() {
+        let a = RuleSet::from_rules(&[BaseRule::SameLastName, BaseRule::SameAddress]);
+        let b = RuleSet::from_rules(&[BaseRule::SameAddress, BaseRule::SameLastName]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rule_set_display_lists_rules() {
+        let set = RuleSet::from_rules(&[BaseRule::SameLastName, BaseRule::Neighbor]);
+        let text = set.to_string();
+        assert!(text.contains("Last Name"));
+        assert!(text.contains("Neighbor"));
+        assert_eq!(RuleSet::EMPTY.to_string(), "(none)");
+    }
+
+    #[test]
+    fn paper_catalog_matches_table1() {
+        let cat = AlertCatalog::paper_table1();
+        assert_eq!(cat.len(), 7);
+        let means = cat.daily_means();
+        assert!((means[0] - 196.57).abs() < 1e-9);
+        assert!((means[6] - 43.27).abs() < 1e-9);
+        let stds = cat.daily_stds();
+        assert!((stds[2] - 23.23).abs() < 1e-9);
+        assert_eq!(cat.get(AlertTypeId(1)).unwrap().description, "Department Co-worker");
+        assert_eq!(cat.ids().count(), 7);
+    }
+
+    #[test]
+    fn single_type_catalog_is_same_last_name() {
+        let cat = AlertCatalog::single_type();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.types()[0].description, "Same Last Name");
+        assert!((cat.types()[0].daily_mean - 196.57).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classify_exact_combinations() {
+        let cat = AlertCatalog::paper_table1();
+        let t1 = cat.classify(RuleSet::from_rules(&[BaseRule::SameLastName]));
+        assert_eq!(t1, Some(AlertTypeId(0)));
+        let t7 = cat.classify(RuleSet::from_rules(&[
+            BaseRule::SameLastName,
+            BaseRule::SameAddress,
+            BaseRule::Neighbor,
+        ]));
+        assert_eq!(t7, Some(AlertTypeId(6)));
+        assert_eq!(cat.classify(RuleSet::EMPTY), None);
+    }
+
+    #[test]
+    fn classify_falls_back_to_best_overlap() {
+        let cat = AlertCatalog::paper_table1();
+        // Co-worker + Neighbor is not listed in Table 1; the fallback must
+        // still pick a type that shares at least one rule.
+        let combo = RuleSet::from_rules(&[BaseRule::DepartmentCoworker, BaseRule::Neighbor]);
+        let id = cat.classify(combo).expect("fallback classification");
+        let info = cat.get(id).unwrap();
+        assert!(info.rules.iter().any(|r| combo.contains(r)));
+    }
+
+    #[test]
+    fn alert_constructors_set_attack_flag() {
+        let t = TimeOfDay::from_hms(9, 30, 0);
+        let benign = Alert::benign(3, t, AlertTypeId(2));
+        let attack = Alert::attack(3, t, AlertTypeId(2));
+        assert!(!benign.is_attack);
+        assert!(attack.is_attack);
+        assert_eq!(benign.day, 3);
+        assert_eq!(attack.type_id, AlertTypeId(2));
+    }
+
+    #[test]
+    fn alert_type_display_is_one_based() {
+        assert_eq!(AlertTypeId(0).to_string(), "T1");
+        assert_eq!(AlertTypeId(6).to_string(), "T7");
+    }
+}

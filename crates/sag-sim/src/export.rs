@@ -1,0 +1,143 @@
+//! Export of alert and access logs to CSV and JSON-lines.
+//!
+//! These formats make it easy to inspect the synthetic data with external
+//! tooling and to hand the reproduced experiment series to plotting scripts.
+
+use crate::access::AccessEvent;
+use crate::alert::Alert;
+use crate::log::DayLog;
+use std::io::{self, Write};
+
+/// Write alerts as CSV with a header: `day,time,seconds,type,is_attack`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_alerts_csv<W: Write>(mut out: W, alerts: &[Alert]) -> io::Result<()> {
+    writeln!(out, "day,time,seconds,type,is_attack")?;
+    for a in alerts {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            a.day,
+            a.time,
+            a.time.seconds(),
+            a.type_id.index() + 1,
+            a.is_attack
+        )?;
+    }
+    Ok(())
+}
+
+/// Write a multi-day collection of [`DayLog`]s as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_days_csv<W: Write>(mut out: W, days: &[DayLog]) -> io::Result<()> {
+    writeln!(out, "day,time,seconds,type,is_attack")?;
+    for day in days {
+        for a in day.alerts() {
+            writeln!(
+                out,
+                "{},{},{},{},{}",
+                a.day,
+                a.time,
+                a.time.seconds(),
+                a.type_id.index() + 1,
+                a.is_attack
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Write alerts as JSON-lines (one JSON object per alert).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn write_alerts_jsonl<W: Write>(mut out: W, alerts: &[Alert]) -> io::Result<()> {
+    for a in alerts {
+        let line = serde_json::to_string(a).map_err(io::Error::other)?;
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Write access events as CSV with a header: `day,time,employee,patient`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_accesses_csv<W: Write>(mut out: W, events: &[AccessEvent]) -> io::Result<()> {
+    writeln!(out, "day,time,employee,patient")?;
+    for e in events {
+        writeln!(out, "{},{},{},{}", e.day, e.time, e.employee.0, e.patient.0)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertTypeId;
+    use crate::person::PersonId;
+    use crate::time::TimeOfDay;
+
+    fn sample_alerts() -> Vec<Alert> {
+        vec![
+            Alert::benign(0, TimeOfDay::from_hms(9, 30, 0), AlertTypeId(0)),
+            Alert::attack(0, TimeOfDay::from_hms(14, 0, 0), AlertTypeId(3)),
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_alert() {
+        let mut buf = Vec::new();
+        write_alerts_csv(&mut buf, &sample_alerts()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "day,time,seconds,type,is_attack");
+        assert!(lines[1].starts_with("0,09:30:00,34200,1,false"));
+        assert!(lines[2].contains(",4,true"));
+    }
+
+    #[test]
+    fn days_csv_concatenates_days() {
+        let days = vec![
+            DayLog::new(0, sample_alerts()),
+            DayLog::new(1, vec![Alert::benign(1, TimeOfDay::from_hms(8, 0, 0), AlertTypeId(1))]),
+        ];
+        let mut buf = Vec::new();
+        write_days_csv(&mut buf, &days).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde() {
+        let alerts = sample_alerts();
+        let mut buf = Vec::new();
+        write_alerts_jsonl(&mut buf, &alerts).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: Vec<Alert> =
+            text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(parsed, alerts);
+    }
+
+    #[test]
+    fn access_csv_contains_person_ids() {
+        let events = vec![AccessEvent {
+            day: 2,
+            time: TimeOfDay::from_hms(10, 0, 0),
+            employee: PersonId(5),
+            patient: PersonId(77),
+        }];
+        let mut buf = Vec::new();
+        write_accesses_csv(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2,10:00:00,5,77"));
+    }
+}

@@ -1,0 +1,191 @@
+//! In-memory alert log store.
+//!
+//! A [`DayLog`] is the chronological list of alerts triggered during one audit
+//! cycle; an [`AlertLog`] is a multi-day collection that can be split into the
+//! historical and testing segments used by the paper's evaluation (41 days of
+//! history, 1 testing day, repeated over 15 groups).
+
+use crate::alert::{Alert, AlertTypeId};
+use crate::time::TimeOfDay;
+use serde::{Deserialize, Serialize};
+
+/// Alerts triggered during one day, in chronological order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayLog {
+    day: u32,
+    alerts: Vec<Alert>,
+}
+
+impl DayLog {
+    /// Build a day log; alerts are sorted by time if not already.
+    #[must_use]
+    pub fn new(day: u32, mut alerts: Vec<Alert>) -> Self {
+        alerts.sort_by_key(|a| a.time);
+        DayLog { day, alerts }
+    }
+
+    /// Day index.
+    #[must_use]
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Alerts in chronological order.
+    #[must_use]
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Number of alerts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// Whether the day had no alerts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.alerts.is_empty()
+    }
+
+    /// Number of alerts of a given type.
+    #[must_use]
+    pub fn count_of_type(&self, type_id: AlertTypeId) -> usize {
+        self.alerts.iter().filter(|a| a.type_id == type_id).count()
+    }
+
+    /// Number of alerts of a given type strictly after `time`.
+    #[must_use]
+    pub fn count_of_type_after(&self, type_id: AlertTypeId, time: TimeOfDay) -> usize {
+        self.alerts.iter().filter(|a| a.type_id == type_id && a.time > time).count()
+    }
+
+    /// Insert an additional alert (e.g. an injected attack), keeping order.
+    pub fn insert(&mut self, alert: Alert) {
+        let pos = self.alerts.partition_point(|a| a.time <= alert.time);
+        self.alerts.insert(pos, alert);
+    }
+}
+
+/// A multi-day alert log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlertLog {
+    days: Vec<DayLog>,
+}
+
+impl AlertLog {
+    /// Build a log from day logs (kept in the given order).
+    #[must_use]
+    pub fn new(days: Vec<DayLog>) -> Self {
+        AlertLog { days }
+    }
+
+    /// Day logs in order.
+    #[must_use]
+    pub fn days(&self) -> &[DayLog] {
+        &self.days
+    }
+
+    /// Number of days.
+    #[must_use]
+    pub fn num_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the log holds no days.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Total number of alerts across all days.
+    #[must_use]
+    pub fn total_alerts(&self) -> usize {
+        self.days.iter().map(DayLog::len).sum()
+    }
+
+    /// Append a day.
+    pub fn push(&mut self, day: DayLog) {
+        self.days.push(day);
+    }
+
+    /// The paper's rolling evaluation groups: each group pairs `history_len`
+    /// consecutive days of history with the single following day as the test
+    /// day. A log of 56 days with `history_len = 41` yields 15 groups.
+    #[must_use]
+    pub fn rolling_groups(&self, history_len: usize) -> Vec<(&[DayLog], &DayLog)> {
+        if self.days.len() <= history_len {
+            return Vec::new();
+        }
+        (0..self.days.len() - history_len)
+            .map(|start| {
+                let history = &self.days[start..start + history_len];
+                let test = &self.days[start + history_len];
+                (history, test)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertTypeId;
+
+    fn alert(day: u32, h: u32, ty: u16) -> Alert {
+        Alert::benign(day, TimeOfDay::from_hms(h, 0, 0), AlertTypeId(ty))
+    }
+
+    #[test]
+    fn day_log_sorts_alerts_on_construction() {
+        let log = DayLog::new(0, vec![alert(0, 15, 0), alert(0, 9, 1), alert(0, 12, 0)]);
+        let hours: Vec<u32> = log.alerts().iter().map(|a| a.time.hour()).collect();
+        assert_eq!(hours, vec![9, 12, 15]);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn count_queries() {
+        let log = DayLog::new(0, vec![alert(0, 9, 0), alert(0, 12, 0), alert(0, 15, 1)]);
+        assert_eq!(log.count_of_type(AlertTypeId(0)), 2);
+        assert_eq!(log.count_of_type(AlertTypeId(1)), 1);
+        assert_eq!(log.count_of_type(AlertTypeId(2)), 0);
+        assert_eq!(log.count_of_type_after(AlertTypeId(0), TimeOfDay::from_hms(10, 0, 0)), 1);
+        assert_eq!(log.count_of_type_after(AlertTypeId(0), TimeOfDay::from_hms(16, 0, 0)), 0);
+    }
+
+    #[test]
+    fn insert_keeps_chronological_order() {
+        let mut log = DayLog::new(0, vec![alert(0, 9, 0), alert(0, 15, 0)]);
+        log.insert(alert(0, 12, 1));
+        let hours: Vec<u32> = log.alerts().iter().map(|a| a.time.hour()).collect();
+        assert_eq!(hours, vec![9, 12, 15]);
+    }
+
+    #[test]
+    fn alert_log_totals_and_push() {
+        let mut log = AlertLog::default();
+        assert!(log.is_empty());
+        log.push(DayLog::new(0, vec![alert(0, 9, 0)]));
+        log.push(DayLog::new(1, vec![alert(1, 9, 0), alert(1, 10, 1)]));
+        assert_eq!(log.num_days(), 2);
+        assert_eq!(log.total_alerts(), 3);
+        assert_eq!(log.days()[1].day(), 1);
+    }
+
+    #[test]
+    fn rolling_groups_match_paper_layout() {
+        // 56 days with 41-day history => 15 groups, like the paper.
+        let days: Vec<DayLog> = (0..56).map(|d| DayLog::new(d, vec![alert(d, 9, 0)])).collect();
+        let log = AlertLog::new(days);
+        let groups = log.rolling_groups(41);
+        assert_eq!(groups.len(), 15);
+        assert_eq!(groups[0].0.len(), 41);
+        assert_eq!(groups[0].1.day(), 41);
+        assert_eq!(groups[14].1.day(), 55);
+        // Not enough days => no groups.
+        let small = AlertLog::new(vec![DayLog::new(0, vec![])]);
+        assert!(small.rolling_groups(41).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! People in the synthetic world: employees and patients.
+
+use crate::geo::Address;
+use crate::names::NameId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a person (employee or patient) within a
+/// [`Population`](crate::population::Population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PersonId(pub u32);
+
+/// Identifier of a hospital department.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepartmentId(pub u16);
+
+/// Role of a person in the world model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Hospital employee with EMR access.
+    Employee {
+        /// Department the employee works in.
+        department: DepartmentId,
+    },
+    /// Patient with a record in the EMR.
+    Patient,
+    /// A hospital employee who is *also* a patient of the hospital — the
+    /// population segment that makes the *Department Co-worker* rule fire.
+    EmployeePatient {
+        /// Department the employee works in.
+        department: DepartmentId,
+    },
+}
+
+impl Role {
+    /// Department of the person, if they are (also) an employee.
+    #[must_use]
+    pub fn department(&self) -> Option<DepartmentId> {
+        match self {
+            Role::Employee { department } | Role::EmployeePatient { department } => {
+                Some(*department)
+            }
+            Role::Patient => None,
+        }
+    }
+
+    /// Whether the person can appear as the accessing employee of an event.
+    #[must_use]
+    pub fn is_employee(&self) -> bool {
+        matches!(self, Role::Employee { .. } | Role::EmployeePatient { .. })
+    }
+
+    /// Whether the person can appear as the accessed patient of an event.
+    #[must_use]
+    pub fn is_patient(&self) -> bool {
+        matches!(self, Role::Patient | Role::EmployeePatient { .. })
+    }
+}
+
+/// A person in the synthetic world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Person {
+    /// Stable identifier.
+    pub id: PersonId,
+    /// Last name (index into the population's name pool).
+    pub last_name: NameId,
+    /// Registered residential addresses (1 or 2 entries; households sometimes
+    /// register both a home and a secondary address, which is what produces
+    /// the *Same Address + Neighbor* combinations of Table 1).
+    pub addresses: Vec<Address>,
+    /// Role in the world model.
+    pub role: Role,
+}
+
+impl Person {
+    /// Whether this person shares a registered address with another person.
+    #[must_use]
+    pub fn shares_address_with(&self, other: &Person) -> bool {
+        self.addresses
+            .iter()
+            .any(|a| other.addresses.iter().any(|b| a.block_id == b.block_id))
+    }
+
+    /// Whether any pair of registered addresses of the two people are
+    /// neighbors (strictly positive distance within the neighbor radius).
+    #[must_use]
+    pub fn is_neighbor_of(&self, other: &Person) -> bool {
+        self.addresses
+            .iter()
+            .any(|a| other.addresses.iter().any(|b| a.location.is_neighbor_of(b.location)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{Address, Location};
+
+    fn person(id: u32, name: u32, addrs: Vec<Address>, role: Role) -> Person {
+        Person { id: PersonId(id), last_name: NameId(name), addresses: addrs, role }
+    }
+
+    #[test]
+    fn role_accessors() {
+        let emp = Role::Employee { department: DepartmentId(3) };
+        let pat = Role::Patient;
+        let both = Role::EmployeePatient { department: DepartmentId(5) };
+        assert!(emp.is_employee() && !emp.is_patient());
+        assert!(!pat.is_employee() && pat.is_patient());
+        assert!(both.is_employee() && both.is_patient());
+        assert_eq!(emp.department(), Some(DepartmentId(3)));
+        assert_eq!(pat.department(), None);
+        assert_eq!(both.department(), Some(DepartmentId(5)));
+    }
+
+    #[test]
+    fn shared_address_detection() {
+        let a1 = Address::new(1, Location::new(0.0, 0.0));
+        let a2 = Address::new(2, Location::new(5.0, 5.0));
+        let a3 = Address::new(1, Location::new(0.0, 0.0));
+        let p = person(0, 0, vec![a1, a2], Role::Patient);
+        let q = person(1, 1, vec![a3], Role::Employee { department: DepartmentId(0) });
+        let r = person(2, 2, vec![a2], Role::Patient);
+        assert!(p.shares_address_with(&q));
+        assert!(q.shares_address_with(&p));
+        assert!(!q.shares_address_with(&r));
+    }
+
+    #[test]
+    fn neighbor_detection_uses_any_address_pair() {
+        let home_p = Address::new(1, Location::new(0.0, 0.0));
+        let home_q = Address::new(2, Location::new(0.3, 0.0));
+        let far = Address::new(3, Location::new(10.0, 10.0));
+        let p = person(0, 0, vec![home_p], Role::Patient);
+        let q = person(1, 1, vec![far, home_q], Role::Employee { department: DepartmentId(0) });
+        assert!(p.is_neighbor_of(&q));
+        assert!(q.is_neighbor_of(&p));
+        let r = person(2, 2, vec![far], Role::Patient);
+        assert!(!p.is_neighbor_of(&r));
+    }
+
+    #[test]
+    fn same_location_is_not_neighbor() {
+        let a = Address::new(1, Location::new(0.0, 0.0));
+        let b = Address::new(2, Location::new(0.0, 0.0));
+        let p = person(0, 0, vec![a], Role::Patient);
+        let q = person(1, 1, vec![b], Role::Employee { department: DepartmentId(0) });
+        assert!(!p.is_neighbor_of(&q));
+        assert!(!p.shares_address_with(&q), "different block ids are not the same address");
+    }
+}

@@ -1,0 +1,321 @@
+//! Synthetic population of employees and patients.
+
+use crate::geo::{Address, Location};
+use crate::names::{NameId, NamePool};
+use crate::person::{DepartmentId, Person, PersonId, Role};
+use crate::rng::weighted_index;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of hospital employees.
+    pub num_employees: usize,
+    /// Number of patients (excluding employees who are also patients).
+    pub num_patients: usize,
+    /// Fraction of employees who are also patients of the hospital.
+    pub employee_patient_fraction: f64,
+    /// Number of departments.
+    pub num_departments: usize,
+    /// Number of extra rare surnames to add to the pool (tunes the *Same Last
+    /// Name* collision rate).
+    pub extra_rare_names: usize,
+    /// Number of distinct residential addresses.
+    pub num_addresses: usize,
+    /// Side length of the (square) metropolitan area in miles.
+    pub city_size_miles: f64,
+    /// Probability that a person registers a second address.
+    pub second_address_probability: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            num_employees: 1_500,
+            num_patients: 20_000,
+            employee_patient_fraction: 0.15,
+            num_departments: 40,
+            extra_rare_names: 2_000,
+            num_addresses: 8_000,
+            city_size_miles: 12.0,
+            second_address_probability: 0.08,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        PopulationConfig {
+            num_employees: 40,
+            num_patients: 300,
+            employee_patient_fraction: 0.2,
+            num_departments: 5,
+            extra_rare_names: 20,
+            num_addresses: 120,
+            city_size_miles: 4.0,
+            second_address_probability: 0.15,
+        }
+    }
+}
+
+/// The generated world: people, the name pool and the address book.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Population {
+    people: Vec<Person>,
+    employees: Vec<PersonId>,
+    patients: Vec<PersonId>,
+    name_pool: NamePool,
+    addresses: Vec<Address>,
+    config: PopulationConfig,
+}
+
+impl Population {
+    /// Generate a population from a configuration and RNG.
+    pub fn generate<R: Rng + ?Sized>(config: &PopulationConfig, rng: &mut R) -> Self {
+        let name_pool = NamePool::default_pool(config.extra_rare_names);
+
+        // Address book: cluster addresses around a few dense neighbourhoods so
+        // that the Neighbor rule has realistic hit rates.
+        let num_clusters = (config.num_addresses / 200).max(4);
+        let clusters: Vec<Location> = (0..num_clusters)
+            .map(|_| {
+                Location::new(
+                    rng.gen_range(0.0..config.city_size_miles),
+                    rng.gen_range(0.0..config.city_size_miles),
+                )
+            })
+            .collect();
+        let addresses: Vec<Address> = (0..config.num_addresses)
+            .map(|i| {
+                let cluster = clusters[rng.gen_range(0..clusters.len())];
+                let loc = Location::new(
+                    (cluster.x + crate::rng::normal(rng, 0.0, 0.4))
+                        .clamp(0.0, config.city_size_miles),
+                    (cluster.y + crate::rng::normal(rng, 0.0, 0.4))
+                        .clamp(0.0, config.city_size_miles),
+                );
+                Address::new(i as u32, loc)
+            })
+            .collect();
+
+        let mut people = Vec::with_capacity(config.num_employees + config.num_patients);
+        let mut employees = Vec::new();
+        let mut patients = Vec::new();
+
+        let sample_addresses = |rng: &mut R| -> Vec<Address> {
+            let mut addrs = vec![addresses[rng.gen_range(0..addresses.len())]];
+            if rng.gen_bool(config.second_address_probability.clamp(0.0, 1.0)) {
+                addrs.push(addresses[rng.gen_range(0..addresses.len())]);
+            }
+            addrs
+        };
+
+        for i in 0..config.num_employees {
+            let id = PersonId(people.len() as u32);
+            let department = DepartmentId(rng.gen_range(0..config.num_departments.max(1)) as u16);
+            let also_patient = rng.gen_bool(config.employee_patient_fraction.clamp(0.0, 1.0));
+            let role = if also_patient {
+                Role::EmployeePatient { department }
+            } else {
+                Role::Employee { department }
+            };
+            let person = Person {
+                id,
+                last_name: name_pool.sample(rng),
+                addresses: sample_addresses(rng),
+                role,
+            };
+            employees.push(id);
+            if also_patient {
+                patients.push(id);
+            }
+            people.push(person);
+            let _ = i;
+        }
+        for _ in 0..config.num_patients {
+            let id = PersonId(people.len() as u32);
+            let person = Person {
+                id,
+                last_name: name_pool.sample(rng),
+                addresses: sample_addresses(rng),
+                role: Role::Patient,
+            };
+            patients.push(id);
+            people.push(person);
+        }
+
+        Population { people, employees, patients, name_pool, addresses, config: config.clone() }
+    }
+
+    /// All people.
+    #[must_use]
+    pub fn people(&self) -> &[Person] {
+        &self.people
+    }
+
+    /// Look up a person.
+    #[must_use]
+    pub fn person(&self, id: PersonId) -> &Person {
+        &self.people[id.0 as usize]
+    }
+
+    /// Ids of everyone who can act as an accessing employee.
+    #[must_use]
+    pub fn employees(&self) -> &[PersonId] {
+        &self.employees
+    }
+
+    /// Ids of everyone who has a patient record.
+    #[must_use]
+    pub fn patients(&self) -> &[PersonId] {
+        &self.patients
+    }
+
+    /// The name pool used by this population.
+    #[must_use]
+    pub fn name_pool(&self) -> &NamePool {
+        &self.name_pool
+    }
+
+    /// The configuration the population was generated from.
+    #[must_use]
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// Textual last name of a person (for exports and debugging).
+    #[must_use]
+    pub fn last_name_of(&self, id: PersonId) -> &str {
+        self.name_pool.name(self.person(id).last_name)
+    }
+
+    /// Sample an employee id uniformly.
+    pub fn sample_employee<R: Rng + ?Sized>(&self, rng: &mut R) -> PersonId {
+        self.employees[rng.gen_range(0..self.employees.len())]
+    }
+
+    /// Sample a patient id, weighted so that a small set of "active" patients
+    /// receives most accesses (mimicking inpatient stays).
+    pub fn sample_patient<R: Rng + ?Sized>(&self, rng: &mut R) -> PersonId {
+        // Weight decays with index: earlier patients are "more active".
+        let n = self.patients.len();
+        let idx = {
+            let weights: Vec<f64> = (0..n.min(64)).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            if rng.gen_bool(0.3) {
+                // 30% of accesses go to the most active patients...
+                weighted_index(rng, &weights).unwrap_or(0)
+            } else {
+                // ...the rest are spread uniformly.
+                rng.gen_range(0..n)
+            }
+        };
+        self.patients[idx.min(n - 1)]
+    }
+
+    /// Share a last name?
+    #[must_use]
+    pub fn same_last_name(&self, a: PersonId, b: PersonId) -> bool {
+        self.person(a).last_name == self.person(b).last_name
+    }
+
+    /// Same-department co-workers? (Both must be employees.)
+    #[must_use]
+    pub fn same_department(&self, a: PersonId, b: PersonId) -> bool {
+        match (self.person(a).role.department(), self.person(b).role.department()) {
+            (Some(d1), Some(d2)) => d1 == d2,
+            _ => false,
+        }
+    }
+
+    /// Expose a name id for tests.
+    #[must_use]
+    pub fn last_name_id(&self, id: PersonId) -> NameId {
+        self.person(id).last_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_population(seed: u64) -> Population {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Population::generate(&PopulationConfig::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn generation_respects_sizes() {
+        let config = PopulationConfig::tiny();
+        let pop = tiny_population(1);
+        assert_eq!(pop.employees().len(), config.num_employees);
+        assert!(pop.patients().len() >= config.num_patients);
+        assert_eq!(pop.people().len(), config.num_employees + config.num_patients);
+        assert_eq!(pop.config(), &config);
+    }
+
+    #[test]
+    fn employee_patients_appear_in_both_lists() {
+        let pop = tiny_population(2);
+        let overlap = pop
+            .employees()
+            .iter()
+            .filter(|id| pop.patients().contains(id))
+            .count();
+        assert!(overlap > 0, "some employees must also be patients");
+        for id in pop.patients() {
+            assert!(pop.person(*id).role.is_patient());
+        }
+        for id in pop.employees() {
+            assert!(pop.person(*id).role.is_employee());
+        }
+    }
+
+    #[test]
+    fn every_person_has_an_address_and_name() {
+        let pop = tiny_population(3);
+        for p in pop.people() {
+            assert!(!p.addresses.is_empty());
+            assert!(p.addresses.len() <= 2);
+            assert!(!pop.name_pool().name(p.last_name).is_empty());
+        }
+    }
+
+    #[test]
+    fn sampling_returns_valid_ids() {
+        let pop = tiny_population(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let e = pop.sample_employee(&mut rng);
+            let p = pop.sample_patient(&mut rng);
+            assert!(pop.person(e).role.is_employee());
+            assert!(pop.person(p).role.is_patient());
+        }
+    }
+
+    #[test]
+    fn relations_are_symmetric() {
+        let pop = tiny_population(5);
+        let ids: Vec<PersonId> = pop.people().iter().map(|p| p.id).take(30).collect();
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(pop.same_last_name(a, b), pop.same_last_name(b, a));
+                assert_eq!(pop.same_department(a, b), pop.same_department(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = tiny_population(7);
+        let b = tiny_population(7);
+        assert_eq!(a.people().len(), b.people().len());
+        for (x, y) in a.people().iter().zip(b.people()) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Small sampling utilities on top of [`rand`].
+//!
+//! The workspace deliberately avoids a dependency on `rand_distr`; the only
+//! non-uniform distributions the simulator needs are the normal (daily alert
+//! counts, Table 1) and the Poisson (arrival models), both of which have
+//! simple, well-known sampling routines implemented here.
+
+use rand::Rng;
+
+/// Draw a standard normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln(u1) to -inf.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draw a Poisson variate with rate `lambda`.
+///
+/// Uses Knuth's multiplication method for small rates and a normal
+/// approximation (rounded, clamped at zero) for large rates, which is more
+/// than accurate enough for the arrival volumes in this simulator.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k: u64 = 0;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0f64..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Guard against pathological RNGs returning 1.0 repeatedly.
+            if k > 10_000 {
+                return k;
+            }
+        }
+    }
+    let sample = normal(rng, lambda, lambda.sqrt()).round();
+    if sample < 0.0 {
+        0
+    } else {
+        sample as u64
+    }
+}
+
+/// Draw a nonnegative, rounded count from a normal distribution — the model
+/// used for the per-type daily alert totals of Table 1.
+pub fn normal_count<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> u64 {
+    let sample = normal(rng, mean, std_dev).round();
+    if sample < 0.0 {
+        0
+    } else {
+        sample as u64
+    }
+}
+
+/// Sample an index from a discrete distribution given by nonnegative weights.
+///
+/// Returns `None` when the weights sum to zero (or the slice is empty).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    // Floating-point round-off: return the last positive-weight index.
+    weights.iter().rposition(|&w| w.is_finite() && w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn poisson_matches_mean_small_and_large_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &lambda in &[0.5, 4.0, 50.0, 200.0] {
+            let n = 5_000;
+            let mean =
+                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.1 * lambda.max(1.0),
+                "lambda {lambda}: sample mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn normal_count_is_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            // Mean near zero with large std would go negative without clamping.
+            let c = normal_count(&mut rng, 1.0, 5.0);
+            assert!(c < 1000);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            let idx = weighted_index(&mut rng, &weights).unwrap();
+            counts[idx] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(weighted_index(&mut rng, &[]), None);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 2.0]), Some(1));
+        assert_eq!(weighted_index(&mut rng, &[f64::NAN, 1.0]), Some(1));
+    }
+}

@@ -1,0 +1,341 @@
+//! Calibrated alert-stream generation.
+//!
+//! The audit-game experiments need alert streams whose per-type daily volumes
+//! match the paper's Table 1 and whose arrival times follow the reported
+//! diurnal pattern. Rather than tuning the full access-log pipeline until its
+//! rule-engine output happens to match those statistics, this module samples
+//! the typed alert stream directly:
+//!
+//! 1. for each type, draw the day's alert count from a normal distribution
+//!    with the Table 1 mean/std (rounded, clamped at zero);
+//! 2. place each alert at a time of day drawn from the diurnal profile;
+//! 3. merge and sort all types into a single chronological stream.
+//!
+//! This preserves exactly the properties the SAG consumes — per-type arrival
+//! volumes, their day-to-day variability and the within-day intensity shape —
+//! while remaining fully synthetic.
+
+use crate::alert::{Alert, AlertCatalog, AlertTypeId};
+use crate::log::DayLog;
+use crate::rng::{normal_count, weighted_index};
+use crate::time::TimeOfDay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hourly intensity profile of alert arrivals over a day.
+///
+/// Weights are relative; they are normalised internally. Within an hour,
+/// arrival times are uniform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// Build a profile from 24 hourly weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any weight is negative/not finite.
+    #[must_use]
+    pub fn new(weights: [f64; 24]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "diurnal weights must be finite and nonnegative"
+        );
+        assert!(weights.iter().sum::<f64>() > 0.0, "diurnal weights must not all be zero");
+        DiurnalProfile { weights }
+    }
+
+    /// A flat profile (uniform arrivals over the day) — useful for tests.
+    #[must_use]
+    pub fn uniform() -> Self {
+        DiurnalProfile { weights: [1.0; 24] }
+    }
+
+    /// The standard healthcare-organisation workday profile described in the
+    /// paper: near-silent overnight, ramp-up from 06:00, sustained peak
+    /// 08:00–17:00 around shift changes, tapering evening.
+    #[must_use]
+    pub fn standard_hco() -> Self {
+        let mut w = [0.0f64; 24];
+        for (hour, weight) in w.iter_mut().enumerate() {
+            *weight = match hour {
+                0..=5 => 0.3,
+                6 => 1.5,
+                7 => 4.0,
+                8..=11 => 10.0,
+                12 => 8.0,
+                13..=16 => 10.0,
+                17 => 6.0,
+                18 => 3.0,
+                19..=20 => 1.5,
+                21..=23 => 0.6,
+                _ => unreachable!(),
+            };
+        }
+        DiurnalProfile { weights: w }
+    }
+
+    /// The hourly weights (normalised to sum to one).
+    #[must_use]
+    pub fn normalized_weights(&self) -> [f64; 24] {
+        let total: f64 = self.weights.iter().sum();
+        let mut out = [0.0; 24];
+        for (o, w) in out.iter_mut().zip(self.weights.iter()) {
+            *o = w / total;
+        }
+        out
+    }
+
+    /// Expected fraction of daily arrivals that occur strictly after `time`.
+    #[must_use]
+    pub fn fraction_after(&self, time: TimeOfDay) -> f64 {
+        let norm = self.normalized_weights();
+        let hour = time.hour() as usize;
+        let within_hour = f64::from(time.seconds() % 3600) / 3600.0;
+        let mut remaining = norm[hour] * (1.0 - within_hour);
+        for &w in &norm[hour + 1..] {
+            remaining += w;
+        }
+        remaining.clamp(0.0, 1.0)
+    }
+
+    /// Sample an arrival time from the profile.
+    pub fn sample_time<R: Rng + ?Sized>(&self, rng: &mut R) -> TimeOfDay {
+        let hour = weighted_index(rng, &self.weights).expect("profile has positive weight");
+        let second_in_hour = rng.gen_range(0..3600u32);
+        TimeOfDay::from_seconds(hour as u32 * 3600 + second_in_hour)
+    }
+}
+
+/// Configuration of the calibrated stream generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Alert catalogue (supplies the per-type daily mean/std).
+    pub catalog: AlertCatalog,
+    /// Diurnal arrival profile.
+    pub diurnal: DiurnalProfile,
+    /// RNG seed for reproducible streams.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// The paper's 7-type configuration (Table 1 statistics, workday profile).
+    #[must_use]
+    pub fn paper_multi_type(seed: u64) -> Self {
+        StreamConfig {
+            catalog: AlertCatalog::paper_table1(),
+            diurnal: DiurnalProfile::standard_hco(),
+            seed,
+        }
+    }
+
+    /// The paper's single-type configuration (Figure 2: *Same Last Name*).
+    #[must_use]
+    pub fn paper_single_type(seed: u64) -> Self {
+        StreamConfig {
+            catalog: AlertCatalog::single_type(),
+            diurnal: DiurnalProfile::standard_hco(),
+            seed,
+        }
+    }
+}
+
+/// Generates calibrated daily alert streams.
+#[derive(Debug, Clone)]
+pub struct StreamGenerator {
+    config: StreamConfig,
+    rng: StdRng,
+}
+
+impl StreamGenerator {
+    /// Create a generator from a configuration.
+    #[must_use]
+    pub fn new(config: StreamConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        StreamGenerator { config, rng }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Generate one day of alerts, sorted chronologically.
+    pub fn generate_day(&mut self, day: u32) -> DayLog {
+        let mut alerts = Vec::new();
+        let catalog = self.config.catalog.clone();
+        for info in catalog.types() {
+            let count = normal_count(&mut self.rng, info.daily_mean, info.daily_std);
+            for _ in 0..count {
+                let time = self.config.diurnal.sample_time(&mut self.rng);
+                alerts.push(Alert::benign(day, time, info.id));
+            }
+        }
+        alerts.sort_by_key(|a| (a.time, a.type_id));
+        DayLog::new(day, alerts)
+    }
+
+    /// Generate `num_days` consecutive days (day indices `0..num_days`).
+    pub fn generate_days(&mut self, num_days: u32) -> Vec<DayLog> {
+        (0..num_days).map(|d| self.generate_day(d)).collect()
+    }
+
+    /// Generate the paper's experimental layout: `historical` days of history
+    /// followed by `testing` days, as `(history, test_days)`.
+    pub fn generate_split(&mut self, historical: u32, testing: u32) -> (Vec<DayLog>, Vec<DayLog>) {
+        let history = self.generate_days(historical);
+        let tests = (historical..historical + testing).map(|d| self.generate_day(d)).collect();
+        (history, tests)
+    }
+}
+
+/// Count alerts per type in a slice of alerts.
+#[must_use]
+pub fn count_by_type(alerts: &[Alert], num_types: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; num_types];
+    for a in alerts {
+        if a.type_id.index() < num_types {
+            counts[a.type_id.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Empirical per-type mean and standard deviation of daily counts across days.
+#[must_use]
+pub fn daily_count_stats(days: &[DayLog], num_types: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = days.len().max(1) as f64;
+    let per_day: Vec<Vec<usize>> =
+        days.iter().map(|d| count_by_type(d.alerts(), num_types)).collect();
+    let mut means = vec![0.0; num_types];
+    let mut stds = vec![0.0; num_types];
+    for t in 0..num_types {
+        let mean = per_day.iter().map(|c| c[t] as f64).sum::<f64>() / n;
+        let var = per_day.iter().map(|c| (c[t] as f64 - mean).powi(2)).sum::<f64>() / n;
+        means[t] = mean;
+        stds[t] = var.sqrt();
+    }
+    (means, stds)
+}
+
+/// A fixed alert type id helper for tests and examples (`T1` = index 0).
+#[must_use]
+pub fn type_id(index: u16) -> AlertTypeId {
+    AlertTypeId(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_profile_peaks_in_working_hours() {
+        let profile = DiurnalProfile::standard_hco();
+        let w = profile.normalized_weights();
+        assert!(w[10] > w[3] * 10.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_after_is_monotone_decreasing() {
+        let profile = DiurnalProfile::standard_hco();
+        let mut last = 1.0 + 1e-12;
+        for hour in 0..24 {
+            let f = profile.fraction_after(TimeOfDay::from_hms(hour, 0, 0));
+            assert!(f <= last + 1e-12, "fraction_after must decrease over the day");
+            last = f;
+        }
+        assert!(profile.fraction_after(TimeOfDay::MIDNIGHT) > 0.999);
+        assert!(profile.fraction_after(TimeOfDay::from_hms(23, 59, 59)) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_weights_are_rejected() {
+        let mut w = [1.0; 24];
+        w[5] = -1.0;
+        let _ = DiurnalProfile::new(w);
+    }
+
+    #[test]
+    fn generated_day_is_sorted_and_typed() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(1));
+        let day = gen.generate_day(0);
+        assert!(!day.alerts().is_empty());
+        for pair in day.alerts().windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        for a in day.alerts() {
+            assert!(a.type_id.index() < 7);
+            assert!(!a.is_attack);
+            assert_eq!(a.day, 0);
+        }
+    }
+
+    #[test]
+    fn daily_volumes_match_table1_statistics() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(7));
+        let days = gen.generate_days(56);
+        let catalog = AlertCatalog::paper_table1();
+        let (means, stds) = daily_count_stats(&days, catalog.len());
+        for (t, info) in catalog.types().iter().enumerate() {
+            let tolerance = 4.0 * info.daily_std / (days.len() as f64).sqrt() + 1.0;
+            assert!(
+                (means[t] - info.daily_mean).abs() < tolerance,
+                "type {t}: mean {} vs expected {} (tol {tolerance})",
+                means[t],
+                info.daily_mean
+            );
+            assert!(
+                stds[t] < info.daily_std * 2.0 + 2.0,
+                "type {t}: std {} is wildly off expected {}",
+                stds[t],
+                info.daily_std
+            );
+        }
+    }
+
+    #[test]
+    fn single_type_stream_contains_only_type0() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_single_type(3));
+        let day = gen.generate_day(0);
+        assert!(day.alerts().iter().all(|a| a.type_id == AlertTypeId(0)));
+        // The per-day volume must resemble the Same Last Name mean (196.57).
+        let n = day.alerts().len() as f64;
+        assert!(n > 120.0 && n < 280.0, "unexpected single-type volume {n}");
+    }
+
+    #[test]
+    fn streams_are_reproducible_by_seed() {
+        let mut a = StreamGenerator::new(StreamConfig::paper_multi_type(99));
+        let mut b = StreamGenerator::new(StreamConfig::paper_multi_type(99));
+        let da = a.generate_day(0);
+        let db = b.generate_day(0);
+        assert_eq!(da.alerts(), db.alerts());
+        let mut c = StreamGenerator::new(StreamConfig::paper_multi_type(100));
+        assert_ne!(da.alerts(), c.generate_day(0).alerts());
+    }
+
+    #[test]
+    fn split_generates_disjoint_day_indices() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(5));
+        let (history, tests) = gen.generate_split(41, 4);
+        assert_eq!(history.len(), 41);
+        assert_eq!(tests.len(), 4);
+        assert_eq!(history.last().unwrap().day(), 40);
+        assert_eq!(tests[0].day(), 41);
+        assert_eq!(tests[3].day(), 44);
+    }
+
+    #[test]
+    fn count_by_type_counts_all_alerts() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(13));
+        let day = gen.generate_day(0);
+        let counts = count_by_type(day.alerts(), 7);
+        assert_eq!(counts.iter().sum::<usize>(), day.alerts().len());
+    }
+}

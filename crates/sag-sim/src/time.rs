@@ -1,0 +1,126 @@
+//! Time-of-day representation used across the simulator and the audit engine.
+//!
+//! The paper's audit cycle is a single calendar day (00:00:00–23:59:59), so
+//! everything is expressed as seconds since midnight. Days are identified by a
+//! plain index (`u32`) — the simulation has no need for calendars, time zones
+//! or leap seconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of seconds in an audit cycle (one day).
+pub const SECONDS_PER_DAY: u32 = 24 * 60 * 60;
+
+/// A moment within an audit cycle, measured in seconds since midnight.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeOfDay(u32);
+
+impl TimeOfDay {
+    /// Midnight (start of the audit cycle).
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay(0);
+    /// Last representable second of the cycle (23:59:59).
+    pub const END_OF_DAY: TimeOfDay = TimeOfDay(SECONDS_PER_DAY - 1);
+
+    /// Construct from seconds since midnight, clamping into the valid range.
+    #[must_use]
+    pub fn from_seconds(seconds: u32) -> Self {
+        TimeOfDay(seconds.min(SECONDS_PER_DAY - 1))
+    }
+
+    /// Construct from an `(hour, minute, second)` triple, clamping each
+    /// component into its valid range.
+    #[must_use]
+    pub fn from_hms(hour: u32, minute: u32, second: u32) -> Self {
+        let h = hour.min(23);
+        let m = minute.min(59);
+        let s = second.min(59);
+        TimeOfDay(h * 3600 + m * 60 + s)
+    }
+
+    /// Seconds since midnight.
+    #[must_use]
+    pub fn seconds(self) -> u32 {
+        self.0
+    }
+
+    /// Hour component (0–23).
+    #[must_use]
+    pub fn hour(self) -> u32 {
+        self.0 / 3600
+    }
+
+    /// Minute component (0–59).
+    #[must_use]
+    pub fn minute(self) -> u32 {
+        (self.0 % 3600) / 60
+    }
+
+    /// Second component (0–59).
+    #[must_use]
+    pub fn second(self) -> u32 {
+        self.0 % 60
+    }
+
+    /// Fraction of the day elapsed, in `[0, 1)`.
+    #[must_use]
+    pub fn fraction_of_day(self) -> f64 {
+        f64::from(self.0) / f64::from(SECONDS_PER_DAY)
+    }
+
+    /// Seconds remaining until the end of the audit cycle.
+    #[must_use]
+    pub fn seconds_remaining(self) -> u32 {
+        SECONDS_PER_DAY - self.0
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}:{:02}", self.hour(), self.minute(), self.second())
+    }
+}
+
+impl From<TimeOfDay> for u32 {
+    fn from(t: TimeOfDay) -> u32 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_round_trip() {
+        let t = TimeOfDay::from_hms(13, 45, 30);
+        assert_eq!(t.hour(), 13);
+        assert_eq!(t.minute(), 45);
+        assert_eq!(t.second(), 30);
+        assert_eq!(t.seconds(), 13 * 3600 + 45 * 60 + 30);
+        assert_eq!(t.to_string(), "13:45:30");
+    }
+
+    #[test]
+    fn construction_clamps_out_of_range_values() {
+        assert_eq!(TimeOfDay::from_seconds(SECONDS_PER_DAY + 100), TimeOfDay::END_OF_DAY);
+        assert_eq!(TimeOfDay::from_hms(99, 99, 99), TimeOfDay::from_hms(23, 59, 59));
+    }
+
+    #[test]
+    fn ordering_and_fractions() {
+        let morning = TimeOfDay::from_hms(8, 0, 0);
+        let evening = TimeOfDay::from_hms(20, 0, 0);
+        assert!(morning < evening);
+        assert!((TimeOfDay::from_hms(12, 0, 0).fraction_of_day() - 0.5).abs() < 1e-9);
+        assert_eq!(TimeOfDay::MIDNIGHT.fraction_of_day(), 0.0);
+    }
+
+    #[test]
+    fn seconds_remaining_complements_elapsed() {
+        let t = TimeOfDay::from_hms(6, 0, 0);
+        assert_eq!(t.seconds() + t.seconds_remaining(), SECONDS_PER_DAY);
+        assert_eq!(TimeOfDay::MIDNIGHT.seconds_remaining(), SECONDS_PER_DAY);
+    }
+}

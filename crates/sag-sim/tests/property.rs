@@ -1,0 +1,118 @@
+//! Property-based tests for the simulation substrate: stream calibration,
+//! log invariants, binary codec round-trips and the rule engine's symmetry.
+
+use proptest::prelude::*;
+use sag_sim::binary::{decode_day, decode_log, encode_day, encode_log};
+use sag_sim::stream::count_by_type;
+use sag_sim::{Alert, AlertCatalog, AlertLog, AlertTypeId, DayLog, DiurnalProfile, StreamConfig, StreamGenerator, TimeOfDay};
+
+fn arbitrary_alert() -> impl Strategy<Value = Alert> {
+    (0u32..60, 0u32..86_400, 0u16..7, any::<bool>()).prop_map(|(day, secs, ty, attack)| Alert {
+        day,
+        time: TimeOfDay::from_seconds(secs),
+        type_id: AlertTypeId(ty),
+        employee: None,
+        patient: None,
+        is_attack: attack,
+    })
+}
+
+fn arbitrary_day() -> impl Strategy<Value = DayLog> {
+    (0u32..60, proptest::collection::vec(arbitrary_alert(), 0..200))
+        .prop_map(|(day, mut alerts)| {
+            for a in &mut alerts {
+                a.day = day;
+            }
+            DayLog::new(day, alerts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Day logs are always sorted and counting by type partitions the alerts.
+    #[test]
+    fn day_logs_are_sorted_and_counts_partition(day in arbitrary_day()) {
+        for pair in day.alerts().windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+        }
+        let counts = count_by_type(day.alerts(), 7);
+        prop_assert_eq!(counts.iter().sum::<usize>(), day.len());
+        for t in 0..7u16 {
+            prop_assert_eq!(counts[t as usize], day.count_of_type(AlertTypeId(t)));
+        }
+    }
+
+    /// The binary codec round-trips arbitrary day logs exactly (modulo the
+    /// person references it intentionally drops).
+    #[test]
+    fn binary_codec_round_trips(day in arbitrary_day()) {
+        let decoded = decode_day(&mut encode_day(&day)).unwrap();
+        prop_assert_eq!(decoded.day(), day.day());
+        prop_assert_eq!(decoded.len(), day.len());
+        for (a, b) in day.alerts().iter().zip(decoded.alerts()) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.type_id, b.type_id);
+            prop_assert_eq!(a.is_attack, b.is_attack);
+        }
+    }
+
+    /// Multi-day logs round-trip through the codec and preserve totals.
+    #[test]
+    fn multi_day_codec_round_trips(days in proptest::collection::vec(arbitrary_day(), 0..8)) {
+        let log = AlertLog::new(days);
+        let decoded = decode_log(encode_log(&log)).unwrap();
+        prop_assert_eq!(decoded.num_days(), log.num_days());
+        prop_assert_eq!(decoded.total_alerts(), log.total_alerts());
+    }
+
+    /// Calibrated streams always produce sorted, in-catalogue, benign alerts,
+    /// regardless of seed.
+    #[test]
+    fn calibrated_streams_are_well_formed(seed in any::<u64>()) {
+        let mut generator = StreamGenerator::new(StreamConfig::paper_multi_type(seed));
+        let day = generator.generate_day(3);
+        let catalog = AlertCatalog::paper_table1();
+        for pair in day.alerts().windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+        }
+        for alert in day.alerts() {
+            prop_assert!(alert.type_id.index() < catalog.len());
+            prop_assert!(!alert.is_attack);
+            prop_assert_eq!(alert.day, 3);
+        }
+        // Total volume is within a loose global bound (sum of means ± 6 sigma).
+        let mean: f64 = catalog.daily_means().iter().sum();
+        let sigma: f64 = catalog.daily_stds().iter().sum();
+        let n = day.len() as f64;
+        prop_assert!(n > mean - 6.0 * sigma && n < mean + 6.0 * sigma,
+            "daily volume {n} far from calibration mean {mean}");
+    }
+
+    /// Rolling groups always produce history windows of exactly the requested
+    /// length, and test days directly follow their window.
+    #[test]
+    fn rolling_groups_are_contiguous(total in 2u32..30, history_len in 1usize..20) {
+        let days: Vec<DayLog> = (0..total).map(|d| DayLog::new(d, vec![])).collect();
+        let log = AlertLog::new(days);
+        let groups = log.rolling_groups(history_len);
+        let expected = (total as usize).saturating_sub(history_len);
+        prop_assert_eq!(groups.len(), expected);
+        for (history, test) in groups {
+            prop_assert_eq!(history.len(), history_len);
+            prop_assert_eq!(history.last().unwrap().day() + 1, test.day());
+        }
+    }
+
+    /// The diurnal profile's tail function is a proper survival function.
+    #[test]
+    fn diurnal_fraction_after_is_a_survival_function(hour in 0u32..24, minute in 0u32..60) {
+        let profile = DiurnalProfile::standard_hco();
+        let t = TimeOfDay::from_hms(hour, minute, 0);
+        let f = profile.fraction_after(t);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Later times can only have smaller tails.
+        let later = TimeOfDay::from_hms(23, 59, 59);
+        prop_assert!(profile.fraction_after(later) <= f + 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: solve the Signaling Audit Game for a single incoming alert.
+//!
+//! The scenario: a hospital auditing system with the paper's seven alert
+//! types (Table 1/2) has 42 units of audit budget left for today. An alert of
+//! type 3 (*Neighbor*) has just been triggered at 10:30. Should the system pop
+//! up a warning, and with what probability will the access be audited?
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sag::prelude::*;
+
+fn main() {
+    // 1. The game: alert catalogue, payoffs and audit costs from the paper.
+    let game = GameConfig::paper_multi_type();
+
+    // 2. What the auditor knows right now: the remaining budget and an
+    //    estimate of how many more alerts of each type will arrive today
+    //    (normally fitted from historical logs via `ArrivalModel`; hard-coded
+    //    here to keep the example self-contained).
+    let remaining_budget = 42.0;
+    let expected_future_alerts = vec![150.0, 22.0, 110.0, 8.0, 19.0, 11.0, 33.0];
+
+    // 3. Online SSE (the paper's LP (2)): the budget-aware marginal audit
+    //    probabilities for every type.
+    let sse = SseSolver::new()
+        .solve(&SseInput {
+            payoffs: &game.payoffs,
+            audit_costs: &game.audit_costs,
+            future_estimates: &expected_future_alerts,
+            budget: remaining_budget,
+        })
+        .expect("the paper's game always has an equilibrium");
+
+    println!("Online SSE at this point of the day");
+    println!("  attacker's best-response type : {}", sse.best_response);
+    println!("  auditor expected utility      : {:8.2}", sse.auditor_utility);
+    println!("  attacker expected utility     : {:8.2}", sse.attacker_utility);
+    for (i, theta) in sse.coverage.iter().enumerate() {
+        println!("  coverage of type {:<2}           : {:6.3}", i + 1, theta);
+    }
+
+    // 4. The triggered alert is of type 3 (index 2). The OSSP (LP (3)) turns
+    //    the SSE coverage of that type into a warning/auditing scheme.
+    let triggered = AlertTypeId(2);
+    let theta = sse.coverage_of(triggered);
+    let ossp = ossp_closed_form(game.payoffs.get(triggered), theta);
+
+    println!("\nOSSP for the triggered {} alert (theta = {:.3})", triggered, theta);
+    println!("  P(warn, audit)      p1 = {:.3}", ossp.scheme.p1);
+    println!("  P(warn, no audit)   q1 = {:.3}", ossp.scheme.q1);
+    println!("  P(silent, audit)    p0 = {:.3}", ossp.scheme.p0);
+    println!("  P(silent, no audit) q0 = {:.3}", ossp.scheme.q0);
+    println!("  warning probability    = {:.3}", ossp.scheme.warning_probability());
+    println!("  audit prob. given warn = {:.3}", ossp.scheme.audit_given_warning());
+    println!("  attack deterred        : {}", ossp.deterred);
+
+    // 5. The value of signaling: compare the auditor's expected utility with
+    //    and without the warning mechanism (Theorem 2 says it never hurts).
+    let without_signaling = game.payoffs.get(triggered).auditor_expected(theta);
+    println!("\nAuditor expected utility for this alert");
+    println!("  with signaling (OSSP)    : {:8.2}", ossp.auditor_utility);
+    println!("  without signaling (SSE)  : {:8.2}", without_signaling);
+    println!("  gain from signaling      : {:8.2}", ossp.auditor_utility - without_signaling);
+}

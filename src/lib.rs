@@ -1,0 +1,39 @@
+//! # sag — Signaling Audit Games
+//!
+//! Facade crate re-exporting the public API of the SAG workspace:
+//!
+//! * [`lp`] — the linear-programming substrate ([`sag_lp`]).
+//! * [`sim`] — the synthetic EMR world model and alert streams ([`sag_sim`]).
+//! * [`forecast`] — future-alert estimation and knowledge rollback
+//!   ([`sag_forecast`]).
+//! * [`core`] — the Signaling Audit Game itself: online SSE, OSSP signaling,
+//!   baselines and the audit-cycle engine ([`sag_core`]).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! architecture and experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use sag_core as core;
+pub use sag_forecast as forecast;
+pub use sag_lp as lp;
+pub use sag_sim as sim;
+
+/// Commonly used items, for `use sag::prelude::*`.
+pub mod prelude {
+    pub use sag_core::engine::{
+        AlertOutcome, AuditCycleEngine, BudgetAccounting, CycleResult, EngineConfig,
+    };
+    pub use sag_core::metrics::{ExperimentSummary, UtilitySeries};
+    pub use sag_core::model::{GameConfig, PayoffTable, Payoffs};
+    pub use sag_core::offline::OfflineSse;
+    pub use sag_core::scheme::{Signal, SignalingScheme};
+    pub use sag_core::signaling::{ossp_closed_form, ossp_lp, OsspSolution};
+    pub use sag_core::sse::{SseInput, SseSolution, SseSolver};
+    pub use sag_forecast::{ArrivalModel, FutureAlertEstimator, RollbackPolicy};
+    pub use sag_lp::{LpProblem, Objective as LpObjective, Relation};
+    pub use sag_sim::{
+        Alert, AlertCatalog, AlertTypeId, AlertTypeInfo, DayLog, DiurnalProfile, StreamConfig,
+        StreamGenerator, TimeOfDay,
+    };
+}

@@ -1,0 +1,139 @@
+//! Workspace-level property-based tests: invariants of the SAG pipeline under
+//! randomly generated (but well-formed) games, budgets and forecasts.
+
+use proptest::prelude::*;
+use sag::prelude::*;
+
+/// Strategy for a well-formed payoff structure (paper sign conventions).
+fn payoffs_strategy() -> impl Strategy<Value = Payoffs> {
+    (1.0f64..1000.0, 1.0f64..3000.0, 1.0f64..8000.0, 1.0f64..1000.0)
+        .prop_map(|(dc, du, ac, au)| Payoffs::new(dc, -du, -ac, au))
+}
+
+/// Strategy for a whole game: 1–6 types, positive costs, nonnegative budget.
+fn game_strategy() -> impl Strategy<Value = (PayoffTable, Vec<f64>, Vec<f64>, f64)> {
+    (1usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(payoffs_strategy(), n),
+            proptest::collection::vec(0.5f64..5.0, n),
+            proptest::collection::vec(0.0f64..300.0, n),
+            0.0f64..120.0,
+        )
+            .prop_map(|(payoffs, costs, estimates, budget)| {
+                (PayoffTable::new(payoffs), costs, estimates, budget)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The online SSE always returns a coverage vector of probabilities that
+    /// respects the budget, and its best-response constraint really holds.
+    #[test]
+    fn sse_solution_is_always_consistent((payoffs, costs, estimates, budget) in game_strategy()) {
+        let solver = SseSolver::new();
+        let input = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &costs,
+            future_estimates: &estimates,
+            budget,
+        };
+        let sol = solver.solve(&input).expect("well-formed games always solve");
+        // Probabilities.
+        for &theta in &sol.coverage {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&theta), "coverage {theta}");
+        }
+        // Budget feasibility.
+        let spent: f64 = sol.budget_split.iter().sum();
+        prop_assert!(spent <= budget + 1e-6, "spent {spent} > budget {budget}");
+        // Best-response property: no type gives the attacker strictly more
+        // than the chosen one.
+        let best = sol.attacker_utility;
+        for (t, &theta) in sol.coverage.iter().enumerate() {
+            let alt = payoffs.get(AlertTypeId(t as u16)).attacker_expected(theta);
+            prop_assert!(best >= alt - 1e-6, "type {t} utility {alt} beats best {best}");
+        }
+    }
+
+    /// The OSSP never hurts the auditor (Theorem 2), its scheme is a valid
+    /// joint distribution with the required marginal (Theorem 1), and the
+    /// attacker's utility matches the SSE when the Theorem 3 condition holds
+    /// (Theorem 4).
+    #[test]
+    fn ossp_invariants_hold_for_random_games(
+        payoffs in payoffs_strategy(),
+        theta in 0.0f64..1.0,
+    ) {
+        let ossp = ossp_closed_form(&payoffs, theta);
+        prop_assert!(ossp.scheme.is_valid());
+        prop_assert!((ossp.scheme.audit_probability() - theta).abs() < 1e-7);
+
+        if payoffs.satisfies_theorem3_condition() {
+            // Theorem 3: no silent auditing.
+            prop_assert!(ossp.scheme.p0.abs() < 1e-9);
+            // Theorem 2 against the effective SSE value.
+            let sse = if payoffs.attacker_expected(theta) < 0.0 {
+                0.0
+            } else {
+                payoffs.auditor_expected(theta)
+            };
+            prop_assert!(ossp.auditor_utility >= sse - 1e-7);
+            // Theorem 4.
+            let sse_attacker = payoffs.attacker_expected(theta).max(0.0);
+            prop_assert!((ossp.attacker_utility - sse_attacker).abs() < 1e-7);
+        } else {
+            // Outside the Theorem 3 condition the LP is the reference optimum
+            // and must still dominate the no-signaling baseline.
+            let lp = ossp_lp(&payoffs, theta).expect("LP solves");
+            let sse = if payoffs.attacker_expected(theta) < 0.0 {
+                0.0
+            } else {
+                payoffs.auditor_expected(theta)
+            };
+            prop_assert!(lp.auditor_utility >= sse - 1e-6);
+        }
+    }
+
+    /// The LP formulation of the OSSP never does better than... and never
+    /// worse than the closed form when the closed form applies: they are the
+    /// same optimum.
+    #[test]
+    fn ossp_lp_matches_closed_form_when_condition_holds(
+        payoffs in payoffs_strategy().prop_filter(
+            "Theorem 3 condition",
+            Payoffs::satisfies_theorem3_condition,
+        ),
+        theta in 0.0f64..1.0,
+    ) {
+        let cf = ossp_closed_form(&payoffs, theta);
+        let lp = ossp_lp(&payoffs, theta).expect("LP solves");
+        prop_assert!((cf.auditor_utility - lp.auditor_utility).abs() < 1e-5,
+            "closed form {} vs LP {}", cf.auditor_utility, lp.auditor_utility);
+    }
+
+    /// Offline SSE utility is monotone in budget.
+    #[test]
+    fn offline_sse_is_monotone_in_budget(
+        (payoffs, costs, estimates, budget) in game_strategy(),
+        extra in 1.0f64..50.0,
+    ) {
+        let low = OfflineSse::solve(&payoffs, &costs, &estimates, budget).unwrap();
+        let high = OfflineSse::solve(&payoffs, &costs, &estimates, budget + extra).unwrap();
+        prop_assert!(high.auditor_utility() >= low.auditor_utility() - 1e-6);
+        prop_assert!(high.attacker_utility() <= low.attacker_utility() + 1e-6);
+    }
+
+    /// A signaling scheme sampled from the OSSP conserves probability between
+    /// its conditional and marginal forms.
+    #[test]
+    fn scheme_conditionals_recompose_to_marginals(
+        payoffs in payoffs_strategy(),
+        theta in 0.0f64..1.0,
+    ) {
+        let scheme = ossp_closed_form(&payoffs, theta).scheme;
+        let recomposed = scheme.warning_probability() * scheme.audit_given_warning()
+            + (1.0 - scheme.warning_probability()) * scheme.audit_given_silent();
+        prop_assert!((recomposed - scheme.audit_probability()).abs() < 1e-7);
+    }
+}
