@@ -1,0 +1,2 @@
+// Placeholder: replaced by the real end-to-end throughput bench later in this PR.
+fn main() {}

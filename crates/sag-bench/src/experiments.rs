@@ -10,7 +10,6 @@ use sag_core::model::GameConfig;
 use sag_forecast::RollbackPolicy;
 use sag_sim::stream::daily_count_stats;
 use sag_sim::{AlertCatalog, DayLog, StreamConfig, StreamGenerator};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Default number of historical days per evaluation group (as in the paper).
@@ -19,7 +18,7 @@ pub const PAPER_HISTORY_DAYS: u32 = 41;
 pub const PAPER_TEST_DAYS: u32 = 4;
 
 /// One row of the reproduced Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// 1-based type id as in the paper.
     pub id: usize,
@@ -58,7 +57,7 @@ pub fn table1_experiment(seed: u64, num_days: u32) -> Vec<Table1Row> {
 }
 
 /// Configuration of a figure experiment (E3 = Figure 2, E4 = Figure 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureExperimentConfig {
     /// RNG seed for the synthetic alert streams.
     pub seed: u64,
@@ -120,7 +119,7 @@ impl FigureExperimentConfig {
 
 /// The output of a figure experiment: one utility series per test day plus an
 /// aggregate summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOutput {
     /// Per-day utility series (what the paper plots).
     pub series: Vec<UtilitySeries>,
@@ -169,7 +168,7 @@ pub fn figure3_experiment(seed: u64) -> ExperimentOutput {
 }
 
 /// Runtime statistics of the per-alert optimization (Experiment E5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeStats {
     /// Number of alerts timed.
     pub alerts: usize,
@@ -199,7 +198,7 @@ pub fn runtime_experiment(seed: u64, history_days: u32) -> RuntimeStats {
 }
 
 /// Result of the knowledge-rollback ablation (Experiment E6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RollbackAblation {
     /// Summary with rollback enabled (the paper's configuration).
     pub with_rollback: ExperimentSummary,

@@ -3,16 +3,15 @@
 //!
 //! These are the workloads that benefit from parallelism: every
 //! (history, test-day) group is independent, so the runner fans the groups
-//! out over threads with `crossbeam`'s scoped threads.
+//! out over `std::thread::scope` threads.
 
 use crate::experiments::FigureExperimentConfig;
 use sag_core::engine::{AuditCycleEngine, CycleResult, EngineConfig};
 use sag_core::metrics::ExperimentSummary;
 use sag_sim::{AlertLog, StreamGenerator};
-use serde::{Deserialize, Serialize};
 
 /// Summary of one rolling evaluation group (one test day).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupResult {
     /// Index of the group (0-based; group `i` tests day `history_len + i`).
     pub group: usize,
@@ -41,7 +40,7 @@ pub fn rolling_groups_parallel(
     let groups = log.rolling_groups(history_len);
 
     let num_threads = std::thread::available_parallelism().map_or(4, usize::from).clamp(1, 8);
-    let results: Vec<(usize, CycleResult)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(usize, CycleResult)> = std::thread::scope(|scope| {
         let chunks: Vec<Vec<(usize, &[sag_sim::DayLog], &sag_sim::DayLog)>> = {
             let mut buckets: Vec<Vec<_>> = (0..num_threads).map(|_| Vec::new()).collect();
             for (i, (history, test)) in groups.iter().enumerate() {
@@ -53,7 +52,7 @@ pub fn rolling_groups_parallel(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .into_iter()
                         .map(|(i, history, test)| {
@@ -67,8 +66,7 @@ pub fn rolling_groups_parallel(
             handles.into_iter().flat_map(|h| h.join().expect("worker thread")).collect();
         all.sort_by_key(|(i, _)| *i);
         all
-    })
-    .expect("crossbeam scope");
+    });
 
     results
         .into_iter()
@@ -81,7 +79,7 @@ pub fn rolling_groups_parallel(
 }
 
 /// One point of the budget-sweep ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetSweepPoint {
     /// The cycle budget used.
     pub budget: f64,

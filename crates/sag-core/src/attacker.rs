@@ -11,10 +11,9 @@ use crate::model::{PayoffTable, Payoffs};
 use crate::scheme::{Signal, SignalingScheme};
 use rand::Rng;
 use sag_sim::{AlertTypeId, TimeOfDay};
-use serde::{Deserialize, Serialize};
 
 /// How the attacker chooses the alert type to attack with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackStrategy {
     /// Attack the type with the highest expected utility given the published
     /// coverage probabilities (the rational best response of the model).
@@ -24,7 +23,7 @@ pub enum AttackStrategy {
 }
 
 /// When within the audit cycle the attacker strikes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackTiming {
     /// At a specific time of day.
     At(TimeOfDay),
@@ -45,7 +44,7 @@ impl AttackTiming {
 }
 
 /// A (strategy, timing) attacker model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackerModel {
     /// Type-selection strategy.
     pub strategy: AttackStrategy,
@@ -95,7 +94,7 @@ impl AttackerModel {
 }
 
 /// The realised outcome of a single attack attempt against a signaling scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackOutcome {
     /// Whether a warning was shown to the attacker.
     pub warned: bool,

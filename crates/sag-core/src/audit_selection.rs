@@ -13,11 +13,10 @@ use crate::model::PayoffTable;
 use crate::scheme::{Signal, SignalingScheme};
 use rand::Rng;
 use sag_sim::Alert;
-use serde::{Deserialize, Serialize};
 
 /// One alert as recorded during the cycle: the alert itself, the scheme the
 /// auditor committed to, and the signal that was actually delivered.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecordedAlert {
     /// The triggered alert.
     pub alert: Alert,
@@ -37,7 +36,7 @@ impl RecordedAlert {
 }
 
 /// The outcome of the end-of-cycle audit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AuditSelection {
     /// Indices (into the recorded list) of the alerts that were audited.
     pub audited: Vec<usize>,

@@ -25,10 +25,9 @@ use crate::scheme::SignalingScheme;
 use crate::{Result, SagError};
 use sag_lp::{LpProblem, Objective, Relation};
 use sag_sim::AlertTypeId;
-use serde::{Deserialize, Serialize};
 
 /// One attacker profile: a prior weight and a payoff table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackerProfile {
     /// Human-readable label (for reports).
     pub label: String,
@@ -60,7 +59,7 @@ pub struct BayesianSseInput<'a> {
 }
 
 /// Solution of the Bayesian SSE.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BayesianSseSolution {
     /// Marginal coverage per type (common to all profiles).
     pub coverage: Vec<f64>,
@@ -244,7 +243,7 @@ impl BayesianSseSolver {
 }
 
 /// Result of the Bayesian OSSP for one alert.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BayesianOsspSolution {
     /// The committed joint signaling/auditing scheme.
     pub scheme: SignalingScheme,

@@ -29,11 +29,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sag_forecast::{ArrivalModel, FutureAlertEstimator, RollbackPolicy};
 use sag_sim::{Alert, AlertLog, AlertTypeId, DayLog, TimeOfDay};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// How budget consumption is charged per alert.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BudgetAccounting {
     /// Charge the expected audit cost (the marginal audit probability times
     /// the per-alert audit cost). Deterministic; the default.
@@ -48,7 +47,7 @@ pub enum BudgetAccounting {
 }
 
 /// Configuration of the audit-cycle engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Game definition: catalogue, payoffs, audit costs, budget.
     pub game: GameConfig,
@@ -81,7 +80,7 @@ impl EngineConfig {
 }
 
 /// Everything the engine recorded about one processed alert.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlertOutcome {
     /// Index of the alert within the day (0-based).
     pub index: usize,
@@ -125,7 +124,7 @@ pub struct AlertOutcome {
 }
 
 /// The result of replaying one audit cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CycleResult {
     /// Day index of the replayed test day.
     pub day: u32,

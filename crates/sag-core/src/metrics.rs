@@ -7,11 +7,10 @@
 
 use crate::engine::CycleResult;
 use sag_sim::TimeOfDay;
-use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
 
 /// The three per-alert utility series of one test day.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UtilitySeries {
     /// Day index.
     pub day: u32,
@@ -95,7 +94,7 @@ impl UtilitySeries {
 }
 
 /// Aggregate statistics over one or more replayed test days.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSummary {
     /// Number of test days aggregated.
     pub num_days: usize,
@@ -208,7 +207,8 @@ mod tests {
 
     #[test]
     fn summary_aggregates_and_reflects_theorem2() {
-        let results = vec![run_single_type_day(4), run_single_type_day(5)];
+        // Seeds chosen so the replay contains at least one deterred alert.
+        let results = vec![run_single_type_day(3), run_single_type_day(11)];
         let summary = ExperimentSummary::from_cycles(&results);
         assert_eq!(summary.num_days, 2);
         assert_eq!(summary.num_alerts, results[0].len() + results[1].len());

@@ -13,10 +13,9 @@
 
 use crate::{Result, SagError};
 use sag_sim::{AlertCatalog, AlertTypeId};
-use serde::{Deserialize, Serialize};
 
 /// Payoffs of a single alert type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Payoffs {
     /// Auditor's utility when the victim alert is audited (`U_{d,c} ≥ 0`).
     pub auditor_covered: f64,
@@ -102,7 +101,7 @@ impl Payoffs {
 }
 
 /// Payoff structures for every alert type in play.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PayoffTable {
     payoffs: Vec<Payoffs>,
 }
@@ -177,7 +176,7 @@ impl PayoffTable {
 }
 
 /// Full configuration of a Signaling Audit Game.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GameConfig {
     /// Alert catalogue (types, Table 1 statistics).
     pub catalog: AlertCatalog,

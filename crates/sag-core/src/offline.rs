@@ -11,10 +11,9 @@ use crate::model::PayoffTable;
 use crate::sse::{SseInput, SseSolution, SseSolver};
 use crate::Result;
 use sag_sim::AlertTypeId;
-use serde::{Deserialize, Serialize};
 
 /// A solved offline SSE: fixed coverage and per-alert utilities for a cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfflineSse {
     solution: SseSolution,
 }

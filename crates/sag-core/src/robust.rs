@@ -18,10 +18,9 @@
 
 use crate::model::Payoffs;
 use crate::scheme::SignalingScheme;
-use serde::{Deserialize, Serialize};
 
 /// A robust OSSP solution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RobustOsspSolution {
     /// The committed scheme.
     pub scheme: SignalingScheme,

@@ -12,13 +12,12 @@
 //! `p1 + p0` and the warning probability is `p1 + q1`.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Tolerance for probability-sum checks.
 const PROB_EPS: f64 = 1e-7;
 
 /// A joint signaling/auditing scheme for one alert.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SignalingScheme {
     /// `P(warn, audit)`.
     pub p1: f64,
@@ -31,7 +30,7 @@ pub struct SignalingScheme {
 }
 
 /// The signal actually delivered to the requestor once the scheme is sampled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Signal {
     /// A warning dialog is shown ("your access may be investigated").
     Warning,

@@ -27,10 +27,9 @@ use crate::model::Payoffs;
 use crate::scheme::SignalingScheme;
 use crate::Result;
 use sag_lp::{LpProblem, Objective, Relation};
-use serde::{Deserialize, Serialize};
 
 /// An OSSP solution for one alert.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OsspSolution {
     /// The optimal joint signaling/auditing scheme.
     pub scheme: SignalingScheme,

@@ -20,7 +20,6 @@ use crate::model::PayoffTable;
 use crate::{Result, SagError};
 use sag_lp::{LpError, LpProblem, Objective, Relation};
 use sag_sim::AlertTypeId;
-use serde::{Deserialize, Serialize};
 
 /// Inputs of one online SSE computation (one triggered alert).
 #[derive(Debug, Clone)]
@@ -63,7 +62,7 @@ impl SseInput<'_> {
 }
 
 /// The online SSE: marginal coverage per type and the equilibrium utilities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SseSolution {
     /// Marginal audit (coverage) probability `θ^t` per type.
     pub coverage: Vec<f64>,

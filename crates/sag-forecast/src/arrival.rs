@@ -7,10 +7,9 @@
 //! the empirical mean the paper estimates from its 41-day history windows.
 
 use sag_sim::{AlertTypeId, DayLog, TimeOfDay};
-use serde::{Deserialize, Serialize};
 
 /// Empirical arrival model: expected remaining alerts per type vs. time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalModel {
     /// Pooled sorted arrival seconds per type.
     pooled_times: Vec<Vec<u32>>,

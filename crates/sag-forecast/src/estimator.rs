@@ -3,7 +3,6 @@
 use crate::arrival::ArrivalModel;
 use crate::rollback::RollbackPolicy;
 use sag_sim::{AlertTypeId, DayLog, TimeOfDay};
-use serde::{Deserialize, Serialize};
 
 /// Online estimator of future alert counts, with knowledge rollback.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// [`estimate_all`](FutureAlertEstimator::estimate_all) *before* updating any
 /// state, then calls [`observe_alert`](FutureAlertEstimator::observe_alert)
 /// so that the rollback anchor advances to the alert just processed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FutureAlertEstimator {
     model: ArrivalModel,
     rollback: RollbackPolicy,

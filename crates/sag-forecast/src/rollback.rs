@@ -10,10 +10,9 @@
 //! triggered." Budget consumption then stays steady and a late attacker gains
 //! no obvious advantage.
 
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the knowledge-rollback heuristic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RollbackPolicy {
     /// Whether rollback is applied at all (disable for the ablation study).
     pub enabled: bool,

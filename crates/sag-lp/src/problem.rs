@@ -1,10 +1,9 @@
 //! Problem-builder API: variables, bounds, constraints and the objective.
 
 use crate::{LpError, LpSolution, Result};
-use serde::{Deserialize, Serialize};
 
 /// Optimization direction of the objective function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// Maximize the objective.
     Maximize,
@@ -14,7 +13,7 @@ pub enum Objective {
 
 /// Relation between the linear expression and the right-hand side of a
 /// constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Relation {
     /// `expr <= rhs`
     Le,
@@ -29,7 +28,7 @@ pub enum Relation {
 /// Handles are only meaningful for the problem that created them; using a
 /// handle from another problem is either caught as an out-of-range error or
 /// silently refers to a different variable, so don't do that.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub(crate) usize);
 
 impl VarId {
@@ -41,7 +40,7 @@ impl VarId {
 }
 
 /// A single variable definition: name, bounds and objective coefficient.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Variable {
     pub name: String,
     pub lower: f64,
@@ -50,7 +49,7 @@ pub(crate) struct Variable {
 }
 
 /// A linear constraint `sum_j coeff_j * x_j  (<=|>=|==)  rhs`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Constraint {
     /// Sparse list of `(variable, coefficient)` terms.
     pub terms: Vec<(VarId, f64)>,
@@ -85,7 +84,7 @@ impl Constraint {
 /// A linear program under construction.
 ///
 /// See the [crate-level documentation](crate) for a usage example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LpProblem {
     pub(crate) objective: Objective,
     pub(crate) variables: Vec<Variable>,

@@ -1,10 +1,9 @@
 //! Solution and statistics types returned by the solver.
 
 use crate::problem::VarId;
-use serde::{Deserialize, Serialize};
 
 /// Statistics about a solve, useful for benchmarking and regression tracking.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveStats {
     /// Total simplex pivots across both phases.
     pub pivots: usize,
@@ -17,7 +16,7 @@ pub struct SolveStats {
 }
 
 /// An optimal solution of a linear program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LpSolution {
     objective: f64,
     values: Vec<f64>,

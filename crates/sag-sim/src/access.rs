@@ -14,10 +14,9 @@ use crate::rng::poisson;
 use crate::stream::DiurnalProfile;
 use crate::time::TimeOfDay;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A single EMR access event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessEvent {
     /// Day index within the dataset.
     pub day: u32,
@@ -30,7 +29,7 @@ pub struct AccessEvent {
 }
 
 /// Configuration of the access generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessConfig {
     /// Expected number of accesses per day (the paper's log averages
     /// ≈ 192 000 unique accesses/day; scale down for fast experiments).

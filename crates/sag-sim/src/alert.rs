@@ -2,14 +2,13 @@
 
 use crate::person::PersonId;
 use crate::time::TimeOfDay;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the four base suspicious-access predicates used by the rule engine.
 ///
 /// The paper's alert types are combinations of these (Table 1). See
 /// [`RuleSet`] for the combination representation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaseRule {
     /// Employee and patient share the same last name.
     SameLastName,
@@ -46,7 +45,7 @@ impl BaseRule {
 /// An access that triggers several base rules is regarded as a *new* combined
 /// alert type (paper, Section 5), so the rule set — not the individual rules —
 /// is what maps to an [`AlertTypeId`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RuleSet(u8);
 
 impl RuleSet {
@@ -120,7 +119,7 @@ impl fmt::Display for RuleSet {
 /// Alert types partition alerts into classes that are equivalent for auditing
 /// purposes: same audit cost, same payoff structure, same forecast model.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct AlertTypeId(pub u16);
 
@@ -140,7 +139,7 @@ impl fmt::Display for AlertTypeId {
 }
 
 /// Static description of an alert type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlertTypeInfo {
     /// Identifier (index in the catalogue).
     pub id: AlertTypeId,
@@ -160,7 +159,7 @@ pub struct AlertTypeInfo {
 /// Table 1 together with their daily statistics; custom catalogues can be
 /// assembled for other scenarios (e.g. the single-type experiment of
 /// Figure 2 uses [`AlertCatalog::single_type`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlertCatalog {
     types: Vec<AlertTypeInfo>,
 }
@@ -289,7 +288,7 @@ impl AlertCatalog {
 }
 
 /// A single triggered alert: the unit the audit game is played over.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Alert {
     /// Day index (0-based) within the dataset.
     pub day: u32,

@@ -6,6 +6,7 @@
 use crate::access::AccessEvent;
 use crate::alert::Alert;
 use crate::log::DayLog;
+use std::fmt::Write as _;
 use std::io::{self, Write};
 
 /// Write alerts as CSV with a header: `day,time,seconds,type,is_attack`.
@@ -56,13 +57,81 @@ pub fn write_days_csv<W: Write>(mut out: W, days: &[DayLog]) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Propagates I/O and serialization errors.
+/// Propagates I/O errors from the writer.
 pub fn write_alerts_jsonl<W: Write>(mut out: W, alerts: &[Alert]) -> io::Result<()> {
     for a in alerts {
-        let line = serde_json::to_string(a).map_err(io::Error::other)?;
-        writeln!(out, "{line}")?;
+        writeln!(out, "{}", alert_to_json(a))?;
     }
     Ok(())
+}
+
+/// Render one alert as a flat JSON object. All fields are numeric or boolean,
+/// so no string escaping is required.
+#[must_use]
+pub fn alert_to_json(a: &Alert) -> String {
+    let mut line = format!(
+        "{{\"day\":{},\"seconds\":{},\"type\":{},\"is_attack\":{}",
+        a.day,
+        a.time.seconds(),
+        a.type_id.0,
+        a.is_attack
+    );
+    if let Some(e) = a.employee {
+        let _ = write!(line, ",\"employee\":{}", e.0);
+    }
+    if let Some(p) = a.patient {
+        let _ = write!(line, ",\"patient\":{}", p.0);
+    }
+    line.push('}');
+    line
+}
+
+/// Parse one alert from the JSON-lines form produced by [`alert_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn alert_from_json(line: &str) -> Result<Alert, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut alert = Alert {
+        day: 0,
+        time: crate::time::TimeOfDay::from_seconds(0),
+        type_id: crate::alert::AlertTypeId(0),
+        employee: None,
+        patient: None,
+        is_attack: false,
+    };
+    for field in body.split(',').filter(|f| !f.trim().is_empty()) {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field `{field}`"))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        let parse_u32 =
+            |v: &str| v.parse::<u32>().map_err(|e| format!("bad value for `{key}`: {e}"));
+        match key {
+            "day" => alert.day = parse_u32(value)?,
+            "seconds" => alert.time = crate::time::TimeOfDay::from_seconds(parse_u32(value)?),
+            "type" => {
+                alert.type_id = crate::alert::AlertTypeId(
+                    value.parse::<u16>().map_err(|e| format!("bad value for `type`: {e}"))?,
+                );
+            }
+            "is_attack" => {
+                alert.is_attack = value
+                    .parse::<bool>()
+                    .map_err(|e| format!("bad value for `is_attack`: {e}"))?;
+            }
+            "employee" => alert.employee = Some(crate::person::PersonId(parse_u32(value)?)),
+            "patient" => alert.patient = Some(crate::person::PersonId(parse_u32(value)?)),
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    Ok(alert)
 }
 
 /// Write access events as CSV with a header: `day,time,employee,patient`.
@@ -117,14 +186,32 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_round_trips_through_serde() {
+    fn jsonl_round_trips() {
         let alerts = sample_alerts();
         let mut buf = Vec::new();
         write_alerts_jsonl(&mut buf, &alerts).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let parsed: Vec<Alert> =
-            text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+            text.lines().map(|l| alert_from_json(l).unwrap()).collect();
         assert_eq!(parsed, alerts);
+    }
+
+    #[test]
+    fn json_includes_person_ids_when_present() {
+        let mut alert = Alert::benign(3, TimeOfDay::from_hms(1, 2, 3), AlertTypeId(2));
+        alert.employee = Some(PersonId(11));
+        alert.patient = Some(PersonId(22));
+        let line = alert_to_json(&alert);
+        assert!(line.contains("\"employee\":11"));
+        assert!(line.contains("\"patient\":22"));
+        assert_eq!(alert_from_json(&line).unwrap(), alert);
+    }
+
+    #[test]
+    fn malformed_json_lines_are_rejected() {
+        assert!(alert_from_json("not json").is_err());
+        assert!(alert_from_json("{\"day\":-1}").is_err());
+        assert!(alert_from_json("{\"mystery\":1}").is_err());
     }
 
     #[test]

@@ -6,13 +6,12 @@
 //! accurate to well under a percent at city scale and keeps the distance
 //! computation trivial.
 
-use serde::{Deserialize, Serialize};
 
 /// Distance threshold (miles) for the *Neighbor* rule, per the paper.
 pub const NEIGHBOR_RADIUS_MILES: f64 = 0.5;
 
 /// A planar location in miles relative to an arbitrary city origin.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Location {
     /// East–west offset in miles.
     pub x: f64,
@@ -52,7 +51,7 @@ impl Location {
 /// proximity are different signals (and lets combinations such as Table 1's
 /// type 7, *Last Name + Same Address + Neighbor*, arise from households with
 /// several registered addresses).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Address {
     /// Identifier of the address record (street + number), equality of which
     /// constitutes the *Same Address* rule.

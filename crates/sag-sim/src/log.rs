@@ -7,10 +7,9 @@
 
 use crate::alert::{Alert, AlertTypeId};
 use crate::time::TimeOfDay;
-use serde::{Deserialize, Serialize};
 
 /// Alerts triggered during one day, in chronological order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DayLog {
     day: u32,
     alerts: Vec<Alert>,
@@ -68,7 +67,7 @@ impl DayLog {
 }
 
 /// A multi-day alert log.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AlertLog {
     days: Vec<DayLog>,
 }

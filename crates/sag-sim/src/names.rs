@@ -9,14 +9,13 @@
 
 use crate::rng::weighted_index;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a last name within a [`NamePool`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NameId(pub u32);
 
 /// A weighted pool of last names.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NamePool {
     names: Vec<String>,
     weights: Vec<f64>,

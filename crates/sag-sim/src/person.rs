@@ -2,19 +2,18 @@
 
 use crate::geo::Address;
 use crate::names::NameId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a person (employee or patient) within a
 /// [`Population`](crate::population::Population).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PersonId(pub u32);
 
 /// Identifier of a hospital department.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DepartmentId(pub u16);
 
 /// Role of a person in the world model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// Hospital employee with EMR access.
     Employee {
@@ -57,7 +56,7 @@ impl Role {
 }
 
 /// A person in the synthetic world.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Person {
     /// Stable identifier.
     pub id: PersonId,

@@ -5,10 +5,9 @@ use crate::names::{NameId, NamePool};
 use crate::person::{DepartmentId, Person, PersonId, Role};
 use crate::rng::weighted_index;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the synthetic population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationConfig {
     /// Number of hospital employees.
     pub num_employees: usize,
@@ -62,7 +61,7 @@ impl PopulationConfig {
 }
 
 /// The generated world: people, the name pool and the address book.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Population {
     people: Vec<Person>,
     employees: Vec<PersonId>,
@@ -154,6 +153,12 @@ impl Population {
     #[must_use]
     pub fn people(&self) -> &[Person] {
         &self.people
+    }
+
+    /// The city's address book.
+    #[must_use]
+    pub fn addresses(&self) -> &[Address] {
+        &self.addresses
     }
 
     /// Look up a person.

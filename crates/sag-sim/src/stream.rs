@@ -21,13 +21,12 @@ use crate::rng::{normal_count, weighted_index};
 use crate::time::TimeOfDay;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Hourly intensity profile of alert arrivals over a day.
 ///
 /// Weights are relative; they are normalised internally. Within an hour,
 /// arrival times are uniform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiurnalProfile {
     weights: [f64; 24],
 }
@@ -111,7 +110,7 @@ impl DiurnalProfile {
 }
 
 /// Configuration of the calibrated stream generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamConfig {
     /// Alert catalogue (supplies the per-type daily mean/std).
     pub catalog: AlertCatalog,

@@ -5,7 +5,6 @@
 //! plain index (`u32`) — the simulation has no need for calendars, time zones
 //! or leap seconds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of seconds in an audit cycle (one day).
@@ -13,7 +12,7 @@ pub const SECONDS_PER_DAY: u32 = 24 * 60 * 60;
 
 /// A moment within an audit cycle, measured in seconds since midnight.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct TimeOfDay(u32);
 

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter` and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple calibrated wall-clock loop instead of the real crate's
+//! statistical machinery. Results are printed as `name: mean time/iter` lines
+//! so bench runs remain comparable across commits.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time to spend measuring each benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Target wall-clock time to spend warming up each benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(100);
+
+/// Identifier for a parameterized benchmark, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { rendered: format!("{}/{}", name.into(), param) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Passed to the bench closure; runs and times the measured routine.
+pub struct Bencher {
+    mean_nanos: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up briefly, then run batches until the
+    /// measurement budget is spent, recording the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and batch-size calibration.
+        let mut batch: u64 = 1;
+        let warmup_started = Instant::now();
+        loop {
+            let started = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = started.elapsed();
+            if warmup_started.elapsed() >= TARGET_WARMUP {
+                // Pick a batch size that lands near ~10ms per batch.
+                let per_iter = elapsed.as_secs_f64() / batch as f64;
+                if per_iter > 0.0 {
+                    batch = ((0.01 / per_iter).ceil() as u64).max(1);
+                }
+                break;
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+
+        // Measurement.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < TARGET_MEASURE {
+            let started = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += started.elapsed();
+            iters += batch;
+        }
+        self.mean_nanos = total.as_nanos() as f64 / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+fn run_bench(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { mean_nanos: 0.0, iters_done: 0 };
+    f(&mut b);
+    let (value, unit) = humanize(b.mean_nanos);
+    println!("{label:<60} {value:>10.3} {unit}/iter  ({} iters)", b.iters_done);
+}
+
+fn humanize(nanos: f64) -> (f64, &'static str) {
+    if nanos >= 1e9 {
+        (nanos / 1e9, "s ")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_bench(&id.to_string(), f);
+        self
+    }
+}
+
+/// Declare a group of bench functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, as in the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_nanos: 0.0, iters_done: 0 };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters_done > 0);
+        assert!(b.mean_nanos > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("solve", 7).to_string(), "solve/7");
+    }
+
+    #[test]
+    fn humanize_picks_sane_units() {
+        assert_eq!(humanize(12.0).1, "ns");
+        assert_eq!(humanize(12_000.0).1, "µs");
+        assert_eq!(humanize(12_000_000.0).1, "ms");
+        assert_eq!(humanize(2e9).1, "s ");
+    }
+}
