@@ -2,32 +2,34 @@
 //! (online SSE via the multiple-LP method + OSSP closed form), which is the
 //! latency a user would experience before the warning dialog can be shown.
 //! The paper reports ≈ 0.02 s per alert on 2017 laptop hardware.
+//!
+//! Game setups are shared with `bench_throughput.rs` through
+//! `sag_bench::setup`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sag_bench::setup;
 use sag_core::engine::{AuditCycleEngine, EngineConfig};
-use sag_core::model::{GameConfig, PayoffTable};
 use sag_core::signaling::ossp_closed_form;
-use sag_core::sse::{SseInput, SseSolver};
+use sag_core::sse::{SseCache, SseSolver};
 use sag_sim::{Alert, AlertTypeId, TimeOfDay};
 use std::hint::black_box;
 
 fn per_alert_optimization(c: &mut Criterion) {
     let mut group = c.benchmark_group("per_alert_optimization");
 
-    // Single-type game (Figure 2 setting).
-    let single = GameConfig::paper_single_type();
-    let single_estimates = vec![150.0];
+    // Single-type game (Figure 2 setting) — answered by the closed form.
+    let single = setup::single_type_game();
+    let single_estimates = setup::single_type_estimates();
     group.bench_function("sse_plus_ossp/1_type", |b| {
         let solver = SseSolver::new();
         b.iter(|| {
-            let sse = solver
-                .solve(&SseInput {
-                    payoffs: &single.payoffs,
-                    audit_costs: &single.audit_costs,
-                    future_estimates: black_box(&single_estimates),
-                    budget: black_box(17.5),
-                })
-                .unwrap();
+            let input = setup::sse_input(
+                &single.payoffs,
+                &single.audit_costs,
+                black_box(&single_estimates),
+                black_box(setup::SINGLE_TYPE_BUDGET),
+            );
+            let sse = solver.solve(&input).unwrap();
             let ossp = ossp_closed_form(
                 single.payoffs.get(AlertTypeId(0)),
                 sse.coverage_of(AlertTypeId(0)),
@@ -36,34 +38,90 @@ fn per_alert_optimization(c: &mut Criterion) {
         });
     });
 
-    // Multi-type game (Figure 3 setting).
-    let multi = GameConfig::paper_multi_type();
-    let multi_estimates = vec![150.0, 22.0, 110.0, 8.0, 19.0, 11.0, 33.0];
-    group.bench_function("sse_plus_ossp/7_types", |b| {
+    // Multi-type game (Figure 3 setting), cold and warm.
+    let multi = setup::multi_type_game();
+    let multi_estimates = setup::multi_type_estimates();
+    group.bench_function("sse_plus_ossp/7_types_cold", |b| {
         let solver = SseSolver::new();
         b.iter(|| {
-            let sse = solver
-                .solve(&SseInput {
-                    payoffs: &multi.payoffs,
-                    audit_costs: &multi.audit_costs,
-                    future_estimates: black_box(&multi_estimates),
-                    budget: black_box(42.0),
-                })
-                .unwrap();
+            let input = setup::sse_input(
+                &multi.payoffs,
+                &multi.audit_costs,
+                black_box(&multi_estimates),
+                black_box(setup::MULTI_TYPE_BUDGET),
+            );
+            let sse = solver.solve(&input).unwrap();
+            let t = sse.best_response;
+            let ossp = ossp_closed_form(multi.payoffs.get(t), sse.coverage_of(t));
+            black_box((sse.auditor_utility, ossp.auditor_utility))
+        });
+    });
+    group.bench_function("sse_plus_ossp/7_types_warm", |b| {
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        b.iter(|| {
+            let input = setup::sse_input(
+                &multi.payoffs,
+                &multi.audit_costs,
+                black_box(&multi_estimates),
+                black_box(setup::MULTI_TYPE_BUDGET),
+            );
+            let sse = solver.solve_cached(&input, &mut cache).unwrap();
             let t = sse.best_response;
             let ossp = ossp_closed_form(multi.payoffs.get(t), sse.coverage_of(t));
             black_box((sse.auditor_utility, ossp.auditor_utility))
         });
     });
 
-    // Full per-alert engine path (estimates provided, like the online system).
+    // The acceptance workload: warm vs cold on the synthetic 5-type game.
+    let (payoffs5, costs5, estimates5) = setup::synthetic_game(5);
+    group.bench_function("sse_5type/cold", |b| {
+        let solver = SseSolver::new();
+        b.iter(|| {
+            let input =
+                setup::sse_input(&payoffs5, &costs5, black_box(&estimates5), black_box(30.0));
+            black_box(solver.solve(&input).unwrap().auditor_utility)
+        });
+    });
+    group.bench_function("sse_5type/warm", |b| {
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        b.iter(|| {
+            let input =
+                setup::sse_input(&payoffs5, &costs5, black_box(&estimates5), black_box(30.0));
+            black_box(solver.solve_cached(&input, &mut cache).unwrap().auditor_utility)
+        });
+    });
+
+    // Full per-alert engine path (estimates provided, like the online
+    // system), cold and warm-cached.
     let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap();
     let alert = Alert::benign(0, TimeOfDay::from_hms(10, 30, 0), AlertTypeId(2));
-    group.bench_function("engine_solve_alert/7_types", |b| {
+    group.bench_function("engine_solve_alert/7_types_cold", |b| {
         b.iter(|| {
             black_box(
                 engine
-                    .solve_alert(black_box(&alert), black_box(&multi_estimates), black_box(42.0))
+                    .solve_alert(
+                        black_box(&alert),
+                        black_box(&multi_estimates),
+                        black_box(setup::MULTI_TYPE_BUDGET),
+                    )
+                    .unwrap()
+                    .2,
+            )
+        });
+    });
+    group.bench_function("engine_solve_alert/7_types_warm", |b| {
+        let mut cache = SseCache::new();
+        b.iter(|| {
+            black_box(
+                engine
+                    .solve_alert_cached(
+                        black_box(&alert),
+                        black_box(&multi_estimates),
+                        black_box(setup::MULTI_TYPE_BUDGET),
+                        &mut cache,
+                    )
                     .unwrap()
                     .2,
             )
@@ -72,34 +130,14 @@ fn per_alert_optimization(c: &mut Criterion) {
 
     // Scaling with the number of types (synthetic payoff tables).
     for &n in &[2usize, 4, 8, 16] {
-        let payoffs = PayoffTable::new(
-            (0..n)
-                .map(|i| {
-                    sag_core::model::Payoffs::new(
-                        100.0 + i as f64 * 50.0,
-                        -400.0 - i as f64 * 100.0,
-                        -2000.0 - i as f64 * 300.0,
-                        400.0 + i as f64 * 30.0,
-                    )
-                })
-                .collect(),
-        );
-        let costs = vec![1.0; n];
-        let estimates: Vec<f64> = (0..n).map(|i| 20.0 + 15.0 * i as f64).collect();
+        let (payoffs, costs, estimates) = setup::synthetic_game(n);
         group.bench_with_input(BenchmarkId::new("sse_scaling_types", n), &n, |b, _| {
             let solver = SseSolver::new();
+            let mut cache = SseCache::new();
             b.iter(|| {
-                black_box(
-                    solver
-                        .solve(&SseInput {
-                            payoffs: &payoffs,
-                            audit_costs: &costs,
-                            future_estimates: black_box(&estimates),
-                            budget: black_box(30.0),
-                        })
-                        .unwrap()
-                        .auditor_utility,
-                )
+                let input =
+                    setup::sse_input(&payoffs, &costs, black_box(&estimates), black_box(30.0));
+                black_box(solver.solve_cached(&input, &mut cache).unwrap().auditor_utility)
             });
         });
     }

@@ -16,7 +16,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod setup;
 pub mod sweeps;
+pub mod throughput;
 
 pub use experiments::{
     figure2_experiment, figure3_experiment, rollback_ablation, run_figure_experiment,
@@ -24,3 +26,6 @@ pub use experiments::{
     RollbackAblation, RuntimeStats, Table1Row,
 };
 pub use sweeps::{budget_sweep, rolling_groups_parallel, BudgetSweepPoint, GroupResult};
+pub use throughput::{
+    throughput_experiment, warm_vs_cold_5type, ThroughputConfig, ThroughputReport,
+};

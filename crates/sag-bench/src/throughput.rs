@@ -1,0 +1,262 @@
+//! End-to-end throughput measurement of the per-alert solve chain.
+//!
+//! Replays multi-day alert logs through [`AuditCycleEngine::replay_batch`]
+//! (the batched, warm-started engine entry point) and reports the metrics
+//! future PRs track for regressions: alerts per second, per-alert latency
+//! percentiles, simplex pivots per LP and the warm-start hit rate — plus a
+//! direct warm-vs-cold comparison of the SSE solver on a 5-type game, which
+//! is the headline speedup of the warm-start machinery.
+//!
+//! The [`render_json`] output is written to `BENCH_1.json` by the
+//! `repro_throughput` binary.
+
+use crate::setup;
+use sag_core::engine::{AuditCycleEngine, CycleResult, EngineConfig};
+use sag_core::sse::{SseCache, SseSolver};
+use sag_sim::{AlertLog, StreamConfig, StreamGenerator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Configuration of a throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputConfig {
+    /// RNG seed of the synthetic alert stream.
+    pub seed: u64,
+    /// Days of history fitted before each test day.
+    pub history_days: u32,
+    /// Number of test days replayed (one batch job per day).
+    pub test_days: u32,
+    /// Solves per arm of the warm-vs-cold 5-type comparison.
+    pub comparison_solves: usize,
+}
+
+impl ThroughputConfig {
+    /// The default workload: the paper's 7-type game over a 15-day log.
+    #[must_use]
+    pub fn default_workload(seed: u64) -> Self {
+        ThroughputConfig { seed, history_days: 10, test_days: 5, comparison_solves: 2_000 }
+    }
+}
+
+/// Everything a throughput run measures.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Total alerts replayed across the test days.
+    pub alerts: usize,
+    /// Wall-clock time of the whole batched replay, in seconds.
+    pub wall_seconds: f64,
+    /// End-to-end alerts per second (replay work divided by wall time).
+    pub alerts_per_sec: f64,
+    /// Median per-alert solve latency (SSE + OSSP), microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile per-alert solve latency, microseconds.
+    pub p99_micros: f64,
+    /// Mean per-alert solve latency, microseconds.
+    pub mean_micros: f64,
+    /// Mean simplex pivots per candidate LP across the replay.
+    pub pivots_per_lp: f64,
+    /// Fraction of warm-start attempts that avoided a cold solve.
+    pub warm_hit_rate: f64,
+    /// Mean time of one warm-started 5-type SSE solve, microseconds.
+    pub warm_micros_5type: f64,
+    /// Mean time of one cold 5-type SSE solve, microseconds.
+    pub cold_micros_5type: f64,
+    /// Cold time divided by warm time on the 5-type game.
+    pub warm_speedup_5type: f64,
+}
+
+/// Run the full throughput experiment.
+///
+/// # Panics
+///
+/// Panics if the paper engine configuration is rejected or a replay fails,
+/// both of which indicate workspace bugs rather than user errors.
+#[must_use]
+pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
+    let mut generator = StreamGenerator::new(StreamConfig::paper_multi_type(config.seed));
+    let log =
+        AlertLog::new(generator.generate_days(config.history_days + config.test_days));
+    let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type())
+        .expect("paper configuration is valid");
+    let groups = log.rolling_groups(config.history_days as usize);
+
+    let started = Instant::now();
+    let cycles = engine.replay_batch(&groups).expect("batched replay succeeds");
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let (warm_micros_5type, cold_micros_5type) = warm_vs_cold_5type(config.comparison_solves);
+    summarize(&cycles, wall_seconds, warm_micros_5type, cold_micros_5type)
+}
+
+/// Aggregate replayed cycles into a report.
+fn summarize(
+    cycles: &[CycleResult],
+    wall_seconds: f64,
+    warm_micros_5type: f64,
+    cold_micros_5type: f64,
+) -> ThroughputReport {
+    let mut latencies: Vec<u64> =
+        cycles.iter().flat_map(|c| c.outcomes.iter().map(|o| o.solve_micros)).collect();
+    latencies.sort_unstable();
+    let alerts = latencies.len();
+
+    let percentile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((alerts - 1) as f64 * q).round() as usize;
+        latencies[rank] as f64
+    };
+    let mean_micros = if alerts == 0 {
+        0.0
+    } else {
+        latencies.iter().map(|&v| v as f64).sum::<f64>() / alerts as f64
+    };
+
+    let mut lp_solves = 0u64;
+    let mut pivots = 0u64;
+    let mut warm_attempts = 0u64;
+    let mut warm_hits = 0u64;
+    for c in cycles {
+        lp_solves += c.sse_totals.lp_solves;
+        pivots += c.sse_totals.pivots;
+        warm_attempts += c.sse_totals.warm_attempts;
+        warm_hits += c.sse_totals.warm_hits;
+    }
+
+    ThroughputReport {
+        alerts,
+        wall_seconds,
+        alerts_per_sec: if wall_seconds > 0.0 { alerts as f64 / wall_seconds } else { 0.0 },
+        p50_micros: percentile(0.50),
+        p99_micros: percentile(0.99),
+        mean_micros,
+        pivots_per_lp: if lp_solves == 0 { 0.0 } else { pivots as f64 / lp_solves as f64 },
+        warm_hit_rate: if warm_attempts == 0 {
+            0.0
+        } else {
+            warm_hits as f64 / warm_attempts as f64
+        },
+        warm_micros_5type,
+        cold_micros_5type,
+        warm_speedup_5type: if warm_micros_5type > 0.0 {
+            cold_micros_5type / warm_micros_5type
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Time `solves` SSE solves of the 5-type scaling game twice — once
+/// warm-started through an [`SseCache`], once cold — over an identical
+/// drifting budget/estimate trajectory (the shape of consecutive alerts in a
+/// replay). Returns `(warm_micros_per_solve, cold_micros_per_solve)`.
+#[must_use]
+pub fn warm_vs_cold_5type(solves: usize) -> (f64, f64) {
+    let (payoffs, costs, base_estimates) = setup::synthetic_game(5);
+    let solver = SseSolver::new();
+    let budget_at = |i: usize| 30.0 - 25.0 * (i as f64 / solves.max(1) as f64);
+    let estimates_at = |i: usize, out: &mut Vec<f64>| {
+        out.clear();
+        let drift = 1.0 - 0.6 * (i as f64 / solves.max(1) as f64);
+        out.extend(base_estimates.iter().map(|e| e * drift));
+    };
+
+    let mut estimates = Vec::new();
+
+    // Warm arm.
+    let mut cache = SseCache::new();
+    let started = Instant::now();
+    for i in 0..solves {
+        estimates_at(i, &mut estimates);
+        let input = setup::sse_input(&payoffs, &costs, &estimates, budget_at(i));
+        let solution = solver.solve_cached(&input, &mut cache).expect("5-type game solves");
+        std::hint::black_box(solution.auditor_utility);
+    }
+    let warm_micros = started.elapsed().as_secs_f64() * 1e6 / solves.max(1) as f64;
+
+    // Cold arm, same trajectory.
+    let started = Instant::now();
+    for i in 0..solves {
+        estimates_at(i, &mut estimates);
+        let input = setup::sse_input(&payoffs, &costs, &estimates, budget_at(i));
+        let solution = solver.solve(&input).expect("5-type game solves");
+        std::hint::black_box(solution.auditor_utility);
+    }
+    let cold_micros = started.elapsed().as_secs_f64() * 1e6 / solves.max(1) as f64;
+
+    (warm_micros, cold_micros)
+}
+
+/// Render the report as the machine-readable `BENCH_1.json` document.
+#[must_use]
+pub fn render_json(report: &ThroughputReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"per_alert_solve_chain_throughput\",");
+    let _ = writeln!(out, "  \"alerts\": {},", report.alerts);
+    let _ = writeln!(out, "  \"wall_seconds\": {:.6},", report.wall_seconds);
+    let _ = writeln!(out, "  \"alerts_per_sec\": {:.2},", report.alerts_per_sec);
+    let _ = writeln!(out, "  \"latency_micros\": {{");
+    let _ = writeln!(out, "    \"p50\": {:.1},", report.p50_micros);
+    let _ = writeln!(out, "    \"p99\": {:.1},", report.p99_micros);
+    let _ = writeln!(out, "    \"mean\": {:.1}", report.mean_micros);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"pivots_per_lp\": {:.3},", report.pivots_per_lp);
+    let _ = writeln!(out, "  \"warm_start_hit_rate\": {:.4},", report.warm_hit_rate);
+    let _ = writeln!(out, "  \"warm_vs_cold_5type\": {{");
+    let _ = writeln!(out, "    \"warm_micros_per_solve\": {:.2},", report.warm_micros_5type);
+    let _ = writeln!(out, "    \"cold_micros_per_solve\": {:.2},", report.cold_micros_5type);
+    let _ = writeln!(out, "    \"speedup\": {:.2}", report.warm_speedup_5type);
+    let _ = writeln!(out, "  }}");
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_throughput_run_produces_consistent_metrics() {
+        let config =
+            ThroughputConfig { seed: 5, history_days: 6, test_days: 2, comparison_solves: 50 };
+        let report = throughput_experiment(&config);
+        assert!(report.alerts > 100);
+        assert!(report.alerts_per_sec > 0.0);
+        assert!(report.p50_micros <= report.p99_micros);
+        assert!(report.warm_hit_rate > 0.5, "hit rate {}", report.warm_hit_rate);
+        assert!(report.pivots_per_lp < 20.0);
+        assert!(report.warm_micros_5type > 0.0);
+        assert!(report.cold_micros_5type > 0.0);
+    }
+
+    #[test]
+    fn json_rendering_contains_every_metric() {
+        let report = ThroughputReport {
+            alerts: 1000,
+            wall_seconds: 0.5,
+            alerts_per_sec: 2000.0,
+            p50_micros: 11.0,
+            p99_micros: 42.0,
+            mean_micros: 13.5,
+            pivots_per_lp: 1.25,
+            warm_hit_rate: 0.97,
+            warm_micros_5type: 4.0,
+            cold_micros_5type: 12.0,
+            warm_speedup_5type: 3.0,
+        };
+        let json = render_json(&report);
+        for needle in [
+            "\"alerts\": 1000",
+            "\"alerts_per_sec\": 2000.00",
+            "\"p50\": 11.0",
+            "\"p99\": 42.0",
+            "\"pivots_per_lp\": 1.250",
+            "\"warm_start_hit_rate\": 0.9700",
+            "\"speedup\": 3.00",
+        ] {
+            assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

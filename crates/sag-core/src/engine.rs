@@ -23,7 +23,7 @@ use crate::model::GameConfig;
 use crate::offline::OfflineSse;
 use crate::scheme::SignalingScheme;
 use crate::signaling::ossp_closed_form;
-use crate::sse::{SseInput, SseSolution, SseSolver};
+use crate::sse::{SseCache, SseCacheTotals, SseInput, SseSolution, SseSolveStats, SseSolver};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +121,9 @@ pub struct AlertOutcome {
     /// Wall-clock time spent computing the SSE + OSSP for this alert, in
     /// microseconds (the per-alert optimization cost the paper reports).
     pub solve_micros: u64,
+    /// Solver-work statistics of the OSSP-world SSE computation for this
+    /// alert (LPs solved, warm-start hits, simplex pivots).
+    pub sse_stats: SseSolveStats,
 }
 
 /// The result of replaying one audit cycle.
@@ -136,6 +139,9 @@ pub struct CycleResult {
     pub offline_attacker_utility: f64,
     /// Offline coverage per type.
     pub offline_coverage: Vec<f64>,
+    /// Aggregate solver work of the OSSP-world SSE cache over this day
+    /// (solves, warm-start attempts/hits, pivots).
+    pub sse_totals: SseCacheTotals,
 }
 
 impl CycleResult {
@@ -237,6 +243,73 @@ impl AuditCycleEngine {
     ///
     /// Propagates solver errors (which do not occur for valid configurations).
     pub fn run_day(&self, history: &[DayLog], test_day: &DayLog) -> Result<CycleResult> {
+        self.run_day_cached(history, test_day, &mut ReplayCaches::default())
+    }
+
+    /// Replay many `(history, test-day)` jobs over shared solver state: the
+    /// SSE warm-start caches persist across days, so after the first day
+    /// virtually every candidate LP starts from a near-optimal basis. With
+    /// the `parallel` feature the jobs are fanned out over
+    /// `std::thread::scope` threads (each thread owns its own caches, so
+    /// results are identical to the sequential replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (which do not occur for valid
+    /// configurations).
+    pub fn replay_batch(
+        &self,
+        jobs: &[(&[DayLog], &DayLog)],
+    ) -> Result<Vec<CycleResult>> {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = std::thread::available_parallelism()
+                .map_or(1, usize::from)
+                .min(jobs.len().max(1));
+            if threads > 1 {
+                return self.replay_batch_parallel(jobs, threads);
+            }
+        }
+        let mut caches = ReplayCaches::default();
+        jobs.iter()
+            .map(|(history, test_day)| self.run_day_cached(history, test_day, &mut caches))
+            .collect()
+    }
+
+    /// Fan a replay batch out over scoped threads, one cache set per thread.
+    #[cfg(feature = "parallel")]
+    fn replay_batch_parallel(
+        &self,
+        jobs: &[(&[DayLog], &DayLog)],
+        threads: usize,
+    ) -> Result<Vec<CycleResult>> {
+        let chunk_size = jobs.len().div_ceil(threads);
+        let mut results: Vec<Option<Result<CycleResult>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (job_chunk, result_chunk) in
+                jobs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
+            {
+                scope.spawn(move || {
+                    let mut caches = ReplayCaches::default();
+                    for ((history, test_day), out) in
+                        job_chunk.iter().zip(result_chunk.iter_mut())
+                    {
+                        *out = Some(self.run_day_cached(history, test_day, &mut caches));
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("every job replayed")).collect()
+    }
+
+    /// Replay one audit cycle over caller-provided warm-start caches.
+    fn run_day_cached(
+        &self,
+        history: &[DayLog],
+        test_day: &DayLog,
+        caches: &mut ReplayCaches,
+    ) -> Result<CycleResult> {
         let game = &self.config.game;
         let n = game.num_types();
         let model = ArrivalModel::fit(history, n);
@@ -257,13 +330,14 @@ impl AuditCycleEngine {
         let mut budget_ossp = game.budget;
         let mut budget_online = game.budget;
         let mut outcomes = Vec::with_capacity(test_day.len());
+        let totals_at_start = caches.ossp.totals;
 
         for (index, alert) in test_day.alerts().iter().enumerate() {
             let estimates = estimator.estimate_all(alert.time);
 
             // ---- OSSP world -------------------------------------------------
             let started = Instant::now();
-            let sse_ossp = self.solve_sse(&estimates, budget_ossp)?;
+            let sse_ossp = self.solve_sse(&estimates, budget_ossp, &mut caches.ossp)?;
             let type_payoffs = game.payoffs.get(alert.type_id);
             let coverage_ossp = sse_ossp.coverage_of(alert.type_id);
             let ossp_applied = alert.type_id == sse_ossp.best_response;
@@ -287,7 +361,7 @@ impl AuditCycleEngine {
             let sse_online = if (budget_online - budget_ossp).abs() < 1e-12 {
                 sse_ossp.clone()
             } else {
-                self.solve_sse(&estimates, budget_online)?
+                self.solve_sse(&estimates, budget_online, &mut caches.online)?
             };
             let coverage_online = sse_online.coverage_of(alert.type_id);
 
@@ -325,6 +399,7 @@ impl AuditCycleEngine {
                 budget_after_ossp: budget_ossp,
                 budget_after_online: budget_online,
                 solve_micros,
+                sse_stats: sse_ossp.stats,
             });
         }
 
@@ -336,6 +411,7 @@ impl AuditCycleEngine {
             offline_coverage: (0..n)
                 .map(|t| offline.coverage_of(AlertTypeId(t as u16)))
                 .collect(),
+            sse_totals: caches.ossp.totals.since(&totals_at_start),
         })
     }
 
@@ -346,10 +422,7 @@ impl AuditCycleEngine {
     ///
     /// Propagates errors from [`run_day`](Self::run_day).
     pub fn run_groups(&self, log: &AlertLog, history_len: usize) -> Result<Vec<CycleResult>> {
-        log.rolling_groups(history_len)
-            .into_iter()
-            .map(|(history, test)| self.run_day(history, test))
-            .collect()
+        self.replay_batch(&log.rolling_groups(history_len))
     }
 
     /// Process a single alert against explicit estimates and budget — the
@@ -364,14 +437,46 @@ impl AuditCycleEngine {
         estimates: &[f64],
         remaining_budget: f64,
     ) -> Result<(SseSolution, SignalingScheme, f64)> {
-        let sse = self.solve_sse(estimates, remaining_budget)?;
+        let game = &self.config.game;
+        let input = SseInput {
+            payoffs: &game.payoffs,
+            audit_costs: &game.audit_costs,
+            future_estimates: estimates,
+            budget: remaining_budget,
+        };
+        let sse = self.solver.solve(&input)?;
+        let payoffs = game.payoffs.get(alert.type_id);
+        let theta = sse.coverage_of(alert.type_id);
+        let ossp = ossp_closed_form(payoffs, theta);
+        Ok((sse, ossp.scheme, ossp.auditor_utility))
+    }
+
+    /// Like [`solve_alert`](Self::solve_alert) but warm-started from `cache`
+    /// — the per-alert hot path of a long-running online deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSE solver errors.
+    pub fn solve_alert_cached(
+        &self,
+        alert: &Alert,
+        estimates: &[f64],
+        remaining_budget: f64,
+        cache: &mut SseCache,
+    ) -> Result<(SseSolution, SignalingScheme, f64)> {
+        let sse = self.solve_sse(estimates, remaining_budget, cache)?;
         let payoffs = self.config.game.payoffs.get(alert.type_id);
         let theta = sse.coverage_of(alert.type_id);
         let ossp = ossp_closed_form(payoffs, theta);
         Ok((sse, ossp.scheme, ossp.auditor_utility))
     }
 
-    fn solve_sse(&self, estimates: &[f64], budget: f64) -> Result<SseSolution> {
+    fn solve_sse(
+        &self,
+        estimates: &[f64],
+        budget: f64,
+        cache: &mut SseCache,
+    ) -> Result<SseSolution> {
         let game = &self.config.game;
         let input = SseInput {
             payoffs: &game.payoffs,
@@ -379,8 +484,16 @@ impl AuditCycleEngine {
             future_estimates: estimates,
             budget,
         };
-        self.solver.solve(&input)
+        self.solver.solve_cached(&input, cache)
     }
+}
+
+/// The warm-start caches of one replay: the OSSP world and the online-SSE
+/// world consume budget differently, so each keeps its own basis trail.
+#[derive(Debug, Clone, Default)]
+struct ReplayCaches {
+    ossp: SseCache,
+    online: SseCache,
 }
 
 #[cfg(test)]
@@ -515,6 +628,49 @@ mod tests {
         for r in &results {
             assert!(!r.is_empty());
         }
+    }
+
+    #[test]
+    fn replay_batch_matches_per_day_replays() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(17));
+        let days = gen.generate_days(14);
+        let log = AlertLog::new(days);
+        let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap();
+        let groups = log.rolling_groups(11);
+        assert_eq!(groups.len(), 3);
+
+        let batch = engine.replay_batch(&groups).unwrap();
+        assert_eq!(batch.len(), groups.len());
+        for ((history, test), cycle) in groups.iter().zip(&batch) {
+            let reference = engine.run_day(history, test).unwrap();
+            assert_eq!(cycle.len(), reference.len());
+            assert_eq!(cycle.day, reference.day);
+            for (a, b) in cycle.outcomes.iter().zip(&reference.outcomes) {
+                assert!((a.ossp_utility - b.ossp_utility).abs() < 1e-9);
+                assert!((a.online_sse_utility - b.online_sse_utility).abs() < 1e-9);
+                assert!((a.budget_after_ossp - b.budget_after_ossp).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_records_warm_start_and_pivot_statistics() {
+        let (history, test_day) = multi_type_setup(23);
+        let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap();
+        let result = engine.run_day(&history, &test_day).unwrap();
+        let totals = result.sse_totals;
+        assert_eq!(totals.solves as usize, result.len());
+        assert!(totals.lp_solves >= totals.solves, "7-type game solves 7 LPs per alert");
+        // From the second alert on, every candidate LP has a warm basis.
+        assert!(totals.warm_attempts > 0);
+        assert!(
+            totals.warm_hit_rate() > 0.5,
+            "warm-start hit rate {:.3} unexpectedly low",
+            totals.warm_hit_rate()
+        );
+        // Per-alert stats are populated too.
+        assert!(result.outcomes[0].sse_stats.lp_solves > 0);
+        assert!(result.outcomes.iter().skip(1).any(|o| o.sse_stats.warm_hits > 0));
     }
 
     #[test]

@@ -15,11 +15,40 @@
 //! best-response type `t`, solve an LP that maximises the auditor's utility
 //! against an attack on `t` subject to `t` actually being a best response and
 //! to the budget constraints; then keep the best feasible solution.
+//!
+//! ## The per-alert hot path
+//!
+//! This is the latency-critical computation of the whole system: it runs once
+//! per incoming alert, before the warning dialog can be shown. Three
+//! optimizations keep it fast:
+//!
+//! * **Warm starts** — consecutive alerts differ only by a slightly smaller
+//!   budget and drifted Poisson estimates, so the optimal basis of each
+//!   candidate LP rarely changes. [`SseCache`] remembers the last optimal
+//!   basis per candidate and seeds the next solve from it
+//!   ([`LpProblem::solve_from_basis`]), falling back to a cold solve
+//!   automatically when the basis no longer applies.
+//! * **A single-type closed form** — for one-type games LP (2) reduces to a
+//!   one-variable program whose optimum is attained at a bound, so the
+//!   solver bypasses the LP entirely.
+//! * **Candidate-level parallelism** — with the `parallel` crate feature the
+//!   `n` candidate LPs of games with many types are fanned out over
+//!   `std::thread::scope` threads (the sequential tie-breaking semantics are
+//!   preserved by reducing results in candidate order).
 
 use crate::model::PayoffTable;
 use crate::{Result, SagError};
-use sag_lp::{LpError, LpProblem, Objective, Relation};
+use sag_lp::{LpError, LpProblem, LpSolution, Objective, Relation, SimplexWorkspace, VarId};
 use sag_sim::AlertTypeId;
+
+/// Feasibility/optimality tolerance shared with the LP layer.
+const EPS: f64 = sag_lp::EPS;
+
+/// Minimum number of candidate types before the `parallel` feature fans the
+/// candidate LPs out over threads; below this, thread spawn overhead exceeds
+/// the LP solve cost.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_TYPES: usize = 8;
 
 /// Inputs of one online SSE computation (one triggered alert).
 #[derive(Debug, Clone)]
@@ -61,6 +90,19 @@ impl SseInput<'_> {
     }
 }
 
+/// Per-solve statistics of one online SSE computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SseSolveStats {
+    /// Number of candidate LPs solved (0 when the closed form applied).
+    pub lp_solves: u32,
+    /// How many of those LPs were successfully warm-started.
+    pub warm_hits: u32,
+    /// Total simplex pivots across the candidate LPs.
+    pub pivots: u32,
+    /// Whether the single-type closed form bypassed the LP entirely.
+    pub fast_path: bool,
+}
+
 /// The online SSE: marginal coverage per type and the equilibrium utilities.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SseSolution {
@@ -76,6 +118,8 @@ pub struct SseSolution {
     pub auditor_utility: f64,
     /// Attacker's expected utility at equilibrium.
     pub attacker_utility: f64,
+    /// How this solution was computed (solver work, warm-start hits).
+    pub stats: SseSolveStats,
 }
 
 impl SseSolution {
@@ -98,6 +142,123 @@ impl SseSolution {
     }
 }
 
+/// Warm-start state for repeated SSE solves.
+///
+/// Holds, per candidate best-response type, a reusable simplex workspace and
+/// the optimal basis of the previous solve, plus cumulative counters. Create
+/// one per replay (or per thread) and pass it to
+/// [`SseSolver::solve_cached`]; the cache is game-shape specific (number of
+/// types), and a cache observed with a different shape is reset
+/// transparently.
+#[derive(Debug, Clone, Default)]
+pub struct SseCache {
+    slots: Vec<CandidateSlot>,
+    rates: Vec<f64>,
+    /// Cumulative counters across every solve performed with this cache.
+    pub totals: SseCacheTotals,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CandidateSlot {
+    workspace: SimplexWorkspace,
+    /// Row-ordered optimal basis of the previous solve; empty = none yet.
+    basis: Vec<usize>,
+    /// The candidate LP, built once per game shape; subsequent solves only
+    /// rewrite its coefficients in place (no allocation).
+    program: Option<CandidateProgram>,
+    /// The most recent optimal solution (kept so the winning candidate's
+    /// budget split can be extracted without re-solving).
+    last: Option<LpSolution>,
+}
+
+/// A cached candidate LP: the problem plus its variable handles.
+#[derive(Debug, Clone)]
+struct CandidateProgram {
+    lp: LpProblem,
+    vars: Vec<VarId>,
+}
+
+/// The scalar outcome of one candidate LP solve; the full solution stays in
+/// the slot.
+#[derive(Debug, Clone, Copy)]
+struct CandidateOutcome {
+    auditor_utility: f64,
+    attacker_utility: f64,
+    warm_hit: bool,
+    pivots: u32,
+}
+
+/// Cumulative counters of an [`SseCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SseCacheTotals {
+    /// SSE computations performed.
+    pub solves: u64,
+    /// Candidate LPs solved (excludes closed-form fast-path solves).
+    pub lp_solves: u64,
+    /// LPs for which a warm basis was available and attempted.
+    pub warm_attempts: u64,
+    /// LPs for which the warm basis was accepted (no cold fallback).
+    pub warm_hits: u64,
+    /// Total simplex pivots.
+    pub pivots: u64,
+    /// Solves answered by the single-type closed form.
+    pub fast_path_solves: u64,
+}
+
+impl SseCacheTotals {
+    /// Counter deltas accumulated since an earlier snapshot of the same
+    /// cache (used to attribute work to one replayed day when a cache is
+    /// shared across many).
+    #[must_use]
+    pub fn since(&self, earlier: &SseCacheTotals) -> SseCacheTotals {
+        SseCacheTotals {
+            solves: self.solves - earlier.solves,
+            lp_solves: self.lp_solves - earlier.lp_solves,
+            warm_attempts: self.warm_attempts - earlier.warm_attempts,
+            warm_hits: self.warm_hits - earlier.warm_hits,
+            pivots: self.pivots - earlier.pivots,
+            fast_path_solves: self.fast_path_solves - earlier.fast_path_solves,
+        }
+    }
+
+    /// Fraction of warm-start attempts that avoided the cold path.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Mean simplex pivots per candidate LP.
+    #[must_use]
+    pub fn pivots_per_lp(&self) -> f64 {
+        if self.lp_solves == 0 {
+            0.0
+        } else {
+            self.pivots as f64 / self.lp_solves as f64
+        }
+    }
+}
+
+impl SseCache {
+    /// Create an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SseCache::default()
+    }
+
+    /// Make sure the cache matches a game with `n` types, resetting the
+    /// warm-start slots if it was shaped for a different game.
+    fn ensure_shape(&mut self, n: usize) {
+        if self.slots.len() != n {
+            self.slots.clear();
+            self.slots.resize_with(n, CandidateSlot::default);
+        }
+    }
+}
+
 /// Solver for the online SSE (the multiple-LP method over [`sag_lp`]).
 #[derive(Debug, Clone, Default)]
 pub struct SseSolver {
@@ -112,16 +273,20 @@ impl SseSolver {
     }
 
     /// Per-unit-budget coverage rates `ρ^t` for the given input.
-    fn coverage_rates(input: &SseInput<'_>) -> Vec<f64> {
-        input
-            .future_estimates
-            .iter()
-            .zip(input.audit_costs)
-            .map(|(&lambda, &cost)| sag_forecast::expected_inverse_positive(lambda) / cost)
-            .collect()
+    fn coverage_rates_into(input: &SseInput<'_>, rates: &mut Vec<f64>) {
+        rates.clear();
+        rates.extend(
+            input
+                .future_estimates
+                .iter()
+                .zip(input.audit_costs)
+                .map(|(&lambda, &cost)| sag_forecast::expected_inverse_positive(lambda) / cost),
+        );
     }
 
-    /// Solve the online SSE.
+    /// Solve the online SSE cold: no warm-start state, one fresh workspace
+    /// shared by the candidate LPs. This is the reference implementation;
+    /// the hot path is [`solve_cached`](Self::solve_cached).
     ///
     /// # Errors
     ///
@@ -130,20 +295,18 @@ impl SseSolver {
     /// feasible (which cannot happen for valid inputs).
     pub fn solve(&self, input: &SseInput<'_>) -> Result<SseSolution> {
         input.validate()?;
-        let n = input.payoffs.len();
-        let rates = Self::coverage_rates(input);
+        let mut rates = Vec::new();
+        Self::coverage_rates_into(input, &mut rates);
+        if input.payoffs.len() == 1 {
+            return Ok(Self::solve_single_type(input, &rates));
+        }
 
+        let n = input.payoffs.len();
         let mut best: Option<SseSolution> = None;
+        let mut ws = SimplexWorkspace::new();
         for candidate in 0..n {
-            match self.solve_for_candidate(input, &rates, candidate) {
-                Ok(solution) => {
-                    let better = best
-                        .as_ref()
-                        .map_or(true, |b| solution.auditor_utility > b.auditor_utility + 1e-12);
-                    if better {
-                        best = Some(solution);
-                    }
-                }
+            match Self::solve_for_candidate(input, &rates, candidate, &mut ws) {
+                Ok(solution) => keep_better(&mut best, solution),
                 Err(SagError::Lp(LpError::Infeasible)) => continue,
                 Err(other) => return Err(other),
             }
@@ -151,28 +314,229 @@ impl SseSolver {
         best.ok_or(SagError::NoFeasibleType)
     }
 
-    /// Solve LP (2) under the assumption that `candidate` is the attacker's
-    /// best response.
-    fn solve_for_candidate(
+    /// Solve the online SSE warm: seed every candidate LP from the optimal
+    /// basis of the previous solve recorded in `cache`, and answer
+    /// single-type games with the exact closed form. The returned optimum
+    /// agrees with [`solve`](Self::solve) on the objective to ~1e-9 (warm
+    /// and cold both terminate at an optimal basis of the same LP).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_cached(&self, input: &SseInput<'_>, cache: &mut SseCache) -> Result<SseSolution> {
+        input.validate()?;
+        let n = input.payoffs.len();
+        cache.ensure_shape(n);
+        let mut rates = std::mem::take(&mut cache.rates);
+        Self::coverage_rates_into(input, &mut rates);
+
+        let result = if n == 1 {
+            let solution = Self::solve_single_type(input, &rates);
+            cache.totals.solves += 1;
+            cache.totals.fast_path_solves += 1;
+            Ok(solution)
+        } else {
+            self.solve_multi_cached(input, &rates, cache)
+        };
+        cache.rates = rates;
+        result
+    }
+
+    /// The multiple-LP method with per-candidate warm starts. Allocation-free
+    /// in the steady state apart from the returned solution's two vectors:
+    /// each slot keeps its LP (coefficients rewritten in place), its simplex
+    /// workspace and its previous optimal basis.
+    fn solve_multi_cached(
         &self,
         input: &SseInput<'_>,
         rates: &[f64],
-        candidate: usize,
+        cache: &mut SseCache,
     ) -> Result<SseSolution> {
+        let warm_attempts =
+            cache.slots.iter().filter(|slot| !slot.basis.is_empty()).count() as u64;
+        let outcomes = Self::candidate_outcomes(input, rates, &mut cache.slots);
+
+        let mut best: Option<(usize, CandidateOutcome)> = None;
+        let mut stats = SseSolveStats::default();
+        for (candidate, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(outcome) => {
+                    stats.lp_solves += 1;
+                    stats.warm_hits += u32::from(outcome.warm_hit);
+                    stats.pivots += outcome.pivots;
+                    let better = best.as_ref().is_none_or(|(_, b)| {
+                        outcome.auditor_utility > b.auditor_utility + 1e-12
+                    });
+                    if better {
+                        best = Some((candidate, outcome));
+                    }
+                }
+                Err(SagError::Lp(LpError::Infeasible)) => {
+                    stats.lp_solves += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        cache.totals.solves += 1;
+        cache.totals.lp_solves += u64::from(stats.lp_solves);
+        cache.totals.warm_attempts += warm_attempts;
+        cache.totals.warm_hits += u64::from(stats.warm_hits);
+        cache.totals.pivots += u64::from(stats.pivots);
+
+        let (winner, outcome) = best.ok_or(SagError::NoFeasibleType)?;
+        let slot = &cache.slots[winner];
+        let solution = slot.last.as_ref().expect("winning candidate was just solved");
+        let program = slot.program.as_ref().expect("winning candidate has a program");
+        let budget_split: Vec<f64> =
+            program.vars.iter().map(|&v| solution.value(v)).collect();
+        let coverage: Vec<f64> =
+            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+        Ok(SseSolution {
+            coverage,
+            budget_split,
+            best_response: AlertTypeId(winner as u16),
+            auditor_utility: outcome.auditor_utility,
+            attacker_utility: outcome.attacker_utility,
+            stats,
+        })
+    }
+
+    /// Solve every candidate LP, sequentially or (with the `parallel`
+    /// feature, for games with many types) across threads. Outcomes are in
+    /// candidate order.
+    fn candidate_outcomes(
+        input: &SseInput<'_>,
+        rates: &[f64],
+        slots: &mut [CandidateSlot],
+    ) -> Vec<Result<CandidateOutcome>> {
+        #[cfg(feature = "parallel")]
+        {
+            let n = slots.len();
+            if n >= PARALLEL_MIN_TYPES {
+                let threads =
+                    std::thread::available_parallelism().map_or(1, usize::from).min(n);
+                if threads > 1 {
+                    return Self::candidate_outcomes_parallel(input, rates, slots, threads);
+                }
+            }
+        }
+        slots
+            .iter_mut()
+            .enumerate()
+            .map(|(candidate, slot)| slot.solve(input, rates, candidate))
+            .collect()
+    }
+
+    /// Fan the candidate LPs out over scoped threads. Each thread owns a
+    /// disjoint slice of cache slots, so warm-start state stays per
+    /// candidate; the caller reduces the ordered outcomes exactly like the
+    /// sequential path, preserving tie-breaking semantics.
+    #[cfg(feature = "parallel")]
+    fn candidate_outcomes_parallel(
+        input: &SseInput<'_>,
+        rates: &[f64],
+        slots: &mut [CandidateSlot],
+        threads: usize,
+    ) -> Vec<Result<CandidateOutcome>> {
+        let n = slots.len();
+        let chunk_size = n.div_ceil(threads);
+        let mut outcomes: Vec<Option<Result<CandidateOutcome>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((chunk_index, slot_chunk), outcome_chunk) in
+                slots.chunks_mut(chunk_size).enumerate().zip(outcomes.chunks_mut(chunk_size))
+            {
+                scope.spawn(move || {
+                    let base = chunk_index * chunk_size;
+                    for (offset, (slot, out)) in
+                        slot_chunk.iter_mut().zip(outcome_chunk.iter_mut()).enumerate()
+                    {
+                        *out = Some(slot.solve(input, rates, base + offset));
+                    }
+                });
+            }
+        });
+        outcomes.into_iter().map(|r| r.expect("every candidate solved")).collect()
+    }
+
+    /// Exact closed form for the single-type game: LP (2) with one variable
+    /// `B ∈ [0, min(budget, 1/ρ)]` and objective slope `ρ·(Ud,c − Ud,u)`
+    /// attains its optimum at the upper bound when the slope is positive and
+    /// at zero otherwise — exactly what the simplex returns on this program.
+    fn solve_single_type(input: &SseInput<'_>, rates: &[f64]) -> SseSolution {
+        let payoffs = input.payoffs.get(AlertTypeId(0));
+        let rate = rates[0];
+        let upper = if rate > 0.0 { input.budget.min(1.0 / rate) } else { input.budget };
+        let slope = rate * (payoffs.auditor_covered - payoffs.auditor_uncovered);
+        let split = if slope > EPS { upper } else { 0.0 };
+        let coverage = (split * rate).clamp(0.0, 1.0);
+        SseSolution {
+            coverage: vec![coverage],
+            budget_split: vec![split],
+            best_response: AlertTypeId(0),
+            auditor_utility: payoffs.auditor_expected(coverage),
+            attacker_utility: payoffs.attacker_expected(coverage),
+            stats: SseSolveStats { fast_path: true, ..SseSolveStats::default() },
+        }
+    }
+
+    /// Solve LP (2) cold under the assumption that `candidate` is the
+    /// attacker's best response (reference path; the cached path lives on
+    /// [`CandidateSlot::solve`]).
+    fn solve_for_candidate(
+        input: &SseInput<'_>,
+        rates: &[f64],
+        candidate: usize,
+        workspace: &mut SimplexWorkspace,
+    ) -> Result<SseSolution> {
+        let program = CandidateProgram::build(input, rates, candidate);
+        let solution = program.lp.solve_with(workspace).map_err(SagError::from)?;
+
+        let cand = input.payoffs.get(AlertTypeId(candidate as u16));
+        let budget_split: Vec<f64> =
+            program.vars.iter().map(|&v| solution.value(v)).collect();
+        let coverage: Vec<f64> =
+            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+        let auditor_utility = cand.auditor_expected(coverage[candidate]);
+        let attacker_utility = cand.attacker_expected(coverage[candidate]);
+        let lp_stats = solution.stats();
+        workspace.recycle(solution);
+
+        Ok(SseSolution {
+            coverage,
+            budget_split,
+            best_response: AlertTypeId(candidate as u16),
+            auditor_utility,
+            attacker_utility,
+            stats: SseSolveStats {
+                lp_solves: 1,
+                warm_hits: 0,
+                pivots: lp_stats.pivots as u32,
+                fast_path: false,
+            },
+        })
+    }
+}
+
+impl CandidateProgram {
+    /// Build the candidate LP from scratch.
+    ///
+    /// Variables: the budget split `B^t`, bounded so that `θ^t = ρ^t B^t ≤ 1`.
+    /// Objective: the auditor's utility against an attack on the candidate
+    /// type (`auditor = Ud,u + θ·(Ud,c − Ud,u)`, `θ = ρ·B`). Constraints: one
+    /// best-response row per other type, then the budget row.
+    fn build(input: &SseInput<'_>, rates: &[f64], candidate: usize) -> Self {
         let n = input.payoffs.len();
         let payoff_of = |t: usize| input.payoffs.get(AlertTypeId(t as u16));
 
         let mut lp = LpProblem::new(Objective::Maximize);
-        // Variables: the budget split B^t, bounded so that θ^t = ρ^t B^t ≤ 1.
-        let vars: Vec<_> = (0..n)
+        let vars: Vec<VarId> = (0..n)
             .map(|t| {
                 let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
                 lp.add_var(format!("B{t}"), 0.0, input.budget.min(max_useful))
             })
             .collect();
 
-        // Objective: maximise the auditor's utility against an attack on the
-        // candidate type. auditor = Ud,u + θ·(Ud,c − Ud,u), θ = ρ·B.
         let cand = payoff_of(candidate);
         lp.set_objective(
             vars[candidate],
@@ -200,21 +564,96 @@ impl SseSolver {
         let budget_terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         lp.add_constraint(&budget_terms, Relation::Le, input.budget);
 
-        let solution = lp.solve().map_err(SagError::from)?;
+        CandidateProgram { lp, vars }
+    }
 
-        let budget_split: Vec<f64> = vars.iter().map(|&v| solution.value(v)).collect();
-        let coverage: Vec<f64> =
-            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
-        let auditor_utility = cand.auditor_expected(coverage[candidate]);
-        let attacker_utility = cand.attacker_expected(coverage[candidate]);
+    /// Rewrite the program's numbers in place for new input data. The
+    /// structure (variables, constraint rows, relations) is unchanged, which
+    /// is exactly what keeps the previous optimal basis a valid warm start.
+    fn update(&mut self, input: &SseInput<'_>, rates: &[f64], candidate: usize) {
+        let n = self.vars.len();
+        let payoff_of = |t: usize| input.payoffs.get(AlertTypeId(t as u16));
 
-        Ok(SseSolution {
-            coverage,
-            budget_split,
-            best_response: AlertTypeId(candidate as u16),
-            auditor_utility,
-            attacker_utility,
-        })
+        for (t, &var) in self.vars.iter().enumerate() {
+            let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
+            self.lp.set_bounds(var, 0.0, input.budget.min(max_useful));
+        }
+
+        let cand = payoff_of(candidate);
+        self.lp.set_objective(
+            self.vars[candidate],
+            rates[candidate] * (cand.auditor_covered - cand.auditor_uncovered),
+        );
+
+        let cand_slope = rates[candidate] * (cand.attacker_covered - cand.attacker_uncovered);
+        let mut row = 0;
+        for t in 0..n {
+            if t == candidate {
+                continue;
+            }
+            let other = payoff_of(t);
+            let other_slope = rates[t] * (other.attacker_covered - other.attacker_uncovered);
+            self.lp.set_constraint_term(row, 0, other_slope);
+            self.lp.set_constraint_term(row, 1, -cand_slope);
+            self.lp
+                .set_constraint_rhs(row, cand.attacker_uncovered - other.attacker_uncovered);
+            row += 1;
+        }
+        // Budget row is last; only its right-hand side moves.
+        self.lp.set_constraint_rhs(n - 1, input.budget);
+    }
+}
+
+impl CandidateSlot {
+    /// Solve this slot's candidate LP against new input data, warm-starting
+    /// from the previous optimal basis when one is recorded. The optimal
+    /// solution is parked on the slot (`last`) so the caller can extract the
+    /// winner's budget split without re-solving.
+    fn solve(
+        &mut self,
+        input: &SseInput<'_>,
+        rates: &[f64],
+        candidate: usize,
+    ) -> Result<CandidateOutcome> {
+        match self.program.as_mut() {
+            Some(program) => program.update(input, rates, candidate),
+            None => self.program = Some(CandidateProgram::build(input, rates, candidate)),
+        }
+        let program = self.program.as_ref().expect("program just ensured");
+
+        let result = if self.basis.is_empty() {
+            program.lp.solve_with(&mut self.workspace)
+        } else {
+            program.lp.solve_from_basis(&mut self.workspace, &self.basis)
+        };
+        let solution = result.map_err(SagError::from)?;
+        self.basis.clear();
+        self.basis.extend_from_slice(solution.basis());
+
+        let stats = solution.stats();
+        let cand = input.payoffs.get(AlertTypeId(candidate as u16));
+        let coverage_c =
+            (solution.value(program.vars[candidate]) * rates[candidate]).clamp(0.0, 1.0);
+        let outcome = CandidateOutcome {
+            auditor_utility: cand.auditor_expected(coverage_c),
+            attacker_utility: cand.attacker_expected(coverage_c),
+            warm_hit: stats.warm_started,
+            pivots: stats.pivots as u32,
+        };
+        if let Some(previous) = self.last.replace(solution) {
+            self.workspace.recycle(previous);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Sequential best-response selection: keep `solution` if it strictly beats
+/// the incumbent by more than the tolerance.
+fn keep_better(best: &mut Option<SseSolution>, solution: SseSolution) {
+    let better =
+        best.as_ref().is_none_or(|b| solution.auditor_utility > b.auditor_utility + 1e-12);
+    if better {
+        *best = Some(solution);
     }
 }
 
@@ -241,6 +680,7 @@ mod tests {
         let input = single_type_input(&payoffs, &costs, &estimates, 10.0);
         let sol = SseSolver::new().solve(&input).unwrap();
         assert_eq!(sol.best_response, AlertTypeId(0));
+        assert!(sol.stats.fast_path);
         // Coverage should be close to B/λ = 0.1.
         assert!((sol.coverage[0] - 0.1).abs() < 0.02, "coverage {}", sol.coverage[0]);
         // Utilities follow the linear payoff forms.
@@ -249,6 +689,45 @@ mod tests {
         assert!((sol.attacker_utility - p.attacker_expected(sol.coverage[0])).abs() < 1e-9);
         assert!(sol.attacker_utility > 0.0);
         assert_eq!(sol.effective_auditor_utility(), sol.auditor_utility);
+    }
+
+    #[test]
+    fn single_type_closed_form_matches_explicit_lp() {
+        // The closed form must reproduce what the generic multiple-LP method
+        // (forced through the LP by a two-type game whose second type is
+        // irrelevant) computes for the same type.
+        let payoffs = PayoffTable::paper_single_type();
+        let costs = [1.0];
+        let solver = SseSolver::new();
+        for budget in [0.0, 3.0, 10.0, 17.5, 40.0, 500.0] {
+            for estimate in [0.0, 1.0, 20.0, 150.0] {
+                let estimates = [estimate];
+                let input = single_type_input(&payoffs, &costs, &estimates, budget);
+                let fast = solver.solve(&input).unwrap();
+                assert!(fast.stats.fast_path);
+
+                // Reference: solve the same one-variable LP explicitly.
+                let rate = sag_forecast::expected_inverse_positive(estimate) / costs[0];
+                let p = payoffs.get(AlertTypeId(0));
+                let mut lp = LpProblem::new(Objective::Maximize);
+                let upper = if rate > 0.0 { budget.min(1.0 / rate) } else { budget };
+                let b = lp.add_var("B0", 0.0, upper);
+                lp.set_objective(b, rate * (p.auditor_covered - p.auditor_uncovered));
+                lp.add_constraint(&[(b, 1.0)], Relation::Le, budget);
+                let reference = lp.solve().unwrap();
+                let ref_coverage = (reference.value(b) * rate).clamp(0.0, 1.0);
+
+                assert!(
+                    (fast.coverage[0] - ref_coverage).abs() < 1e-12,
+                    "budget {budget}, estimate {estimate}: fast {} vs lp {}",
+                    fast.coverage[0],
+                    ref_coverage
+                );
+                assert!(
+                    (fast.auditor_utility - p.auditor_expected(ref_coverage)).abs() < 1e-9
+                );
+            }
+        }
     }
 
     #[test]
@@ -304,6 +783,72 @@ mod tests {
         assert!(spent <= 50.0 + 1e-6);
         // Coverage is a probability vector.
         assert!(sol.coverage.iter().all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
+    }
+
+    #[test]
+    fn cached_solver_matches_cold_solver_across_a_budget_trajectory() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        let mut budget = 50.0;
+        let mut estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        for step in 0..60 {
+            let input = single_type_input(&payoffs, &costs, &estimates, budget);
+            let warm = solver.solve_cached(&input, &mut cache).unwrap();
+            let cold = solver.solve(&input).unwrap();
+            assert!(
+                (warm.auditor_utility - cold.auditor_utility).abs() < 1e-9,
+                "step {step}: warm {} vs cold {}",
+                warm.auditor_utility,
+                cold.auditor_utility
+            );
+            assert_eq!(warm.best_response, cold.best_response);
+            // Mimic one alert being processed: the budget shrinks a little
+            // and the estimates drift down.
+            budget = (budget - 0.35).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.9).max(0.0);
+            }
+        }
+        assert_eq!(cache.totals.solves, 60);
+        // After the first solve every candidate LP has a basis to reuse.
+        assert!(cache.totals.warm_attempts >= cache.totals.lp_solves - 7);
+        assert!(
+            cache.totals.warm_hit_rate() > 0.8,
+            "warm-start hit rate {:.3} unexpectedly low",
+            cache.totals.warm_hit_rate()
+        );
+        // Warm-started solves should spend far fewer pivots than phase 1 +
+        // phase 2 cold solves would.
+        assert!(cache.totals.pivots_per_lp() < 10.0);
+    }
+
+    #[test]
+    fn cache_reshapes_when_the_game_changes() {
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+
+        let payoffs7 = PayoffTable::paper_table2();
+        let costs7 = vec![1.0; 7];
+        let estimates7 = vec![50.0; 7];
+        let input7 = single_type_input(&payoffs7, &costs7, &estimates7, 20.0);
+        let first = solver.solve_cached(&input7, &mut cache).unwrap();
+
+        let payoffs2 = PayoffTable::new(vec![
+            Payoffs::new(100.0, -400.0, -2000.0, 400.0),
+            Payoffs::new(50.0, -300.0, -1500.0, 300.0),
+        ]);
+        let costs2 = [1.0, 2.0];
+        let estimates2 = [30.0, 10.0];
+        let input2 = single_type_input(&payoffs2, &costs2, &estimates2, 15.0);
+        let second = solver.solve_cached(&input2, &mut cache).unwrap();
+        let cold = solver.solve(&input2).unwrap();
+        assert!((second.auditor_utility - cold.auditor_utility).abs() < 1e-9);
+
+        // And back to the 7-type game.
+        let third = solver.solve_cached(&input7, &mut cache).unwrap();
+        assert!((third.auditor_utility - first.auditor_utility).abs() < 1e-9);
     }
 
     #[test]
@@ -368,6 +913,11 @@ mod tests {
         let bad_budget =
             SseInput { payoffs: &payoffs, audit_costs: &costs, future_estimates: &estimates, budget: -1.0 };
         assert!(matches!(solver.solve(&bad_budget), Err(SagError::InvalidConfig(_))));
+        let mut cache = SseCache::new();
+        assert!(matches!(
+            solver.solve_cached(&bad_budget, &mut cache),
+            Err(SagError::InvalidConfig(_))
+        ));
 
         let bad_lengths = SseInput {
             payoffs: &payoffs,
@@ -395,6 +945,46 @@ mod tests {
     }
 
     #[test]
+    fn many_type_games_solve_identically_cached_and_cold() {
+        // 10 types: above PARALLEL_MIN_TYPES, so with the `parallel` feature
+        // this exercises the threaded candidate fan-out and checks it agrees
+        // with the sequential reference to 1e-9.
+        let payoffs = PayoffTable::new(
+            (0..10)
+                .map(|i| {
+                    Payoffs::new(
+                        100.0 + 40.0 * i as f64,
+                        -400.0 - 90.0 * i as f64,
+                        -2000.0 - 250.0 * i as f64,
+                        400.0 + 35.0 * i as f64,
+                    )
+                })
+                .collect(),
+        );
+        let costs: Vec<f64> = (0..10).map(|i| 1.0 + 0.3 * i as f64).collect();
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        let mut estimates: Vec<f64> = (0..10).map(|i| 15.0 + 20.0 * i as f64).collect();
+        let mut budget = 80.0;
+        for _ in 0..25 {
+            let input = SseInput {
+                payoffs: &payoffs,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget,
+            };
+            let warm = solver.solve_cached(&input, &mut cache).unwrap();
+            let cold = solver.solve(&input).unwrap();
+            assert!((warm.auditor_utility - cold.auditor_utility).abs() < 1e-9);
+            assert_eq!(warm.best_response, cold.best_response);
+            budget = (budget - 0.7).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.4).max(0.0);
+            }
+        }
+    }
+
+    #[test]
     fn coverage_of_out_of_range_type_is_zero() {
         let sol = SseSolution {
             coverage: vec![0.5],
@@ -402,6 +992,7 @@ mod tests {
             best_response: AlertTypeId(0),
             auditor_utility: 0.0,
             attacker_utility: 0.0,
+            stats: SseSolveStats::default(),
         };
         assert_eq!(sol.coverage_of(AlertTypeId(0)), 0.5);
         assert_eq!(sol.coverage_of(AlertTypeId(3)), 0.0);

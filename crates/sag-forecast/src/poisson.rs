@@ -41,11 +41,23 @@ pub fn expected_inverse_positive(lambda: f64) -> f64 {
     if lambda <= 0.0 {
         return 1.0;
     }
+    // This sits on the per-alert hot path (one call per type per solve), so
+    // the series is evaluated with the multiplicative pmf recurrence
+    // `P(k) = P(k-1)·λ/k` — one multiply-add per term — instead of a
+    // log-gamma evaluation per term.
+    if lambda > 600.0 {
+        // e^{-λ} would underflow; use the asymptotic expansion
+        // E[1/max(d,1)] ≈ 1/λ + 1/λ² + 2/λ³ (relative error < 1e-7 here).
+        let inv = 1.0 / lambda;
+        return (inv * (1.0 + inv + 2.0 * inv * inv)).clamp(0.0, 1.0);
+    }
     // Truncate where the remaining Poisson tail is negligible.
     let k_max = (lambda + 10.0 * lambda.sqrt() + 20.0).ceil() as u64;
-    let mut total = poisson_pmf(lambda, 0); // d = 0 contributes 1/1
+    let mut pmf = (-lambda).exp();
+    let mut total = pmf; // d = 0 contributes 1/1
     for k in 1..=k_max {
-        total += poisson_pmf(lambda, k) / k as f64;
+        pmf *= lambda / k as f64;
+        total += pmf / k as f64;
     }
     total.clamp(0.0, 1.0)
 }
@@ -160,6 +172,38 @@ mod tests {
             let v = expected_inverse_positive(l);
             assert!(v < prev);
             prev = v;
+        }
+    }
+
+    #[test]
+    fn expected_inverse_recurrence_matches_log_space_reference() {
+        // The fast recurrence must agree with the straightforward log-space
+        // series it replaced.
+        for &lambda in &[0.01, 0.5, 1.0, 7.3, 42.0, 150.0, 420.0, 599.0] {
+            let k_max = (lambda + 10.0 * f64::sqrt(lambda) + 20.0).ceil() as u64;
+            let mut reference = poisson_pmf(lambda, 0);
+            for k in 1..=k_max {
+                reference += poisson_pmf(lambda, k) / k as f64;
+            }
+            let fast = expected_inverse_positive(lambda);
+            assert!(
+                (fast - reference).abs() < 1e-10,
+                "lambda {lambda}: fast {fast} vs reference {reference}"
+            );
+        }
+        // The asymptotic branch agrees with the log-space series where the
+        // log-space pmf is still finite.
+        for &lambda in &[600.1, 650.0, 700.0] {
+            let k_max = (lambda + 10.0 * f64::sqrt(lambda) + 20.0).ceil() as u64;
+            let mut reference = 0.0;
+            for k in 1..=k_max {
+                reference += poisson_pmf(lambda, k) / k as f64;
+            }
+            let fast = expected_inverse_positive(lambda);
+            assert!(
+                (fast - reference).abs() < 1e-9,
+                "lambda {lambda}: asymptotic {fast} vs series {reference}"
+            );
         }
     }
 

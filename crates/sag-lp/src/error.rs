@@ -14,10 +14,16 @@ pub enum LpError {
     Malformed(String),
     /// The solver exceeded its iteration budget. With Bland's rule this
     /// indicates a numerically degenerate instance far outside the intended
-    /// problem size.
+    /// problem size; the instance dimensions are included so pathological
+    /// programs can be identified from logs alone.
     IterationLimit {
         /// Number of pivots performed before giving up.
         iterations: usize,
+        /// Number of equality rows of the standard-form instance.
+        rows: usize,
+        /// Number of columns of the standard-form instance (excluding
+        /// artificials).
+        cols: usize,
     },
 }
 
@@ -27,8 +33,12 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
-            LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            LpError::IterationLimit { iterations, rows, cols } => {
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} pivots \
+                     on a {rows}x{cols} standard-form instance"
+                )
             }
         }
     }
@@ -45,9 +55,9 @@ mod tests {
         assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
         assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
         assert!(LpError::Malformed("bad var".into()).to_string().contains("bad var"));
-        assert!(LpError::IterationLimit { iterations: 42 }
-            .to_string()
-            .contains("42"));
+        let limit = LpError::IterationLimit { iterations: 42, rows: 6, cols: 9 };
+        assert!(limit.to_string().contains("42"));
+        assert!(limit.to_string().contains("6x9"));
     }
 
     #[test]

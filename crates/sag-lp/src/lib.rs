@@ -54,6 +54,7 @@ mod standard;
 
 pub use error::LpError;
 pub use problem::{Constraint, LpProblem, Objective, Relation, VarId};
+pub use simplex::SimplexWorkspace;
 pub use solution::{LpSolution, SolveStats};
 pub use standard::StandardForm;
 

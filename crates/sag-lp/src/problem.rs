@@ -1,5 +1,6 @@
 //! Problem-builder API: variables, bounds, constraints and the objective.
 
+use crate::simplex::SimplexWorkspace;
 use crate::{LpError, LpSolution, Result};
 
 /// Optimization direction of the objective function.
@@ -118,9 +119,42 @@ impl LpProblem {
         self.variables[var.0].objective = coeff;
     }
 
+    /// Update the bounds of an existing variable. Used by hot paths that
+    /// cache a problem and rewrite its numbers in place instead of
+    /// rebuilding it (the structure — variables, constraints, relations —
+    /// must stay fixed for basis warm-starting to apply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this problem.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        let v = &mut self.variables[var.0];
+        v.lower = lower;
+        v.upper = upper;
+    }
+
     /// Add a constraint from sparse `(variable, coefficient)` terms.
     pub fn add_constraint(&mut self, terms: &[(VarId, f64)], relation: Relation, rhs: f64) {
         self.constraints.push(Constraint { terms: terms.to_vec(), relation, rhs });
+    }
+
+    /// Overwrite the coefficient of the `term`-th term of constraint
+    /// `constraint` (in-place counterpart of rebuilding the constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set_constraint_term(&mut self, constraint: usize, term: usize, coeff: f64) {
+        self.constraints[constraint].terms[term].1 = coeff;
+    }
+
+    /// Overwrite the right-hand side of constraint `constraint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set_constraint_rhs(&mut self, constraint: usize, rhs: f64) {
+        self.constraints[constraint].rhs = rhs;
     }
 
     /// Number of decision variables.
@@ -246,13 +280,52 @@ impl LpProblem {
 
     /// Solve the program with the two-phase simplex method.
     ///
+    /// Allocates a fresh [`SimplexWorkspace`] per call; hot paths that solve
+    /// many programs should hold a workspace and use
+    /// [`solve_with`](Self::solve_with) or
+    /// [`solve_from_basis`](Self::solve_from_basis) instead.
+    ///
     /// # Errors
     ///
     /// Returns [`LpError::Infeasible`], [`LpError::Unbounded`],
     /// [`LpError::Malformed`] or [`LpError::IterationLimit`].
     pub fn solve(&self) -> Result<LpSolution> {
+        self.solve_with(&mut SimplexWorkspace::new())
+    }
+
+    /// Solve cold (two phases), reusing the buffers of `workspace`. After
+    /// the workspace has grown to the steady-state problem size, the only
+    /// per-solve allocations are the returned solution's buffers — and even
+    /// those are reused if previous solutions are handed back through
+    /// [`SimplexWorkspace::recycle`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_with(&self, workspace: &mut SimplexWorkspace) -> Result<LpSolution> {
         self.validate()?;
-        crate::simplex::solve(self)
+        crate::simplex::solve(self, workspace)
+    }
+
+    /// Solve warm: seed phase 2 from `basis` — the row-ordered optimal basis
+    /// of a previous solve of a *structurally identical* program (same
+    /// variables, bounds finiteness, and constraint relations; coefficients
+    /// and right-hand sides may differ). When the basis is unusable for the
+    /// new data (singular or infeasible), the solver transparently falls
+    /// back to the cold two-phase path, so the result is always the true
+    /// optimum; check [`SolveStats::warm_started`](crate::SolveStats) to see
+    /// which path ran.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_from_basis(
+        &self,
+        workspace: &mut SimplexWorkspace,
+        basis: &[usize],
+    ) -> Result<LpSolution> {
+        self.validate()?;
+        crate::simplex::solve_warm(self, workspace, basis)
     }
 }
 
@@ -277,6 +350,34 @@ mod tests {
         assert_eq!(lp.objective_direction(), Objective::Maximize);
         assert_eq!(x.index(), 0);
         assert_eq!(y.index(), 1);
+    }
+
+    #[test]
+    fn in_place_mutation_matches_a_rebuilt_problem() {
+        // A problem edited in place must solve identically to one built
+        // fresh with the same numbers.
+        let mut cached = LpProblem::new(Objective::Maximize);
+        let x = cached.add_var("x", 0.0, 10.0);
+        let y = cached.add_var("y", 0.0, 10.0);
+        cached.set_objective(x, 1.0);
+        cached.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+
+        cached.set_bounds(x, 0.0, 3.0);
+        cached.set_objective(y, 2.0);
+        cached.set_constraint_term(0, 1, 0.5);
+        cached.set_constraint_rhs(0, 4.0);
+
+        let mut fresh = LpProblem::new(Objective::Maximize);
+        let fx = fresh.add_var("x", 0.0, 3.0);
+        let fy = fresh.add_var("y", 0.0, 10.0);
+        fresh.set_objective(fx, 1.0);
+        fresh.set_objective(fy, 2.0);
+        fresh.add_constraint(&[(fx, 1.0), (fy, 0.5)], Relation::Le, 4.0);
+
+        let a = cached.solve().unwrap();
+        let b = fresh.solve().unwrap();
+        assert!((a.objective() - b.objective()).abs() < 1e-9);
+        assert_eq!(a.values(), b.values());
     }
 
     #[test]

@@ -1,10 +1,23 @@
 //! Dense two-phase primal simplex with Bland's anti-cycling rule.
 //!
-//! The implementation is deliberately simple: a dense tableau, reduced costs
-//! recomputed from the basis on every iteration, and Bland's rule for both the
-//! entering and the leaving variable. This is O(m·n) work per pivot, which is
-//! perfectly adequate for the tiny programs produced by the SAG (≤ ~10 rows
-//! and columns) while guaranteeing termination on degenerate instances.
+//! The tableau is a single flat row-major `Vec<f64>` owned by a reusable
+//! [`SimplexWorkspace`]; once a workspace has grown to the steady-state
+//! problem size, repeated solves perform no heap allocation (the returned
+//! [`LpSolution`] buffers are recycled through
+//! [`SimplexWorkspace::recycle`]). Reduced costs are recomputed from the
+//! basis on every iteration and Bland's rule picks both the entering and the
+//! leaving variable, which is O(m·n) work per pivot — perfectly adequate for
+//! the tiny programs produced by the SAG (≤ ~10 rows and columns) while
+//! guaranteeing termination on degenerate instances.
+//!
+//! Two entry points exist on top of the classic cold start:
+//!
+//! * [`solve`] — phase 1 builds a feasible basis from artificials, phase 2
+//!   optimizes the original objective;
+//! * [`solve_warm`] — seeds phase 2 directly from a caller-supplied basis
+//!   (typically the optimal basis of a near-identical previous instance) and
+//!   falls back to the cold path automatically when that basis is singular
+//!   or infeasible for the new data.
 
 use crate::problem::LpProblem;
 use crate::solution::{LpSolution, SolveStats};
@@ -15,90 +28,179 @@ use crate::{LpError, Result, EPS};
 /// approaching this bound indicates a malformed or pathological instance.
 const MAX_PIVOTS: usize = 100_000;
 
-/// Mutable simplex state: tableau rows, right-hand side and current basis.
-struct Tableau {
-    /// `rows × cols` coefficient matrix (artificials included).
-    a: Vec<Vec<f64>>,
+/// Reusable state for repeated simplex solves.
+///
+/// Owns the flat tableau, the right-hand side, the basis, the cost buffer
+/// and recycled solution buffers. Create one per solver (or per thread) and
+/// pass it to [`LpProblem::solve_with`] / [`LpProblem::solve_from_basis`].
+#[derive(Debug, Clone, Default)]
+pub struct SimplexWorkspace {
+    /// Standard form of the most recently loaded problem.
+    sf: StandardForm,
+    /// Flat `rows × total` tableau (structural + slack | artificials).
+    a: Vec<f64>,
     /// Right-hand side per row (kept nonnegative by pivoting).
     b: Vec<f64>,
     /// Basic column per row.
     basis: Vec<usize>,
+    /// Cost vector of the current phase, length `total`.
+    costs: Vec<f64>,
+    /// Basic components of `costs`, refreshed before each pricing pass.
+    cb: Vec<f64>,
+    /// Scratch copy of the pivot row (avoids aliasing during elimination).
+    pivot_row: Vec<f64>,
+    /// Recycled buffers for [`LpSolution`] values.
+    spare_values: Vec<Vec<f64>>,
+    /// Recycled buffers for [`LpSolution`] bases.
+    spare_bases: Vec<Vec<usize>>,
+    /// Number of rows of the loaded tableau.
+    rows: usize,
+    /// Number of non-artificial columns of the loaded tableau.
+    n: usize,
     /// Total number of columns, including artificials.
-    cols: usize,
-    /// Pivot counter across phases.
+    total: usize,
+    /// Pivot counter across phases (excluding warm-start factorization).
     pivots: usize,
 }
 
-impl Tableau {
+impl SimplexWorkspace {
+    /// Create an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        SimplexWorkspace::default()
+    }
+
+    /// Return a solved instance's buffers to the workspace so the next solve
+    /// can reuse them instead of allocating.
+    pub fn recycle(&mut self, solution: LpSolution) {
+        let (values, basis) = solution.into_buffers();
+        self.spare_values.push(values);
+        self.spare_bases.push(basis);
+    }
+
+    /// Load `problem` into the workspace: rebuild the standard form and the
+    /// `[A | I]` tableau with the all-artificial basis.
+    fn load(&mut self, problem: &LpProblem) {
+        self.sf.rebuild(problem);
+        let m = self.sf.num_rows();
+        let n = self.sf.num_cols();
+        let total = n + m;
+        self.rows = m;
+        self.n = n;
+        self.total = total;
+        self.pivots = 0;
+
+        self.a.clear();
+        self.a.resize(m * total, 0.0);
+        for i in 0..m {
+            let row = &mut self.a[i * total..i * total + n];
+            row.copy_from_slice(self.sf.row(i));
+            self.a[i * total + n + i] = 1.0;
+        }
+        self.b.clear();
+        self.b.extend_from_slice(&self.sf.b);
+        self.basis.clear();
+        self.basis.extend(n..n + m);
+        self.pivot_row.clear();
+        self.pivot_row.resize(total, 0.0);
+        self.cb.clear();
+        self.cb.resize(m, 0.0);
+    }
+
+    /// Fill [`Self::costs`] with the phase-1 objective (sum of artificials).
+    fn set_phase1_costs(&mut self) {
+        self.costs.clear();
+        self.costs.resize(self.total, 0.0);
+        for cost in self.costs.iter_mut().skip(self.n) {
+            *cost = 1.0;
+        }
+    }
+
+    /// Fill [`Self::costs`] with the original (phase-2) objective.
+    fn set_phase2_costs(&mut self) {
+        self.costs.clear();
+        self.costs.extend_from_slice(&self.sf.c);
+        self.costs.resize(self.total, 0.0);
+    }
+
+    /// Perform one pivot on `(row, col)`.
     fn pivot(&mut self, row: usize, col: usize) {
-        let pivot_val = self.a[row][col];
+        let t = self.total;
+        let pivot_val = self.a[row * t + col];
         debug_assert!(pivot_val.abs() > EPS, "pivot on a (near-)zero element");
         let inv = 1.0 / pivot_val;
-        for j in 0..self.cols {
-            self.a[row][j] *= inv;
+        {
+            let r = &mut self.a[row * t..(row + 1) * t];
+            for v in r.iter_mut() {
+                *v *= inv;
+            }
+            // Clean tiny noise on the pivot column of the pivot row.
+            r[col] = 1.0;
+            self.pivot_row.copy_from_slice(r);
         }
         self.b[row] *= inv;
-        // Clean tiny noise on the pivot column of the pivot row.
-        self.a[row][col] = 1.0;
+        let b_row = self.b[row];
 
-        for i in 0..self.a.len() {
+        for i in 0..self.rows {
             if i == row {
                 continue;
             }
-            let factor = self.a[i][col];
+            let factor = self.a[i * t + col];
             if factor.abs() <= EPS {
-                self.a[i][col] = 0.0;
+                self.a[i * t + col] = 0.0;
                 continue;
             }
-            for j in 0..self.cols {
-                self.a[i][j] -= factor * self.a[row][j];
+            let r = &mut self.a[i * t..(i + 1) * t];
+            for (v, &p) in r.iter_mut().zip(&self.pivot_row) {
+                *v -= factor * p;
             }
-            self.b[i] -= factor * self.b[row];
-            self.a[i][col] = 0.0;
+            r[col] = 0.0;
+            self.b[i] -= factor * b_row;
             if self.b[i].abs() < EPS {
                 self.b[i] = 0.0;
             }
         }
         self.basis[row] = col;
-        self.pivots += 1;
     }
 
-    /// Reduced cost of column `j` under cost vector `costs`.
-    fn reduced_cost(&self, costs: &[f64], j: usize) -> f64 {
-        let mut rc = costs[j];
-        for (i, &bi) in self.basis.iter().enumerate() {
-            let cb = costs[bi];
+    /// Reduced cost of column `j` under the current phase costs.
+    fn reduced_cost(&self, j: usize) -> f64 {
+        let mut rc = self.costs[j];
+        for (i, &cb) in self.cb.iter().enumerate() {
             if cb != 0.0 {
-                rc -= cb * self.a[i][j];
+                rc -= cb * self.a[i * self.total + j];
             }
         }
         rc
     }
 
-    /// Objective value of the current basic solution under `costs`.
-    fn objective(&self, costs: &[f64]) -> f64 {
-        self.basis.iter().enumerate().map(|(i, &bi)| costs[bi] * self.b[i]).sum()
+    /// Objective value of the current basic solution under the phase costs.
+    fn objective(&self) -> f64 {
+        self.basis.iter().zip(&self.b).map(|(&bi, &b)| self.costs[bi] * b).sum()
     }
 
-    /// Run primal simplex iterations under `costs`, restricted to columns for
-    /// which `allowed(j)` is true. Returns `Ok(())` at optimality.
-    fn optimize(&mut self, costs: &[f64], allowed: impl Fn(usize) -> bool) -> Result<()> {
+    /// Run primal simplex iterations under the phase costs. When
+    /// `allow_artificials` is false, artificial columns may not enter the
+    /// basis. Returns `Ok(())` at optimality.
+    fn optimize(&mut self, allow_artificials: bool) -> Result<()> {
+        let scan = if allow_artificials { self.total } else { self.n };
         loop {
             if self.pivots > MAX_PIVOTS {
-                return Err(LpError::IterationLimit { iterations: self.pivots });
+                return Err(self.iteration_limit());
+            }
+            for (i, &bi) in self.basis.iter().enumerate() {
+                self.cb[i] = self.costs[bi];
             }
             // Bland's rule: entering column = smallest index with negative
             // reduced cost.
-            let entering = (0..self.cols)
-                .filter(|&j| allowed(j))
-                .find(|&j| self.reduced_cost(costs, j) < -EPS);
+            let entering = (0..scan).find(|&j| self.reduced_cost(j) < -EPS);
             let Some(col) = entering else {
                 return Ok(());
             };
             // Ratio test; Bland tie-break on the smallest basic column index.
             let mut best: Option<(usize, f64)> = None;
-            for i in 0..self.a.len() {
-                let aij = self.a[i][col];
+            for i in 0..self.rows {
+                let aij = self.a[i * self.total + col];
                 if aij > EPS {
                     let ratio = self.b[i] / aij;
                     let better = match best {
@@ -117,46 +219,99 @@ impl Tableau {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
+            self.pivots += 1;
         }
+    }
+
+    /// Re-derive the tableau for a caller-supplied basis by pivoting each
+    /// hinted column into the corresponding row. Returns `false` when the
+    /// hint does not describe a usable basis for this instance (wrong size,
+    /// artificial columns, a singular basis matrix, or an infeasible
+    /// right-hand side), in which case the caller should fall back to the
+    /// cold two-phase path.
+    fn factorize_basis(&mut self, hint: &[usize]) -> bool {
+        if hint.len() != self.rows || hint.iter().any(|&j| j >= self.n) {
+            return false;
+        }
+        for &col in hint {
+            // Pick the not-yet-assigned row with the largest pivot magnitude
+            // (partial pivoting keeps the factorization stable).
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.rows {
+                if self.basis[i] < self.n {
+                    continue; // row already assigned to a hinted column
+                }
+                let mag = self.a[i * self.total + col].abs();
+                if mag > EPS && best.is_none_or(|(_, m)| mag > m) {
+                    best = Some((i, mag));
+                }
+            }
+            let Some((row, _)) = best else {
+                return false; // singular: the hinted columns are dependent
+            };
+            self.pivot(row, col);
+        }
+        // The basis is only usable if the implied basic point is feasible.
+        self.b.iter().all(|&v| v >= -1e-9)
+    }
+
+    /// The error reported when [`MAX_PIVOTS`] is exceeded, carrying the
+    /// instance dimensions for debuggability.
+    fn iteration_limit(&self) -> LpError {
+        LpError::IterationLimit { iterations: self.pivots, rows: self.rows, cols: self.n }
+    }
+
+    /// Extract the solution of the optimized tableau.
+    fn extract(&mut self, phase1_pivots: usize, warm_started: bool) -> LpSolution {
+        let mut values = self.spare_values.pop().unwrap_or_default();
+        values.clear();
+        values.resize(self.sf.num_structural, 0.0);
+        let mut min_obj = 0.0;
+        for (i, &bi) in self.basis.iter().enumerate() {
+            if bi < self.n {
+                min_obj += self.sf.c[bi] * self.b[i];
+                if bi < self.sf.num_structural {
+                    values[bi] = self.b[i];
+                }
+            }
+        }
+        for (j, v) in values.iter_mut().enumerate() {
+            *v += self.sf.shifts[j];
+        }
+        let objective = self.sf.original_objective(min_obj);
+
+        let mut basis = self.spare_bases.pop().unwrap_or_default();
+        basis.clear();
+        basis.extend_from_slice(&self.basis);
+
+        let stats = SolveStats {
+            pivots: self.pivots,
+            phase1_pivots,
+            rows: self.rows,
+            cols: self.n,
+            warm_started,
+        };
+        LpSolution::new(objective, values, basis, stats)
     }
 }
 
-/// Solve a validated problem. Called from [`LpProblem::solve`].
-pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution> {
-    let sf = StandardForm::from_problem(problem);
-    let m = sf.num_rows();
-    let n = sf.num_cols();
-
-    // Columns: [structural + slack | artificials]. One artificial per row;
-    // the initial basis is exactly the artificial columns.
-    let total = n + m;
-    let mut a = Vec::with_capacity(m);
-    for (i, row) in sf.a.iter().enumerate() {
-        let mut full = vec![0.0; total];
-        full[..n].copy_from_slice(row);
-        full[n + i] = 1.0;
-        a.push(full);
-    }
-    let basis: Vec<usize> = (n..n + m).collect();
-    let mut t = Tableau { a, b: sf.b.clone(), basis, cols: total, pivots: 0 };
+/// Solve a validated problem cold (two phases), reusing `ws` buffers.
+pub(crate) fn solve(problem: &LpProblem, ws: &mut SimplexWorkspace) -> Result<LpSolution> {
+    ws.load(problem);
 
     // ---------------- Phase 1: minimize the sum of artificials ----------------
-    let mut phase1_costs = vec![0.0; total];
-    for cost in phase1_costs.iter_mut().skip(n) {
-        *cost = 1.0;
-    }
-    t.optimize(&phase1_costs, |_| true)?;
-    let phase1_obj = t.objective(&phase1_costs);
-    if phase1_obj > 1e-7 {
+    ws.set_phase1_costs();
+    ws.optimize(true)?;
+    if ws.objective() > 1e-7 {
         return Err(LpError::Infeasible);
     }
-    let phase1_pivots = t.pivots;
+    let phase1_pivots = ws.pivots;
 
     // Drive any artificial still in the basis out of it (degenerate rows).
-    for i in 0..m {
-        if t.basis[i] >= n {
-            if let Some(col) = (0..n).find(|&j| t.a[i][j].abs() > EPS) {
-                t.pivot(i, col);
+    for i in 0..ws.rows {
+        if ws.basis[i] >= ws.n {
+            if let Some(col) = (0..ws.n).find(|&j| ws.a[i * ws.total + j].abs() > EPS) {
+                ws.pivot(i, col);
             }
             // If the whole row is zero the constraint was redundant; the
             // artificial stays basic at value zero, which is harmless as long
@@ -166,28 +321,39 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution> {
     }
 
     // ---------------- Phase 2: original objective ----------------
-    let mut phase2_costs = sf.c.clone();
-    phase2_costs.resize(total, 0.0);
-    // Forbid artificial columns from (re-)entering.
-    t.optimize(&phase2_costs, |j| j < n)?;
+    ws.set_phase2_costs();
+    ws.optimize(false)?;
 
-    // Extract the solution over standard-form columns.
-    let mut y = vec![0.0; n];
-    for (i, &bi) in t.basis.iter().enumerate() {
-        if bi < n {
-            y[bi] = t.b[i];
+    Ok(ws.extract(phase1_pivots, false))
+}
+
+/// Solve a validated problem warm: seed phase 2 from `basis_hint` (the
+/// row-ordered optimal basis of a previous, structurally identical solve).
+/// Falls back to the cold two-phase path when the hint is not a feasible
+/// basis for the new data.
+pub(crate) fn solve_warm(
+    problem: &LpProblem,
+    ws: &mut SimplexWorkspace,
+    basis_hint: &[usize],
+) -> Result<LpSolution> {
+    ws.load(problem);
+    if !ws.factorize_basis(basis_hint) {
+        return solve(problem, ws);
+    }
+    // Clamp the tiny negative noise tolerated by the feasibility check.
+    for v in &mut ws.b {
+        if *v < 0.0 {
+            *v = 0.0;
         }
     }
-    let min_obj: f64 = sf.c.iter().zip(&y).map(|(c, v)| c * v).sum();
-    let values = sf.recover(&y);
-    let objective = sf.original_objective(min_obj);
-
-    let stats = SolveStats { pivots: t.pivots, phase1_pivots, rows: m, cols: n };
-    Ok(LpSolution::new(objective, values, stats))
+    ws.set_phase2_costs();
+    ws.optimize(false)?;
+    Ok(ws.extract(0, true))
 }
 
 #[cfg(test)]
 mod tests {
+    use super::SimplexWorkspace;
     use crate::{LpError, LpProblem, Objective, Relation};
 
     fn assert_close(a: f64, b: f64) {
@@ -353,6 +519,7 @@ mod tests {
         assert!(stats.rows >= 1);
         assert!(stats.cols >= 1);
         assert!(stats.phase1_pivots <= stats.pivots);
+        assert!(!stats.warm_started);
     }
 
     #[test]
@@ -388,5 +555,123 @@ mod tests {
         assert_close(sol.value(q0), 0.0);
         assert_close(sol.value(p1), theta);
         assert_close(sol.value(q1), 1.0 - theta);
+    }
+
+    fn dantzig_with_budget(budget: f64) -> LpProblem {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 3.0);
+        lp.set_objective(y, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, budget);
+        lp
+    }
+
+    #[test]
+    fn warm_start_from_own_optimal_basis_takes_zero_pivots() {
+        let lp = dantzig_with_budget(18.0);
+        let mut ws = SimplexWorkspace::new();
+        let cold = lp.solve_with(&mut ws).unwrap();
+        let warm = lp.solve_from_basis(&mut ws, cold.basis()).unwrap();
+        assert!(warm.stats().warm_started);
+        assert_eq!(warm.stats().pivots, 0);
+        assert_close(warm.objective(), cold.objective());
+        assert_eq!(warm.values(), cold.values());
+    }
+
+    #[test]
+    fn warm_start_tracks_perturbed_rhs() {
+        let mut ws = SimplexWorkspace::new();
+        let base = dantzig_with_budget(18.0);
+        let cold_base = base.solve_with(&mut ws).unwrap();
+        let mut basis = cold_base.basis().to_vec();
+        for step in 1..=20 {
+            let budget = 18.0 - 0.5 * step as f64;
+            let lp = dantzig_with_budget(budget);
+            let warm = lp.solve_from_basis(&mut ws, &basis).unwrap();
+            let cold = lp.solve().unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() < 1e-9,
+                "budget {budget}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+            basis.clear();
+            basis.extend_from_slice(warm.basis());
+        }
+    }
+
+    #[test]
+    fn warm_start_with_garbage_basis_falls_back_to_cold() {
+        let lp = dantzig_with_budget(18.0);
+        let mut ws = SimplexWorkspace::new();
+        // Wrong length.
+        let warm = lp.solve_from_basis(&mut ws, &[0]).unwrap();
+        assert!(!warm.stats().warm_started);
+        assert_close(warm.objective(), 36.0);
+        // Out-of-range (artificial) columns.
+        let warm = lp.solve_from_basis(&mut ws, &[99, 100, 101]).unwrap();
+        assert!(!warm.stats().warm_started);
+        assert_close(warm.objective(), 36.0);
+        // Dependent columns (x appears twice): singular basis matrix.
+        let warm = lp.solve_from_basis(&mut ws, &[0, 0, 1]).unwrap();
+        assert!(!warm.stats().warm_started);
+        assert_close(warm.objective(), 36.0);
+    }
+
+    #[test]
+    fn warm_start_with_infeasible_basis_falls_back_to_cold() {
+        // The optimal basis at a large budget prices x and y basic; shrink
+        // the rhs so that basis would imply a negative slack and check the
+        // fallback still produces the optimum.
+        let big = dantzig_with_budget(18.0);
+        let mut ws = SimplexWorkspace::new();
+        let basis = big.solve_with(&mut ws).unwrap().basis().to_vec();
+
+        let mut tight = LpProblem::new(Objective::Maximize);
+        let x = tight.add_var("x", 0.0, f64::INFINITY);
+        let y = tight.add_var("y", 0.0, f64::INFINITY);
+        tight.set_objective(x, 3.0);
+        tight.set_objective(y, 5.0);
+        tight.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        tight.add_constraint(&[(y, 2.0)], Relation::Le, 2.0);
+        tight.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 2.0);
+        let warm = tight.solve_from_basis(&mut ws, &basis).unwrap();
+        let cold = tight.solve().unwrap();
+        assert_close(warm.objective(), cold.objective());
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_shapes() {
+        let mut ws = SimplexWorkspace::new();
+        let a = dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
+        assert_close(a.objective(), 36.0);
+
+        // Solve a differently shaped problem with the same workspace.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", 2.0, f64::INFINITY);
+        lp.set_objective(x, 4.0);
+        let b = lp.solve_with(&mut ws).unwrap();
+        assert_close(b.objective(), 8.0);
+
+        // And go back.
+        let c = dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
+        assert_close(c.objective(), 36.0);
+        ws.recycle(a);
+        ws.recycle(b);
+        ws.recycle(c);
+    }
+
+    #[test]
+    fn recycled_solutions_do_not_leak_between_solves() {
+        let mut ws = SimplexWorkspace::new();
+        let a = dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
+        let expected = (a.objective(), a.values().to_vec());
+        ws.recycle(a);
+        let b = dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
+        assert_close(b.objective(), expected.0);
+        assert_eq!(b.values(), &expected.1[..]);
     }
 }

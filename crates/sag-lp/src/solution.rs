@@ -3,16 +3,22 @@
 use crate::problem::VarId;
 
 /// Statistics about a solve, useful for benchmarking and regression tracking.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
-    /// Total simplex pivots across both phases.
+    /// Total simplex pivots across both phases (warm-start basis
+    /// factorization excluded — it is bounded by the row count).
     pub pivots: usize,
-    /// Pivots spent in phase 1 (driving artificial variables out).
+    /// Pivots spent in phase 1 (driving artificial variables out). Zero for
+    /// solves seeded from a warm basis.
     pub phase1_pivots: usize,
     /// Number of equality rows in the standard form.
     pub rows: usize,
     /// Number of columns in the standard form (excluding artificials).
     pub cols: usize,
+    /// Whether the solve was seeded from a caller-supplied basis (and that
+    /// basis was usable; a failed warm start that fell back to the cold
+    /// two-phase path reports `false`).
+    pub warm_started: bool,
 }
 
 /// An optimal solution of a linear program.
@@ -20,14 +26,20 @@ pub struct SolveStats {
 pub struct LpSolution {
     objective: f64,
     values: Vec<f64>,
+    basis: Vec<usize>,
     stats: SolveStats,
 }
 
 impl LpSolution {
     /// Construct a solution (used by the solver).
     #[must_use]
-    pub(crate) fn new(objective: f64, values: Vec<f64>, stats: SolveStats) -> Self {
-        Self { objective, values, stats }
+    pub(crate) fn new(
+        objective: f64,
+        values: Vec<f64>,
+        basis: Vec<usize>,
+        stats: SolveStats,
+    ) -> Self {
+        Self { objective, values, basis, stats }
     }
 
     /// Optimal objective value in the original optimization direction.
@@ -52,10 +64,23 @@ impl LpSolution {
         &self.values
     }
 
+    /// The optimal basis: for each standard-form row, the column that is
+    /// basic in it. Feed this to [`crate::LpProblem::solve_from_basis`] to
+    /// warm-start a structurally identical solve.
+    #[must_use]
+    pub fn basis(&self) -> &[usize] {
+        &self.basis
+    }
+
     /// Solver statistics for this solve.
     #[must_use]
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Tear the solution apart into its buffers (for workspace recycling).
+    pub(crate) fn into_buffers(self) -> (Vec<f64>, Vec<usize>) {
+        (self.values, self.basis)
     }
 }
 
@@ -65,20 +90,30 @@ mod tests {
 
     #[test]
     fn accessors_return_constructed_data() {
-        let stats = SolveStats { pivots: 3, phase1_pivots: 1, rows: 2, cols: 4 };
-        let sol = LpSolution::new(7.5, vec![1.0, 2.0], stats);
+        let stats =
+            SolveStats { pivots: 3, phase1_pivots: 1, rows: 2, cols: 4, warm_started: false };
+        let sol = LpSolution::new(7.5, vec![1.0, 2.0], vec![0, 1], stats);
         assert_eq!(sol.objective(), 7.5);
         assert_eq!(sol.value(VarId(0)), 1.0);
         assert_eq!(sol.value(VarId(1)), 2.0);
         assert_eq!(sol.values(), &[1.0, 2.0]);
+        assert_eq!(sol.basis(), &[0, 1]);
         assert_eq!(sol.stats(), stats);
     }
 
     #[test]
     fn solution_clones_and_compares() {
-        let sol = LpSolution::new(1.0, vec![0.5], SolveStats::default());
+        let sol = LpSolution::new(1.0, vec![0.5], vec![0], SolveStats::default());
         let copy = sol.clone();
         assert_eq!(copy, sol);
-        assert_ne!(LpSolution::new(2.0, vec![0.5], SolveStats::default()), sol);
+        assert_ne!(LpSolution::new(2.0, vec![0.5], vec![0], SolveStats::default()), sol);
+    }
+
+    #[test]
+    fn into_buffers_returns_the_owned_vectors() {
+        let sol = LpSolution::new(1.0, vec![0.5, 0.25], vec![1, 3], SolveStats::default());
+        let (values, basis) = sol.into_buffers();
+        assert_eq!(values, vec![0.5, 0.25]);
+        assert_eq!(basis, vec![1, 3]);
     }
 }

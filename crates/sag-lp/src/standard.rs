@@ -16,14 +16,19 @@
 //!    the objective value);
 //! 3. every `≤` row gains a slack column, every `≥` row gains a surplus
 //!    column, and rows are scaled so that the right-hand side is nonnegative.
+//!
+//! The constraint matrix is stored as a single flat row-major `Vec<f64>` (see
+//! [`StandardForm::row`]), and [`StandardForm::rebuild`] refills an existing
+//! instance in place so the per-alert hot path performs no allocation once
+//! the buffers have grown to the steady-state problem size.
 
 use crate::problem::{LpProblem, Objective, Relation};
 
 /// A linear program rewritten as `min c·y, A y = b, y ≥ 0, b ≥ 0`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StandardForm {
-    /// Dense row-major constraint matrix, `rows × cols`.
-    pub a: Vec<Vec<f64>>,
+    /// Flat row-major constraint matrix, `rows × cols` (see [`Self::row`]).
+    pub a: Vec<f64>,
     /// Right-hand side, all entries nonnegative.
     pub b: Vec<f64>,
     /// Minimization cost vector over the `cols` columns.
@@ -44,13 +49,24 @@ impl StandardForm {
     /// Number of equality rows.
     #[must_use]
     pub fn num_rows(&self) -> usize {
-        self.a.len()
+        self.b.len()
     }
 
     /// Number of columns (structural + slack/surplus).
     #[must_use]
     pub fn num_cols(&self) -> usize {
         self.c.len()
+    }
+
+    /// Row `i` of the constraint matrix as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let cols = self.num_cols();
+        &self.a[i * cols..(i + 1) * cols]
     }
 
     /// Recover a point over the original variables from a point over the
@@ -75,58 +91,59 @@ impl StandardForm {
     /// Build the standard form of a (validated) problem.
     #[must_use]
     pub fn from_problem(problem: &LpProblem) -> Self {
+        let mut sf = StandardForm::default();
+        sf.rebuild(problem);
+        sf
+    }
+
+    /// Refill `self` from `problem`, reusing the existing buffers. After the
+    /// first call on a given problem shape this performs no allocation.
+    pub fn rebuild(&mut self, problem: &LpProblem) {
         let n = problem.variables.len();
-        let maximize = problem.objective == Objective::Maximize;
+        self.maximize = problem.objective == Objective::Maximize;
+        self.num_structural = n;
 
         // Cost over structural columns (after shift, minimization sense).
-        let sign = if maximize { -1.0 } else { 1.0 };
-        let mut objective_shift = 0.0;
-        let mut c_structural = Vec::with_capacity(n);
-        let mut shifts = Vec::with_capacity(n);
+        let sign = if self.maximize { -1.0 } else { 1.0 };
+        self.objective_shift = 0.0;
+        self.shifts.clear();
         for v in &problem.variables {
-            c_structural.push(sign * v.objective);
-            shifts.push(v.lower);
-            objective_shift += sign * v.objective * v.lower;
+            self.shifts.push(v.lower);
+            self.objective_shift += sign * v.objective * v.lower;
         }
 
-        // Collect rows as (dense coeffs over structural columns, relation, rhs)
-        // with the variable shift folded into the rhs.
-        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
-        for cons in &problem.constraints {
-            let mut coeffs = vec![0.0; n];
-            let mut rhs = cons.rhs;
-            for &(var, coeff) in &cons.terms {
-                coeffs[var.index()] += coeff;
-                rhs -= coeff * problem.variables[var.index()].lower;
-            }
-            rows.push((coeffs, cons.relation, rhs));
-        }
-        // Finite upper bounds become `y_j <= hi - lo` rows.
-        for (j, v) in problem.variables.iter().enumerate() {
-            if v.upper.is_finite() {
-                let mut coeffs = vec![0.0; n];
-                coeffs[j] = 1.0;
-                rows.push((coeffs, Relation::Le, v.upper - v.lower));
-            }
-        }
-
-        // Count slack/surplus columns needed.
-        let num_slack = rows
+        // Row and column counts: every `≤`/`≥` constraint takes one
+        // slack/surplus column; every finite upper bound adds a `≤` row.
+        let num_bound_rows = problem.variables.iter().filter(|v| v.upper.is_finite()).count();
+        let num_slack = problem
+            .constraints
             .iter()
-            .filter(|(_, rel, _)| matches!(rel, Relation::Le | Relation::Ge))
-            .count();
+            .filter(|c| matches!(c.relation, Relation::Le | Relation::Ge))
+            .count()
+            + num_bound_rows;
+        let rows = problem.constraints.len() + num_bound_rows;
         let cols = n + num_slack;
 
-        let mut a = Vec::with_capacity(rows.len());
-        let mut b = Vec::with_capacity(rows.len());
-        let mut c = c_structural;
-        c.resize(cols, 0.0);
+        self.c.clear();
+        self.c.resize(cols, 0.0);
+        for (j, v) in problem.variables.iter().enumerate() {
+            self.c[j] = sign * v.objective;
+        }
+
+        self.a.clear();
+        self.a.resize(rows * cols, 0.0);
+        self.b.clear();
+        self.b.resize(rows, 0.0);
 
         let mut next_slack = n;
-        for (coeffs, relation, rhs) in rows {
-            let mut row = vec![0.0; cols];
-            row[..n].copy_from_slice(&coeffs);
-            match relation {
+        for (i, cons) in problem.constraints.iter().enumerate() {
+            let row = &mut self.a[i * cols..(i + 1) * cols];
+            let mut rhs = cons.rhs;
+            for &(var, coeff) in &cons.terms {
+                row[var.index()] += coeff;
+                rhs -= coeff * problem.variables[var.index()].lower;
+            }
+            match cons.relation {
                 Relation::Le => {
                     row[next_slack] = 1.0;
                     next_slack += 1;
@@ -137,18 +154,28 @@ impl StandardForm {
                 }
                 Relation::Eq => {}
             }
-            let mut rhs = rhs;
             if rhs < 0.0 {
-                for entry in &mut row {
+                for entry in row.iter_mut() {
                     *entry = -*entry;
                 }
                 rhs = -rhs;
             }
-            a.push(row);
-            b.push(rhs);
+            self.b[i] = rhs;
         }
 
-        StandardForm { a, b, c, num_structural: n, shifts, objective_shift, maximize, }
+        // Finite upper bounds become `y_j <= hi - lo` rows (rhs is always
+        // nonnegative because bounds are validated as hi >= lo).
+        let mut i = problem.constraints.len();
+        for (j, v) in problem.variables.iter().enumerate() {
+            if v.upper.is_finite() {
+                let row = &mut self.a[i * cols..(i + 1) * cols];
+                row[j] = 1.0;
+                row[next_slack] = 1.0;
+                next_slack += 1;
+                self.b[i] = v.upper - v.lower;
+                i += 1;
+            }
+        }
     }
 }
 
@@ -179,6 +206,7 @@ mod tests {
         assert_eq!(sf.num_structural, 2);
         assert_eq!(sf.shifts, vec![1.0, 0.0]);
         assert!(sf.maximize);
+        assert_eq!(sf.a.len(), sf.num_rows() * sf.num_cols());
     }
 
     #[test]
@@ -192,6 +220,9 @@ mod tests {
         assert!((sf.b[0] - 1.0).abs() < 1e-12);
         // bound row: y0 <= 3
         assert!((sf.b[1] - 3.0).abs() < 1e-12);
+        // Surplus on row 0, slack on row 1.
+        assert_eq!(sf.row(0)[2], -1.0);
+        assert_eq!(sf.row(1)[3], 1.0);
     }
 
     #[test]
@@ -229,5 +260,33 @@ mod tests {
         assert!(!sf.maximize);
         assert!((sf.c[0] - 5.0).abs() < 1e-12);
         assert!((sf.original_objective(15.0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        let lp = toy_problem();
+        let mut sf = StandardForm::from_problem(&lp);
+        let fresh = StandardForm::from_problem(&lp);
+
+        // Rebuild from a same-shape problem with different numbers: buffers
+        // must be reused and the contents must match a fresh conversion.
+        let mut lp2 = LpProblem::new(Objective::Maximize);
+        let x = lp2.add_var("x", 1.5, 4.5);
+        let y = lp2.add_var("y", 0.0, f64::INFINITY);
+        lp2.set_objective(x, 2.0);
+        lp2.set_objective(y, 1.0);
+        lp2.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Ge, 3.0);
+        sf.rebuild(&lp2);
+        let fresh2 = StandardForm::from_problem(&lp2);
+        assert_eq!(sf.a, fresh2.a);
+        assert_eq!(sf.b, fresh2.b);
+        assert_eq!(sf.c, fresh2.c);
+        assert_eq!(sf.shifts, fresh2.shifts);
+
+        // And rebuilding back reproduces the original exactly.
+        sf.rebuild(&lp);
+        assert_eq!(sf.a, fresh.a);
+        assert_eq!(sf.b, fresh.b);
+        assert_eq!(sf.c, fresh.c);
     }
 }
