@@ -26,7 +26,9 @@ fn lp3_program(theta: f64) -> LpProblem {
 /// Build an LP (2)-shaped program with `n` types.
 fn lp2_program(n: usize, budget: f64) -> LpProblem {
     let mut lp = LpProblem::new(Objective::Maximize);
-    let vars: Vec<_> = (0..n).map(|t| lp.add_var(format!("B{t}"), 0.0, budget)).collect();
+    let vars: Vec<_> = (0..n)
+        .map(|t| lp.add_var(format!("B{t}"), 0.0, budget))
+        .collect();
     lp.set_objective(vars[0], 0.01 * 500.0);
     for t in 1..n {
         lp.add_constraint(

@@ -89,7 +89,12 @@ fn per_alert_optimization(c: &mut Criterion) {
         b.iter(|| {
             let input =
                 setup::sse_input(&payoffs5, &costs5, black_box(&estimates5), black_box(30.0));
-            black_box(solver.solve_cached(&input, &mut cache).unwrap().auditor_utility)
+            black_box(
+                solver
+                    .solve_cached(&input, &mut cache)
+                    .unwrap()
+                    .auditor_utility,
+            )
         });
     });
 
@@ -137,7 +142,12 @@ fn per_alert_optimization(c: &mut Criterion) {
             b.iter(|| {
                 let input =
                     setup::sse_input(&payoffs, &costs, black_box(&estimates), black_box(30.0));
-                black_box(solver.solve_cached(&input, &mut cache).unwrap().auditor_utility)
+                black_box(
+                    solver
+                        .solve_cached(&input, &mut cache)
+                        .unwrap()
+                        .auditor_utility,
+                )
             });
         });
     }

@@ -39,7 +39,12 @@ fn replay_throughput(c: &mut Criterion) {
         solver.solve_cached(&input, &mut cache).unwrap();
         b.iter(|| {
             let input = setup::sse_input(&payoffs, &costs, &estimates, black_box(30.0));
-            black_box(solver.solve_cached(&input, &mut cache).unwrap().auditor_utility)
+            black_box(
+                solver
+                    .solve_cached(&input, &mut cache)
+                    .unwrap()
+                    .auditor_utility,
+            )
         });
     });
 

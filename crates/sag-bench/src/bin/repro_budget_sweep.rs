@@ -25,7 +25,11 @@ fn main() {
 
     println!(
         "Budget sweep, {} setting, seed {seed}\n",
-        if multi { "7-type (Figure 3)" } else { "single-type (Figure 2)" }
+        if multi {
+            "7-type (Figure 3)"
+        } else {
+            "single-type (Figure 2)"
+        }
     );
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>12}",

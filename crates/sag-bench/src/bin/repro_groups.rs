@@ -12,7 +12,10 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2017);
     let total_days: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(56);
 
-    for (label, single) in [("single type (Figure 2 setting)", true), ("7 types (Figure 3 setting)", false)] {
+    for (label, single) in [
+        ("single type (Figure 2 setting)", true),
+        ("7 types (Figure 3 setting)", false),
+    ] {
         println!("=== Rolling groups, {label}, {total_days} days, seed {seed} ===\n");
         let config = if single {
             FigureExperimentConfig::figure2(seed)
@@ -46,10 +49,23 @@ fn main() {
                 .sum::<f64>()
                 / total_alerts.max(1) as f64
         };
-        println!("\nacross all {} groups ({} alerts):", groups.len(), total_alerts);
-        println!("  mean utility, OSSP        : {:10.2}", weighted(&|s| s.mean_ossp));
-        println!("  mean utility, online SSE  : {:10.2}", weighted(&|s| s.mean_online));
-        println!("  mean utility, offline SSE : {:10.2}", weighted(&|s| s.mean_offline));
+        println!(
+            "\nacross all {} groups ({} alerts):",
+            groups.len(),
+            total_alerts
+        );
+        println!(
+            "  mean utility, OSSP        : {:10.2}",
+            weighted(&|s| s.mean_ossp)
+        );
+        println!(
+            "  mean utility, online SSE  : {:10.2}",
+            weighted(&|s| s.mean_online)
+        );
+        println!(
+            "  mean utility, offline SSE : {:10.2}",
+            weighted(&|s| s.mean_offline)
+        );
         println!();
         let _ = report::render_summary("", &groups[0].summary); // keep report linked
     }

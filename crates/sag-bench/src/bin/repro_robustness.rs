@@ -45,14 +45,24 @@ fn main() {
         AttackerProfile::new("opportunist", 0.7, opportunist.clone()),
         AttackerProfile::new("professional", 0.3, professional),
     ];
-    let mixture =
-        bayesian_ossp(&profiles, AlertTypeId(0), theta).expect("Bayesian OSSP solves");
+    let mixture = bayesian_ossp(&profiles, AlertTypeId(0), theta).expect("Bayesian OSSP solves");
     let single = ossp_closed_form(opportunist.get(AlertTypeId(0)), theta);
-    println!("single-profile OSSP auditor utility   : {:>10.2}", single.auditor_utility);
-    println!("Bayesian-mixture OSSP auditor utility : {:>10.2}", mixture.auditor_utility);
-    println!("scheme committed for the mixture      : p1={:.3} q1={:.3} p0={:.3} q0={:.3}",
-        mixture.scheme.p1, mixture.scheme.q1, mixture.scheme.p0, mixture.scheme.q0);
+    println!(
+        "single-profile OSSP auditor utility   : {:>10.2}",
+        single.auditor_utility
+    );
+    println!(
+        "Bayesian-mixture OSSP auditor utility : {:>10.2}",
+        mixture.auditor_utility
+    );
+    println!(
+        "scheme committed for the mixture      : p1={:.3} q1={:.3} p0={:.3} q0={:.3}",
+        mixture.scheme.p1, mixture.scheme.q1, mixture.scheme.p0, mixture.scheme.q0
+    );
     for (profile, utility) in profiles.iter().zip(&mixture.attacker_utilities) {
-        println!("  expected utility of the {:<13}: {:>10.2}", profile.label, utility);
+        println!(
+            "  expected utility of the {:<13}: {:>10.2}",
+            profile.label, utility
+        );
     }
 }

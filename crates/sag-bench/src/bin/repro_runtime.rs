@@ -8,7 +8,10 @@
 use sag_bench::{report, runtime_experiment};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2019);
     println!("Per-alert SAG optimization time (7 types, budget 50, seed {seed})\n");
     let stats = runtime_experiment(seed, 41);
     println!("{}", report::render_runtime(&stats));

@@ -11,8 +11,10 @@ use sag_core::theorems;
 use sag_sim::AlertTypeId;
 
 fn main() {
-    let random_games: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let random_games: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
 
     // 1. Paper payoffs over a dense coverage grid.
     let table = PayoffTable::paper_table2();

@@ -8,8 +8,13 @@
 use sag_bench::throughput::{render_json, throughput_experiment, ThroughputConfig};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
-    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_1.json".to_string());
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2019);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
 
     let config = ThroughputConfig::default_workload(seed);
     println!(
@@ -19,12 +24,27 @@ fn main() {
     let report = throughput_experiment(&config);
 
     println!("alerts replayed       : {}", report.alerts);
-    println!("throughput            : {:>10.0} alerts/sec", report.alerts_per_sec);
-    println!("latency p50           : {:>10.1} us/alert", report.p50_micros);
-    println!("latency p99           : {:>10.1} us/alert", report.p99_micros);
-    println!("latency mean          : {:>10.1} us/alert", report.mean_micros);
+    println!(
+        "throughput            : {:>10.0} alerts/sec",
+        report.alerts_per_sec
+    );
+    println!(
+        "latency p50           : {:>10.1} us/alert",
+        report.p50_micros
+    );
+    println!(
+        "latency p99           : {:>10.1} us/alert",
+        report.p99_micros
+    );
+    println!(
+        "latency mean          : {:>10.1} us/alert",
+        report.mean_micros
+    );
     println!("pivots per LP         : {:>10.3}", report.pivots_per_lp);
-    println!("warm-start hit rate   : {:>9.1}%", report.warm_hit_rate * 100.0);
+    println!(
+        "warm-start hit rate   : {:>9.1}%",
+        report.warm_hit_rate * 100.0
+    );
     println!(
         "5-type SSE solve      : {:>10.2} us warm vs {:.2} us cold ({:.2}x speedup)",
         report.warm_micros_5type, report.cold_micros_5type, report.warm_speedup_5type

@@ -97,7 +97,12 @@ impl FigureExperimentConfig {
     /// A scaled-down layout for fast tests and benches.
     #[must_use]
     pub fn quick(seed: u64, single_type: bool) -> Self {
-        FigureExperimentConfig { seed, history_days: 10, test_days: 1, single_type }
+        FigureExperimentConfig {
+            seed,
+            history_days: 10,
+            test_days: 1,
+            single_type,
+        }
     }
 
     fn stream_config(&self) -> StreamConfig {
@@ -189,12 +194,22 @@ pub fn runtime_experiment(seed: u64, history_days: u32) -> RuntimeStats {
     let engine =
         AuditCycleEngine::new(EngineConfig::paper_multi_type()).expect("valid configuration");
     let started = Instant::now();
-    let result = engine.run_day(&history, &test_days.remove(0)).expect("cycle replays");
+    let result = engine
+        .run_day(&history, &test_days.remove(0))
+        .expect("cycle replays");
     let total_millis = started.elapsed().as_secs_f64() * 1e3;
     let mean_micros = result.mean_solve_micros();
-    let max_micros =
-        result.outcomes.iter().map(|o| o.solve_micros as f64).fold(0.0, f64::max);
-    RuntimeStats { alerts: result.len(), mean_micros, max_micros, total_millis }
+    let max_micros = result
+        .outcomes
+        .iter()
+        .map(|o| o.solve_micros as f64)
+        .fold(0.0, f64::max);
+    RuntimeStats {
+        alerts: result.len(),
+        mean_micros,
+        max_micros,
+        total_millis,
+    }
 }
 
 /// Result of the knowledge-rollback ablation (Experiment E6).
@@ -235,7 +250,12 @@ pub fn rollback_ablation(seed: u64, history_days: u32, test_days: u32) -> Rollba
     };
     let (with_rollback, final_coverage_with) = run(RollbackPolicy::paper_default());
     let (without_rollback, final_coverage_without) = run(RollbackPolicy::disabled());
-    RollbackAblation { with_rollback, without_rollback, final_coverage_with, final_coverage_without }
+    RollbackAblation {
+        with_rollback,
+        without_rollback,
+        final_coverage_with,
+        final_coverage_without,
+    }
 }
 
 #[cfg(test)]
@@ -281,7 +301,11 @@ mod tests {
         // The paper reports ~0.02 s = 20_000 µs per alert; anything below that
         // keeps the warning imperceptible. Our simplex typically needs well
         // under a millisecond.
-        assert!(stats.mean_micros < 20_000.0, "mean {} µs", stats.mean_micros);
+        assert!(
+            stats.mean_micros < 20_000.0,
+            "mean {} µs",
+            stats.mean_micros
+        );
         assert!(stats.total_millis > 0.0);
     }
 
@@ -290,10 +314,15 @@ mod tests {
         let ablation = rollback_ablation(13, 10, 2);
         // With rollback the final alerts of the day retain nonzero coverage at
         // least as large as without it.
-        for (with, without) in
-            ablation.final_coverage_with.iter().zip(&ablation.final_coverage_without)
+        for (with, without) in ablation
+            .final_coverage_with
+            .iter()
+            .zip(&ablation.final_coverage_without)
         {
-            assert!(with >= &(without - 1e-9), "rollback reduced final coverage: {with} < {without}");
+            assert!(
+                with >= &(without - 1e-9),
+                "rollback reduced final coverage: {with} < {without}"
+            );
         }
     }
 }

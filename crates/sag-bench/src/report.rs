@@ -35,7 +35,11 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 #[must_use]
 pub fn render_table2(payoffs: &PayoffTable) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<8} {:>8} {:>8} {:>8} {:>8}", "Type ID", "Ud,c", "Ud,u", "Ua,c", "Ua,u");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "Type ID", "Ud,c", "Ud,u", "Ua,c", "Ua,u"
+    );
     let _ = writeln!(out, "{}", "-".repeat(46));
     for t in 0..payoffs.len() {
         let p = payoffs.get(AlertTypeId(t as u16));
@@ -61,10 +65,26 @@ pub fn render_summary(label: &str, summary: &ExperimentSummary) -> String {
     let _ = writeln!(out, "alerts processed      : {}", summary.num_alerts);
     let _ = writeln!(out, "mean utility  OSSP    : {:>10.2}", summary.mean_ossp);
     let _ = writeln!(out, "mean utility  online  : {:>10.2}", summary.mean_online);
-    let _ = writeln!(out, "mean utility  offline : {:>10.2}", summary.mean_offline);
-    let _ = writeln!(out, "OSSP >= online SSE    : {:>9.1}%", summary.fraction_ossp_not_worse * 100.0);
-    let _ = writeln!(out, "attacks deterred      : {:>9.1}%", summary.fraction_deterred * 100.0);
-    let _ = writeln!(out, "mean solve time       : {:>8.1} us/alert", summary.mean_solve_micros);
+    let _ = writeln!(
+        out,
+        "mean utility  offline : {:>10.2}",
+        summary.mean_offline
+    );
+    let _ = writeln!(
+        out,
+        "OSSP >= online SSE    : {:>9.1}%",
+        summary.fraction_ossp_not_worse * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "attacks deterred      : {:>9.1}%",
+        summary.fraction_deterred * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "mean solve time       : {:>8.1} us/alert",
+        summary.mean_solve_micros
+    );
     out
 }
 
@@ -76,7 +96,11 @@ pub fn render_figure(label: &str, output: &ExperimentOutput, points_per_day: usi
     for series in &output.series {
         let small = series.downsample(points_per_day);
         let _ = writeln!(out, "-- day {} ({} alerts) --", series.day, series.len());
-        let _ = writeln!(out, "{:<10} {:>12} {:>12} {:>12}", "time", "OSSP", "online SSE", "offline SSE");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>12} {:>12}",
+            "time", "OSSP", "online SSE", "offline SSE"
+        );
         for i in 0..small.len() {
             let _ = writeln!(
                 out,
@@ -89,7 +113,10 @@ pub fn render_figure(label: &str, output: &ExperimentOutput, points_per_day: usi
         }
     }
     out.push('\n');
-    out.push_str(&render_summary(&format!("{label} summary"), &output.summary));
+    out.push_str(&render_summary(
+        &format!("{label} summary"),
+        &output.summary,
+    ));
     out
 }
 
@@ -98,9 +125,17 @@ pub fn render_figure(label: &str, output: &ExperimentOutput, points_per_day: usi
 pub fn render_runtime(stats: &RuntimeStats) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "alerts timed          : {}", stats.alerts);
-    let _ = writeln!(out, "mean per-alert solve  : {:>10.1} us", stats.mean_micros);
+    let _ = writeln!(
+        out,
+        "mean per-alert solve  : {:>10.1} us",
+        stats.mean_micros
+    );
     let _ = writeln!(out, "max  per-alert solve  : {:>10.1} us", stats.max_micros);
-    let _ = writeln!(out, "whole-day replay      : {:>10.1} ms", stats.total_millis);
+    let _ = writeln!(
+        out,
+        "whole-day replay      : {:>10.1} ms",
+        stats.total_millis
+    );
     let _ = writeln!(
         out,
         "paper reference       : ~20000.0 us per alert (Mac laptop, 2017 hardware)"
@@ -112,12 +147,22 @@ pub fn render_runtime(stats: &RuntimeStats) -> String {
 #[must_use]
 pub fn render_rollback(ablation: &RollbackAblation) -> String {
     let mut out = String::new();
-    out.push_str(&render_summary("with knowledge rollback", &ablation.with_rollback));
+    out.push_str(&render_summary(
+        "with knowledge rollback",
+        &ablation.with_rollback,
+    ));
     out.push('\n');
-    out.push_str(&render_summary("without knowledge rollback", &ablation.without_rollback));
+    out.push_str(&render_summary(
+        "without knowledge rollback",
+        &ablation.without_rollback,
+    ));
     let _ = writeln!(out);
     let _ = writeln!(out, "coverage of the last alert of each test day:");
-    let _ = writeln!(out, "{:<8} {:>16} {:>18}", "day", "with rollback", "without rollback");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>16} {:>18}",
+        "day", "with rollback", "without rollback"
+    );
     for (i, (w, wo)) in ablation
         .final_coverage_with
         .iter()

@@ -61,7 +61,11 @@ pub fn synthetic_estimates(n: usize) -> Vec<f64> {
 /// A complete synthetic `n`-type workload: payoffs, costs and estimates.
 #[must_use]
 pub fn synthetic_game(n: usize) -> (PayoffTable, Vec<f64>, Vec<f64>) {
-    (synthetic_payoffs(n), synthetic_costs(n), synthetic_estimates(n))
+    (
+        synthetic_payoffs(n),
+        synthetic_costs(n),
+        synthetic_estimates(n),
+    )
 }
 
 /// Borrow a synthetic workload as an [`SseInput`].
@@ -72,7 +76,12 @@ pub fn sse_input<'a>(
     estimates: &'a [f64],
     budget: f64,
 ) -> SseInput<'a> {
-    SseInput { payoffs, audit_costs: costs, future_estimates: estimates, budget }
+    SseInput {
+        payoffs,
+        audit_costs: costs,
+        future_estimates: estimates,
+        budget,
+    }
 }
 
 /// The paper's single-type game configuration.
@@ -104,7 +113,10 @@ mod tests {
 
     #[test]
     fn paper_estimates_match_game_shapes() {
-        assert_eq!(single_type_estimates().len(), single_type_game().num_types());
+        assert_eq!(
+            single_type_estimates().len(),
+            single_type_game().num_types()
+        );
         assert_eq!(multi_type_estimates().len(), multi_type_game().num_types());
     }
 }

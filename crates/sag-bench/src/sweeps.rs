@@ -39,7 +39,9 @@ pub fn rolling_groups_parallel(
     let history_len = config.history_days as usize;
     let groups = log.rolling_groups(history_len);
 
-    let num_threads = std::thread::available_parallelism().map_or(4, usize::from).clamp(1, 8);
+    let num_threads = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .clamp(1, 8);
     let results: Vec<(usize, CycleResult)> = std::thread::scope(|scope| {
         let chunks: Vec<Vec<(usize, &[sag_sim::DayLog], &sag_sim::DayLog)>> = {
             let mut buckets: Vec<Vec<_>> = (0..num_threads).map(|_| Vec::new()).collect();
@@ -62,8 +64,10 @@ pub fn rolling_groups_parallel(
                 })
             })
             .collect();
-        let mut all: Vec<(usize, CycleResult)> =
-            handles.into_iter().flat_map(|h| h.join().expect("worker thread")).collect();
+        let mut all: Vec<(usize, CycleResult)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread"))
+            .collect();
         all.sort_by_key(|(i, _)| *i);
         all
     });
@@ -100,10 +104,7 @@ pub struct BudgetSweepPoint {
 ///
 /// Panics if the engine rejects the configuration (a workspace bug).
 #[must_use]
-pub fn budget_sweep(
-    config: &FigureExperimentConfig,
-    budgets: &[f64],
-) -> Vec<BudgetSweepPoint> {
+pub fn budget_sweep(config: &FigureExperimentConfig, budgets: &[f64]) -> Vec<BudgetSweepPoint> {
     let mut generator = StreamGenerator::new(config_stream(config));
     let (history, test_days) = generator.generate_split(config.history_days, config.test_days);
 
@@ -187,9 +188,7 @@ mod tests {
             .rolling_groups(10)
             .into_iter()
             .map(|(h, t)| {
-                ExperimentSummary::from_cycles(std::slice::from_ref(
-                    &engine.run_day(h, t).unwrap(),
-                ))
+                ExperimentSummary::from_cycles(std::slice::from_ref(&engine.run_day(h, t).unwrap()))
             })
             .collect();
 

@@ -34,7 +34,12 @@ impl ThroughputConfig {
     /// The default workload: the paper's 7-type game over a 15-day log.
     #[must_use]
     pub fn default_workload(seed: u64) -> Self {
-        ThroughputConfig { seed, history_days: 10, test_days: 5, comparison_solves: 2_000 }
+        ThroughputConfig {
+            seed,
+            history_days: 10,
+            test_days: 5,
+            comparison_solves: 2_000,
+        }
     }
 }
 
@@ -74,14 +79,15 @@ pub struct ThroughputReport {
 #[must_use]
 pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
     let mut generator = StreamGenerator::new(StreamConfig::paper_multi_type(config.seed));
-    let log =
-        AlertLog::new(generator.generate_days(config.history_days + config.test_days));
+    let log = AlertLog::new(generator.generate_days(config.history_days + config.test_days));
     let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type())
         .expect("paper configuration is valid");
     let groups = log.rolling_groups(config.history_days as usize);
 
     let started = Instant::now();
-    let cycles = engine.replay_batch(&groups).expect("batched replay succeeds");
+    let cycles = engine
+        .replay_batch(&groups)
+        .expect("batched replay succeeds");
     let wall_seconds = started.elapsed().as_secs_f64();
 
     let (warm_micros_5type, cold_micros_5type) = warm_vs_cold_5type(config.comparison_solves);
@@ -95,8 +101,10 @@ fn summarize(
     warm_micros_5type: f64,
     cold_micros_5type: f64,
 ) -> ThroughputReport {
-    let mut latencies: Vec<u64> =
-        cycles.iter().flat_map(|c| c.outcomes.iter().map(|o| o.solve_micros)).collect();
+    let mut latencies: Vec<u64> = cycles
+        .iter()
+        .flat_map(|c| c.outcomes.iter().map(|o| o.solve_micros))
+        .collect();
     latencies.sort_unstable();
     let alerts = latencies.len();
 
@@ -127,11 +135,19 @@ fn summarize(
     ThroughputReport {
         alerts,
         wall_seconds,
-        alerts_per_sec: if wall_seconds > 0.0 { alerts as f64 / wall_seconds } else { 0.0 },
+        alerts_per_sec: if wall_seconds > 0.0 {
+            alerts as f64 / wall_seconds
+        } else {
+            0.0
+        },
         p50_micros: percentile(0.50),
         p99_micros: percentile(0.99),
         mean_micros,
-        pivots_per_lp: if lp_solves == 0 { 0.0 } else { pivots as f64 / lp_solves as f64 },
+        pivots_per_lp: if lp_solves == 0 {
+            0.0
+        } else {
+            pivots as f64 / lp_solves as f64
+        },
         warm_hit_rate: if warm_attempts == 0 {
             0.0
         } else {
@@ -170,7 +186,9 @@ pub fn warm_vs_cold_5type(solves: usize) -> (f64, f64) {
     for i in 0..solves {
         estimates_at(i, &mut estimates);
         let input = setup::sse_input(&payoffs, &costs, &estimates, budget_at(i));
-        let solution = solver.solve_cached(&input, &mut cache).expect("5-type game solves");
+        let solution = solver
+            .solve_cached(&input, &mut cache)
+            .expect("5-type game solves");
         std::hint::black_box(solution.auditor_utility);
     }
     let warm_micros = started.elapsed().as_secs_f64() * 1e6 / solves.max(1) as f64;
@@ -202,10 +220,22 @@ pub fn render_json(report: &ThroughputReport) -> String {
     let _ = writeln!(out, "    \"mean\": {:.1}", report.mean_micros);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"pivots_per_lp\": {:.3},", report.pivots_per_lp);
-    let _ = writeln!(out, "  \"warm_start_hit_rate\": {:.4},", report.warm_hit_rate);
+    let _ = writeln!(
+        out,
+        "  \"warm_start_hit_rate\": {:.4},",
+        report.warm_hit_rate
+    );
     let _ = writeln!(out, "  \"warm_vs_cold_5type\": {{");
-    let _ = writeln!(out, "    \"warm_micros_per_solve\": {:.2},", report.warm_micros_5type);
-    let _ = writeln!(out, "    \"cold_micros_per_solve\": {:.2},", report.cold_micros_5type);
+    let _ = writeln!(
+        out,
+        "    \"warm_micros_per_solve\": {:.2},",
+        report.warm_micros_5type
+    );
+    let _ = writeln!(
+        out,
+        "    \"cold_micros_per_solve\": {:.2},",
+        report.cold_micros_5type
+    );
     let _ = writeln!(out, "    \"speedup\": {:.2}", report.warm_speedup_5type);
     let _ = writeln!(out, "  }}");
     out.push('}');
@@ -218,13 +248,21 @@ mod tests {
 
     #[test]
     fn quick_throughput_run_produces_consistent_metrics() {
-        let config =
-            ThroughputConfig { seed: 5, history_days: 6, test_days: 2, comparison_solves: 50 };
+        let config = ThroughputConfig {
+            seed: 5,
+            history_days: 6,
+            test_days: 2,
+            comparison_solves: 50,
+        };
         let report = throughput_experiment(&config);
         assert!(report.alerts > 100);
         assert!(report.alerts_per_sec > 0.0);
         assert!(report.p50_micros <= report.p99_micros);
-        assert!(report.warm_hit_rate > 0.5, "hit rate {}", report.warm_hit_rate);
+        assert!(
+            report.warm_hit_rate > 0.5,
+            "hit rate {}",
+            report.warm_hit_rate
+        );
         assert!(report.pivots_per_lp < 20.0);
         assert!(report.warm_micros_5type > 0.0);
         assert!(report.cold_micros_5type > 0.0);

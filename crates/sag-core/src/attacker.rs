@@ -57,13 +57,19 @@ impl AttackerModel {
     /// a given time.
     #[must_use]
     pub fn rational_at(time: TimeOfDay) -> Self {
-        AttackerModel { strategy: AttackStrategy::BestResponse, timing: AttackTiming::At(time) }
+        AttackerModel {
+            strategy: AttackStrategy::BestResponse,
+            timing: AttackTiming::At(time),
+        }
     }
 
     /// The late attacker used by the knowledge-rollback ablation.
     #[must_use]
     pub fn late() -> Self {
-        AttackerModel { strategy: AttackStrategy::BestResponse, timing: AttackTiming::EndOfDay }
+        AttackerModel {
+            strategy: AttackStrategy::BestResponse,
+            timing: AttackTiming::EndOfDay,
+        }
     }
 
     /// Pick the alert type to attack given the published coverage vector.
@@ -80,7 +86,7 @@ impl AttackerModel {
                     let id = AlertTypeId(t as u16);
                     let theta = coverage.get(t).copied().unwrap_or(0.0);
                     let utility = payoffs.get(id).attacker_expected(theta);
-                    if best.map_or(true, |(b, _)| utility > b) {
+                    if best.is_none_or(|(b, _)| utility > b) {
                         best = Some((utility, id));
                     }
                 }
@@ -125,8 +131,8 @@ pub fn simulate_attack<R: Rng + ?Sized>(
 
     let proceeds = if warned {
         // Conditional expected utility after the warning.
-        let expected = audit_prob * payoffs.attacker_covered
-            + (1.0 - audit_prob) * payoffs.attacker_uncovered;
+        let expected =
+            audit_prob * payoffs.attacker_covered + (1.0 - audit_prob) * payoffs.attacker_uncovered;
         expected > 0.0
     } else {
         true
@@ -148,7 +154,13 @@ pub fn simulate_attack<R: Rng + ?Sized>(
     } else {
         (payoffs.attacker_uncovered, payoffs.auditor_uncovered)
     };
-    AttackOutcome { warned, proceeded: true, audited, attacker_payoff, auditor_payoff }
+    AttackOutcome {
+        warned,
+        proceeded: true,
+        audited,
+        attacker_payoff,
+        auditor_payoff,
+    }
 }
 
 /// Monte-Carlo estimate of the players' expected utilities against a scheme,

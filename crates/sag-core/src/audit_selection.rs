@@ -64,12 +64,18 @@ impl AuditSelector {
     /// Create a selector for a game's payoffs and per-type audit costs.
     #[must_use]
     pub fn new(payoffs: PayoffTable, audit_costs: Vec<f64>) -> Self {
-        AuditSelector { payoffs, audit_costs }
+        AuditSelector {
+            payoffs,
+            audit_costs,
+        }
     }
 
     /// Audit cost of one alert.
     fn cost_of(&self, alert: &Alert) -> f64 {
-        self.audit_costs.get(alert.type_id.index()).copied().unwrap_or(1.0)
+        self.audit_costs
+            .get(alert.type_id.index())
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Sample the audit set.
@@ -158,7 +164,11 @@ mod tests {
         } else {
             Alert::benign(0, TimeOfDay::from_hms(10, 0, 0), AlertTypeId(ty))
         };
-        RecordedAlert { alert, scheme, signal }
+        RecordedAlert {
+            alert,
+            scheme,
+            signal,
+        }
     }
 
     fn selector() -> AuditSelector {
@@ -185,15 +195,19 @@ mod tests {
         let outcome = sel.select(&records, f64::INFINITY, &mut rng);
         let freq = outcome.audited.len() as f64 / records.len() as f64;
         let expected = r.committed_audit_probability();
-        assert!((freq - expected).abs() < 0.05, "frequency {freq} vs committed {expected}");
+        assert!(
+            (freq - expected).abs() < 0.05,
+            "frequency {freq} vs committed {expected}"
+        );
         assert!((outcome.total_cost - outcome.audited.len() as f64).abs() < 1e-9);
     }
 
     #[test]
     fn budget_is_never_exceeded() {
         let sel = selector();
-        let records: Vec<RecordedAlert> =
-            (0..500).map(|_| record(0, 0.5, Signal::Warning, false)).collect();
+        let records: Vec<RecordedAlert> = (0..500)
+            .map(|_| record(0, 0.5, Signal::Warning, false))
+            .collect();
         let mut rng = StdRng::seed_from_u64(2);
         let outcome = sel.select(&records, 25.0, &mut rng);
         assert!(outcome.total_cost <= 25.0 + 1e-9);
@@ -244,7 +258,10 @@ mod tests {
             total += sel.select(&[r], 10.0, &mut rng).realized_auditor_utility;
         }
         let mean = total / trials as f64;
-        assert!((mean - expected).abs() < 10.0, "MC {mean} vs analytic {expected}");
+        assert!(
+            (mean - expected).abs() < 10.0,
+            "MC {mean} vs analytic {expected}"
+        );
     }
 
     #[test]
@@ -255,7 +272,10 @@ mod tests {
             record(2, 0.2, Signal::Silent, false),
             record(6, 0.15, Signal::Warning, true),
         ];
-        let manual: f64 = records.iter().map(RecordedAlert::committed_audit_probability).sum();
+        let manual: f64 = records
+            .iter()
+            .map(RecordedAlert::committed_audit_probability)
+            .sum();
         assert!((sel.expected_spend(&records) - manual).abs() < 1e-12);
     }
 

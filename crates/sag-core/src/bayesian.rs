@@ -41,7 +41,11 @@ impl AttackerProfile {
     /// Construct a profile.
     #[must_use]
     pub fn new(label: impl Into<String>, prior: f64, payoffs: PayoffTable) -> Self {
-        AttackerProfile { label: label.into(), prior, payoffs }
+        AttackerProfile {
+            label: label.into(),
+            prior,
+            payoffs,
+        }
     }
 }
 
@@ -99,7 +103,10 @@ impl BayesianSseSolver {
                 ));
             }
             if !(p.prior.is_finite() && p.prior >= 0.0) {
-                return Err(SagError::InvalidConfig(format!("invalid prior {}", p.prior)));
+                return Err(SagError::InvalidConfig(format!(
+                    "invalid prior {}",
+                    p.prior
+                )));
             }
         }
         if input.profiles.iter().map(|p| p.prior).sum::<f64>() <= 0.0 {
@@ -109,7 +116,10 @@ impl BayesianSseSolver {
             return Err(SagError::InvalidConfig("inconsistent lengths".into()));
         }
         if !input.budget.is_finite() || input.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!("invalid budget {}", input.budget)));
+            return Err(SagError::InvalidConfig(format!(
+                "invalid budget {}",
+                input.budget
+            )));
         }
         Ok(n)
     }
@@ -129,7 +139,11 @@ impl BayesianSseSolver {
         let n = Self::validate(input)?;
         let k = input.profiles.len();
         let total_prior: f64 = input.profiles.iter().map(|p| p.prior).sum();
-        let weights: Vec<f64> = input.profiles.iter().map(|p| p.prior / total_prior).collect();
+        let weights: Vec<f64> = input
+            .profiles
+            .iter()
+            .map(|p| p.prior / total_prior)
+            .collect();
         let rates: Vec<f64> = input
             .future_estimates
             .iter()
@@ -144,7 +158,7 @@ impl BayesianSseSolver {
                 Ok(solution) => {
                     if best
                         .as_ref()
-                        .map_or(true, |b| solution.auditor_utility > b.auditor_utility + 1e-12)
+                        .is_none_or(|b| solution.auditor_utility > b.auditor_utility + 1e-12)
                     {
                         best = Some(solution);
                     }
@@ -179,16 +193,18 @@ impl BayesianSseSolver {
         let mut lp = LpProblem::new(Objective::Maximize);
         let vars: Vec<_> = (0..n)
             .map(|t| {
-                let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
+                let max_useful = if rates[t] > 0.0 {
+                    1.0 / rates[t]
+                } else {
+                    input.budget
+                };
                 lp.add_var(format!("B{t}"), 0.0, input.budget.min(max_useful))
             })
             .collect();
 
         // Objective: prior-weighted auditor utility against each profile's
         // assigned best-response type.
-        for (profile, (&target, &w)) in
-            input.profiles.iter().zip(assignment.iter().zip(weights))
-        {
+        for (profile, (&target, &w)) in input.profiles.iter().zip(assignment.iter().zip(weights)) {
             let p = profile.payoffs.get(AlertTypeId(target as u16));
             let slope = w * rates[target] * (p.auditor_covered - p.auditor_uncovered);
             let existing = lp.objective_coeff(vars[target]);
@@ -219,14 +235,15 @@ impl BayesianSseSolver {
 
         let sol = lp.solve().map_err(SagError::from)?;
         let budget_split: Vec<f64> = vars.iter().map(|&v| sol.value(v)).collect();
-        let coverage: Vec<f64> =
-            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+        let coverage: Vec<f64> = budget_split
+            .iter()
+            .zip(rates)
+            .map(|(b, r)| (b * r).clamp(0.0, 1.0))
+            .collect();
 
         let mut auditor_utility = 0.0;
         let mut attacker_utilities = Vec::with_capacity(input.profiles.len());
-        for (profile, (&target, &w)) in
-            input.profiles.iter().zip(assignment.iter().zip(weights))
-        {
+        for (profile, (&target, &w)) in input.profiles.iter().zip(assignment.iter().zip(weights)) {
             let p = profile.payoffs.get(AlertTypeId(target as u16));
             auditor_utility += w * p.auditor_expected(coverage[target]);
             attacker_utilities.push(p.attacker_expected(coverage[target]));
@@ -321,7 +338,11 @@ pub fn bayesian_ossp(
         }
     }
 
-    Ok(BayesianOsspSolution { scheme, auditor_utility, attacker_utilities })
+    Ok(BayesianOsspSolution {
+        scheme,
+        auditor_utility,
+        attacker_utilities,
+    })
 }
 
 #[cfg(test)]
@@ -400,17 +421,27 @@ mod tests {
             })
             .unwrap();
         // Coverage is a probability vector within budget.
-        assert!(sol.coverage.iter().all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
+        assert!(sol
+            .coverage
+            .iter()
+            .all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
         assert!(sol.budget_split.iter().sum::<f64>() <= 50.0 + 1e-6);
         // Each profile's reported best response really is its best response.
         for (profile, &br) in profiles.iter().zip(&sol.best_responses) {
-            let best_utility = profile.payoffs.get(br).attacker_expected(sol.coverage[br.index()]);
+            let best_utility = profile
+                .payoffs
+                .get(br)
+                .attacker_expected(sol.coverage[br.index()]);
             for t in 0..7u16 {
                 let alt = profile
                     .payoffs
                     .get(AlertTypeId(t))
                     .attacker_expected(sol.coverage[t as usize]);
-                assert!(best_utility >= alt - 1e-6, "profile {} type {t}", profile.label);
+                assert!(
+                    best_utility >= alt - 1e-6,
+                    "profile {} type {t}",
+                    profile.label
+                );
             }
         }
     }

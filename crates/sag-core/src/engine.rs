@@ -227,7 +227,10 @@ impl AuditCycleEngine {
     /// configurations.
     pub fn new(config: EngineConfig) -> Result<Self> {
         config.game.validate()?;
-        Ok(AuditCycleEngine { config, solver: SseSolver::new() })
+        Ok(AuditCycleEngine {
+            config,
+            solver: SseSolver::new(),
+        })
     }
 
     /// The engine configuration.
@@ -257,10 +260,7 @@ impl AuditCycleEngine {
     ///
     /// Propagates solver errors (which do not occur for valid
     /// configurations).
-    pub fn replay_batch(
-        &self,
-        jobs: &[(&[DayLog], &DayLog)],
-    ) -> Result<Vec<CycleResult>> {
+    pub fn replay_batch(&self, jobs: &[(&[DayLog], &DayLog)]) -> Result<Vec<CycleResult>> {
         #[cfg(feature = "parallel")]
         {
             let threads = std::thread::available_parallelism()
@@ -284,23 +284,24 @@ impl AuditCycleEngine {
         threads: usize,
     ) -> Result<Vec<CycleResult>> {
         let chunk_size = jobs.len().div_ceil(threads);
-        let mut results: Vec<Option<Result<CycleResult>>> =
-            (0..jobs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Result<CycleResult>>> = (0..jobs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             for (job_chunk, result_chunk) in
                 jobs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
             {
                 scope.spawn(move || {
                     let mut caches = ReplayCaches::default();
-                    for ((history, test_day), out) in
-                        job_chunk.iter().zip(result_chunk.iter_mut())
+                    for ((history, test_day), out) in job_chunk.iter().zip(result_chunk.iter_mut())
                     {
                         *out = Some(self.run_day_cached(history, test_day, &mut caches));
                     }
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("every job replayed")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every job replayed"))
+            .collect()
     }
 
     /// Replay one audit cycle over caller-provided warm-start caches.
@@ -341,20 +342,25 @@ impl AuditCycleEngine {
             let type_payoffs = game.payoffs.get(alert.type_id);
             let coverage_ossp = sse_ossp.coverage_of(alert.type_id);
             let ossp_applied = alert.type_id == sse_ossp.best_response;
-            let (ossp_scheme, ossp_utility, ossp_attacker_utility, ossp_deterred) =
-                if ossp_applied {
-                    let ossp = ossp_closed_form(type_payoffs, coverage_ossp);
-                    (ossp.scheme, ossp.auditor_utility, ossp.attacker_utility, ossp.deterred)
-                } else {
-                    // Alerts whose type is not the best response are handled
-                    // with the plain online SSE, as in the paper's evaluation.
-                    (
-                        SignalingScheme::no_signaling(coverage_ossp),
-                        sse_ossp.auditor_utility,
-                        sse_ossp.attacker_utility,
-                        false,
-                    )
-                };
+            let (ossp_scheme, ossp_utility, ossp_attacker_utility, ossp_deterred) = if ossp_applied
+            {
+                let ossp = ossp_closed_form(type_payoffs, coverage_ossp);
+                (
+                    ossp.scheme,
+                    ossp.auditor_utility,
+                    ossp.attacker_utility,
+                    ossp.deterred,
+                )
+            } else {
+                // Alerts whose type is not the best response are handled
+                // with the plain online SSE, as in the paper's evaluation.
+                (
+                    SignalingScheme::no_signaling(coverage_ossp),
+                    sse_ossp.auditor_utility,
+                    sse_ossp.attacker_utility,
+                    false,
+                )
+            };
             let solve_micros = started.elapsed().as_micros() as u64;
 
             // ---- online-SSE world -------------------------------------------
@@ -437,18 +443,10 @@ impl AuditCycleEngine {
         estimates: &[f64],
         remaining_budget: f64,
     ) -> Result<(SseSolution, SignalingScheme, f64)> {
-        let game = &self.config.game;
-        let input = SseInput {
-            payoffs: &game.payoffs,
-            audit_costs: &game.audit_costs,
-            future_estimates: estimates,
-            budget: remaining_budget,
-        };
-        let sse = self.solver.solve(&input)?;
-        let payoffs = game.payoffs.get(alert.type_id);
-        let theta = sse.coverage_of(alert.type_id);
-        let ossp = ossp_closed_form(payoffs, theta);
-        Ok((sse, ossp.scheme, ossp.auditor_utility))
+        let sse = self
+            .solver
+            .solve(&self.sse_input(estimates, remaining_budget))?;
+        Ok(self.apply_ossp(alert, sse))
     }
 
     /// Like [`solve_alert`](Self::solve_alert) but warm-started from `cache`
@@ -465,10 +463,28 @@ impl AuditCycleEngine {
         cache: &mut SseCache,
     ) -> Result<(SseSolution, SignalingScheme, f64)> {
         let sse = self.solve_sse(estimates, remaining_budget, cache)?;
+        Ok(self.apply_ossp(alert, sse))
+    }
+
+    /// Borrow the game data as an [`SseInput`] for the given forecast and
+    /// remaining budget.
+    fn sse_input<'a>(&'a self, estimates: &'a [f64], budget: f64) -> SseInput<'a> {
+        let game = &self.config.game;
+        SseInput {
+            payoffs: &game.payoffs,
+            audit_costs: &game.audit_costs,
+            future_estimates: estimates,
+            budget,
+        }
+    }
+
+    /// The OSSP tail of the per-alert pipeline: derive the triggered type's
+    /// coverage from the SSE and compute its optimal signaling scheme.
+    fn apply_ossp(&self, alert: &Alert, sse: SseSolution) -> (SseSolution, SignalingScheme, f64) {
         let payoffs = self.config.game.payoffs.get(alert.type_id);
         let theta = sse.coverage_of(alert.type_id);
         let ossp = ossp_closed_form(payoffs, theta);
-        Ok((sse, ossp.scheme, ossp.auditor_utility))
+        (sse, ossp.scheme, ossp.auditor_utility)
     }
 
     fn solve_sse(
@@ -477,14 +493,8 @@ impl AuditCycleEngine {
         budget: f64,
         cache: &mut SseCache,
     ) -> Result<SseSolution> {
-        let game = &self.config.game;
-        let input = SseInput {
-            payoffs: &game.payoffs,
-            audit_costs: &game.audit_costs,
-            future_estimates: estimates,
-            budget,
-        };
-        self.solver.solve_cached(&input, cache)
+        self.solver
+            .solve_cached(&self.sse_input(estimates, budget), cache)
     }
 }
 
@@ -593,7 +603,10 @@ mod tests {
         config.accounting = BudgetAccounting::Sampled { seed: 5 };
         let engine = AuditCycleEngine::new(config.clone()).unwrap();
         let a = engine.run_day(&history, &test_day).unwrap();
-        let b = AuditCycleEngine::new(config).unwrap().run_day(&history, &test_day).unwrap();
+        let b = AuditCycleEngine::new(config)
+            .unwrap()
+            .run_day(&history, &test_day)
+            .unwrap();
         // Everything except the wall-clock solve time must be identical
         // between the two runs (the RNG seed pins the sampled signals).
         assert_eq!(a.len(), b.len());
@@ -660,7 +673,10 @@ mod tests {
         let result = engine.run_day(&history, &test_day).unwrap();
         let totals = result.sse_totals;
         assert_eq!(totals.solves as usize, result.len());
-        assert!(totals.lp_solves >= totals.solves, "7-type game solves 7 LPs per alert");
+        assert!(
+            totals.lp_solves >= totals.solves,
+            "7-type game solves 7 LPs per alert"
+        );
         // From the second alert on, every candidate LP has a warm basis.
         assert!(totals.warm_attempts > 0);
         assert!(
@@ -670,7 +686,11 @@ mod tests {
         );
         // Per-alert stats are populated too.
         assert!(result.outcomes[0].sse_stats.lp_solves > 0);
-        assert!(result.outcomes.iter().skip(1).any(|o| o.sse_stats.warm_hits > 0));
+        assert!(result
+            .outcomes
+            .iter()
+            .skip(1)
+            .any(|o| o.sse_stats.warm_hits > 0));
     }
 
     #[test]

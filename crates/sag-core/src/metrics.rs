@@ -32,8 +32,16 @@ impl UtilitySeries {
             day: result.day,
             times: result.outcomes.iter().map(|o| o.time).collect(),
             ossp: result.outcomes.iter().map(|o| o.ossp_utility).collect(),
-            online_sse: result.outcomes.iter().map(|o| o.online_sse_utility).collect(),
-            offline_sse: result.outcomes.iter().map(|o| o.offline_sse_utility).collect(),
+            online_sse: result
+                .outcomes
+                .iter()
+                .map(|o| o.online_sse_utility)
+                .collect(),
+            offline_sse: result
+                .outcomes
+                .iter()
+                .map(|o| o.offline_sse_utility)
+                .collect(),
         }
     }
 
@@ -81,8 +89,9 @@ impl UtilitySeries {
             return self.clone();
         }
         let step = n as f64 / max_points as f64;
-        let indices: Vec<usize> =
-            (0..max_points).map(|i| ((i as f64 * step) as usize).min(n - 1)).collect();
+        let indices: Vec<usize> = (0..max_points)
+            .map(|i| ((i as f64 * step) as usize).min(n - 1))
+            .collect();
         UtilitySeries {
             day: self.day,
             times: indices.iter().map(|&i| self.times[i]).collect(),
@@ -123,15 +132,22 @@ impl ExperimentSummary {
         let num_alerts: usize = cycles.iter().map(CycleResult::len).sum();
         let n = num_alerts.max(1) as f64;
         let sum = |f: &dyn Fn(&crate::engine::AlertOutcome) -> f64| -> f64 {
-            cycles.iter().flat_map(|c| c.outcomes.iter()).map(f).sum::<f64>()
+            cycles
+                .iter()
+                .flat_map(|c| c.outcomes.iter())
+                .map(f)
+                .sum::<f64>()
         };
         let not_worse = cycles
             .iter()
             .flat_map(|c| c.outcomes.iter())
             .filter(|o| o.ossp_utility >= o.online_sse_utility - 1e-9)
             .count();
-        let deterred =
-            cycles.iter().flat_map(|c| c.outcomes.iter()).filter(|o| o.ossp_deterred).count();
+        let deterred = cycles
+            .iter()
+            .flat_map(|c| c.outcomes.iter())
+            .filter(|o| o.ossp_deterred)
+            .count();
         ExperimentSummary {
             num_days,
             num_alerts,

@@ -36,7 +36,12 @@ impl Payoffs {
         attacker_covered: f64,
         attacker_uncovered: f64,
     ) -> Self {
-        Payoffs { auditor_covered, auditor_uncovered, attacker_covered, attacker_uncovered }
+        Payoffs {
+            auditor_covered,
+            auditor_uncovered,
+            attacker_covered,
+            attacker_uncovered,
+        }
     }
 
     /// Check the sign assumptions of the model.
@@ -94,8 +99,7 @@ impl Payoffs {
     /// attacking and not (`attacker_expected(θ) = 0`), clamped to `[0, 1]`.
     #[must_use]
     pub fn deterrence_threshold(&self) -> f64 {
-        let theta =
-            self.attacker_uncovered / (self.attacker_uncovered - self.attacker_covered);
+        let theta = self.attacker_uncovered / (self.attacker_uncovered - self.attacker_covered);
         theta.clamp(0.0, 1.0)
     }
 }
@@ -128,7 +132,10 @@ impl PayoffTable {
             (700.0, -2000.0, -6000.0, 800.0),
         ];
         PayoffTable {
-            payoffs: rows.iter().map(|&(dc, du, ac, au)| Payoffs::new(dc, du, ac, au)).collect(),
+            payoffs: rows
+                .iter()
+                .map(|&(dc, du, ac, au)| Payoffs::new(dc, du, ac, au))
+                .collect(),
         }
     }
 
@@ -136,7 +143,9 @@ impl PayoffTable {
     /// Last Name*).
     #[must_use]
     pub fn paper_single_type() -> Self {
-        PayoffTable { payoffs: vec![Self::paper_table2().payoffs[0]] }
+        PayoffTable {
+            payoffs: vec![Self::paper_table2().payoffs[0]],
+        }
     }
 
     /// Number of alert types.
@@ -238,10 +247,15 @@ impl GameConfig {
             )));
         }
         if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-            return Err(SagError::InvalidConfig("audit costs must be positive and finite".into()));
+            return Err(SagError::InvalidConfig(
+                "audit costs must be positive and finite".into(),
+            ));
         }
         if !self.budget.is_finite() || self.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!("invalid budget {}", self.budget)));
+            return Err(SagError::InvalidConfig(format!(
+                "invalid budget {}",
+                self.budget
+            )));
         }
         Ok(())
     }
@@ -298,12 +312,24 @@ mod tests {
 
     #[test]
     fn payoff_validation_rejects_wrong_signs() {
-        assert!(Payoffs::new(100.0, -400.0, -2000.0, 400.0).validate().is_ok());
-        assert!(Payoffs::new(-1.0, -400.0, -2000.0, 400.0).validate().is_err());
-        assert!(Payoffs::new(100.0, 400.0, -2000.0, 400.0).validate().is_err());
-        assert!(Payoffs::new(100.0, -400.0, 2000.0, 400.0).validate().is_err());
-        assert!(Payoffs::new(100.0, -400.0, -2000.0, -400.0).validate().is_err());
-        assert!(Payoffs::new(f64::NAN, -400.0, -2000.0, 400.0).validate().is_err());
+        assert!(Payoffs::new(100.0, -400.0, -2000.0, 400.0)
+            .validate()
+            .is_ok());
+        assert!(Payoffs::new(-1.0, -400.0, -2000.0, 400.0)
+            .validate()
+            .is_err());
+        assert!(Payoffs::new(100.0, 400.0, -2000.0, 400.0)
+            .validate()
+            .is_err());
+        assert!(Payoffs::new(100.0, -400.0, 2000.0, 400.0)
+            .validate()
+            .is_err());
+        assert!(Payoffs::new(100.0, -400.0, -2000.0, -400.0)
+            .validate()
+            .is_err());
+        assert!(Payoffs::new(f64::NAN, -400.0, -2000.0, 400.0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -101,7 +101,10 @@ mod tests {
                 .unwrap();
         let spent: f64 = offline.solution().budget_split.iter().sum();
         assert!(spent <= config.budget + 1e-6);
-        assert!(offline.auditor_utility() <= 0.0, "tight budgets mean expected losses");
+        assert!(
+            offline.auditor_utility() <= 0.0,
+            "tight budgets mean expected losses"
+        );
         assert!(offline.attacker_utility() > 0.0);
     }
 
@@ -109,10 +112,8 @@ mod tests {
     fn more_budget_never_hurts_offline() {
         let config = GameConfig::paper_multi_type();
         let totals = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
-        let low =
-            OfflineSse::solve(&config.payoffs, &config.audit_costs, &totals, 20.0).unwrap();
-        let high =
-            OfflineSse::solve(&config.payoffs, &config.audit_costs, &totals, 200.0).unwrap();
+        let low = OfflineSse::solve(&config.payoffs, &config.audit_costs, &totals, 20.0).unwrap();
+        let high = OfflineSse::solve(&config.payoffs, &config.audit_costs, &totals, 200.0).unwrap();
         assert!(high.auditor_utility() >= low.auditor_utility() - 1e-9);
         assert!(high.attacker_utility() <= low.attacker_utility() + 1e-9);
     }

@@ -82,7 +82,12 @@ pub fn robust_ossp(payoffs: &Payoffs, theta: f64, margin: f64) -> RobustOsspSolu
     };
     let margin_feasible = achieved_margin >= margin - 1e-9;
 
-    RobustOsspSolution { scheme, auditor_utility, achieved_margin, margin_feasible }
+    RobustOsspSolution {
+        scheme,
+        auditor_utility,
+        achieved_margin,
+        margin_feasible,
+    }
 }
 
 /// Expected auditor and attacker utilities of a committed scheme against an
@@ -210,7 +215,10 @@ mod tests {
         let (clean, _) = evaluate_against_oblivious(&standard.scheme, &p, 0.0);
         let (noisy, _) = evaluate_against_oblivious(&standard.scheme, &p, 0.5);
         assert!((clean - standard.auditor_utility).abs() < 1e-9);
-        assert!(noisy < clean, "ignoring warnings must hurt the auditor: {noisy} vs {clean}");
+        assert!(
+            noisy < clean,
+            "ignoring warnings must hurt the auditor: {noisy} vs {clean}"
+        );
     }
 
     #[test]

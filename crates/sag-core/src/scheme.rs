@@ -46,7 +46,12 @@ impl SignalingScheme {
     #[must_use]
     pub fn no_signaling(theta: f64) -> Self {
         let theta = theta.clamp(0.0, 1.0);
-        SignalingScheme { p1: 0.0, q1: 0.0, p0: theta, q0: 1.0 - theta }
+        SignalingScheme {
+            p1: 0.0,
+            q1: 0.0,
+            p0: theta,
+            q0: 1.0 - theta,
+        }
     }
 
     /// Construct a scheme, clamping small numerical noise.
@@ -59,14 +64,21 @@ impl SignalingScheme {
                 v
             }
         };
-        SignalingScheme { p1: clamp(p1), q1: clamp(q1), p0: clamp(p0), q0: clamp(q0) }
+        SignalingScheme {
+            p1: clamp(p1),
+            q1: clamp(q1),
+            p0: clamp(p0),
+            q0: clamp(q0),
+        }
     }
 
     /// Whether the four entries are a valid joint distribution.
     #[must_use]
     pub fn is_valid(&self) -> bool {
         let entries = [self.p1, self.q1, self.p0, self.q0];
-        entries.iter().all(|v| v.is_finite() && *v >= -PROB_EPS && *v <= 1.0 + PROB_EPS)
+        entries
+            .iter()
+            .all(|v| v.is_finite() && *v >= -PROB_EPS && *v <= 1.0 + PROB_EPS)
             && (entries.iter().sum::<f64>() - 1.0).abs() <= 4.0 * PROB_EPS
     }
 

@@ -113,8 +113,7 @@ pub fn ossp_lp(payoffs: &Payoffs, theta: f64) -> Result<OsspSolution> {
     lp.add_constraint(&[(q1, 1.0), (q0, 1.0)], Relation::Eq, 1.0 - theta);
 
     let sol = lp.solve()?;
-    let scheme =
-        SignalingScheme::new(sol.value(p1), sol.value(q1), sol.value(p0), sol.value(q0));
+    let scheme = SignalingScheme::new(sol.value(p1), sol.value(q1), sol.value(p0), sol.value(q0));
     let attacker_utility = scheme.p0 * uac + scheme.q0 * uau;
     // If the whole probability mass sits on the warning branch the attack is
     // deterred outright and both utilities collapse to zero.
@@ -207,7 +206,11 @@ mod tests {
                 assert!(cf.scheme.is_valid());
                 // Theorem 3: no silent auditing.
                 assert!(cf.scheme.p0.abs() < 1e-9);
-                assert!(lp.scheme.p0.abs() < 1e-7, "type {t} theta {theta}: p0 {}", lp.scheme.p0);
+                assert!(
+                    lp.scheme.p0.abs() < 1e-7,
+                    "type {t} theta {theta}: p0 {}",
+                    lp.scheme.p0
+                );
             }
         }
     }

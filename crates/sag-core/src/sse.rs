@@ -78,13 +78,24 @@ impl SseInput<'_> {
             )));
         }
         if !self.budget.is_finite() || self.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!("invalid budget {}", self.budget)));
+            return Err(SagError::InvalidConfig(format!(
+                "invalid budget {}",
+                self.budget
+            )));
         }
         if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-            return Err(SagError::InvalidConfig("audit costs must be positive".into()));
+            return Err(SagError::InvalidConfig(
+                "audit costs must be positive".into(),
+            ));
         }
-        if self.future_estimates.iter().any(|v| !v.is_finite() || *v < 0.0) {
-            return Err(SagError::InvalidConfig("future estimates must be nonnegative".into()));
+        if self
+            .future_estimates
+            .iter()
+            .any(|v| !v.is_finite() || *v < 0.0)
+        {
+            return Err(SagError::InvalidConfig(
+                "future estimates must be nonnegative".into(),
+            ));
         }
         Ok(())
     }
@@ -179,9 +190,12 @@ struct CandidateProgram {
 }
 
 /// The scalar outcome of one candidate LP solve; the full solution stays in
-/// the slot.
+/// the slot. Infeasible candidates produce an outcome too (with
+/// `feasible: false`) so the pivots spent proving infeasibility still count
+/// toward the solver-work statistics.
 #[derive(Debug, Clone, Copy)]
 struct CandidateOutcome {
+    feasible: bool,
     auditor_utility: f64,
     attacker_utility: f64,
     warm_hit: bool,
@@ -352,29 +366,28 @@ impl SseSolver {
         rates: &[f64],
         cache: &mut SseCache,
     ) -> Result<SseSolution> {
-        let warm_attempts =
-            cache.slots.iter().filter(|slot| !slot.basis.is_empty()).count() as u64;
+        let warm_attempts = cache
+            .slots
+            .iter()
+            .filter(|slot| !slot.basis.is_empty())
+            .count() as u64;
         let outcomes = Self::candidate_outcomes(input, rates, &mut cache.slots);
 
         let mut best: Option<(usize, CandidateOutcome)> = None;
         let mut stats = SseSolveStats::default();
         for (candidate, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
-                Ok(outcome) => {
-                    stats.lp_solves += 1;
-                    stats.warm_hits += u32::from(outcome.warm_hit);
-                    stats.pivots += outcome.pivots;
-                    let better = best.as_ref().is_none_or(|(_, b)| {
-                        outcome.auditor_utility > b.auditor_utility + 1e-12
-                    });
-                    if better {
-                        best = Some((candidate, outcome));
-                    }
-                }
-                Err(SagError::Lp(LpError::Infeasible)) => {
-                    stats.lp_solves += 1;
-                }
-                Err(other) => return Err(other),
+            let outcome = outcome?;
+            stats.lp_solves += 1;
+            stats.warm_hits += u32::from(outcome.warm_hit);
+            stats.pivots += outcome.pivots;
+            if !outcome.feasible {
+                continue;
+            }
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| outcome.auditor_utility > b.auditor_utility + 1e-12);
+            if better {
+                best = Some((candidate, outcome));
             }
         }
         cache.totals.solves += 1;
@@ -385,12 +398,20 @@ impl SseSolver {
 
         let (winner, outcome) = best.ok_or(SagError::NoFeasibleType)?;
         let slot = &cache.slots[winner];
-        let solution = slot.last.as_ref().expect("winning candidate was just solved");
-        let program = slot.program.as_ref().expect("winning candidate has a program");
-        let budget_split: Vec<f64> =
-            program.vars.iter().map(|&v| solution.value(v)).collect();
-        let coverage: Vec<f64> =
-            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+        let solution = slot
+            .last
+            .as_ref()
+            .expect("winning candidate was just solved");
+        let program = slot
+            .program
+            .as_ref()
+            .expect("winning candidate has a program");
+        let budget_split: Vec<f64> = program.vars.iter().map(|&v| solution.value(v)).collect();
+        let coverage: Vec<f64> = budget_split
+            .iter()
+            .zip(rates)
+            .map(|(b, r)| (b * r).clamp(0.0, 1.0))
+            .collect();
         Ok(SseSolution {
             coverage,
             budget_split,
@@ -413,8 +434,9 @@ impl SseSolver {
         {
             let n = slots.len();
             if n >= PARALLEL_MIN_TYPES {
-                let threads =
-                    std::thread::available_parallelism().map_or(1, usize::from).min(n);
+                let threads = std::thread::available_parallelism()
+                    .map_or(1, usize::from)
+                    .min(n);
                 if threads > 1 {
                     return Self::candidate_outcomes_parallel(input, rates, slots, threads);
                 }
@@ -440,23 +462,29 @@ impl SseSolver {
     ) -> Vec<Result<CandidateOutcome>> {
         let n = slots.len();
         let chunk_size = n.div_ceil(threads);
-        let mut outcomes: Vec<Option<Result<CandidateOutcome>>> =
-            (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<Result<CandidateOutcome>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for ((chunk_index, slot_chunk), outcome_chunk) in
-                slots.chunks_mut(chunk_size).enumerate().zip(outcomes.chunks_mut(chunk_size))
+            for ((chunk_index, slot_chunk), outcome_chunk) in slots
+                .chunks_mut(chunk_size)
+                .enumerate()
+                .zip(outcomes.chunks_mut(chunk_size))
             {
                 scope.spawn(move || {
                     let base = chunk_index * chunk_size;
-                    for (offset, (slot, out)) in
-                        slot_chunk.iter_mut().zip(outcome_chunk.iter_mut()).enumerate()
+                    for (offset, (slot, out)) in slot_chunk
+                        .iter_mut()
+                        .zip(outcome_chunk.iter_mut())
+                        .enumerate()
                     {
                         *out = Some(slot.solve(input, rates, base + offset));
                     }
                 });
             }
         });
-        outcomes.into_iter().map(|r| r.expect("every candidate solved")).collect()
+        outcomes
+            .into_iter()
+            .map(|r| r.expect("every candidate solved"))
+            .collect()
     }
 
     /// Exact closed form for the single-type game: LP (2) with one variable
@@ -466,7 +494,11 @@ impl SseSolver {
     fn solve_single_type(input: &SseInput<'_>, rates: &[f64]) -> SseSolution {
         let payoffs = input.payoffs.get(AlertTypeId(0));
         let rate = rates[0];
-        let upper = if rate > 0.0 { input.budget.min(1.0 / rate) } else { input.budget };
+        let upper = if rate > 0.0 {
+            input.budget.min(1.0 / rate)
+        } else {
+            input.budget
+        };
         let slope = rate * (payoffs.auditor_covered - payoffs.auditor_uncovered);
         let split = if slope > EPS { upper } else { 0.0 };
         let coverage = (split * rate).clamp(0.0, 1.0);
@@ -476,7 +508,10 @@ impl SseSolver {
             best_response: AlertTypeId(0),
             auditor_utility: payoffs.auditor_expected(coverage),
             attacker_utility: payoffs.attacker_expected(coverage),
-            stats: SseSolveStats { fast_path: true, ..SseSolveStats::default() },
+            stats: SseSolveStats {
+                fast_path: true,
+                ..SseSolveStats::default()
+            },
         }
     }
 
@@ -493,10 +528,12 @@ impl SseSolver {
         let solution = program.lp.solve_with(workspace).map_err(SagError::from)?;
 
         let cand = input.payoffs.get(AlertTypeId(candidate as u16));
-        let budget_split: Vec<f64> =
-            program.vars.iter().map(|&v| solution.value(v)).collect();
-        let coverage: Vec<f64> =
-            budget_split.iter().zip(rates).map(|(b, r)| (b * r).clamp(0.0, 1.0)).collect();
+        let budget_split: Vec<f64> = program.vars.iter().map(|&v| solution.value(v)).collect();
+        let coverage: Vec<f64> = budget_split
+            .iter()
+            .zip(rates)
+            .map(|(b, r)| (b * r).clamp(0.0, 1.0))
+            .collect();
         let auditor_utility = cand.auditor_expected(coverage[candidate]);
         let attacker_utility = cand.attacker_expected(coverage[candidate]);
         let lp_stats = solution.stats();
@@ -532,7 +569,11 @@ impl CandidateProgram {
         let mut lp = LpProblem::new(Objective::Maximize);
         let vars: Vec<VarId> = (0..n)
             .map(|t| {
-                let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
+                let max_useful = if rates[t] > 0.0 {
+                    1.0 / rates[t]
+                } else {
+                    input.budget
+                };
                 lp.add_var(format!("B{t}"), 0.0, input.budget.min(max_useful))
             })
             .collect();
@@ -575,7 +616,11 @@ impl CandidateProgram {
         let payoff_of = |t: usize| input.payoffs.get(AlertTypeId(t as u16));
 
         for (t, &var) in self.vars.iter().enumerate() {
-            let max_useful = if rates[t] > 0.0 { 1.0 / rates[t] } else { input.budget };
+            let max_useful = if rates[t] > 0.0 {
+                1.0 / rates[t]
+            } else {
+                input.budget
+            };
             self.lp.set_bounds(var, 0.0, input.budget.min(max_useful));
         }
 
@@ -587,12 +632,12 @@ impl CandidateProgram {
 
         let cand_slope = rates[candidate] * (cand.attacker_covered - cand.attacker_uncovered);
         let mut row = 0;
-        for t in 0..n {
+        for (t, &rate) in rates.iter().enumerate().take(n) {
             if t == candidate {
                 continue;
             }
             let other = payoff_of(t);
-            let other_slope = rates[t] * (other.attacker_covered - other.attacker_uncovered);
+            let other_slope = rate * (other.attacker_covered - other.attacker_uncovered);
             self.lp.set_constraint_term(row, 0, other_slope);
             self.lp.set_constraint_term(row, 1, -cand_slope);
             self.lp
@@ -624,9 +669,27 @@ impl CandidateSlot {
         let result = if self.basis.is_empty() {
             program.lp.solve_with(&mut self.workspace)
         } else {
-            program.lp.solve_from_basis(&mut self.workspace, &self.basis)
+            program
+                .lp
+                .solve_from_basis(&mut self.workspace, &self.basis)
         };
-        let solution = result.map_err(SagError::from)?;
+        let solution = match result {
+            Ok(solution) => solution,
+            Err(LpError::Infeasible) => {
+                // A stale basis from before the candidate became infeasible
+                // can never warm-start successfully; drop it so subsequent
+                // solves skip straight to the cold path.
+                self.basis.clear();
+                return Ok(CandidateOutcome {
+                    feasible: false,
+                    auditor_utility: f64::NEG_INFINITY,
+                    attacker_utility: 0.0,
+                    warm_hit: false,
+                    pivots: self.workspace.last_pivots() as u32,
+                });
+            }
+            Err(other) => return Err(SagError::from(other)),
+        };
         self.basis.clear();
         self.basis.extend_from_slice(solution.basis());
 
@@ -635,6 +698,7 @@ impl CandidateSlot {
         let coverage_c =
             (solution.value(program.vars[candidate]) * rates[candidate]).clamp(0.0, 1.0);
         let outcome = CandidateOutcome {
+            feasible: true,
             auditor_utility: cand.auditor_expected(coverage_c),
             attacker_utility: cand.attacker_expected(coverage_c),
             warm_hit: stats.warm_started,
@@ -650,8 +714,9 @@ impl CandidateSlot {
 /// Sequential best-response selection: keep `solution` if it strictly beats
 /// the incumbent by more than the tolerance.
 fn keep_better(best: &mut Option<SseSolution>, solution: SseSolution) {
-    let better =
-        best.as_ref().is_none_or(|b| solution.auditor_utility > b.auditor_utility + 1e-12);
+    let better = best
+        .as_ref()
+        .is_none_or(|b| solution.auditor_utility > b.auditor_utility + 1e-12);
     if better {
         *best = Some(solution);
     }
@@ -668,7 +733,12 @@ mod tests {
         estimates: &'a [f64],
         budget: f64,
     ) -> SseInput<'a> {
-        SseInput { payoffs, audit_costs: costs, future_estimates: estimates, budget }
+        SseInput {
+            payoffs,
+            audit_costs: costs,
+            future_estimates: estimates,
+            budget,
+        }
     }
 
     #[test]
@@ -682,7 +752,11 @@ mod tests {
         assert_eq!(sol.best_response, AlertTypeId(0));
         assert!(sol.stats.fast_path);
         // Coverage should be close to B/λ = 0.1.
-        assert!((sol.coverage[0] - 0.1).abs() < 0.02, "coverage {}", sol.coverage[0]);
+        assert!(
+            (sol.coverage[0] - 0.1).abs() < 0.02,
+            "coverage {}",
+            sol.coverage[0]
+        );
         // Utilities follow the linear payoff forms.
         let p = payoffs.get(AlertTypeId(0));
         assert!((sol.auditor_utility - p.auditor_expected(sol.coverage[0])).abs() < 1e-9);
@@ -710,7 +784,11 @@ mod tests {
                 let rate = sag_forecast::expected_inverse_positive(estimate) / costs[0];
                 let p = payoffs.get(AlertTypeId(0));
                 let mut lp = LpProblem::new(Objective::Maximize);
-                let upper = if rate > 0.0 { budget.min(1.0 / rate) } else { budget };
+                let upper = if rate > 0.0 {
+                    budget.min(1.0 / rate)
+                } else {
+                    budget
+                };
                 let b = lp.add_var("B0", 0.0, upper);
                 lp.set_objective(b, rate * (p.auditor_covered - p.auditor_uncovered));
                 lp.add_constraint(&[(b, 1.0)], Relation::Le, budget);
@@ -723,9 +801,7 @@ mod tests {
                     fast.coverage[0],
                     ref_coverage
                 );
-                assert!(
-                    (fast.auditor_utility - p.auditor_expected(ref_coverage)).abs() < 1e-9
-                );
+                assert!((fast.auditor_utility - p.auditor_expected(ref_coverage)).abs() < 1e-9);
             }
         }
     }
@@ -782,7 +858,10 @@ mod tests {
         let spent: f64 = sol.budget_split.iter().sum();
         assert!(spent <= 50.0 + 1e-6);
         // Coverage is a probability vector.
-        assert!(sol.coverage.iter().all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
+        assert!(sol
+            .coverage
+            .iter()
+            .all(|&c| (0.0..=1.0 + 1e-9).contains(&c)));
     }
 
     #[test]
@@ -910,9 +989,16 @@ mod tests {
         let estimates = [10.0];
         let solver = SseSolver::new();
 
-        let bad_budget =
-            SseInput { payoffs: &payoffs, audit_costs: &costs, future_estimates: &estimates, budget: -1.0 };
-        assert!(matches!(solver.solve(&bad_budget), Err(SagError::InvalidConfig(_))));
+        let bad_budget = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &costs,
+            future_estimates: &estimates,
+            budget: -1.0,
+        };
+        assert!(matches!(
+            solver.solve(&bad_budget),
+            Err(SagError::InvalidConfig(_))
+        ));
         let mut cache = SseCache::new();
         assert!(matches!(
             solver.solve_cached(&bad_budget, &mut cache),
@@ -925,7 +1011,10 @@ mod tests {
             future_estimates: &estimates,
             budget: 5.0,
         };
-        assert!(matches!(solver.solve(&bad_lengths), Err(SagError::InvalidConfig(_))));
+        assert!(matches!(
+            solver.solve(&bad_lengths),
+            Err(SagError::InvalidConfig(_))
+        ));
 
         let bad_cost = SseInput {
             payoffs: &payoffs,
@@ -933,7 +1022,10 @@ mod tests {
             future_estimates: &estimates,
             budget: 5.0,
         };
-        assert!(matches!(solver.solve(&bad_cost), Err(SagError::InvalidConfig(_))));
+        assert!(matches!(
+            solver.solve(&bad_cost),
+            Err(SagError::InvalidConfig(_))
+        ));
 
         let bad_estimate = SseInput {
             payoffs: &payoffs,
@@ -941,7 +1033,10 @@ mod tests {
             future_estimates: &[-2.0],
             budget: 5.0,
         };
-        assert!(matches!(solver.solve(&bad_estimate), Err(SagError::InvalidConfig(_))));
+        assert!(matches!(
+            solver.solve(&bad_estimate),
+            Err(SagError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -45,8 +45,11 @@ pub fn theorem2_ossp_not_worse(payoffs: &Payoffs, theta: f64) -> bool {
     let sse_utility = payoffs.auditor_expected(theta);
     // The SSE utility is only realised if the attacker actually attacks; when
     // coverage alone deters him both strategies yield 0.
-    let sse_effective =
-        if payoffs.attacker_expected(theta) < 0.0 { 0.0 } else { sse_utility };
+    let sse_effective = if payoffs.attacker_expected(theta) < 0.0 {
+        0.0
+    } else {
+        sse_utility
+    };
     ossp_utility >= sse_effective - TOL
 }
 
@@ -124,7 +127,11 @@ mod tests {
             })
             .unwrap();
         for t in 0..7 {
-            assert!(theorem1_marginals_match(&sse, payoffs.get(AlertTypeId(t as u16)), t as usize));
+            assert!(theorem1_marginals_match(
+                &sse,
+                payoffs.get(AlertTypeId(t as u16)),
+                t as usize
+            ));
         }
     }
 
@@ -140,7 +147,11 @@ mod tests {
                 -rng.gen_range(1.0..8000.0),
                 rng.gen_range(1.0..1000.0),
             );
-            assert_eq!(violations_over_theta_grid(&payoffs, 50), 0, "payoffs {payoffs:?}");
+            assert_eq!(
+                violations_over_theta_grid(&payoffs, 50),
+                0,
+                "payoffs {payoffs:?}"
+            );
         }
     }
 

@@ -35,7 +35,10 @@ impl ArrivalModel {
         for times in &mut pooled {
             times.sort_unstable();
         }
-        ArrivalModel { pooled_times: pooled, num_days: history.len() }
+        ArrivalModel {
+            pooled_times: pooled,
+            num_days: history.len(),
+        }
     }
 
     /// Number of alert types the model covers.
@@ -99,7 +102,10 @@ mod tests {
     #[test]
     fn fit_on_hand_built_history() {
         let history = vec![
-            DayLog::new(0, vec![alert(0, 9, 0, 0), alert(0, 14, 0, 0), alert(0, 10, 0, 1)]),
+            DayLog::new(
+                0,
+                vec![alert(0, 9, 0, 0), alert(0, 14, 0, 0), alert(0, 10, 0, 1)],
+            ),
             DayLog::new(1, vec![alert(1, 9, 30, 0), alert(1, 16, 0, 1)]),
         ];
         let model = ArrivalModel::fit(&history, 2);
@@ -111,7 +117,10 @@ mod tests {
         let after = model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(9, 15, 0));
         assert!((after - 1.0).abs() < 1e-12);
         // After 23:00 nothing remains.
-        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(23, 0, 0)), 0.0);
+        assert_eq!(
+            model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(23, 0, 0)),
+            0.0
+        );
     }
 
     #[test]
@@ -119,17 +128,29 @@ mod tests {
         let history = vec![DayLog::new(0, vec![alert(0, 12, 0, 0)])];
         let model = ArrivalModel::fit(&history, 1);
         // An alert exactly at the query time does not count as "future".
-        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(12, 0, 0)), 0.0);
-        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(11, 59, 59)), 1.0);
+        assert_eq!(
+            model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(12, 0, 0)),
+            0.0
+        );
+        assert_eq!(
+            model.expected_remaining(AlertTypeId(0), TimeOfDay::from_hms(11, 59, 59)),
+            1.0
+        );
     }
 
     #[test]
     fn empty_history_and_unknown_types_predict_zero() {
         let model = ArrivalModel::fit(&[], 3);
-        assert_eq!(model.expected_remaining(AlertTypeId(0), TimeOfDay::MIDNIGHT), 0.0);
+        assert_eq!(
+            model.expected_remaining(AlertTypeId(0), TimeOfDay::MIDNIGHT),
+            0.0
+        );
         let history = vec![DayLog::new(0, vec![alert(0, 9, 0, 0)])];
         let model = ArrivalModel::fit(&history, 1);
-        assert_eq!(model.expected_remaining(AlertTypeId(5), TimeOfDay::MIDNIGHT), 0.0);
+        assert_eq!(
+            model.expected_remaining(AlertTypeId(5), TimeOfDay::MIDNIGHT),
+            0.0
+        );
     }
 
     #[test]

@@ -22,13 +22,20 @@ impl FutureAlertEstimator {
     /// Build an estimator from a fitted model and rollback policy.
     #[must_use]
     pub fn new(model: ArrivalModel, rollback: RollbackPolicy) -> Self {
-        FutureAlertEstimator { model, rollback, last_alert_time: None }
+        FutureAlertEstimator {
+            model,
+            rollback,
+            last_alert_time: None,
+        }
     }
 
     /// Convenience constructor: fit on history with the paper's rollback.
     #[must_use]
     pub fn from_history(history: &[DayLog], num_types: usize) -> Self {
-        Self::new(ArrivalModel::fit(history, num_types), RollbackPolicy::paper_default())
+        Self::new(
+            ArrivalModel::fit(history, num_types),
+            RollbackPolicy::paper_default(),
+        )
     }
 
     /// The underlying arrival model.
@@ -65,14 +72,18 @@ impl FutureAlertEstimator {
     #[must_use]
     pub fn estimate(&self, type_id: AlertTypeId, now: TimeOfDay) -> f64 {
         let raw = self.model.expected_remaining(type_id, now);
-        let at_prev = self.last_alert_time.map(|t| self.model.expected_remaining(type_id, t));
+        let at_prev = self
+            .last_alert_time
+            .map(|t| self.model.expected_remaining(type_id, t));
         self.rollback.apply(raw, at_prev)
     }
 
     /// Estimates for every type, ordered by type id.
     #[must_use]
     pub fn estimate_all(&self, now: TimeOfDay) -> Vec<f64> {
-        (0..self.num_types()).map(|t| self.estimate(AlertTypeId(t as u16), now)).collect()
+        (0..self.num_types())
+            .map(|t| self.estimate(AlertTypeId(t as u16), now))
+            .collect()
     }
 
     /// Expected whole-day totals (used by the offline SSE baseline).
@@ -93,9 +104,7 @@ mod tests {
         (0..10)
             .map(|d| {
                 let alerts = (0..10)
-                    .map(|i| {
-                        Alert::benign(d, TimeOfDay::from_hms(8 + i, 0, 0), AlertTypeId(0))
-                    })
+                    .map(|i| Alert::benign(d, TimeOfDay::from_hms(8 + i, 0, 0), AlertTypeId(0)))
                     .collect();
                 DayLog::new(d, alerts)
             })
@@ -108,7 +117,10 @@ mod tests {
         let est = FutureAlertEstimator::new(model.clone(), RollbackPolicy::disabled());
         for hour in 0..24 {
             let now = TimeOfDay::from_hms(hour, 30, 0);
-            assert_eq!(est.estimate(AlertTypeId(0), now), model.expected_remaining(AlertTypeId(0), now));
+            assert_eq!(
+                est.estimate(AlertTypeId(0), now),
+                model.expected_remaining(AlertTypeId(0), now)
+            );
         }
     }
 
@@ -149,10 +161,8 @@ mod tests {
                 Alert::benign(0, TimeOfDay::from_hms(9, 0, 0), AlertTypeId(1)),
             ],
         )];
-        let est = FutureAlertEstimator::new(
-            ArrivalModel::fit(&days, 2),
-            RollbackPolicy::disabled(),
-        );
+        let est =
+            FutureAlertEstimator::new(ArrivalModel::fit(&days, 2), RollbackPolicy::disabled());
         let all = est.estimate_all(TimeOfDay::MIDNIGHT);
         assert_eq!(all, vec![1.0, 2.0]);
         assert_eq!(est.expected_daily_totals(), vec![1.0, 2.0]);

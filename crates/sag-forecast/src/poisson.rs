@@ -27,7 +27,10 @@ pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
 /// Cumulative distribution function of `Poisson(lambda)` at `k` (inclusive).
 #[must_use]
 pub fn poisson_cdf(lambda: f64, k: u64) -> f64 {
-    (0..=k).map(|i| poisson_pmf(lambda, i)).sum::<f64>().min(1.0)
+    (0..=k)
+        .map(|i| poisson_pmf(lambda, i))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 /// `E[1 / max(d, 1)]` for `d ~ Poisson(lambda)`.
@@ -211,10 +214,7 @@ mod tests {
     fn ln_gamma_matches_factorials() {
         for k in 0u64..15 {
             let fact: f64 = (1..=k).map(|i| i as f64).product::<f64>().max(1.0);
-            assert!(
-                (super::ln_factorial(k) - fact.ln()).abs() < 1e-9,
-                "k = {k}"
-            );
+            assert!((super::ln_factorial(k) - fact.ln()).abs() < 1e-9, "k = {k}");
         }
     }
 }

@@ -10,7 +10,6 @@
 //! triggered." Budget consumption then stays steady and a late attacker gains
 //! no obvious advantage.
 
-
 /// Configuration of the knowledge-rollback heuristic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RollbackPolicy {
@@ -22,7 +21,10 @@ pub struct RollbackPolicy {
 
 impl Default for RollbackPolicy {
     fn default() -> Self {
-        RollbackPolicy { enabled: true, threshold: 4.0 }
+        RollbackPolicy {
+            enabled: true,
+            threshold: 4.0,
+        }
     }
 }
 
@@ -36,7 +38,10 @@ impl RollbackPolicy {
     /// A disabled policy (raw estimates are always used).
     #[must_use]
     pub fn disabled() -> Self {
-        RollbackPolicy { enabled: false, threshold: 0.0 }
+        RollbackPolicy {
+            enabled: false,
+            threshold: 0.0,
+        }
     }
 
     /// Apply the policy: given the raw estimate at the current time and the

@@ -1,13 +1,14 @@
 //! Property-based tests for the forecasting substrate.
 
 use proptest::prelude::*;
-use sag_forecast::{expected_inverse_positive, poisson_pmf, ArrivalModel, FutureAlertEstimator, RollbackPolicy};
+use sag_forecast::{
+    expected_inverse_positive, poisson_pmf, ArrivalModel, FutureAlertEstimator, RollbackPolicy,
+};
 use sag_sim::{Alert, AlertTypeId, DayLog, TimeOfDay};
 
 fn arbitrary_history() -> impl Strategy<Value = Vec<DayLog>> {
-    let alert = (0u32..86_400, 0u16..4).prop_map(|(secs, ty)| {
-        Alert::benign(0, TimeOfDay::from_seconds(secs), AlertTypeId(ty))
-    });
+    let alert = (0u32..86_400, 0u16..4)
+        .prop_map(|(secs, ty)| Alert::benign(0, TimeOfDay::from_seconds(secs), AlertTypeId(ty)));
     proptest::collection::vec(proptest::collection::vec(alert, 0..80), 1..12).prop_map(|days| {
         days.into_iter()
             .enumerate()

@@ -33,7 +33,11 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
-            LpError::IterationLimit { iterations, rows, cols } => {
+            LpError::IterationLimit {
+                iterations,
+                rows,
+                cols,
+            } => {
                 write!(
                     f,
                     "simplex iteration limit reached after {iterations} pivots \
@@ -52,10 +56,22 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
-        assert!(LpError::Malformed("bad var".into()).to_string().contains("bad var"));
-        let limit = LpError::IterationLimit { iterations: 42, rows: 6, cols: 9 };
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
+        assert!(LpError::Malformed("bad var".into())
+            .to_string()
+            .contains("bad var"));
+        let limit = LpError::IterationLimit {
+            iterations: 42,
+            rows: 6,
+            cols: 9,
+        };
         assert!(limit.to_string().contains("42"));
         assert!(limit.to_string().contains("6x9"));
     }

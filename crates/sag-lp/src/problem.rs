@@ -96,7 +96,11 @@ impl LpProblem {
     /// Create an empty problem with the given optimization direction.
     #[must_use]
     pub fn new(objective: Objective) -> Self {
-        Self { objective, variables: Vec::new(), constraints: Vec::new() }
+        Self {
+            objective,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Add a decision variable with bounds `lower <= x <= upper` and a zero
@@ -105,7 +109,12 @@ impl LpProblem {
     /// finite lower bound keeps the standard-form conversion simple).
     pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name: name.into(), lower, upper, objective: 0.0 });
+        self.variables.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            objective: 0.0,
+        });
         id
     }
 
@@ -135,7 +144,11 @@ impl LpProblem {
 
     /// Add a constraint from sparse `(variable, coefficient)` terms.
     pub fn add_constraint(&mut self, terms: &[(VarId, f64)], relation: Relation, rhs: f64) {
-        self.constraints.push(Constraint { terms: terms.to_vec(), relation, rhs });
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            relation,
+            rhs,
+        });
     }
 
     /// Overwrite the coefficient of the `term`-th term of constraint
@@ -399,9 +412,21 @@ mod tests {
 
     #[test]
     fn constraint_satisfaction_by_relation() {
-        let c_le = Constraint { terms: vec![(VarId(0), 1.0)], relation: Relation::Le, rhs: 1.0 };
-        let c_ge = Constraint { terms: vec![(VarId(0), 1.0)], relation: Relation::Ge, rhs: 1.0 };
-        let c_eq = Constraint { terms: vec![(VarId(0), 1.0)], relation: Relation::Eq, rhs: 1.0 };
+        let c_le = Constraint {
+            terms: vec![(VarId(0), 1.0)],
+            relation: Relation::Le,
+            rhs: 1.0,
+        };
+        let c_ge = Constraint {
+            terms: vec![(VarId(0), 1.0)],
+            relation: Relation::Ge,
+            rhs: 1.0,
+        };
+        let c_eq = Constraint {
+            terms: vec![(VarId(0), 1.0)],
+            relation: Relation::Eq,
+            rhs: 1.0,
+        };
         assert!(c_le.satisfied_at(&[0.5], 1e-9));
         assert!(!c_le.satisfied_at(&[1.5], 1e-9));
         assert!(c_ge.satisfied_at(&[1.5], 1e-9));

@@ -70,6 +70,15 @@ impl SimplexWorkspace {
         SimplexWorkspace::default()
     }
 
+    /// Pivots performed by the most recent solve attempt on this workspace,
+    /// including attempts that ended in an error such as
+    /// [`LpError::Infeasible`] (whose work is otherwise invisible to the
+    /// caller because no [`LpSolution`] is returned).
+    #[must_use]
+    pub fn last_pivots(&self) -> usize {
+        self.pivots
+    }
+
     /// Return a solved instance's buffers to the workspace so the next solve
     /// can reuse them instead of allocating.
     pub fn recycle(&mut self, solution: LpSolution) {
@@ -82,6 +91,12 @@ impl SimplexWorkspace {
     /// `[A | I]` tableau with the all-artificial basis.
     fn load(&mut self, problem: &LpProblem) {
         self.sf.rebuild(problem);
+        self.init_tableau();
+    }
+
+    /// (Re)initialize the `[A | I]` tableau and the all-artificial basis
+    /// from the already-built standard form.
+    fn init_tableau(&mut self) {
         let m = self.sf.num_rows();
         let n = self.sf.num_cols();
         let total = n + m;
@@ -161,6 +176,7 @@ impl SimplexWorkspace {
             }
         }
         self.basis[row] = col;
+        self.pivots += 1;
     }
 
     /// Reduced cost of column `j` under the current phase costs.
@@ -176,14 +192,22 @@ impl SimplexWorkspace {
 
     /// Objective value of the current basic solution under the phase costs.
     fn objective(&self) -> f64 {
-        self.basis.iter().zip(&self.b).map(|(&bi, &b)| self.costs[bi] * b).sum()
+        self.basis
+            .iter()
+            .zip(&self.b)
+            .map(|(&bi, &b)| self.costs[bi] * b)
+            .sum()
     }
 
     /// Run primal simplex iterations under the phase costs. When
     /// `allow_artificials` is false, artificial columns may not enter the
     /// basis. Returns `Ok(())` at optimality.
     fn optimize(&mut self, allow_artificials: bool) -> Result<()> {
-        let scan = if allow_artificials { self.total } else { self.n };
+        let scan = if allow_artificials {
+            self.total
+        } else {
+            self.n
+        };
         loop {
             if self.pivots > MAX_PIVOTS {
                 return Err(self.iteration_limit());
@@ -206,8 +230,7 @@ impl SimplexWorkspace {
                     let better = match best {
                         None => true,
                         Some((bi, br)) => {
-                            ratio < br - EPS
-                                || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                            ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
                         }
                     };
                     if better {
@@ -219,7 +242,6 @@ impl SimplexWorkspace {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
-            self.pivots += 1;
         }
     }
 
@@ -251,6 +273,9 @@ impl SimplexWorkspace {
             };
             self.pivot(row, col);
         }
+        // Factorization pivots are initialization, not simplex iterations;
+        // keep them out of the reported pivot count (see [`SolveStats`]).
+        self.pivots = 0;
         // The basis is only usable if the implied basic point is feasible.
         self.b.iter().all(|&v| v >= -1e-9)
     }
@@ -258,7 +283,11 @@ impl SimplexWorkspace {
     /// The error reported when [`MAX_PIVOTS`] is exceeded, carrying the
     /// instance dimensions for debuggability.
     fn iteration_limit(&self) -> LpError {
-        LpError::IterationLimit { iterations: self.pivots, rows: self.rows, cols: self.n }
+        LpError::IterationLimit {
+            iterations: self.pivots,
+            rows: self.rows,
+            cols: self.n,
+        }
     }
 
     /// Extract the solution of the optimized tableau.
@@ -298,7 +327,11 @@ impl SimplexWorkspace {
 /// Solve a validated problem cold (two phases), reusing `ws` buffers.
 pub(crate) fn solve(problem: &LpProblem, ws: &mut SimplexWorkspace) -> Result<LpSolution> {
     ws.load(problem);
+    solve_loaded(ws)
+}
 
+/// The cold two-phase path over an already-loaded workspace.
+fn solve_loaded(ws: &mut SimplexWorkspace) -> Result<LpSolution> {
     // ---------------- Phase 1: minimize the sum of artificials ----------------
     ws.set_phase1_costs();
     ws.optimize(true)?;
@@ -338,7 +371,10 @@ pub(crate) fn solve_warm(
 ) -> Result<LpSolution> {
     ws.load(problem);
     if !ws.factorize_basis(basis_hint) {
-        return solve(problem, ws);
+        // Fall back cold. The standard form is already built; only the
+        // tableau was dirtied by the partial factorization.
+        ws.init_tableau();
+        return solve_loaded(ws);
     }
     // Clamp the tiny negative noise tolerated by the feasibility check.
     for v in &mut ws.b {

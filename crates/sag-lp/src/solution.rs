@@ -39,7 +39,12 @@ impl LpSolution {
         basis: Vec<usize>,
         stats: SolveStats,
     ) -> Self {
-        Self { objective, values, basis, stats }
+        Self {
+            objective,
+            values,
+            basis,
+            stats,
+        }
     }
 
     /// Optimal objective value in the original optimization direction.
@@ -90,8 +95,13 @@ mod tests {
 
     #[test]
     fn accessors_return_constructed_data() {
-        let stats =
-            SolveStats { pivots: 3, phase1_pivots: 1, rows: 2, cols: 4, warm_started: false };
+        let stats = SolveStats {
+            pivots: 3,
+            phase1_pivots: 1,
+            rows: 2,
+            cols: 4,
+            warm_started: false,
+        };
         let sol = LpSolution::new(7.5, vec![1.0, 2.0], vec![0, 1], stats);
         assert_eq!(sol.objective(), 7.5);
         assert_eq!(sol.value(VarId(0)), 1.0);
@@ -106,7 +116,10 @@ mod tests {
         let sol = LpSolution::new(1.0, vec![0.5], vec![0], SolveStats::default());
         let copy = sol.clone();
         assert_eq!(copy, sol);
-        assert_ne!(LpSolution::new(2.0, vec![0.5], vec![0], SolveStats::default()), sol);
+        assert_ne!(
+            LpSolution::new(2.0, vec![0.5], vec![0], SolveStats::default()),
+            sol
+        );
     }
 
     #[test]

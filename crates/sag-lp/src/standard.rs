@@ -73,7 +73,9 @@ impl StandardForm {
     /// standard-form columns.
     #[must_use]
     pub fn recover(&self, y: &[f64]) -> Vec<f64> {
-        (0..self.num_structural).map(|j| y[j] + self.shifts[j]).collect()
+        (0..self.num_structural)
+            .map(|j| y[j] + self.shifts[j])
+            .collect()
     }
 
     /// Objective value of the *original* problem corresponding to the
@@ -114,7 +116,11 @@ impl StandardForm {
 
         // Row and column counts: every `≤`/`≥` constraint takes one
         // slack/surplus column; every finite upper bound adds a `≤` row.
-        let num_bound_rows = problem.variables.iter().filter(|v| v.upper.is_finite()).count();
+        let num_bound_rows = problem
+            .variables
+            .iter()
+            .filter(|v| v.upper.is_finite())
+            .count();
         let num_slack = problem
             .constraints
             .iter()

@@ -14,7 +14,7 @@
 //! 5. scaling the objective scales the optimum.
 
 use proptest::prelude::*;
-use sag_lp::{LpError, LpProblem, Objective, Relation, VarId};
+use sag_lp::{LpError, LpProblem, Objective, Relation, SimplexWorkspace, VarId};
 
 /// A compact, generatable description of a random LP instance.
 #[derive(Debug, Clone)]
@@ -45,7 +45,11 @@ impl RandomLp {
         for (coeffs, rel, rhs) in &self.cons {
             let terms: Vec<(VarId, f64)> =
                 ids.iter().copied().zip(coeffs.iter().copied()).collect();
-            let relation = if *rel == 0 { Relation::Le } else { Relation::Ge };
+            let relation = if *rel == 0 {
+                Relation::Le
+            } else {
+                Relation::Ge
+            };
             lp.add_constraint(&terms, relation, *rhs);
         }
         (lp, ids)
@@ -65,7 +69,11 @@ fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
             ),
             nc,
         );
-        (vars, cons).prop_map(move |(vars, cons)| RandomLp { maximize, vars, cons })
+        (vars, cons).prop_map(move |(vars, cons)| RandomLp {
+            maximize,
+            vars,
+            cons,
+        })
     })
 }
 
@@ -80,7 +88,11 @@ fn sample_feasible_points(lp: &LpProblem, vars: &[VarId]) -> Vec<Vec<f64>> {
         let mut p = vec![0.0; n];
         for (j, value) in p.iter_mut().enumerate() {
             let (lo, hi) = lp.bounds(vars[j]);
-            *value = if mask >> j & 1 == 1 { hi.min(lo + 1e6) } else { lo };
+            *value = if mask >> j & 1 == 1 {
+                hi.min(lo + 1e6)
+            } else {
+                lo
+            };
         }
         points.push(p);
     }
@@ -160,6 +172,77 @@ proptest! {
             relaxed.add_constraint(&terms, Relation::Le, total_ub + 1.0);
             let sol2 = relaxed.solve().expect("redundant constraint made LP unsolvable");
             prop_assert!((sol.objective() - sol2.objective()).abs() < 1e-6);
+        }
+    }
+
+    /// Warm-started solves track cold solves exactly along randomized
+    /// perturbation sequences — the access pattern of the online SSE, where
+    /// consecutive alerts shrink the budget and drift the estimates. Each
+    /// step perturbs the previous instance's bounds and right-hand sides and
+    /// compares `solve_from_basis` (seeded with the previous optimal basis)
+    /// against a cold `solve` of the identical instance.
+    #[test]
+    fn warm_start_tracks_cold_solves_along_perturbation_sequences(
+        instance in random_lp_strategy(),
+        budget_factors in proptest::collection::vec(0.55f64..1.0, 12),
+        bound_factors in proptest::collection::vec(0.8f64..1.05, 12),
+    ) {
+        let (base, ids) = instance.build();
+        if base.solve().is_err() {
+            // Start from a solvable base instance; infeasible families are
+            // covered by the other properties. (The vendored proptest! macro
+            // runs cases in a loop, so `continue` skips this case.)
+            continue;
+        }
+
+        let mut ws = SimplexWorkspace::new();
+        let mut basis: Vec<usize> = Vec::new();
+        let mut lp = base.clone();
+        for (step, (bf, vf)) in budget_factors.iter().zip(&bound_factors).enumerate() {
+            // Budget-like drift: scale every rhs down; estimate-like drift:
+            // scale every upper bound.
+            for c in 0..lp.num_constraints() {
+                lp.set_constraint_rhs(c, base.constraints()[c].rhs * bf);
+            }
+            for &v in &ids {
+                let (lo, hi) = base.bounds(v);
+                lp.set_bounds(v, lo, hi * vf);
+            }
+
+            let cold = lp.solve();
+            let warm = if basis.is_empty() {
+                lp.solve_with(&mut ws)
+            } else {
+                lp.solve_from_basis(&mut ws, &basis)
+            };
+            match (cold, warm) {
+                (Ok(cold), Ok(warm)) => {
+                    prop_assert!(
+                        (cold.objective() - warm.objective()).abs()
+                            < 1e-9 * (1.0 + cold.objective().abs()),
+                        "step {step}: warm objective {} diverged from cold {}",
+                        warm.objective(),
+                        cold.objective()
+                    );
+                    prop_assert!(lp.is_feasible(warm.values(), 1e-6));
+                    basis.clear();
+                    basis.extend_from_slice(warm.basis());
+                }
+                (Err(cold_err), Err(warm_err)) => {
+                    // Warm solves fall back to the cold path on unusable
+                    // bases, so the reported failure must match.
+                    prop_assert_eq!(cold_err, warm_err);
+                    basis.clear();
+                }
+                (cold, warm) => {
+                    prop_assert!(
+                        false,
+                        "step {step}: cold {:?} but warm {:?}",
+                        cold.map(|s| s.objective()),
+                        warm.map(|s| s.objective())
+                    );
+                }
+            }
         }
     }
 

@@ -40,7 +40,10 @@ pub struct AccessConfig {
 
 impl Default for AccessConfig {
     fn default() -> Self {
-        AccessConfig { daily_accesses: 20_000.0, diurnal: DiurnalProfile::standard_hco() }
+        AccessConfig {
+            daily_accesses: 20_000.0,
+            diurnal: DiurnalProfile::standard_hco(),
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl AccessConfig {
     /// A small configuration for fast unit tests.
     #[must_use]
     pub fn tiny() -> Self {
-        AccessConfig { daily_accesses: 500.0, diurnal: DiurnalProfile::standard_hco() }
+        AccessConfig {
+            daily_accesses: 500.0,
+            diurnal: DiurnalProfile::standard_hco(),
+        }
     }
 }
 
@@ -98,7 +104,9 @@ impl AccessGenerator {
         num_days: u32,
         rng: &mut R,
     ) -> Vec<Vec<AccessEvent>> {
-        (0..num_days).map(|d| self.generate_day(population, d, rng)).collect()
+        (0..num_days)
+            .map(|d| self.generate_day(population, d, rng))
+            .collect()
     }
 }
 

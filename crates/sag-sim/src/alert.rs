@@ -118,9 +118,7 @@ impl fmt::Display for RuleSet {
 ///
 /// Alert types partition alerts into classes that are equivalent for auditing
 /// purposes: same audit cost, same payoff structure, same forecast model.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct AlertTypeId(pub u16);
 
 impl AlertTypeId {
@@ -181,8 +179,18 @@ impl AlertCatalog {
             ("Department Co-worker", &[DepartmentCoworker], 29.02, 5.56),
             ("Neighbor (<= 0.5 miles)", &[Neighbor], 140.46, 23.23),
             ("Same Address", &[SameAddress], 10.84, 3.73),
-            ("Last Name; Neighbor (<= 0.5 miles)", &[SameLastName, Neighbor], 25.43, 4.51),
-            ("Last Name; Same Address", &[SameLastName, SameAddress], 15.14, 4.10),
+            (
+                "Last Name; Neighbor (<= 0.5 miles)",
+                &[SameLastName, Neighbor],
+                25.43,
+                4.51,
+            ),
+            (
+                "Last Name; Same Address",
+                &[SameLastName, SameAddress],
+                15.14,
+                4.10,
+            ),
             (
                 "Last Name; Same Address; Neighbor (<= 0.5 miles)",
                 &[SameLastName, SameAddress, Neighbor],
@@ -209,7 +217,12 @@ impl AlertCatalog {
     #[must_use]
     pub fn single_type() -> Self {
         let full = Self::paper_table1();
-        AlertCatalog { types: vec![AlertTypeInfo { id: AlertTypeId(0), ..full.types[0].clone() }] }
+        AlertCatalog {
+            types: vec![AlertTypeInfo {
+                id: AlertTypeId(0),
+                ..full.types[0].clone()
+            }],
+        }
     }
 
     /// Number of alert types.
@@ -279,7 +292,7 @@ impl AlertCatalog {
                 continue;
             }
             let candidate = (overlap, t.rules.len(), t.id);
-            if best.map_or(true, |b| (candidate.0, candidate.1) > (b.0, b.1)) {
+            if best.is_none_or(|b| (candidate.0, candidate.1) > (b.0, b.1)) {
                 best = Some(candidate);
             }
         }
@@ -311,13 +324,27 @@ impl Alert {
     /// Convenience constructor for a benign (false-positive) alert.
     #[must_use]
     pub fn benign(day: u32, time: TimeOfDay, type_id: AlertTypeId) -> Self {
-        Alert { day, time, type_id, employee: None, patient: None, is_attack: false }
+        Alert {
+            day,
+            time,
+            type_id,
+            employee: None,
+            patient: None,
+            is_attack: false,
+        }
     }
 
     /// Convenience constructor for an attack alert.
     #[must_use]
     pub fn attack(day: u32, time: TimeOfDay, type_id: AlertTypeId) -> Self {
-        Alert { day, time, type_id, employee: None, patient: None, is_attack: true }
+        Alert {
+            day,
+            time,
+            type_id,
+            employee: None,
+            patient: None,
+            is_attack: true,
+        }
     }
 }
 
@@ -363,7 +390,10 @@ mod tests {
         assert!((means[6] - 43.27).abs() < 1e-9);
         let stds = cat.daily_stds();
         assert!((stds[2] - 23.23).abs() < 1e-9);
-        assert_eq!(cat.get(AlertTypeId(1)).unwrap().description, "Department Co-worker");
+        assert_eq!(
+            cat.get(AlertTypeId(1)).unwrap().description,
+            "Department Co-worker"
+        );
         assert_eq!(cat.ids().count(), 7);
     }
 

@@ -165,7 +165,11 @@ mod tests {
     #[test]
     fn attack_flag_survives_round_trip() {
         let mut day = sample_day();
-        day.insert(Alert::attack(5, TimeOfDay::from_hms(23, 0, 0), AlertTypeId(6)));
+        day.insert(Alert::attack(
+            5,
+            TimeOfDay::from_hms(23, 0, 0),
+            AlertTypeId(6),
+        ));
         let decoded = decode_day(&mut encode_day(&day)).unwrap();
         assert_eq!(decoded.alerts().iter().filter(|a| a.is_attack).count(), 1);
         let attack = decoded.alerts().iter().find(|a| a.is_attack).unwrap();
@@ -179,7 +183,10 @@ mod tests {
         let encoded = encode_day(&day);
         // Truncate mid-alert.
         let truncated = encoded.slice(0..encoded.len() - 3);
-        assert_eq!(decode_day(&mut truncated.clone()), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_day(&mut truncated.clone()),
+            Err(DecodeError::Truncated)
+        );
         // Corrupt the magic.
         let mut corrupt = BytesMut::from(&encoded[..]);
         corrupt[0] = 0xFF;

@@ -111,14 +111,18 @@ pub fn alert_from_json(line: &str) -> Result<Alert, String> {
             .ok_or_else(|| format!("malformed field `{field}`"))?;
         let key = key.trim().trim_matches('"');
         let value = value.trim();
-        let parse_u32 =
-            |v: &str| v.parse::<u32>().map_err(|e| format!("bad value for `{key}`: {e}"));
+        let parse_u32 = |v: &str| {
+            v.parse::<u32>()
+                .map_err(|e| format!("bad value for `{key}`: {e}"))
+        };
         match key {
             "day" => alert.day = parse_u32(value)?,
             "seconds" => alert.time = crate::time::TimeOfDay::from_seconds(parse_u32(value)?),
             "type" => {
                 alert.type_id = crate::alert::AlertTypeId(
-                    value.parse::<u16>().map_err(|e| format!("bad value for `type`: {e}"))?,
+                    value
+                        .parse::<u16>()
+                        .map_err(|e| format!("bad value for `type`: {e}"))?,
                 );
             }
             "is_attack" => {
@@ -177,7 +181,14 @@ mod tests {
     fn days_csv_concatenates_days() {
         let days = vec![
             DayLog::new(0, sample_alerts()),
-            DayLog::new(1, vec![Alert::benign(1, TimeOfDay::from_hms(8, 0, 0), AlertTypeId(1))]),
+            DayLog::new(
+                1,
+                vec![Alert::benign(
+                    1,
+                    TimeOfDay::from_hms(8, 0, 0),
+                    AlertTypeId(1),
+                )],
+            ),
         ];
         let mut buf = Vec::new();
         write_days_csv(&mut buf, &days).unwrap();
@@ -191,8 +202,7 @@ mod tests {
         let mut buf = Vec::new();
         write_alerts_jsonl(&mut buf, &alerts).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let parsed: Vec<Alert> =
-            text.lines().map(|l| alert_from_json(l).unwrap()).collect();
+        let parsed: Vec<Alert> = text.lines().map(|l| alert_from_json(l).unwrap()).collect();
         assert_eq!(parsed, alerts);
     }
 

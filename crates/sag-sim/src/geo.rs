@@ -6,7 +6,6 @@
 //! accurate to well under a percent at city scale and keeps the distance
 //! computation trivial.
 
-
 /// Distance threshold (miles) for the *Neighbor* rule, per the paper.
 pub const NEIGHBOR_RADIUS_MILES: f64 = 0.5;
 
@@ -87,7 +86,10 @@ mod tests {
         let far = Location::new(0.6, 0.0);
         assert!(a.is_neighbor_of(near));
         assert!(!a.is_neighbor_of(far));
-        assert!(!a.is_neighbor_of(a), "identical location is 'same address', not 'neighbor'");
+        assert!(
+            !a.is_neighbor_of(a),
+            "identical location is 'same address', not 'neighbor'"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl DayLog {
     /// Number of alerts of a given type strictly after `time`.
     #[must_use]
     pub fn count_of_type_after(&self, type_id: AlertTypeId, time: TimeOfDay) -> usize {
-        self.alerts.iter().filter(|a| a.type_id == type_id && a.time > time).count()
+        self.alerts
+            .iter()
+            .filter(|a| a.type_id == type_id && a.time > time)
+            .count()
     }
 
     /// Insert an additional alert (e.g. an injected attack), keeping order.
@@ -150,8 +153,14 @@ mod tests {
         assert_eq!(log.count_of_type(AlertTypeId(0)), 2);
         assert_eq!(log.count_of_type(AlertTypeId(1)), 1);
         assert_eq!(log.count_of_type(AlertTypeId(2)), 0);
-        assert_eq!(log.count_of_type_after(AlertTypeId(0), TimeOfDay::from_hms(10, 0, 0)), 1);
-        assert_eq!(log.count_of_type_after(AlertTypeId(0), TimeOfDay::from_hms(16, 0, 0)), 0);
+        assert_eq!(
+            log.count_of_type_after(AlertTypeId(0), TimeOfDay::from_hms(10, 0, 0)),
+            1
+        );
+        assert_eq!(
+            log.count_of_type_after(AlertTypeId(0), TimeOfDay::from_hms(16, 0, 0)),
+            0
+        );
     }
 
     #[test]
@@ -176,7 +185,9 @@ mod tests {
     #[test]
     fn rolling_groups_match_paper_layout() {
         // 56 days with 41-day history => 15 groups, like the paper.
-        let days: Vec<DayLog> = (0..56).map(|d| DayLog::new(d, vec![alert(d, 9, 0)])).collect();
+        let days: Vec<DayLog> = (0..56)
+            .map(|d| DayLog::new(d, vec![alert(d, 9, 0)]))
+            .collect();
         let log = AlertLog::new(days);
         let groups = log.rolling_groups(41);
         assert_eq!(groups.len(), 15);

@@ -23,12 +23,56 @@ pub struct NamePool {
 
 /// Common US surnames used as the default pool.
 const COMMON_SURNAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
 ];
 
 impl NamePool {
@@ -50,8 +94,7 @@ impl NamePool {
     #[must_use]
     pub fn default_pool(extra_rare: usize) -> Self {
         let mut names: Vec<String> = COMMON_SURNAMES.iter().map(|s| (*s).to_string()).collect();
-        let mut weights: Vec<f64> =
-            (1..=names.len()).map(|rank| 1.0 / rank as f64).collect();
+        let mut weights: Vec<f64> = (1..=names.len()).map(|rank| 1.0 / rank as f64).collect();
         let rare_weight = weights.last().copied().unwrap_or(1.0) / 4.0;
         for i in 0..extra_rare {
             names.push(format!("Rare{i:05}"));
@@ -117,7 +160,12 @@ mod tests {
         }
         // The most common name must be sampled clearly more often than the
         // tenth most common one.
-        assert!(counts[0] > counts[9] * 2, "counts[0]={} counts[9]={}", counts[0], counts[9]);
+        assert!(
+            counts[0] > counts[9] * 2,
+            "counts[0]={} counts[9]={}",
+            counts[0],
+            counts[9]
+        );
     }
 
     #[test]

@@ -83,9 +83,12 @@ impl Person {
     /// neighbors (strictly positive distance within the neighbor radius).
     #[must_use]
     pub fn is_neighbor_of(&self, other: &Person) -> bool {
-        self.addresses
-            .iter()
-            .any(|a| other.addresses.iter().any(|b| a.location.is_neighbor_of(b.location)))
+        self.addresses.iter().any(|a| {
+            other
+                .addresses
+                .iter()
+                .any(|b| a.location.is_neighbor_of(b.location))
+        })
     }
 }
 
@@ -95,14 +98,23 @@ mod tests {
     use crate::geo::{Address, Location};
 
     fn person(id: u32, name: u32, addrs: Vec<Address>, role: Role) -> Person {
-        Person { id: PersonId(id), last_name: NameId(name), addresses: addrs, role }
+        Person {
+            id: PersonId(id),
+            last_name: NameId(name),
+            addresses: addrs,
+            role,
+        }
     }
 
     #[test]
     fn role_accessors() {
-        let emp = Role::Employee { department: DepartmentId(3) };
+        let emp = Role::Employee {
+            department: DepartmentId(3),
+        };
         let pat = Role::Patient;
-        let both = Role::EmployeePatient { department: DepartmentId(5) };
+        let both = Role::EmployeePatient {
+            department: DepartmentId(5),
+        };
         assert!(emp.is_employee() && !emp.is_patient());
         assert!(!pat.is_employee() && pat.is_patient());
         assert!(both.is_employee() && both.is_patient());
@@ -117,7 +129,14 @@ mod tests {
         let a2 = Address::new(2, Location::new(5.0, 5.0));
         let a3 = Address::new(1, Location::new(0.0, 0.0));
         let p = person(0, 0, vec![a1, a2], Role::Patient);
-        let q = person(1, 1, vec![a3], Role::Employee { department: DepartmentId(0) });
+        let q = person(
+            1,
+            1,
+            vec![a3],
+            Role::Employee {
+                department: DepartmentId(0),
+            },
+        );
         let r = person(2, 2, vec![a2], Role::Patient);
         assert!(p.shares_address_with(&q));
         assert!(q.shares_address_with(&p));
@@ -130,7 +149,14 @@ mod tests {
         let home_q = Address::new(2, Location::new(0.3, 0.0));
         let far = Address::new(3, Location::new(10.0, 10.0));
         let p = person(0, 0, vec![home_p], Role::Patient);
-        let q = person(1, 1, vec![far, home_q], Role::Employee { department: DepartmentId(0) });
+        let q = person(
+            1,
+            1,
+            vec![far, home_q],
+            Role::Employee {
+                department: DepartmentId(0),
+            },
+        );
         assert!(p.is_neighbor_of(&q));
         assert!(q.is_neighbor_of(&p));
         let r = person(2, 2, vec![far], Role::Patient);
@@ -142,8 +168,18 @@ mod tests {
         let a = Address::new(1, Location::new(0.0, 0.0));
         let b = Address::new(2, Location::new(0.0, 0.0));
         let p = person(0, 0, vec![a], Role::Patient);
-        let q = person(1, 1, vec![b], Role::Employee { department: DepartmentId(0) });
+        let q = person(
+            1,
+            1,
+            vec![b],
+            Role::Employee {
+                department: DepartmentId(0),
+            },
+        );
         assert!(!p.is_neighbor_of(&q));
-        assert!(!p.shares_address_with(&q), "different block ids are not the same address");
+        assert!(
+            !p.shares_address_with(&q),
+            "different block ids are not the same address"
+        );
     }
 }

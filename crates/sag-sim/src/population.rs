@@ -146,7 +146,14 @@ impl Population {
             people.push(person);
         }
 
-        Population { people, employees, patients, name_pool, addresses, config: config.clone() }
+        Population {
+            people,
+            employees,
+            patients,
+            name_pool,
+            addresses,
+            config: config.clone(),
+        }
     }
 
     /// All people.
@@ -229,7 +236,10 @@ impl Population {
     /// Same-department co-workers? (Both must be employees.)
     #[must_use]
     pub fn same_department(&self, a: PersonId, b: PersonId) -> bool {
-        match (self.person(a).role.department(), self.person(b).role.department()) {
+        match (
+            self.person(a).role.department(),
+            self.person(b).role.department(),
+        ) {
             (Some(d1), Some(d2)) => d1 == d2,
             _ => false,
         }
@@ -259,7 +269,10 @@ mod tests {
         let pop = tiny_population(1);
         assert_eq!(pop.employees().len(), config.num_employees);
         assert!(pop.patients().len() >= config.num_patients);
-        assert_eq!(pop.people().len(), config.num_employees + config.num_patients);
+        assert_eq!(
+            pop.people().len(),
+            config.num_employees + config.num_patients
+        );
         assert_eq!(pop.config(), &config);
     }
 

@@ -107,8 +107,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for &lambda in &[0.5, 4.0, 50.0, 200.0] {
             let n = 5_000;
-            let mean =
-                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() < 0.1 * lambda.max(1.0),
                 "lambda {lambda}: sample mean {mean}"

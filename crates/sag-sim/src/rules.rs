@@ -23,7 +23,10 @@ impl RuleEngine {
     /// Create a rule engine over a catalogue.
     #[must_use]
     pub fn new(catalog: AlertCatalog) -> Self {
-        RuleEngine { catalog, skip_self_access: true }
+        RuleEngine {
+            catalog,
+            skip_self_access: true,
+        }
     }
 
     /// Configure whether self-accesses are skipped (default: yes).
@@ -83,7 +86,10 @@ impl RuleEngine {
     /// Run the engine over a full day of accesses, preserving time order.
     #[must_use]
     pub fn evaluate_day(&self, population: &Population, events: &[AccessEvent]) -> Vec<Alert> {
-        events.iter().filter_map(|e| self.evaluate(population, e)).collect()
+        events
+            .iter()
+            .filter_map(|e| self.evaluate(population, e))
+            .collect()
     }
 }
 
@@ -106,7 +112,12 @@ mod tests {
     }
 
     fn access(day: u32, employee: PersonId, patient: PersonId) -> AccessEvent {
-        AccessEvent { day, time: TimeOfDay::from_hms(10, 0, 0), employee, patient }
+        AccessEvent {
+            day,
+            time: TimeOfDay::from_hms(10, 0, 0),
+            employee,
+            patient,
+        }
     }
 
     /// Find (or fail to find) a pair of people with a specific relationship in
@@ -169,7 +180,9 @@ mod tests {
             .find(|id| pop.person(*id).role.is_patient())
             .expect("an employee-patient exists");
         let engine = RuleEngine::new(AlertCatalog::paper_table1());
-        assert!(engine.triggered_rules(&pop, &access(0, both, both)).is_empty());
+        assert!(engine
+            .triggered_rules(&pop, &access(0, both, both))
+            .is_empty());
         let engine = engine.with_skip_self_access(false);
         let rules = engine.triggered_rules(&pop, &access(0, both, both));
         assert!(rules.contains(BaseRule::SameLastName));
@@ -180,9 +193,11 @@ mod tests {
     fn evaluate_produces_typed_alert_with_actors() {
         let pop = generated_population(34);
         let engine = RuleEngine::new(AlertCatalog::paper_table1());
-        let (e, p) = find_pair(&pop, |a, b| a.last_name == b.last_name)
-            .expect("name collision exists");
-        let alert = engine.evaluate(&pop, &access(5, e, p)).expect("alert produced");
+        let (e, p) =
+            find_pair(&pop, |a, b| a.last_name == b.last_name).expect("name collision exists");
+        let alert = engine
+            .evaluate(&pop, &access(5, e, p))
+            .expect("alert produced");
         assert_eq!(alert.day, 5);
         assert_eq!(alert.employee, Some(e));
         assert_eq!(alert.patient, Some(p));
@@ -200,7 +215,9 @@ mod tests {
                 id: PersonId(0),
                 last_name: NameId(0),
                 addresses: vec![Address::new(0, Location::new(0.0, 0.0))],
-                role: Role::Employee { department: DepartmentId(0) },
+                role: Role::Employee {
+                    department: DepartmentId(0),
+                },
             },
             Person {
                 id: PersonId(1),
@@ -219,8 +236,7 @@ mod tests {
             a.last_name != b.last_name
                 && !a.shares_address_with(b)
                 && !a.is_neighbor_of(b)
-                && (a.role.department() != b.role.department()
-                    || b.role.department().is_none())
+                && (a.role.department() != b.role.department() || b.role.department().is_none())
         }) {
             assert!(engine.evaluate(&pop, &access(0, e, p)).is_none());
         }

@@ -43,7 +43,10 @@ impl DiurnalProfile {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "diurnal weights must be finite and nonnegative"
         );
-        assert!(weights.iter().sum::<f64>() > 0.0, "diurnal weights must not all be zero");
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "diurnal weights must not all be zero"
+        );
         DiurnalProfile { weights }
     }
 
@@ -187,7 +190,9 @@ impl StreamGenerator {
     /// followed by `testing` days, as `(history, test_days)`.
     pub fn generate_split(&mut self, historical: u32, testing: u32) -> (Vec<DayLog>, Vec<DayLog>) {
         let history = self.generate_days(historical);
-        let tests = (historical..historical + testing).map(|d| self.generate_day(d)).collect();
+        let tests = (historical..historical + testing)
+            .map(|d| self.generate_day(d))
+            .collect();
         (history, tests)
     }
 }
@@ -208,13 +213,19 @@ pub fn count_by_type(alerts: &[Alert], num_types: usize) -> Vec<usize> {
 #[must_use]
 pub fn daily_count_stats(days: &[DayLog], num_types: usize) -> (Vec<f64>, Vec<f64>) {
     let n = days.len().max(1) as f64;
-    let per_day: Vec<Vec<usize>> =
-        days.iter().map(|d| count_by_type(d.alerts(), num_types)).collect();
+    let per_day: Vec<Vec<usize>> = days
+        .iter()
+        .map(|d| count_by_type(d.alerts(), num_types))
+        .collect();
     let mut means = vec![0.0; num_types];
     let mut stds = vec![0.0; num_types];
     for t in 0..num_types {
         let mean = per_day.iter().map(|c| c[t] as f64).sum::<f64>() / n;
-        let var = per_day.iter().map(|c| (c[t] as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = per_day
+            .iter()
+            .map(|c| (c[t] as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         means[t] = mean;
         stds[t] = var.sqrt();
     }
@@ -245,7 +256,10 @@ mod tests {
         let mut last = 1.0 + 1e-12;
         for hour in 0..24 {
             let f = profile.fraction_after(TimeOfDay::from_hms(hour, 0, 0));
-            assert!(f <= last + 1e-12, "fraction_after must decrease over the day");
+            assert!(
+                f <= last + 1e-12,
+                "fraction_after must decrease over the day"
+            );
             last = f;
         }
         assert!(profile.fraction_after(TimeOfDay::MIDNIGHT) > 0.999);

@@ -11,9 +11,7 @@ use std::fmt;
 pub const SECONDS_PER_DAY: u32 = 24 * 60 * 60;
 
 /// A moment within an audit cycle, measured in seconds since midnight.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TimeOfDay(u32);
 
 impl TimeOfDay {
@@ -77,7 +75,13 @@ impl TimeOfDay {
 
 impl fmt::Display for TimeOfDay {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:02}:{:02}:{:02}", self.hour(), self.minute(), self.second())
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            self.hour(),
+            self.minute(),
+            self.second()
+        )
     }
 }
 
@@ -103,8 +107,14 @@ mod tests {
 
     #[test]
     fn construction_clamps_out_of_range_values() {
-        assert_eq!(TimeOfDay::from_seconds(SECONDS_PER_DAY + 100), TimeOfDay::END_OF_DAY);
-        assert_eq!(TimeOfDay::from_hms(99, 99, 99), TimeOfDay::from_hms(23, 59, 59));
+        assert_eq!(
+            TimeOfDay::from_seconds(SECONDS_PER_DAY + 100),
+            TimeOfDay::END_OF_DAY
+        );
+        assert_eq!(
+            TimeOfDay::from_hms(99, 99, 99),
+            TimeOfDay::from_hms(23, 59, 59)
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 use sag_sim::binary::{decode_day, decode_log, encode_day, encode_log};
 use sag_sim::stream::count_by_type;
-use sag_sim::{Alert, AlertCatalog, AlertLog, AlertTypeId, DayLog, DiurnalProfile, StreamConfig, StreamGenerator, TimeOfDay};
+use sag_sim::{
+    Alert, AlertCatalog, AlertLog, AlertTypeId, DayLog, DiurnalProfile, StreamConfig,
+    StreamGenerator, TimeOfDay,
+};
 
 fn arbitrary_alert() -> impl Strategy<Value = Alert> {
     (0u32..60, 0u32..86_400, 0u16..7, any::<bool>()).prop_map(|(day, secs, ty, attack)| Alert {
@@ -18,7 +21,10 @@ fn arbitrary_alert() -> impl Strategy<Value = Alert> {
 }
 
 fn arbitrary_day() -> impl Strategy<Value = DayLog> {
-    (0u32..60, proptest::collection::vec(arbitrary_alert(), 0..200))
+    (
+        0u32..60,
+        proptest::collection::vec(arbitrary_alert(), 0..200),
+    )
         .prop_map(|(day, mut alerts)| {
             for a in &mut alerts {
                 a.day = day;

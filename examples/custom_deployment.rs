@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --release --example custom_deployment`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sag::core::attacker::{simulate_attack, AttackerModel};
 use sag::prelude::*;
 use sag::sim::alert::{AlertTypeInfo, BaseRule, RuleSet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 1. Define a custom deployment: three fraud-alert types with their own
@@ -69,14 +69,19 @@ fn main() {
         accounting: BudgetAccounting::Expected,
     })
     .expect("valid configuration");
-    let result = engine.run_day(&history, &test_day).expect("replay succeeds");
+    let result = engine
+        .run_day(&history, &test_day)
+        .expect("replay succeeds");
     let summary = ExperimentSummary::from_cycles(std::slice::from_ref(&result));
 
     println!("fraud desk, {} alerts on the test day", result.len());
     println!("  mean utility, OSSP        : {:8.2}", summary.mean_ossp);
     println!("  mean utility, online SSE  : {:8.2}", summary.mean_online);
     println!("  mean utility, offline SSE : {:8.2}", summary.mean_offline);
-    println!("  attacks fully deterred    : {:.1}% of alerts", summary.fraction_deterred * 100.0);
+    println!(
+        "  attacks fully deterred    : {:.1}% of alerts",
+        summary.fraction_deterred * 100.0
+    );
 
     // 4. What would a rational attacker striking at 14:00 actually do, and
     //    how would repeated attacks play out against the committed scheme?
@@ -91,9 +96,15 @@ fn main() {
     // full per-type coverage vector of the online SSE.
     let coverage = vec![midday.coverage_ossp; 3];
     match attacker.choose_type(&engine.config().game.payoffs, &coverage) {
-        None => println!("\nA rational attacker at {} would not attack at all.", midday.time),
+        None => println!(
+            "\nA rational attacker at {} would not attack at all.",
+            midday.time
+        ),
         Some(target) => {
-            println!("\nA rational attacker at {} would target type {}.", midday.time, target);
+            println!(
+                "\nA rational attacker at {} would target type {}.",
+                midday.time, target
+            );
             let payoffs = engine.config().game.payoffs.get(target);
             let scheme = &midday.ossp_scheme;
             let mut rng = StdRng::seed_from_u64(1);
@@ -108,9 +119,18 @@ fn main() {
                 caught += usize::from(outcome.audited);
             }
             println!("  over {trials} simulated attempts against the committed scheme:");
-            println!("    warned    : {:.1}%", 100.0 * warned as f64 / trials as f64);
-            println!("    proceeded : {:.1}%", 100.0 * proceeded as f64 / trials as f64);
-            println!("    audited   : {:.1}%", 100.0 * caught as f64 / trials as f64);
+            println!(
+                "    warned    : {:.1}%",
+                100.0 * warned as f64 / trials as f64
+            );
+            println!(
+                "    proceeded : {:.1}%",
+                100.0 * proceeded as f64 / trials as f64
+            );
+            println!(
+                "    audited   : {:.1}%",
+                100.0 * caught as f64 / trials as f64
+            );
         }
     }
 }

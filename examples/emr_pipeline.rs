@@ -9,16 +9,19 @@
 //!
 //! Run with: `cargo run --release --example emr_pipeline [seed]`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sag::prelude::*;
 use sag::sim::access::{AccessConfig, AccessGenerator};
 use sag::sim::population::{Population, PopulationConfig};
 use sag::sim::rules::RuleEngine;
 use sag::sim::stream::count_by_type;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
     let mut rng = StdRng::seed_from_u64(seed);
 
     // 1. A synthetic hospital world: employees, patients, names, addresses.
@@ -27,7 +30,11 @@ fn main() {
         "population: {} employees, {} patients ({} are both)",
         population.employees().len(),
         population.patients().len(),
-        population.employees().iter().filter(|e| population.patients().contains(e)).count()
+        population
+            .employees()
+            .iter()
+            .filter(|e| population.patients().contains(e))
+            .count()
     );
 
     // 2. Raw access events for a training window and one test day.
@@ -53,7 +60,12 @@ fn main() {
     );
     let counts = count_by_type(test_day.alerts(), 7);
     for (i, info) in AlertCatalog::paper_table1().types().iter().enumerate() {
-        println!("  type {:<2} {:<52} {:>5}", i + 1, info.description, counts[i]);
+        println!(
+            "  type {:<2} {:<52} {:>5}",
+            i + 1,
+            info.description,
+            counts[i]
+        );
     }
 
     // 3. Run the audit game over the rule engine's alerts. The alert volumes
@@ -62,12 +74,20 @@ fn main() {
     let mut config = EngineConfig::paper_multi_type();
     config.game.budget = (test_day.len() as f64 * 0.10).max(5.0);
     let audit_engine = AuditCycleEngine::new(config).expect("valid configuration");
-    let result = audit_engine.run_day(&history, &test_day).expect("replay succeeds");
+    let result = audit_engine
+        .run_day(&history, &test_day)
+        .expect("replay succeeds");
 
     let summary = ExperimentSummary::from_cycles(std::slice::from_ref(&result));
-    println!("\naudit game over the detected alerts (budget {:.0})", audit_engine.config().game.budget);
+    println!(
+        "\naudit game over the detected alerts (budget {:.0})",
+        audit_engine.config().game.budget
+    );
     println!("  mean utility, OSSP        : {:8.2}", summary.mean_ossp);
     println!("  mean utility, online SSE  : {:8.2}", summary.mean_online);
     println!("  mean utility, offline SSE : {:8.2}", summary.mean_offline);
-    println!("  OSSP >= online SSE        : {:.1}% of alerts", summary.fraction_ossp_not_worse * 100.0);
+    println!(
+        "  OSSP >= online SSE        : {:.1}% of alerts",
+        summary.fraction_ossp_not_worse * 100.0
+    );
 }

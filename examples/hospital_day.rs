@@ -11,7 +11,10 @@
 use sag::prelude::*;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2019);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2019);
 
     // Calibrated 7-type alert stream (Table 1 volumes, workday diurnal shape).
     let mut generator = StreamGenerator::new(StreamConfig::paper_multi_type(seed));
@@ -27,13 +30,21 @@ fn main() {
     // The paper's multi-type game: 7 types, unit audit costs, budget 50.
     let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type())
         .expect("paper configuration is valid");
-    let result = engine.run_day(&history, &test_day).expect("replay succeeds");
+    let result = engine
+        .run_day(&history, &test_day)
+        .expect("replay succeeds");
 
     // Hourly averages of the three per-alert utility series.
-    println!("\n{:<8} {:>8} {:>12} {:>12} {:>12}", "hour", "alerts", "OSSP", "online SSE", "offline SSE");
+    println!(
+        "\n{:<8} {:>8} {:>12} {:>12} {:>12}",
+        "hour", "alerts", "OSSP", "online SSE", "offline SSE"
+    );
     for hour in 0..24u32 {
-        let in_hour: Vec<&AlertOutcome> =
-            result.outcomes.iter().filter(|o| o.time.hour() == hour).collect();
+        let in_hour: Vec<&AlertOutcome> = result
+            .outcomes
+            .iter()
+            .filter(|o| o.time.hour() == hour)
+            .collect();
         if in_hour.is_empty() {
             continue;
         }
@@ -55,7 +66,16 @@ fn main() {
     println!("  mean utility, OSSP        : {:8.2}", summary.mean_ossp);
     println!("  mean utility, online SSE  : {:8.2}", summary.mean_online);
     println!("  mean utility, offline SSE : {:8.2}", summary.mean_offline);
-    println!("  OSSP >= online SSE        : {:.1}% of alerts", summary.fraction_ossp_not_worse * 100.0);
-    println!("  attacks fully deterred    : {:.1}% of alerts", summary.fraction_deterred * 100.0);
-    println!("  mean optimization time    : {:.0} microseconds/alert", summary.mean_solve_micros);
+    println!(
+        "  OSSP >= online SSE        : {:.1}% of alerts",
+        summary.fraction_ossp_not_worse * 100.0
+    );
+    println!(
+        "  attacks fully deterred    : {:.1}% of alerts",
+        summary.fraction_deterred * 100.0
+    );
+    println!(
+        "  mean optimization time    : {:.0} microseconds/alert",
+        summary.mean_solve_micros
+    );
 }

@@ -33,8 +33,14 @@ fn main() {
 
     println!("Online SSE at this point of the day");
     println!("  attacker's best-response type : {}", sse.best_response);
-    println!("  auditor expected utility      : {:8.2}", sse.auditor_utility);
-    println!("  attacker expected utility     : {:8.2}", sse.attacker_utility);
+    println!(
+        "  auditor expected utility      : {:8.2}",
+        sse.auditor_utility
+    );
+    println!(
+        "  attacker expected utility     : {:8.2}",
+        sse.attacker_utility
+    );
     for (i, theta) in sse.coverage.iter().enumerate() {
         println!("  coverage of type {:<2}           : {:6.3}", i + 1, theta);
     }
@@ -45,13 +51,22 @@ fn main() {
     let theta = sse.coverage_of(triggered);
     let ossp = ossp_closed_form(game.payoffs.get(triggered), theta);
 
-    println!("\nOSSP for the triggered {} alert (theta = {:.3})", triggered, theta);
+    println!(
+        "\nOSSP for the triggered {} alert (theta = {:.3})",
+        triggered, theta
+    );
     println!("  P(warn, audit)      p1 = {:.3}", ossp.scheme.p1);
     println!("  P(warn, no audit)   q1 = {:.3}", ossp.scheme.q1);
     println!("  P(silent, audit)    p0 = {:.3}", ossp.scheme.p0);
     println!("  P(silent, no audit) q0 = {:.3}", ossp.scheme.q0);
-    println!("  warning probability    = {:.3}", ossp.scheme.warning_probability());
-    println!("  audit prob. given warn = {:.3}", ossp.scheme.audit_given_warning());
+    println!(
+        "  warning probability    = {:.3}",
+        ossp.scheme.warning_probability()
+    );
+    println!(
+        "  audit prob. given warn = {:.3}",
+        ossp.scheme.audit_given_warning()
+    );
     println!("  attack deterred        : {}", ossp.deterred);
 
     // 5. The value of signaling: compare the auditor's expected utility with
@@ -60,5 +75,8 @@ fn main() {
     println!("\nAuditor expected utility for this alert");
     println!("  with signaling (OSSP)    : {:8.2}", ossp.auditor_utility);
     println!("  without signaling (SSE)  : {:8.2}", without_signaling);
-    println!("  gain from signaling      : {:8.2}", ossp.auditor_utility - without_signaling);
+    println!(
+        "  gain from signaling      : {:8.2}",
+        ossp.auditor_utility - without_signaling
+    );
 }

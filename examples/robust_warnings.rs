@@ -23,7 +23,10 @@ fn main() {
 
     let standard = ossp_closed_form(&payoffs, theta);
     println!("standard OSSP at theta = {theta}");
-    println!("  auditor expected utility (rational attacker): {:8.2}", standard.auditor_utility);
+    println!(
+        "  auditor expected utility (rational attacker): {:8.2}",
+        standard.auditor_utility
+    );
     println!(
         "  conditional utility a warned attacker sees    : {:8.2}",
         standard.scheme.audit_given_warning() * payoffs.attacker_covered
@@ -35,9 +38,18 @@ fn main() {
     let margin = 150.0;
     let robust = robust_ossp(&payoffs, theta, margin);
     println!("\nmargin-robust OSSP (margin = {margin})");
-    println!("  auditor expected utility (rational attacker): {:8.2}", robust.auditor_utility);
-    println!("  achieved deterrence margin                   : {:8.2}", robust.achieved_margin);
-    println!("  margin feasible at this coverage             : {}", robust.margin_feasible);
+    println!(
+        "  auditor expected utility (rational attacker): {:8.2}",
+        robust.auditor_utility
+    );
+    println!(
+        "  achieved deterrence margin                   : {:8.2}",
+        robust.achieved_margin
+    );
+    println!(
+        "  margin feasible at this coverage             : {}",
+        robust.margin_feasible
+    );
     println!(
         "  cost of robustness (utility given up)        : {:8.2}",
         standard.auditor_utility - robust.auditor_utility
@@ -45,7 +57,10 @@ fn main() {
 
     // How do the two commitments fare when a fraction rho of attackers
     // ignores the warning entirely?
-    println!("\n{:>6} {:>18} {:>18}", "rho", "standard scheme", "robust scheme");
+    println!(
+        "\n{:>6} {:>18} {:>18}",
+        "rho", "standard scheme", "robust scheme"
+    );
     for rho in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let (standard_utility, _) = evaluate_against_oblivious(&standard.scheme, &payoffs, rho);
         let (robust_utility, _) = evaluate_against_oblivious(&robust.scheme, &payoffs, rho);

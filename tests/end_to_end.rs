@@ -20,7 +20,10 @@ fn emr_pipeline_produces_consistent_audit_decisions() {
     let mut history = Vec::new();
     for day in 0..8 {
         let accesses = generator.generate_day(&population, day, &mut rng);
-        history.push(DayLog::new(day, rule_engine.evaluate_day(&population, &accesses)));
+        history.push(DayLog::new(
+            day,
+            rule_engine.evaluate_day(&population, &accesses),
+        ));
     }
     let accesses = generator.generate_day(&population, 8, &mut rng);
     let test_day = DayLog::new(8, rule_engine.evaluate_day(&population, &accesses));
@@ -91,11 +94,17 @@ fn budget_is_never_exceeded_over_a_day() {
     let result = engine.run_day(&history, &test_day).unwrap();
 
     let budget = engine.config().game.budget;
-    let total_spent_ossp: f64 =
-        result.outcomes.iter().map(|o| o.ossp_scheme.expected_audit_cost()).sum();
+    let total_spent_ossp: f64 = result
+        .outcomes
+        .iter()
+        .map(|o| o.ossp_scheme.expected_audit_cost())
+        .sum();
     // The engine clamps the remaining budget at zero, so the total expected
     // consumption can exceed the budget only by at most one alert's worth.
-    assert!(total_spent_ossp <= budget + 1.0, "spent {total_spent_ossp} vs budget {budget}");
+    assert!(
+        total_spent_ossp <= budget + 1.0,
+        "spent {total_spent_ossp} vs budget {budget}"
+    );
     let final_budget = result.outcomes.last().unwrap().budget_after_ossp;
     assert!((0.0..=budget).contains(&final_budget));
 }

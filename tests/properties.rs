@@ -6,7 +6,12 @@ use sag::prelude::*;
 
 /// Strategy for a well-formed payoff structure (paper sign conventions).
 fn payoffs_strategy() -> impl Strategy<Value = Payoffs> {
-    (1.0f64..1000.0, 1.0f64..3000.0, 1.0f64..8000.0, 1.0f64..1000.0)
+    (
+        1.0f64..1000.0,
+        1.0f64..3000.0,
+        1.0f64..8000.0,
+        1.0f64..1000.0,
+    )
         .prop_map(|(dc, du, ac, au)| Payoffs::new(dc, -du, -ac, au))
 }
 

@@ -107,7 +107,10 @@ impl Bytes {
     /// Panics if the range is out of bounds.
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: self.as_slice()[range].to_vec(), pos: 0 }
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
@@ -151,7 +154,9 @@ impl BytesMut {
     /// An empty buffer with reserved capacity.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of bytes written.
@@ -174,7 +179,10 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`].
     #[must_use]
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 

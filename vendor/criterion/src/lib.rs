@@ -27,7 +27,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter value.
     pub fn new(name: impl Into<String>, param: impl Display) -> Self {
-        BenchmarkId { rendered: format!("{}/{}", name.into(), param) }
+        BenchmarkId {
+            rendered: format!("{}/{}", name.into(), param),
+        }
     }
 }
 
@@ -84,10 +86,16 @@ impl Bencher {
 }
 
 fn run_bench(label: &str, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { mean_nanos: 0.0, iters_done: 0 };
+    let mut b = Bencher {
+        mean_nanos: 0.0,
+        iters_done: 0,
+    };
     f(&mut b);
     let (value, unit) = humanize(b.mean_nanos);
-    println!("{label:<60} {value:>10.3} {unit}/iter  ({} iters)", b.iters_done);
+    println!(
+        "{label:<60} {value:>10.3} {unit}/iter  ({} iters)",
+        b.iters_done
+    );
 }
 
 fn humanize(nanos: f64) -> (f64, &'static str) {
@@ -108,6 +116,12 @@ pub struct BenchmarkGroup {
 }
 
 impl BenchmarkGroup {
+    /// Accepted for API compatibility; this shim sizes its measurement loop
+    /// by wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
     /// Run one benchmark in the group.
     pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
         run_bench(&format!("{}/{}", self.name, id), f);
@@ -179,7 +193,10 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { mean_nanos: 0.0, iters_done: 0 };
+        let mut b = Bencher {
+            mean_nanos: 0.0,
+            iters_done: 0,
+        };
         b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
         assert!(b.iters_done > 0);
         assert!(b.mean_nanos > 0.0);
