@@ -1,0 +1,58 @@
+//! Replay the full scenario registry and write `BENCH_2.json`: per-scenario
+//! throughput, warm-start hit rate and utility profile, plus the
+//! sharded-vs-sequential wall-clock comparison of `replay_sharded`.
+//!
+//! Usage:
+//!   `cargo run --release -p sag-bench --bin repro_scenarios [seed] [out.json] [shards]`
+//!
+//! `shards` defaults to one shard per available core (requires the
+//! `parallel` feature for actual concurrency; results are identical either
+//! way).
+
+use sag_bench::scenario_suite::{render_suite_json, scenario_suite, SuiteConfig};
+use sag_core::engine::recommended_shards;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2019);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_2.json".to_string());
+    let shards: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| recommended_shards(16));
+
+    println!("Scenario registry replay (seed {seed}, {shards} shard(s))\n");
+    let report = scenario_suite(&SuiteConfig::full(seed, shards)).expect("registry replays");
+
+    println!(
+        "{:<16} {:>7} {:>12} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "scenario", "alerts", "alerts/sec", "warm-hit", "OSSP", "online", "offline", "deterred"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<16} {:>7} {:>12.0} {:>8.1}% {:>10.2} {:>10.2} {:>10.2} {:>8.1}%",
+            s.name,
+            s.alerts,
+            s.alerts_per_sec,
+            s.warm_hit_rate * 100.0,
+            s.mean_ossp,
+            s.mean_online,
+            s.mean_offline,
+            s.fraction_deterred * 100.0
+        );
+    }
+
+    let sh = &report.sharding;
+    println!(
+        "\nsharding ({} x {} jobs, {} thread(s) available):",
+        sh.scenario, sh.jobs, sh.threads_available
+    );
+    println!(
+        "  1 shard : {:>8.4} s\n  {} shards: {:>8.4} s\n  speedup : {:>8.2}x",
+        sh.seq_wall_seconds, sh.shards, sh.sharded_wall_seconds, sh.speedup
+    );
+
+    let json = render_suite_json(&report);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write scenario report");
+    println!("\nwrote {out_path}");
+}

@@ -18,8 +18,8 @@ fn main() {
 
     let config = ThroughputConfig::default_workload(seed);
     println!(
-        "Batched replay: 7-type game, {} history days, {} test days, seed {seed}",
-        config.history_days, config.test_days
+        "Batched replay: scenario {:?} at its registered layout, seed {seed}",
+        config.scenario
     );
     let report = throughput_experiment(&config);
 

@@ -4,9 +4,8 @@
 //! (so the binaries, benches and tests can all consume them) and uses the
 //! public APIs of the workspace crates exactly as a downstream user would.
 
-use sag_core::engine::{AuditCycleEngine, BudgetAccounting, CycleResult, EngineConfig};
+use sag_core::engine::{AuditCycleEngine, CycleResult, EngineConfig};
 use sag_core::metrics::{ExperimentSummary, UtilitySeries};
-use sag_core::model::GameConfig;
 use sag_forecast::RollbackPolicy;
 use sag_sim::stream::daily_count_stats;
 use sag_sim::{AlertCatalog, DayLog, StreamConfig, StreamGenerator};
@@ -233,9 +232,8 @@ pub fn rollback_ablation(seed: u64, history_days: u32, test_days: u32) -> Rollba
         let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(seed));
         let (history, tests) = gen.generate_split(history_days, test_days);
         let config = EngineConfig {
-            game: GameConfig::paper_multi_type(),
             rollback,
-            accounting: BudgetAccounting::Expected,
+            ..EngineConfig::paper_multi_type()
         };
         let engine = AuditCycleEngine::new(config).expect("valid configuration");
         let cycles: Vec<CycleResult> = tests

@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod scenario_suite;
 pub mod setup;
 pub mod sweeps;
 pub mod throughput;
@@ -24,6 +25,10 @@ pub use experiments::{
     figure2_experiment, figure3_experiment, rollback_ablation, run_figure_experiment,
     runtime_experiment, table1_experiment, ExperimentOutput, FigureExperimentConfig,
     RollbackAblation, RuntimeStats, Table1Row,
+};
+pub use scenario_suite::{
+    render_suite_json, scenario_suite, ScenarioReport, ScenarioSuiteReport, ShardingReport,
+    SuiteConfig,
 };
 pub use sweeps::{budget_sweep, rolling_groups_parallel, BudgetSweepPoint, GroupResult};
 pub use throughput::{

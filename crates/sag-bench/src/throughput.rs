@@ -1,19 +1,23 @@
 //! End-to-end throughput measurement of the per-alert solve chain.
 //!
-//! Replays multi-day alert logs through [`AuditCycleEngine::replay_batch`]
-//! (the batched, warm-started engine entry point) and reports the metrics
-//! future PRs track for regressions: alerts per second, per-alert latency
-//! percentiles, simplex pivots per LP and the warm-start hit rate — plus a
-//! direct warm-vs-cold comparison of the SSE solver on a 5-type game, which
-//! is the headline speedup of the warm-start machinery.
+//! Replays a registered scenario workload through the engine's sharded batch
+//! driver and reports the metrics future PRs track for regressions: alerts
+//! per second, per-alert latency percentiles, simplex pivots per LP and the
+//! warm-start hit rate — plus a direct warm-vs-cold comparison of the SSE
+//! solver on a 5-type game, which is the headline speedup of the warm-start
+//! machinery.
+//!
+//! The workload comes from the `sag-scenarios` registry (default:
+//! `paper-baseline`), so this bench and `repro_scenarios` can never drift
+//! apart on what they replay.
 //!
 //! The [`render_json`] output is written to `BENCH_1.json` by the
 //! `repro_throughput` binary.
 
 use crate::setup;
-use sag_core::engine::{AuditCycleEngine, CycleResult, EngineConfig};
 use sag_core::sse::{SseCache, SseSolver};
-use sag_sim::{AlertLog, StreamConfig, StreamGenerator};
+use sag_core::CycleResult;
+use sag_scenarios::{find_scenario, run_scenario_sized};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -22,22 +26,26 @@ use std::time::Instant;
 pub struct ThroughputConfig {
     /// RNG seed of the synthetic alert stream.
     pub seed: u64,
-    /// Days of history fitted before each test day.
-    pub history_days: u32,
-    /// Number of test days replayed (one batch job per day).
-    pub test_days: u32,
+    /// Registry name of the scenario supplying the replayed workload.
+    pub scenario: &'static str,
+    /// Override of the scenario's history-day count (`None` = its default).
+    pub history_days: Option<u32>,
+    /// Override of the scenario's test-day count (`None` = its default).
+    pub test_days: Option<u32>,
     /// Solves per arm of the warm-vs-cold 5-type comparison.
     pub comparison_solves: usize,
 }
 
 impl ThroughputConfig {
-    /// The default workload: the paper's 7-type game over a 15-day log.
+    /// The default workload: the `paper-baseline` scenario (the paper's
+    /// 7-type game over a 15-day log) exactly as registered.
     #[must_use]
     pub fn default_workload(seed: u64) -> Self {
         ThroughputConfig {
             seed,
-            history_days: 10,
-            test_days: 5,
+            scenario: "paper-baseline",
+            history_days: None,
+            test_days: None,
             comparison_solves: 2_000,
         }
     }
@@ -74,24 +82,31 @@ pub struct ThroughputReport {
 ///
 /// # Panics
 ///
-/// Panics if the paper engine configuration is rejected or a replay fails,
-/// both of which indicate workspace bugs rather than user errors.
+/// Panics if the configured scenario is not registered, its engine
+/// configuration is rejected, or a replay fails — all workspace bugs rather
+/// than user errors.
 #[must_use]
 pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
-    let mut generator = StreamGenerator::new(StreamConfig::paper_multi_type(config.seed));
-    let log = AlertLog::new(generator.generate_days(config.history_days + config.test_days));
-    let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type())
-        .expect("paper configuration is valid");
-    let groups = log.rolling_groups(config.history_days as usize);
-
-    let started = Instant::now();
-    let cycles = engine
-        .replay_batch(&groups)
-        .expect("batched replay succeeds");
-    let wall_seconds = started.elapsed().as_secs_f64();
+    let scenario = find_scenario(config.scenario)
+        .unwrap_or_else(|| panic!("scenario {:?} is not registered", config.scenario));
+    let history_days = config
+        .history_days
+        .unwrap_or_else(|| scenario.history_days());
+    let test_days = config.test_days.unwrap_or_else(|| scenario.test_days());
+    // Always a single shard: BENCH_1 tracks the *solve chain* (per-alert
+    // latency, pivots, warm hits) and must stay comparable across machines
+    // with different core counts; multi-core scaling is BENCH_2's sharding
+    // section.
+    let run = run_scenario_sized(scenario.as_ref(), config.seed, 1, history_days, test_days)
+        .expect("scenario replay succeeds");
 
     let (warm_micros_5type, cold_micros_5type) = warm_vs_cold_5type(config.comparison_solves);
-    summarize(&cycles, wall_seconds, warm_micros_5type, cold_micros_5type)
+    summarize(
+        &run.cycles,
+        run.wall_seconds,
+        warm_micros_5type,
+        cold_micros_5type,
+    )
 }
 
 /// Aggregate replayed cycles into a report.
@@ -250,8 +265,9 @@ mod tests {
     fn quick_throughput_run_produces_consistent_metrics() {
         let config = ThroughputConfig {
             seed: 5,
-            history_days: 6,
-            test_days: 2,
+            scenario: "paper-baseline",
+            history_days: Some(6),
+            test_days: Some(2),
             comparison_solves: 50,
         };
         let report = throughput_experiment(&config);

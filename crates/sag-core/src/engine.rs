@@ -22,9 +22,9 @@
 use crate::model::GameConfig;
 use crate::offline::OfflineSse;
 use crate::scheme::SignalingScheme;
-use crate::signaling::ossp_closed_form;
+use crate::signaling::{evaluate_scheme_under_noise, ossp_closed_form};
 use crate::sse::{SseCache, SseCacheTotals, SseInput, SseSolution, SseSolveStats, SseSolver};
-use crate::Result;
+use crate::{Result, SagError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sag_forecast::{ArrivalModel, FutureAlertEstimator, RollbackPolicy};
@@ -55,27 +55,61 @@ pub struct EngineConfig {
     pub rollback: RollbackPolicy,
     /// Budget accounting mode.
     pub accounting: BudgetAccounting,
+    /// Exponential day weighting of the arrival fit: a history day aged `a`
+    /// days contributes weight `forecast_decay^a`. `1.0` (the paper's
+    /// estimator) pools all days uniformly; values below 1 track drifting
+    /// workloads. Must lie in `(0, 1]`.
+    pub forecast_decay: f64,
+    /// Probability that the attacker misperceives the delivered signal (a
+    /// leaky warning channel). `0.0` (the paper's model) means a perfect
+    /// channel; positive values re-evaluate every committed scheme under
+    /// the attacker's noisy Bayesian posterior. Must lie in `[0, 1]`.
+    pub signal_noise: f64,
 }
 
 impl EngineConfig {
+    /// The paper's configuration knobs on top of an explicit game: uniform
+    /// forecast pooling, default rollback, expected-cost accounting, perfect
+    /// signal channel.
+    #[must_use]
+    pub fn paper_defaults(game: GameConfig) -> Self {
+        EngineConfig {
+            game,
+            rollback: RollbackPolicy::paper_default(),
+            accounting: BudgetAccounting::Expected,
+            forecast_decay: 1.0,
+            signal_noise: 0.0,
+        }
+    }
+
     /// The paper's single-type setup (Figure 2).
     #[must_use]
     pub fn paper_single_type() -> Self {
-        EngineConfig {
-            game: GameConfig::paper_single_type(),
-            rollback: RollbackPolicy::paper_default(),
-            accounting: BudgetAccounting::Expected,
-        }
+        Self::paper_defaults(GameConfig::paper_single_type())
     }
 
     /// The paper's multi-type setup (Figure 3).
     #[must_use]
     pub fn paper_multi_type() -> Self {
-        EngineConfig {
-            game: GameConfig::paper_multi_type(),
-            rollback: RollbackPolicy::paper_default(),
-            accounting: BudgetAccounting::Expected,
+        Self::paper_defaults(GameConfig::paper_multi_type())
+    }
+
+    /// Validate the engine-level knobs on top of the game's own validation.
+    fn validate(&self) -> Result<()> {
+        self.game.validate()?;
+        if !(self.forecast_decay > 0.0 && self.forecast_decay <= 1.0) {
+            return Err(SagError::InvalidConfig(format!(
+                "forecast_decay must be in (0, 1], got {}",
+                self.forecast_decay
+            )));
         }
+        if !(self.signal_noise >= 0.0 && self.signal_noise <= 1.0) {
+            return Err(SagError::InvalidConfig(format!(
+                "signal_noise must be in [0, 1], got {}",
+                self.signal_noise
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -218,6 +252,58 @@ pub struct AuditCycleEngine {
     solver: SseSolver,
 }
 
+/// One unit of replay work: a history window, the test day replayed against
+/// it, and an optional per-cycle budget override (budget schedules).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayJob<'a> {
+    /// Historical days the forecaster is fitted on.
+    pub history: &'a [DayLog],
+    /// The day whose alerts are replayed.
+    pub test_day: &'a DayLog,
+    /// Budget for this cycle; `None` uses the game's configured budget.
+    pub budget: Option<f64>,
+}
+
+impl<'a> ReplayJob<'a> {
+    /// A job with the game's default budget.
+    #[must_use]
+    pub fn new(history: &'a [DayLog], test_day: &'a DayLog) -> Self {
+        ReplayJob {
+            history,
+            test_day,
+            budget: None,
+        }
+    }
+
+    /// A job with an explicit cycle budget (budget-schedule scenarios).
+    #[must_use]
+    pub fn with_budget(history: &'a [DayLog], test_day: &'a DayLog, budget: f64) -> Self {
+        ReplayJob {
+            history,
+            test_day,
+            budget: Some(budget),
+        }
+    }
+}
+
+/// The shard count [`AuditCycleEngine::replay_batch`] picks for a batch of
+/// `num_jobs` day jobs: one shard per available core under the `parallel`
+/// feature (capped at the job count), a single shard otherwise.
+#[must_use]
+pub fn recommended_shards(num_jobs: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(num_jobs.max(1))
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = num_jobs;
+        1
+    }
+}
+
 impl AuditCycleEngine {
     /// Create an engine after validating the configuration.
     ///
@@ -226,7 +312,7 @@ impl AuditCycleEngine {
     /// Returns [`crate::SagError::InvalidConfig`] for inconsistent
     /// configurations.
     pub fn new(config: EngineConfig) -> Result<Self> {
-        config.game.validate()?;
+        config.validate()?;
         Ok(AuditCycleEngine {
             config,
             solver: SseSolver::new(),
@@ -246,81 +332,122 @@ impl AuditCycleEngine {
     ///
     /// Propagates solver errors (which do not occur for valid configurations).
     pub fn run_day(&self, history: &[DayLog], test_day: &DayLog) -> Result<CycleResult> {
-        self.run_day_cached(history, test_day, &mut ReplayCaches::default())
+        self.run_day_cached(
+            &ReplayJob::new(history, test_day),
+            &mut ReplayCaches::default(),
+        )
     }
 
-    /// Replay many `(history, test-day)` jobs over shared solver state: the
-    /// SSE warm-start caches persist across days, so after the first day
-    /// virtually every candidate LP starts from a near-optimal basis. With
-    /// the `parallel` feature the jobs are fanned out over
-    /// `std::thread::scope` threads (each thread owns its own caches, so
-    /// results are identical to the sequential replay).
+    /// Replay many `(history, test-day)` jobs, sharded over
+    /// [`recommended_shards`] shards. Equivalent to
+    /// [`replay_sharded`](Self::replay_sharded) with the default shard
+    /// count; every day replays bitwise-identically regardless of sharding.
     ///
     /// # Errors
     ///
     /// Propagates solver errors (which do not occur for valid
     /// configurations).
     pub fn replay_batch(&self, jobs: &[(&[DayLog], &DayLog)]) -> Result<Vec<CycleResult>> {
+        let jobs: Vec<ReplayJob<'_>> = jobs
+            .iter()
+            .map(|&(history, test_day)| ReplayJob::new(history, test_day))
+            .collect();
+        self.replay_sharded(&jobs, recommended_shards(jobs.len()))
+    }
+
+    /// Replay a batch of day jobs partitioned into `shards` contiguous
+    /// shards. Each shard owns its own solver caches (simplex workspaces and
+    /// cached candidate LPs), replays its jobs sequentially, and — with the
+    /// `parallel` feature — runs on its own `std::thread::scope` thread.
+    ///
+    /// Every day starts from a cold warm-start state (see
+    /// [`SseCache::reset_warm_state`]), which makes each [`CycleResult`] a
+    /// pure function of its job: the output is **bitwise identical** for
+    /// every shard count, with or without the `parallel` feature. Sharding
+    /// therefore only changes wall-clock time, never results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (which do not occur for valid
+    /// configurations).
+    pub fn replay_sharded(
+        &self,
+        jobs: &[ReplayJob<'_>],
+        shards: usize,
+    ) -> Result<Vec<CycleResult>> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shards = shards.clamp(1, jobs.len());
+        let chunk_size = jobs.len().div_ceil(shards);
+
         #[cfg(feature = "parallel")]
-        {
-            let threads = std::thread::available_parallelism()
-                .map_or(1, usize::from)
-                .min(jobs.len().max(1));
-            if threads > 1 {
-                return self.replay_batch_parallel(jobs, threads);
+        if shards > 1 {
+            let mut results: Vec<Option<Result<CycleResult>>> =
+                (0..jobs.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (job_chunk, result_chunk) in
+                    jobs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
+                {
+                    scope.spawn(move || {
+                        let mut caches = ReplayCaches::default();
+                        for (job, out) in job_chunk.iter().zip(result_chunk.iter_mut()) {
+                            *out = Some(self.run_day_cached(job, &mut caches));
+                        }
+                    });
+                }
+            });
+            return results
+                .into_iter()
+                .map(|r| r.expect("every job replayed"))
+                .collect();
+        }
+
+        let mut results = Vec::with_capacity(jobs.len());
+        for job_chunk in jobs.chunks(chunk_size) {
+            let mut caches = ReplayCaches::default();
+            for job in job_chunk {
+                results.push(self.run_day_cached(job, &mut caches)?);
             }
         }
-        let mut caches = ReplayCaches::default();
-        jobs.iter()
-            .map(|(history, test_day)| self.run_day_cached(history, test_day, &mut caches))
-            .collect()
+        Ok(results)
     }
 
-    /// Fan a replay batch out over scoped threads, one cache set per thread.
-    #[cfg(feature = "parallel")]
-    fn replay_batch_parallel(
-        &self,
-        jobs: &[(&[DayLog], &DayLog)],
-        threads: usize,
-    ) -> Result<Vec<CycleResult>> {
-        let chunk_size = jobs.len().div_ceil(threads);
-        let mut results: Vec<Option<Result<CycleResult>>> = (0..jobs.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (job_chunk, result_chunk) in
-                jobs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
-            {
-                scope.spawn(move || {
-                    let mut caches = ReplayCaches::default();
-                    for ((history, test_day), out) in job_chunk.iter().zip(result_chunk.iter_mut())
-                    {
-                        *out = Some(self.run_day_cached(history, test_day, &mut caches));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every job replayed"))
-            .collect()
-    }
-
-    /// Replay one audit cycle over caller-provided warm-start caches.
+    /// Replay one audit cycle over caller-provided solver caches.
+    ///
+    /// The caches' warm-start state is reset on entry (day boundaries start
+    /// cold — see [`Self::replay_sharded`]); what carries over between days
+    /// is the allocated simplex workspaces and cached candidate LPs, keeping
+    /// the steady state allocation-free.
     fn run_day_cached(
         &self,
-        history: &[DayLog],
-        test_day: &DayLog,
+        job: &ReplayJob<'_>,
         caches: &mut ReplayCaches,
     ) -> Result<CycleResult> {
+        let ReplayJob {
+            history, test_day, ..
+        } = *job;
+        caches.ossp.reset_warm_state();
+        caches.online.reset_warm_state();
+
+        if let Some(budget) = job.budget {
+            if !budget.is_finite() || budget < 0.0 {
+                return Err(SagError::InvalidConfig(format!(
+                    "invalid job budget {budget}"
+                )));
+            }
+        }
         let game = &self.config.game;
+        let cycle_budget = job.budget.unwrap_or(game.budget);
         let n = game.num_types();
-        let model = ArrivalModel::fit(history, n);
+        let model = ArrivalModel::fit_weighted(history, n, self.config.forecast_decay);
         let mut estimator = FutureAlertEstimator::new(model, self.config.rollback);
 
         let offline = OfflineSse::solve(
             &game.payoffs,
             &game.audit_costs,
             &estimator.expected_daily_totals(),
-            game.budget,
+            cycle_budget,
         )?;
 
         let mut rng = match self.config.accounting {
@@ -328,8 +455,8 @@ impl AuditCycleEngine {
             BudgetAccounting::Expected => None,
         };
 
-        let mut budget_ossp = game.budget;
-        let mut budget_online = game.budget;
+        let mut budget_ossp = cycle_budget;
+        let mut budget_online = cycle_budget;
         let mut outcomes = Vec::with_capacity(test_day.len());
         let totals_at_start = caches.ossp.totals;
 
@@ -344,7 +471,16 @@ impl AuditCycleEngine {
             let ossp_applied = alert.type_id == sse_ossp.best_response;
             let (ossp_scheme, ossp_utility, ossp_attacker_utility, ossp_deterred) = if ossp_applied
             {
-                let ossp = ossp_closed_form(type_payoffs, coverage_ossp);
+                let mut ossp = ossp_closed_form(type_payoffs, coverage_ossp);
+                if self.config.signal_noise > 0.0 {
+                    // Leaky channel: keep the committed scheme but score it
+                    // under the attacker's noisy Bayesian posterior.
+                    ossp = evaluate_scheme_under_noise(
+                        type_payoffs,
+                        &ossp.scheme,
+                        self.config.signal_noise,
+                    );
+                }
                 (
                     ossp.scheme,
                     ossp.auditor_utility,
@@ -664,6 +800,155 @@ mod tests {
                 assert!((a.budget_after_ossp - b.budget_after_ossp).abs() < 1e-9);
             }
         }
+    }
+
+    /// A cycle result with the wall-clock timing field zeroed, so replays of
+    /// the same job can be compared for exact (bitwise) equality.
+    fn untimed(mut cycle: CycleResult) -> CycleResult {
+        for o in &mut cycle.outcomes {
+            o.solve_micros = 0;
+        }
+        cycle
+    }
+
+    #[test]
+    fn sharded_replay_is_bitwise_identical_for_every_shard_count() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(29));
+        let days = gen.generate_days(16);
+        let log = AlertLog::new(days);
+        let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap();
+        let groups = log.rolling_groups(10);
+        assert_eq!(groups.len(), 6);
+        let jobs: Vec<ReplayJob<'_>> = groups.iter().map(|&(h, t)| ReplayJob::new(h, t)).collect();
+
+        let reference: Vec<CycleResult> = engine
+            .replay_sharded(&jobs, 1)
+            .unwrap()
+            .into_iter()
+            .map(untimed)
+            .collect();
+        for shards in [2, 3, 4, 6, 99] {
+            let sharded: Vec<CycleResult> = engine
+                .replay_sharded(&jobs, shards)
+                .unwrap()
+                .into_iter()
+                .map(untimed)
+                .collect();
+            assert_eq!(reference, sharded, "shards = {shards}");
+        }
+        // replay_batch is the same computation at the default shard count.
+        let batch: Vec<CycleResult> = engine
+            .replay_batch(&groups)
+            .unwrap()
+            .into_iter()
+            .map(untimed)
+            .collect();
+        assert_eq!(reference, batch);
+    }
+
+    #[test]
+    fn budget_override_drives_the_whole_cycle() {
+        let (history, test_day) = multi_type_setup(41);
+        let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap();
+        let starved = engine
+            .replay_sharded(&[ReplayJob::with_budget(&history, &test_day, 0.0)], 1)
+            .unwrap()
+            .remove(0);
+        // Zero budget: no coverage anywhere, in either world.
+        for o in &starved.outcomes {
+            assert_eq!(o.budget_after_ossp, 0.0);
+            assert!(o.coverage_ossp.abs() < 1e-9);
+            assert!(o.coverage_online.abs() < 1e-9);
+        }
+        let default = engine
+            .replay_sharded(&[ReplayJob::new(&history, &test_day)], 1)
+            .unwrap()
+            .remove(0);
+        let explicit = engine
+            .replay_sharded(
+                &[ReplayJob::with_budget(
+                    &history,
+                    &test_day,
+                    engine.config().game.budget,
+                )],
+                1,
+            )
+            .unwrap()
+            .remove(0);
+        assert_eq!(untimed(default), untimed(explicit));
+    }
+
+    #[test]
+    fn malformed_job_budgets_are_rejected() {
+        let (history, test_day) = multi_type_setup(61);
+        let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let result =
+                engine.replay_sharded(&[ReplayJob::with_budget(&history, &test_day, bad)], 1);
+            assert!(
+                matches!(result, Err(crate::SagError::InvalidConfig(_))),
+                "budget {bad} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn signal_noise_degrades_ossp_towards_the_online_sse() {
+        let (history, test_day) = multi_type_setup(47);
+        let clean = AuditCycleEngine::new(EngineConfig::paper_multi_type())
+            .unwrap()
+            .run_day(&history, &test_day)
+            .unwrap();
+        let mut noisy_config = EngineConfig::paper_multi_type();
+        noisy_config.signal_noise = 0.2;
+        let noisy = AuditCycleEngine::new(noisy_config)
+            .unwrap()
+            .run_day(&history, &test_day)
+            .unwrap();
+        assert_eq!(clean.len(), noisy.len());
+        assert!(
+            noisy.mean_ossp_utility() < clean.mean_ossp_utility(),
+            "leaky channel should cost the auditor: {} vs {}",
+            noisy.mean_ossp_utility(),
+            clean.mean_ossp_utility()
+        );
+        // The committed schemes themselves are unchanged; only their scoring
+        // (and hence nothing about budget consumption) moves.
+        for (a, b) in clean.outcomes.iter().zip(&noisy.outcomes) {
+            assert_eq!(a.ossp_scheme, b.ossp_scheme);
+            assert_eq!(a.budget_after_ossp, b.budget_after_ossp);
+        }
+    }
+
+    #[test]
+    fn forecast_decay_changes_estimates_only_under_drift() {
+        // A strongly decayed fit on a stationary stream stays close to the
+        // uniform fit; both replay without error and produce valid results.
+        let (history, test_day) = multi_type_setup(53);
+        let mut config = EngineConfig::paper_multi_type();
+        config.forecast_decay = 0.7;
+        let decayed = AuditCycleEngine::new(config)
+            .unwrap()
+            .run_day(&history, &test_day)
+            .unwrap();
+        assert_eq!(decayed.len(), test_day.len());
+        assert!((decayed.fraction_ossp_not_worse() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_knobs_are_validated() {
+        let mut bad = EngineConfig::paper_multi_type();
+        bad.forecast_decay = 0.0;
+        assert!(AuditCycleEngine::new(bad).is_err());
+        let mut bad = EngineConfig::paper_multi_type();
+        bad.forecast_decay = 1.5;
+        assert!(AuditCycleEngine::new(bad).is_err());
+        let mut bad = EngineConfig::paper_multi_type();
+        bad.signal_noise = -0.1;
+        assert!(AuditCycleEngine::new(bad).is_err());
+        let mut bad = EngineConfig::paper_multi_type();
+        bad.signal_noise = 1.1;
+        assert!(AuditCycleEngine::new(bad).is_err());
     }
 
     #[test]

@@ -40,12 +40,14 @@ pub mod sse;
 pub mod theorems;
 
 pub use bayesian::{AttackerProfile, BayesianSseInput, BayesianSseSolver};
-pub use engine::{AlertOutcome, AuditCycleEngine, CycleResult, EngineConfig};
+pub use engine::{
+    recommended_shards, AlertOutcome, AuditCycleEngine, CycleResult, EngineConfig, ReplayJob,
+};
 pub use model::{GameConfig, PayoffTable, Payoffs};
 pub use offline::OfflineSse;
 pub use robust::{evaluate_against_oblivious, robust_ossp, RobustOsspSolution};
 pub use scheme::SignalingScheme;
-pub use signaling::{ossp_closed_form, ossp_lp, OsspSolution};
+pub use signaling::{evaluate_scheme_under_noise, ossp_closed_form, ossp_lp, OsspSolution};
 pub use sse::{SseInput, SseSolution, SseSolver};
 
 /// Crate-wide error type.

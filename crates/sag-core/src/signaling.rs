@@ -84,6 +84,69 @@ pub fn ossp_closed_form(payoffs: &Payoffs, theta: f64) -> OsspSolution {
     }
 }
 
+/// Evaluate a committed signaling scheme under a *leaky* signal channel: the
+/// attacker observes the delivered signal only through a binary symmetric
+/// channel that flips it with probability `noise`.
+///
+/// The attacker is rational about the leak: knowing the scheme and the noise
+/// level, he performs the Bayesian update `P(audit | perceived signal)` and
+/// attacks exactly when his posterior expected utility is positive. The
+/// auditor's audit action still follows the committed joint scheme, so the
+/// expected budget consumption is unchanged; only the realised utilities
+/// move. With `noise = 0` this reproduces the noiseless OSSP semantics
+/// (a warned attacker quits, an unwarned one attacks when profitable).
+///
+/// This is the evaluation behind the `noisy-evidence` scenario: signaling
+/// schemes tuned for a perfect channel can lose their edge once warnings
+/// leak, as in signaling games with evidence (Pawlick et al.).
+#[must_use]
+pub fn evaluate_scheme_under_noise(
+    payoffs: &Payoffs,
+    scheme: &SignalingScheme,
+    noise: f64,
+) -> OsspSolution {
+    let noise = noise.clamp(0.0, 1.0);
+    let uac = payoffs.attacker_covered;
+    let uau = payoffs.attacker_uncovered;
+    let udc = payoffs.auditor_covered;
+    let udu = payoffs.auditor_uncovered;
+
+    // Joint probabilities of (perceived signal, audit): each true branch
+    // leaks into the opposite perception with probability `noise`.
+    let warn_audit = scheme.p1 * (1.0 - noise) + scheme.p0 * noise;
+    let warn_no_audit = scheme.q1 * (1.0 - noise) + scheme.q0 * noise;
+    let silent_audit = scheme.p0 * (1.0 - noise) + scheme.p1 * noise;
+    let silent_no_audit = scheme.q0 * (1.0 - noise) + scheme.q1 * noise;
+
+    let mut auditor_utility = 0.0;
+    let mut attacker_utility = 0.0;
+    let mut attacks_somewhere = false;
+    for (p_audit, p_no_audit) in [(warn_audit, warn_no_audit), (silent_audit, silent_no_audit)] {
+        let mass = p_audit + p_no_audit;
+        if mass <= 0.0 {
+            continue;
+        }
+        // Posterior expected attacker utility given the perceived signal,
+        // scaled by the perception probability (no division needed). The
+        // tolerance absorbs the rounding of knife-edge schemes (the closed
+        // form leaves the warned branch zero only up to 1 ulp), so ties and
+        // near-ties resolve to "quit" as in the noiseless semantics.
+        let attacker_gain = p_audit * uac + p_no_audit * uau;
+        if attacker_gain > 1e-9 {
+            attacks_somewhere = true;
+            attacker_utility += attacker_gain;
+            auditor_utility += p_audit * udc + p_no_audit * udu;
+        }
+    }
+
+    OsspSolution {
+        scheme: *scheme,
+        auditor_utility,
+        attacker_utility,
+        deterred: !attacks_somewhere,
+    }
+}
+
 /// Compute the OSSP by solving LP (3) explicitly with the simplex solver.
 ///
 /// # Errors
@@ -254,6 +317,85 @@ mod tests {
                 } else {
                     assert_eq!(ossp.attacker_utility, 0.0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_evaluation_reproduces_the_closed_form() {
+        let table = PayoffTable::paper_table2();
+        for t in 0..table.len() {
+            let p = table.get(AlertTypeId(t as u16)).to_owned();
+            for i in 0..=20 {
+                let theta = i as f64 / 20.0;
+                let cf = ossp_closed_form(&p, theta);
+                let noisy = evaluate_scheme_under_noise(&p, &cf.scheme, 0.0);
+                assert_close(noisy.auditor_utility, cf.auditor_utility, 1e-9);
+                assert_close(noisy.attacker_utility, cf.attacker_utility, 1e-9);
+                assert_eq!(noisy.deterred, cf.deterred, "type {t} theta {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_warnings_erode_the_auditor_utility() {
+        // theta = 0.05 on type 1: the noiseless OSSP gives the auditor -280.
+        // With a leaky channel some of the "warned" mass is perceived as
+        // silent; the attacker's posterior on the perceived-silent branch
+        // stays profitable, so he attacks into branches that now carry audit
+        // mass — the auditor can only do worse than -280... unless the leak
+        // deters outright. Check monotone-ish degradation at moderate noise.
+        let p = PayoffTable::paper_table2().get(AlertTypeId(0)).to_owned();
+        let cf = ossp_closed_form(&p, 0.05);
+        assert_close(cf.auditor_utility, -280.0, 1e-9);
+        let mut last = cf.auditor_utility;
+        for noise in [0.05, 0.1, 0.2, 0.3] {
+            let noisy = evaluate_scheme_under_noise(&p, &cf.scheme, noise);
+            assert!(
+                noisy.auditor_utility <= last + 1e-9,
+                "noise {noise}: {} > {last}",
+                noisy.auditor_utility
+            );
+            assert!(!noisy.deterred);
+            last = noisy.auditor_utility;
+        }
+    }
+
+    #[test]
+    fn all_warn_deterrence_survives_symmetric_noise() {
+        // theta = 0.3 on type 1 deters outright with a clean channel via an
+        // all-warn scheme (p0 = q0 = 0). A symmetric flip merely splits that
+        // mass across the two perceptions *at the same audit ratio theta*, so
+        // both posteriors stay non-profitable and deterrence holds.
+        let p = PayoffTable::paper_table2().get(AlertTypeId(0)).to_owned();
+        let cf = ossp_closed_form(&p, 0.3);
+        assert!(cf.deterred);
+        for noise in [0.0, 0.1, 0.25, 0.5] {
+            let noisy = evaluate_scheme_under_noise(&p, &cf.scheme, noise);
+            assert!(noisy.deterred, "noise {noise}");
+            assert_eq!(noisy.auditor_utility, 0.0);
+        }
+    }
+
+    #[test]
+    fn any_leak_collapses_the_knife_edge_scheme_to_the_sse_value() {
+        // The non-deterred OSSP leaves a warned attacker *exactly*
+        // indifferent. Any leak mixes the profitable silent branch into the
+        // perceived-warn posterior, tipping it positive — the attacker then
+        // attacks under both perceptions and the auditor's utility falls to
+        // the plain no-signaling SSE value theta*Ud,c + (1-theta)*Ud,u.
+        let table = PayoffTable::paper_table2();
+        for t in 0..table.len() {
+            let p = table.get(AlertTypeId(t as u16)).to_owned();
+            let theta = 0.4 * p.deterrence_threshold();
+            let cf = ossp_closed_form(&p, theta);
+            assert!(!cf.deterred);
+            assert!(cf.auditor_utility > p.auditor_expected(theta));
+            for noise in [0.02, 0.1, 0.3] {
+                let noisy = evaluate_scheme_under_noise(&p, &cf.scheme, noise);
+                assert!(!noisy.deterred);
+                assert_close(noisy.auditor_utility, p.auditor_expected(theta), 1e-9);
+                assert_close(noisy.attacker_utility, p.attacker_expected(theta), 1e-9);
             }
         }
     }

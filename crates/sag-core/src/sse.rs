@@ -271,6 +271,23 @@ impl SseCache {
             self.slots.resize_with(n, CandidateSlot::default);
         }
     }
+
+    /// Forget the recorded warm-start bases (the next solve per candidate
+    /// runs cold) while keeping the allocated programs, workspaces and the
+    /// cumulative [`totals`](Self::totals).
+    ///
+    /// The replay engine calls this at every day boundary: a cold day start
+    /// makes each replayed day a pure function of its own inputs, so batched
+    /// and sharded replays produce bitwise-identical results no matter how
+    /// the days are partitioned, at the cost of one cold solve per day.
+    pub fn reset_warm_state(&mut self) {
+        for slot in &mut self.slots {
+            slot.basis.clear();
+            if let Some(last) = slot.last.take() {
+                slot.workspace.recycle(last);
+            }
+        }
+    }
 }
 
 /// Solver for the online SSE (the multiple-LP method over [`sag_lp`]).

@@ -5,46 +5,105 @@
 //! after time `τ` on a typical day is then simply the number of pooled
 //! arrivals strictly later than `τ` divided by the number of historical days —
 //! the empirical mean the paper estimates from its 41-day history windows.
+//!
+//! Non-stationary workloads (per-type volumes drifting day over day) break
+//! the uniform pooling: the estimate lags the trend by half the history
+//! window. [`ArrivalModel::fit_weighted`] therefore supports exponential
+//! *day decay*: a history day aged `a` days contributes weight `decay^a`, so
+//! recent days dominate the estimate. `decay = 1` recovers the paper's
+//! uniform pooling exactly.
 
 use sag_sim::{AlertTypeId, DayLog, TimeOfDay};
+
+/// Pooled arrival times of one alert type with day-weight suffix sums.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct TypePool {
+    /// Sorted arrival seconds.
+    times: Vec<u32>,
+    /// `suffix_weight[i]` = total day weight of arrivals `times[i..]`;
+    /// one element longer than `times` so the empty suffix is representable.
+    suffix_weight: Vec<f64>,
+}
+
+impl TypePool {
+    fn build(mut arrivals: Vec<(u32, f64)>) -> Self {
+        arrivals.sort_by_key(|&(time, _)| time);
+        let mut suffix_weight = vec![0.0; arrivals.len() + 1];
+        for (i, &(_, w)) in arrivals.iter().enumerate().rev() {
+            suffix_weight[i] = suffix_weight[i + 1] + w;
+        }
+        TypePool {
+            times: arrivals.into_iter().map(|(time, _)| time).collect(),
+            suffix_weight,
+        }
+    }
+
+    /// Total weight of arrivals strictly after `time`.
+    fn weight_after(&self, time: TimeOfDay) -> f64 {
+        let idx = self.times.partition_point(|&s| s <= time.seconds());
+        self.suffix_weight[idx]
+    }
+}
 
 /// Empirical arrival model: expected remaining alerts per type vs. time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalModel {
-    /// Pooled sorted arrival seconds per type.
-    pooled_times: Vec<Vec<u32>>,
+    /// Pooled sorted arrival times per type, with day-weight suffix sums.
+    pools: Vec<TypePool>,
     /// Number of historical days the model was fitted on.
     num_days: usize,
+    /// Total day weight (equals `num_days` for uniform pooling).
+    total_weight: f64,
 }
 
 impl ArrivalModel {
-    /// Fit the model on historical day logs for `num_types` alert types.
+    /// Fit the model on historical day logs for `num_types` alert types,
+    /// weighting every day equally (the paper's estimator).
     ///
     /// Days may contain types outside `0..num_types`; those alerts are
     /// ignored. An empty history yields a model that predicts zero arrivals.
     #[must_use]
     pub fn fit(history: &[DayLog], num_types: usize) -> Self {
-        let mut pooled: Vec<Vec<u32>> = vec![Vec::new(); num_types];
-        for day in history {
+        Self::fit_weighted(history, num_types, 1.0)
+    }
+
+    /// Fit the model with exponential day decay: the most recent history day
+    /// has weight 1, the day before `day_decay`, the one before that
+    /// `day_decay²`, and so on. `day_decay = 1` is the uniform fit; values
+    /// below 1 track non-stationary (drifting) arrival volumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < day_decay <= 1`.
+    #[must_use]
+    pub fn fit_weighted(history: &[DayLog], num_types: usize, day_decay: f64) -> Self {
+        assert!(
+            day_decay > 0.0 && day_decay <= 1.0,
+            "day_decay must be in (0, 1], got {day_decay}"
+        );
+        let mut pooled: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_types];
+        let mut total_weight = 0.0;
+        for (pos, day) in history.iter().enumerate() {
+            let age = (history.len() - 1 - pos) as i32;
+            let weight = day_decay.powi(age);
+            total_weight += weight;
             for alert in day.alerts() {
                 if alert.type_id.index() < num_types {
-                    pooled[alert.type_id.index()].push(alert.time.seconds());
+                    pooled[alert.type_id.index()].push((alert.time.seconds(), weight));
                 }
             }
         }
-        for times in &mut pooled {
-            times.sort_unstable();
-        }
         ArrivalModel {
-            pooled_times: pooled,
+            pools: pooled.into_iter().map(TypePool::build).collect(),
             num_days: history.len(),
+            total_weight,
         }
     }
 
     /// Number of alert types the model covers.
     #[must_use]
     pub fn num_types(&self) -> usize {
-        self.pooled_times.len()
+        self.pools.len()
     }
 
     /// Number of historical days the model was fitted on.
@@ -54,18 +113,18 @@ impl ArrivalModel {
     }
 
     /// Expected number of alerts of `type_id` arriving strictly after `time`
-    /// on a typical day.
+    /// on a typical day (day-weighted when fitted with
+    /// [`fit_weighted`](Self::fit_weighted)).
     #[must_use]
     pub fn expected_remaining(&self, type_id: AlertTypeId, time: TimeOfDay) -> f64 {
         if self.num_days == 0 {
             return 0.0;
         }
-        let times = match self.pooled_times.get(type_id.index()) {
-            Some(t) => t,
+        let pool = match self.pools.get(type_id.index()) {
+            Some(p) => p,
             None => return 0.0,
         };
-        let idx = times.partition_point(|&s| s <= time.seconds());
-        (times.len() - idx) as f64 / self.num_days as f64
+        pool.weight_after(time) / self.total_weight
     }
 
     /// Expected remaining alerts after `time` for every type, ordered by type.
@@ -169,6 +228,46 @@ mod tests {
                 info.daily_mean
             );
         }
+    }
+
+    #[test]
+    fn weighted_fit_with_unit_decay_matches_uniform_fit() {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(19));
+        let history = gen.generate_days(12);
+        let uniform = ArrivalModel::fit(&history, 7);
+        let weighted = ArrivalModel::fit_weighted(&history, 7, 1.0);
+        for t in 0..7u16 {
+            for hour in 0..24 {
+                let now = TimeOfDay::from_hms(hour, 17, 0);
+                assert_eq!(
+                    uniform.expected_remaining(AlertTypeId(t), now),
+                    weighted.expected_remaining(AlertTypeId(t), now),
+                    "type {t} hour {hour}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn day_decay_favours_recent_days() {
+        // Old day: 8 alerts; recent day: 2 alerts. The uniform estimate is 5;
+        // with strong decay the estimate approaches the recent day's 2.
+        let old_day = DayLog::new(0, (0..8).map(|i| alert(0, 9 + i % 8, 0, 0)).collect());
+        let new_day = DayLog::new(1, (0..2).map(|i| alert(1, 9 + i, 0, 0)).collect());
+        let history = vec![old_day, new_day];
+        let uniform = ArrivalModel::fit(&history, 1);
+        assert!((uniform.expected_daily_total(AlertTypeId(0)) - 5.0).abs() < 1e-12);
+        let decayed = ArrivalModel::fit_weighted(&history, 1, 0.25);
+        // (8*0.25 + 2*1.0) / (0.25 + 1.0) = 3.2
+        assert!((decayed.expected_daily_total(AlertTypeId(0)) - 3.2).abs() < 1e-12);
+        let strongly = ArrivalModel::fit_weighted(&history, 1, 0.01);
+        assert!(strongly.expected_daily_total(AlertTypeId(0)) < 2.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "day_decay")]
+    fn out_of_range_decay_is_rejected() {
+        let _ = ArrivalModel::fit_weighted(&[], 1, 0.0);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Replays scenarios through the engine's sharded batch driver and
+//! aggregates the metrics `BENCH_2.json` tracks.
+
+use crate::scenario::Scenario;
+use sag_core::engine::{AuditCycleEngine, ReplayJob};
+use sag_core::sse::SseCacheTotals;
+use sag_core::{CycleResult, Result};
+use std::time::Instant;
+
+/// The outcome of replaying one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Registry name of the scenario.
+    pub name: &'static str,
+    /// Shard count the replay ran with.
+    pub shards: usize,
+    /// Wall-clock time of the sharded replay (excluding log generation).
+    pub wall_seconds: f64,
+    /// Per-day cycle results, in day order.
+    pub cycles: Vec<CycleResult>,
+}
+
+impl ScenarioRun {
+    /// Total alerts replayed.
+    #[must_use]
+    pub fn alerts(&self) -> usize {
+        self.cycles.iter().map(CycleResult::len).sum()
+    }
+
+    /// End-to-end replay throughput in alerts per second.
+    #[must_use]
+    pub fn alerts_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.alerts() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Summed solver-work counters across all replayed days.
+    #[must_use]
+    pub fn sse_totals(&self) -> SseCacheTotals {
+        let mut totals = SseCacheTotals::default();
+        for c in &self.cycles {
+            totals.solves += c.sse_totals.solves;
+            totals.lp_solves += c.sse_totals.lp_solves;
+            totals.warm_attempts += c.sse_totals.warm_attempts;
+            totals.warm_hits += c.sse_totals.warm_hits;
+            totals.pivots += c.sse_totals.pivots;
+            totals.fast_path_solves += c.sse_totals.fast_path_solves;
+        }
+        totals
+    }
+
+    /// Alert-weighted mean of a per-outcome quantity.
+    fn mean_outcome(&self, value: impl Fn(&sag_core::AlertOutcome) -> f64) -> f64 {
+        let alerts = self.alerts();
+        if alerts == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .cycles
+            .iter()
+            .flat_map(|c| c.outcomes.iter())
+            .map(value)
+            .sum();
+        sum / alerts as f64
+    }
+
+    /// Mean per-alert auditor utility under the OSSP.
+    #[must_use]
+    pub fn mean_ossp(&self) -> f64 {
+        self.mean_outcome(|o| o.ossp_utility)
+    }
+
+    /// Mean per-alert auditor utility under the online SSE.
+    #[must_use]
+    pub fn mean_online(&self) -> f64 {
+        self.mean_outcome(|o| o.online_sse_utility)
+    }
+
+    /// Mean per-alert auditor utility under the offline SSE baseline.
+    #[must_use]
+    pub fn mean_offline(&self) -> f64 {
+        self.mean_outcome(|o| o.offline_sse_utility)
+    }
+
+    /// Fraction of alerts where the OSSP is no worse than the online SSE.
+    #[must_use]
+    pub fn fraction_ossp_not_worse(&self) -> f64 {
+        self.mean_outcome(|o| f64::from(u8::from(o.ossp_utility >= o.online_sse_utility - 1e-9)))
+    }
+
+    /// Fraction of alerts on which the OSSP fully deterred the attack.
+    #[must_use]
+    pub fn fraction_deterred(&self) -> f64 {
+        self.mean_outcome(|o| f64::from(u8::from(o.ossp_deterred)))
+    }
+}
+
+/// Replay `scenario` with its own evaluation layout.
+///
+/// # Errors
+///
+/// Propagates engine construction and solver errors.
+pub fn run_scenario(scenario: &dyn Scenario, seed: u64, shards: usize) -> Result<ScenarioRun> {
+    run_scenario_sized(
+        scenario,
+        seed,
+        shards,
+        scenario.history_days(),
+        scenario.test_days(),
+    )
+}
+
+/// Replay `scenario` with an explicit evaluation layout: `history_days` of
+/// fitted history ahead of each of `test_days` rolling test days.
+///
+/// # Errors
+///
+/// Propagates engine construction and solver errors.
+pub fn run_scenario_sized(
+    scenario: &dyn Scenario,
+    seed: u64,
+    shards: usize,
+    history_days: u32,
+    test_days: u32,
+) -> Result<ScenarioRun> {
+    let engine = AuditCycleEngine::new(scenario.engine_config())?;
+    let days = scenario.generate_days(seed, history_days + test_days);
+    let log = sag_sim::AlertLog::new(days);
+    let groups = log.rolling_groups(history_days as usize);
+    let jobs: Vec<ReplayJob<'_>> = groups
+        .iter()
+        .map(|&(history, test_day)| ReplayJob {
+            history,
+            test_day,
+            budget: scenario.budget_for_day(test_day.day()),
+        })
+        .collect();
+
+    let started = Instant::now();
+    let cycles = engine.replay_sharded(&jobs, shards)?;
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    Ok(ScenarioRun {
+        name: scenario.name(),
+        shards,
+        wall_seconds,
+        cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{BudgetShocks, PaperBaseline};
+
+    #[test]
+    fn baseline_run_produces_one_cycle_per_test_day() {
+        let run = run_scenario_sized(&PaperBaseline, 11, 1, 6, 3).unwrap();
+        assert_eq!(run.cycles.len(), 3);
+        assert!(run.alerts() > 300);
+        assert!(run.alerts_per_sec() > 0.0);
+        assert!((run.fraction_ossp_not_worse() - 1.0).abs() < 1e-12);
+        assert!(run.mean_ossp() >= run.mean_online());
+        let totals = run.sse_totals();
+        assert_eq!(totals.solves as usize, run.alerts());
+        assert!(totals.warm_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn budget_shocks_apply_the_schedule() {
+        let run = run_scenario_sized(&BudgetShocks, 7, 1, 6, 4).unwrap();
+        // Test days are 6..10: 6 % 4 == 2 -> surge (x1.5), 8 % 4 == 0 ->
+        // shock (x0.3), 7 and 9 run at the base budget.
+        let by_day: Vec<(u32, f64)> = run
+            .cycles
+            .iter()
+            .map(|c| {
+                (
+                    c.day,
+                    c.outcomes.first().map_or(0.0, |o| o.budget_after_ossp),
+                )
+            })
+            .collect();
+        for (day, budget_after_first) in by_day {
+            let cap = 50.0 * BudgetShocks::budget_multiplier(day);
+            assert!(
+                budget_after_first <= cap + 1e-9,
+                "day {day}: remaining {budget_after_first} exceeds scheduled cap {cap}"
+            );
+        }
+    }
+}

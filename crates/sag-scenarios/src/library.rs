@@ -1,0 +1,335 @@
+//! The built-in scenario library.
+//!
+//! Six regimes, each stressing one assumption the paper's single-workload
+//! evaluation keeps fixed:
+//!
+//! | name | stresses |
+//! |------|----------|
+//! | `paper-baseline`  | nothing — the paper's 7-type hospital workload |
+//! | `bursty-arrivals` | stationarity *within* the day (self-exciting cascades) |
+//! | `attacker-drift`  | stationarity *across* days (alert mix drifts, moving the attacker's best response) |
+//! | `budget-shocks`   | the flat per-cycle budget (audit capacity shocks) |
+//! | `noisy-evidence`  | the perfect warning channel (leaky signals, noisy Bayesian posterior) |
+//! | `multi-site`      | the single homogeneous population (two-hospital federation, 14 types) |
+
+use crate::scenario::Scenario;
+use sag_core::engine::EngineConfig;
+use sag_core::model::{GameConfig, PayoffTable, Payoffs};
+use sag_sim::{
+    AlertCatalog, AlertTypeId, AlertTypeInfo, ArrivalProcess, DayLog, DiurnalProfile, StreamConfig,
+    StreamGenerator, VolumeTrend,
+};
+
+fn generate(config: StreamConfig, num_days: u32) -> Vec<DayLog> {
+    StreamGenerator::new(config).generate_days(num_days)
+}
+
+// ---------------------------------------------------------------------------
+// paper-baseline
+// ---------------------------------------------------------------------------
+
+/// The paper's 7-type hospital workload: stationary arrivals on the workday
+/// diurnal profile, Table 2 payoffs, flat budget 50.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperBaseline;
+
+impl Scenario for PaperBaseline {
+    fn name(&self) -> &'static str {
+        "paper-baseline"
+    }
+
+    fn description(&self) -> &'static str {
+        "the paper's 7-type hospital workload: stationary arrivals, flat budget 50"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_multi_type()
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        generate(StreamConfig::paper_multi_type(seed), num_days)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bursty-arrivals
+// ---------------------------------------------------------------------------
+
+/// Self-exciting arrivals: every alert spawns a Poisson(0.35) cascade of
+/// same-type offspring at ~10-minute delays, clustering the within-day load
+/// the stationary forecaster was never fitted for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BurstyArrivals;
+
+impl Scenario for BurstyArrivals {
+    fn name(&self) -> &'static str {
+        "bursty-arrivals"
+    }
+
+    fn description(&self) -> &'static str {
+        "self-exciting alert cascades (branching 0.35, ~10 min decay) on the paper game"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_multi_type()
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        let config =
+            StreamConfig::paper_multi_type(seed).with_arrivals(ArrivalProcess::SelfExciting {
+                branching: 0.35,
+                decay_secs: 600.0,
+            });
+        generate(config, num_days)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// attacker-drift
+// ---------------------------------------------------------------------------
+
+/// Per-type volume slopes of the drift scenario: the benign bulk types (1–3)
+/// shrink while the severe combination types (5–7) grow, day over day. As
+/// the future-alert estimates shift, so does the attacker's best-response
+/// type — exercising exactly the utility-structure variation of Chen et
+/// al.'s signaling games.
+const DRIFT_SLOPES: [f64; 7] = [-0.025, -0.015, -0.02, 0.0, 0.03, 0.04, 0.05];
+
+/// Non-stationary alert mix: volumes drift linearly across days and the
+/// engine counters with an exponentially day-weighted forecast fit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttackerDrift;
+
+impl Scenario for AttackerDrift {
+    fn name(&self) -> &'static str {
+        "attacker-drift"
+    }
+
+    fn description(&self) -> &'static str {
+        "alert mix drifts day over day (severe types grow), forecaster uses day decay 0.8"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::paper_multi_type();
+        config.forecast_decay = 0.8;
+        config
+    }
+
+    fn history_days(&self) -> u32 {
+        14
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        let config = StreamConfig::paper_multi_type(seed).with_trend(VolumeTrend::Linear {
+            slopes: DRIFT_SLOPES.to_vec(),
+        });
+        generate(config, num_days)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// budget-shocks
+// ---------------------------------------------------------------------------
+
+/// Audit-capacity shocks: every fourth day the audit budget collapses to 30%
+/// (staffing shortfall), and mid-cycle days run at 150% (catch-up surge).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetShocks;
+
+impl BudgetShocks {
+    /// The paper's multi-type cycle budget, which the schedule scales. A
+    /// test pins this to `engine_config().game.budget` so the two cannot
+    /// drift apart.
+    const BASE_BUDGET: f64 = 50.0;
+
+    /// The deterministic shock schedule, as a multiple of the base budget.
+    #[must_use]
+    pub fn budget_multiplier(day: u32) -> f64 {
+        match day % 4 {
+            0 => 0.3,
+            2 => 1.5,
+            _ => 1.0,
+        }
+    }
+}
+
+impl Scenario for BudgetShocks {
+    fn name(&self) -> &'static str {
+        "budget-shocks"
+    }
+
+    fn description(&self) -> &'static str {
+        "paper workload under a 4-day budget cycle: 30% shock days, 150% surge days"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_multi_type()
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        generate(StreamConfig::paper_multi_type(seed), num_days)
+    }
+
+    fn budget_for_day(&self, day: u32) -> Option<f64> {
+        Some(Self::BASE_BUDGET * Self::budget_multiplier(day))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// noisy-evidence
+// ---------------------------------------------------------------------------
+
+/// Leaky warning channel: the attacker misreads the delivered signal with
+/// probability 0.15 and best-responds to his noisy Bayesian posterior —
+/// the evidence-noise regime of leaky-deception signaling games.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoisyEvidence;
+
+impl Scenario for NoisyEvidence {
+    fn name(&self) -> &'static str {
+        "noisy-evidence"
+    }
+
+    fn description(&self) -> &'static str {
+        "warning channel flips with probability 0.15; attacker best-responds to the noisy posterior"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::paper_multi_type();
+        config.signal_noise = 0.15;
+        config
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        generate(StreamConfig::paper_multi_type(seed), num_days)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// multi-site
+// ---------------------------------------------------------------------------
+
+/// A two-hospital federation sharing one audit desk: site A is the paper's
+/// hospital; site B is a smaller satellite with ~half the alert volume but
+/// 1.5x-stakes payoffs and costlier audits (remote review). The combined
+/// game has 14 alert types and one shared budget, so the equilibrium must
+/// trade coverage off *across sites* — and, at ≥ 8 candidate types, the
+/// solve exercises the engine's parallel candidate fan-out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiSite;
+
+impl MultiSite {
+    /// `(volume scale, payoff scale, audit-cost scale)` per site.
+    const SITES: [(&'static str, f64, f64, f64); 2] =
+        [("site-a", 1.0, 1.0, 1.0), ("site-b", 0.5, 1.5, 1.3)];
+
+    fn federated_catalog() -> AlertCatalog {
+        let base = AlertCatalog::paper_table1();
+        let mut types = Vec::new();
+        for (label, volume, _, _) in Self::SITES {
+            for info in base.types() {
+                types.push(AlertTypeInfo {
+                    id: AlertTypeId(types.len() as u16),
+                    description: format!("{label}: {}", info.description),
+                    rules: info.rules,
+                    daily_mean: info.daily_mean * volume,
+                    daily_std: info.daily_std * volume.sqrt(),
+                });
+            }
+        }
+        AlertCatalog::new(types)
+    }
+
+    fn federated_game() -> GameConfig {
+        let base = PayoffTable::paper_table2();
+        let mut payoffs = Vec::new();
+        let mut audit_costs = Vec::new();
+        for (_, _, stakes, cost) in Self::SITES {
+            for p in base.all() {
+                payoffs.push(Payoffs::new(
+                    p.auditor_covered * stakes,
+                    p.auditor_uncovered * stakes,
+                    p.attacker_covered * stakes,
+                    p.attacker_uncovered * stakes,
+                ));
+                audit_costs.push(cost);
+            }
+        }
+        GameConfig {
+            catalog: Self::federated_catalog(),
+            payoffs: PayoffTable::new(payoffs),
+            audit_costs,
+            budget: 80.0,
+        }
+    }
+}
+
+impl Scenario for MultiSite {
+    fn name(&self) -> &'static str {
+        "multi-site"
+    }
+
+    fn description(&self) -> &'static str {
+        "two-hospital federation: 14 types, heterogeneous volumes/payoffs/costs, shared budget 80"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_defaults(Self::federated_game())
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        let config = StreamConfig::stationary(
+            Self::federated_catalog(),
+            DiurnalProfile::standard_hco(),
+            seed,
+        );
+        generate(config, num_days)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_site_game_is_valid_and_doubled() {
+        let game = MultiSite::federated_game();
+        game.validate().expect("federated game validates");
+        assert_eq!(game.num_types(), 14);
+        assert_eq!(game.catalog.len(), 14);
+        // Site B types carry scaled payoffs and costs.
+        assert_eq!(game.audit_costs[0], 1.0);
+        assert_eq!(game.audit_costs[7], 1.3);
+        let a = game.payoffs.get(AlertTypeId(0));
+        let b = game.payoffs.get(AlertTypeId(7));
+        assert!((b.auditor_covered - a.auditor_covered * 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_shock_base_matches_the_engine_config() {
+        assert_eq!(
+            BudgetShocks::BASE_BUDGET,
+            BudgetShocks.engine_config().game.budget
+        );
+    }
+
+    #[test]
+    fn budget_shock_schedule_cycles() {
+        assert_eq!(BudgetShocks::budget_multiplier(0), 0.3);
+        assert_eq!(BudgetShocks::budget_multiplier(1), 1.0);
+        assert_eq!(BudgetShocks::budget_multiplier(2), 1.5);
+        assert_eq!(BudgetShocks::budget_multiplier(3), 1.0);
+        assert_eq!(BudgetShocks::budget_multiplier(4), 0.3);
+        let shocks = BudgetShocks;
+        assert_eq!(shocks.budget_for_day(12), Some(15.0));
+        assert_eq!(shocks.budget_for_day(14), Some(75.0));
+    }
+
+    #[test]
+    fn drift_slopes_cover_every_type() {
+        assert_eq!(DRIFT_SLOPES.len(), 7);
+        // The drift must actually move mass towards the severe types.
+        assert!(DRIFT_SLOPES[..3].iter().all(|&s| s < 0.0));
+        assert!(DRIFT_SLOPES[4..].iter().all(|&s| s > 0.0));
+    }
+}

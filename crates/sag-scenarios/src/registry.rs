@@ -1,0 +1,56 @@
+//! The canonical list of registered scenarios.
+
+use crate::library::{
+    AttackerDrift, BudgetShocks, BurstyArrivals, MultiSite, NoisyEvidence, PaperBaseline,
+};
+use crate::scenario::Scenario;
+
+/// All registered scenarios, in canonical order. `repro_scenarios` replays
+/// this list end to end and the property tests quantify over it, so adding a
+/// scenario here automatically puts it under test and into `BENCH_2.json`.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(PaperBaseline),
+        Box::new(BurstyArrivals),
+        Box::new(AttackerDrift),
+        Box::new(BudgetShocks),
+        Box::new(NoisyEvidence),
+        Box::new(MultiSite),
+    ]
+}
+
+/// Look a scenario up by its registry name.
+#[must_use]
+pub fn find_scenario(name: &str) -> Option<Box<dyn Scenario>> {
+    registry().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_has_at_least_six_uniquely_named_scenarios() {
+        let reg = registry();
+        assert!(reg.len() >= 6, "only {} scenarios registered", reg.len());
+        let names: HashSet<&'static str> = reg.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+        for s in &reg {
+            assert!(!s.description().is_empty());
+            assert!(
+                s.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "name {:?} is not kebab-case",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn find_scenario_resolves_names() {
+        assert!(find_scenario("paper-baseline").is_some());
+        assert!(find_scenario("multi-site").is_some());
+        assert!(find_scenario("no-such-scenario").is_none());
+    }
+}

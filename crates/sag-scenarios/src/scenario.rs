@@ -1,0 +1,54 @@
+//! The [`Scenario`] trait: everything a named workload must describe.
+
+use sag_core::engine::EngineConfig;
+use sag_sim::DayLog;
+
+/// A named, fully self-describing workload for the audit-cycle engine.
+///
+/// A scenario bundles the four axes a deployment regime varies on:
+///
+/// 1. **Log generation** — the population/arrival process producing the
+///    typed alert stream ([`generate_days`](Scenario::generate_days));
+/// 2. **Game structure** — the alert catalogue, attacker payoff structure
+///    and audit costs, plus the engine knobs (forecast weighting, signal
+///    noise) the regime calls for ([`engine_config`](Scenario::engine_config));
+/// 3. **Budget schedule** — a per-day budget override for regimes where the
+///    audit capacity is not flat ([`budget_for_day`](Scenario::budget_for_day));
+/// 4. **Evaluation layout** — how many history days are fitted before each
+///    replayed test day ([`history_days`](Scenario::history_days),
+///    [`test_days`](Scenario::test_days)).
+///
+/// Implementations must be deterministic given the seed: the driver relies
+/// on it, and the determinism test suite enforces it for every registered
+/// scenario.
+pub trait Scenario: Send + Sync {
+    /// Stable registry name (kebab-case, e.g. `"paper-baseline"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for reports and the README.
+    fn description(&self) -> &'static str;
+
+    /// The engine configuration this scenario is replayed with.
+    fn engine_config(&self) -> EngineConfig;
+
+    /// Number of history days fitted before each test day.
+    fn history_days(&self) -> u32 {
+        10
+    }
+
+    /// Number of test days replayed (one rolling group per day).
+    fn test_days(&self) -> u32 {
+        5
+    }
+
+    /// Generate `num_days` consecutive days (indices `0..num_days`) of the
+    /// scenario's alert stream. Must be deterministic in `seed`.
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog>;
+
+    /// The audit budget for the cycle replayed on `day`, or `None` for the
+    /// game's flat budget. `day` is the test day's index in the log.
+    fn budget_for_day(&self, day: u32) -> Option<f64> {
+        let _ = day;
+        None
+    }
+}

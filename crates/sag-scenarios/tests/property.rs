@@ -1,0 +1,72 @@
+//! Property tests quantifying over the whole scenario registry: every
+//! registered scenario must generate well-formed logs and a valid game, for
+//! any seed.
+
+use proptest::prelude::*;
+use sag_scenarios::registry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every registered scenario generates valid logs: the requested number
+    /// of days, alerts only of catalogued types, chronologically sorted,
+    /// tagged with the right day index, and (for these populations) at least
+    /// one alert per day.
+    #[test]
+    fn every_scenario_generates_valid_logs(seed in 0u64..1_000_000) {
+        for scenario in registry() {
+            let config = scenario.engine_config();
+            prop_assert!(config.game.validate().is_ok(), "{}", scenario.name());
+            let num_types = config.game.num_types();
+            let num_days = scenario.history_days() + scenario.test_days();
+            prop_assert!(scenario.test_days() > 0, "{}", scenario.name());
+
+            let days = scenario.generate_days(seed, num_days);
+            prop_assert_eq!(days.len() as u32, num_days, "{}", scenario.name());
+            for (index, day) in days.iter().enumerate() {
+                prop_assert_eq!(day.day(), index as u32, "{}", scenario.name());
+                prop_assert!(
+                    !day.alerts().is_empty(),
+                    "{}: day {} is empty", scenario.name(), index
+                );
+                for pair in day.alerts().windows(2) {
+                    prop_assert!(pair[0].time <= pair[1].time, "{}", scenario.name());
+                }
+                for alert in day.alerts() {
+                    prop_assert_eq!(alert.day, index as u32, "{}", scenario.name());
+                    prop_assert!(
+                        alert.type_id.index() < num_types,
+                        "{}: type {} out of range {}",
+                        scenario.name(), alert.type_id.index(), num_types
+                    );
+                }
+            }
+        }
+    }
+
+    /// Budget schedules always produce finite, nonnegative cycle budgets.
+    #[test]
+    fn budget_schedules_stay_well_formed(day in 0u32..10_000) {
+        for scenario in registry() {
+            if let Some(budget) = scenario.budget_for_day(day) {
+                prop_assert!(
+                    budget.is_finite() && budget >= 0.0,
+                    "{}: day {} budget {}", scenario.name(), day, budget
+                );
+            }
+        }
+    }
+
+    /// Log generation is deterministic in the seed — the contract the
+    /// sharded replay driver and the benchmarks rely on.
+    #[test]
+    fn generation_is_seed_deterministic(seed in 0u64..1_000_000) {
+        for scenario in registry() {
+            let a = scenario.generate_days(seed, 3);
+            let b = scenario.generate_days(seed, 3);
+            for (da, db) in a.iter().zip(&b) {
+                prop_assert_eq!(da.alerts(), db.alerts(), "{}", scenario.name());
+            }
+        }
+    }
+}

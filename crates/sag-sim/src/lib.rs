@@ -45,5 +45,5 @@ pub mod time;
 
 pub use alert::{Alert, AlertCatalog, AlertTypeId, AlertTypeInfo, BaseRule, RuleSet};
 pub use log::{AlertLog, DayLog};
-pub use stream::{DiurnalProfile, StreamConfig, StreamGenerator};
+pub use stream::{ArrivalProcess, DiurnalProfile, StreamConfig, StreamGenerator, VolumeTrend};
 pub use time::{TimeOfDay, SECONDS_PER_DAY};

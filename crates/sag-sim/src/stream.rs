@@ -17,8 +17,8 @@
 
 use crate::alert::{Alert, AlertCatalog, AlertTypeId};
 use crate::log::DayLog;
-use crate::rng::{normal_count, weighted_index};
-use crate::time::TimeOfDay;
+use crate::rng::{normal_count, poisson, weighted_index};
+use crate::time::{TimeOfDay, SECONDS_PER_DAY};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +112,62 @@ impl DiurnalProfile {
     }
 }
 
+/// How alerts arrive within a day.
+///
+/// The paper's workload is [`Stationary`](ArrivalProcess::Stationary):
+/// independent arrivals placed on the diurnal profile. The self-exciting
+/// variant models bursty streams (a suspicious access often triggers a
+/// cluster of related alerts) as a Hawkes-style branching process on top of
+/// the base stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Independent arrivals on the diurnal profile (the paper's model).
+    Stationary,
+    /// Every alert additionally spawns `Poisson(branching)` offspring alerts
+    /// of the same type, each delayed by an `Exp(mean = decay_secs)` gap.
+    /// Offspring spawn offspring in turn, so `branching` must stay below 1
+    /// for the cascade to stay subcritical.
+    SelfExciting {
+        /// Expected number of direct offspring per alert (`< 1`).
+        branching: f64,
+        /// Mean parent-to-offspring delay in seconds.
+        decay_secs: f64,
+    },
+}
+
+/// Day-over-day drift of the per-type daily volumes.
+///
+/// [`Flat`](VolumeTrend::Flat) keeps the catalogue's Table 1 statistics
+/// stationary; [`Linear`](VolumeTrend::Linear) scales each type's daily mean
+/// by `1 + slope · day` (clamped at zero), modelling populations whose alert
+/// mix shifts over time — which also shifts the attacker's best-response
+/// type as the game's future-alert estimates move.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VolumeTrend {
+    /// Stationary volumes (the paper's model).
+    Flat,
+    /// Per-type linear drift of the daily mean. Types beyond the slice drift
+    /// with slope 0.
+    Linear {
+        /// Relative slope per day and type: `mean(day) = mean · (1 + s·day)`.
+        slopes: Vec<f64>,
+    },
+}
+
+impl VolumeTrend {
+    /// Multiplicative volume factor of `type_index` on `day`.
+    #[must_use]
+    pub fn factor(&self, type_index: usize, day: u32) -> f64 {
+        match self {
+            VolumeTrend::Flat => 1.0,
+            VolumeTrend::Linear { slopes } => {
+                let slope = slopes.get(type_index).copied().unwrap_or(0.0);
+                (1.0 + slope * f64::from(day)).max(0.0)
+            }
+        }
+    }
+}
+
 /// Configuration of the calibrated stream generator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamConfig {
@@ -121,27 +177,58 @@ pub struct StreamConfig {
     pub diurnal: DiurnalProfile,
     /// RNG seed for reproducible streams.
     pub seed: u64,
+    /// Within-day arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Day-over-day volume drift.
+    pub trend: VolumeTrend,
 }
 
 impl StreamConfig {
+    /// A stationary, trend-free stream over a custom catalogue — the model
+    /// every paper experiment uses.
+    #[must_use]
+    pub fn stationary(catalog: AlertCatalog, diurnal: DiurnalProfile, seed: u64) -> Self {
+        StreamConfig {
+            catalog,
+            diurnal,
+            seed,
+            arrivals: ArrivalProcess::Stationary,
+            trend: VolumeTrend::Flat,
+        }
+    }
+
     /// The paper's 7-type configuration (Table 1 statistics, workday profile).
     #[must_use]
     pub fn paper_multi_type(seed: u64) -> Self {
-        StreamConfig {
-            catalog: AlertCatalog::paper_table1(),
-            diurnal: DiurnalProfile::standard_hco(),
+        Self::stationary(
+            AlertCatalog::paper_table1(),
+            DiurnalProfile::standard_hco(),
             seed,
-        }
+        )
     }
 
     /// The paper's single-type configuration (Figure 2: *Same Last Name*).
     #[must_use]
     pub fn paper_single_type(seed: u64) -> Self {
-        StreamConfig {
-            catalog: AlertCatalog::single_type(),
-            diurnal: DiurnalProfile::standard_hco(),
+        Self::stationary(
+            AlertCatalog::single_type(),
+            DiurnalProfile::standard_hco(),
             seed,
-        }
+        )
+    }
+
+    /// Replace the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replace the volume trend.
+    #[must_use]
+    pub fn with_trend(mut self, trend: VolumeTrend) -> Self {
+        self.trend = trend;
+        self
     }
 }
 
@@ -170,15 +257,64 @@ impl StreamGenerator {
     pub fn generate_day(&mut self, day: u32) -> DayLog {
         let mut alerts = Vec::new();
         let catalog = self.config.catalog.clone();
-        for info in catalog.types() {
-            let count = normal_count(&mut self.rng, info.daily_mean, info.daily_std);
+        for (index, info) in catalog.types().iter().enumerate() {
+            let factor = self.config.trend.factor(index, day);
+            let count = normal_count(
+                &mut self.rng,
+                info.daily_mean * factor,
+                info.daily_std * factor.max(f64::MIN_POSITIVE).sqrt(),
+            );
+            let base_start = alerts.len();
             for _ in 0..count {
                 let time = self.config.diurnal.sample_time(&mut self.rng);
                 alerts.push(Alert::benign(day, time, info.id));
             }
+            if let ArrivalProcess::SelfExciting {
+                branching,
+                decay_secs,
+            } = self.config.arrivals
+            {
+                self.spawn_offspring(day, info.id, base_start, branching, decay_secs, &mut alerts);
+            }
         }
         alerts.sort_by_key(|a| (a.time, a.type_id));
         DayLog::new(day, alerts)
+    }
+
+    /// Grow the self-exciting cascade: every alert from `base_start` on (base
+    /// arrivals and offspring alike) spawns `Poisson(branching)` children of
+    /// the same type at exponentially distributed delays, truncated at the
+    /// end of the day. A hard cap bounds supercritical configurations.
+    fn spawn_offspring(
+        &mut self,
+        day: u32,
+        type_id: AlertTypeId,
+        base_start: usize,
+        branching: f64,
+        decay_secs: f64,
+        alerts: &mut Vec<Alert>,
+    ) {
+        let base_count = alerts.len() - base_start;
+        let cap = alerts.len() + base_count * 10 + 100;
+        let mut cursor = base_start;
+        while cursor < alerts.len() && alerts.len() < cap {
+            let parent_secs = alerts[cursor].time.seconds();
+            cursor += 1;
+            let children = poisson(&mut self.rng, branching.max(0.0));
+            for _ in 0..children {
+                let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let delay = -u.ln() * decay_secs;
+                let child_secs = f64::from(parent_secs) + delay;
+                if child_secs >= f64::from(SECONDS_PER_DAY) {
+                    continue; // the cascade spills past the audit cycle
+                }
+                alerts.push(Alert::benign(
+                    day,
+                    TimeOfDay::from_seconds(child_secs as u32),
+                    type_id,
+                ));
+            }
+        }
     }
 
     /// Generate `num_days` consecutive days (day indices `0..num_days`).
@@ -342,6 +478,84 @@ mod tests {
         assert_eq!(history.last().unwrap().day(), 40);
         assert_eq!(tests[0].day(), 41);
         assert_eq!(tests[3].day(), 44);
+    }
+
+    #[test]
+    fn self_exciting_arrivals_add_offspring_clusters() {
+        let stationary = {
+            let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(31));
+            let days = gen.generate_days(20);
+            days.iter().map(DayLog::len).sum::<usize>() as f64 / 20.0
+        };
+        let bursty = {
+            let config =
+                StreamConfig::paper_multi_type(31).with_arrivals(ArrivalProcess::SelfExciting {
+                    branching: 0.4,
+                    decay_secs: 600.0,
+                });
+            let mut gen = StreamGenerator::new(config);
+            let days = gen.generate_days(20);
+            for day in &days {
+                for pair in day.alerts().windows(2) {
+                    assert!(pair[0].time <= pair[1].time);
+                }
+            }
+            days.iter().map(DayLog::len).sum::<usize>() as f64 / 20.0
+        };
+        // A subcritical cascade with branching b multiplies volume by
+        // ~1/(1-b); at b = 0.4 that is ~1.67x (minus end-of-day truncation).
+        assert!(
+            bursty > stationary * 1.3,
+            "bursty mean {bursty} vs stationary {stationary}"
+        );
+        assert!(bursty < stationary * 2.0);
+    }
+
+    #[test]
+    fn linear_trend_drifts_volumes_over_days() {
+        let slopes = vec![-0.03, 0.0, 0.05];
+        let trend = VolumeTrend::Linear {
+            slopes: slopes.clone(),
+        };
+        assert_eq!(trend.factor(0, 0), 1.0);
+        assert!((trend.factor(0, 10) - 0.7).abs() < 1e-12);
+        assert!((trend.factor(2, 10) - 1.5).abs() < 1e-12);
+        // Slope defaults to zero past the slice, and factors clamp at zero.
+        assert_eq!(trend.factor(9, 50), 1.0);
+        assert_eq!(trend.factor(0, 40), 0.0);
+
+        let config = StreamConfig::paper_multi_type(13).with_trend(trend);
+        let mut gen = StreamGenerator::new(config);
+        let days = gen.generate_days(30);
+        let late: usize = days[25..]
+            .iter()
+            .map(|d| count_by_type(d.alerts(), 7)[6])
+            .sum();
+        // Type 7 has slope 0 here (beyond the slice) so it stays flat; type 1
+        // shrinks by 3% per day.
+        let early_t1: usize = days[..5]
+            .iter()
+            .map(|d| count_by_type(d.alerts(), 7)[0])
+            .sum();
+        let late_t1: usize = days[25..]
+            .iter()
+            .map(|d| count_by_type(d.alerts(), 7)[0])
+            .sum();
+        assert!(late_t1 < early_t1 / 2, "t1 {early_t1} -> {late_t1}");
+        assert!(late > late_t1, "flat type overtaken: {late} vs {late_t1}");
+    }
+
+    #[test]
+    fn stationary_flat_config_matches_paper_constructor() {
+        let a = StreamConfig::paper_multi_type(5);
+        assert_eq!(a.arrivals, ArrivalProcess::Stationary);
+        assert_eq!(a.trend, VolumeTrend::Flat);
+        let b = StreamConfig::stationary(
+            AlertCatalog::paper_table1(),
+            DiurnalProfile::standard_hco(),
+            5,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

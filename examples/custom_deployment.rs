@@ -53,22 +53,14 @@ fn main() {
 
     // 2. Generate a synthetic history with the custom volumes and fit the
     //    forecaster the engine will use.
-    let stream = StreamConfig {
-        catalog,
-        diurnal: DiurnalProfile::standard_hco(),
-        seed: 99,
-    };
+    let stream = StreamConfig::stationary(catalog, DiurnalProfile::standard_hco(), 99);
     let mut generator = StreamGenerator::new(stream);
     let history = generator.generate_days(30);
     let test_day = generator.generate_day(30);
 
     // 3. Replay the day.
-    let engine = AuditCycleEngine::new(EngineConfig {
-        game,
-        rollback: RollbackPolicy::paper_default(),
-        accounting: BudgetAccounting::Expected,
-    })
-    .expect("valid configuration");
+    let engine =
+        AuditCycleEngine::new(EngineConfig::paper_defaults(game)).expect("valid configuration");
     let result = engine
         .run_day(&history, &test_day)
         .expect("replay succeeds");

@@ -8,6 +8,8 @@
 //!   ([`sag_forecast`]).
 //! * [`core`] — the Signaling Audit Game itself: online SSE, OSSP signaling,
 //!   baselines and the audit-cycle engine ([`sag_core`]).
+//! * [`scenarios`] — the named-workload registry and sharded replay driver
+//!   ([`sag_scenarios`]).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! architecture and experiment index.
@@ -17,12 +19,14 @@
 pub use sag_core as core;
 pub use sag_forecast as forecast;
 pub use sag_lp as lp;
+pub use sag_scenarios as scenarios;
 pub use sag_sim as sim;
 
 /// Commonly used items, for `use sag::prelude::*`.
 pub mod prelude {
     pub use sag_core::engine::{
-        AlertOutcome, AuditCycleEngine, BudgetAccounting, CycleResult, EngineConfig,
+        recommended_shards, AlertOutcome, AuditCycleEngine, BudgetAccounting, CycleResult,
+        EngineConfig, ReplayJob,
     };
     pub use sag_core::metrics::{ExperimentSummary, UtilitySeries};
     pub use sag_core::model::{GameConfig, PayoffTable, Payoffs};
@@ -32,8 +36,11 @@ pub mod prelude {
     pub use sag_core::sse::{SseInput, SseSolution, SseSolver};
     pub use sag_forecast::{ArrivalModel, FutureAlertEstimator, RollbackPolicy};
     pub use sag_lp::{LpProblem, Objective as LpObjective, Relation};
+    pub use sag_scenarios::{
+        find_scenario, registry, run_scenario, run_scenario_sized, Scenario, ScenarioRun,
+    };
     pub use sag_sim::{
-        Alert, AlertCatalog, AlertTypeId, AlertTypeInfo, DayLog, DiurnalProfile, StreamConfig,
-        StreamGenerator, TimeOfDay,
+        Alert, AlertCatalog, AlertTypeId, AlertTypeInfo, ArrivalProcess, DayLog, DiurnalProfile,
+        StreamConfig, StreamGenerator, TimeOfDay, VolumeTrend,
     };
 }

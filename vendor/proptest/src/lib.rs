@@ -217,7 +217,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Admissible length specifications for [`vec`]: an exact length or a
+    /// Admissible length specifications for [`vec()`](fn@vec): an exact length or a
     /// half-open range of lengths.
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
@@ -234,7 +234,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
