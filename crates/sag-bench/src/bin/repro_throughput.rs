@@ -1,7 +1,9 @@
 //! End-to-end throughput of the per-alert solve chain, written as the
 //! machine-readable `BENCH_1.json` so future PRs can track the trajectory:
-//! alerts/sec, p50/p99 per-alert latency, simplex pivots per LP, the
-//! warm-start hit rate and the warm-vs-cold speedup on the 5-type game.
+//! bulk alerts/sec, p50/p99 per-alert latency, simplex pivots per LP, the
+//! warm-start hit rate, the per-alert *decision* latency of the streaming
+//! `DaySession` ingest mode, and the warm-vs-cold speedup on the 5-type
+//! game.
 //!
 //! Usage: `cargo run --release -p sag-bench --bin repro_throughput [seed] [out.json]`
 
@@ -44,6 +46,18 @@ fn main() {
     println!(
         "warm-start hit rate   : {:>9.1}%",
         report.warm_hit_rate * 100.0
+    );
+    println!(
+        "streaming (push_alert): {:>10.0} alerts/sec",
+        report.streaming.alerts_per_sec
+    );
+    println!(
+        "  decision latency p50: {:>10.1} us/alert",
+        report.streaming.p50_micros
+    );
+    println!(
+        "  decision latency p99: {:>10.1} us/alert",
+        report.streaming.p99_micros
     );
     println!(
         "5-type SSE solve      : {:>10.2} us warm vs {:.2} us cold ({:.2}x speedup)",

@@ -197,7 +197,7 @@ pub fn runtime_experiment(seed: u64, history_days: u32) -> RuntimeStats {
         .run_day(&history, &test_days.remove(0))
         .expect("cycle replays");
     let total_millis = started.elapsed().as_secs_f64() * 1e3;
-    let mean_micros = result.mean_solve_micros();
+    let mean_micros = result.mean_solve_micros().unwrap_or(0.0);
     let max_micros = result
         .outcomes
         .iter()

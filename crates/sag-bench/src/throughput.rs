@@ -1,11 +1,17 @@
 //! End-to-end throughput measurement of the per-alert solve chain.
 //!
-//! Replays a registered scenario workload through the engine's sharded batch
-//! driver and reports the metrics future PRs track for regressions: alerts
-//! per second, per-alert latency percentiles, simplex pivots per LP and the
-//! warm-start hit rate — plus a direct warm-vs-cold comparison of the SSE
-//! solver on a 5-type game, which is the headline speedup of the warm-start
-//! machinery.
+//! Two modes over the same registered scenario workload:
+//!
+//! * **bulk** — replays the workload through the engine's sharded batch
+//!   driver and reports alerts per second, per-alert solve-latency
+//!   percentiles, simplex pivots per LP and the warm-start hit rate — plus a
+//!   direct warm-vs-cold comparison of the SSE solver on a 5-type game,
+//!   which is the headline speedup of the warm-start machinery;
+//! * **streaming** — feeds the same alerts one at a time through
+//!   [`sag_core::DaySession::push_alert`] (the production ingest shape) and
+//!   reports p50/p99 *decision* latency: the full per-alert cost of forecast
+//!   update, both worlds' SSE solves, the signaling scheme and the budget
+//!   charge.
 //!
 //! The workload comes from the `sag-scenarios` registry (default:
 //! `paper-baseline`), so this bench and `repro_scenarios` can never drift
@@ -17,7 +23,7 @@
 use crate::setup;
 use sag_core::sse::{SseCache, SseSolver};
 use sag_core::CycleResult;
-use sag_scenarios::{find_scenario, run_scenario_sized};
+use sag_scenarios::{find_scenario, run_scenario_sized, stream_scenario_sized};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -51,6 +57,23 @@ impl ThroughputConfig {
     }
 }
 
+/// Per-alert decision-latency percentiles of the streaming ingest mode.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingLatencyReport {
+    /// Alerts pushed through [`sag_core::DaySession::push_alert`].
+    pub alerts: usize,
+    /// Wall-clock time of the whole streamed replay, in seconds.
+    pub wall_seconds: f64,
+    /// Streamed alerts per second (single session at a time).
+    pub alerts_per_sec: f64,
+    /// Median per-alert decision latency, microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile per-alert decision latency, microseconds.
+    pub p99_micros: f64,
+    /// Mean per-alert decision latency, microseconds.
+    pub mean_micros: f64,
+}
+
 /// Everything a throughput run measures.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputReport {
@@ -70,6 +93,9 @@ pub struct ThroughputReport {
     pub pivots_per_lp: f64,
     /// Fraction of warm-start attempts that avoided a cold solve.
     pub warm_hit_rate: f64,
+    /// Per-alert decision latency of the same workload streamed through
+    /// [`sag_core::DaySession::push_alert`].
+    pub streaming: StreamingLatencyReport,
     /// Mean time of one warm-started 5-type SSE solve, microseconds.
     pub warm_micros_5type: f64,
     /// Mean time of one cold 5-type SSE solve, microseconds.
@@ -100,19 +126,73 @@ pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
     let run = run_scenario_sized(scenario.as_ref(), config.seed, 1, history_days, test_days)
         .expect("scenario replay succeeds");
 
+    let streaming = streaming_experiment(config);
     let (warm_micros_5type, cold_micros_5type) = warm_vs_cold_5type(config.comparison_solves);
     summarize(
         &run.cycles,
         run.wall_seconds,
+        streaming,
         warm_micros_5type,
         cold_micros_5type,
     )
+}
+
+/// Stream the configured workload alert-at-a-time through
+/// [`sag_core::DaySession`]s and summarize the per-alert decision latency.
+///
+/// # Panics
+///
+/// Panics if the configured scenario is not registered or the replay fails
+/// (workspace bugs rather than user errors).
+#[must_use]
+pub fn streaming_experiment(config: &ThroughputConfig) -> StreamingLatencyReport {
+    let scenario = find_scenario(config.scenario)
+        .unwrap_or_else(|| panic!("scenario {:?} is not registered", config.scenario));
+    let history_days = config
+        .history_days
+        .unwrap_or_else(|| scenario.history_days());
+    let test_days = config.test_days.unwrap_or_else(|| scenario.test_days());
+    let streamed = stream_scenario_sized(scenario.as_ref(), config.seed, history_days, test_days)
+        .expect("streamed scenario replay succeeds");
+
+    let mut micros: Vec<f64> = streamed
+        .push_nanos
+        .iter()
+        .map(|&n| n as f64 / 1e3)
+        .collect();
+    micros.sort_unstable_by(f64::total_cmp);
+    let alerts = micros.len();
+    let percentile = |q: f64| -> f64 {
+        if micros.is_empty() {
+            return 0.0;
+        }
+        let rank = ((alerts - 1) as f64 * q).round() as usize;
+        micros[rank]
+    };
+    let wall_seconds = streamed.run.wall_seconds;
+    StreamingLatencyReport {
+        alerts,
+        wall_seconds,
+        alerts_per_sec: if wall_seconds > 0.0 {
+            alerts as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        p50_micros: percentile(0.50),
+        p99_micros: percentile(0.99),
+        mean_micros: if alerts == 0 {
+            0.0
+        } else {
+            micros.iter().sum::<f64>() / alerts as f64
+        },
+    }
 }
 
 /// Aggregate replayed cycles into a report.
 fn summarize(
     cycles: &[CycleResult],
     wall_seconds: f64,
+    streaming: StreamingLatencyReport,
     warm_micros_5type: f64,
     cold_micros_5type: f64,
 ) -> ThroughputReport {
@@ -168,6 +248,7 @@ fn summarize(
         } else {
             warm_hits as f64 / warm_attempts as f64
         },
+        streaming,
         warm_micros_5type,
         cold_micros_5type,
         warm_speedup_5type: if warm_micros_5type > 0.0 {
@@ -240,6 +321,17 @@ pub fn render_json(report: &ThroughputReport) -> String {
         "  \"warm_start_hit_rate\": {:.4},",
         report.warm_hit_rate
     );
+    let s = &report.streaming;
+    let _ = writeln!(out, "  \"streaming\": {{");
+    let _ = writeln!(out, "    \"alerts\": {},", s.alerts);
+    let _ = writeln!(out, "    \"wall_seconds\": {:.6},", s.wall_seconds);
+    let _ = writeln!(out, "    \"alerts_per_sec\": {:.2},", s.alerts_per_sec);
+    let _ = writeln!(out, "    \"latency_micros\": {{");
+    let _ = writeln!(out, "      \"p50\": {:.1},", s.p50_micros);
+    let _ = writeln!(out, "      \"p99\": {:.1},", s.p99_micros);
+    let _ = writeln!(out, "      \"mean\": {:.1}", s.mean_micros);
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"warm_vs_cold_5type\": {{");
     let _ = writeln!(
         out,
@@ -282,6 +374,21 @@ mod tests {
         assert!(report.pivots_per_lp < 20.0);
         assert!(report.warm_micros_5type > 0.0);
         assert!(report.cold_micros_5type > 0.0);
+        // The streaming leg replays the same workload alert-by-alert.
+        assert_eq!(report.streaming.alerts, report.alerts);
+        assert!(report.streaming.alerts_per_sec > 0.0);
+        assert!(report.streaming.p50_micros > 0.0);
+        assert!(report.streaming.p50_micros <= report.streaming.p99_micros);
+        // A push includes the solve, so the decision latency cannot sit far
+        // below the solve latency. The two medians come from independent
+        // replays on a possibly noisy runner, so allow a generous relative
+        // margin rather than a tight absolute one.
+        assert!(
+            report.streaming.p50_micros * 1.5 + 2.0 >= report.p50_micros,
+            "streaming p50 {} implausibly below bulk solve p50 {}",
+            report.streaming.p50_micros,
+            report.p50_micros
+        );
     }
 
     #[test]
@@ -295,6 +402,14 @@ mod tests {
             mean_micros: 13.5,
             pivots_per_lp: 1.25,
             warm_hit_rate: 0.97,
+            streaming: StreamingLatencyReport {
+                alerts: 1000,
+                wall_seconds: 0.6,
+                alerts_per_sec: 1666.0,
+                p50_micros: 15.5,
+                p99_micros: 58.0,
+                mean_micros: 18.0,
+            },
             warm_micros_5type: 4.0,
             cold_micros_5type: 12.0,
             warm_speedup_5type: 3.0,
@@ -307,10 +422,21 @@ mod tests {
             "\"p99\": 42.0",
             "\"pivots_per_lp\": 1.250",
             "\"warm_start_hit_rate\": 0.9700",
+            "\"streaming\"",
+            "\"p50\": 15.5",
+            "\"p99\": 58.0",
             "\"speedup\": 3.00",
         ] {
             assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
+        // The document must parse as JSON for scripts/check_perf.py; a
+        // cheap structural proxy: balanced braces and no trailing commas.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(!json.contains(",\n}"), "trailing comma before a close");
     }
 }

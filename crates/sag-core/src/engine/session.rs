@@ -1,0 +1,379 @@
+//! The streaming per-day core: [`AuditCycleEngine`] and [`DaySession`].
+//!
+//! A [`DaySession`] is the online heart of the system: the auditor opens one
+//! per audit cycle ([`AuditCycleEngine::open_day`]), feeds it alerts *as they
+//! arrive* ([`DaySession::push_alert`]) — each push commits the warning
+//! decision for that alert before the next one is seen, exactly as the
+//! paper's online model demands — and closes it at end of cycle
+//! ([`DaySession::finish`]) to obtain the day's [`CycleResult`]. The batch
+//! replay drivers in [`super::replay`] are thin wrappers that stream a
+//! recorded [`sag_sim::DayLog`] through a session.
+
+use super::config::{BudgetAccounting, EngineConfig};
+use super::outcome::{AlertOutcome, CycleResult};
+use crate::offline::OfflineSse;
+use crate::scheme::SignalingScheme;
+use crate::signaling::{evaluate_scheme_under_noise, ossp_closed_form};
+use crate::sse::{SolverBackend, SseCache, SseCacheTotals, SseInput, SseSolution, SseSolver};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sag_forecast::{ArrivalModel, FutureAlertEstimator};
+use sag_sim::{Alert, AlertTypeId, DayLog};
+use std::time::Instant;
+
+/// The audit-cycle engine: a validated configuration plus the solver used by
+/// the low-level per-alert entry points. Day-scoped state lives on the
+/// [`DaySession`]s the engine opens.
+#[derive(Debug, Clone)]
+pub struct AuditCycleEngine {
+    pub(super) config: EngineConfig,
+    solver: SseSolver,
+}
+
+/// The two solver backends of one day session: the OSSP world and the
+/// online-SSE world consume budget differently, so each keeps its own
+/// warm-start trail. Reused across the days of a replay shard so the
+/// steady state stays allocation-free.
+#[derive(Debug)]
+pub(super) struct SessionBackends {
+    pub(super) ossp: Box<dyn SolverBackend>,
+    pub(super) online: Box<dyn SolverBackend>,
+}
+
+impl SessionBackends {
+    /// Instantiate both worlds' backends from the configured kind.
+    pub(super) fn for_config(config: &EngineConfig) -> Self {
+        SessionBackends {
+            ossp: config.backend.instantiate(),
+            online: config.backend.instantiate(),
+        }
+    }
+}
+
+/// One audit cycle in progress: per-day forecaster state, both worlds'
+/// remaining budgets and solver backends, and the outcomes recorded so far.
+///
+/// Obtained from [`AuditCycleEngine::open_day`]; alerts are fed with
+/// [`push_alert`](Self::push_alert) and the day is closed with
+/// [`finish`](Self::finish). Feeding the alerts of a [`DayLog`] one at a
+/// time produces a [`CycleResult`] bitwise identical to the batch
+/// [`run_day`](AuditCycleEngine::run_day) wrapper.
+#[derive(Debug)]
+pub struct DaySession<'e> {
+    engine: &'e AuditCycleEngine,
+    estimator: FutureAlertEstimator,
+    offline: OfflineSse,
+    rng: Option<StdRng>,
+    budget_ossp: f64,
+    budget_online: f64,
+    outcomes: Vec<AlertOutcome>,
+    backends: SessionBackends,
+    totals_at_open: SseCacheTotals,
+    /// Day index reported on the [`CycleResult`]; pinned by
+    /// [`set_day`](Self::set_day) or inferred from the first pushed alert.
+    day: Option<u32>,
+}
+
+impl AuditCycleEngine {
+    /// Create an engine after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SagError::InvalidConfig`] for inconsistent
+    /// configurations (including a solver backend that does not support the
+    /// game's type count).
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(AuditCycleEngine {
+            config,
+            solver: SseSolver::new(),
+        })
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Open a streaming session for one audit cycle: fit the forecaster on
+    /// `history`, solve the offline whole-day baseline, and initialise both
+    /// worlds' budgets to `budget` (or the game's configured budget for
+    /// `None`). Alerts are then fed with [`DaySession::push_alert`] as they
+    /// arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SagError::InvalidConfig`] for a non-finite or
+    /// negative budget override, and propagates offline-solver errors (which
+    /// do not occur for valid configurations).
+    pub fn open_day(&self, history: &[DayLog], budget: Option<f64>) -> Result<DaySession<'_>> {
+        self.open_day_with(history, budget, SessionBackends::for_config(&self.config))
+    }
+
+    /// [`open_day`](Self::open_day) over caller-provided backends, so replay
+    /// drivers can reuse one pair of backends (allocated workspaces, cached
+    /// candidate LPs) across the days of a shard. The backends' warm-start
+    /// state is reset on entry: day boundaries start cold, which keeps every
+    /// session a pure function of its own inputs.
+    pub(super) fn open_day_with(
+        &self,
+        history: &[DayLog],
+        budget: Option<f64>,
+        mut backends: SessionBackends,
+    ) -> Result<DaySession<'_>> {
+        backends.ossp.reset_warm_state();
+        backends.online.reset_warm_state();
+
+        if let Some(budget) = budget {
+            super::replay::validate_budget(budget)?;
+        }
+        let game = &self.config.game;
+        let cycle_budget = budget.unwrap_or(game.budget);
+        let model =
+            ArrivalModel::fit_weighted(history, game.num_types(), self.config.forecast_decay);
+        let estimator = FutureAlertEstimator::new(model, self.config.rollback);
+
+        let offline = OfflineSse::solve(
+            &game.payoffs,
+            &game.audit_costs,
+            &estimator.expected_daily_totals(),
+            cycle_budget,
+        )?;
+
+        let rng = match self.config.accounting {
+            BudgetAccounting::Sampled { seed } => Some(StdRng::seed_from_u64(seed)),
+            BudgetAccounting::Expected => None,
+        };
+
+        let totals_at_open = backends.ossp.totals();
+        Ok(DaySession {
+            engine: self,
+            estimator,
+            offline,
+            rng,
+            budget_ossp: cycle_budget,
+            budget_online: cycle_budget,
+            outcomes: Vec::new(),
+            backends,
+            totals_at_open,
+            day: None,
+        })
+    }
+
+    /// Process a single alert against explicit estimates and budget — the
+    /// low-level entry point used by benchmarks and the runtime experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSE solver errors.
+    pub fn solve_alert(
+        &self,
+        alert: &Alert,
+        estimates: &[f64],
+        remaining_budget: f64,
+    ) -> Result<(SseSolution, SignalingScheme, f64)> {
+        let sse = self
+            .solver
+            .solve(&self.sse_input(estimates, remaining_budget))?;
+        Ok(self.apply_ossp(alert, sse))
+    }
+
+    /// Like [`solve_alert`](Self::solve_alert) but warm-started from `cache`
+    /// — the per-alert hot path for callers that manage their own solver
+    /// state instead of a [`DaySession`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSE solver errors.
+    pub fn solve_alert_cached(
+        &self,
+        alert: &Alert,
+        estimates: &[f64],
+        remaining_budget: f64,
+        cache: &mut SseCache,
+    ) -> Result<(SseSolution, SignalingScheme, f64)> {
+        let sse = self
+            .solver
+            .solve_cached(&self.sse_input(estimates, remaining_budget), cache)?;
+        Ok(self.apply_ossp(alert, sse))
+    }
+
+    /// Borrow the game data as an [`SseInput`] for the given forecast and
+    /// remaining budget.
+    fn sse_input<'a>(&'a self, estimates: &'a [f64], budget: f64) -> SseInput<'a> {
+        let game = &self.config.game;
+        SseInput {
+            payoffs: &game.payoffs,
+            audit_costs: &game.audit_costs,
+            future_estimates: estimates,
+            budget,
+        }
+    }
+
+    /// The OSSP tail of the per-alert pipeline: derive the triggered type's
+    /// coverage from the SSE and compute its optimal signaling scheme.
+    fn apply_ossp(&self, alert: &Alert, sse: SseSolution) -> (SseSolution, SignalingScheme, f64) {
+        let payoffs = self.config.game.payoffs.get(alert.type_id);
+        let theta = sse.coverage_of(alert.type_id);
+        let ossp = ossp_closed_form(payoffs, theta);
+        (sse, ossp.scheme, ossp.auditor_utility)
+    }
+}
+
+impl DaySession<'_> {
+    /// Pin the day index reported on the final [`CycleResult`]. Without a
+    /// pin the session uses the first pushed alert's day (or 0 for a day
+    /// that saw no alerts at all).
+    pub fn set_day(&mut self, day: u32) {
+        self.day = Some(day);
+    }
+
+    /// Number of alerts processed so far.
+    #[must_use]
+    pub fn alerts_processed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Remaining budget in the OSSP (signaling) world.
+    #[must_use]
+    pub fn remaining_budget_ossp(&self) -> f64 {
+        self.budget_ossp
+    }
+
+    /// Remaining budget in the online-SSE world.
+    #[must_use]
+    pub fn remaining_budget_online(&self) -> f64 {
+        self.budget_online
+    }
+
+    /// Process one arriving alert: compute the OSSP warning decision and the
+    /// two baselines for it, charge both worlds' budgets, update the
+    /// forecaster, and record the outcome. Returns the committed outcome —
+    /// its [`ossp_scheme`](AlertOutcome::ossp_scheme) is the signaling
+    /// scheme the auditor plays for this alert.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (which do not occur for valid
+    /// configurations).
+    pub fn push_alert(&mut self, alert: &Alert) -> Result<AlertOutcome> {
+        if self.day.is_none() {
+            self.day = Some(alert.day);
+        }
+        let engine = self.engine;
+        let game = &engine.config.game;
+        let estimates = self.estimator.estimate_all(alert.time);
+
+        // ---- OSSP world -------------------------------------------------
+        let started = Instant::now();
+        let sse_ossp = self
+            .backends
+            .ossp
+            .solve(&engine.sse_input(&estimates, self.budget_ossp))?;
+        let type_payoffs = game.payoffs.get(alert.type_id);
+        let coverage_ossp = sse_ossp.coverage_of(alert.type_id);
+        let ossp_applied = alert.type_id == sse_ossp.best_response;
+        let (ossp_scheme, ossp_utility, ossp_attacker_utility, ossp_deterred) = if ossp_applied {
+            let mut ossp = ossp_closed_form(type_payoffs, coverage_ossp);
+            if engine.config.signal_noise > 0.0 {
+                // Leaky channel: keep the committed scheme but score it
+                // under the attacker's noisy Bayesian posterior.
+                ossp = evaluate_scheme_under_noise(
+                    type_payoffs,
+                    &ossp.scheme,
+                    engine.config.signal_noise,
+                );
+            }
+            (
+                ossp.scheme,
+                ossp.auditor_utility,
+                ossp.attacker_utility,
+                ossp.deterred,
+            )
+        } else {
+            // Alerts whose type is not the best response are handled
+            // with the plain online SSE, as in the paper's evaluation.
+            (
+                SignalingScheme::no_signaling(coverage_ossp),
+                sse_ossp.auditor_utility,
+                sse_ossp.attacker_utility,
+                false,
+            )
+        };
+        let solve_micros = started.elapsed().as_micros() as u64;
+
+        // ---- online-SSE world -------------------------------------------
+        let sse_online = if (self.budget_online - self.budget_ossp).abs() < 1e-12 {
+            sse_ossp.clone()
+        } else {
+            self.backends
+                .online
+                .solve(&engine.sse_input(&estimates, self.budget_online))?
+        };
+        let coverage_online = sse_online.coverage_of(alert.type_id);
+
+        // ---- budget updates ---------------------------------------------
+        let cost = game.audit_costs[alert.type_id.index()];
+        let ossp_charge = match self.rng.as_mut() {
+            Some(rng) => {
+                let signal = ossp_scheme.sample_signal(rng);
+                ossp_scheme.conditional_audit_cost(signal) * cost
+            }
+            None => ossp_scheme.expected_audit_cost() * cost,
+        };
+        let online_charge = coverage_online * cost;
+        self.budget_ossp = (self.budget_ossp - ossp_charge).max(0.0);
+        self.budget_online = (self.budget_online - online_charge).max(0.0);
+
+        self.estimator.observe_alert(alert.time);
+
+        let outcome = AlertOutcome {
+            index: self.outcomes.len(),
+            day: alert.day,
+            time: alert.time,
+            type_id: alert.type_id,
+            ossp_utility,
+            online_sse_utility: sse_online.auditor_utility,
+            offline_sse_utility: self.offline.auditor_utility(),
+            ossp_attacker_utility,
+            online_attacker_utility: sse_online.attacker_utility,
+            ossp_scheme,
+            ossp_deterred,
+            ossp_applied,
+            coverage_ossp,
+            coverage_online,
+            best_response: sse_ossp.best_response,
+            budget_after_ossp: self.budget_ossp,
+            budget_after_online: self.budget_online,
+            solve_micros,
+            sse_stats: sse_ossp.stats,
+        };
+        self.outcomes.push(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Close the cycle and return its [`CycleResult`].
+    #[must_use]
+    pub fn finish(self) -> CycleResult {
+        self.finish_with_backends().0
+    }
+
+    /// [`finish`](Self::finish) that also hands the solver backends back so
+    /// replay drivers can reuse them for the next day of the shard.
+    pub(super) fn finish_with_backends(self) -> (CycleResult, SessionBackends) {
+        let n = self.engine.config.game.num_types();
+        let result = CycleResult {
+            day: self.day.unwrap_or(0),
+            outcomes: self.outcomes,
+            offline_auditor_utility: self.offline.auditor_utility(),
+            offline_attacker_utility: self.offline.attacker_utility(),
+            offline_coverage: (0..n)
+                .map(|t| self.offline.coverage_of(AlertTypeId(t as u16)))
+                .collect(),
+            sse_totals: self.backends.ossp.totals().since(&self.totals_at_open),
+        };
+        (result, self.backends)
+    }
+}

@@ -41,14 +41,15 @@ pub mod theorems;
 
 pub use bayesian::{AttackerProfile, BayesianSseInput, BayesianSseSolver};
 pub use engine::{
-    recommended_shards, AlertOutcome, AuditCycleEngine, CycleResult, EngineConfig, ReplayJob,
+    recommended_shards, AlertOutcome, AuditCycleEngine, CycleResult, DaySession, EngineConfig,
+    ReplayJob,
 };
 pub use model::{GameConfig, PayoffTable, Payoffs};
 pub use offline::OfflineSse;
 pub use robust::{evaluate_against_oblivious, robust_ossp, RobustOsspSolution};
 pub use scheme::SignalingScheme;
 pub use signaling::{evaluate_scheme_under_noise, ossp_closed_form, ossp_lp, OsspSolution};
-pub use sse::{SseInput, SseSolution, SseSolver};
+pub use sse::{SolverBackend, SolverBackendKind, SseInput, SseSolution, SseSolver};
 
 /// Crate-wide error type.
 #[derive(Debug, Clone, PartialEq)]

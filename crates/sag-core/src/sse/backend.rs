@@ -1,0 +1,321 @@
+//! The solver seam between the streaming engine and the SSE machinery.
+//!
+//! A [`crate::engine::DaySession`] never calls [`SseSolver`] directly: it
+//! solves every per-alert equilibrium through a [`SolverBackend`], an owned,
+//! stateful object that carries its own warm-start caches. The seam exists so
+//! alternative solver strategies (robust variants, leaky-deception evidence
+//! models, future interior-point or learned solvers) can be slotted in
+//! without touching the per-day loop.
+//!
+//! Two backends ship today:
+//!
+//! * [`SimplexLpBackend`] — the multiple-LP method over [`SseSolver`] with an
+//!   [`SseCache`] of per-candidate warm-start bases. Its
+//!   [`auto`](SimplexLpBackend::auto) flavour answers single-type games with
+//!   the exact closed form (the paper's behaviour); its
+//!   [`lp_only`](SimplexLpBackend::lp_only) flavour forces every game through
+//!   the simplex.
+//! * [`ClosedFormBackend`] — the single-type closed form promoted to a
+//!   standalone backend: no LP, no warm-start state, O(1) per solve. Rejects
+//!   multi-type inputs.
+//!
+//! Which backend a session instantiates is chosen by
+//! [`SolverBackendKind`] on [`crate::engine::EngineConfig`].
+
+use super::cache::{SseCache, SseCacheTotals};
+use super::input::SseInput;
+use super::solution::SseSolution;
+use super::solver::SseSolver;
+use crate::{Result, SagError};
+
+/// A stateful online-SSE solver strategy, owning its warm-start caches.
+///
+/// Backends must be deterministic: the same sequence of `solve` calls after a
+/// `reset_warm_state` must produce bitwise-identical solutions, which is what
+/// keeps sharded replays shard-count-independent.
+pub trait SolverBackend: std::fmt::Debug + Send {
+    /// Stable name of the backend (for reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Solve the online SSE for one alert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SagError::InvalidConfig`] for malformed inputs or inputs the
+    /// backend does not support (e.g. a multi-type game on the closed-form
+    /// backend), and propagates LP-layer errors.
+    fn solve(&mut self, input: &SseInput<'_>) -> Result<SseSolution>;
+
+    /// Forget warm-start state so the next solve runs cold. Called at every
+    /// day boundary to keep each day a pure function of its own inputs.
+    fn reset_warm_state(&mut self);
+
+    /// Cumulative solver-work counters across every solve of this backend.
+    fn totals(&self) -> SseCacheTotals;
+}
+
+/// Which [`SolverBackend`] the engine instantiates per day session, selected
+/// on [`crate::engine::EngineConfig::backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackendKind {
+    /// The paper's dispatch: the exact closed form for single-type games,
+    /// the warm-started multiple-LP method otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the warm-started multiple-LP method, even for single-type
+    /// games (useful for validating the closed form and for profiling).
+    SimplexLp,
+    /// Only the single-type closed form. Engine validation rejects this
+    /// backend for multi-type games.
+    ClosedForm,
+}
+
+impl SolverBackendKind {
+    /// Stable name of the backend this kind instantiates.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverBackendKind::Auto => "auto",
+            SolverBackendKind::SimplexLp => "simplex-lp",
+            SolverBackendKind::ClosedForm => "closed-form",
+        }
+    }
+
+    /// Whether the backend can solve games with `num_types` alert types.
+    #[must_use]
+    pub fn supports(self, num_types: usize) -> bool {
+        match self {
+            SolverBackendKind::Auto | SolverBackendKind::SimplexLp => num_types >= 1,
+            SolverBackendKind::ClosedForm => num_types == 1,
+        }
+    }
+
+    /// Instantiate a fresh backend of this kind with empty caches.
+    #[must_use]
+    pub fn instantiate(self) -> Box<dyn SolverBackend> {
+        match self {
+            SolverBackendKind::Auto => Box::new(SimplexLpBackend::auto()),
+            SolverBackendKind::SimplexLp => Box::new(SimplexLpBackend::lp_only()),
+            SolverBackendKind::ClosedForm => Box::new(ClosedFormBackend::new()),
+        }
+    }
+}
+
+/// The warm-started multiple-LP backend: an [`SseSolver`] plus its
+/// [`SseCache`] of per-candidate bases, workspaces and cached LPs.
+#[derive(Debug, Clone, Default)]
+pub struct SimplexLpBackend {
+    solver: SseSolver,
+    cache: SseCache,
+    allow_fast_path: bool,
+}
+
+impl SimplexLpBackend {
+    /// The paper's dispatch: closed form for single-type games, the LP
+    /// method otherwise ([`SolverBackendKind::Auto`]).
+    #[must_use]
+    pub fn auto() -> Self {
+        SimplexLpBackend {
+            solver: SseSolver::new(),
+            cache: SseCache::new(),
+            allow_fast_path: true,
+        }
+    }
+
+    /// Force every game through the multiple-LP method
+    /// ([`SolverBackendKind::SimplexLp`]).
+    #[must_use]
+    pub fn lp_only() -> Self {
+        SimplexLpBackend {
+            allow_fast_path: false,
+            ..Self::auto()
+        }
+    }
+}
+
+impl SolverBackend for SimplexLpBackend {
+    fn name(&self) -> &'static str {
+        if self.allow_fast_path {
+            "auto"
+        } else {
+            "simplex-lp"
+        }
+    }
+
+    fn solve(&mut self, input: &SseInput<'_>) -> Result<SseSolution> {
+        self.solver
+            .solve_cached_with(input, &mut self.cache, self.allow_fast_path)
+    }
+
+    fn reset_warm_state(&mut self) {
+        self.cache.reset_warm_state();
+    }
+
+    fn totals(&self) -> SseCacheTotals {
+        self.cache.totals
+    }
+}
+
+/// The single-type closed form as a standalone backend: no LP, no warm-start
+/// state, O(1) per solve ([`SolverBackendKind::ClosedForm`]).
+#[derive(Debug, Clone, Default)]
+pub struct ClosedFormBackend {
+    totals: SseCacheTotals,
+    rates: Vec<f64>,
+}
+
+impl ClosedFormBackend {
+    /// Create the backend.
+    #[must_use]
+    pub fn new() -> Self {
+        ClosedFormBackend::default()
+    }
+}
+
+impl SolverBackend for ClosedFormBackend {
+    fn name(&self) -> &'static str {
+        "closed-form"
+    }
+
+    fn solve(&mut self, input: &SseInput<'_>) -> Result<SseSolution> {
+        input.validate()?;
+        if input.payoffs.len() != 1 {
+            return Err(SagError::InvalidConfig(format!(
+                "closed-form backend solves single-type games only, got {} types",
+                input.payoffs.len()
+            )));
+        }
+        SseSolver::coverage_rates_into(input, &mut self.rates);
+        let solution = SseSolver::solve_single_type(input, &self.rates);
+        self.totals.solves += 1;
+        self.totals.fast_path_solves += 1;
+        Ok(solution)
+    }
+
+    fn reset_warm_state(&mut self) {
+        // Stateless between solves: nothing to forget.
+    }
+
+    fn totals(&self) -> SseCacheTotals {
+        self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PayoffTable;
+
+    fn input<'a>(
+        payoffs: &'a PayoffTable,
+        costs: &'a [f64],
+        estimates: &'a [f64],
+        budget: f64,
+    ) -> SseInput<'a> {
+        SseInput {
+            payoffs,
+            audit_costs: costs,
+            future_estimates: estimates,
+            budget,
+        }
+    }
+
+    #[test]
+    fn kinds_report_names_and_support() {
+        assert_eq!(SolverBackendKind::default(), SolverBackendKind::Auto);
+        for kind in [
+            SolverBackendKind::Auto,
+            SolverBackendKind::SimplexLp,
+            SolverBackendKind::ClosedForm,
+        ] {
+            assert_eq!(kind.instantiate().name(), kind.name());
+            assert!(kind.supports(1));
+        }
+        assert!(SolverBackendKind::Auto.supports(7));
+        assert!(SolverBackendKind::SimplexLp.supports(7));
+        assert!(!SolverBackendKind::ClosedForm.supports(7));
+        assert!(!SolverBackendKind::ClosedForm.supports(0));
+    }
+
+    #[test]
+    fn auto_backend_matches_the_cached_solver_exactly() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let mut backend = SolverBackendKind::Auto.instantiate();
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        let mut budget = 50.0;
+        let mut estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        for _ in 0..30 {
+            let input = input(&payoffs, &costs, &estimates, budget);
+            let via_backend = backend.solve(&input).unwrap();
+            let via_solver = solver.solve_cached(&input, &mut cache).unwrap();
+            // The auto backend *is* the cached solver: bitwise agreement.
+            assert_eq!(via_backend, via_solver);
+            budget = (budget - 0.35).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.9).max(0.0);
+            }
+        }
+        assert_eq!(backend.totals(), cache.totals);
+    }
+
+    #[test]
+    fn lp_only_backend_agrees_with_the_closed_form_on_single_type_games() {
+        let payoffs = PayoffTable::paper_single_type();
+        let costs = [1.0];
+        let mut lp_backend = SolverBackendKind::SimplexLp.instantiate();
+        let mut cf_backend = SolverBackendKind::ClosedForm.instantiate();
+        for budget in [0.0, 3.0, 17.5, 40.0, 500.0] {
+            for estimate in [0.0, 1.0, 20.0, 150.0] {
+                let estimates = [estimate];
+                let input = input(&payoffs, &costs, &estimates, budget);
+                let lp = lp_backend.solve(&input).unwrap();
+                let cf = cf_backend.solve(&input).unwrap();
+                assert!(
+                    (lp.coverage[0] - cf.coverage[0]).abs() < 1e-9,
+                    "budget {budget} estimate {estimate}: lp {} vs cf {}",
+                    lp.coverage[0],
+                    cf.coverage[0]
+                );
+                assert!((lp.auditor_utility - cf.auditor_utility).abs() < 1e-9);
+                // The backends disagree only on how they got there.
+                assert!(!lp.stats.fast_path);
+                assert!(cf.stats.fast_path);
+            }
+        }
+        assert!(lp_backend.totals().lp_solves > 0);
+        assert_eq!(cf_backend.totals().lp_solves, 0);
+        assert_eq!(cf_backend.totals().fast_path_solves, 20);
+    }
+
+    #[test]
+    fn closed_form_backend_rejects_multi_type_games() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![50.0; 7];
+        let mut backend = SolverBackendKind::ClosedForm.instantiate();
+        let err = backend
+            .solve(&input(&payoffs, &costs, &estimates, 20.0))
+            .unwrap_err();
+        assert!(matches!(err, SagError::InvalidConfig(_)));
+        assert_eq!(backend.totals().solves, 0, "failed solves are not counted");
+    }
+
+    #[test]
+    fn reset_warm_state_forces_a_cold_resolve_on_the_lp_backend() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![50.0; 7];
+        let mut backend = SimplexLpBackend::auto();
+        let probe = input(&payoffs, &costs, &estimates, 25.0);
+        backend.solve(&probe).unwrap();
+        backend.solve(&probe).unwrap();
+        assert!(backend.totals().warm_attempts > 0);
+        let before = backend.totals();
+        backend.reset_warm_state();
+        backend.solve(&probe).unwrap();
+        let delta = backend.totals().since(&before);
+        assert_eq!(delta.warm_attempts, 0, "post-reset solve must run cold");
+    }
+}

@@ -1,0 +1,213 @@
+//! Warm-start state and cumulative solver-work counters.
+
+use super::solver::CandidateProgram;
+use sag_lp::{LpSolution, SimplexWorkspace};
+
+/// Warm-start state for repeated SSE solves.
+///
+/// Holds, per candidate best-response type, a reusable simplex workspace and
+/// the optimal basis of the previous solve, plus cumulative counters. Create
+/// one per replay (or per thread) and pass it to
+/// [`super::SseSolver::solve_cached`]; the cache is game-shape specific
+/// (number of types), and a cache observed with a different shape is reset
+/// transparently.
+#[derive(Debug, Clone, Default)]
+pub struct SseCache {
+    pub(super) slots: Vec<CandidateSlot>,
+    pub(super) rates: Vec<f64>,
+    /// Cumulative counters across every solve performed with this cache.
+    pub totals: SseCacheTotals,
+}
+
+/// One candidate best-response type's warm-start slot: its cached LP, the
+/// previous optimal basis, and a reusable simplex workspace.
+#[derive(Debug, Clone, Default)]
+pub(super) struct CandidateSlot {
+    pub(super) workspace: SimplexWorkspace,
+    /// Row-ordered optimal basis of the previous solve; empty = none yet.
+    pub(super) basis: Vec<usize>,
+    /// The candidate LP, built once per game shape; subsequent solves only
+    /// rewrite its coefficients in place (no allocation).
+    pub(super) program: Option<CandidateProgram>,
+    /// The most recent optimal solution (kept so the winning candidate's
+    /// budget split can be extracted without re-solving).
+    pub(super) last: Option<LpSolution>,
+}
+
+/// Cumulative counters of an [`SseCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SseCacheTotals {
+    /// SSE computations performed.
+    pub solves: u64,
+    /// Candidate LPs solved (excludes closed-form fast-path solves).
+    pub lp_solves: u64,
+    /// LPs for which a warm basis was available and attempted.
+    pub warm_attempts: u64,
+    /// LPs for which the warm basis was accepted (no cold fallback).
+    pub warm_hits: u64,
+    /// Total simplex pivots.
+    pub pivots: u64,
+    /// Solves answered by the single-type closed form.
+    pub fast_path_solves: u64,
+}
+
+impl SseCacheTotals {
+    /// Counter deltas accumulated since an earlier snapshot of the same
+    /// cache (used to attribute work to one replayed day when a cache is
+    /// shared across many).
+    #[must_use]
+    pub fn since(&self, earlier: &SseCacheTotals) -> SseCacheTotals {
+        SseCacheTotals {
+            solves: self.solves - earlier.solves,
+            lp_solves: self.lp_solves - earlier.lp_solves,
+            warm_attempts: self.warm_attempts - earlier.warm_attempts,
+            warm_hits: self.warm_hits - earlier.warm_hits,
+            pivots: self.pivots - earlier.pivots,
+            fast_path_solves: self.fast_path_solves - earlier.fast_path_solves,
+        }
+    }
+
+    /// Fraction of warm-start attempts that avoided the cold path.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Mean simplex pivots per candidate LP.
+    #[must_use]
+    pub fn pivots_per_lp(&self) -> f64 {
+        if self.lp_solves == 0 {
+            0.0
+        } else {
+            self.pivots as f64 / self.lp_solves as f64
+        }
+    }
+}
+
+impl SseCache {
+    /// Create an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SseCache::default()
+    }
+
+    /// Make sure the cache matches a game with `n` types, resetting the
+    /// warm-start slots if it was shaped for a different game.
+    pub(super) fn ensure_shape(&mut self, n: usize) {
+        if self.slots.len() != n {
+            self.slots.clear();
+            self.slots.resize_with(n, CandidateSlot::default);
+        }
+    }
+
+    /// Forget the recorded warm-start bases (the next solve per candidate
+    /// runs cold) while keeping the allocated programs, workspaces and the
+    /// cumulative [`totals`](Self::totals).
+    ///
+    /// The replay engine calls this at every day boundary: a cold day start
+    /// makes each replayed day a pure function of its own inputs, so batched
+    /// and sharded replays produce bitwise-identical results no matter how
+    /// the days are partitioned, at the cost of one cold solve per day.
+    pub fn reset_warm_state(&mut self) {
+        for slot in &mut self.slots {
+            slot.basis.clear();
+            if let Some(last) = slot.last.take() {
+                slot.workspace.recycle(last);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PayoffTable;
+    use crate::sse::{SseInput, SseSolver};
+
+    #[test]
+    fn totals_of_an_untouched_cache_report_zero_rates() {
+        let totals = SseCacheTotals::default();
+        assert_eq!(totals.solves, 0);
+        // No solves: both derived rates must be well-defined zeros, not NaN.
+        assert_eq!(totals.warm_hit_rate(), 0.0);
+        assert_eq!(totals.pivots_per_lp(), 0.0);
+        // The delta of two empty snapshots is empty.
+        assert_eq!(totals.since(&SseCacheTotals::default()), totals);
+    }
+
+    #[test]
+    fn since_isolates_the_work_of_one_window() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        let input = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &costs,
+            future_estimates: &estimates,
+            budget: 50.0,
+        };
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        for _ in 0..3 {
+            solver.solve_cached(&input, &mut cache).unwrap();
+        }
+        let snapshot = cache.totals;
+        assert_eq!(snapshot.solves, 3);
+        for _ in 0..2 {
+            solver.solve_cached(&input, &mut cache).unwrap();
+        }
+        let delta = cache.totals.since(&snapshot);
+        assert_eq!(delta.solves, 2);
+        assert_eq!(delta.lp_solves, 14, "7 candidate LPs per solve");
+        // Every candidate had a basis by the time the window started.
+        assert_eq!(delta.warm_attempts, 14);
+        // A snapshot delta against itself is empty.
+        assert_eq!(cache.totals.since(&cache.totals), SseCacheTotals::default());
+    }
+
+    #[test]
+    fn totals_survive_a_warm_state_reset() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![50.0; 7];
+        let input = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &costs,
+            future_estimates: &estimates,
+            budget: 25.0,
+        };
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        solver.solve_cached(&input, &mut cache).unwrap();
+        let before_reset = cache.totals;
+        cache.reset_warm_state();
+        // Resetting the warm state must not touch the cumulative counters.
+        assert_eq!(cache.totals, before_reset);
+
+        // The next solve runs cold (no warm attempts in the delta), and a
+        // `since` across the reset still only counts the new work.
+        solver.solve_cached(&input, &mut cache).unwrap();
+        let delta = cache.totals.since(&before_reset);
+        assert_eq!(delta.solves, 1);
+        assert_eq!(delta.warm_attempts, 0, "post-reset solve starts cold");
+        assert_eq!(delta.warm_hit_rate(), 0.0);
+        assert!(delta.pivots_per_lp() >= 0.0);
+    }
+
+    #[test]
+    fn derived_rates_handle_lp_free_windows() {
+        // A window that only saw fast-path (closed-form) solves has solves
+        // but no LP work; the rates must stay finite.
+        let totals = SseCacheTotals {
+            solves: 5,
+            fast_path_solves: 5,
+            ..SseCacheTotals::default()
+        };
+        assert_eq!(totals.warm_hit_rate(), 0.0);
+        assert_eq!(totals.pivots_per_lp(), 0.0);
+    }
+}

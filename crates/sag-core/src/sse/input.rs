@@ -1,0 +1,55 @@
+//! The borrowed problem data of one online SSE computation.
+
+use crate::model::PayoffTable;
+use crate::{Result, SagError};
+
+/// Inputs of one online SSE computation (one triggered alert).
+#[derive(Debug, Clone)]
+pub struct SseInput<'a> {
+    /// Payoff structures per type.
+    pub payoffs: &'a PayoffTable,
+    /// Audit cost `V^t` per type.
+    pub audit_costs: &'a [f64],
+    /// Poisson means of the number of future alerts per type.
+    pub future_estimates: &'a [f64],
+    /// Remaining audit budget `B_τ`.
+    pub budget: f64,
+}
+
+impl SseInput<'_> {
+    pub(crate) fn validate(&self) -> Result<()> {
+        let n = self.payoffs.len();
+        if n == 0 {
+            return Err(SagError::InvalidConfig("empty payoff table".into()));
+        }
+        if self.audit_costs.len() != n || self.future_estimates.len() != n {
+            return Err(SagError::InvalidConfig(format!(
+                "inconsistent lengths: {} payoffs, {} costs, {} estimates",
+                n,
+                self.audit_costs.len(),
+                self.future_estimates.len()
+            )));
+        }
+        if !self.budget.is_finite() || self.budget < 0.0 {
+            return Err(SagError::InvalidConfig(format!(
+                "invalid budget {}",
+                self.budget
+            )));
+        }
+        if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            return Err(SagError::InvalidConfig(
+                "audit costs must be positive".into(),
+            ));
+        }
+        if self
+            .future_estimates
+            .iter()
+            .any(|v| !v.is_finite() || *v < 0.0)
+        {
+            return Err(SagError::InvalidConfig(
+                "future estimates must be nonnegative".into(),
+            ));
+        }
+        Ok(())
+    }
+}

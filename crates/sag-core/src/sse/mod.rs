@@ -1,0 +1,63 @@
+//! Online Strong Stackelberg Equilibrium — the paper's LP (2).
+//!
+//! Given the remaining budget `B_τ` and, for every alert type, a Poisson
+//! estimate of the number of future alerts, the auditor plans a long-term
+//! split of the budget across types. Allocating `B^t` to type `t` yields a
+//! marginal coverage probability
+//!
+//! ```text
+//! θ^t = E_{d ~ Poisson(λ^t)} [ B^t / (V^t · max(d, 1)) ]  =  B^t · ρ^t,
+//! ρ^t = E[1 / max(d, 1)] / V^t,
+//! ```
+//!
+//! which is linear in `B^t`, so the Stackelberg commitment can be computed
+//! with the standard *multiple-LP* method: for each candidate attacker
+//! best-response type `t`, solve an LP that maximises the auditor's utility
+//! against an attack on `t` subject to `t` actually being a best response and
+//! to the budget constraints; then keep the best feasible solution.
+//!
+//! ## Module layout
+//!
+//! * [`input`] — [`SseInput`], the borrowed per-solve problem data;
+//! * [`solution`] — [`SseSolution`] and the per-solve [`SseSolveStats`];
+//! * [`cache`] — [`SseCache`] warm-start state and the cumulative
+//!   [`SseCacheTotals`] counters;
+//! * [`solver`] — [`SseSolver`], the multiple-LP method itself;
+//! * [`backend`] — the [`SolverBackend`] trait the engine's [`crate::engine::DaySession`]
+//!   solves through, with the simplex-LP and closed-form implementations.
+//!
+//! ## The per-alert hot path
+//!
+//! This is the latency-critical computation of the whole system: it runs once
+//! per incoming alert, before the warning dialog can be shown. Three
+//! optimizations keep it fast:
+//!
+//! * **Warm starts** — consecutive alerts differ only by a slightly smaller
+//!   budget and drifted Poisson estimates, so the optimal basis of each
+//!   candidate LP rarely changes. [`SseCache`] remembers the last optimal
+//!   basis per candidate and seeds the next solve from it
+//!   ([`sag_lp::LpProblem::solve_from_basis`]), falling back to a cold solve
+//!   automatically when the basis no longer applies.
+//! * **A single-type closed form** — for one-type games LP (2) reduces to a
+//!   one-variable program whose optimum is attained at a bound, so the
+//!   solver bypasses the LP entirely (promoted to a standalone
+//!   [`ClosedFormBackend`]).
+//! * **Candidate-level parallelism** — with the `parallel` crate feature the
+//!   `n` candidate LPs of games with many types are fanned out over
+//!   `std::thread::scope` threads (the sequential tie-breaking semantics are
+//!   preserved by reducing results in candidate order).
+
+pub mod backend;
+pub mod cache;
+pub mod input;
+pub mod solution;
+pub mod solver;
+
+pub use backend::{ClosedFormBackend, SimplexLpBackend, SolverBackend, SolverBackendKind};
+pub use cache::{SseCache, SseCacheTotals};
+pub use input::SseInput;
+pub use solution::{SseSolution, SseSolveStats};
+pub use solver::SseSolver;
+
+/// Feasibility/optimality tolerance shared with the LP layer.
+pub(crate) const EPS: f64 = sag_lp::EPS;

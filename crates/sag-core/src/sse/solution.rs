@@ -1,0 +1,55 @@
+//! The online SSE solution and its per-solve solver-work statistics.
+
+use sag_sim::AlertTypeId;
+
+/// Per-solve statistics of one online SSE computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SseSolveStats {
+    /// Number of candidate LPs solved (0 when the closed form applied).
+    pub lp_solves: u32,
+    /// How many of those LPs were successfully warm-started.
+    pub warm_hits: u32,
+    /// Total simplex pivots across the candidate LPs.
+    pub pivots: u32,
+    /// Whether the single-type closed form bypassed the LP entirely.
+    pub fast_path: bool,
+}
+
+/// The online SSE: marginal coverage per type and the equilibrium utilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SseSolution {
+    /// Marginal audit (coverage) probability `θ^t` per type.
+    pub coverage: Vec<f64>,
+    /// Long-term budget split `B^t` per type (the LP's decision variables).
+    pub budget_split: Vec<f64>,
+    /// The attacker's best-response type at equilibrium.
+    pub best_response: AlertTypeId,
+    /// Auditor's expected utility against the best-response attack — the
+    /// optimal objective value of LP (2), which is what the paper plots as
+    /// the *online SSE* series.
+    pub auditor_utility: f64,
+    /// Attacker's expected utility at equilibrium.
+    pub attacker_utility: f64,
+    /// How this solution was computed (solver work, warm-start hits).
+    pub stats: SseSolveStats,
+}
+
+impl SseSolution {
+    /// Auditor utility accounting for deterrence: when the attacker's
+    /// equilibrium utility is negative he simply does not attack, and the
+    /// auditor's realised utility is 0 (Theorem 2's first case).
+    #[must_use]
+    pub fn effective_auditor_utility(&self) -> f64 {
+        if self.attacker_utility < 0.0 {
+            0.0
+        } else {
+            self.auditor_utility
+        }
+    }
+
+    /// Coverage of a given type.
+    #[must_use]
+    pub fn coverage_of(&self, id: AlertTypeId) -> f64 {
+        self.coverage.get(id.index()).copied().unwrap_or(0.0)
+    }
+}

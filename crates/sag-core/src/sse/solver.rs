@@ -1,48 +1,12 @@
-//! Online Strong Stackelberg Equilibrium — the paper's LP (2).
-//!
-//! Given the remaining budget `B_τ` and, for every alert type, a Poisson
-//! estimate of the number of future alerts, the auditor plans a long-term
-//! split of the budget across types. Allocating `B^t` to type `t` yields a
-//! marginal coverage probability
-//!
-//! ```text
-//! θ^t = E_{d ~ Poisson(λ^t)} [ B^t / (V^t · max(d, 1)) ]  =  B^t · ρ^t,
-//! ρ^t = E[1 / max(d, 1)] / V^t,
-//! ```
-//!
-//! which is linear in `B^t`, so the Stackelberg commitment can be computed
-//! with the standard *multiple-LP* method: for each candidate attacker
-//! best-response type `t`, solve an LP that maximises the auditor's utility
-//! against an attack on `t` subject to `t` actually being a best response and
-//! to the budget constraints; then keep the best feasible solution.
-//!
-//! ## The per-alert hot path
-//!
-//! This is the latency-critical computation of the whole system: it runs once
-//! per incoming alert, before the warning dialog can be shown. Three
-//! optimizations keep it fast:
-//!
-//! * **Warm starts** — consecutive alerts differ only by a slightly smaller
-//!   budget and drifted Poisson estimates, so the optimal basis of each
-//!   candidate LP rarely changes. [`SseCache`] remembers the last optimal
-//!   basis per candidate and seeds the next solve from it
-//!   ([`LpProblem::solve_from_basis`]), falling back to a cold solve
-//!   automatically when the basis no longer applies.
-//! * **A single-type closed form** — for one-type games LP (2) reduces to a
-//!   one-variable program whose optimum is attained at a bound, so the
-//!   solver bypasses the LP entirely.
-//! * **Candidate-level parallelism** — with the `parallel` crate feature the
-//!   `n` candidate LPs of games with many types are fanned out over
-//!   `std::thread::scope` threads (the sequential tie-breaking semantics are
-//!   preserved by reducing results in candidate order).
+//! The multiple-LP method over [`sag_lp`], with per-candidate warm starts.
 
-use crate::model::PayoffTable;
+use super::cache::{CandidateSlot, SseCache};
+use super::input::SseInput;
+use super::solution::{SseSolution, SseSolveStats};
+use super::EPS;
 use crate::{Result, SagError};
-use sag_lp::{LpError, LpProblem, LpSolution, Objective, Relation, SimplexWorkspace, VarId};
+use sag_lp::{LpError, LpProblem, Objective, Relation, SimplexWorkspace, VarId};
 use sag_sim::AlertTypeId;
-
-/// Feasibility/optimality tolerance shared with the LP layer.
-const EPS: f64 = sag_lp::EPS;
 
 /// Minimum number of candidate types before the `parallel` feature fans the
 /// candidate LPs out over threads; below this, thread spawn overhead exceeds
@@ -50,143 +14,11 @@ const EPS: f64 = sag_lp::EPS;
 #[cfg(feature = "parallel")]
 const PARALLEL_MIN_TYPES: usize = 8;
 
-/// Inputs of one online SSE computation (one triggered alert).
-#[derive(Debug, Clone)]
-pub struct SseInput<'a> {
-    /// Payoff structures per type.
-    pub payoffs: &'a PayoffTable,
-    /// Audit cost `V^t` per type.
-    pub audit_costs: &'a [f64],
-    /// Poisson means of the number of future alerts per type.
-    pub future_estimates: &'a [f64],
-    /// Remaining audit budget `B_τ`.
-    pub budget: f64,
-}
-
-impl SseInput<'_> {
-    fn validate(&self) -> Result<()> {
-        let n = self.payoffs.len();
-        if n == 0 {
-            return Err(SagError::InvalidConfig("empty payoff table".into()));
-        }
-        if self.audit_costs.len() != n || self.future_estimates.len() != n {
-            return Err(SagError::InvalidConfig(format!(
-                "inconsistent lengths: {} payoffs, {} costs, {} estimates",
-                n,
-                self.audit_costs.len(),
-                self.future_estimates.len()
-            )));
-        }
-        if !self.budget.is_finite() || self.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!(
-                "invalid budget {}",
-                self.budget
-            )));
-        }
-        if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-            return Err(SagError::InvalidConfig(
-                "audit costs must be positive".into(),
-            ));
-        }
-        if self
-            .future_estimates
-            .iter()
-            .any(|v| !v.is_finite() || *v < 0.0)
-        {
-            return Err(SagError::InvalidConfig(
-                "future estimates must be nonnegative".into(),
-            ));
-        }
-        Ok(())
-    }
-}
-
-/// Per-solve statistics of one online SSE computation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SseSolveStats {
-    /// Number of candidate LPs solved (0 when the closed form applied).
-    pub lp_solves: u32,
-    /// How many of those LPs were successfully warm-started.
-    pub warm_hits: u32,
-    /// Total simplex pivots across the candidate LPs.
-    pub pivots: u32,
-    /// Whether the single-type closed form bypassed the LP entirely.
-    pub fast_path: bool,
-}
-
-/// The online SSE: marginal coverage per type and the equilibrium utilities.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SseSolution {
-    /// Marginal audit (coverage) probability `θ^t` per type.
-    pub coverage: Vec<f64>,
-    /// Long-term budget split `B^t` per type (the LP's decision variables).
-    pub budget_split: Vec<f64>,
-    /// The attacker's best-response type at equilibrium.
-    pub best_response: AlertTypeId,
-    /// Auditor's expected utility against the best-response attack — the
-    /// optimal objective value of LP (2), which is what the paper plots as
-    /// the *online SSE* series.
-    pub auditor_utility: f64,
-    /// Attacker's expected utility at equilibrium.
-    pub attacker_utility: f64,
-    /// How this solution was computed (solver work, warm-start hits).
-    pub stats: SseSolveStats,
-}
-
-impl SseSolution {
-    /// Auditor utility accounting for deterrence: when the attacker's
-    /// equilibrium utility is negative he simply does not attack, and the
-    /// auditor's realised utility is 0 (Theorem 2's first case).
-    #[must_use]
-    pub fn effective_auditor_utility(&self) -> f64 {
-        if self.attacker_utility < 0.0 {
-            0.0
-        } else {
-            self.auditor_utility
-        }
-    }
-
-    /// Coverage of a given type.
-    #[must_use]
-    pub fn coverage_of(&self, id: AlertTypeId) -> f64 {
-        self.coverage.get(id.index()).copied().unwrap_or(0.0)
-    }
-}
-
-/// Warm-start state for repeated SSE solves.
-///
-/// Holds, per candidate best-response type, a reusable simplex workspace and
-/// the optimal basis of the previous solve, plus cumulative counters. Create
-/// one per replay (or per thread) and pass it to
-/// [`SseSolver::solve_cached`]; the cache is game-shape specific (number of
-/// types), and a cache observed with a different shape is reset
-/// transparently.
-#[derive(Debug, Clone, Default)]
-pub struct SseCache {
-    slots: Vec<CandidateSlot>,
-    rates: Vec<f64>,
-    /// Cumulative counters across every solve performed with this cache.
-    pub totals: SseCacheTotals,
-}
-
-#[derive(Debug, Clone, Default)]
-struct CandidateSlot {
-    workspace: SimplexWorkspace,
-    /// Row-ordered optimal basis of the previous solve; empty = none yet.
-    basis: Vec<usize>,
-    /// The candidate LP, built once per game shape; subsequent solves only
-    /// rewrite its coefficients in place (no allocation).
-    program: Option<CandidateProgram>,
-    /// The most recent optimal solution (kept so the winning candidate's
-    /// budget split can be extracted without re-solving).
-    last: Option<LpSolution>,
-}
-
 /// A cached candidate LP: the problem plus its variable handles.
 #[derive(Debug, Clone)]
-struct CandidateProgram {
-    lp: LpProblem,
-    vars: Vec<VarId>,
+pub(super) struct CandidateProgram {
+    pub(super) lp: LpProblem,
+    pub(super) vars: Vec<VarId>,
 }
 
 /// The scalar outcome of one candidate LP solve; the full solution stays in
@@ -200,94 +32,6 @@ struct CandidateOutcome {
     attacker_utility: f64,
     warm_hit: bool,
     pivots: u32,
-}
-
-/// Cumulative counters of an [`SseCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SseCacheTotals {
-    /// SSE computations performed.
-    pub solves: u64,
-    /// Candidate LPs solved (excludes closed-form fast-path solves).
-    pub lp_solves: u64,
-    /// LPs for which a warm basis was available and attempted.
-    pub warm_attempts: u64,
-    /// LPs for which the warm basis was accepted (no cold fallback).
-    pub warm_hits: u64,
-    /// Total simplex pivots.
-    pub pivots: u64,
-    /// Solves answered by the single-type closed form.
-    pub fast_path_solves: u64,
-}
-
-impl SseCacheTotals {
-    /// Counter deltas accumulated since an earlier snapshot of the same
-    /// cache (used to attribute work to one replayed day when a cache is
-    /// shared across many).
-    #[must_use]
-    pub fn since(&self, earlier: &SseCacheTotals) -> SseCacheTotals {
-        SseCacheTotals {
-            solves: self.solves - earlier.solves,
-            lp_solves: self.lp_solves - earlier.lp_solves,
-            warm_attempts: self.warm_attempts - earlier.warm_attempts,
-            warm_hits: self.warm_hits - earlier.warm_hits,
-            pivots: self.pivots - earlier.pivots,
-            fast_path_solves: self.fast_path_solves - earlier.fast_path_solves,
-        }
-    }
-
-    /// Fraction of warm-start attempts that avoided the cold path.
-    #[must_use]
-    pub fn warm_hit_rate(&self) -> f64 {
-        if self.warm_attempts == 0 {
-            0.0
-        } else {
-            self.warm_hits as f64 / self.warm_attempts as f64
-        }
-    }
-
-    /// Mean simplex pivots per candidate LP.
-    #[must_use]
-    pub fn pivots_per_lp(&self) -> f64 {
-        if self.lp_solves == 0 {
-            0.0
-        } else {
-            self.pivots as f64 / self.lp_solves as f64
-        }
-    }
-}
-
-impl SseCache {
-    /// Create an empty cache.
-    #[must_use]
-    pub fn new() -> Self {
-        SseCache::default()
-    }
-
-    /// Make sure the cache matches a game with `n` types, resetting the
-    /// warm-start slots if it was shaped for a different game.
-    fn ensure_shape(&mut self, n: usize) {
-        if self.slots.len() != n {
-            self.slots.clear();
-            self.slots.resize_with(n, CandidateSlot::default);
-        }
-    }
-
-    /// Forget the recorded warm-start bases (the next solve per candidate
-    /// runs cold) while keeping the allocated programs, workspaces and the
-    /// cumulative [`totals`](Self::totals).
-    ///
-    /// The replay engine calls this at every day boundary: a cold day start
-    /// makes each replayed day a pure function of its own inputs, so batched
-    /// and sharded replays produce bitwise-identical results no matter how
-    /// the days are partitioned, at the cost of one cold solve per day.
-    pub fn reset_warm_state(&mut self) {
-        for slot in &mut self.slots {
-            slot.basis.clear();
-            if let Some(last) = slot.last.take() {
-                slot.workspace.recycle(last);
-            }
-        }
-    }
 }
 
 /// Solver for the online SSE (the multiple-LP method over [`sag_lp`]).
@@ -304,7 +48,7 @@ impl SseSolver {
     }
 
     /// Per-unit-budget coverage rates `ρ^t` for the given input.
-    fn coverage_rates_into(input: &SseInput<'_>, rates: &mut Vec<f64>) {
+    pub(super) fn coverage_rates_into(input: &SseInput<'_>, rates: &mut Vec<f64>) {
         rates.clear();
         rates.extend(
             input
@@ -355,13 +99,26 @@ impl SseSolver {
     ///
     /// Same as [`solve`](Self::solve).
     pub fn solve_cached(&self, input: &SseInput<'_>, cache: &mut SseCache) -> Result<SseSolution> {
+        self.solve_cached_with(input, cache, true)
+    }
+
+    /// [`solve_cached`](Self::solve_cached) with the single-type closed-form
+    /// fast path made optional: the simplex-LP backend disables it so that
+    /// *every* game, single-type included, runs through the multiple-LP
+    /// method (see [`super::SimplexLpBackend::lp_only`]).
+    pub(super) fn solve_cached_with(
+        &self,
+        input: &SseInput<'_>,
+        cache: &mut SseCache,
+        allow_fast_path: bool,
+    ) -> Result<SseSolution> {
         input.validate()?;
         let n = input.payoffs.len();
         cache.ensure_shape(n);
         let mut rates = std::mem::take(&mut cache.rates);
         Self::coverage_rates_into(input, &mut rates);
 
-        let result = if n == 1 {
+        let result = if n == 1 && allow_fast_path {
             let solution = Self::solve_single_type(input, &rates);
             cache.totals.solves += 1;
             cache.totals.fast_path_solves += 1;
@@ -508,7 +265,7 @@ impl SseSolver {
     /// `B ∈ [0, min(budget, 1/ρ)]` and objective slope `ρ·(Ud,c − Ud,u)`
     /// attains its optimum at the upper bound when the slope is positive and
     /// at zero otherwise — exactly what the simplex returns on this program.
-    fn solve_single_type(input: &SseInput<'_>, rates: &[f64]) -> SseSolution {
+    pub(super) fn solve_single_type(input: &SseInput<'_>, rates: &[f64]) -> SseSolution {
         let payoffs = input.payoffs.get(AlertTypeId(0));
         let rate = rates[0];
         let upper = if rate > 0.0 {

@@ -1,5 +1,17 @@
-//! Replays scenarios through the engine's sharded batch driver and
-//! aggregates the metrics `BENCH_2.json` tracks.
+//! Replays scenarios through the engine and aggregates the metrics
+//! `BENCH_2.json` tracks.
+//!
+//! Two replay modes share the same [`ScenarioRun`] shape:
+//!
+//! * [`run_scenario_sized`] — the sharded batch driver
+//!   ([`AuditCycleEngine::replay_sharded`]), which streams each recorded day
+//!   through a [`sag_core::DaySession`] internally; the throughput path.
+//! * [`stream_scenario_sized`] — the explicit alert-at-a-time path: one
+//!   [`sag_core::DaySession`] per day, one
+//!   [`push_alert`](sag_core::DaySession::push_alert) per alert, with the
+//!   wall-clock decision latency of every push recorded. This is what a
+//!   production deployment's ingest loop looks like, and what the streaming
+//!   section of `BENCH_1.json` measures.
 
 use crate::scenario::Scenario;
 use sag_core::engine::{AuditCycleEngine, ReplayJob};
@@ -52,7 +64,9 @@ impl ScenarioRun {
         totals
     }
 
-    /// Alert-weighted mean of a per-outcome quantity.
+    /// Alert-weighted mean of a per-outcome quantity. Weighting by alert
+    /// count means zero-alert days contribute nothing — empty days can never
+    /// skew a scenario average (they would under a day-weighted mean).
     fn mean_outcome(&self, value: impl Fn(&sag_core::AlertOutcome) -> f64) -> f64 {
         let alerts = self.alerts();
         if alerts == 0 {
@@ -151,6 +165,68 @@ pub fn run_scenario_sized(
     })
 }
 
+/// A scenario streamed alert-by-alert through [`sag_core::DaySession`]s,
+/// with the per-alert decision latency of every push recorded.
+#[derive(Debug, Clone)]
+pub struct StreamingRun {
+    /// The batch-shaped view of the streamed replay (always 1 shard).
+    pub run: ScenarioRun,
+    /// Wall-clock latency of each [`push_alert`](sag_core::DaySession::push_alert)
+    /// call, in nanoseconds, in arrival order across all replayed days. This
+    /// is the full decision latency — forecast update, both worlds' SSE
+    /// solves, signaling scheme, budget charge — not just the solve time the
+    /// [`sag_core::AlertOutcome::solve_micros`] field records.
+    pub push_nanos: Vec<u64>,
+}
+
+/// Stream `scenario` alert-at-a-time with an explicit evaluation layout:
+/// open a [`sag_core::DaySession`] per test day, push every alert of the
+/// recorded day individually, and time each push.
+///
+/// The resulting [`CycleResult`]s are bitwise identical to
+/// [`run_scenario_sized`] at any shard count — the batch driver is a wrapper
+/// over the same sessions — so this mode only adds the latency telemetry.
+///
+/// # Errors
+///
+/// Propagates engine construction and solver errors.
+pub fn stream_scenario_sized(
+    scenario: &dyn Scenario,
+    seed: u64,
+    history_days: u32,
+    test_days: u32,
+) -> Result<StreamingRun> {
+    let engine = AuditCycleEngine::new(scenario.engine_config())?;
+    let days = scenario.generate_days(seed, history_days + test_days);
+    let log = sag_sim::AlertLog::new(days);
+    let groups = log.rolling_groups(history_days as usize);
+
+    let mut cycles = Vec::with_capacity(groups.len());
+    let mut push_nanos = Vec::with_capacity(log.total_alerts());
+    let started = Instant::now();
+    for (history, test_day) in groups {
+        let mut session = engine.open_day(history, scenario.budget_for_day(test_day.day()))?;
+        session.set_day(test_day.day());
+        for alert in test_day.alerts() {
+            let arrived = Instant::now();
+            session.push_alert(alert)?;
+            push_nanos.push(arrived.elapsed().as_nanos() as u64);
+        }
+        cycles.push(session.finish());
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    Ok(StreamingRun {
+        run: ScenarioRun {
+            name: scenario.name(),
+            shards: 1,
+            wall_seconds,
+            cycles,
+        },
+        push_nanos,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +243,22 @@ mod tests {
         let totals = run.sse_totals();
         assert_eq!(totals.solves as usize, run.alerts());
         assert!(totals.warm_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn streaming_run_matches_the_batch_driver_bitwise() {
+        let batch = run_scenario_sized(&PaperBaseline, 19, 1, 5, 2).unwrap();
+        let streamed = stream_scenario_sized(&PaperBaseline, 19, 5, 2).unwrap();
+        assert_eq!(streamed.push_nanos.len(), batch.alerts());
+        assert_eq!(streamed.run.cycles.len(), batch.cycles.len());
+        for (s, b) in streamed.run.cycles.iter().zip(&batch.cycles) {
+            let mut s = s.clone();
+            let mut b = b.clone();
+            for o in s.outcomes.iter_mut().chain(b.outcomes.iter_mut()) {
+                o.solve_micros = 0;
+            }
+            assert_eq!(s, b, "day {}", b.day);
+        }
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! * [`registry`](mod@registry) — the canonical list of registered
 //!   scenarios, which the `repro_scenarios` benchmark replays end to end;
 //! * [`driver`] — runs a scenario through the engine's sharded replay
-//!   ([`sag_core::engine::AuditCycleEngine::replay_sharded`]) and aggregates
-//!   throughput, solver-work and utility metrics.
+//!   ([`sag_core::engine::AuditCycleEngine::replay_sharded`]) or streams it
+//!   alert-at-a-time through [`sag_core::DaySession`]s (recording per-alert
+//!   decision latency), and aggregates throughput, solver-work and utility
+//!   metrics.
 //!
 //! Results are deterministic: a scenario replayed with any shard count, with
 //! or without the `parallel` feature, produces bitwise-identical
@@ -30,6 +32,8 @@ pub mod library;
 pub mod registry;
 pub mod scenario;
 
-pub use driver::{run_scenario, run_scenario_sized, ScenarioRun};
+pub use driver::{
+    run_scenario, run_scenario_sized, stream_scenario_sized, ScenarioRun, StreamingRun,
+};
 pub use registry::{find_scenario, registry};
 pub use scenario::Scenario;

@@ -1,0 +1,107 @@
+//! Streaming equivalence: a `DaySession` fed alert-by-alert produces
+//! bitwise-identical `CycleResult`s to the batch `run_day` wrapper and to
+//! `replay_sharded` at every shard count — across the full scenario
+//! registry and for both general-purpose solver backends. This is the
+//! contract that lets ingest loops, batch replays and sharded benchmarks
+//! share one engine without ever diverging on results.
+
+use sag_core::engine::{AuditCycleEngine, EngineConfig, ReplayJob};
+use sag_core::sse::SolverBackendKind;
+use sag_core::CycleResult;
+use sag_scenarios::{registry, Scenario};
+use sag_sim::AlertLog;
+
+/// Zero the wall-clock timing field so results can be compared exactly.
+fn untimed(mut cycle: CycleResult) -> CycleResult {
+    for o in &mut cycle.outcomes {
+        o.solve_micros = 0;
+    }
+    cycle
+}
+
+/// Stream every rolling group of `scenario` through a session and check the
+/// results against the batch wrappers, bitwise.
+fn assert_streaming_equivalence(
+    scenario: &dyn Scenario,
+    backend: SolverBackendKind,
+    seed: u64,
+    history_days: u32,
+    days: u32,
+) {
+    let mut config: EngineConfig = scenario.engine_config();
+    config.backend = backend;
+    let engine = AuditCycleEngine::new(config).expect("scenario engine");
+    let log = AlertLog::new(scenario.generate_days(seed, days));
+    let groups = log.rolling_groups(history_days as usize);
+    assert!(
+        groups.len() >= 2,
+        "need several days to make the test count"
+    );
+
+    // The streaming reference: one session per day, one push per alert.
+    let mut streamed: Vec<CycleResult> = Vec::new();
+    for &(history, test_day) in &groups {
+        let mut session = engine
+            .open_day(history, scenario.budget_for_day(test_day.day()))
+            .expect("session opens");
+        session.set_day(test_day.day());
+        for alert in test_day.alerts() {
+            session.push_alert(alert).expect("alert processes");
+        }
+        streamed.push(untimed(session.finish()));
+    }
+
+    // Batch leg 1: run_day per group (flat-budget scenarios only — run_day
+    // has no budget override).
+    let name = scenario.name();
+    if groups
+        .iter()
+        .all(|&(_, t)| scenario.budget_for_day(t.day()).is_none())
+    {
+        for (&(history, test_day), reference) in groups.iter().zip(&streamed) {
+            let batch = untimed(engine.run_day(history, test_day).expect("day replays"));
+            assert_eq!(
+                &batch,
+                reference,
+                "{name} [{backend:?}]: run_day disagrees with streaming on day {}",
+                test_day.day()
+            );
+        }
+    }
+
+    // Batch leg 2: replay_sharded at several shard counts.
+    let jobs: Vec<ReplayJob<'_>> = groups
+        .iter()
+        .map(|&(history, test_day)| ReplayJob {
+            history,
+            test_day,
+            budget: scenario.budget_for_day(test_day.day()),
+        })
+        .collect();
+    for shards in [1, 2, jobs.len() * 2] {
+        let sharded: Vec<CycleResult> = engine
+            .replay_sharded(&jobs, shards)
+            .expect("sharded replays")
+            .into_iter()
+            .map(untimed)
+            .collect();
+        assert_eq!(
+            streamed, sharded,
+            "{name} [{backend:?}]: {shards} shard(s) disagree with streaming"
+        );
+    }
+}
+
+#[test]
+fn every_registered_scenario_streams_identically_on_the_auto_backend() {
+    for scenario in registry() {
+        assert_streaming_equivalence(scenario.as_ref(), SolverBackendKind::Auto, 2026, 4, 7);
+    }
+}
+
+#[test]
+fn every_registered_scenario_streams_identically_on_the_lp_backend() {
+    for scenario in registry() {
+        assert_streaming_equivalence(scenario.as_ref(), SolverBackendKind::SimplexLp, 2026, 4, 7);
+    }
+}

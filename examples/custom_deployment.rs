@@ -2,6 +2,11 @@
 //! desk with three custom alert types, heterogeneous audit costs and a Monte
 //! Carlo check of what a strategic attacker would actually experience.
 //!
+//! The replay uses the *streaming* session API — `open_day` once, then one
+//! `push_alert` per arriving alert — which is the shape of a production
+//! ingest loop: every warning decision is committed before the next alert is
+//! seen.
+//!
 //! Run with: `cargo run --release --example custom_deployment`
 
 use rand::rngs::StdRng;
@@ -58,15 +63,33 @@ fn main() {
     let history = generator.generate_days(30);
     let test_day = generator.generate_day(30);
 
-    // 3. Replay the day.
+    // 3. Stream the day through a session, alert by alert — exactly what a
+    //    live deployment's ingest loop does. Each push returns the committed
+    //    decision for that alert (the scheme to sample the warning from and
+    //    the expected utility), and the first few are printed as they land.
     let engine =
         AuditCycleEngine::new(EngineConfig::paper_defaults(game)).expect("valid configuration");
-    let result = engine
-        .run_day(&history, &test_day)
-        .expect("replay succeeds");
+    let mut session = engine
+        .open_day(&history, None)
+        .expect("session opens on a valid configuration");
+    println!("live decisions as the first alerts arrive:");
+    for alert in test_day.alerts() {
+        let outcome = session.push_alert(alert).expect("alert processes");
+        if outcome.index < 5 {
+            println!(
+                "  {} type {} -> warn w.p. {:.3}, audit w.p. {:.3}, budget left {:.2}",
+                outcome.time,
+                outcome.type_id,
+                outcome.ossp_scheme.warning_probability(),
+                outcome.coverage_ossp,
+                session.remaining_budget_ossp()
+            );
+        }
+    }
+    let result = session.finish();
     let summary = ExperimentSummary::from_cycles(std::slice::from_ref(&result));
 
-    println!("fraud desk, {} alerts on the test day", result.len());
+    println!("\nfraud desk, {} alerts on the test day", result.len());
     println!("  mean utility, OSSP        : {:8.2}", summary.mean_ossp);
     println!("  mean utility, online SSE  : {:8.2}", summary.mean_online);
     println!("  mean utility, offline SSE : {:8.2}", summary.mean_offline);

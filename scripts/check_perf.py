@@ -64,6 +64,43 @@ def main():
         f'{fresh["warm_vs_cold_5type"]["speedup"]:.2f}x warm-vs-cold',
     )
 
+    # ---- BENCH_1: streaming (push_alert) decision latency -----------------
+    # The streaming block must exist with sane percentiles (a missing or
+    # zeroed block means the session ingest path silently stopped being
+    # measured), its throughput is floored like the bulk replay, and its p99
+    # is ceilinged against the committed baseline: latency is
+    # lower-is-better, so the fresh run may be at most 1/floor (4x at the
+    # default 0.25) of the baseline p99.
+    streaming = fresh.get("streaming")
+    streaming_ok = isinstance(streaming, dict) and isinstance(
+        streaming.get("latency_micros"), dict)
+    check(
+        "streaming.present",
+        streaming_ok,
+        "BENCH_1 carries a streaming latency block",
+    )
+    if streaming_ok:
+        lat = streaming["latency_micros"]
+        check(
+            "streaming.latency_sane",
+            0.0 < lat["p50"] <= lat["p99"],
+            f'p50 {lat["p50"]:.1f}us <= p99 {lat["p99"]:.1f}us',
+        )
+        floor_stream_aps = baseline["streaming"]["alerts_per_sec"] * args.floor
+        check(
+            "streaming.alerts_per_sec",
+            streaming["alerts_per_sec"] >= floor_stream_aps,
+            f'{streaming["alerts_per_sec"]:.0f} alerts/sec '
+            f"(floor {floor_stream_aps:.0f})",
+        )
+        p99_ceiling = baseline["streaming"]["latency_micros"]["p99"] / args.floor
+        check(
+            "streaming.p99_micros",
+            lat["p99"] <= p99_ceiling,
+            f'{lat["p99"]:.1f}us (ceiling {p99_ceiling:.1f}us, baseline '
+            f'{baseline["streaming"]["latency_micros"]["p99"]:.1f}us)',
+        )
+
     # ---- BENCH_2: every registered scenario replays at real throughput ----
     # The throughput floor here is deliberately absolute, not derived from
     # the 7-type BENCH_1 baseline: scenarios are free to be intrinsically

@@ -26,18 +26,19 @@ pub use sag_sim as sim;
 pub mod prelude {
     pub use sag_core::engine::{
         recommended_shards, AlertOutcome, AuditCycleEngine, BudgetAccounting, CycleResult,
-        EngineConfig, ReplayJob,
+        DaySession, EngineConfig, ReplayJob,
     };
     pub use sag_core::metrics::{ExperimentSummary, UtilitySeries};
     pub use sag_core::model::{GameConfig, PayoffTable, Payoffs};
     pub use sag_core::offline::OfflineSse;
     pub use sag_core::scheme::{Signal, SignalingScheme};
     pub use sag_core::signaling::{ossp_closed_form, ossp_lp, OsspSolution};
-    pub use sag_core::sse::{SseInput, SseSolution, SseSolver};
+    pub use sag_core::sse::{SolverBackend, SolverBackendKind, SseInput, SseSolution, SseSolver};
     pub use sag_forecast::{ArrivalModel, FutureAlertEstimator, RollbackPolicy};
     pub use sag_lp::{LpProblem, Objective as LpObjective, Relation};
     pub use sag_scenarios::{
-        find_scenario, registry, run_scenario, run_scenario_sized, Scenario, ScenarioRun,
+        find_scenario, registry, run_scenario, run_scenario_sized, stream_scenario_sized, Scenario,
+        ScenarioRun, StreamingRun,
     };
     pub use sag_sim::{
         Alert, AlertCatalog, AlertTypeId, AlertTypeInfo, ArrivalProcess, DayLog, DiurnalProfile,
