@@ -1,0 +1,103 @@
+//! Criterion benches for the incremental solve layer: pruned vs exhaustive
+//! cached SSE solves across type counts (the per-alert scaling story), the
+//! cost of pricing one pruning bound, and the dispatch overhead of the
+//! persistent worker pool (the data behind `PARALLEL_MIN_TYPES`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sag_core::sse::{SseCache, SseInput, SseSolver};
+use sag_pool::{Task, WorkerPool};
+use sag_scenarios::library::{MetroGrid, MultiSite, PaperBaseline};
+use sag_scenarios::Scenario;
+use std::hint::black_box;
+
+/// The per-solve inputs of a registered scenario's game, at mid-day (60% of
+/// the daily volumes still ahead, mid-day budget). Benchmarking the *real*
+/// registry games keeps this scaling story honest — synthetic payoff ramps
+/// can be arbitrarily degenerate for the simplex.
+fn scenario_inputs(scenario: &dyn Scenario) -> (sag_core::GameConfig, Vec<f64>, f64) {
+    let game = scenario.engine_config().game;
+    let estimates: Vec<f64> = game
+        .catalog
+        .types()
+        .iter()
+        .map(|info| info.daily_mean * 0.6)
+        .collect();
+    let budget = game.budget * 0.7;
+    (game, estimates, budget)
+}
+
+/// Steady-state cached solves over a drifting budget (the shape of
+/// consecutive alerts), pruned vs exhaustive, on the paper's 7-type game,
+/// the 14-type multi-site federation and the 28-type metro grid. The ratio
+/// of the two arms at each size is the headline pruning speedup; its growth
+/// with the type count is the scale-with-change (not type-count) claim.
+fn pruned_vs_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sse_pruning");
+    let scenarios: [(&str, &dyn Scenario); 3] = [
+        ("7_types_paper", &PaperBaseline),
+        ("14_types_multi_site", &MultiSite),
+        ("28_types_metro_grid", &MetroGrid),
+    ];
+    for (size_label, scenario) in scenarios {
+        let (game, estimates, budget) = scenario_inputs(scenario);
+        for (label, solver) in [
+            ("pruned", SseSolver::new()),
+            ("exhaustive", SseSolver::exhaustive()),
+        ] {
+            group.bench_function(format!("{label}/{size_label}"), |b| {
+                let mut cache = SseCache::new();
+                let input = SseInput {
+                    payoffs: &game.payoffs,
+                    audit_costs: &game.audit_costs,
+                    future_estimates: &estimates,
+                    budget,
+                };
+                // Pre-warm so the measured loop is the steady state.
+                solver.solve_cached(&input, &mut cache).unwrap();
+                let mut step = 0u64;
+                b.iter(|| {
+                    // Small deterministic drift, like one processed alert.
+                    step += 1;
+                    let input = SseInput {
+                        budget: budget - 0.001 * (step % 1000) as f64,
+                        ..input.clone()
+                    };
+                    black_box(
+                        solver
+                            .solve_cached(black_box(&input), &mut cache)
+                            .unwrap()
+                            .auditor_utility,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Dispatch overhead of one `WorkerPool::run` batch of trivial tasks — the
+/// fixed cost a candidate fan-out must amortize. Compare against the
+/// per-candidate solve cost from `sse_pruning` to justify
+/// `PARALLEL_MIN_TYPES`.
+fn pool_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    let pool = WorkerPool::new(std::thread::available_parallelism().map_or(2, usize::from));
+    for tasks in [2usize, 4, 8] {
+        group.bench_function(format!("{tasks}_noop_tasks"), |b| {
+            b.iter(|| {
+                let batch: Vec<Task<'_>> = (0..tasks)
+                    .map(|i| {
+                        Box::new(move || {
+                            black_box(i);
+                        }) as Task<'_>
+                    })
+                    .collect();
+                pool.run(batch);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pruned_vs_exhaustive, pool_dispatch);
+criterion_main!(benches);

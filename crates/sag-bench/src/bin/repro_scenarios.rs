@@ -25,32 +25,47 @@ fn main() {
     let report = scenario_suite(&SuiteConfig::full(seed, shards)).expect("registry replays");
 
     println!(
-        "{:<16} {:>7} {:>12} {:>9} {:>10} {:>10} {:>10} {:>9}",
-        "scenario", "alerts", "alerts/sec", "warm-hit", "OSSP", "online", "offline", "deterred"
+        "{:<16} {:>7} {:>12} {:>9} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "scenario",
+        "alerts",
+        "alerts/sec",
+        "warm-hit",
+        "pruned",
+        "LPs/slv",
+        "OSSP",
+        "online",
+        "deterred"
     );
     for s in &report.scenarios {
         println!(
-            "{:<16} {:>7} {:>12.0} {:>8.1}% {:>10.2} {:>10.2} {:>10.2} {:>8.1}%",
+            "{:<16} {:>7} {:>12.0} {:>8.1}% {:>7.1}% {:>8.2} {:>10.2} {:>10.2} {:>8.1}%",
             s.name,
             s.alerts,
             s.alerts_per_sec,
             s.warm_hit_rate * 100.0,
+            s.pruned_lp_fraction * 100.0,
+            s.lp_solves_per_solve,
             s.mean_ossp,
             s.mean_online,
-            s.mean_offline,
             s.fraction_deterred * 100.0
         );
     }
 
     let sh = &report.sharding;
     println!(
-        "\nsharding ({} x {} jobs, {} thread(s) available):",
-        sh.scenario, sh.jobs, sh.threads_available
+        "\nsharding ({} x {} jobs, {} thread(s) available, parallel feature {}):",
+        sh.scenario,
+        sh.jobs,
+        sh.threads_available,
+        if sh.parallel_feature { "on" } else { "off" }
     );
     println!(
         "  1 shard : {:>8.4} s\n  {} shards: {:>8.4} s\n  speedup : {:>8.2}x",
         sh.seq_wall_seconds, sh.shards, sh.sharded_wall_seconds, sh.speedup
     );
+    if let Some(note) = &sh.note {
+        println!("  note    : {note}");
+    }
 
     let json = render_suite_json(&report);
     std::fs::write(&out_path, format!("{json}\n")).expect("write scenario report");

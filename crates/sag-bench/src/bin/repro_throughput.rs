@@ -63,6 +63,17 @@ fn main() {
         "5-type SSE solve      : {:>10.2} us warm vs {:.2} us cold ({:.2}x speedup)",
         report.warm_micros_5type, report.cold_micros_5type, report.warm_speedup_5type
     );
+    let p = &report.pruning;
+    println!(
+        "incremental pruning   : {:>10.0} alerts/sec pruned vs {:.0} exhaustive ({:.2}x)",
+        p.pruned_alerts_per_sec, p.exhaustive_alerts_per_sec, p.speedup
+    );
+    println!(
+        "  candidate LPs       : {:>10.2} solved/solve (exhaustive {:.2}), {:.1}% pruned",
+        p.lp_solves_per_solve_pruned,
+        p.lp_solves_per_solve_exhaustive,
+        p.pruned_lp_fraction * 100.0
+    );
     println!("paper reference       : ~20000.0 us per alert (2017 laptop hardware)");
 
     let json = render_json(&report);

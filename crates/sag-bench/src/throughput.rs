@@ -23,7 +23,9 @@
 use crate::setup;
 use sag_core::sse::{SseCache, SseSolver};
 use sag_core::CycleResult;
-use sag_scenarios::{find_scenario, run_scenario_sized, stream_scenario_sized};
+use sag_scenarios::{
+    find_scenario, run_scenario_sized, run_scenario_sized_with, stream_scenario_sized,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -74,6 +76,25 @@ pub struct StreamingLatencyReport {
     pub mean_micros: f64,
 }
 
+/// The incremental-pruning comparison: the same workload replayed with the
+/// pruning layer on (the default) and off (every candidate LP solved).
+/// Results are bitwise identical between the arms; only the work differs.
+#[derive(Debug, Clone, Copy)]
+pub struct PruningReport {
+    /// Replay throughput with incremental pruning (the default engine).
+    pub pruned_alerts_per_sec: f64,
+    /// Replay throughput with the exhaustive multiple-LP reference.
+    pub exhaustive_alerts_per_sec: f64,
+    /// `pruned / exhaustive` — above 1 means pruning won wall-clock time.
+    pub speedup: f64,
+    /// Fraction of candidate LPs the bound skipped in the pruned arm.
+    pub pruned_lp_fraction: f64,
+    /// Candidate LPs actually solved per SSE solve, pruned arm.
+    pub lp_solves_per_solve_pruned: f64,
+    /// Candidate LPs solved per SSE solve, exhaustive arm (≈ the type count).
+    pub lp_solves_per_solve_exhaustive: f64,
+}
+
 /// Everything a throughput run measures.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputReport {
@@ -102,6 +123,8 @@ pub struct ThroughputReport {
     pub cold_micros_5type: f64,
     /// Cold time divided by warm time on the 5-type game.
     pub warm_speedup_5type: f64,
+    /// Pruned-vs-exhaustive comparison on the same workload.
+    pub pruning: PruningReport,
 }
 
 /// Run the full throughput experiment.
@@ -128,13 +151,80 @@ pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
 
     let streaming = streaming_experiment(config);
     let (warm_micros_5type, cold_micros_5type) = warm_vs_cold_5type(config.comparison_solves);
+    let pruning = pruning_experiment(config);
     summarize(
         &run.cycles,
         run.wall_seconds,
         streaming,
         warm_micros_5type,
         cold_micros_5type,
+        pruning,
     )
+}
+
+/// Replay the configured workload twice — incremental pruning on, then off
+/// — and compare throughput and solver work. Results of the two arms are
+/// bitwise identical (enforced by the `sag-scenarios` equivalence tests);
+/// this measures only the work saved.
+///
+/// # Panics
+///
+/// Panics if the configured scenario is not registered or a replay fails.
+#[must_use]
+pub fn pruning_experiment(config: &ThroughputConfig) -> PruningReport {
+    let scenario = find_scenario(config.scenario)
+        .unwrap_or_else(|| panic!("scenario {:?} is not registered", config.scenario));
+    let history_days = config
+        .history_days
+        .unwrap_or_else(|| scenario.history_days());
+    let test_days = config.test_days.unwrap_or_else(|| scenario.test_days());
+    // Best of three per arm: each leg is tens of milliseconds, so one
+    // scheduler hiccup would otherwise dominate the reported ratio.
+    let mut best: [Option<sag_scenarios::ScenarioRun>; 2] = [None, None];
+    for _ in 0..3 {
+        for (slot, pruning) in best.iter_mut().zip([true, false]) {
+            let run = run_scenario_sized_with(
+                scenario.as_ref(),
+                config.seed,
+                1,
+                history_days,
+                test_days,
+                |engine| engine.pruning = pruning,
+            )
+            .expect("scenario replay succeeds");
+            let faster = slot
+                .as_ref()
+                .is_none_or(|prev| run.wall_seconds < prev.wall_seconds);
+            if faster {
+                *slot = Some(run);
+            }
+        }
+    }
+    let [pruned, exhaustive] = best.map(|run| run.expect("three rounds ran"));
+    let pruned_totals = pruned.sse_totals();
+    let exhaustive_totals = exhaustive.sse_totals();
+    let per_solve = |lp_solves: u64, solves: u64| {
+        if solves == 0 {
+            0.0
+        } else {
+            lp_solves as f64 / solves as f64
+        }
+    };
+    PruningReport {
+        pruned_alerts_per_sec: pruned.alerts_per_sec(),
+        exhaustive_alerts_per_sec: exhaustive.alerts_per_sec(),
+        speedup: if exhaustive.alerts_per_sec() > 0.0 {
+            pruned.alerts_per_sec() / exhaustive.alerts_per_sec()
+        } else {
+            0.0
+        },
+        pruned_lp_fraction: pruned_totals.pruned_lp_fraction(),
+        lp_solves_per_solve_pruned: per_solve(pruned_totals.lp_solves, pruned_totals.solves),
+        lp_solves_per_solve_exhaustive: per_solve(
+            exhaustive_totals.lp_solves,
+            exhaustive_totals.solves,
+        ),
+    }
 }
 
 /// Stream the configured workload alert-at-a-time through
@@ -195,6 +285,7 @@ fn summarize(
     streaming: StreamingLatencyReport,
     warm_micros_5type: f64,
     cold_micros_5type: f64,
+    pruning: PruningReport,
 ) -> ThroughputReport {
     let mut latencies: Vec<u64> = cycles
         .iter()
@@ -256,6 +347,7 @@ fn summarize(
         } else {
             0.0
         },
+        pruning,
     }
 }
 
@@ -344,6 +436,35 @@ pub fn render_json(report: &ThroughputReport) -> String {
         report.cold_micros_5type
     );
     let _ = writeln!(out, "    \"speedup\": {:.2}", report.warm_speedup_5type);
+    let _ = writeln!(out, "  }},");
+    let p = &report.pruning;
+    let _ = writeln!(out, "  \"pruning\": {{");
+    let _ = writeln!(
+        out,
+        "    \"pruned_alerts_per_sec\": {:.2},",
+        p.pruned_alerts_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"exhaustive_alerts_per_sec\": {:.2},",
+        p.exhaustive_alerts_per_sec
+    );
+    let _ = writeln!(out, "    \"speedup\": {:.2},", p.speedup);
+    let _ = writeln!(
+        out,
+        "    \"pruned_lp_fraction\": {:.4},",
+        p.pruned_lp_fraction
+    );
+    let _ = writeln!(
+        out,
+        "    \"lp_solves_per_solve_pruned\": {:.3},",
+        p.lp_solves_per_solve_pruned
+    );
+    let _ = writeln!(
+        out,
+        "    \"lp_solves_per_solve_exhaustive\": {:.3}",
+        p.lp_solves_per_solve_exhaustive
+    );
     let _ = writeln!(out, "  }}");
     out.push('}');
     out
@@ -389,6 +510,24 @@ mod tests {
             report.streaming.p50_micros,
             report.p50_micros
         );
+        // The pruning comparison replays both arms on the 7-type game: the
+        // exhaustive arm solves ~7 LPs per solve; the pruned arm must skip
+        // most of them. Wall-clock speedup is left ungated here (this is a
+        // debug-mode smoke run); the skip counters are deterministic.
+        let p = &report.pruning;
+        assert!(p.pruned_alerts_per_sec > 0.0);
+        assert!(p.exhaustive_alerts_per_sec > 0.0);
+        assert!(
+            p.lp_solves_per_solve_exhaustive > 6.0,
+            "exhaustive arm solves every candidate: {}",
+            p.lp_solves_per_solve_exhaustive
+        );
+        assert!(
+            p.pruned_lp_fraction > 0.5,
+            "pruned fraction {:.3}",
+            p.pruned_lp_fraction
+        );
+        assert!(p.lp_solves_per_solve_pruned < p.lp_solves_per_solve_exhaustive);
     }
 
     #[test]
@@ -413,6 +552,14 @@ mod tests {
             warm_micros_5type: 4.0,
             cold_micros_5type: 12.0,
             warm_speedup_5type: 3.0,
+            pruning: PruningReport {
+                pruned_alerts_per_sec: 60000.0,
+                exhaustive_alerts_per_sec: 20000.0,
+                speedup: 3.0,
+                pruned_lp_fraction: 0.84,
+                lp_solves_per_solve_pruned: 1.1,
+                lp_solves_per_solve_exhaustive: 7.0,
+            },
         };
         let json = render_json(&report);
         for needle in [
@@ -426,6 +573,10 @@ mod tests {
             "\"p50\": 15.5",
             "\"p99\": 58.0",
             "\"speedup\": 3.00",
+            "\"pruning\"",
+            "\"pruned_lp_fraction\": 0.8400",
+            "\"lp_solves_per_solve_pruned\": 1.100",
+            "\"lp_solves_per_solve_exhaustive\": 7.000",
         ] {
             assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
         }

@@ -45,6 +45,15 @@ pub struct EngineConfig {
     /// the paper's dispatch (closed form for single-type games, the
     /// warm-started multiple-LP method otherwise).
     pub backend: SolverBackendKind,
+    /// Whether cached SSE solves use incremental candidate pruning (skip
+    /// candidate LPs whose re-priced dual bound proves they cannot beat the
+    /// incumbent winner). `true` by default. The winner and its utilities
+    /// are identical either way — pruning only skips provably losing
+    /// candidates — and on every registered workload the full solution is
+    /// bitwise-identical too (see the invariant and its degenerate-LP
+    /// caveat in [`crate::sse`]); the switch exists for the equivalence
+    /// tests and benchmarks, not as a behavioural knob.
+    pub pruning: bool,
 }
 
 impl EngineConfig {
@@ -60,6 +69,7 @@ impl EngineConfig {
             forecast_decay: 1.0,
             signal_noise: 0.0,
             backend: SolverBackendKind::Auto,
+            pruning: true,
         }
     }
 

@@ -90,7 +90,7 @@ impl AuditCycleEngine {
     ///
     /// Propagates solver errors (which do not occur for valid configurations).
     pub fn run_day(&self, history: &[DayLog], test_day: &DayLog) -> Result<CycleResult> {
-        let mut backends = Some(SessionBackends::for_config(&self.config));
+        let mut backends = Some(SessionBackends::for_engine(self));
         self.stream_job(&ReplayJob::new(history, test_day), &mut backends)
     }
 
@@ -114,8 +114,9 @@ impl AuditCycleEngine {
     /// Replay a batch of day jobs partitioned into `shards` contiguous
     /// shards. Each shard owns its own solver backends (simplex workspaces
     /// and cached candidate LPs), streams its jobs' days sequentially, and —
-    /// with the `parallel` feature — runs on its own `std::thread::scope`
-    /// thread.
+    /// with the `parallel` feature, on a multi-core host — runs as a task
+    /// on the engine's persistent [`sag_pool::WorkerPool`] (spawned once at
+    /// engine construction, never per call).
     ///
     /// Every day's session starts from a cold warm-start state (see
     /// [`crate::sse::SolverBackend::reset_warm_state`]), which makes each
@@ -149,26 +150,28 @@ impl AuditCycleEngine {
         let shards = shards.clamp(1, jobs.len());
         let chunk_size = jobs.len().div_ceil(shards);
 
-        #[cfg(feature = "parallel")]
         if shards > 1 {
-            let mut results: Vec<Option<Result<CycleResult>>> =
-                (0..jobs.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (job_chunk, result_chunk) in
-                    jobs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
-                {
-                    scope.spawn(move || {
-                        let mut backends = None;
-                        for (job, out) in job_chunk.iter().zip(result_chunk.iter_mut()) {
-                            *out = Some(self.stream_job(job, &mut backends));
-                        }
-                    });
-                }
-            });
-            return results
-                .into_iter()
-                .map(|r| r.expect("every job replayed"))
-                .collect();
+            if let Some(pool) = self.pool() {
+                let mut results: Vec<Option<Result<CycleResult>>> =
+                    (0..jobs.len()).map(|_| None).collect();
+                let tasks: Vec<sag_pool::Task<'_>> = jobs
+                    .chunks(chunk_size)
+                    .zip(results.chunks_mut(chunk_size))
+                    .map(|(job_chunk, result_chunk)| {
+                        Box::new(move || {
+                            let mut backends = None;
+                            for (job, out) in job_chunk.iter().zip(result_chunk.iter_mut()) {
+                                *out = Some(self.stream_job(job, &mut backends));
+                            }
+                        }) as sag_pool::Task<'_>
+                    })
+                    .collect();
+                pool.run(tasks);
+                return results
+                    .into_iter()
+                    .map(|r| r.expect("every job replayed"))
+                    .collect();
+            }
         }
 
         let mut results = Vec::with_capacity(jobs.len());
@@ -201,7 +204,7 @@ impl AuditCycleEngine {
     ) -> Result<CycleResult> {
         let backends = pool
             .take()
-            .unwrap_or_else(|| SessionBackends::for_config(&self.config));
+            .unwrap_or_else(|| SessionBackends::for_engine(self));
         let mut session = self.open_day_with(job.history, job.budget, backends)?;
         session.set_day(job.test_day.day());
         for alert in job.test_day.alerts() {

@@ -14,21 +14,33 @@ use super::outcome::{AlertOutcome, CycleResult};
 use crate::offline::OfflineSse;
 use crate::scheme::SignalingScheme;
 use crate::signaling::{evaluate_scheme_under_noise, ossp_closed_form};
-use crate::sse::{SolverBackend, SseCache, SseCacheTotals, SseInput, SseSolution, SseSolver};
+use crate::sse::{
+    BackendOptions, SolverBackend, SseCache, SseCacheTotals, SseInput, SseSolution, SseSolver,
+};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sag_forecast::{ArrivalModel, FutureAlertEstimator};
+use sag_pool::WorkerPool;
 use sag_sim::{Alert, AlertTypeId, DayLog};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// The audit-cycle engine: a validated configuration plus the solver used by
-/// the low-level per-alert entry points. Day-scoped state lives on the
-/// [`DaySession`]s the engine opens.
+/// The audit-cycle engine: a validated configuration, the solver used by
+/// the low-level per-alert entry points, and (with the `parallel` feature,
+/// on multi-core hosts) a persistent worker pool spawned **once** — lazily,
+/// the first time a sharded replay or a many-type candidate fan-out asks
+/// for it — and shared by the engine and all its clones, replacing the
+/// per-call `std::thread::scope` spawns of earlier revisions. Day-scoped
+/// state lives on the [`DaySession`]s the engine opens.
 #[derive(Debug, Clone)]
 pub struct AuditCycleEngine {
     pub(super) config: EngineConfig,
     solver: SseSolver,
+    /// Lazily spawned worker pool, shared across engine clones. Engines
+    /// whose workloads never fan out (few-type games, no sharded replays)
+    /// never spawn a thread.
+    pool: Arc<OnceLock<Option<Arc<WorkerPool>>>>,
 }
 
 /// The two solver backends of one day session: the OSSP world and the
@@ -42,11 +54,13 @@ pub(super) struct SessionBackends {
 }
 
 impl SessionBackends {
-    /// Instantiate both worlds' backends from the configured kind.
-    pub(super) fn for_config(config: &EngineConfig) -> Self {
+    /// Instantiate both worlds' backends from the engine's configured kind,
+    /// pruning mode and (shared) worker pool.
+    pub(super) fn for_engine(engine: &AuditCycleEngine) -> Self {
+        let options = engine.backend_options();
         SessionBackends {
-            ossp: config.backend.instantiate(),
-            online: config.backend.instantiate(),
+            ossp: engine.config.backend.instantiate_with(&options),
+            online: engine.config.backend.instantiate_with(&options),
         }
     }
 }
@@ -70,6 +84,8 @@ pub struct DaySession<'e> {
     outcomes: Vec<AlertOutcome>,
     backends: SessionBackends,
     totals_at_open: SseCacheTotals,
+    /// Reusable per-alert estimate buffer (one forecast vector per push).
+    estimates: Vec<f64>,
     /// Day index reported on the [`CycleResult`]; pinned by
     /// [`set_day`](Self::set_day) or inferred from the first pushed alert.
     day: Option<u32>,
@@ -85,10 +101,48 @@ impl AuditCycleEngine {
     /// game's type count).
     pub fn new(config: EngineConfig) -> Result<Self> {
         config.validate()?;
+        let solver = SseSolver::with_pruning(config.pruning);
         Ok(AuditCycleEngine {
             config,
-            solver: SseSolver::new(),
+            solver,
+            pool: Arc::new(OnceLock::new()),
         })
+    }
+
+    /// Spawn the engine's worker pool: one thread per available core.
+    /// `None` without the `parallel` feature or on a single-core host,
+    /// where every fan-out degrades to the sequential path anyway.
+    #[cfg(feature = "parallel")]
+    fn spawn_pool() -> Option<Arc<WorkerPool>> {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        (threads > 1).then(|| Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// Without the `parallel` feature the engine never spawns threads.
+    #[cfg(not(feature = "parallel"))]
+    fn spawn_pool() -> Option<Arc<WorkerPool>> {
+        None
+    }
+
+    /// The shared worker pool, spawning it on first use (engine clones
+    /// share one pool through the `Arc<OnceLock>`).
+    pub(super) fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.get_or_init(Self::spawn_pool).as_ref()
+    }
+
+    /// The backend options this engine instantiates session backends with.
+    /// The pool is only handed out (and hence only spawned) when the game
+    /// has enough types for the candidate fan-out to ever run.
+    fn backend_options(&self) -> BackendOptions {
+        let wants_fan_out = self.config.game.num_types() >= crate::sse::solver::PARALLEL_MIN_TYPES;
+        BackendOptions {
+            pruning: self.config.pruning,
+            pool: if wants_fan_out {
+                self.pool().cloned()
+            } else {
+                None
+            },
+        }
     }
 
     /// The engine configuration.
@@ -109,7 +163,7 @@ impl AuditCycleEngine {
     /// negative budget override, and propagates offline-solver errors (which
     /// do not occur for valid configurations).
     pub fn open_day(&self, history: &[DayLog], budget: Option<f64>) -> Result<DaySession<'_>> {
-        self.open_day_with(history, budget, SessionBackends::for_config(&self.config))
+        self.open_day_with(history, budget, SessionBackends::for_engine(self))
     }
 
     /// [`open_day`](Self::open_day) over caller-provided backends, so replay
@@ -158,6 +212,7 @@ impl AuditCycleEngine {
             outcomes: Vec::new(),
             backends,
             totals_at_open,
+            estimates: Vec::new(),
             day: None,
         })
     }
@@ -264,14 +319,15 @@ impl DaySession<'_> {
         }
         let engine = self.engine;
         let game = &engine.config.game;
-        let estimates = self.estimator.estimate_all(alert.time);
+        self.estimator
+            .estimate_all_into(alert.time, &mut self.estimates);
 
         // ---- OSSP world -------------------------------------------------
         let started = Instant::now();
         let sse_ossp = self
             .backends
             .ossp
-            .solve(&engine.sse_input(&estimates, self.budget_ossp))?;
+            .solve(&engine.sse_input(&self.estimates, self.budget_ossp))?;
         let type_payoffs = game.payoffs.get(alert.type_id);
         let coverage_ossp = sse_ossp.coverage_of(alert.type_id);
         let ossp_applied = alert.type_id == sse_ossp.best_response;
@@ -305,14 +361,23 @@ impl DaySession<'_> {
         let solve_micros = started.elapsed().as_micros() as u64;
 
         // ---- online-SSE world -------------------------------------------
-        let sse_online = if (self.budget_online - self.budget_ossp).abs() < 1e-12 {
-            sse_ossp.clone()
+        // While the two worlds' budgets agree (the start of a day) the OSSP
+        // solve answers both; once they diverge the online world solves on
+        // its own backend. Either way no solution is cloned — the online
+        // outcome fields are scalars read through a borrow.
+        let sse_online_owned = if (self.budget_online - self.budget_ossp).abs() < 1e-12 {
+            None
         } else {
-            self.backends
-                .online
-                .solve(&engine.sse_input(&estimates, self.budget_online))?
+            Some(
+                self.backends
+                    .online
+                    .solve(&engine.sse_input(&self.estimates, self.budget_online))?,
+            )
         };
+        let sse_online = sse_online_owned.as_ref().unwrap_or(&sse_ossp);
         let coverage_online = sse_online.coverage_of(alert.type_id);
+        let online_sse_utility = sse_online.auditor_utility;
+        let online_attacker_utility = sse_online.attacker_utility;
 
         // ---- budget updates ---------------------------------------------
         let cost = game.audit_costs[alert.type_id.index()];
@@ -335,10 +400,10 @@ impl DaySession<'_> {
             time: alert.time,
             type_id: alert.type_id,
             ossp_utility,
-            online_sse_utility: sse_online.auditor_utility,
+            online_sse_utility,
             offline_sse_utility: self.offline.auditor_utility(),
             ossp_attacker_utility,
-            online_attacker_utility: sse_online.attacker_utility,
+            online_attacker_utility,
             ossp_scheme,
             ossp_deterred,
             ossp_applied,
@@ -350,6 +415,12 @@ impl DaySession<'_> {
             solve_micros,
             sse_stats: sse_ossp.stats,
         };
+        // Hand the solution buffers back to their backends for reuse — the
+        // last steady-state allocations of the per-alert path.
+        if let Some(online) = sse_online_owned {
+            self.backends.online.recycle(online);
+        }
+        self.backends.ossp.recycle(sse_ossp);
         self.outcomes.push(outcome.clone());
         Ok(outcome)
     }

@@ -27,6 +27,8 @@ use super::input::SseInput;
 use super::solution::SseSolution;
 use super::solver::SseSolver;
 use crate::{Result, SagError};
+use sag_pool::WorkerPool;
+use std::sync::Arc;
 
 /// A stateful online-SSE solver strategy, owning its warm-start caches.
 ///
@@ -52,6 +54,34 @@ pub trait SolverBackend: std::fmt::Debug + Send {
 
     /// Cumulative solver-work counters across every solve of this backend.
     fn totals(&self) -> SseCacheTotals;
+
+    /// Hand a finished solution back so the backend can reuse its buffers
+    /// for a later solve. Optional: the default drops the solution.
+    fn recycle(&mut self, solution: SseSolution) {
+        drop(solution);
+    }
+}
+
+/// Construction-time options shared by every backend kind, carried from
+/// [`crate::engine::EngineConfig`] / [`crate::engine::AuditCycleEngine`]
+/// into [`SolverBackendKind::instantiate_with`].
+#[derive(Debug, Clone)]
+pub struct BackendOptions {
+    /// Whether cached solves use incremental candidate pruning (results are
+    /// identical either way; see [`SseSolver::exhaustive`]).
+    pub pruning: bool,
+    /// Worker pool for the exhaustive candidate fan-out of games with many
+    /// types. `None` solves candidates sequentially.
+    pub pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions {
+            pruning: true,
+            pool: None,
+        }
+    }
 }
 
 /// Which [`SolverBackend`] the engine instantiates per day session, selected
@@ -90,24 +120,37 @@ impl SolverBackendKind {
         }
     }
 
-    /// Instantiate a fresh backend of this kind with empty caches.
+    /// Instantiate a fresh backend of this kind with empty caches and the
+    /// default options (pruning on, no worker pool).
     #[must_use]
     pub fn instantiate(self) -> Box<dyn SolverBackend> {
+        self.instantiate_with(&BackendOptions::default())
+    }
+
+    /// Instantiate a fresh backend of this kind with explicit
+    /// [`BackendOptions`] (the engine threads its configured pruning mode
+    /// and its worker pool through here).
+    #[must_use]
+    pub fn instantiate_with(self, options: &BackendOptions) -> Box<dyn SolverBackend> {
         match self {
-            SolverBackendKind::Auto => Box::new(SimplexLpBackend::auto()),
-            SolverBackendKind::SimplexLp => Box::new(SimplexLpBackend::lp_only()),
+            SolverBackendKind::Auto => Box::new(SimplexLpBackend::auto().with_options(options)),
+            SolverBackendKind::SimplexLp => {
+                Box::new(SimplexLpBackend::lp_only().with_options(options))
+            }
             SolverBackendKind::ClosedForm => Box::new(ClosedFormBackend::new()),
         }
     }
 }
 
 /// The warm-started multiple-LP backend: an [`SseSolver`] plus its
-/// [`SseCache`] of per-candidate bases, workspaces and cached LPs.
+/// [`SseCache`] of per-candidate bases, workspaces, cached LPs and pruning
+/// state, and optionally a shared [`WorkerPool`] for candidate fan-out.
 #[derive(Debug, Clone, Default)]
 pub struct SimplexLpBackend {
     solver: SseSolver,
     cache: SseCache,
     allow_fast_path: bool,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl SimplexLpBackend {
@@ -119,6 +162,7 @@ impl SimplexLpBackend {
             solver: SseSolver::new(),
             cache: SseCache::new(),
             allow_fast_path: true,
+            pool: None,
         }
     }
 
@@ -130,6 +174,14 @@ impl SimplexLpBackend {
             allow_fast_path: false,
             ..Self::auto()
         }
+    }
+
+    /// Apply shared [`BackendOptions`]: pruning mode and worker pool.
+    #[must_use]
+    pub fn with_options(mut self, options: &BackendOptions) -> Self {
+        self.solver = SseSolver::with_pruning(options.pruning);
+        self.pool = options.pool.clone();
+        self
     }
 }
 
@@ -143,8 +195,12 @@ impl SolverBackend for SimplexLpBackend {
     }
 
     fn solve(&mut self, input: &SseInput<'_>) -> Result<SseSolution> {
-        self.solver
-            .solve_cached_with(input, &mut self.cache, self.allow_fast_path)
+        self.solver.solve_cached_with(
+            input,
+            &mut self.cache,
+            self.allow_fast_path,
+            self.pool.as_deref(),
+        )
     }
 
     fn reset_warm_state(&mut self) {
@@ -154,6 +210,10 @@ impl SolverBackend for SimplexLpBackend {
     fn totals(&self) -> SseCacheTotals {
         self.cache.totals
     }
+
+    fn recycle(&mut self, solution: SseSolution) {
+        self.cache.recycle(solution);
+    }
 }
 
 /// The single-type closed form as a standalone backend: no LP, no warm-start
@@ -162,6 +222,9 @@ impl SolverBackend for SimplexLpBackend {
 pub struct ClosedFormBackend {
     totals: SseCacheTotals,
     rates: Vec<f64>,
+    /// Recycled `(coverage, budget_split)` buffers of the previous solution,
+    /// so the per-alert steady state allocates nothing.
+    spare: Option<(Vec<f64>, Vec<f64>)>,
 }
 
 impl ClosedFormBackend {
@@ -186,7 +249,8 @@ impl SolverBackend for ClosedFormBackend {
             )));
         }
         SseSolver::coverage_rates_into(input, &mut self.rates);
-        let solution = SseSolver::solve_single_type(input, &self.rates);
+        let buffers = self.spare.take().unwrap_or_default();
+        let solution = SseSolver::solve_single_type(input, &self.rates, buffers);
         self.totals.solves += 1;
         self.totals.fast_path_solves += 1;
         Ok(solution)
@@ -198,6 +262,10 @@ impl SolverBackend for ClosedFormBackend {
 
     fn totals(&self) -> SseCacheTotals {
         self.totals
+    }
+
+    fn recycle(&mut self, solution: SseSolution) {
+        self.spare = Some((solution.coverage, solution.budget_split));
     }
 }
 

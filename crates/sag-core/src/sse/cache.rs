@@ -1,13 +1,17 @@
 //! Warm-start state and cumulative solver-work counters.
 
-use super::solver::CandidateProgram;
+use super::solution::SseSolution;
+use super::solver::{CandidateOutcome, CandidateProgram};
+use crate::Result;
 use sag_lp::{LpSolution, SimplexWorkspace};
 
 /// Warm-start state for repeated SSE solves.
 ///
 /// Holds, per candidate best-response type, a reusable simplex workspace and
-/// the optimal basis of the previous solve, plus cumulative counters. Create
-/// one per replay (or per thread) and pass it to
+/// the optimal basis of the previous solve, plus the incremental-pruning
+/// state (the previous winner and each slot's last optimal solution, whose
+/// duals price the pruning bound) and cumulative counters. Create one per
+/// replay (or per thread) and pass it to
 /// [`super::SseSolver::solve_cached`]; the cache is game-shape specific
 /// (number of types), and a cache observed with a different shape is reset
 /// transparently.
@@ -15,6 +19,17 @@ use sag_lp::{LpSolution, SimplexWorkspace};
 pub struct SseCache {
     pub(super) slots: Vec<CandidateSlot>,
     pub(super) rates: Vec<f64>,
+    /// Winning candidate of the previous solve — the incumbent the pruned
+    /// path solves first, so its objective can exclude the other candidates.
+    pub(super) last_winner: Option<usize>,
+    /// Reusable per-solve outcome buffer (one slot per candidate), so
+    /// neither the sequential nor the pooled fan-out allocates per solve.
+    pub(super) outcomes: Vec<Option<Result<CandidateOutcome>>>,
+    /// Scratch for [`sag_lp::LpProblem::lagrangian_bound`].
+    pub(super) bound_scratch: Vec<f64>,
+    /// Recycled `(coverage, budget_split)` buffers of returned
+    /// [`SseSolution`]s, handed back through [`Self::recycle`].
+    pub(super) spare_solutions: Vec<(Vec<f64>, Vec<f64>)>,
     /// Cumulative counters across every solve performed with this cache.
     pub totals: SseCacheTotals,
 }
@@ -49,6 +64,9 @@ pub struct SseCacheTotals {
     pub pivots: u64,
     /// Solves answered by the single-type closed form.
     pub fast_path_solves: u64,
+    /// Candidate LPs skipped because the incremental pruning bound proved
+    /// they could not beat the incumbent winner (see [`super::SseSolver`]).
+    pub pruned_lps: u64,
 }
 
 impl SseCacheTotals {
@@ -64,6 +82,7 @@ impl SseCacheTotals {
             warm_hits: self.warm_hits - earlier.warm_hits,
             pivots: self.pivots - earlier.pivots,
             fast_path_solves: self.fast_path_solves - earlier.fast_path_solves,
+            pruned_lps: self.pruned_lps - earlier.pruned_lps,
         }
     }
 
@@ -86,6 +105,18 @@ impl SseCacheTotals {
             self.pivots as f64 / self.lp_solves as f64
         }
     }
+
+    /// Fraction of candidate LPs the incremental pruning bound skipped, out
+    /// of every candidate considered (`pruned_lps + lp_solves`).
+    #[must_use]
+    pub fn pruned_lp_fraction(&self) -> f64 {
+        let considered = self.pruned_lps + self.lp_solves;
+        if considered == 0 {
+            0.0
+        } else {
+            self.pruned_lps as f64 / considered as f64
+        }
+    }
 }
 
 impl SseCache {
@@ -96,17 +127,19 @@ impl SseCache {
     }
 
     /// Make sure the cache matches a game with `n` types, resetting the
-    /// warm-start slots if it was shaped for a different game.
+    /// warm-start slots (and the incumbent) if it was shaped for a
+    /// different game.
     pub(super) fn ensure_shape(&mut self, n: usize) {
         if self.slots.len() != n {
             self.slots.clear();
             self.slots.resize_with(n, CandidateSlot::default);
+            self.last_winner = None;
         }
     }
 
-    /// Forget the recorded warm-start bases (the next solve per candidate
-    /// runs cold) while keeping the allocated programs, workspaces and the
-    /// cumulative [`totals`](Self::totals).
+    /// Forget the recorded warm-start bases and the pruning state (the next
+    /// solve runs cold and exhaustive) while keeping the allocated programs,
+    /// workspaces and the cumulative [`totals`](Self::totals).
     ///
     /// The replay engine calls this at every day boundary: a cold day start
     /// makes each replayed day a pure function of its own inputs, so batched
@@ -119,6 +152,27 @@ impl SseCache {
                 slot.workspace.recycle(last);
             }
         }
+        self.last_winner = None;
+    }
+
+    /// Hand a returned [`SseSolution`]'s buffers back so the next solve can
+    /// reuse them instead of allocating (the per-solve counterpart of
+    /// [`sag_lp::SimplexWorkspace::recycle`]). Solutions from any cache (or
+    /// game shape) are accepted — only the capacity is reused. The spare
+    /// list is capped: the steady state pops one pair per solve, so a
+    /// longer list can only mean a pop-less call pattern, and unmatched
+    /// pushes must not grow the cache without bound.
+    pub fn recycle(&mut self, solution: SseSolution) {
+        const MAX_SPARE_SOLUTIONS: usize = 8;
+        if self.spare_solutions.len() >= MAX_SPARE_SOLUTIONS {
+            return;
+        }
+        let SseSolution {
+            coverage,
+            budget_split,
+            ..
+        } = solution;
+        self.spare_solutions.push((coverage, budget_split));
     }
 }
 
@@ -162,11 +216,50 @@ mod tests {
         }
         let delta = cache.totals.since(&snapshot);
         assert_eq!(delta.solves, 2);
-        assert_eq!(delta.lp_solves, 14, "7 candidate LPs per solve");
-        // Every candidate had a basis by the time the window started.
-        assert_eq!(delta.warm_attempts, 14);
+        // Every candidate is either solved or pruned away, each solve.
+        assert_eq!(
+            delta.lp_solves + delta.pruned_lps,
+            14,
+            "7 candidates considered per solve"
+        );
+        // Identical repeated inputs: the incumbent is re-solved, everything
+        // else is excluded by its re-priced bound.
+        assert_eq!(delta.lp_solves, 2, "only the incumbent LP is solved");
+        assert_eq!(delta.pruned_lps, 12);
+        // Every solved LP had a basis by the time the window started.
+        assert_eq!(delta.warm_attempts, delta.lp_solves);
         // A snapshot delta against itself is empty.
         assert_eq!(cache.totals.since(&cache.totals), SseCacheTotals::default());
+    }
+
+    #[test]
+    fn fast_path_recycle_keeps_the_spare_list_bounded() {
+        // The single-type fast path must pop the spares that per-alert
+        // recycling pushes; a pop-less fast path once grew this list by one
+        // buffer pair per alert across a whole replay.
+        let payoffs = PayoffTable::new(vec![crate::model::Payoffs::new(
+            100.0, -400.0, -2000.0, 400.0,
+        )]);
+        let costs = [1.0];
+        let estimates = [50.0];
+        let input = SseInput {
+            payoffs: &payoffs,
+            audit_costs: &costs,
+            future_estimates: &estimates,
+            budget: 25.0,
+        };
+        let solver = SseSolver::new();
+        let mut cache = SseCache::new();
+        for _ in 0..100 {
+            let solution = solver.solve_cached(&input, &mut cache).unwrap();
+            cache.recycle(solution);
+        }
+        assert_eq!(cache.totals.fast_path_solves, 100);
+        assert!(
+            cache.spare_solutions.len() <= 1,
+            "fast-path solves must reuse recycled buffers, found {} spares",
+            cache.spare_solutions.len()
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! ## The per-alert hot path
 //!
 //! This is the latency-critical computation of the whole system: it runs once
-//! per incoming alert, before the warning dialog can be shown. Three
+//! per incoming alert, before the warning dialog can be shown. Four
 //! optimizations keep it fast:
 //!
 //! * **Warm starts** — consecutive alerts differ only by a slightly smaller
@@ -38,14 +38,57 @@
 //!   basis per candidate and seeds the next solve from it
 //!   ([`sag_lp::LpProblem::solve_from_basis`]), falling back to a cold solve
 //!   automatically when the basis no longer applies.
+//! * **Incremental candidate pruning** — the cached path solves the
+//!   previous winner (the *incumbent*) first, then re-prices every other
+//!   candidate's last dual solution against the updated coefficients
+//!   ([`sag_lp::LpProblem::lagrangian_bound`]) and skips the candidate's LP
+//!   when the bound certifies it cannot beat the incumbent. Per-alert solve
+//!   cost thereby scales with how much the instance *changed* rather than
+//!   with the type count.
 //! * **A single-type closed form** — for one-type games LP (2) reduces to a
 //!   one-variable program whose optimum is attained at a bound, so the
 //!   solver bypasses the LP entirely (promoted to a standalone
 //!   [`ClosedFormBackend`]).
 //! * **Candidate-level parallelism** — with the `parallel` crate feature the
-//!   `n` candidate LPs of games with many types are fanned out over
-//!   `std::thread::scope` threads (the sequential tie-breaking semantics are
-//!   preserved by reducing results in candidate order).
+//!   engine owns a persistent [`sag_pool::WorkerPool`] (spawned once, never
+//!   per call) and exhaustive solves of games with many types fan their
+//!   candidate LPs out over it (the selection semantics are preserved by
+//!   reducing results in candidate order).
+//!
+//! ## The pruning invariant
+//!
+//! Pruned and exhaustive solves are **result-identical**: same winner, same
+//! coverage and budget split, same utilities — bitwise. Three ingredients
+//! make this hold:
+//!
+//! 1. the skip certificate is one-sided — a candidate is skipped only when
+//!    the re-priced dual bound (a valid upper bound on its objective for
+//!    *any* multipliers, by Lagrangian relaxation) sits below the incumbent
+//!    by more than a float-safety margin, so no candidate that could win or
+//!    tie is ever skipped;
+//! 2. the selection rule is the order-independent lexicographic argmax
+//!    (highest auditor utility, exact ties to the lowest type index), so
+//!    solving the incumbent out of order cannot change the winner;
+//! 3. warm-start state is per candidate and day boundaries reset it
+//!    ([`SolverBackend::reset_warm_state`]), so replays stay pure functions
+//!    of their own inputs, sharding-independent, with or without pruning.
+//!
+//! The scenario-registry equivalence tests (`sag-scenarios`,
+//! `tests/pruning.rs`) enforce the invariant end to end across every
+//! registered workload, both general-purpose backends and multiple seeds;
+//! an `sag-lp` property test pins the bound's one-sidedness itself.
+//!
+//! One caveat on *bitwise* (as opposed to winner/utility) identity: when a
+//! candidate has been pruned for several consecutive solves and then wins,
+//! the pruned arm warm-starts it from an older basis than the exhaustive
+//! arm does. Both terminate at an optimum of the same LP — the winner and
+//! its objective cannot differ — but a *degenerate* LP with multiple
+//! optimal vertices could in principle report a different (equally
+//! optimal) budget split along the two pivot paths. The registry tests
+//! assert full bitwise equality, i.e. they double as evidence that no
+//! registered workload sits on such a knife edge; a new workload that
+//! trips them should relax the comparison to winner + objective, not
+//! weaken the bound.
 
 pub mod backend;
 pub mod cache;
@@ -53,7 +96,9 @@ pub mod input;
 pub mod solution;
 pub mod solver;
 
-pub use backend::{ClosedFormBackend, SimplexLpBackend, SolverBackend, SolverBackendKind};
+pub use backend::{
+    BackendOptions, ClosedFormBackend, SimplexLpBackend, SolverBackend, SolverBackendKind,
+};
 pub use cache::{SseCache, SseCacheTotals};
 pub use input::SseInput;
 pub use solution::{SseSolution, SseSolveStats};

@@ -7,10 +7,16 @@ use sag_sim::AlertTypeId;
 pub struct SseSolveStats {
     /// Number of candidate LPs solved (0 when the closed form applied).
     pub lp_solves: u32,
+    /// How many of those LPs had a previous basis available and attempted
+    /// it as a warm start.
+    pub warm_attempts: u32,
     /// How many of those LPs were successfully warm-started.
     pub warm_hits: u32,
     /// Total simplex pivots across the candidate LPs.
     pub pivots: u32,
+    /// Candidate LPs skipped by the incremental pruning bound (always zero
+    /// on exhaustive solves).
+    pub pruned_lps: u32,
     /// Whether the single-type closed form bypassed the LP entirely.
     pub fast_path: bool,
 }

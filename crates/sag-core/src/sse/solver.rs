@@ -1,4 +1,27 @@
-//! The multiple-LP method over [`sag_lp`], with per-candidate warm starts.
+//! The multiple-LP method over [`sag_lp`], with per-candidate warm starts
+//! and incremental candidate pruning.
+//!
+//! ## Incremental pruning
+//!
+//! Between consecutive alerts only the remaining budget and the per-type
+//! estimates drift slightly, so the winning candidate (and every candidate
+//! LP's optimal basis) almost never changes. The cached solve path exploits
+//! that instead of hoping for a better worst case:
+//!
+//! 1. solve the **incumbent** (the previous winner) first, with its warm
+//!    basis — this is usually the optimum already;
+//! 2. for every other candidate, re-price the duals of its *previous*
+//!    optimal basis against the updated coefficients
+//!    ([`sag_lp::LpProblem::lagrangian_bound`]) — an `O(n)` certified upper
+//!    bound on that candidate's objective;
+//! 3. skip the candidate's LP entirely when the bound (minus a safety
+//!    margin) cannot beat the incumbent; fall back to a full warm-started
+//!    solve when it can't certify exclusion (or no duals exist yet).
+//!
+//! The selection rule is the exact lexicographic argmax (highest auditor
+//! utility, ties to the lowest candidate index), which is order-independent,
+//! so pruned and exhaustive solves return the **same winner and solution**
+//! — the invariant the scenario-registry equivalence tests enforce.
 
 use super::cache::{CandidateSlot, SseCache};
 use super::input::SseInput;
@@ -6,13 +29,30 @@ use super::solution::{SseSolution, SseSolveStats};
 use super::EPS;
 use crate::{Result, SagError};
 use sag_lp::{LpError, LpProblem, Objective, Relation, SimplexWorkspace, VarId};
+use sag_pool::{Task, WorkerPool};
 use sag_sim::AlertTypeId;
 
-/// Minimum number of candidate types before the `parallel` feature fans the
-/// candidate LPs out over threads; below this, thread spawn overhead exceeds
-/// the LP solve cost.
-#[cfg(feature = "parallel")]
-const PARALLEL_MIN_TYPES: usize = 8;
+/// Minimum number of candidate types before an engine-provided
+/// [`WorkerPool`] fans the exhaustive candidate solves out over threads;
+/// below this, batch dispatch overhead exceeds the LP solve cost.
+///
+/// Tuned against the `bench_pruning` criterion data: one pool batch
+/// dispatch floors at ~1–2 µs (`pool_dispatch/*_noop_tasks`) and grows with
+/// scheduler wake-up latency on real multi-core hosts, while a warm
+/// candidate solve costs ~2.1 µs on the 7-type paper game
+/// (`sse_pruning/exhaustive/7_types_paper` ÷ 7) and more on the federated
+/// games. Break-even therefore sits around 4–6 candidates per extra
+/// worker; 8 adds slack because fan-out only runs on *exhaustive* solves —
+/// the cold first solve of each day — while the pruned steady state solves
+/// ~1 LP per alert and has nothing worth fanning out.
+pub(crate) const PARALLEL_MIN_TYPES: usize = 8;
+
+/// Safety margin (in auditor-utility units) the pruning bound must clear
+/// before a candidate LP is skipped. Utilities in the SAG workloads are
+/// `O(10²..10⁴)`, so float noise in the re-priced bound is below `1e-8`;
+/// `1e-6` keeps exclusion certificates sound with two orders of slack while
+/// still pruning every realistically separated candidate.
+const PRUNE_MARGIN: f64 = 1e-6;
 
 /// A cached candidate LP: the problem plus its variable handles.
 #[derive(Debug, Clone)]
@@ -26,25 +66,55 @@ pub(super) struct CandidateProgram {
 /// `feasible: false`) so the pivots spent proving infeasibility still count
 /// toward the solver-work statistics.
 #[derive(Debug, Clone, Copy)]
-struct CandidateOutcome {
+pub(super) struct CandidateOutcome {
     feasible: bool,
     auditor_utility: f64,
     attacker_utility: f64,
+    warm_attempted: bool,
     warm_hit: bool,
     pivots: u32,
 }
 
 /// Solver for the online SSE (the multiple-LP method over [`sag_lp`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SseSolver {
-    _private: (),
+    pruning: bool,
+}
+
+impl Default for SseSolver {
+    fn default() -> Self {
+        SseSolver::new()
+    }
 }
 
 impl SseSolver {
-    /// Create a solver.
+    /// Create a solver with incremental candidate pruning enabled (the
+    /// default: cached solves skip candidate LPs that provably cannot win).
     #[must_use]
     pub fn new() -> Self {
-        SseSolver { _private: () }
+        SseSolver { pruning: true }
+    }
+
+    /// Create a solver that always solves every candidate LP. Same results
+    /// as [`new`](Self::new) — only the work counters differ; this is the
+    /// reference arm of the pruning-equivalence tests and benchmarks.
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        SseSolver { pruning: false }
+    }
+
+    /// [`new`](Self::new) or [`exhaustive`](Self::exhaustive), selected by
+    /// flag — the single construction point for callers that thread
+    /// [`crate::engine::EngineConfig::pruning`] through.
+    #[must_use]
+    pub fn with_pruning(pruning: bool) -> Self {
+        SseSolver { pruning }
+    }
+
+    /// Whether cached solves use incremental candidate pruning.
+    #[must_use]
+    pub fn pruning_enabled(&self) -> bool {
+        self.pruning
     }
 
     /// Per-unit-budget coverage rates `ρ^t` for the given input.
@@ -73,12 +143,15 @@ impl SseSolver {
         let mut rates = Vec::new();
         Self::coverage_rates_into(input, &mut rates);
         if input.payoffs.len() == 1 {
-            return Ok(Self::solve_single_type(input, &rates));
+            return Ok(Self::solve_single_type(input, &rates, Default::default()));
         }
 
         let n = input.payoffs.len();
         let mut best: Option<SseSolution> = None;
         let mut ws = SimplexWorkspace::new();
+        // The cold path never re-prices a pruning bound, so the duals of
+        // these one-shot solves would go straight to the recycler.
+        ws.set_collect_duals(false);
         for candidate in 0..n {
             match Self::solve_for_candidate(input, &rates, candidate, &mut ws) {
                 Ok(solution) => keep_better(&mut best, solution),
@@ -90,27 +163,31 @@ impl SseSolver {
     }
 
     /// Solve the online SSE warm: seed every candidate LP from the optimal
-    /// basis of the previous solve recorded in `cache`, and answer
-    /// single-type games with the exact closed form. The returned optimum
-    /// agrees with [`solve`](Self::solve) on the objective to ~1e-9 (warm
-    /// and cold both terminate at an optimal basis of the same LP).
+    /// basis of the previous solve recorded in `cache`, prune candidate LPs
+    /// the incremental bound excludes, and answer single-type games with the
+    /// exact closed form. The returned optimum agrees with
+    /// [`solve`](Self::solve) on the objective to ~1e-9 (warm and cold both
+    /// terminate at an optimal basis of the same LP; pruning only skips
+    /// provably losing candidates).
     ///
     /// # Errors
     ///
     /// Same as [`solve`](Self::solve).
     pub fn solve_cached(&self, input: &SseInput<'_>, cache: &mut SseCache) -> Result<SseSolution> {
-        self.solve_cached_with(input, cache, true)
+        self.solve_cached_with(input, cache, true, None)
     }
 
     /// [`solve_cached`](Self::solve_cached) with the single-type closed-form
-    /// fast path made optional: the simplex-LP backend disables it so that
+    /// fast path made optional (the simplex-LP backend disables it so that
     /// *every* game, single-type included, runs through the multiple-LP
-    /// method (see [`super::SimplexLpBackend::lp_only`]).
+    /// method — see [`super::SimplexLpBackend::lp_only`]) and an optional
+    /// [`WorkerPool`] for the exhaustive candidate fan-out.
     pub(super) fn solve_cached_with(
         &self,
         input: &SseInput<'_>,
         cache: &mut SseCache,
         allow_fast_path: bool,
+        pool: Option<&WorkerPool>,
     ) -> Result<SseSolution> {
         input.validate()?;
         let n = input.payoffs.len();
@@ -119,58 +196,51 @@ impl SseSolver {
         Self::coverage_rates_into(input, &mut rates);
 
         let result = if n == 1 && allow_fast_path {
-            let solution = Self::solve_single_type(input, &rates);
+            // Reuse a recycled buffer pair: without the pop, the session's
+            // per-alert recycle would grow `spare_solutions` by one entry
+            // per fast-path solve, unbounded across a replay.
+            let buffers = cache.spare_solutions.pop().unwrap_or_default();
+            let solution = Self::solve_single_type(input, &rates, buffers);
             cache.totals.solves += 1;
             cache.totals.fast_path_solves += 1;
             Ok(solution)
         } else {
-            self.solve_multi_cached(input, &rates, cache)
+            self.solve_multi_cached(input, &rates, cache, pool)
         };
         cache.rates = rates;
         result
     }
 
-    /// The multiple-LP method with per-candidate warm starts. Allocation-free
-    /// in the steady state apart from the returned solution's two vectors:
+    /// The multiple-LP method with per-candidate warm starts and (by
+    /// default) incremental pruning. Allocation-free in the steady state:
     /// each slot keeps its LP (coefficients rewritten in place), its simplex
-    /// workspace and its previous optimal basis.
+    /// workspace and its previous optimal basis; the per-solve outcome
+    /// buffer and the returned solution's vectors are recycled through the
+    /// cache.
     fn solve_multi_cached(
         &self,
         input: &SseInput<'_>,
         rates: &[f64],
         cache: &mut SseCache,
+        pool: Option<&WorkerPool>,
     ) -> Result<SseSolution> {
-        let warm_attempts = cache
-            .slots
-            .iter()
-            .filter(|slot| !slot.basis.is_empty())
-            .count() as u64;
-        let outcomes = Self::candidate_outcomes(input, rates, &mut cache.slots);
+        let n = input.payoffs.len();
+        let incumbent = cache.last_winner.filter(|&w| w < n && self.pruning);
+        // Duals are only worth extracting when this solver will price the
+        // pruning bound from them on a later solve.
+        let (winner, outcome, stats) = match incumbent {
+            Some(w) => Self::candidates_pruned(input, rates, cache, w)?,
+            None => Self::candidates_exhaustive(input, rates, cache, pool, self.pruning)?,
+        };
 
-        let mut best: Option<(usize, CandidateOutcome)> = None;
-        let mut stats = SseSolveStats::default();
-        for (candidate, outcome) in outcomes.into_iter().enumerate() {
-            let outcome = outcome?;
-            stats.lp_solves += 1;
-            stats.warm_hits += u32::from(outcome.warm_hit);
-            stats.pivots += outcome.pivots;
-            if !outcome.feasible {
-                continue;
-            }
-            let better = best
-                .as_ref()
-                .is_none_or(|(_, b)| outcome.auditor_utility > b.auditor_utility + 1e-12);
-            if better {
-                best = Some((candidate, outcome));
-            }
-        }
         cache.totals.solves += 1;
         cache.totals.lp_solves += u64::from(stats.lp_solves);
-        cache.totals.warm_attempts += warm_attempts;
+        cache.totals.warm_attempts += u64::from(stats.warm_attempts);
         cache.totals.warm_hits += u64::from(stats.warm_hits);
         cache.totals.pivots += u64::from(stats.pivots);
+        cache.totals.pruned_lps += u64::from(stats.pruned_lps);
+        cache.last_winner = Some(winner);
 
-        let (winner, outcome) = best.ok_or(SagError::NoFeasibleType)?;
         let slot = &cache.slots[winner];
         let solution = slot
             .last
@@ -180,12 +250,16 @@ impl SseSolver {
             .program
             .as_ref()
             .expect("winning candidate has a program");
-        let budget_split: Vec<f64> = program.vars.iter().map(|&v| solution.value(v)).collect();
-        let coverage: Vec<f64> = budget_split
-            .iter()
-            .zip(rates)
-            .map(|(b, r)| (b * r).clamp(0.0, 1.0))
-            .collect();
+        let (mut coverage, mut budget_split) = cache.spare_solutions.pop().unwrap_or_default();
+        budget_split.clear();
+        budget_split.extend(program.vars.iter().map(|&v| solution.value(v)));
+        coverage.clear();
+        coverage.extend(
+            budget_split
+                .iter()
+                .zip(rates)
+                .map(|(b, r)| (b * r).clamp(0.0, 1.0)),
+        );
         Ok(SseSolution {
             coverage,
             budget_split,
@@ -196,76 +270,157 @@ impl SseSolver {
         })
     }
 
-    /// Solve every candidate LP, sequentially or (with the `parallel`
-    /// feature, for games with many types) across threads. Outcomes are in
-    /// candidate order.
-    fn candidate_outcomes(
+    /// Solve every candidate LP — sequentially, or fanned out over an
+    /// engine-provided [`WorkerPool`] for games with many types — and reduce
+    /// to the winner in candidate order.
+    fn candidates_exhaustive(
         input: &SseInput<'_>,
         rates: &[f64],
-        slots: &mut [CandidateSlot],
-    ) -> Vec<Result<CandidateOutcome>> {
-        #[cfg(feature = "parallel")]
-        {
-            let n = slots.len();
-            if n >= PARALLEL_MIN_TYPES {
-                let threads = std::thread::available_parallelism()
-                    .map_or(1, usize::from)
-                    .min(n);
-                if threads > 1 {
-                    return Self::candidate_outcomes_parallel(input, rates, slots, threads);
-                }
+        cache: &mut SseCache,
+        pool: Option<&WorkerPool>,
+        collect_duals: bool,
+    ) -> Result<(usize, CandidateOutcome, SseSolveStats)> {
+        let SseCache {
+            slots, outcomes, ..
+        } = cache;
+        let n = slots.len();
+        outcomes.clear();
+        outcomes.resize_with(n, || None);
+
+        let pooled = match pool {
+            Some(pool) if n >= PARALLEL_MIN_TYPES => {
+                Self::fan_out_pooled(input, rates, slots, outcomes, pool, collect_duals);
+                true
+            }
+            _ => false,
+        };
+        if !pooled {
+            for (candidate, (slot, out)) in slots.iter_mut().zip(outcomes.iter_mut()).enumerate() {
+                *out = Some(slot.solve(input, rates, candidate, collect_duals));
             }
         }
-        slots
-            .iter_mut()
-            .enumerate()
-            .map(|(candidate, slot)| slot.solve(input, rates, candidate))
-            .collect()
+
+        let mut stats = SseSolveStats::default();
+        let mut best: Option<(usize, CandidateOutcome)> = None;
+        for (candidate, out) in outcomes.iter_mut().enumerate() {
+            let outcome = out.take().expect("every candidate solved")?;
+            record(&mut stats, &outcome);
+            if outcome.feasible && is_better(candidate, &outcome, best.as_ref()) {
+                best = Some((candidate, outcome));
+            }
+        }
+        let (winner, outcome) = best.ok_or(SagError::NoFeasibleType)?;
+        Ok((winner, outcome, stats))
     }
 
-    /// Fan the candidate LPs out over scoped threads. Each thread owns a
+    /// The incremental path: solve the incumbent winner `w` first, then
+    /// skip every candidate whose re-priced dual bound proves it cannot
+    /// beat the running best, solving the rest in candidate order.
+    fn candidates_pruned(
+        input: &SseInput<'_>,
+        rates: &[f64],
+        cache: &mut SseCache,
+        w: usize,
+    ) -> Result<(usize, CandidateOutcome, SseSolveStats)> {
+        let SseCache {
+            slots,
+            bound_scratch,
+            ..
+        } = cache;
+        let mut stats = SseSolveStats::default();
+        let mut best: Option<(usize, CandidateOutcome)> = None;
+
+        let inc_outcome = slots[w].solve(input, rates, w, true)?;
+        record(&mut stats, &inc_outcome);
+        if inc_outcome.feasible {
+            best = Some((w, inc_outcome));
+        }
+
+        for (candidate, slot) in slots.iter_mut().enumerate() {
+            if candidate == w {
+                continue;
+            }
+            slot.prepare(input, rates, candidate);
+            if let (Some((_, inc)), Some(last)) = (best.as_ref(), slot.last.as_ref()) {
+                // An empty duals slice means the slot was last solved by a
+                // dual-skipping (exhaustive) solver — no certificate, solve
+                // in full.
+                if !last.duals().is_empty() {
+                    let program = slot.program.as_ref().expect("program just prepared");
+                    let bound = program.lp.lagrangian_bound(last.duals(), bound_scratch);
+                    // The LP objective is the coverage gain
+                    // `θ_c (Ud,c − Ud,u)`, so the candidate's auditor utility
+                    // is bounded by `Ud,u + bound`. A candidate strictly
+                    // below the incumbent (by more than the float-safety
+                    // margin) can neither win nor tie, whatever its index —
+                    // skip its LP.
+                    let payoffs = input.payoffs.get(AlertTypeId(candidate as u16));
+                    if payoffs.auditor_uncovered + bound <= inc.auditor_utility - PRUNE_MARGIN {
+                        stats.pruned_lps += 1;
+                        continue;
+                    }
+                }
+            }
+            let outcome = slot.solve_prepared(input, rates, candidate, true)?;
+            record(&mut stats, &outcome);
+            if outcome.feasible && is_better(candidate, &outcome, best.as_ref()) {
+                best = Some((candidate, outcome));
+            }
+        }
+        let (winner, outcome) = best.ok_or(SagError::NoFeasibleType)?;
+        Ok((winner, outcome, stats))
+    }
+
+    /// Fan the candidate LPs out over the worker pool. Each task owns a
     /// disjoint slice of cache slots, so warm-start state stays per
     /// candidate; the caller reduces the ordered outcomes exactly like the
-    /// sequential path, preserving tie-breaking semantics.
-    #[cfg(feature = "parallel")]
-    fn candidate_outcomes_parallel(
+    /// sequential path, preserving the selection semantics bitwise.
+    fn fan_out_pooled(
         input: &SseInput<'_>,
         rates: &[f64],
         slots: &mut [CandidateSlot],
-        threads: usize,
-    ) -> Vec<Result<CandidateOutcome>> {
+        outcomes: &mut [Option<Result<CandidateOutcome>>],
+        pool: &WorkerPool,
+        collect_duals: bool,
+    ) {
         let n = slots.len();
-        let chunk_size = n.div_ceil(threads);
-        let mut outcomes: Vec<Option<Result<CandidateOutcome>>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for ((chunk_index, slot_chunk), outcome_chunk) in slots
-                .chunks_mut(chunk_size)
-                .enumerate()
-                .zip(outcomes.chunks_mut(chunk_size))
-            {
-                scope.spawn(move || {
-                    let base = chunk_index * chunk_size;
+        // The submitting thread helps execute, so it counts as a worker.
+        let parts = (pool.threads() + 1).min(n);
+        let chunk_size = n.div_ceil(parts);
+        let tasks: Vec<Task<'_>> = slots
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .zip(outcomes.chunks_mut(chunk_size))
+            .map(|((chunk_index, slot_chunk), outcome_chunk)| {
+                let base = chunk_index * chunk_size;
+                Box::new(move || {
                     for (offset, (slot, out)) in slot_chunk
                         .iter_mut()
                         .zip(outcome_chunk.iter_mut())
                         .enumerate()
                     {
-                        *out = Some(slot.solve(input, rates, base + offset));
+                        *out = Some(slot.solve(input, rates, base + offset, collect_duals));
                     }
-                });
-            }
-        });
-        outcomes
-            .into_iter()
-            .map(|r| r.expect("every candidate solved"))
-            .collect()
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
     }
 
     /// Exact closed form for the single-type game: LP (2) with one variable
     /// `B ∈ [0, min(budget, 1/ρ)]` and objective slope `ρ·(Ud,c − Ud,u)`
     /// attains its optimum at the upper bound when the slope is positive and
     /// at zero otherwise — exactly what the simplex returns on this program.
-    pub(super) fn solve_single_type(input: &SseInput<'_>, rates: &[f64]) -> SseSolution {
+    ///
+    /// `buffers` is a recycled `(coverage, budget_split)` pair the solution
+    /// is built into — pass a spare from the caller's recycler (or
+    /// `Default::default()`) so repeated fast-path solves stay
+    /// allocation-free.
+    pub(super) fn solve_single_type(
+        input: &SseInput<'_>,
+        rates: &[f64],
+        buffers: (Vec<f64>, Vec<f64>),
+    ) -> SseSolution {
         let payoffs = input.payoffs.get(AlertTypeId(0));
         let rate = rates[0];
         let upper = if rate > 0.0 {
@@ -276,9 +431,14 @@ impl SseSolver {
         let slope = rate * (payoffs.auditor_covered - payoffs.auditor_uncovered);
         let split = if slope > EPS { upper } else { 0.0 };
         let coverage = (split * rate).clamp(0.0, 1.0);
+        let (mut coverage_buf, mut split_buf) = buffers;
+        coverage_buf.clear();
+        coverage_buf.push(coverage);
+        split_buf.clear();
+        split_buf.push(split);
         SseSolution {
-            coverage: vec![coverage],
-            budget_split: vec![split],
+            coverage: coverage_buf,
+            budget_split: split_buf,
             best_response: AlertTypeId(0),
             auditor_utility: payoffs.auditor_expected(coverage),
             attacker_utility: payoffs.attacker_expected(coverage),
@@ -321,11 +481,40 @@ impl SseSolver {
             attacker_utility,
             stats: SseSolveStats {
                 lp_solves: 1,
-                warm_hits: 0,
                 pivots: lp_stats.pivots as u32,
-                fast_path: false,
+                ..SseSolveStats::default()
             },
         })
+    }
+}
+
+/// Fold one candidate outcome into the per-solve stats. Only the stats are
+/// touched — they reach the cumulative cache totals in one batch after the
+/// whole sweep succeeds, so an `Err` mid-sweep cannot leave the totals
+/// counting attempts whose matching solves were never recorded.
+fn record(stats: &mut SseSolveStats, outcome: &CandidateOutcome) {
+    stats.lp_solves += 1;
+    stats.warm_attempts += u32::from(outcome.warm_attempted);
+    stats.warm_hits += u32::from(outcome.warm_hit);
+    stats.pivots += outcome.pivots;
+}
+
+/// The selection rule shared by the exhaustive and pruned paths: the exact
+/// lexicographic argmax — strictly higher auditor utility wins, exact ties
+/// go to the lower candidate index. Order-independent, which is what makes
+/// incumbent-first processing return the same winner as an in-order sweep.
+fn is_better(
+    candidate: usize,
+    outcome: &CandidateOutcome,
+    best: Option<&(usize, CandidateOutcome)>,
+) -> bool {
+    match best {
+        None => true,
+        Some(&(best_candidate, ref best_outcome)) => {
+            outcome.auditor_utility > best_outcome.auditor_utility
+                || (outcome.auditor_utility == best_outcome.auditor_utility
+                    && candidate < best_candidate)
+        }
     }
 }
 
@@ -384,7 +573,8 @@ impl CandidateProgram {
 
     /// Rewrite the program's numbers in place for new input data. The
     /// structure (variables, constraint rows, relations) is unchanged, which
-    /// is exactly what keeps the previous optimal basis a valid warm start.
+    /// is exactly what keeps the previous optimal basis a valid warm start
+    /// (and the previous duals a valid bound certificate).
     fn update(&mut self, input: &SseInput<'_>, rates: &[f64], candidate: usize) {
         let n = self.vars.len();
         let payoff_of = |t: usize| input.payoffs.get(AlertTypeId(t as u16));
@@ -424,28 +614,51 @@ impl CandidateProgram {
 }
 
 impl CandidateSlot {
-    /// Solve this slot's candidate LP against new input data, warm-starting
-    /// from the previous optimal basis when one is recorded. The optimal
-    /// solution is parked on the slot (`last`) so the caller can extract the
-    /// winner's budget split without re-solving.
+    /// Rewrite (or build) this slot's candidate LP for new input data,
+    /// without solving — the pruning bound prices against the updated
+    /// coefficients.
+    fn prepare(&mut self, input: &SseInput<'_>, rates: &[f64], candidate: usize) {
+        match self.program.as_mut() {
+            Some(program) => program.update(input, rates, candidate),
+            None => self.program = Some(CandidateProgram::build(input, rates, candidate)),
+        }
+    }
+
+    /// [`prepare`](Self::prepare) + [`solve_prepared`](Self::solve_prepared).
     fn solve(
         &mut self,
         input: &SseInput<'_>,
         rates: &[f64],
         candidate: usize,
+        collect_duals: bool,
     ) -> Result<CandidateOutcome> {
-        match self.program.as_mut() {
-            Some(program) => program.update(input, rates, candidate),
-            None => self.program = Some(CandidateProgram::build(input, rates, candidate)),
-        }
-        let program = self.program.as_ref().expect("program just ensured");
+        self.prepare(input, rates, candidate);
+        self.solve_prepared(input, rates, candidate, collect_duals)
+    }
 
-        let result = if self.basis.is_empty() {
-            program.lp.solve_with(&mut self.workspace)
-        } else {
+    /// Solve this slot's already-prepared candidate LP, warm-starting from
+    /// the previous optimal basis when one is recorded. The optimal solution
+    /// is parked on the slot (`last`) so the caller can extract the winner's
+    /// budget split — and, when `collect_duals` is set (a pruning solver
+    /// will re-price this slot later), the next solve can price the pruning
+    /// bound from its duals — without re-solving.
+    fn solve_prepared(
+        &mut self,
+        input: &SseInput<'_>,
+        rates: &[f64],
+        candidate: usize,
+        collect_duals: bool,
+    ) -> Result<CandidateOutcome> {
+        self.workspace.set_collect_duals(collect_duals);
+        let program = self.program.as_ref().expect("program prepared");
+        let warm_attempted = !self.basis.is_empty();
+
+        let result = if warm_attempted {
             program
                 .lp
                 .solve_from_basis(&mut self.workspace, &self.basis)
+        } else {
+            program.lp.solve_with(&mut self.workspace)
         };
         let solution = match result {
             Ok(solution) => solution,
@@ -458,6 +671,7 @@ impl CandidateSlot {
                     feasible: false,
                     auditor_utility: f64::NEG_INFINITY,
                     attacker_utility: 0.0,
+                    warm_attempted,
                     warm_hit: false,
                     pivots: self.workspace.last_pivots() as u32,
                 });
@@ -475,6 +689,7 @@ impl CandidateSlot {
             feasible: true,
             auditor_utility: cand.auditor_expected(coverage_c),
             attacker_utility: cand.attacker_expected(coverage_c),
+            warm_attempted,
             warm_hit: stats.warm_started,
             pivots: stats.pivots as u32,
         };
@@ -485,12 +700,13 @@ impl CandidateSlot {
     }
 }
 
-/// Sequential best-response selection: keep `solution` if it strictly beats
-/// the incumbent by more than the tolerance.
+/// Sequential best-response selection for the cold reference path: keep
+/// `solution` if it strictly beats the incumbent (exact comparison — in
+/// index order this is the same lexicographic argmax as [`is_better`]).
 fn keep_better(best: &mut Option<SseSolution>, solution: SseSolution) {
     let better = best
         .as_ref()
-        .is_none_or(|b| solution.auditor_utility > b.auditor_utility + 1e-12);
+        .is_none_or(|b| solution.auditor_utility > b.auditor_utility);
     if better {
         *best = Some(solution);
     }
@@ -500,6 +716,8 @@ fn keep_better(best: &mut Option<SseSolution>, solution: SseSolution) {
 mod tests {
     use super::*;
     use crate::model::{PayoffTable, Payoffs};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn single_type_input<'a>(
         payoffs: &'a PayoffTable,
@@ -665,7 +883,16 @@ mod tests {
             }
         }
         assert_eq!(cache.totals.solves, 60);
-        // After the first solve every candidate LP has a basis to reuse.
+        // Every candidate is either solved or pruned, on every solve.
+        assert_eq!(cache.totals.lp_solves + cache.totals.pruned_lps, 60 * 7);
+        // The pruning bound should retire the vast majority of the LPs
+        // (every solve after the first runs incumbent-first).
+        assert!(
+            cache.totals.pruned_lp_fraction() > 0.5,
+            "pruned fraction {:.3} unexpectedly low",
+            cache.totals.pruned_lp_fraction()
+        );
+        // Every LP that was solved with a recorded basis warm-started.
         assert!(cache.totals.warm_attempts >= cache.totals.lp_solves - 7);
         assert!(
             cache.totals.warm_hit_rate() > 0.8,
@@ -675,6 +902,169 @@ mod tests {
         // Warm-started solves should spend far fewer pivots than phase 1 +
         // phase 2 cold solves would.
         assert!(cache.totals.pivots_per_lp() < 10.0);
+    }
+
+    #[test]
+    fn pruned_and_exhaustive_solvers_agree_bitwise_on_trajectories() {
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let pruned = SseSolver::new();
+        let exhaustive = SseSolver::exhaustive();
+        assert!(pruned.pruning_enabled());
+        assert!(!exhaustive.pruning_enabled());
+        let mut pruned_cache = SseCache::new();
+        let mut exhaustive_cache = SseCache::new();
+        let mut budget = 50.0;
+        let mut estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        for step in 0..80 {
+            let input = single_type_input(&payoffs, &costs, &estimates, budget);
+            let a = pruned.solve_cached(&input, &mut pruned_cache).unwrap();
+            let b = exhaustive
+                .solve_cached(&input, &mut exhaustive_cache)
+                .unwrap();
+            // Winner and solution are bitwise identical; only the work
+            // counters (stats) may differ.
+            assert_eq!(a.best_response, b.best_response, "step {step}");
+            assert_eq!(a.coverage, b.coverage, "step {step}");
+            assert_eq!(a.budget_split, b.budget_split, "step {step}");
+            assert_eq!(a.auditor_utility.to_bits(), b.auditor_utility.to_bits());
+            assert_eq!(a.attacker_utility.to_bits(), b.attacker_utility.to_bits());
+            budget = (budget - 0.3).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.7).max(0.0);
+            }
+        }
+        assert_eq!(exhaustive_cache.totals.pruned_lps, 0);
+        assert_eq!(exhaustive_cache.totals.lp_solves, 80 * 7);
+        assert!(pruned_cache.totals.pruned_lps > 0);
+        assert!(pruned_cache.totals.lp_solves < exhaustive_cache.totals.lp_solves);
+    }
+
+    #[test]
+    fn pruning_solver_copes_with_a_cache_warmed_by_an_exhaustive_solver() {
+        // An exhaustive solver skips dual extraction, so its cache carries
+        // solutions with empty duals. A pruning solver handed that cache
+        // must treat them as "no certificate" (solve in full, no panic) and
+        // still agree with a fresh pruning solve.
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        let input = single_type_input(&payoffs, &costs, &estimates, 50.0);
+
+        let mut mixed_cache = SseCache::new();
+        SseSolver::exhaustive()
+            .solve_cached(&input, &mut mixed_cache)
+            .unwrap();
+        assert!(mixed_cache
+            .slots
+            .iter()
+            .all(|s| s.last.as_ref().is_some_and(|l| l.duals().is_empty())));
+
+        let pruning = SseSolver::new();
+        let mixed = pruning.solve_cached(&input, &mut mixed_cache).unwrap();
+        // No certificates were available, so nothing may have been pruned.
+        assert_eq!(mixed_cache.totals.pruned_lps, 0);
+
+        // The reference arm: the same two-solve trajectory, all-exhaustive.
+        // Both second solves warm-start from identical bases, so the usual
+        // pruned-vs-exhaustive bitwise equivalence applies.
+        let mut reference_cache = SseCache::new();
+        let exhaustive = SseSolver::exhaustive();
+        exhaustive
+            .solve_cached(&input, &mut reference_cache)
+            .unwrap();
+        let reference = exhaustive
+            .solve_cached(&input, &mut reference_cache)
+            .unwrap();
+        assert_eq!(mixed.best_response, reference.best_response);
+        assert_eq!(mixed.budget_split, reference.budget_split);
+        assert_eq!(mixed.coverage, reference.coverage);
+
+        // The pruning solver re-collected duals, so the next solve prunes.
+        pruning.solve_cached(&input, &mut mixed_cache).unwrap();
+        assert!(mixed_cache.totals.pruned_lps > 0);
+    }
+
+    #[test]
+    fn pruning_bound_is_never_violated_by_the_exhaustive_objective() {
+        // Randomized drifting games: after every solve, re-price each
+        // candidate's previous duals against the next input and check the
+        // bound upper-bounds that candidate's true (exhaustively solved)
+        // auditor utility. This is the soundness invariant the pruned path
+        // relies on to skip LPs.
+        let mut rng = StdRng::seed_from_u64(2019);
+        let mut scratch = Vec::new();
+        for game in 0..40 {
+            let n = rng.gen_range(2..6);
+            let payoffs = PayoffTable::new(
+                (0..n)
+                    .map(|_| {
+                        Payoffs::new(
+                            rng.gen_range(50.0..300.0),
+                            -rng.gen_range(100.0..900.0),
+                            -rng.gen_range(500.0..4000.0),
+                            rng.gen_range(100.0..900.0),
+                        )
+                    })
+                    .collect(),
+            );
+            let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..3.0)).collect();
+            let mut estimates: Vec<f64> = (0..n).map(|_| rng.gen_range(5.0..200.0)).collect();
+            let mut budget = rng.gen_range(5.0..120.0);
+
+            // The pruning solver populates the per-candidate duals exactly
+            // as production does: solved candidates carry fresh duals,
+            // pruned candidates keep stale ones from an earlier step — and
+            // the bound must upper-bound the truth in both cases.
+            let mut cache = SseCache::new();
+            let solver = SseSolver::new();
+            for step in 0..12 {
+                let input = SseInput {
+                    payoffs: &payoffs,
+                    audit_costs: &costs,
+                    future_estimates: &estimates,
+                    budget,
+                };
+                solver.solve_cached(&input, &mut cache).unwrap();
+
+                // Drift, then bound-vs-truth for every candidate.
+                budget = (budget - rng.gen_range(0.0..1.0)).max(0.0);
+                for e in &mut estimates {
+                    *e = (*e - rng.gen_range(0.0..2.0)).max(0.0);
+                }
+                let next = SseInput {
+                    payoffs: &payoffs,
+                    audit_costs: &costs,
+                    future_estimates: &estimates,
+                    budget,
+                };
+                let mut rates = Vec::new();
+                SseSolver::coverage_rates_into(&next, &mut rates);
+                for candidate in 0..n {
+                    let slot = &mut cache.slots[candidate];
+                    let Some(duals) = slot.last.as_ref().map(|l| l.duals().to_vec()) else {
+                        continue;
+                    };
+                    slot.prepare(&next, &rates, candidate);
+                    let program = slot.program.as_ref().unwrap();
+                    let bound = program.lp.lagrangian_bound(&duals, &mut scratch);
+                    let ub_utility =
+                        payoffs.get(AlertTypeId(candidate as u16)).auditor_uncovered + bound;
+                    // Truth: solve this candidate's LP cold on the new data.
+                    let mut ws = SimplexWorkspace::new();
+                    match SseSolver::solve_for_candidate(&next, &rates, candidate, &mut ws) {
+                        Ok(truth) => assert!(
+                            ub_utility >= truth.auditor_utility - PRUNE_MARGIN,
+                            "game {game} step {step} candidate {candidate}: \
+                             bound {ub_utility} below exhaustive objective {}",
+                            truth.auditor_utility
+                        ),
+                        Err(SagError::Lp(LpError::Infeasible)) => {}
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -815,8 +1205,8 @@ mod tests {
 
     #[test]
     fn many_type_games_solve_identically_cached_and_cold() {
-        // 10 types: above PARALLEL_MIN_TYPES, so with the `parallel` feature
-        // this exercises the threaded candidate fan-out and checks it agrees
+        // 10 types: above PARALLEL_MIN_TYPES, so with an explicit pool this
+        // also exercises the pooled candidate fan-out and checks it agrees
         // with the sequential reference to 1e-9.
         let payoffs = PayoffTable::new(
             (0..10)
@@ -831,7 +1221,9 @@ mod tests {
                 .collect(),
         );
         let costs: Vec<f64> = (0..10).map(|i| 1.0 + 0.3 * i as f64).collect();
-        let solver = SseSolver::new();
+        let pool = WorkerPool::new(3);
+        // Exhaustive + pooled so the fan-out actually runs every step.
+        let solver = SseSolver::exhaustive();
         let mut cache = SseCache::new();
         let mut estimates: Vec<f64> = (0..10).map(|i| 15.0 + 20.0 * i as f64).collect();
         let mut budget = 80.0;
@@ -842,13 +1234,55 @@ mod tests {
                 future_estimates: &estimates,
                 budget,
             };
-            let warm = solver.solve_cached(&input, &mut cache).unwrap();
+            let warm = solver
+                .solve_cached_with(&input, &mut cache, true, Some(&pool))
+                .unwrap();
             let cold = solver.solve(&input).unwrap();
             assert!((warm.auditor_utility - cold.auditor_utility).abs() < 1e-9);
             assert_eq!(warm.best_response, cold.best_response);
             budget = (budget - 0.7).max(0.0);
             for e in &mut estimates {
                 *e = (*e - 0.4).max(0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_fan_out_is_bitwise_identical_to_sequential() {
+        let payoffs = PayoffTable::new(
+            (0..12)
+                .map(|i| {
+                    Payoffs::new(
+                        120.0 + 30.0 * i as f64,
+                        -350.0 - 80.0 * i as f64,
+                        -1800.0 - 200.0 * i as f64,
+                        380.0 + 40.0 * i as f64,
+                    )
+                })
+                .collect(),
+        );
+        let costs: Vec<f64> = (0..12).map(|i| 1.0 + 0.2 * i as f64).collect();
+        let pool = WorkerPool::new(4);
+        let solver = SseSolver::exhaustive();
+        let mut pooled_cache = SseCache::new();
+        let mut seq_cache = SseCache::new();
+        let mut estimates: Vec<f64> = (0..12).map(|i| 25.0 + 12.0 * i as f64).collect();
+        let mut budget = 70.0;
+        for step in 0..20 {
+            let input = SseInput {
+                payoffs: &payoffs,
+                audit_costs: &costs,
+                future_estimates: &estimates,
+                budget,
+            };
+            let pooled = solver
+                .solve_cached_with(&input, &mut pooled_cache, true, Some(&pool))
+                .unwrap();
+            let sequential = solver.solve_cached(&input, &mut seq_cache).unwrap();
+            assert_eq!(pooled, sequential, "step {step}");
+            budget = (budget - 0.5).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.3).max(0.0);
             }
         }
     }

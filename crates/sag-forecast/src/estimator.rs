@@ -81,9 +81,17 @@ impl FutureAlertEstimator {
     /// Estimates for every type, ordered by type id.
     #[must_use]
     pub fn estimate_all(&self, now: TimeOfDay) -> Vec<f64> {
-        (0..self.num_types())
-            .map(|t| self.estimate(AlertTypeId(t as u16), now))
-            .collect()
+        let mut out = Vec::new();
+        self.estimate_all_into(now, &mut out);
+        out
+    }
+
+    /// [`estimate_all`](Self::estimate_all) into a caller-provided buffer, so
+    /// per-alert hot paths (one estimate vector per pushed alert) perform no
+    /// allocation in the steady state. The buffer is cleared first.
+    pub fn estimate_all_into(&self, now: TimeOfDay, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.num_types()).map(|t| self.estimate(AlertTypeId(t as u16), now)));
     }
 
     /// Expected whole-day totals (used by the offline SSE baseline).

@@ -291,6 +291,83 @@ impl LpProblem {
         Ok(())
     }
 
+    /// Price a certified objective bound from `duals` against the problem's
+    /// *current* data, without solving: for a maximization this returns an
+    /// **upper** bound on the optimal objective, for a minimization a
+    /// **lower** bound. `scratch` is caller-provided so hot paths pay no
+    /// allocation; its contents are overwritten.
+    ///
+    /// This is the Lagrangian-relaxation bound: for multipliers `y` with the
+    /// sign convention of [`crate::LpSolution::duals`] (enforced here by
+    /// clamping wrong-signed entries to zero, so *any* `y` — e.g. the duals
+    /// of a structurally identical problem with slightly different numbers —
+    /// yields a valid bound),
+    ///
+    /// ```text
+    /// opt ≤ y·b + Σ_j max_{x_j ∈ [l_j, u_j]} (c_j − y·A_j) x_j        (max)
+    /// ```
+    ///
+    /// and symmetrically with `min` for minimizations. When `y` is the
+    /// optimal dual of the same data the bound is tight (strong duality);
+    /// re-priced against drifted coefficients it stays valid but loosens
+    /// with the drift — exactly the property incremental solvers exploit to
+    /// skip re-solves that provably cannot beat an incumbent. A variable
+    /// whose relaxed profit is positive with an infinite upper bound makes
+    /// the bound `+∞` (maximization), i.e. "no information".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duals.len()` differs from [`Self::num_constraints`].
+    #[must_use]
+    pub fn lagrangian_bound(&self, duals: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        assert_eq!(
+            duals.len(),
+            self.constraints.len(),
+            "one dual per constraint"
+        );
+        let maximize = self.objective == Objective::Maximize;
+        // Relaxed profit per variable: c_j − Σ_i y_i a_ij, built by
+        // scattering the (sparse) constraint terms over a dense scratch.
+        scratch.clear();
+        scratch.extend(self.variables.iter().map(|v| v.objective));
+        let mut bound = 0.0;
+        for (cons, &raw) in self.constraints.iter().zip(duals) {
+            // Clamp the multiplier onto its valid half-line so numerical
+            // noise (or drifted duals) can never invalidate the bound.
+            let y = match (cons.relation, maximize) {
+                (Relation::Eq, _) => raw,
+                (Relation::Le, true) | (Relation::Ge, false) => raw.max(0.0),
+                (Relation::Ge, true) | (Relation::Le, false) => raw.min(0.0),
+            };
+            if y == 0.0 {
+                continue;
+            }
+            bound += y * cons.rhs;
+            for &(var, coeff) in &cons.terms {
+                scratch[var.0] -= y * coeff;
+            }
+        }
+        for (v, &profit) in self.variables.iter().zip(scratch.iter()) {
+            // The inner box optimum: each variable independently sits at
+            // whichever bound favours the objective direction.
+            let pick = if maximize {
+                if profit > 0.0 {
+                    v.upper
+                } else {
+                    v.lower
+                }
+            } else if profit < 0.0 {
+                v.upper
+            } else {
+                v.lower
+            };
+            if profit != 0.0 {
+                bound += profit * pick;
+            }
+        }
+        bound
+    }
+
     /// Solve the program with the two-phase simplex method.
     ///
     /// Allocates a fresh [`SimplexWorkspace`] per call; hot paths that solve

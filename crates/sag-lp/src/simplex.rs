@@ -53,6 +53,12 @@ pub struct SimplexWorkspace {
     spare_values: Vec<Vec<f64>>,
     /// Recycled buffers for [`LpSolution`] bases.
     spare_bases: Vec<Vec<usize>>,
+    /// Recycled buffers for [`LpSolution`] duals.
+    spare_duals: Vec<Vec<f64>>,
+    /// When set, solves skip the dual-extraction sweep and return solutions
+    /// with an empty [`LpSolution::duals`] slice (see
+    /// [`Self::set_collect_duals`]).
+    skip_duals: bool,
     /// Number of rows of the loaded tableau.
     rows: usize,
     /// Number of non-artificial columns of the loaded tableau.
@@ -79,12 +85,24 @@ impl SimplexWorkspace {
         self.pivots
     }
 
+    /// Choose whether solves on this workspace extract the constraint duals
+    /// into the returned [`LpSolution`] (on by default). The extraction is a
+    /// dense `O(constraints × rows)` sweep over the artificial block —
+    /// comparable to a pivot on the SAG-sized LPs — so callers that never
+    /// price a [`LpProblem::lagrangian_bound`] (e.g. the exhaustive
+    /// reference arm of the SSE solver) can turn it off; their solutions
+    /// then report an empty [`LpSolution::duals`] slice.
+    pub fn set_collect_duals(&mut self, collect: bool) {
+        self.skip_duals = !collect;
+    }
+
     /// Return a solved instance's buffers to the workspace so the next solve
     /// can reuse them instead of allocating.
     pub fn recycle(&mut self, solution: LpSolution) {
-        let (values, basis) = solution.into_buffers();
+        let (values, basis, duals) = solution.into_buffers();
         self.spare_values.push(values);
         self.spare_bases.push(basis);
+        self.spare_duals.push(duals);
     }
 
     /// Load `problem` into the workspace: rebuild the standard form and the
@@ -313,6 +331,14 @@ impl SimplexWorkspace {
         basis.clear();
         basis.extend_from_slice(&self.basis);
 
+        let duals = if self.skip_duals {
+            let mut duals = self.spare_duals.pop().unwrap_or_default();
+            duals.clear();
+            duals
+        } else {
+            self.extract_duals()
+        };
+
         let stats = SolveStats {
             pivots: self.pivots,
             phase1_pivots,
@@ -320,7 +346,35 @@ impl SimplexWorkspace {
             cols: self.n,
             warm_started,
         };
-        LpSolution::new(objective, values, basis, stats)
+        LpSolution::new(objective, values, basis, duals, stats)
+    }
+
+    /// Compute the dual multipliers of the *original* constraints from the
+    /// optimized tableau (see [`LpSolution::duals`] for the convention).
+    ///
+    /// The simplex multipliers of the standard form are `π = c_B B⁻¹`, and
+    /// column `n + i` of the final tableau is exactly `B⁻¹ e_i` (the
+    /// artificial columns start as the identity), so `π_i` is a dot product
+    /// of the basic costs with that column. Mapping back to the original
+    /// constraint `i` undoes the two sign rewrites of the standard form:
+    /// the objective negation of a maximization and the row flip applied
+    /// when the shifted right-hand side was negative.
+    fn extract_duals(&mut self) -> Vec<f64> {
+        let mut duals = self.spare_duals.pop().unwrap_or_default();
+        duals.clear();
+        let num_original = self.sf.row_signs.len();
+        let sign_obj = if self.sf.maximize { -1.0 } else { 1.0 };
+        for i in 0..num_original {
+            let mut pi = 0.0;
+            for (r, &bi) in self.basis.iter().enumerate() {
+                let cost = self.costs[bi];
+                if cost != 0.0 {
+                    pi += cost * self.a[r * self.total + self.n + i];
+                }
+            }
+            duals.push(sign_obj * self.sf.row_signs[i] * pi);
+        }
+        duals
     }
 }
 
@@ -603,6 +657,110 @@ mod tests {
         lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
         lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, budget);
         lp
+    }
+
+    #[test]
+    fn duals_of_the_textbook_maximization_satisfy_strong_duality() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: the classic
+        // optimal duals are (0, 3/2, 1), and y·b = 0 + 18 + 18 = 36 = opt.
+        let lp = dantzig_with_budget(18.0);
+        let sol = lp.solve().unwrap();
+        let duals = sol.duals();
+        assert_eq!(duals.len(), 3);
+        assert_close(duals[0], 0.0);
+        assert_close(duals[1], 1.5);
+        assert_close(duals[2], 1.0);
+        // The Lagrangian bound priced from the optimal duals on the *same*
+        // data is tight.
+        let mut scratch = Vec::new();
+        assert_close(lp.lagrangian_bound(duals, &mut scratch), sol.objective());
+    }
+
+    #[test]
+    fn duals_cover_minimization_and_flipped_rows() {
+        // min 2x + 3y s.t. x + y >= 10 (binding, dual 2): bound = 2*10 +
+        // min(0, ...) terms over the finite lower bounds.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x", 2.0, f64::INFINITY);
+        let y = lp.add_var("y", 3.0, f64::INFINITY);
+        lp.set_objective(x, 2.0);
+        lp.set_objective(y, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.duals()[0], 2.0);
+        let mut scratch = Vec::new();
+        let bound = lp.lagrangian_bound(sol.duals(), &mut scratch);
+        assert_close(bound, sol.objective());
+
+        // A `<=` row with a negative right-hand side is sign-flipped in the
+        // standard form; the reported dual must still be in original-row
+        // coordinates. max -3x s.t. -x <= -2 (i.e. x >= 2): dual 3.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, 10.0);
+        lp.set_objective(x, -3.0);
+        lp.add_constraint(&[(x, -1.0)], Relation::Le, -2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective(), -6.0);
+        assert_close(sol.duals()[0], 3.0);
+        let bound = lp.lagrangian_bound(sol.duals(), &mut scratch);
+        assert_close(bound, -6.0);
+    }
+
+    #[test]
+    fn repriced_bound_stays_above_the_drifted_optimum() {
+        // The incremental-pruning contract: duals of one solve, re-priced
+        // against perturbed data, upper-bound the perturbed optimum.
+        let mut ws = SimplexWorkspace::new();
+        let base = dantzig_with_budget(18.0);
+        let sol = base.solve_with(&mut ws).unwrap();
+        let mut scratch = Vec::new();
+        for step in 0..30 {
+            let budget = 18.0 - 0.4 * step as f64;
+            let lp = dantzig_with_budget(budget);
+            let bound = lp.lagrangian_bound(sol.duals(), &mut scratch);
+            let opt = lp.solve_with(&mut ws).unwrap().objective();
+            assert!(
+                bound >= opt - 1e-9,
+                "budget {budget}: bound {bound} below optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_duals_still_give_a_valid_if_loose_bound() {
+        // Wrong-signed multipliers are clamped away; arbitrary magnitudes
+        // only loosen the bound, never invalidate it.
+        let lp = dantzig_with_budget(18.0);
+        let opt = lp.solve().unwrap().objective();
+        let mut scratch = Vec::new();
+        for duals in [
+            [0.0, 0.0, 0.0],
+            [-5.0, -1.0, -2.0], // all wrong-signed: clamped to zero
+            [10.0, 0.25, 3.0],
+            [0.0, 1.5, 1.0],
+        ] {
+            let bound = lp.lagrangian_bound(&duals, &mut scratch);
+            assert!(
+                bound >= opt - 1e-9,
+                "duals {duals:?}: bound {bound} below optimum {opt}"
+            );
+        }
+        // With no binding multipliers the bound degrades to the (infinite)
+        // box optimum — "no information", not an invalid exclusion.
+        assert_eq!(
+            lp.lagrangian_bound(&[0.0, 0.0, 0.0], &mut scratch),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn warm_solutions_carry_duals_too() {
+        let lp = dantzig_with_budget(18.0);
+        let mut ws = SimplexWorkspace::new();
+        let cold = lp.solve_with(&mut ws).unwrap();
+        let warm = lp.solve_from_basis(&mut ws, cold.basis()).unwrap();
+        assert!(warm.stats().warm_started);
+        assert_eq!(warm.duals(), cold.duals());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct LpSolution {
     objective: f64,
     values: Vec<f64>,
     basis: Vec<usize>,
+    duals: Vec<f64>,
     stats: SolveStats,
 }
 
@@ -37,12 +38,14 @@ impl LpSolution {
         objective: f64,
         values: Vec<f64>,
         basis: Vec<usize>,
+        duals: Vec<f64>,
         stats: SolveStats,
     ) -> Self {
         Self {
             objective,
             values,
             basis,
+            duals,
             stats,
         }
     }
@@ -77,6 +80,20 @@ impl LpSolution {
         &self.basis
     }
 
+    /// The dual multipliers of the original constraints, extracted from the
+    /// optimal basis, indexed like [`crate::LpProblem::constraints`].
+    ///
+    /// Sign convention: for a **maximization**, the dual of a `≤` row is
+    /// nonnegative and the dual of a `≥` row nonpositive (up to the solver's
+    /// numerical noise); for a minimization the signs flip. Equality rows
+    /// are free. Variable *bounds* are not rows here — their multipliers are
+    /// implied (see [`crate::LpProblem::lagrangian_bound`], which folds the
+    /// bounds into the bound it prices from these duals).
+    #[must_use]
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
     /// Solver statistics for this solve.
     #[must_use]
     pub fn stats(&self) -> SolveStats {
@@ -84,8 +101,8 @@ impl LpSolution {
     }
 
     /// Tear the solution apart into its buffers (for workspace recycling).
-    pub(crate) fn into_buffers(self) -> (Vec<f64>, Vec<usize>) {
-        (self.values, self.basis)
+    pub(crate) fn into_buffers(self) -> (Vec<f64>, Vec<usize>, Vec<f64>) {
+        (self.values, self.basis, self.duals)
     }
 }
 
@@ -102,31 +119,39 @@ mod tests {
             cols: 4,
             warm_started: false,
         };
-        let sol = LpSolution::new(7.5, vec![1.0, 2.0], vec![0, 1], stats);
+        let sol = LpSolution::new(7.5, vec![1.0, 2.0], vec![0, 1], vec![0.5], stats);
         assert_eq!(sol.objective(), 7.5);
         assert_eq!(sol.value(VarId(0)), 1.0);
         assert_eq!(sol.value(VarId(1)), 2.0);
         assert_eq!(sol.values(), &[1.0, 2.0]);
         assert_eq!(sol.basis(), &[0, 1]);
+        assert_eq!(sol.duals(), &[0.5]);
         assert_eq!(sol.stats(), stats);
     }
 
     #[test]
     fn solution_clones_and_compares() {
-        let sol = LpSolution::new(1.0, vec![0.5], vec![0], SolveStats::default());
+        let sol = LpSolution::new(1.0, vec![0.5], vec![0], vec![], SolveStats::default());
         let copy = sol.clone();
         assert_eq!(copy, sol);
         assert_ne!(
-            LpSolution::new(2.0, vec![0.5], vec![0], SolveStats::default()),
+            LpSolution::new(2.0, vec![0.5], vec![0], vec![], SolveStats::default()),
             sol
         );
     }
 
     #[test]
     fn into_buffers_returns_the_owned_vectors() {
-        let sol = LpSolution::new(1.0, vec![0.5, 0.25], vec![1, 3], SolveStats::default());
-        let (values, basis) = sol.into_buffers();
+        let sol = LpSolution::new(
+            1.0,
+            vec![0.5, 0.25],
+            vec![1, 3],
+            vec![2.0],
+            SolveStats::default(),
+        );
+        let (values, basis, duals) = sol.into_buffers();
         assert_eq!(values, vec![0.5, 0.25]);
         assert_eq!(basis, vec![1, 3]);
+        assert_eq!(duals, vec![2.0]);
     }
 }

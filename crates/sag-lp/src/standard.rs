@@ -43,6 +43,11 @@ pub struct StandardForm {
     /// Whether the original problem was a maximization (so the reported
     /// objective must be negated back).
     pub maximize: bool,
+    /// Per original constraint row, the sign (`+1.0` or `-1.0`) the row was
+    /// scaled by to make its right-hand side nonnegative. Needed to map the
+    /// simplex multipliers of the standard form back onto the original
+    /// constraints (see [`crate::LpSolution::duals`]).
+    pub row_signs: Vec<f64>,
 }
 
 impl StandardForm {
@@ -142,6 +147,7 @@ impl StandardForm {
         self.b.resize(rows, 0.0);
 
         let mut next_slack = n;
+        self.row_signs.clear();
         for (i, cons) in problem.constraints.iter().enumerate() {
             let row = &mut self.a[i * cols..(i + 1) * cols];
             let mut rhs = cons.rhs;
@@ -165,6 +171,9 @@ impl StandardForm {
                     *entry = -*entry;
                 }
                 rhs = -rhs;
+                self.row_signs.push(-1.0);
+            } else {
+                self.row_signs.push(1.0);
             }
             self.b[i] = rhs;
         }

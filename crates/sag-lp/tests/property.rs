@@ -246,6 +246,56 @@ proptest! {
         }
     }
 
+    /// The Lagrangian bound priced from a solve's duals is tight on the same
+    /// data and stays a valid bound when re-priced against perturbed data —
+    /// the certificate the SSE solver's incremental pruning relies on.
+    #[test]
+    fn lagrangian_bound_is_tight_at_home_and_valid_under_drift(
+        instance in random_lp_strategy(),
+        rhs_factor in 0.6f64..1.3,
+        bound_factor in 0.7f64..1.2,
+    ) {
+        let (base, ids) = instance.build();
+        let Ok(sol) = base.solve() else { continue };
+        let mut scratch = Vec::new();
+
+        // Tight at home (strong duality).
+        let home = base.lagrangian_bound(sol.duals(), &mut scratch);
+        let tol = 1e-6 * (1.0 + sol.objective().abs());
+        if instance.maximize {
+            prop_assert!(home >= sol.objective() - tol);
+            prop_assert!(home <= sol.objective() + tol,
+                "home bound {} far above optimum {}", home, sol.objective());
+        } else {
+            prop_assert!(home <= sol.objective() + tol);
+            prop_assert!(home >= sol.objective() - tol,
+                "home bound {} far below optimum {}", home, sol.objective());
+        }
+
+        // Valid (one-sided) after drifting every rhs and upper bound.
+        let mut drifted = base.clone();
+        for c in 0..drifted.num_constraints() {
+            drifted.set_constraint_rhs(c, base.constraints()[c].rhs * rhs_factor);
+        }
+        for &v in &ids {
+            let (lo, hi) = base.bounds(v);
+            drifted.set_bounds(v, lo, hi * bound_factor);
+        }
+        if let Ok(drifted_sol) = drifted.solve() {
+            let bound = drifted.lagrangian_bound(sol.duals(), &mut scratch);
+            let tol = 1e-6 * (1.0 + drifted_sol.objective().abs());
+            if instance.maximize {
+                prop_assert!(bound >= drifted_sol.objective() - tol,
+                    "re-priced bound {} below drifted optimum {}",
+                    bound, drifted_sol.objective());
+            } else {
+                prop_assert!(bound <= drifted_sol.objective() + tol,
+                    "re-priced bound {} above drifted optimum {}",
+                    bound, drifted_sol.objective());
+            }
+        }
+    }
+
     #[test]
     fn objective_scaling_scales_optimum(instance in random_lp_strategy(), scale in 0.1f64..10.0) {
         let (lp, ids) = instance.build();

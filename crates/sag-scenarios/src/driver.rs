@@ -60,6 +60,7 @@ impl ScenarioRun {
             totals.warm_hits += c.sse_totals.warm_hits;
             totals.pivots += c.sse_totals.pivots;
             totals.fast_path_solves += c.sse_totals.fast_path_solves;
+            totals.pruned_lps += c.sse_totals.pruned_lps;
         }
         totals
     }
@@ -140,7 +141,28 @@ pub fn run_scenario_sized(
     history_days: u32,
     test_days: u32,
 ) -> Result<ScenarioRun> {
-    let engine = AuditCycleEngine::new(scenario.engine_config())?;
+    run_scenario_sized_with(scenario, seed, shards, history_days, test_days, |_| {})
+}
+
+/// [`run_scenario_sized`] with an engine-configuration override hook,
+/// applied after the scenario's own [`Scenario::engine_config`]. Used by
+/// benchmarks and equivalence tests to flip engine-level switches (solver
+/// backend, pruning mode) on an otherwise identical replay.
+///
+/// # Errors
+///
+/// Propagates engine construction and solver errors.
+pub fn run_scenario_sized_with(
+    scenario: &dyn Scenario,
+    seed: u64,
+    shards: usize,
+    history_days: u32,
+    test_days: u32,
+    configure: impl FnOnce(&mut sag_core::engine::EngineConfig),
+) -> Result<ScenarioRun> {
+    let mut config = scenario.engine_config();
+    configure(&mut config);
+    let engine = AuditCycleEngine::new(config)?;
     let days = scenario.generate_days(seed, history_days + test_days);
     let log = sag_sim::AlertLog::new(days);
     let groups = log.rolling_groups(history_days as usize);

@@ -1,6 +1,6 @@
 //! The built-in scenario library.
 //!
-//! Six regimes, each stressing one assumption the paper's single-workload
+//! Seven regimes, each stressing one assumption the paper's single-workload
 //! evaluation keeps fixed:
 //!
 //! | name | stresses |
@@ -11,6 +11,7 @@
 //! | `budget-shocks`   | the flat per-cycle budget (audit capacity shocks) |
 //! | `noisy-evidence`  | the perfect warning channel (leaky signals, noisy Bayesian posterior) |
 //! | `multi-site`      | the single homogeneous population (two-hospital federation, 14 types) |
+//! | `metro-grid`      | per-alert solve cost at scale (four-site metro federation, 28 types) |
 
 use crate::scenario::Scenario;
 use sag_core::engine::EngineConfig;
@@ -206,8 +207,56 @@ impl Scenario for NoisyEvidence {
 }
 
 // ---------------------------------------------------------------------------
-// multi-site
+// federations (multi-site, metro-grid)
 // ---------------------------------------------------------------------------
+
+/// One site of a federated deployment: a scaled copy of the paper's
+/// hospital. `(label, volume scale, payoff-stakes scale, audit-cost scale)`.
+type Site = (&'static str, f64, f64, f64);
+
+/// The federated alert catalogue: every site contributes a scaled copy of
+/// the paper's 7 Table-1 types, so a federation of `k` sites is a `7k`-type
+/// game over one shared audit desk.
+fn federated_catalog(sites: &[Site]) -> AlertCatalog {
+    let base = AlertCatalog::paper_table1();
+    let mut types = Vec::new();
+    for &(label, volume, _, _) in sites {
+        for info in base.types() {
+            types.push(AlertTypeInfo {
+                id: AlertTypeId(types.len() as u16),
+                description: format!("{label}: {}", info.description),
+                rules: info.rules,
+                daily_mean: info.daily_mean * volume,
+                daily_std: info.daily_std * volume.sqrt(),
+            });
+        }
+    }
+    AlertCatalog::new(types)
+}
+
+/// The federated game: Table-2 payoffs scaled per site, one shared budget.
+fn federated_game(sites: &[Site], budget: f64) -> GameConfig {
+    let base = PayoffTable::paper_table2();
+    let mut payoffs = Vec::new();
+    let mut audit_costs = Vec::new();
+    for &(_, _, stakes, cost) in sites {
+        for p in base.all() {
+            payoffs.push(Payoffs::new(
+                p.auditor_covered * stakes,
+                p.auditor_uncovered * stakes,
+                p.attacker_covered * stakes,
+                p.attacker_uncovered * stakes,
+            ));
+            audit_costs.push(cost);
+        }
+    }
+    GameConfig {
+        catalog: federated_catalog(sites),
+        payoffs: PayoffTable::new(payoffs),
+        audit_costs,
+        budget,
+    }
+}
 
 /// A two-hospital federation sharing one audit desk: site A is the paper's
 /// hospital; site B is a smaller satellite with ~half the alert volume but
@@ -220,47 +269,10 @@ pub struct MultiSite;
 
 impl MultiSite {
     /// `(volume scale, payoff scale, audit-cost scale)` per site.
-    const SITES: [(&'static str, f64, f64, f64); 2] =
-        [("site-a", 1.0, 1.0, 1.0), ("site-b", 0.5, 1.5, 1.3)];
-
-    fn federated_catalog() -> AlertCatalog {
-        let base = AlertCatalog::paper_table1();
-        let mut types = Vec::new();
-        for (label, volume, _, _) in Self::SITES {
-            for info in base.types() {
-                types.push(AlertTypeInfo {
-                    id: AlertTypeId(types.len() as u16),
-                    description: format!("{label}: {}", info.description),
-                    rules: info.rules,
-                    daily_mean: info.daily_mean * volume,
-                    daily_std: info.daily_std * volume.sqrt(),
-                });
-            }
-        }
-        AlertCatalog::new(types)
-    }
+    const SITES: [Site; 2] = [("site-a", 1.0, 1.0, 1.0), ("site-b", 0.5, 1.5, 1.3)];
 
     fn federated_game() -> GameConfig {
-        let base = PayoffTable::paper_table2();
-        let mut payoffs = Vec::new();
-        let mut audit_costs = Vec::new();
-        for (_, _, stakes, cost) in Self::SITES {
-            for p in base.all() {
-                payoffs.push(Payoffs::new(
-                    p.auditor_covered * stakes,
-                    p.auditor_uncovered * stakes,
-                    p.attacker_covered * stakes,
-                    p.attacker_uncovered * stakes,
-                ));
-                audit_costs.push(cost);
-            }
-        }
-        GameConfig {
-            catalog: Self::federated_catalog(),
-            payoffs: PayoffTable::new(payoffs),
-            audit_costs,
-            budget: 80.0,
-        }
+        federated_game(&Self::SITES, 80.0)
     }
 }
 
@@ -279,7 +291,56 @@ impl Scenario for MultiSite {
 
     fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
         let config = StreamConfig::stationary(
-            Self::federated_catalog(),
+            federated_catalog(&Self::SITES),
+            DiurnalProfile::standard_hco(),
+            seed,
+        );
+        generate(config, num_days)
+    }
+}
+
+/// A four-site metropolitan federation: the paper's hospital as the hub,
+/// two regional hospitals and a specialist clinic, all auditing from one
+/// shared desk. The combined game has **28 alert types**, which makes
+/// per-alert solve cost the binding constraint — the multiple-LP method
+/// solves one LP per candidate type, so this scenario is what proves the
+/// incremental pruning layer (solve cost scaling with *change*, not type
+/// count) at federation scale. Smaller sites carry higher stakes and
+/// costlier remote audits, so the equilibrium budget split is genuinely
+/// heterogeneous across the grid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetroGrid;
+
+impl MetroGrid {
+    /// `(volume scale, payoff scale, audit-cost scale)` per site.
+    const SITES: [Site; 4] = [
+        ("hub", 1.0, 1.0, 1.0),
+        ("north", 0.7, 1.2, 1.15),
+        ("south", 0.55, 1.4, 1.25),
+        ("clinic", 0.35, 1.8, 1.5),
+    ];
+
+    fn federated_game() -> GameConfig {
+        federated_game(&Self::SITES, 130.0)
+    }
+}
+
+impl Scenario for MetroGrid {
+    fn name(&self) -> &'static str {
+        "metro-grid"
+    }
+
+    fn description(&self) -> &'static str {
+        "four-site metro federation: 28 types, hub + two regionals + clinic, shared budget 130"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_defaults(Self::federated_game())
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        let config = StreamConfig::stationary(
+            federated_catalog(&Self::SITES),
             DiurnalProfile::standard_hco(),
             seed,
         );
@@ -303,6 +364,48 @@ mod tests {
         let a = game.payoffs.get(AlertTypeId(0));
         let b = game.payoffs.get(AlertTypeId(7));
         assert!((b.auditor_covered - a.auditor_covered * 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metro_grid_game_is_a_valid_28_type_federation() {
+        let game = MetroGrid::federated_game();
+        game.validate().expect("metro-grid game validates");
+        assert_eq!(game.num_types(), 28);
+        assert_eq!(game.catalog.len(), 28);
+        assert_eq!(game.budget, 130.0);
+        // Each site block scales the paper's payoffs and costs by its spec.
+        for (site, &(label, volume, stakes, cost)) in MetroGrid::SITES.iter().enumerate() {
+            let base = PayoffTable::paper_table2();
+            for t in 0..7usize {
+                let id = AlertTypeId((site * 7 + t) as u16);
+                let scaled = game.payoffs.get(id);
+                let reference = base.get(AlertTypeId(t as u16));
+                assert!(
+                    (scaled.attacker_uncovered - reference.attacker_uncovered * stakes).abs()
+                        < 1e-12,
+                    "{label} type {t}"
+                );
+                assert_eq!(game.audit_costs[site * 7 + t], cost);
+                let info = game.catalog.get(id).expect("catalogued type");
+                assert!(info.description.starts_with(label));
+                assert!(
+                    (info.daily_mean - base_catalog_mean(t) * volume).abs() < 1e-9,
+                    "{label} type {t}: mean {}",
+                    info.daily_mean
+                );
+            }
+        }
+        // The hub dominates volume; the clinic carries the highest stakes.
+        let hub = game.catalog.get(AlertTypeId(0)).expect("hub type");
+        let clinic = game.catalog.get(AlertTypeId(21)).expect("clinic type");
+        assert!(hub.daily_mean > clinic.daily_mean);
+    }
+
+    fn base_catalog_mean(t: usize) -> f64 {
+        AlertCatalog::paper_table1()
+            .get(AlertTypeId(t as u16))
+            .expect("paper type")
+            .daily_mean
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The canonical list of registered scenarios.
 
 use crate::library::{
-    AttackerDrift, BudgetShocks, BurstyArrivals, MultiSite, NoisyEvidence, PaperBaseline,
+    AttackerDrift, BudgetShocks, BurstyArrivals, MetroGrid, MultiSite, NoisyEvidence, PaperBaseline,
 };
 use crate::scenario::Scenario;
 
@@ -17,6 +17,7 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(BudgetShocks),
         Box::new(NoisyEvidence),
         Box::new(MultiSite),
+        Box::new(MetroGrid),
     ]
 }
 
@@ -32,9 +33,9 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
-    fn registry_has_at_least_six_uniquely_named_scenarios() {
+    fn registry_has_at_least_seven_uniquely_named_scenarios() {
         let reg = registry();
-        assert!(reg.len() >= 6, "only {} scenarios registered", reg.len());
+        assert!(reg.len() >= 7, "only {} scenarios registered", reg.len());
         let names: HashSet<&'static str> = reg.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), reg.len(), "duplicate scenario names");
         for s in &reg {
@@ -51,6 +52,7 @@ mod tests {
     fn find_scenario_resolves_names() {
         assert!(find_scenario("paper-baseline").is_some());
         assert!(find_scenario("multi-site").is_some());
+        assert!(find_scenario("metro-grid").is_some());
         assert!(find_scenario("no-such-scenario").is_none());
     }
 }
