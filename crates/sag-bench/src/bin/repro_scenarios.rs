@@ -67,6 +67,19 @@ fn main() {
         println!("  note    : {note}");
     }
 
+    let sc = &report.service_concurrent;
+    println!(
+        "\nservice_concurrent ({} tenants x {} days of {}, {} worker(s), {} thread(s) available):",
+        sc.tenants, sc.days_per_tenant, sc.scenario, sc.workers, sc.threads_available
+    );
+    println!(
+        "  concurrent: {:>8.4} s ({:.0} alerts/sec over {} alerts)\n  serial    : {:>8.4} s\n  speedup   : {:>8.2}x",
+        sc.wall_seconds, sc.alerts_per_sec, sc.alerts, sc.serial_wall_seconds, sc.speedup_vs_serial
+    );
+    if let Some(note) = &sc.note {
+        println!("  note      : {note}");
+    }
+
     let json = render_suite_json(&report);
     std::fs::write(&out_path, format!("{json}\n")).expect("write scenario report");
     println!("\nwrote {out_path}");

@@ -3,13 +3,17 @@
 //! Replays every scenario registered in `sag-scenarios` through the engine's
 //! sharded batch driver and reports, per scenario: throughput, warm-start
 //! hit rate, simplex work, and the utility profile of the three strategies.
-//! A final sharding section times an identical multi-day batch at one shard
+//! A sharding section times an identical multi-day batch at one shard
 //! vs. many, quantifying the multi-core scaling of `replay_sharded` (whose
 //! results are bitwise shard-count-independent, so the comparison is pure
-//! wall-clock).
+//! wall-clock), and a `service_concurrent` section times a multi-tenant
+//! `AuditService` fleet concurrently vs. serially under the same
+//! results-identical guarantee.
 
 use sag_core::Result;
-use sag_scenarios::{find_scenario, registry, run_scenario_sized, ScenarioRun};
+use sag_scenarios::{
+    find_scenario, registry, run_scenario_service, run_scenario_sized, ScenarioRun,
+};
 use std::fmt::Write as _;
 
 /// Per-scenario metrics of one registry replay.
@@ -101,6 +105,37 @@ pub struct ShardingReport {
     pub note: Option<String>,
 }
 
+/// Wall-clock profile of the multi-tenant `AuditService` front door: the
+/// same tenant fleet replayed concurrently (over the service's worker pool)
+/// and serially (inline, zero workers).
+#[derive(Debug, Clone)]
+pub struct ServiceConcurrentReport {
+    /// Scenario every tenant runs.
+    pub scenario: String,
+    /// Number of tenants multiplexed through one service.
+    pub tenants: usize,
+    /// Worker threads of the concurrent leg's service pool.
+    pub workers: usize,
+    /// Replayed days per tenant.
+    pub days_per_tenant: usize,
+    /// Total alerts served across all tenants.
+    pub alerts: usize,
+    /// Wall-clock seconds of the concurrent leg.
+    pub wall_seconds: f64,
+    /// Concurrent service throughput in alerts per second — the headline
+    /// number `check_perf.py` floors.
+    pub alerts_per_sec: f64,
+    /// Wall-clock seconds of the serial (inline) leg.
+    pub serial_wall_seconds: f64,
+    /// `serial / concurrent` — above 1 means the pool won wall-clock time.
+    /// Results are bitwise identical between the legs by construction.
+    pub speedup_vs_serial: f64,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub threads_available: usize,
+    /// Honest caveat when the host cannot show a real speedup.
+    pub note: Option<String>,
+}
+
 /// The full `BENCH_2.json` payload.
 #[derive(Debug, Clone)]
 pub struct ScenarioSuiteReport {
@@ -110,6 +145,8 @@ pub struct ScenarioSuiteReport {
     pub scenarios: Vec<ScenarioReport>,
     /// The sharded-vs-sequential wall-clock comparison.
     pub sharding: ShardingReport,
+    /// The multi-tenant service-throughput comparison.
+    pub service_concurrent: ServiceConcurrentReport,
 }
 
 /// Configuration of a suite run.
@@ -125,6 +162,8 @@ pub struct SuiteConfig {
     pub test_days: Option<u32>,
     /// Day jobs in the sharding comparison batch.
     pub sharding_jobs: u32,
+    /// Tenants multiplexed in the `service_concurrent` comparison.
+    pub service_tenants: usize,
 }
 
 impl SuiteConfig {
@@ -137,6 +176,7 @@ impl SuiteConfig {
             history_days: None,
             test_days: None,
             sharding_jobs: 12,
+            service_tenants: 8,
         }
     }
 }
@@ -219,6 +259,79 @@ pub fn scenario_suite(config: &SuiteConfig) -> Result<ScenarioSuiteReport> {
         None
     };
 
+    // ---- Multi-tenant service throughput ----------------------------------
+    // The same baseline fleet through the `AuditService` front door: N
+    // tenants, each on its own seeded stream, replayed concurrently over
+    // the service's worker pool vs. serially inline. Results are bitwise
+    // identical between the legs (each tenant-day is a pure function of its
+    // job), so this is a pure wall-clock comparison like the sharding one;
+    // best-of-3 per leg for the same noise reasons.
+    let tenants = config.service_tenants.max(1);
+    let service_test_days = config.test_days.unwrap_or(4);
+    let workers = threads_available;
+    let mut concurrent_wall = f64::INFINITY;
+    let mut serial_wall = f64::INFINITY;
+    let mut alerts = 0usize;
+    let mut days_per_tenant = 0usize;
+    for _ in 0..3 {
+        let concurrent = run_scenario_service(
+            baseline.as_ref(),
+            config.seed,
+            tenants,
+            workers,
+            history_days,
+            service_test_days,
+        )
+        .map_err(service_error_to_sag)?;
+        alerts = concurrent.alerts();
+        days_per_tenant = concurrent.cycles.first().map_or(0, Vec::len);
+        concurrent_wall = concurrent_wall.min(concurrent.wall_seconds);
+        let serial = run_scenario_service(
+            baseline.as_ref(),
+            config.seed,
+            tenants,
+            0,
+            history_days,
+            service_test_days,
+        )
+        .map_err(service_error_to_sag)?;
+        serial_wall = serial_wall.min(serial.wall_seconds);
+    }
+    let service_note = if threads_available == 1 {
+        Some(
+            "only 1 core available: the pool cannot beat the inline replay on \
+             this host, expect speedup ~1.0"
+                .to_string(),
+        )
+    } else if threads_available < 4 {
+        Some(format!(
+            "only {threads_available} core(s) available: expect a modest speedup at best"
+        ))
+    } else {
+        None
+    };
+    let service_concurrent = ServiceConcurrentReport {
+        scenario: "paper-baseline".to_string(),
+        tenants,
+        workers,
+        days_per_tenant,
+        alerts,
+        wall_seconds: concurrent_wall,
+        alerts_per_sec: if concurrent_wall > 0.0 {
+            alerts as f64 / concurrent_wall
+        } else {
+            0.0
+        },
+        serial_wall_seconds: serial_wall,
+        speedup_vs_serial: if concurrent_wall > 0.0 {
+            serial_wall / concurrent_wall
+        } else {
+            0.0
+        },
+        threads_available,
+        note: service_note,
+    };
+
     Ok(ScenarioSuiteReport {
         seed: config.seed,
         scenarios,
@@ -237,7 +350,21 @@ pub fn scenario_suite(config: &SuiteConfig) -> Result<ScenarioSuiteReport> {
             },
             note,
         },
+        service_concurrent,
     })
+}
+
+/// The suite reports through `sag_core::Result`; service-level failures
+/// (which indicate workspace bugs here — every tenant uses a registered
+/// scenario's validated config) surface as their engine cause or, for
+/// purely service-side causes, as a poisoned config error.
+fn service_error_to_sag(e: sag_service::ServiceError) -> sag_core::SagError {
+    match e {
+        sag_service::ServiceError::Engine(e) => e,
+        other => {
+            unreachable!("service replay failed without an engine cause: {other}")
+        }
+    }
 }
 
 /// Escape a string for embedding in a JSON string literal.
@@ -329,6 +456,31 @@ pub fn render_suite_json(report: &ScenarioSuiteReport) -> String {
         out.truncate(out.len() - 1);
         let _ = writeln!(out, ",\n    \"note\": \"{}\"", json_escape(note));
     }
+    let _ = writeln!(out, "  }},");
+    let sc = &report.service_concurrent;
+    let _ = writeln!(out, "  \"service_concurrent\": {{");
+    let _ = writeln!(out, "    \"scenario\": \"{}\",", json_escape(&sc.scenario));
+    let _ = writeln!(out, "    \"tenants\": {},", sc.tenants);
+    let _ = writeln!(out, "    \"workers\": {},", sc.workers);
+    let _ = writeln!(out, "    \"days_per_tenant\": {},", sc.days_per_tenant);
+    let _ = writeln!(out, "    \"alerts\": {},", sc.alerts);
+    let _ = writeln!(out, "    \"wall_seconds\": {:.6},", sc.wall_seconds);
+    let _ = writeln!(out, "    \"alerts_per_sec\": {:.2},", sc.alerts_per_sec);
+    let _ = writeln!(
+        out,
+        "    \"serial_wall_seconds\": {:.6},",
+        sc.serial_wall_seconds
+    );
+    let _ = writeln!(out, "    \"threads_available\": {},", sc.threads_available);
+    let _ = writeln!(
+        out,
+        "    \"speedup_vs_serial\": {:.2}",
+        sc.speedup_vs_serial
+    );
+    if let Some(note) = &sc.note {
+        out.truncate(out.len() - 1);
+        let _ = writeln!(out, ",\n    \"note\": \"{}\"", json_escape(note));
+    }
     let _ = writeln!(out, "  }}");
     out.push('}');
     out
@@ -356,6 +508,7 @@ mod tests {
             history_days: Some(5),
             test_days: Some(1),
             sharding_jobs: 4,
+            service_tenants: 2,
         };
         let report = scenario_suite(&config).unwrap();
         assert!(report.scenarios.len() >= 7);
@@ -382,6 +535,17 @@ mod tests {
         assert!(report.sharding.seq_wall_seconds > 0.0);
         assert!(report.sharding.sharded_wall_seconds > 0.0);
         assert_eq!(report.sharding.parallel_feature, cfg!(feature = "parallel"));
+        let sc = &report.service_concurrent;
+        assert_eq!(sc.scenario, "paper-baseline");
+        assert_eq!(sc.tenants, 2);
+        assert_eq!(sc.days_per_tenant, 1);
+        assert!(
+            sc.alerts > 200,
+            "two baseline tenants: {} alerts",
+            sc.alerts
+        );
+        assert!(sc.alerts_per_sec > 0.0);
+        assert!(sc.wall_seconds > 0.0 && sc.serial_wall_seconds > 0.0);
         // Multi-type scenarios must actually exercise the pruning layer.
         let multi_site = report
             .scenarios
@@ -410,6 +574,9 @@ mod tests {
             "\"sharding\"",
             "\"parallel_feature\"",
             "\"speedup\"",
+            "\"service_concurrent\"",
+            "\"tenants\"",
+            "\"speedup_vs_serial\"",
         ] {
             assert!(json.contains(needle), "missing `{needle}`");
         }

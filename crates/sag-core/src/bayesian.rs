@@ -22,7 +22,7 @@
 
 use crate::model::PayoffTable;
 use crate::scheme::SignalingScheme;
-use crate::{Result, SagError};
+use crate::{ConfigError, Result, SagError};
 use sag_lp::{LpProblem, Objective, Relation};
 use sag_sim::AlertTypeId;
 
@@ -92,34 +92,48 @@ impl BayesianSseSolver {
 
     fn validate(input: &BayesianSseInput<'_>) -> Result<usize> {
         if input.profiles.is_empty() {
-            return Err(SagError::InvalidConfig("no attacker profiles".into()));
+            return Err(ConfigError::NoAttackerProfiles.into());
         }
         let n = input.profiles[0].payoffs.len();
         for p in input.profiles {
             p.payoffs.validate()?;
             if p.payoffs.len() != n {
-                return Err(SagError::InvalidConfig(
-                    "all profiles must cover the same alert types".into(),
-                ));
+                return Err(ConfigError::LengthMismatch {
+                    what: "attacker profile payoffs",
+                    expected: n,
+                    got: p.payoffs.len(),
+                }
+                .into());
             }
             if !(p.prior.is_finite() && p.prior >= 0.0) {
-                return Err(SagError::InvalidConfig(format!(
-                    "invalid prior {}",
-                    p.prior
-                )));
+                return Err(ConfigError::InvalidPrior { value: p.prior }.into());
             }
         }
-        if input.profiles.iter().map(|p| p.prior).sum::<f64>() <= 0.0 {
-            return Err(SagError::InvalidConfig("priors sum to zero".into()));
+        let total_prior: f64 = input.profiles.iter().map(|p| p.prior).sum();
+        if total_prior <= 0.0 {
+            return Err(ConfigError::DegeneratePriors { total: total_prior }.into());
         }
-        if input.audit_costs.len() != n || input.future_estimates.len() != n {
-            return Err(SagError::InvalidConfig("inconsistent lengths".into()));
+        if input.audit_costs.len() != n {
+            return Err(ConfigError::LengthMismatch {
+                what: "audit costs",
+                expected: n,
+                got: input.audit_costs.len(),
+            }
+            .into());
+        }
+        if input.future_estimates.len() != n {
+            return Err(ConfigError::LengthMismatch {
+                what: "future estimates",
+                expected: n,
+                got: input.future_estimates.len(),
+            }
+            .into());
         }
         if !input.budget.is_finite() || input.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!(
-                "invalid budget {}",
-                input.budget
-            )));
+            return Err(ConfigError::InvalidBudget {
+                value: input.budget,
+            }
+            .into());
         }
         Ok(n)
     }
@@ -286,12 +300,12 @@ pub fn bayesian_ossp(
     theta: f64,
 ) -> Result<BayesianOsspSolution> {
     if profiles.is_empty() {
-        return Err(SagError::InvalidConfig("no attacker profiles".into()));
+        return Err(ConfigError::NoAttackerProfiles.into());
     }
     let theta = theta.clamp(0.0, 1.0);
     let total_prior: f64 = profiles.iter().map(|p| p.prior).sum();
     if total_prior <= 0.0 {
-        return Err(SagError::InvalidConfig("priors sum to zero".into()));
+        return Err(ConfigError::DegeneratePriors { total: total_prior }.into());
     }
 
     let mut lp = LpProblem::new(Objective::Maximize);

@@ -3,7 +3,7 @@
 
 use crate::model::GameConfig;
 use crate::sse::SolverBackendKind;
-use crate::{Result, SagError};
+use crate::{ConfigError, Result};
 use sag_forecast::RollbackPolicy;
 
 /// How budget consumption is charged per alert.
@@ -89,23 +89,23 @@ impl EngineConfig {
     pub(super) fn validate(&self) -> Result<()> {
         self.game.validate()?;
         if !(self.forecast_decay > 0.0 && self.forecast_decay <= 1.0) {
-            return Err(SagError::InvalidConfig(format!(
-                "forecast_decay must be in (0, 1], got {}",
-                self.forecast_decay
-            )));
+            return Err(ConfigError::ForecastDecayOutOfRange {
+                value: self.forecast_decay,
+            }
+            .into());
         }
         if !(self.signal_noise >= 0.0 && self.signal_noise <= 1.0) {
-            return Err(SagError::InvalidConfig(format!(
-                "signal_noise must be in [0, 1], got {}",
-                self.signal_noise
-            )));
+            return Err(ConfigError::SignalNoiseOutOfRange {
+                value: self.signal_noise,
+            }
+            .into());
         }
         if !self.backend.supports(self.game.num_types()) {
-            return Err(SagError::InvalidConfig(format!(
-                "solver backend {:?} does not support a {}-type game",
-                self.backend,
-                self.game.num_types()
-            )));
+            return Err(ConfigError::UnsupportedBackend {
+                backend: self.backend,
+                num_types: self.game.num_types(),
+            }
+            .into());
         }
         Ok(())
     }

@@ -33,7 +33,10 @@
 //! ## Module layout
 //!
 //! * [`config`] — [`EngineConfig`] and [`BudgetAccounting`];
-//! * [`session`] — [`AuditCycleEngine`] and the streaming [`DaySession`];
+//! * [`builder`] — [`EngineBuilder`], validated fluent construction;
+//! * [`session`] — [`AuditCycleEngine`] and the streaming [`Session`],
+//!   with its borrowed ([`DaySession`]) and owned ([`OwnedDaySession`])
+//!   forms;
 //! * [`replay`] — [`ReplayJob`] and the batch drivers
 //!   ([`run_day`](AuditCycleEngine::run_day),
 //!   [`replay_batch`](AuditCycleEngine::replay_batch),
@@ -43,15 +46,17 @@
 //! * [`outcome`] — the per-alert [`AlertOutcome`] and per-day
 //!   [`CycleResult`].
 
+pub mod builder;
 pub mod config;
 pub mod outcome;
 pub mod replay;
 pub mod session;
 
+pub use builder::EngineBuilder;
 pub use config::{BudgetAccounting, EngineConfig};
 pub use outcome::{AlertOutcome, CycleResult};
 pub use replay::{recommended_shards, ReplayJob};
-pub use session::{AuditCycleEngine, DaySession};
+pub use session::{AuditCycleEngine, DaySession, OwnedDaySession, Session};
 
 #[cfg(test)]
 mod tests {
@@ -257,6 +262,38 @@ mod tests {
             assert_eq!(streamed.day, test_day.day());
             assert_eq!(batch, streamed, "backend {backend:?}");
         }
+    }
+
+    #[test]
+    fn owned_session_is_storable_movable_and_bitwise_identical() {
+        let (history, test_day) = multi_type_setup(67);
+        let engine =
+            std::sync::Arc::new(AuditCycleEngine::new(EngineConfig::paper_multi_type()).unwrap());
+        let reference = untimed(engine.run_day(&history, &test_day).unwrap());
+
+        // An owned session has no lifetime: it can sit in a map keyed by
+        // tenant and be moved wholesale across a thread boundary.
+        let mut sessions: std::collections::HashMap<&str, OwnedDaySession> =
+            std::collections::HashMap::new();
+        sessions.insert("tenant-a", engine.open_day_owned(&history, None).unwrap());
+        let mut session = sessions.remove("tenant-a").unwrap();
+        session.set_day(test_day.day());
+        let streamed = std::thread::spawn(move || {
+            for alert in test_day.alerts() {
+                session.push_alert(alert).unwrap();
+            }
+            session.finish()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(reference, untimed(streamed));
+
+        // The generic constructor also accepts the engine by value and by
+        // plain reference; the borrowed alias is the same type `open_day`
+        // returns.
+        let by_ref: DaySession<'_> = Session::open(&*engine, &history, None).unwrap();
+        assert_eq!(by_ref.alerts_processed(), 0);
+        assert_eq!(by_ref.engine().config().game.num_types(), 7);
     }
 
     #[test]

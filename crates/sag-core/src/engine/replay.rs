@@ -8,7 +8,7 @@
 
 use super::outcome::CycleResult;
 use super::session::{AuditCycleEngine, SessionBackends};
-use crate::{Result, SagError};
+use crate::{ConfigError, Result};
 use sag_sim::{AlertLog, DayLog};
 
 /// One unit of replay work: a history window, the test day replayed against
@@ -27,9 +27,7 @@ pub struct ReplayJob<'a> {
 /// picks it up.
 pub(super) fn validate_budget(budget: f64) -> Result<()> {
     if !budget.is_finite() || budget < 0.0 {
-        return Err(SagError::InvalidConfig(format!(
-            "invalid job budget {budget}"
-        )));
+        return Err(ConfigError::InvalidBudget { value: budget }.into());
     }
     Ok(())
 }
@@ -51,7 +49,7 @@ impl<'a> ReplayJob<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SagError::InvalidConfig`] for a non-finite or negative
+    /// Returns [`crate::SagError::InvalidConfig`] for a non-finite or negative
     /// budget.
     pub fn with_budget(history: &'a [DayLog], test_day: &'a DayLog, budget: f64) -> Result<Self> {
         validate_budget(budget)?;
@@ -127,7 +125,7 @@ impl AuditCycleEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`SagError::InvalidConfig`] if any job carries a malformed
+    /// Returns [`crate::SagError::InvalidConfig`] if any job carries a malformed
     /// budget override (checked up front, before any shard thread starts),
     /// and propagates solver errors (which do not occur for valid
     /// configurations).

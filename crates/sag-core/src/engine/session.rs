@@ -1,13 +1,28 @@
-//! The streaming per-day core: [`AuditCycleEngine`] and [`DaySession`].
+//! The streaming per-day core: [`AuditCycleEngine`] and the generic
+//! [`Session`] with its borrowed ([`DaySession`]) and owned
+//! ([`OwnedDaySession`]) forms.
 //!
-//! A [`DaySession`] is the online heart of the system: the auditor opens one
-//! per audit cycle ([`AuditCycleEngine::open_day`]), feeds it alerts *as they
-//! arrive* ([`DaySession::push_alert`]) — each push commits the warning
+//! A session is the online heart of the system: the auditor opens one per
+//! audit cycle ([`AuditCycleEngine::open_day`]), feeds it alerts *as they
+//! arrive* ([`Session::push_alert`]) — each push commits the warning
 //! decision for that alert before the next one is seen, exactly as the
 //! paper's online model demands — and closes it at end of cycle
-//! ([`DaySession::finish`]) to obtain the day's [`CycleResult`]. The batch
+//! ([`Session::finish`]) to obtain the day's [`CycleResult`]. The batch
 //! replay drivers in [`super::replay`] are thin wrappers that stream a
 //! recorded [`sag_sim::DayLog`] through a session.
+//!
+//! ## Borrowed vs. owned sessions
+//!
+//! [`Session<E>`] is generic over *how it holds its engine*: any
+//! `E: Borrow<AuditCycleEngine>` works, and the two forms that matter have
+//! aliases. [`DaySession<'e>`] borrows the engine (`E = &AuditCycleEngine`) —
+//! the zero-overhead form every replay wrapper streams through, unchanged
+//! from earlier revisions. [`OwnedDaySession`] holds the engine through an
+//! [`Arc`] (`E = Arc<AuditCycleEngine>`), freeing the session from the
+//! engine's lifetime: it can be stored in a map, returned from a
+//! constructor, and moved across threads — the shape the `sag-service`
+//! front door hands out to multi-tenant drivers. Both forms run the exact
+//! same code paths, so a day streamed through either is bitwise identical.
 
 use super::config::{BudgetAccounting, EngineConfig};
 use super::outcome::{AlertOutcome, CycleResult};
@@ -23,6 +38,7 @@ use rand::SeedableRng;
 use sag_forecast::{ArrivalModel, FutureAlertEstimator};
 use sag_pool::WorkerPool;
 use sag_sim::{Alert, AlertTypeId, DayLog};
+use std::borrow::Borrow;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -68,14 +84,20 @@ impl SessionBackends {
 /// One audit cycle in progress: per-day forecaster state, both worlds'
 /// remaining budgets and solver backends, and the outcomes recorded so far.
 ///
-/// Obtained from [`AuditCycleEngine::open_day`]; alerts are fed with
+/// Generic over how the engine is held: `E` is any
+/// [`Borrow<AuditCycleEngine>`] — a plain reference ([`DaySession`]), an
+/// [`Arc`] ([`OwnedDaySession`]), a [`Box`], or the engine by value.
+/// Obtained from [`AuditCycleEngine::open_day`] /
+/// [`AuditCycleEngine::open_day_owned`] or directly from
+/// [`Session::open`]; alerts are fed with
 /// [`push_alert`](Self::push_alert) and the day is closed with
 /// [`finish`](Self::finish). Feeding the alerts of a [`DayLog`] one at a
 /// time produces a [`CycleResult`] bitwise identical to the batch
-/// [`run_day`](AuditCycleEngine::run_day) wrapper.
+/// [`run_day`](AuditCycleEngine::run_day) wrapper, whichever form holds the
+/// engine.
 #[derive(Debug)]
-pub struct DaySession<'e> {
-    engine: &'e AuditCycleEngine,
+pub struct Session<E: Borrow<AuditCycleEngine>> {
+    engine: E,
     estimator: FutureAlertEstimator,
     offline: OfflineSse,
     rng: Option<StdRng>,
@@ -90,6 +112,17 @@ pub struct DaySession<'e> {
     /// [`set_day`](Self::set_day) or inferred from the first pushed alert.
     day: Option<u32>,
 }
+
+/// A [`Session`] borrowing its engine — the form the replay wrappers
+/// stream through. Tied to the engine's lifetime but allocation-free to
+/// hand out.
+pub type DaySession<'e> = Session<&'e AuditCycleEngine>;
+
+/// A [`Session`] that owns its engine through an [`Arc`] — no lifetime
+/// parameter, so it can live in a `HashMap`, move across threads, and
+/// outlive the binding that created it. The `sag-service` front door hands
+/// these out as `SessionHandle`s.
+pub type OwnedDaySession = Session<Arc<AuditCycleEngine>>;
 
 impl AuditCycleEngine {
     /// Create an engine after validating the configuration.
@@ -166,6 +199,23 @@ impl AuditCycleEngine {
         self.open_day_with(history, budget, SessionBackends::for_engine(self))
     }
 
+    /// [`open_day`](Self::open_day) for an engine shared behind an [`Arc`]:
+    /// returns an [`OwnedDaySession`], free of the engine's lifetime. The
+    /// session bumps the `Arc`'s reference count, so the engine stays alive
+    /// for exactly as long as any of its open sessions; dropping the last
+    /// handle drops the engine (and its worker pool).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open_day`](Self::open_day).
+    pub fn open_day_owned(
+        self: &Arc<Self>,
+        history: &[DayLog],
+        budget: Option<f64>,
+    ) -> Result<OwnedDaySession> {
+        Session::open(Arc::clone(self), history, budget)
+    }
+
     /// [`open_day`](Self::open_day) over caller-provided backends, so replay
     /// drivers can reuse one pair of backends (allocated workspaces, cached
     /// candidate LPs) across the days of a shard. The backends' warm-start
@@ -175,46 +225,9 @@ impl AuditCycleEngine {
         &self,
         history: &[DayLog],
         budget: Option<f64>,
-        mut backends: SessionBackends,
+        backends: SessionBackends,
     ) -> Result<DaySession<'_>> {
-        backends.ossp.reset_warm_state();
-        backends.online.reset_warm_state();
-
-        if let Some(budget) = budget {
-            super::replay::validate_budget(budget)?;
-        }
-        let game = &self.config.game;
-        let cycle_budget = budget.unwrap_or(game.budget);
-        let model =
-            ArrivalModel::fit_weighted(history, game.num_types(), self.config.forecast_decay);
-        let estimator = FutureAlertEstimator::new(model, self.config.rollback);
-
-        let offline = OfflineSse::solve(
-            &game.payoffs,
-            &game.audit_costs,
-            &estimator.expected_daily_totals(),
-            cycle_budget,
-        )?;
-
-        let rng = match self.config.accounting {
-            BudgetAccounting::Sampled { seed } => Some(StdRng::seed_from_u64(seed)),
-            BudgetAccounting::Expected => None,
-        };
-
-        let totals_at_open = backends.ossp.totals();
-        Ok(DaySession {
-            engine: self,
-            estimator,
-            offline,
-            rng,
-            budget_ossp: cycle_budget,
-            budget_online: cycle_budget,
-            outcomes: Vec::new(),
-            backends,
-            totals_at_open,
-            estimates: Vec::new(),
-            day: None,
-        })
+        Session::open_with(self, history, budget, backends)
     }
 
     /// Process a single alert against explicit estimates and budget — the
@@ -277,7 +290,80 @@ impl AuditCycleEngine {
     }
 }
 
-impl DaySession<'_> {
+impl<E: Borrow<AuditCycleEngine>> Session<E> {
+    /// Open one audit cycle on `engine`, whatever form holds it: fit the
+    /// forecaster on `history`, solve the offline whole-day baseline, and
+    /// initialise both worlds' budgets to `budget` (or the game's configured
+    /// budget for `None`). This is the generic constructor behind
+    /// [`AuditCycleEngine::open_day`] (pass `&engine`) and
+    /// [`AuditCycleEngine::open_day_owned`] (pass an `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SagError::InvalidConfig`] for a non-finite or
+    /// negative budget override, and propagates offline-solver errors (which
+    /// do not occur for valid configurations).
+    pub fn open(engine: E, history: &[DayLog], budget: Option<f64>) -> Result<Self> {
+        let backends = SessionBackends::for_engine(engine.borrow());
+        Self::open_with(engine, history, budget, backends)
+    }
+
+    /// [`open`](Self::open) over caller-provided backends (replay drivers
+    /// reuse one pair across the days of a shard). The backends' warm-start
+    /// state is reset on entry: day boundaries start cold, which keeps every
+    /// session a pure function of its own inputs.
+    pub(super) fn open_with(
+        engine: E,
+        history: &[DayLog],
+        budget: Option<f64>,
+        mut backends: SessionBackends,
+    ) -> Result<Self> {
+        backends.ossp.reset_warm_state();
+        backends.online.reset_warm_state();
+
+        if let Some(budget) = budget {
+            super::replay::validate_budget(budget)?;
+        }
+        let config = &engine.borrow().config;
+        let game = &config.game;
+        let cycle_budget = budget.unwrap_or(game.budget);
+        let model = ArrivalModel::fit_weighted(history, game.num_types(), config.forecast_decay);
+        let estimator = FutureAlertEstimator::new(model, config.rollback);
+
+        let offline = OfflineSse::solve(
+            &game.payoffs,
+            &game.audit_costs,
+            &estimator.expected_daily_totals(),
+            cycle_budget,
+        )?;
+
+        let rng = match config.accounting {
+            BudgetAccounting::Sampled { seed } => Some(StdRng::seed_from_u64(seed)),
+            BudgetAccounting::Expected => None,
+        };
+
+        let totals_at_open = backends.ossp.totals();
+        Ok(Session {
+            engine,
+            estimator,
+            offline,
+            rng,
+            budget_ossp: cycle_budget,
+            budget_online: cycle_budget,
+            outcomes: Vec::new(),
+            backends,
+            totals_at_open,
+            estimates: Vec::new(),
+            day: None,
+        })
+    }
+
+    /// The engine this session solves through.
+    #[must_use]
+    pub fn engine(&self) -> &AuditCycleEngine {
+        self.engine.borrow()
+    }
+
     /// Pin the day index reported on the final [`CycleResult`]. Without a
     /// pin the session uses the first pushed alert's day (or 0 for a day
     /// that saw no alerts at all).
@@ -317,7 +403,7 @@ impl DaySession<'_> {
         if self.day.is_none() {
             self.day = Some(alert.day);
         }
-        let engine = self.engine;
+        let engine = self.engine.borrow();
         let game = &engine.config.game;
         self.estimator
             .estimate_all_into(alert.time, &mut self.estimates);
@@ -434,7 +520,7 @@ impl DaySession<'_> {
     /// [`finish`](Self::finish) that also hands the solver backends back so
     /// replay drivers can reuse them for the next day of the shard.
     pub(super) fn finish_with_backends(self) -> (CycleResult, SessionBackends) {
-        let n = self.engine.config.game.num_types();
+        let n = self.engine.borrow().config.game.num_types();
         let result = CycleResult {
             day: self.day.unwrap_or(0),
             outcomes: self.outcomes,

@@ -30,6 +30,7 @@ pub mod attacker;
 pub mod audit_selection;
 pub mod bayesian;
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod model;
 pub mod offline;
@@ -41,53 +42,13 @@ pub mod theorems;
 
 pub use bayesian::{AttackerProfile, BayesianSseInput, BayesianSseSolver};
 pub use engine::{
-    recommended_shards, AlertOutcome, AuditCycleEngine, CycleResult, DaySession, EngineConfig,
-    ReplayJob,
+    recommended_shards, AlertOutcome, AuditCycleEngine, CycleResult, DaySession, EngineBuilder,
+    EngineConfig, OwnedDaySession, ReplayJob, Session,
 };
+pub use error::{ConfigError, Result, SagError};
 pub use model::{GameConfig, PayoffTable, Payoffs};
 pub use offline::OfflineSse;
 pub use robust::{evaluate_against_oblivious, robust_ossp, RobustOsspSolution};
 pub use scheme::SignalingScheme;
 pub use signaling::{evaluate_scheme_under_noise, ossp_closed_form, ossp_lp, OsspSolution};
 pub use sse::{SolverBackend, SolverBackendKind, SseInput, SseSolution, SseSolver};
-
-/// Crate-wide error type.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SagError {
-    /// The underlying LP solver failed.
-    Lp(sag_lp::LpError),
-    /// A configuration is inconsistent (mismatched lengths, negative budget,
-    /// payoff signs that violate the model's assumptions, ...).
-    InvalidConfig(String),
-    /// No alert type admits a feasible Stackelberg best-response LP. This
-    /// cannot happen for well-formed inputs and indicates a bug or NaN input.
-    NoFeasibleType,
-}
-
-impl std::fmt::Display for SagError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SagError::Lp(e) => write!(f, "LP solver error: {e}"),
-            SagError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            SagError::NoFeasibleType => write!(f, "no feasible best-response type"),
-        }
-    }
-}
-
-impl std::error::Error for SagError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SagError::Lp(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<sag_lp::LpError> for SagError {
-    fn from(e: sag_lp::LpError) -> Self {
-        SagError::Lp(e)
-    }
-}
-
-/// Result alias for fallible SAG operations.
-pub type Result<T> = std::result::Result<T, SagError>;

@@ -11,7 +11,7 @@
 //! unaudited) and `U^t_{d,c} ≥ 0 > U^t_{d,u}` (the auditor gains by catching
 //! and loses by missing).
 
-use crate::{Result, SagError};
+use crate::{ConfigError, Result};
 use sag_sim::{AlertCatalog, AlertTypeId};
 
 /// Payoffs of a single alert type.
@@ -61,9 +61,7 @@ impl Payoffs {
         if ok {
             Ok(())
         } else {
-            Err(SagError::InvalidConfig(format!(
-                "payoffs violate sign assumptions (need Ud,c >= 0 > Ud,u and Ua,c < 0 < Ua,u): {self:?}"
-            )))
+            Err(ConfigError::PayoffSigns { payoffs: *self }.into())
         }
     }
 
@@ -175,7 +173,7 @@ impl PayoffTable {
     /// Validate every row.
     pub fn validate(&self) -> Result<()> {
         if self.payoffs.is_empty() {
-            return Err(SagError::InvalidConfig("payoff table is empty".into()));
+            return Err(ConfigError::EmptyPayoffTable.into());
         }
         for p in &self.payoffs {
             p.validate()?;
@@ -233,29 +231,34 @@ impl GameConfig {
     pub fn validate(&self) -> Result<()> {
         self.payoffs.validate()?;
         if self.catalog.len() != self.payoffs.len() {
-            return Err(SagError::InvalidConfig(format!(
-                "catalog has {} types but payoff table has {}",
-                self.catalog.len(),
-                self.payoffs.len()
-            )));
+            return Err(ConfigError::LengthMismatch {
+                what: "alert catalog",
+                expected: self.payoffs.len(),
+                got: self.catalog.len(),
+            }
+            .into());
         }
         if self.audit_costs.len() != self.payoffs.len() {
-            return Err(SagError::InvalidConfig(format!(
-                "{} audit costs for {} types",
-                self.audit_costs.len(),
-                self.payoffs.len()
-            )));
+            return Err(ConfigError::LengthMismatch {
+                what: "audit costs",
+                expected: self.payoffs.len(),
+                got: self.audit_costs.len(),
+            }
+            .into());
         }
-        if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-            return Err(SagError::InvalidConfig(
-                "audit costs must be positive and finite".into(),
-            ));
+        if let Some(index) = self
+            .audit_costs
+            .iter()
+            .position(|v| !v.is_finite() || *v <= 0.0)
+        {
+            return Err(ConfigError::InvalidAuditCost {
+                index,
+                value: self.audit_costs[index],
+            }
+            .into());
         }
         if !self.budget.is_finite() || self.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!(
-                "invalid budget {}",
-                self.budget
-            )));
+            return Err(ConfigError::InvalidBudget { value: self.budget }.into());
         }
         Ok(())
     }
@@ -350,7 +353,15 @@ mod tests {
     fn game_config_validation_catches_mismatches() {
         let mut bad = GameConfig::paper_multi_type();
         bad.audit_costs.pop();
-        assert!(matches!(bad.validate(), Err(SagError::InvalidConfig(_))));
+        assert!(matches!(
+            bad.validate(),
+            Err(crate::SagError::InvalidConfig(
+                ConfigError::LengthMismatch {
+                    what: "audit costs",
+                    ..
+                }
+            ))
+        ));
 
         let mut bad = GameConfig::paper_multi_type();
         bad.audit_costs[0] = 0.0;

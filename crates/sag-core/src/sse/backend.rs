@@ -26,7 +26,7 @@ use super::cache::{SseCache, SseCacheTotals};
 use super::input::SseInput;
 use super::solution::SseSolution;
 use super::solver::SseSolver;
-use crate::{Result, SagError};
+use crate::{ConfigError, Result};
 use sag_pool::WorkerPool;
 use std::sync::Arc;
 
@@ -43,7 +43,7 @@ pub trait SolverBackend: std::fmt::Debug + Send {
     ///
     /// # Errors
     ///
-    /// Returns [`SagError::InvalidConfig`] for malformed inputs or inputs the
+    /// Returns [`crate::SagError::InvalidConfig`] for malformed inputs or inputs the
     /// backend does not support (e.g. a multi-type game on the closed-form
     /// backend), and propagates LP-layer errors.
     fn solve(&mut self, input: &SseInput<'_>) -> Result<SseSolution>;
@@ -243,10 +243,11 @@ impl SolverBackend for ClosedFormBackend {
     fn solve(&mut self, input: &SseInput<'_>) -> Result<SseSolution> {
         input.validate()?;
         if input.payoffs.len() != 1 {
-            return Err(SagError::InvalidConfig(format!(
-                "closed-form backend solves single-type games only, got {} types",
-                input.payoffs.len()
-            )));
+            return Err(ConfigError::UnsupportedBackend {
+                backend: SolverBackendKind::ClosedForm,
+                num_types: input.payoffs.len(),
+            }
+            .into());
         }
         SseSolver::coverage_rates_into(input, &mut self.rates);
         let buffers = self.spare.take().unwrap_or_default();
@@ -366,7 +367,10 @@ mod tests {
         let err = backend
             .solve(&input(&payoffs, &costs, &estimates, 20.0))
             .unwrap_err();
-        assert!(matches!(err, SagError::InvalidConfig(_)));
+        assert!(matches!(
+            err,
+            crate::SagError::InvalidConfig(ConfigError::UnsupportedBackend { .. })
+        ));
         assert_eq!(backend.totals().solves, 0, "failed solves are not counted");
     }
 

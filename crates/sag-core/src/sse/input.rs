@@ -1,7 +1,7 @@
 //! The borrowed problem data of one online SSE computation.
 
 use crate::model::PayoffTable;
-use crate::{Result, SagError};
+use crate::{ConfigError, Result};
 
 /// Inputs of one online SSE computation (one triggered alert).
 #[derive(Debug, Clone)]
@@ -20,35 +20,48 @@ impl SseInput<'_> {
     pub(crate) fn validate(&self) -> Result<()> {
         let n = self.payoffs.len();
         if n == 0 {
-            return Err(SagError::InvalidConfig("empty payoff table".into()));
+            return Err(ConfigError::EmptyPayoffTable.into());
         }
-        if self.audit_costs.len() != n || self.future_estimates.len() != n {
-            return Err(SagError::InvalidConfig(format!(
-                "inconsistent lengths: {} payoffs, {} costs, {} estimates",
-                n,
-                self.audit_costs.len(),
-                self.future_estimates.len()
-            )));
+        if self.audit_costs.len() != n {
+            return Err(ConfigError::LengthMismatch {
+                what: "audit costs",
+                expected: n,
+                got: self.audit_costs.len(),
+            }
+            .into());
+        }
+        if self.future_estimates.len() != n {
+            return Err(ConfigError::LengthMismatch {
+                what: "future estimates",
+                expected: n,
+                got: self.future_estimates.len(),
+            }
+            .into());
         }
         if !self.budget.is_finite() || self.budget < 0.0 {
-            return Err(SagError::InvalidConfig(format!(
-                "invalid budget {}",
-                self.budget
-            )));
+            return Err(ConfigError::InvalidBudget { value: self.budget }.into());
         }
-        if self.audit_costs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-            return Err(SagError::InvalidConfig(
-                "audit costs must be positive".into(),
-            ));
+        if let Some(index) = self
+            .audit_costs
+            .iter()
+            .position(|v| !v.is_finite() || *v <= 0.0)
+        {
+            return Err(ConfigError::InvalidAuditCost {
+                index,
+                value: self.audit_costs[index],
+            }
+            .into());
         }
-        if self
+        if let Some(index) = self
             .future_estimates
             .iter()
-            .any(|v| !v.is_finite() || *v < 0.0)
+            .position(|v| !v.is_finite() || *v < 0.0)
         {
-            return Err(SagError::InvalidConfig(
-                "future estimates must be nonnegative".into(),
-            ));
+            return Err(ConfigError::InvalidEstimate {
+                index,
+                value: self.future_estimates[index],
+            }
+            .into());
         }
         Ok(())
     }

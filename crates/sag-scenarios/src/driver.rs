@@ -1,22 +1,30 @@
 //! Replays scenarios through the engine and aggregates the metrics
 //! `BENCH_2.json` tracks.
 //!
-//! Two replay modes share the same [`ScenarioRun`] shape:
+//! Three replay modes:
 //!
 //! * [`run_scenario_sized`] — the sharded batch driver
 //!   ([`AuditCycleEngine::replay_sharded`]), which streams each recorded day
 //!   through a [`sag_core::DaySession`] internally; the throughput path.
 //! * [`stream_scenario_sized`] — the explicit alert-at-a-time path: one
 //!   [`sag_core::DaySession`] per day, one
-//!   [`push_alert`](sag_core::DaySession::push_alert) per alert, with the
-//!   wall-clock decision latency of every push recorded. This is what a
+//!   [`push_alert`](sag_core::engine::Session::push_alert) per alert, with
+//!   the wall-clock decision latency of every push recorded. This is what a
 //!   production deployment's ingest loop looks like, and what the streaming
 //!   section of `BENCH_1.json` measures.
+//! * [`run_scenario_service`] — the multi-tenant front-door path: the
+//!   scenario instantiated as N tenants of one
+//!   [`sag_service::AuditService`] (each tenant its own engine and alert
+//!   stream), replayed concurrently over the service's worker pool. This is
+//!   the `service_concurrent` section of `BENCH_2.json`, and — because
+//!   every tenant's cycles are pure functions of its own stream — its
+//!   results are bitwise identical to replaying each tenant serially.
 
 use crate::scenario::Scenario;
-use sag_core::engine::{AuditCycleEngine, ReplayJob};
+use sag_core::engine::{AuditCycleEngine, EngineBuilder, ReplayJob};
 use sag_core::sse::SseCacheTotals;
 use sag_core::{CycleResult, Result};
+use sag_service::{AuditService, ServiceError, ServiceJob, TenantId};
 use std::time::Instant;
 
 /// The outcome of replaying one scenario.
@@ -249,6 +257,149 @@ pub fn stream_scenario_sized(
     })
 }
 
+/// A scenario replayed as N concurrent tenants of one
+/// [`sag_service::AuditService`]: each tenant gets its own engine and its
+/// own seeded alert stream, and every tenant-day replays as one
+/// [`ServiceJob`] over the service's worker pool.
+#[derive(Debug, Clone)]
+pub struct ServiceRun {
+    /// Registry name of the scenario.
+    pub name: &'static str,
+    /// Number of tenants the service multiplexed.
+    pub tenants: usize,
+    /// Worker threads of the service pool (0 = inline serial replay).
+    pub workers: usize,
+    /// Wall-clock time of the concurrent replay (excluding log generation
+    /// and service construction).
+    pub wall_seconds: f64,
+    /// Per-tenant, per-day cycle results: `cycles[t]` holds tenant `t`'s
+    /// days in day order.
+    pub cycles: Vec<Vec<CycleResult>>,
+}
+
+impl ServiceRun {
+    /// Total alerts replayed across all tenants.
+    #[must_use]
+    pub fn alerts(&self) -> usize {
+        self.cycles.iter().flatten().map(CycleResult::len).sum()
+    }
+
+    /// End-to-end service throughput in alerts per second.
+    #[must_use]
+    pub fn alerts_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.alerts() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Replay `scenario` as `tenants` concurrent tenants of one service, each
+/// on its own stream seeded `seed + tenant_index`.
+///
+/// # Errors
+///
+/// Propagates service construction and engine errors.
+pub fn run_scenario_service(
+    scenario: &dyn Scenario,
+    seed: u64,
+    tenants: usize,
+    workers: usize,
+    history_days: u32,
+    test_days: u32,
+) -> std::result::Result<ServiceRun, ServiceError> {
+    run_scenario_service_with(
+        scenario,
+        seed,
+        tenants,
+        workers,
+        history_days,
+        test_days,
+        |_| {},
+    )
+}
+
+/// [`run_scenario_service`] with an engine-configuration override hook,
+/// applied to every tenant after the scenario's own
+/// [`Scenario::engine_config`]. The equivalence tests use it to pin the
+/// solver backend.
+///
+/// # Errors
+///
+/// Propagates service construction and engine errors.
+pub fn run_scenario_service_with(
+    scenario: &dyn Scenario,
+    seed: u64,
+    tenants: usize,
+    workers: usize,
+    history_days: u32,
+    test_days: u32,
+    configure: impl FnOnce(&mut sag_core::engine::EngineConfig),
+) -> std::result::Result<ServiceRun, ServiceError> {
+    let mut config = scenario.engine_config();
+    configure(&mut config);
+
+    let tenant_ids: Vec<TenantId> = (0..tenants)
+        .map(|t| TenantId::new(format!("{}-t{t}", scenario.name())))
+        .collect();
+    let mut builder = AuditService::builder().workers(workers);
+    for id in &tenant_ids {
+        // History rides on the jobs (it varies per rolling group), so the
+        // tenants register with empty stored history.
+        builder = builder.tenant(id.clone(), EngineBuilder::from_config(config.clone()));
+    }
+    let service = builder.build()?;
+
+    // Each tenant audits its own alert stream: same regime, distinct seed.
+    let logs: Vec<sag_sim::AlertLog> = (0..tenants)
+        .map(|t| {
+            sag_sim::AlertLog::new(
+                scenario.generate_days(seed + t as u64, history_days + test_days),
+            )
+        })
+        .collect();
+    let groups: Vec<Vec<(&[sag_sim::DayLog], &sag_sim::DayLog)>> = logs
+        .iter()
+        .map(|log| log.rolling_groups(history_days as usize))
+        .collect();
+    let jobs: Vec<ServiceJob<'_>> = tenant_ids
+        .iter()
+        .zip(&groups)
+        .flat_map(|(id, tenant_groups)| {
+            tenant_groups
+                .iter()
+                .map(move |&(history, test_day)| ServiceJob {
+                    tenant: id,
+                    test_day,
+                    budget: scenario.budget_for_day(test_day.day()),
+                    history: Some(history),
+                })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut flat = service.replay_concurrent(&jobs)?;
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // Un-flatten the job-ordered results back into per-tenant day vectors
+    // (jobs were emitted tenant-major).
+    let mut cycles = Vec::with_capacity(tenants);
+    for tenant_groups in &groups {
+        let rest = flat.split_off(tenant_groups.len());
+        cycles.push(flat);
+        flat = rest;
+    }
+
+    Ok(ServiceRun {
+        name: scenario.name(),
+        tenants,
+        workers: service.workers(),
+        wall_seconds,
+        cycles,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +431,30 @@ mod tests {
                 o.solve_micros = 0;
             }
             assert_eq!(s, b, "day {}", b.day);
+        }
+    }
+
+    #[test]
+    fn service_mode_multiplexes_tenants_and_matches_the_batch_driver() {
+        // Three tenants on the baseline regime, concurrent over a 2-worker
+        // pool, against three serial single-tenant replays on the same
+        // seeds: bitwise identical.
+        let service = run_scenario_service(&PaperBaseline, 23, 3, 2, 5, 2).unwrap();
+        assert_eq!(service.cycles.len(), 3);
+        assert!(service.alerts() > 500);
+        assert!(service.alerts_per_sec() > 0.0);
+        assert_eq!(service.workers, 2);
+        for (t, tenant_cycles) in service.cycles.iter().enumerate() {
+            let serial = run_scenario_sized(&PaperBaseline, 23 + t as u64, 1, 5, 2).unwrap();
+            assert_eq!(tenant_cycles.len(), serial.cycles.len());
+            for (a, b) in tenant_cycles.iter().zip(&serial.cycles) {
+                let mut a = a.clone();
+                let mut b = b.clone();
+                for o in a.outcomes.iter_mut().chain(b.outcomes.iter_mut()) {
+                    o.solve_micros = 0;
+                }
+                assert_eq!(a, b, "tenant {t} day {}", b.day);
+            }
         }
     }
 

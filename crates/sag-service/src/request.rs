@@ -1,0 +1,72 @@
+//! The typed command API: [`Request`] and [`Response`].
+//!
+//! A deployment's driver loop — whatever is reading the alert feed off the
+//! wire — speaks to the [`crate::AuditService`] in these commands, one
+//! [`crate::AuditService::handle`] call per event. The service stores the
+//! open sessions itself, so a single loop can multiplex any number of
+//! tenants' concurrent audit cycles: open a day per tenant, route each
+//! arriving alert to its tenant's session id, close days as cycles end.
+
+use crate::service::TenantId;
+use crate::session::SessionId;
+use sag_core::{AlertOutcome, CycleResult};
+use sag_sim::Alert;
+
+/// One command to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open an audit cycle for a tenant, fitting the forecaster on the
+    /// tenant's recorded history. Answered by [`Response::DayOpened`].
+    OpenDay {
+        /// The tenant to open a cycle for.
+        tenant: TenantId,
+        /// Per-cycle budget override; `None` uses the tenant game's budget.
+        budget: Option<f64>,
+        /// Day index pinned on the final [`CycleResult`]; `None` infers it
+        /// from the first pushed alert.
+        day: Option<u32>,
+    },
+    /// Commit the warning decision for one arriving alert. Answered by
+    /// [`Response::Decision`].
+    PushAlert {
+        /// The open session the alert belongs to.
+        session: SessionId,
+        /// The triggered alert.
+        alert: Alert,
+    },
+    /// Close an open cycle. Answered by [`Response::DayClosed`]; the session
+    /// id is retired and never reused.
+    FinishDay {
+        /// The open session to close.
+        session: SessionId,
+    },
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A cycle is open; route the tenant's alerts to `session`.
+    DayOpened {
+        /// Id of the newly opened session.
+        session: SessionId,
+        /// The tenant it audits for (echoed for driver-loop bookkeeping).
+        tenant: TenantId,
+    },
+    /// The committed decision for one alert — `outcome.ossp_scheme` is the
+    /// signaling scheme to play before the next alert is seen.
+    Decision {
+        /// The session that processed the alert.
+        session: SessionId,
+        /// The committed outcome.
+        outcome: AlertOutcome,
+    },
+    /// A cycle is closed.
+    DayClosed {
+        /// The retired session id.
+        session: SessionId,
+        /// The tenant whose cycle closed.
+        tenant: TenantId,
+        /// The closed cycle's result.
+        result: CycleResult,
+    },
+}

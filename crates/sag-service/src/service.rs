@@ -1,0 +1,459 @@
+//! The [`AuditService`] front door and its [`ServiceBuilder`].
+
+use crate::error::ServiceError;
+use crate::request::{Request, Response};
+use crate::session::{SessionHandle, SessionId};
+use sag_core::engine::EngineBuilder;
+use sag_core::{AuditCycleEngine, CycleResult};
+use sag_pool::WorkerPool;
+use sag_sim::DayLog;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Identifier of a registered tenant (a hospital, site, or business unit
+/// with its own game, budget and alert history). Cheap to clone and hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+impl TenantId {
+    /// Wrap a tenant name.
+    #[must_use]
+    pub fn new(id: impl Into<Arc<str>>) -> Self {
+        TenantId(id.into())
+    }
+
+    /// The tenant name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(id: &str) -> Self {
+        TenantId::new(id)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(id: String) -> Self {
+        TenantId::new(id)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honours callers' width/alignment (report tables).
+        f.pad(&self.0)
+    }
+}
+
+/// One registered tenant: its engine (shared with every session it opens)
+/// and the rolling history window its forecasters fit on.
+#[derive(Debug)]
+struct Tenant {
+    engine: Arc<AuditCycleEngine>,
+    history: Vec<DayLog>,
+}
+
+/// One unit of batch work for [`AuditService::replay_concurrent`]: replay a
+/// recorded day as one of `tenant`'s audit cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceJob<'a> {
+    /// The tenant whose engine replays the day.
+    pub tenant: &'a TenantId,
+    /// The recorded day to stream through a session.
+    pub test_day: &'a DayLog,
+    /// Per-cycle budget override; `None` uses the tenant game's budget.
+    pub budget: Option<f64>,
+    /// History override for the forecaster fit; `None` uses the tenant's
+    /// recorded history.
+    pub history: Option<&'a [DayLog]>,
+}
+
+impl<'a> ServiceJob<'a> {
+    /// A job on the tenant's recorded history and configured budget.
+    #[must_use]
+    pub fn new(tenant: &'a TenantId, test_day: &'a DayLog) -> Self {
+        ServiceJob {
+            tenant,
+            test_day,
+            budget: None,
+            history: None,
+        }
+    }
+}
+
+/// The always-on front door: owns an engine and a rolling alert history per
+/// tenant, hands out owned [`SessionHandle`]s, and answers the typed
+/// [`Request`] command API. See the crate docs for a full tour.
+#[derive(Debug)]
+pub struct AuditService {
+    tenants: HashMap<TenantId, Tenant>,
+    /// Sessions opened through [`handle`](Self::handle), keyed by id.
+    open: HashMap<SessionId, SessionHandle>,
+    next_session: AtomicU64,
+    /// Configured worker count for
+    /// [`replay_concurrent`](Self::replay_concurrent); 0 replays inline.
+    workers: usize,
+    /// The pool itself, spawned lazily on the first concurrent replay so a
+    /// command-API-only deployment never starts a thread (same discipline
+    /// as the engine's own lazy fan-out pool).
+    pool: OnceLock<Option<WorkerPool>>,
+    history_window: usize,
+}
+
+impl AuditService {
+    /// Start building a service.
+    #[must_use]
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Iterate over the registered tenant ids (arbitrary order).
+    pub fn tenants(&self) -> impl Iterator<Item = &TenantId> {
+        self.tenants.keys()
+    }
+
+    /// Worker threads backing [`replay_concurrent`](Self::replay_concurrent)
+    /// (0 means jobs replay inline on the calling thread). The pool itself
+    /// is spawned lazily on the first concurrent replay.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker pool, spawning it on first use. `None` when the service
+    /// was built with zero workers.
+    fn pool(&self) -> Option<&WorkerPool> {
+        self.pool
+            .get_or_init(|| (self.workers > 0).then(|| WorkerPool::new(self.workers)))
+            .as_ref()
+    }
+
+    /// Number of sessions currently open inside the service (opened through
+    /// [`handle`](Self::handle) and not yet finished). Handles checked out
+    /// through [`open_day`](Self::open_day) are owned by their callers and
+    /// not counted.
+    #[must_use]
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+
+    fn tenant(&self, tenant: &TenantId) -> Result<&Tenant, ServiceError> {
+        self.tenants
+            .get(tenant)
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))
+    }
+
+    /// A tenant's engine, shared with every session it opens.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] for an unregistered id.
+    pub fn engine(&self, tenant: &TenantId) -> Result<&Arc<AuditCycleEngine>, ServiceError> {
+        Ok(&self.tenant(tenant)?.engine)
+    }
+
+    /// A tenant's recorded history window, oldest day first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] for an unregistered id.
+    pub fn history(&self, tenant: &TenantId) -> Result<&[DayLog], ServiceError> {
+        Ok(&self.tenant(tenant)?.history)
+    }
+
+    /// Append a finished day to a tenant's history, trimming the window to
+    /// the builder's [`history_window`](ServiceBuilder::history_window) so
+    /// long-running services do not grow without bound.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] for an unregistered id.
+    pub fn record_history(&mut self, tenant: &TenantId, day: DayLog) -> Result<(), ServiceError> {
+        let window = self.history_window;
+        let entry = self
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+        entry.history.push(day);
+        if entry.history.len() > window {
+            let excess = entry.history.len() - window;
+            entry.history.drain(..excess);
+        }
+        Ok(())
+    }
+
+    fn next_session_id(&self) -> SessionId {
+        SessionId(self.next_session.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Open an audit cycle for a tenant and hand the **owned**
+    /// [`SessionHandle`] to the caller: the session holds its engine
+    /// through an `Arc`, so the handle can be stored, queued, or moved to
+    /// another thread, independent of this service borrow.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] for an unregistered id;
+    /// [`ServiceError::Engine`] for a malformed budget override.
+    pub fn open_day(
+        &self,
+        tenant: &TenantId,
+        budget: Option<f64>,
+    ) -> Result<SessionHandle, ServiceError> {
+        let entry = self.tenant(tenant)?;
+        self.open_handle(entry, tenant, &entry.history, budget)
+    }
+
+    /// [`open_day`](Self::open_day) on an explicit history window instead
+    /// of the tenant's recorded one — for replaying archived days or
+    /// what-if forecasts without touching the service's rolling state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open_day`](Self::open_day).
+    pub fn open_day_with_history(
+        &self,
+        tenant: &TenantId,
+        history: &[DayLog],
+        budget: Option<f64>,
+    ) -> Result<SessionHandle, ServiceError> {
+        let entry = self.tenant(tenant)?;
+        self.open_handle(entry, tenant, history, budget)
+    }
+
+    fn open_handle(
+        &self,
+        entry: &Tenant,
+        tenant: &TenantId,
+        history: &[DayLog],
+        budget: Option<f64>,
+    ) -> Result<SessionHandle, ServiceError> {
+        let session = entry.engine.open_day_owned(history, budget)?;
+        Ok(SessionHandle::new(
+            self.next_session_id(),
+            tenant.clone(),
+            session,
+        ))
+    }
+
+    /// Serve one command of the typed API, storing open sessions inside the
+    /// service so a single driver loop can multiplex any number of tenants.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] / [`ServiceError::UnknownSession`]
+    /// for requests naming something the service does not hold, and
+    /// [`ServiceError::Engine`] for engine-level failures.
+    pub fn handle(&mut self, request: Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::OpenDay {
+                tenant,
+                budget,
+                day,
+            } => {
+                let mut handle = self.open_day(&tenant, budget)?;
+                if let Some(day) = day {
+                    handle.set_day(day);
+                }
+                let session = handle.id();
+                self.open.insert(session, handle);
+                Ok(Response::DayOpened { session, tenant })
+            }
+            Request::PushAlert { session, alert } => {
+                let handle = self
+                    .open
+                    .get_mut(&session)
+                    .ok_or(ServiceError::UnknownSession(session))?;
+                let outcome = handle.push_alert(&alert)?;
+                Ok(Response::Decision { session, outcome })
+            }
+            Request::FinishDay { session } => {
+                let handle = self
+                    .open
+                    .remove(&session)
+                    .ok_or(ServiceError::UnknownSession(session))?;
+                let tenant = handle.tenant().clone();
+                let result = handle.finish();
+                Ok(Response::DayClosed {
+                    session,
+                    tenant,
+                    result,
+                })
+            }
+        }
+    }
+
+    /// Replay one recorded day per job, fanning the jobs out over the
+    /// service's worker pool (tenants multiplex across threads; results come
+    /// back in job order). Every job opens a fresh session that starts cold,
+    /// and every tenant's engine is independent, so each [`CycleResult`] is
+    /// a pure function of its job: the output is **bitwise identical** to
+    /// driving the same jobs serially, with any worker count — concurrency
+    /// only changes wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] if any job names an unregistered
+    /// tenant (checked up front, before any worker starts), and
+    /// [`ServiceError::Engine`] for malformed budget overrides or solver
+    /// failures.
+    pub fn replay_concurrent(
+        &self,
+        jobs: &[ServiceJob<'_>],
+    ) -> Result<Vec<CycleResult>, ServiceError> {
+        // Resolve every tenant up front: fail fast, and let the worker
+        // tasks capture only the (Sync) tenant table, not the whole service.
+        let resolved: Vec<(&Tenant, &ServiceJob<'_>)> = jobs
+            .iter()
+            .map(|job| Ok((self.tenant(job.tenant)?, job)))
+            .collect::<Result<_, ServiceError>>()?;
+
+        let mut slots: Vec<Option<Result<CycleResult, ServiceError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        match self.pool() {
+            Some(pool) if jobs.len() > 1 => {
+                let tasks: Vec<sag_pool::Task<'_>> = resolved
+                    .iter()
+                    .zip(slots.iter_mut())
+                    .map(|(&(tenant, job), slot)| {
+                        Box::new(move || *slot = Some(replay_job(tenant, job)))
+                            as sag_pool::Task<'_>
+                    })
+                    .collect();
+                pool.run(tasks);
+            }
+            _ => {
+                for (&(tenant, job), slot) in resolved.iter().zip(slots.iter_mut()) {
+                    *slot = Some(replay_job(tenant, job));
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job replayed"))
+            .collect()
+    }
+}
+
+/// Stream one job's day through a fresh **owned** session of `tenant`'s
+/// engine — the same session form [`AuditService::open_day`] hands out, so
+/// the batch path exercises exactly what a live driver loop runs.
+fn replay_job(tenant: &Tenant, job: &ServiceJob<'_>) -> Result<CycleResult, ServiceError> {
+    let history = job.history.unwrap_or(&tenant.history);
+    let mut session = tenant.engine.open_day_owned(history, job.budget)?;
+    session.set_day(job.test_day.day());
+    for alert in job.test_day.alerts() {
+        session.push_alert(alert)?;
+    }
+    Ok(session.finish())
+}
+
+/// Validated construction of an [`AuditService`]: register tenants (each an
+/// [`EngineBuilder`] plus optional starting history), size the worker pool,
+/// and [`build`](Self::build). Every tenant's configuration is validated at
+/// build time; the first invalid one fails the build with its structured
+/// cause.
+#[derive(Debug, Default)]
+pub struct ServiceBuilder {
+    tenants: Vec<(TenantId, EngineBuilder, Vec<DayLog>)>,
+    workers: Option<usize>,
+    history_window: usize,
+}
+
+/// Default bound on each tenant's rolling history window, in days. Large
+/// enough for every fit the paper considers (41 days), small enough that a
+/// years-running service does not accumulate unbounded logs.
+pub const DEFAULT_HISTORY_WINDOW: usize = 64;
+
+impl ServiceBuilder {
+    /// An empty builder: no tenants, automatic worker count, default
+    /// history window.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceBuilder {
+            tenants: Vec::new(),
+            workers: None,
+            history_window: DEFAULT_HISTORY_WINDOW,
+        }
+    }
+
+    /// Worker threads for [`AuditService::replay_concurrent`]. `0` disables
+    /// the pool (jobs replay inline); the default is one worker per
+    /// available core.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Bound on each tenant's rolling history window, in days (at least 1).
+    #[must_use]
+    pub fn history_window(mut self, days: usize) -> Self {
+        self.history_window = days.max(1);
+        self
+    }
+
+    /// Register a tenant with an empty starting history.
+    #[must_use]
+    pub fn tenant(self, id: impl Into<TenantId>, engine: EngineBuilder) -> Self {
+        self.tenant_with_history(id, engine, Vec::new())
+    }
+
+    /// Register a tenant with recorded history for its forecasters to fit
+    /// on (oldest day first; trimmed to the history window at build).
+    #[must_use]
+    pub fn tenant_with_history(
+        mut self,
+        id: impl Into<TenantId>,
+        engine: EngineBuilder,
+        history: Vec<DayLog>,
+    ) -> Self {
+        self.tenants.push((id.into(), engine, history));
+        self
+    }
+
+    /// Validate every tenant's configuration and assemble the service.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTenant`] for a repeated id, and
+    /// [`ServiceError::Engine`] (carrying the structured
+    /// [`sag_core::ConfigError`]) for the first invalid tenant
+    /// configuration.
+    pub fn build(self) -> Result<AuditService, ServiceError> {
+        let mut tenants = HashMap::with_capacity(self.tenants.len());
+        for (id, engine, mut history) in self.tenants {
+            if tenants.contains_key(&id) {
+                return Err(ServiceError::DuplicateTenant(id));
+            }
+            let engine = engine.build_shared()?;
+            if history.len() > self.history_window {
+                let excess = history.len() - self.history_window;
+                history.drain(..excess);
+            }
+            tenants.insert(id, Tenant { engine, history });
+        }
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+        Ok(AuditService {
+            tenants,
+            open: HashMap::new(),
+            next_session: AtomicU64::new(0),
+            workers,
+            pool: OnceLock::new(),
+            history_window: self.history_window,
+        })
+    }
+}

@@ -54,7 +54,6 @@ fn main() {
         audit_costs: vec![0.5, 1.0, 3.0],
         budget: 18.0,
     };
-    game.validate().expect("custom game is well-formed");
 
     // 2. Generate a synthetic history with the custom volumes and fit the
     //    forecaster the engine will use.
@@ -67,8 +66,12 @@ fn main() {
     //    live deployment's ingest loop does. Each push returns the committed
     //    decision for that alert (the scheme to sample the warning from and
     //    the expected utility), and the first few are printed as they land.
-    let engine =
-        AuditCycleEngine::new(EngineConfig::paper_defaults(game)).expect("valid configuration");
+    // The builder validates the whole configuration (game signs, costs,
+    // budget, knobs) up front — a malformed game fails here with a
+    // structured ConfigError naming the cause.
+    let engine = EngineBuilder::new(game)
+        .build()
+        .expect("valid configuration");
     let mut session = engine
         .open_day(&history, None)
         .expect("session opens on a valid configuration");

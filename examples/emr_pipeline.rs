@@ -71,9 +71,10 @@ fn main() {
     // 3. Run the audit game over the rule engine's alerts. The alert volumes
     //    of this small world differ from the paper's hospital, so scale the
     //    budget to roughly the same coverage ratio (budget ~ 10% of alerts).
-    let mut config = EngineConfig::paper_multi_type();
-    config.game.budget = (test_day.len() as f64 * 0.10).max(5.0);
-    let audit_engine = AuditCycleEngine::new(config).expect("valid configuration");
+    let audit_engine = EngineBuilder::paper_multi_type()
+        .budget((test_day.len() as f64 * 0.10).max(5.0))
+        .build()
+        .expect("valid configuration");
     let result = audit_engine
         .run_day(&history, &test_day)
         .expect("replay succeeds");

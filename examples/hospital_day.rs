@@ -28,7 +28,8 @@ fn main() {
     );
 
     // The paper's multi-type game: 7 types, unit audit costs, budget 50.
-    let engine = AuditCycleEngine::new(EngineConfig::paper_multi_type())
+    let engine = EngineBuilder::paper_multi_type()
+        .build()
         .expect("paper configuration is valid");
     let result = engine
         .run_day(&history, &test_day)

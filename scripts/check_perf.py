@@ -203,6 +203,71 @@ def main():
                     "regenerate BENCH_2.json to re-arm the gate",
                 )
 
+    # ---- BENCH_2: multi-tenant AuditService throughput ---------------------
+    # The service front door multiplexes N tenants' owned sessions over a
+    # worker pool; its concurrent throughput is floored both absolutely
+    # (catastrophic-regression catch) and against the committed baseline
+    # (same convention as the federated scenarios). The concurrent-vs-serial
+    # speedup is only gated on hosts that can physically show one.
+    service = scenarios.get("service_concurrent")
+    service_ok = isinstance(service, dict)
+    check(
+        "service_concurrent.present",
+        service_ok,
+        "BENCH_2 carries a service_concurrent block",
+    )
+    if service_ok:
+        check(
+            "service_concurrent.alerts",
+            service["alerts"] > 1000,
+            f'{service["alerts"]} alerts served across '
+            f'{service["tenants"]} tenants',
+        )
+        check(
+            "service_concurrent.alerts_per_sec",
+            service["alerts_per_sec"] >= scenario_floor_aps,
+            f'{service["alerts_per_sec"]:.0f} alerts/sec '
+            f"(absolute floor {scenario_floor_aps:.0f})",
+        )
+        if scenario_baseline is not None:
+            service_base = scenario_baseline.get("service_concurrent")
+            if service_base:
+                service_floor = service_base["alerts_per_sec"] * args.floor
+                check(
+                    "service_concurrent.alerts_per_sec_vs_baseline",
+                    service["alerts_per_sec"] >= service_floor,
+                    f'{service["alerts_per_sec"]:.0f} alerts/sec (floor '
+                    f"{service_floor:.0f}, baseline "
+                    f'{service_base["alerts_per_sec"]:.0f})',
+                )
+            else:
+                # A missing committed section would silently disarm the
+                # gate; fail loudly so a stale BENCH_2 baseline cannot mask
+                # a front-door regression.
+                check(
+                    "service_concurrent.alerts_per_sec_vs_baseline",
+                    False,
+                    "section missing from the committed scenario baseline; "
+                    "regenerate BENCH_2.json to re-arm the gate",
+                )
+        service_threads = service["threads_available"]
+        if service_threads >= 4 and service["workers"] > 1:
+            check(
+                "service_concurrent.speedup_vs_serial",
+                service["speedup_vs_serial"] > 1.3,
+                f'{service["speedup_vs_serial"]:.2f}x over '
+                f'{service["workers"]} workers '
+                f"({service_threads} threads available)",
+            )
+        else:
+            note = service.get("note", "")
+            print(
+                f"[SKIP] service_concurrent.speedup_vs_serial: only "
+                f"{service_threads} thread(s) available, measured "
+                f'{service["speedup_vs_serial"]:.2f}x'
+                + (f" — {note}" if note else "")
+            )
+
     # ---- Sharded replay must actually scale on multi-core runners ---------
     # The comparison is only meaningful when the binary was built with the
     # `parallel` feature (otherwise replay_sharded runs sequentially and the
