@@ -80,6 +80,25 @@ fn main() {
         println!("  note      : {note}");
     }
 
+    let d = &report.durability;
+    println!(
+        "\ndurability ({} alerts of {} through the write-ahead log):",
+        d.alerts, d.scenario
+    );
+    println!(
+        "  logged, fsync on : {:>10.0} alerts/sec\n  logged, fsync off: {:>10.0} alerts/sec\n  WAL size         : {:>10} bytes\n  recovery         : {:>10.4} s ({:.0} alerts/sec)\n  recovered day    : {}",
+        d.fsync_on_alerts_per_sec,
+        d.fsync_off_alerts_per_sec,
+        d.wal_bytes,
+        d.recovery_wall_seconds,
+        d.recovery_alerts_per_sec,
+        if d.recovered_bitwise_equal {
+            "bitwise identical to the uninterrupted run"
+        } else {
+            "DIVERGED (correctness bug)"
+        }
+    );
+
     let json = render_suite_json(&report);
     std::fs::write(&out_path, format!("{json}\n")).expect("write scenario report");
     println!("\nwrote {out_path}");

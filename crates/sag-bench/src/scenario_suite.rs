@@ -8,13 +8,21 @@
 //! results are bitwise shard-count-independent, so the comparison is pure
 //! wall-clock), and a `service_concurrent` section times a multi-tenant
 //! `AuditService` fleet concurrently vs. serially under the same
-//! results-identical guarantee.
+//! results-identical guarantee. A `durability` section prices the
+//! write-ahead log: logged decision throughput with the fsync barrier on
+//! and off, and the wall-clock cost of recovering a large mid-flight day
+//! from its WAL — with the recovered result checked bitwise against the
+//! uninterrupted run.
 
-use sag_core::Result;
+use sag_core::engine::EngineBuilder;
+use sag_core::{CycleResult, Result};
 use sag_scenarios::{
-    find_scenario, registry, run_scenario_service, run_scenario_sized, ScenarioRun,
+    find_scenario, registry, run_scenario_service, run_scenario_sized, Scenario, ScenarioRun,
 };
+use sag_service::{AuditService, DurabilityOptions, Request, Response, TenantId};
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Per-scenario metrics of one registry replay.
 #[derive(Debug, Clone)]
@@ -136,6 +144,33 @@ pub struct ServiceConcurrentReport {
     pub note: Option<String>,
 }
 
+/// Cost and fidelity of the durable `AuditService`: WAL write throughput
+/// with the fsync barrier on/off, and recovery of a large mid-flight day.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Scenario whose stream and game the durable day runs.
+    pub scenario: String,
+    /// Alerts logged and recovered — the "10k-alert day".
+    pub alerts: usize,
+    /// Logged decisions per second with a durability barrier after every
+    /// record (an acknowledged decision survives power loss).
+    pub fsync_on_alerts_per_sec: f64,
+    /// Logged decisions per second without the barrier (survives process
+    /// crashes; the OS page cache holds the tail).
+    pub fsync_off_alerts_per_sec: f64,
+    /// Bytes of the WAL holding the whole day.
+    pub wal_bytes: u64,
+    /// Wall-clock seconds `ServiceBuilder::recover_from` took to rebuild
+    /// the mid-flight day from snapshot + WAL.
+    pub recovery_wall_seconds: f64,
+    /// Replayed alerts per second during recovery.
+    pub recovery_alerts_per_sec: f64,
+    /// Whether the recovered day, driven to completion, matched the
+    /// uninterrupted run bitwise (timing fields zeroed). Anything but
+    /// `true` is a correctness bug, and `check_perf.py` fails on it.
+    pub recovered_bitwise_equal: bool,
+}
+
 /// The full `BENCH_2.json` payload.
 #[derive(Debug, Clone)]
 pub struct ScenarioSuiteReport {
@@ -147,6 +182,8 @@ pub struct ScenarioSuiteReport {
     pub sharding: ShardingReport,
     /// The multi-tenant service-throughput comparison.
     pub service_concurrent: ServiceConcurrentReport,
+    /// The WAL cost/recovery profile.
+    pub durability: DurabilityReport,
 }
 
 /// Configuration of a suite run.
@@ -164,6 +201,8 @@ pub struct SuiteConfig {
     pub sharding_jobs: u32,
     /// Tenants multiplexed in the `service_concurrent` comparison.
     pub service_tenants: usize,
+    /// Alerts in the durability section's logged-and-recovered day.
+    pub durability_alerts: usize,
 }
 
 impl SuiteConfig {
@@ -177,6 +216,7 @@ impl SuiteConfig {
             test_days: None,
             sharding_jobs: 12,
             service_tenants: 8,
+            durability_alerts: 10_000,
         }
     }
 }
@@ -332,9 +372,12 @@ pub fn scenario_suite(config: &SuiteConfig) -> Result<ScenarioSuiteReport> {
         note: service_note,
     };
 
+    let durability = durability_report(baseline.as_ref(), config);
+
     Ok(ScenarioSuiteReport {
         seed: config.seed,
         scenarios,
+        durability,
         sharding: ShardingReport {
             scenario: "paper-baseline".to_string(),
             jobs: config.sharding_jobs as usize,
@@ -352,6 +395,172 @@ pub fn scenario_suite(config: &SuiteConfig) -> Result<ScenarioSuiteReport> {
         },
         service_concurrent,
     })
+}
+
+/// A scratch WAL directory next to the running binary (inside `target/`),
+/// so the bench never depends on the caller's working directory.
+fn durability_wal_dir(leg: &str) -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(std::path::Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("target"))
+        .join(format!("sag-durability-bench-{leg}"))
+}
+
+/// Zero the wall-clock timing field so results can be compared exactly.
+fn untimed(mut cycle: CycleResult) -> CycleResult {
+    for o in &mut cycle.outcomes {
+        o.solve_micros = 0;
+    }
+    cycle
+}
+
+/// Measure the durability layer on `scenario`'s game: one oversized day of
+/// `config.durability_alerts` alerts logged with fsync on and off, then
+/// recovered from the WAL and driven to completion.
+///
+/// Panics on service or WAL failures — both indicate workspace bugs here
+/// (validated config, scratch directories the bench itself creates).
+fn durability_report(scenario: &dyn Scenario, config: &SuiteConfig) -> DurabilityReport {
+    let target = config.durability_alerts.max(1);
+    let history_days = config
+        .history_days
+        .unwrap_or_else(|| scenario.history_days());
+    // Enough generated days to flatten into one oversized in-flight day.
+    let mut days = scenario.generate_days(config.seed, history_days + 4);
+    loop {
+        let available: usize = days[history_days as usize..]
+            .iter()
+            .map(sag_sim::DayLog::len)
+            .sum();
+        if available >= target {
+            break;
+        }
+        let grown = days.len() as u32 + 16;
+        days = scenario.generate_days(config.seed, grown);
+    }
+    let history = days[..history_days as usize].to_vec();
+    let day_index = days[history_days as usize].day();
+    let alerts: Vec<sag_sim::Alert> = days[history_days as usize..]
+        .iter()
+        .flat_map(|d| d.alerts().iter().cloned())
+        .take(target)
+        .collect();
+
+    let builder = |history: Vec<sag_sim::DayLog>| {
+        let mut engine_config = scenario.engine_config();
+        engine_config.backend = sag_core::sse::SolverBackendKind::Auto;
+        AuditService::builder().workers(0).tenant_with_history(
+            "durability-bench",
+            EngineBuilder::from_config(engine_config),
+            history,
+        )
+    };
+    let tenant = TenantId::from("durability-bench");
+    let open = |service: &mut AuditService| match service
+        .handle(Request::OpenDay {
+            tenant: tenant.clone(),
+            budget: scenario.budget_for_day(day_index),
+            day: Some(day_index),
+        })
+        .expect("bench day opens")
+    {
+        Response::DayOpened { session, .. } => session,
+        other => panic!("unexpected response {other:?}"),
+    };
+
+    // Ground truth: the same day with no WAL at all.
+    let mut control_service = builder(history.clone()).build().expect("control build");
+    let control_session = open(&mut control_service);
+    for alert in &alerts {
+        control_service
+            .handle(Request::PushAlert {
+                session: control_session,
+                alert: *alert,
+            })
+            .expect("control push");
+    }
+    let Response::DayClosed {
+        result: control, ..
+    } = control_service
+        .handle(Request::FinishDay {
+            session: control_session,
+        })
+        .expect("control finish")
+    else {
+        panic!("unexpected response");
+    };
+    let control = untimed(control);
+    drop(control_service);
+
+    // Timed legs: the identical day through a durable service, fsync on
+    // and off. Each leg ends mid-flight (no FinishDay), leaving the WAL
+    // holding the whole day for the recovery leg.
+    let leg = |fsync: bool| -> (f64, u64, PathBuf) {
+        let dir = durability_wal_dir(if fsync { "fsync-on" } else { "fsync-off" });
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = DurabilityOptions {
+            fsync,
+            ..DurabilityOptions::default()
+        };
+        let mut service = builder(history.clone())
+            .durable_with(&dir, options)
+            .build()
+            .expect("durable build");
+        let session = open(&mut service);
+        let start = Instant::now();
+        for alert in &alerts {
+            service
+                .handle(Request::PushAlert {
+                    session,
+                    alert: *alert,
+                })
+                .expect("durable push");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        drop(service); // the "crash": only the directory survives
+        let wal_bytes = std::fs::metadata(dir.join("durability-bench.wal"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        (target as f64 / wall.max(f64::MIN_POSITIVE), wal_bytes, dir)
+    };
+    let (fsync_on_aps, _, _) = leg(true);
+    let (fsync_off_aps, wal_bytes, recovery_dir) = leg(false);
+
+    // Recovery: rebuild the mid-flight day from the fsync-off leg's WAL
+    // (the bytes are identical between legs), then finish it and check the
+    // result against the uninterrupted run.
+    let start = Instant::now();
+    let mut recovered = builder(history)
+        .recover_from(&recovery_dir)
+        .expect("recovery succeeds");
+    let recovery_wall = start.elapsed().as_secs_f64();
+    let session = recovered
+        .open_session_ids()
+        .next()
+        .expect("mid-flight session recovered");
+    let replayed = recovered
+        .session(session)
+        .expect("session visible")
+        .alerts_processed();
+    let Response::DayClosed { result, .. } = recovered
+        .handle(Request::FinishDay { session })
+        .expect("recovered finish")
+    else {
+        panic!("unexpected response");
+    };
+    let recovered_bitwise_equal = replayed == target && untimed(result) == control;
+
+    DurabilityReport {
+        scenario: scenario.name().to_string(),
+        alerts: target,
+        fsync_on_alerts_per_sec: fsync_on_aps,
+        fsync_off_alerts_per_sec: fsync_off_aps,
+        wal_bytes,
+        recovery_wall_seconds: recovery_wall,
+        recovery_alerts_per_sec: target as f64 / recovery_wall.max(f64::MIN_POSITIVE),
+        recovered_bitwise_equal,
+    }
 }
 
 /// The suite reports through `sag_core::Result`; service-level failures
@@ -481,6 +690,37 @@ pub fn render_suite_json(report: &ScenarioSuiteReport) -> String {
         out.truncate(out.len() - 1);
         let _ = writeln!(out, ",\n    \"note\": \"{}\"", json_escape(note));
     }
+    let _ = writeln!(out, "  }},");
+    let d = &report.durability;
+    let _ = writeln!(out, "  \"durability\": {{");
+    let _ = writeln!(out, "    \"scenario\": \"{}\",", json_escape(&d.scenario));
+    let _ = writeln!(out, "    \"alerts\": {},", d.alerts);
+    let _ = writeln!(
+        out,
+        "    \"fsync_on_alerts_per_sec\": {:.2},",
+        d.fsync_on_alerts_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"fsync_off_alerts_per_sec\": {:.2},",
+        d.fsync_off_alerts_per_sec
+    );
+    let _ = writeln!(out, "    \"wal_bytes\": {},", d.wal_bytes);
+    let _ = writeln!(
+        out,
+        "    \"recovery_wall_seconds\": {:.6},",
+        d.recovery_wall_seconds
+    );
+    let _ = writeln!(
+        out,
+        "    \"recovery_alerts_per_sec\": {:.2},",
+        d.recovery_alerts_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"recovered_bitwise_equal\": {}",
+        d.recovered_bitwise_equal
+    );
     let _ = writeln!(out, "  }}");
     out.push('}');
     out
@@ -509,6 +749,7 @@ mod tests {
             test_days: Some(1),
             sharding_jobs: 4,
             service_tenants: 2,
+            durability_alerts: 250,
         };
         let report = scenario_suite(&config).unwrap();
         assert!(report.scenarios.len() >= 7);
@@ -546,6 +787,17 @@ mod tests {
         );
         assert!(sc.alerts_per_sec > 0.0);
         assert!(sc.wall_seconds > 0.0 && sc.serial_wall_seconds > 0.0);
+        let d = &report.durability;
+        assert_eq!(d.scenario, "paper-baseline");
+        assert_eq!(d.alerts, 250);
+        assert!(d.fsync_on_alerts_per_sec > 0.0);
+        assert!(d.fsync_off_alerts_per_sec > 0.0);
+        assert!(d.wal_bytes > 0);
+        assert!(d.recovery_wall_seconds > 0.0);
+        assert!(
+            d.recovered_bitwise_equal,
+            "recovered day diverged from the uninterrupted run"
+        );
         // Multi-type scenarios must actually exercise the pruning layer.
         let multi_site = report
             .scenarios
@@ -577,6 +829,11 @@ mod tests {
             "\"service_concurrent\"",
             "\"tenants\"",
             "\"speedup_vs_serial\"",
+            "\"durability\"",
+            "\"fsync_on_alerts_per_sec\"",
+            "\"fsync_off_alerts_per_sec\"",
+            "\"recovery_alerts_per_sec\"",
+            "\"recovered_bitwise_equal\": true",
         ] {
             assert!(json.contains(needle), "missing `{needle}`");
         }

@@ -377,6 +377,15 @@ impl<E: Borrow<AuditCycleEngine>> Session<E> {
         self.outcomes.len()
     }
 
+    /// The outcomes committed so far, in arrival order. This is the
+    /// observable mid-day state a durability layer must reproduce: a
+    /// recovered session is correct exactly when its outcome log (and
+    /// remaining budgets) match the original's bitwise.
+    #[must_use]
+    pub fn outcomes(&self) -> &[AlertOutcome] {
+        &self.outcomes
+    }
+
     /// Remaining budget in the OSSP (signaling) world.
     #[must_use]
     pub fn remaining_budget_ossp(&self) -> f64 {

@@ -1,0 +1,204 @@
+//! The service side of durability: per-tenant WAL bookkeeping.
+//!
+//! `sag-wal` supplies the mechanism (framed records, snapshots, storage
+//! seam, fault injection); this module owns the policy the service applies
+//! on top of it:
+//!
+//! * **Log before acknowledge.** Every [`crate::AuditService::handle`]
+//!   mutation appends its [`WalRecord`] — and, when
+//!   [`DurabilityOptions::fsync`] is on, reaches stable storage — *before*
+//!   the mutation is applied and the response returned. A WAL failure
+//!   therefore rejects the request (as [`crate::ServiceError::Wal`]) rather
+//!   than acknowledging something a restart would forget.
+//! * **Snapshot cadence.** Every [`DurabilityOptions::snapshot_every`]
+//!   recorded history days, a tenant's rolling history plus the session-id
+//!   counter is written as an atomic [`Snapshot`] and the WAL truncated
+//!   back to its header — but only once the tenant has no open sessions,
+//!   since their `OpenDay`/`PushAlert` records live in the WAL tail.
+//!
+//! Only mutations that flow *through the service* are logged. Handles
+//! checked out with [`crate::AuditService::open_day`] are owned by their
+//! callers and invisible to the log, and
+//! [`crate::AuditService::replay_concurrent`] is a pure batch read — both
+//! are documented as non-durable paths.
+
+use crate::service::TenantId;
+use sag_wal::{
+    decode_wal_header, encode_wal_header, snapshot_file_name, wal_file_name, Snapshot, WalError,
+    WalFs, WalRecord,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Knobs of the durability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// Issue a durability barrier after every logged record. On by default:
+    /// with it, an acknowledged decision survives power loss; without it,
+    /// only process crashes (the OS page cache still holds the tail).
+    pub fsync: bool,
+    /// Snapshot a tenant and truncate its WAL after this many recorded
+    /// history days (deferred while the tenant has open sessions).
+    pub snapshot_every: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: true,
+            snapshot_every: 8,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Default options with the fsync barrier off — the high-throughput
+    /// setting benchmarked as `fsync_off` in BENCH_2.
+    #[must_use]
+    pub fn no_fsync() -> Self {
+        DurabilityOptions {
+            fsync: false,
+            ..DurabilityOptions::default()
+        }
+    }
+}
+
+/// Where a durable service keeps its logs — resolved to a live
+/// [`WalFs`] at build time.
+#[derive(Debug)]
+pub(crate) enum WalTarget {
+    /// A real directory, opened as a [`sag_wal::DirFs`].
+    Dir(PathBuf),
+    /// Caller-supplied storage (in-memory or fault-injecting).
+    Fs(Box<dyn WalFs>),
+}
+
+/// Per-tenant durability bookkeeping.
+#[derive(Debug)]
+pub(crate) struct TenantDurability {
+    pub(crate) wal_file: String,
+    pub(crate) snap_file: String,
+    /// History days recorded since the last snapshot truncated the WAL.
+    pub(crate) days_since_snapshot: usize,
+}
+
+/// The durability state an [`crate::AuditService`] carries when built with
+/// a WAL target.
+#[derive(Debug)]
+pub(crate) struct Durability {
+    pub(crate) fs: Box<dyn WalFs>,
+    pub(crate) options: DurabilityOptions,
+    pub(crate) tenants: HashMap<TenantId, TenantDurability>,
+}
+
+impl Durability {
+    pub(crate) fn new<'a>(
+        fs: Box<dyn WalFs>,
+        options: DurabilityOptions,
+        tenants: impl Iterator<Item = &'a TenantId>,
+    ) -> Self {
+        let tenants = tenants
+            .map(|tenant| {
+                (
+                    tenant.clone(),
+                    TenantDurability {
+                        wal_file: wal_file_name(tenant.as_str()),
+                        snap_file: snapshot_file_name(tenant.as_str()),
+                        days_since_snapshot: 0,
+                    },
+                )
+            })
+            .collect();
+        Durability {
+            fs,
+            options,
+            tenants,
+        }
+    }
+
+    /// Make sure every tenant's WAL opens with a valid header, repairing a
+    /// header torn by a crash during log creation (nothing was acknowledged
+    /// from such a log). With `fresh`, additionally refuse to build over
+    /// prior state — records past the header, or a snapshot — directing the
+    /// caller to `recover_from` instead.
+    pub(crate) fn ensure_headers(&mut self, fresh: bool) -> Result<(), WalError> {
+        for (tenant, td) in &self.tenants {
+            match self.fs.read(&td.wal_file)? {
+                None => {
+                    self.fs
+                        .append(&td.wal_file, &encode_wal_header(tenant.as_str()))?;
+                }
+                Some(bytes) => match decode_wal_header(&bytes, &td.wal_file)? {
+                    None => {
+                        self.fs
+                            .replace(&td.wal_file, &encode_wal_header(tenant.as_str()))?;
+                    }
+                    Some((name, consumed)) => {
+                        if name != tenant.as_str() {
+                            return Err(WalError::TenantMismatch {
+                                file: td.wal_file.clone(),
+                                expected: tenant.as_str().to_string(),
+                                found: name,
+                            });
+                        }
+                        if fresh && bytes.len() > consumed {
+                            return Err(WalError::ExistingState {
+                                file: td.wal_file.clone(),
+                            });
+                        }
+                    }
+                },
+            }
+            if fresh && self.fs.read(&td.snap_file)?.is_some() {
+                return Err(WalError::ExistingState {
+                    file: td.snap_file.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one record to a tenant's WAL, honouring the fsync option.
+    pub(crate) fn append(&mut self, tenant: &TenantId, record: &WalRecord) -> Result<(), WalError> {
+        let td = self
+            .tenants
+            .get(tenant)
+            .unwrap_or_else(|| panic!("durability bookkeeping missing for tenant {tenant}"));
+        self.fs.append(&td.wal_file, &record.encode_framed())?;
+        if self.options.fsync {
+            self.fs.sync(&td.wal_file)?;
+        }
+        Ok(())
+    }
+
+    /// Atomically write a tenant's snapshot, then truncate its WAL back to
+    /// a bare header. Snapshot-then-truncate order makes a crash between
+    /// the two recoverable: the snapshot records the superseded WAL's
+    /// length and CRC ([`Snapshot::wal_len`] / [`Snapshot::wal_crc`]), so
+    /// recovery recognises the not-yet-truncated log, skips it (everything
+    /// in it is inside the snapshot — snapshots are deferred until no
+    /// session is open), and finishes the truncation.
+    pub(crate) fn write_snapshot(
+        &mut self,
+        tenant: &TenantId,
+        next_session: u64,
+        history: Vec<sag_sim::DayLog>,
+    ) -> Result<(), WalError> {
+        let td = self
+            .tenants
+            .get(tenant)
+            .unwrap_or_else(|| panic!("durability bookkeeping missing for tenant {tenant}"));
+        let wal_bytes = self.fs.read(&td.wal_file)?.unwrap_or_default();
+        let snapshot = Snapshot {
+            tenant: tenant.as_str().to_string(),
+            next_session,
+            wal_len: wal_bytes.len() as u64,
+            wal_crc: sag_wal::crc32(&wal_bytes),
+            history,
+        };
+        self.fs.replace(&td.snap_file, &snapshot.encode())?;
+        self.fs
+            .replace(&td.wal_file, &encode_wal_header(tenant.as_str()))?;
+        Ok(())
+    }
+}

@@ -24,6 +24,12 @@ pub enum ServiceError {
     UnknownSession(SessionId),
     /// The engine rejected the operation; the payload says exactly why.
     Engine(SagError),
+    /// The durability layer failed: the mutation was **not** logged and
+    /// therefore was not applied — log-before-acknowledge means a WAL
+    /// failure rejects the request instead of silently dropping
+    /// durability. Carries the structured [`sag_wal::WalError`].
+    #[cfg(feature = "wal")]
+    Wal(sag_wal::WalError),
 }
 
 impl fmt::Display for ServiceError {
@@ -35,6 +41,8 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownSession(session) => write!(f, "no open session {session}"),
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            #[cfg(feature = "wal")]
+            ServiceError::Wal(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -43,8 +51,17 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Engine(e) => Some(e),
+            #[cfg(feature = "wal")]
+            ServiceError::Wal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+#[cfg(feature = "wal")]
+impl From<sag_wal::WalError> for ServiceError {
+    fn from(e: sag_wal::WalError) -> Self {
+        ServiceError::Wal(e)
     }
 }
 

@@ -32,6 +32,14 @@
 //!   tenant's engine and each day's session are independent and start cold,
 //!   so the results are **bitwise identical** to replaying every tenant
 //!   serially — concurrency only buys wall-clock time.
+//! * Durability (the `wal` feature, on by default) —
+//!   [`ServiceBuilder::durable`] logs every mutation to a per-tenant,
+//!   CRC-framed write-ahead log *before* acknowledging it, snapshots
+//!   periodically, and [`ServiceBuilder::recover_from`] rebuilds the exact
+//!   pre-crash state (open mid-day sessions included, bitwise identical)
+//!   from the snapshot plus the WAL tail, discarding torn final records. The
+//!   storage seam is [`WalFs`] ([`DirFs`] on disk, [`MemFs`] in memory,
+//!   [`FailpointFs`] for deterministic crash injection in tests).
 //!
 //! ## A complete tour
 //!
@@ -98,15 +106,23 @@
 
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "wal")]
+pub mod durability;
 pub mod error;
 pub mod request;
 pub mod service;
 pub mod session;
 
+#[cfg(feature = "wal")]
+pub use durability::DurabilityOptions;
 pub use error::ServiceError;
 pub use request::{Request, Response};
 pub use service::{AuditService, ServiceBuilder, ServiceJob, TenantId};
 pub use session::{SessionHandle, SessionId};
+
+// Re-exported so durable deployments need only this crate in scope.
+#[cfg(feature = "wal")]
+pub use sag_wal::{DirFs, FailpointFs, MemFs, WalError, WalFs, WalRecord};
 
 /// Result alias for fallible service operations.
 pub type Result<T> = std::result::Result<T, ServiceError>;

@@ -12,6 +12,13 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+#[cfg(feature = "wal")]
+use crate::durability::{Durability, DurabilityOptions, WalTarget};
+#[cfg(feature = "wal")]
+use sag_wal::{read_wal, DirFs, WalError, WalFs, WalRecord};
+#[cfg(feature = "wal")]
+use std::path::Path;
+
 /// Identifier of a registered tenant (a hospital, site, or business unit
 /// with its own game, budget and alert history). Cheap to clone and hash.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -103,6 +110,12 @@ pub struct AuditService {
     /// as the engine's own lazy fan-out pool).
     pool: OnceLock<Option<WorkerPool>>,
     history_window: usize,
+    /// The write-ahead log, when the service was built durable. Every
+    /// [`handle`](Self::handle) mutation and
+    /// [`record_history`](Self::record_history) call is logged here
+    /// *before* it is applied and acknowledged.
+    #[cfg(feature = "wal")]
+    durability: Option<Durability>,
 }
 
 impl AuditService {
@@ -148,6 +161,20 @@ impl AuditService {
         self.open.len()
     }
 
+    /// A read-only view of one session held inside the service — what a
+    /// reconnecting driver uses after recovery to see how far a day got
+    /// (`alerts_processed`, remaining budgets) before resuming its feed.
+    #[must_use]
+    pub fn session(&self, session: SessionId) -> Option<&SessionHandle> {
+        self.open.get(&session)
+    }
+
+    /// Ids of the sessions currently open inside the service (arbitrary
+    /// order).
+    pub fn open_session_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.open.keys().copied()
+    }
+
     fn tenant(&self, tenant: &TenantId) -> Result<&Tenant, ServiceError> {
         self.tenants
             .get(tenant)
@@ -180,17 +207,68 @@ impl AuditService {
     ///
     /// [`ServiceError::UnknownTenant`] for an unregistered id.
     pub fn record_history(&mut self, tenant: &TenantId, day: DayLog) -> Result<(), ServiceError> {
+        if !self.tenants.contains_key(tenant) {
+            return Err(ServiceError::UnknownTenant(tenant.clone()));
+        }
+        #[cfg(feature = "wal")]
+        if let Some(durability) = self.durability.as_mut() {
+            durability.append(tenant, &WalRecord::HistoryDay(day.clone()))?;
+        }
+        self.record_history_unlogged(tenant, day);
+        #[cfg(feature = "wal")]
+        self.maybe_snapshot(tenant)?;
+        Ok(())
+    }
+
+    /// The in-memory half of [`record_history`](Self::record_history):
+    /// push and trim to the rolling window. Shared with WAL replay, which
+    /// must not re-log what it reads.
+    fn record_history_unlogged(&mut self, tenant: &TenantId, day: DayLog) {
         let window = self.history_window;
         let entry = self
             .tenants
             .get_mut(tenant)
-            .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+            .expect("caller verified the tenant is registered");
         entry.history.push(day);
         if entry.history.len() > window {
             let excess = entry.history.len() - window;
             entry.history.drain(..excess);
         }
+    }
+
+    /// Advance the tenant's snapshot clock and, when due and the tenant
+    /// has no open sessions (their records live in the WAL tail), write
+    /// the snapshot and truncate the WAL.
+    #[cfg(feature = "wal")]
+    fn maybe_snapshot(&mut self, tenant: &TenantId) -> Result<(), ServiceError> {
+        let has_open = self.open.values().any(|handle| handle.tenant() == tenant);
+        let Some(durability) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let every = durability.options.snapshot_every;
+        let Some(td) = durability.tenants.get_mut(tenant) else {
+            return Ok(());
+        };
+        td.days_since_snapshot += 1;
+        if td.days_since_snapshot < every.max(1) || has_open {
+            return Ok(());
+        }
+        td.days_since_snapshot = 0;
+        let next_session = self.next_session.load(Ordering::Relaxed);
+        let history = self
+            .tenants
+            .get(tenant)
+            .map(|entry| entry.history.clone())
+            .unwrap_or_default();
+        durability.write_snapshot(tenant, next_session, history)?;
         Ok(())
+    }
+
+    /// Whether this service logs its mutations to a write-ahead log.
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     fn next_session_id(&self) -> SessionId {
@@ -253,8 +331,11 @@ impl AuditService {
     /// # Errors
     ///
     /// [`ServiceError::UnknownTenant`] / [`ServiceError::UnknownSession`]
-    /// for requests naming something the service does not hold, and
-    /// [`ServiceError::Engine`] for engine-level failures.
+    /// for requests naming something the service does not hold,
+    /// [`ServiceError::Engine`] for engine-level failures, and (on a
+    /// durable service) [`ServiceError::Wal`] when the mutation could not
+    /// be logged — in which case it was **not** applied: log-before-
+    /// acknowledge never acknowledges what a restart would forget.
     pub fn handle(&mut self, request: Request) -> Result<Response, ServiceError> {
         match request {
             Request::OpenDay {
@@ -267,6 +348,17 @@ impl AuditService {
                     handle.set_day(day);
                 }
                 let session = handle.id();
+                #[cfg(feature = "wal")]
+                if let Some(durability) = self.durability.as_mut() {
+                    durability.append(
+                        &tenant,
+                        &WalRecord::OpenDay {
+                            session: session.0,
+                            day,
+                            budget,
+                        },
+                    )?;
+                }
                 self.open.insert(session, handle);
                 Ok(Response::DayOpened { session, tenant })
             }
@@ -275,10 +367,32 @@ impl AuditService {
                     .open
                     .get_mut(&session)
                     .ok_or(ServiceError::UnknownSession(session))?;
+                #[cfg(feature = "wal")]
+                if let Some(durability) = self.durability.as_mut() {
+                    durability.append(
+                        handle.tenant(),
+                        &WalRecord::PushAlert {
+                            session: session.0,
+                            alert,
+                        },
+                    )?;
+                }
                 let outcome = handle.push_alert(&alert)?;
                 Ok(Response::Decision { session, outcome })
             }
             Request::FinishDay { session } => {
+                #[cfg(feature = "wal")]
+                if self.durability.is_some() {
+                    let tenant = self
+                        .open
+                        .get(&session)
+                        .ok_or(ServiceError::UnknownSession(session))?
+                        .tenant()
+                        .clone();
+                    if let Some(durability) = self.durability.as_mut() {
+                        durability.append(&tenant, &WalRecord::FinishDay { session: session.0 })?;
+                    }
+                }
                 let handle = self
                     .open
                     .remove(&session)
@@ -344,6 +458,162 @@ impl AuditService {
             .map(|slot| slot.expect("every job replayed"))
             .collect()
     }
+
+    /// Rebuild in-memory state from `durability`'s storage: per tenant,
+    /// load the snapshot (if any), then replay the WAL tail record by
+    /// record. Because snapshots are deferred until a tenant has no open
+    /// sessions, every open session's `OpenDay` is in the WAL it is
+    /// replayed from, with the history records that preceded it — so the
+    /// engine's deterministic-replay guarantee rebuilds it bitwise.
+    #[cfg(feature = "wal")]
+    fn replay_wal(&mut self, durability: &mut Durability) -> Result<(), ServiceError> {
+        use std::collections::HashSet;
+
+        // Refuse to silently ignore durable state nobody owns. Leftover
+        // `.tmp` files are the harmless residue of an interrupted atomic
+        // replace; sweep them.
+        let known: HashSet<&str> = durability
+            .tenants
+            .values()
+            .flat_map(|td| [td.wal_file.as_str(), td.snap_file.as_str()])
+            .collect();
+        let files = durability.fs.list()?;
+        for file in &files {
+            if file.ends_with(".tmp") {
+                durability.fs.remove(file)?;
+                continue;
+            }
+            if !known.contains(file.as_str()) {
+                let stem = file
+                    .strip_suffix(".wal")
+                    .or_else(|| file.strip_suffix(".snap"))
+                    .unwrap_or(file);
+                return Err(ServiceError::Wal(WalError::UnknownTenant {
+                    tenant: sag_wal::unsanitize_tenant(stem),
+                }));
+            }
+        }
+
+        let mut next_session = self.next_session.load(Ordering::Relaxed);
+        let tenant_ids: Vec<TenantId> = durability.tenants.keys().cloned().collect();
+        for tenant in &tenant_ids {
+            let (wal_file, snap_file) = {
+                let td = &durability.tenants[tenant];
+                (td.wal_file.clone(), td.snap_file.clone())
+            };
+
+            let snapshot = match durability.fs.read(&snap_file)? {
+                None => None,
+                Some(bytes) => {
+                    let snap = sag_wal::Snapshot::decode(&bytes, &snap_file)?;
+                    if snap.tenant != tenant.as_str() {
+                        return Err(ServiceError::Wal(WalError::TenantMismatch {
+                            file: snap_file.clone(),
+                            expected: tenant.as_str().to_string(),
+                            found: snap.tenant,
+                        }));
+                    }
+                    next_session = next_session.max(snap.next_session);
+                    let window = self.history_window;
+                    let entry = self
+                        .tenants
+                        .get_mut(tenant)
+                        .expect("durability tracks only registered tenants");
+                    entry.history = snap.history.clone();
+                    if entry.history.len() > window {
+                        let excess = entry.history.len() - window;
+                        entry.history.drain(..excess);
+                    }
+                    Some(snap)
+                }
+            };
+
+            let Some(wal_bytes) = durability.fs.read(&wal_file)? else {
+                continue;
+            };
+            if let Some(snap) = &snapshot {
+                if snap.wal_len == wal_bytes.len() as u64
+                    && snap.wal_crc == sag_wal::crc32(&wal_bytes)
+                {
+                    // The crash landed between writing this snapshot and
+                    // truncating the WAL: everything in the log is already
+                    // inside the snapshot. Finish the truncation.
+                    durability
+                        .fs
+                        .replace(&wal_file, &sag_wal::encode_wal_header(tenant.as_str()))?;
+                    continue;
+                }
+            }
+
+            let scan = read_wal(&wal_bytes, &wal_file)?;
+            if let Some(name) = &scan.tenant {
+                if name != tenant.as_str() {
+                    return Err(ServiceError::Wal(WalError::TenantMismatch {
+                        file: wal_file.clone(),
+                        expected: tenant.as_str().to_string(),
+                        found: name.clone(),
+                    }));
+                }
+            }
+            let mut replayed_days = 0usize;
+            for record in scan.records {
+                match record {
+                    WalRecord::HistoryDay(day) => {
+                        self.record_history_unlogged(tenant, day);
+                        replayed_days += 1;
+                    }
+                    WalRecord::OpenDay {
+                        session,
+                        day,
+                        budget,
+                    } => {
+                        next_session = next_session.max(session + 1);
+                        let mut handle = {
+                            let entry = self
+                                .tenants
+                                .get(tenant)
+                                .expect("durability tracks only registered tenants");
+                            let inner = entry.engine.open_day_owned(&entry.history, budget)?;
+                            SessionHandle::new(SessionId(session), tenant.clone(), inner)
+                        };
+                        if let Some(day) = day {
+                            handle.set_day(day);
+                        }
+                        self.open.insert(SessionId(session), handle);
+                    }
+                    WalRecord::PushAlert { session, alert } => {
+                        let handle = self.open.get_mut(&SessionId(session)).ok_or_else(|| {
+                            ServiceError::Wal(WalError::InvalidRecord {
+                                file: wal_file.clone(),
+                                offset: 0,
+                                reason: format!("PushAlert for session {session} that is not open"),
+                            })
+                        })?;
+                        handle.push_alert(&alert)?;
+                    }
+                    WalRecord::FinishDay { session } => {
+                        let handle = self.open.remove(&SessionId(session)).ok_or_else(|| {
+                            ServiceError::Wal(WalError::InvalidRecord {
+                                file: wal_file.clone(),
+                                offset: 0,
+                                reason: format!("FinishDay for session {session} that is not open"),
+                            })
+                        })?;
+                        // The result was already returned to the original
+                        // caller before the crash; nothing to deliver.
+                        let _ = handle.finish();
+                    }
+                }
+            }
+            durability
+                .tenants
+                .get_mut(tenant)
+                .expect("durability tracks only registered tenants")
+                .days_since_snapshot = replayed_days;
+        }
+        self.next_session.store(next_session, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// Stream one job's day through a fresh **owned** session of `tenant`'s
@@ -369,6 +639,8 @@ pub struct ServiceBuilder {
     tenants: Vec<(TenantId, EngineBuilder, Vec<DayLog>)>,
     workers: Option<usize>,
     history_window: usize,
+    #[cfg(feature = "wal")]
+    durability: Option<(WalTarget, DurabilityOptions)>,
 }
 
 /// Default bound on each tenant's rolling history window, in days. Large
@@ -385,6 +657,8 @@ impl ServiceBuilder {
             tenants: Vec::new(),
             workers: None,
             history_window: DEFAULT_HISTORY_WINDOW,
+            #[cfg(feature = "wal")]
+            durability: None,
         }
     }
 
@@ -423,15 +697,110 @@ impl ServiceBuilder {
         self
     }
 
+    /// Log every service mutation to a write-ahead log directory, with
+    /// default [`DurabilityOptions`] (fsync on). The directory is created
+    /// at build time; building *fresh* over a directory that already holds
+    /// records fails with [`sag_wal::WalError::ExistingState`] — use
+    /// [`recover_from`](Self::recover_from) for that.
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn durable(self, dir: impl AsRef<Path>) -> Self {
+        self.durable_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`durable`](Self::durable) with explicit [`DurabilityOptions`].
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn durable_with(mut self, dir: impl AsRef<Path>, options: DurabilityOptions) -> Self {
+        self.durability = Some((WalTarget::Dir(dir.as_ref().to_path_buf()), options));
+        self
+    }
+
+    /// Log to caller-supplied storage instead of a directory — an
+    /// [`sag_wal::MemFs`] for fast tests, or an [`sag_wal::FailpointFs`]
+    /// to inject a scripted crash.
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn durable_on(mut self, fs: Box<dyn WalFs>, options: DurabilityOptions) -> Self {
+        self.durability = Some((WalTarget::Fs(fs), options));
+        self
+    }
+
     /// Validate every tenant's configuration and assemble the service.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::DuplicateTenant`] for a repeated id, and
+    /// [`ServiceError::DuplicateTenant`] for a repeated id,
     /// [`ServiceError::Engine`] (carrying the structured
     /// [`sag_core::ConfigError`]) for the first invalid tenant
-    /// configuration.
+    /// configuration, and [`ServiceError::Wal`] when a configured WAL
+    /// target cannot be initialised or already holds state.
     pub fn build(self) -> Result<AuditService, ServiceError> {
+        self.build_inner(true)
+    }
+
+    /// Build and, when a WAL target is configured, replay its snapshot +
+    /// WAL tail: rebuilds every tenant's recorded history and reopens
+    /// every session that was open at the crash, to **bitwise-identical**
+    /// state — session outputs are a pure function of (engine config,
+    /// history, budget, alerts pushed), all of which the log captures. A
+    /// torn or truncated final record is discarded; an empty or missing
+    /// directory is a clean first boot.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`build`](Self::build) can raise, plus
+    /// [`ServiceError::Wal`] for logs that cannot be trusted (corruption
+    /// before the tail, version mismatch, state for unregistered tenants)
+    /// and [`ServiceError::Engine`] if a logged alert no longer replays.
+    #[cfg(feature = "wal")]
+    pub fn recover(self) -> Result<AuditService, ServiceError> {
+        if self.durability.is_none() {
+            return Err(ServiceError::Wal(WalError::Io {
+                file: String::new(),
+                message: "no durability target configured; call durable()/durable_on() first"
+                    .to_string(),
+            }));
+        }
+        let mut service = self.build_inner(false)?;
+        let mut durability = service
+            .durability
+            .take()
+            .expect("durable build keeps its durability state");
+        service.replay_wal(&mut durability)?;
+        service.durability = Some(durability);
+        Ok(service)
+    }
+
+    /// [`durable`](Self::durable) + [`recover`](Self::recover): the one
+    /// call a restarting deployment makes.
+    ///
+    /// # Errors
+    ///
+    /// See [`recover`](Self::recover).
+    #[cfg(feature = "wal")]
+    pub fn recover_from(self, dir: impl AsRef<Path>) -> Result<AuditService, ServiceError> {
+        self.durable(dir).recover()
+    }
+
+    /// [`durable_on`](Self::durable_on) + [`recover`](Self::recover), for
+    /// recovering off in-memory or fault-injecting storage in tests.
+    ///
+    /// # Errors
+    ///
+    /// See [`recover`](Self::recover).
+    #[cfg(feature = "wal")]
+    pub fn recover_on(
+        self,
+        fs: Box<dyn WalFs>,
+        options: DurabilityOptions,
+    ) -> Result<AuditService, ServiceError> {
+        self.durable_on(fs, options).recover()
+    }
+
+    fn build_inner(self, _fresh: bool) -> Result<AuditService, ServiceError> {
+        #[cfg(feature = "wal")]
+        let durability_target = self.durability;
         let mut tenants = HashMap::with_capacity(self.tenants.len());
         for (id, engine, mut history) in self.tenants {
             if tenants.contains_key(&id) {
@@ -447,6 +816,19 @@ impl ServiceBuilder {
         let workers = self
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+        #[cfg(feature = "wal")]
+        let durability = match durability_target {
+            None => None,
+            Some((target, options)) => {
+                let fs: Box<dyn WalFs> = match target {
+                    WalTarget::Dir(dir) => Box::new(DirFs::new(dir)?),
+                    WalTarget::Fs(fs) => fs,
+                };
+                let mut durability = Durability::new(fs, options, tenants.keys());
+                durability.ensure_headers(_fresh)?;
+                Some(durability)
+            }
+        };
         Ok(AuditService {
             tenants,
             open: HashMap::new(),
@@ -454,6 +836,8 @@ impl ServiceBuilder {
             workers,
             pool: OnceLock::new(),
             history_window: self.history_window,
+            #[cfg(feature = "wal")]
+            durability,
         })
     }
 }

@@ -102,6 +102,14 @@ impl SessionHandle {
         self.session.alerts_processed()
     }
 
+    /// The outcomes committed so far, in arrival order — the mid-day state
+    /// crash recovery must rebuild bitwise (see
+    /// [`sag_core::engine::Session::outcomes`]).
+    #[must_use]
+    pub fn outcomes(&self) -> &[AlertOutcome] {
+        self.session.outcomes()
+    }
+
     /// Remaining budget in the OSSP (signaling) world.
     #[must_use]
     pub fn remaining_budget_ossp(&self) -> f64 {

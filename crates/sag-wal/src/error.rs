@@ -1,0 +1,219 @@
+//! The structured [`WalError`] taxonomy.
+
+use std::fmt;
+
+/// Why a WAL or snapshot operation failed.
+///
+/// `#[non_exhaustive]`, like every public error enum in the workspace:
+/// match with a wildcard arm. The variants separate what recovery must
+/// distinguish: *torn tails* (an incomplete final record — expected after a
+/// crash, tolerated by discarding it) never surface as errors at all, while
+/// everything here means the log cannot be trusted and the operator must
+/// intervene.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalError {
+    /// The storage layer failed (or a [`crate::FailpointFs`] injected a
+    /// crash). `io::Error` is neither `Clone` nor `PartialEq`, so the kind
+    /// and message are captured as text.
+    Io {
+        /// File the operation targeted.
+        file: String,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// The file does not start with the expected magic number — it is not a
+    /// SAG WAL/snapshot, or its header was overwritten.
+    BadMagic {
+        /// The offending file.
+        file: String,
+        /// The magic actually found.
+        found: u32,
+    },
+    /// A record *before* the final one fails its CRC: the log is corrupt in
+    /// a place a torn write cannot explain, so replay refuses to guess.
+    CorruptChecksum {
+        /// The offending file.
+        file: String,
+        /// Byte offset of the corrupt frame.
+        offset: u64,
+    },
+    /// A snapshot ended mid-structure. Snapshots are written atomically
+    /// (temp file + rename), so unlike a WAL tail this is never expected.
+    Truncated {
+        /// The offending file.
+        file: String,
+    },
+    /// The file was written by a different format version of this crate.
+    VersionMismatch {
+        /// The offending file.
+        file: String,
+        /// Version found in the header.
+        found: u16,
+        /// Version this build writes.
+        expected: u16,
+    },
+    /// Durable state exists on disk for a tenant the recovering service
+    /// does not register — recovery refuses to silently drop a log.
+    UnknownTenant {
+        /// The tenant the orphaned state belongs to.
+        tenant: String,
+    },
+    /// The tenant name recorded inside the file is not the tenant the file
+    /// name maps to (a copied or renamed log).
+    TenantMismatch {
+        /// The offending file.
+        file: String,
+        /// Tenant the service expected.
+        expected: String,
+        /// Tenant recorded in the header.
+        found: String,
+    },
+    /// A frame's payload passed its CRC but does not decode as a known
+    /// record (unknown kind, short body, malformed embedded day log).
+    InvalidRecord {
+        /// The offending file.
+        file: String,
+        /// Byte offset of the frame.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A freshly built durable service found prior state on disk. Building
+    /// would append over history it never replayed; use
+    /// `ServiceBuilder::recover_from` instead.
+    ExistingState {
+        /// The file holding the prior state.
+        file: String,
+    },
+}
+
+impl WalError {
+    /// Build an [`WalError::Io`] from an `std::io::Error`.
+    #[must_use]
+    pub fn io(file: impl Into<String>, error: &std::io::Error) -> Self {
+        WalError::Io {
+            file: file.into(),
+            message: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { file, message } => write!(f, "wal io error on {file}: {message}"),
+            WalError::BadMagic { file, found } => {
+                write!(f, "bad magic number {found:#010x} in {file}")
+            }
+            WalError::CorruptChecksum { file, offset } => {
+                write!(f, "corrupt checksum in {file} at byte {offset}")
+            }
+            WalError::Truncated { file } => write!(f, "{file} is truncated mid-structure"),
+            WalError::VersionMismatch {
+                file,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{file} is format version {found}, this build expects {expected}"
+            ),
+            WalError::UnknownTenant { tenant } => {
+                write!(f, "durable state for unknown tenant {tenant}")
+            }
+            WalError::TenantMismatch {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{file} records tenant {found:?} but belongs to tenant {expected:?}"
+            ),
+            WalError::InvalidRecord {
+                file,
+                offset,
+                reason,
+            } => write!(f, "invalid record in {file} at byte {offset}: {reason}"),
+            WalError::ExistingState { file } => write!(
+                f,
+                "{file} already holds durable state; recover_from it instead of building fresh"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        let cases: Vec<(WalError, &str)> = vec![
+            (
+                WalError::io("t.wal", &std::io::Error::other("boom")),
+                "boom",
+            ),
+            (
+                WalError::BadMagic {
+                    file: "t.wal".into(),
+                    found: 0xDEAD,
+                },
+                "magic",
+            ),
+            (
+                WalError::CorruptChecksum {
+                    file: "t.wal".into(),
+                    offset: 42,
+                },
+                "42",
+            ),
+            (
+                WalError::Truncated {
+                    file: "t.snap".into(),
+                },
+                "truncated",
+            ),
+            (
+                WalError::VersionMismatch {
+                    file: "t.wal".into(),
+                    found: 9,
+                    expected: 1,
+                },
+                "version 9",
+            ),
+            (
+                WalError::UnknownTenant {
+                    tenant: "ghost".into(),
+                },
+                "ghost",
+            ),
+            (
+                WalError::TenantMismatch {
+                    file: "a.wal".into(),
+                    expected: "a".into(),
+                    found: "b".into(),
+                },
+                "belongs to",
+            ),
+            (
+                WalError::InvalidRecord {
+                    file: "t.wal".into(),
+                    offset: 7,
+                    reason: "unknown kind 9".into(),
+                },
+                "unknown kind",
+            ),
+            (
+                WalError::ExistingState {
+                    file: "t.wal".into(),
+                },
+                "recover_from",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The storage seam: [`WalFs`] and its three implementations.
+//!
+//! The service logs through a `Box<dyn WalFs>`, so the same recovery code
+//! path runs against real files ([`DirFs`]), a shared in-memory store
+//! ([`MemFs`]), and a scripted crash ([`FailpointFs`]). Fault-injection
+//! tests build the exact byte stream a killed process leaves behind —
+//! including a half-written final frame — without touching a disk.
+
+use crate::WalError;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Append-only file storage as the WAL needs it: named flat files, append,
+/// durability barrier, atomic whole-file replace, read-back and listing.
+///
+/// Implementations must be `Send` so a durable service stays movable across
+/// threads.
+pub trait WalFs: std::fmt::Debug + Send {
+    /// Append `bytes` to `file`, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the storage fails (possibly mid-write: a
+    /// prefix of `bytes` may have landed — exactly a torn write).
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError>;
+
+    /// Durability barrier: block until `file`'s appended bytes are on
+    /// stable storage. No-op for memory-backed implementations.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the storage fails.
+    fn sync(&mut self, file: &str) -> Result<(), WalError>;
+
+    /// Atomically replace `file`'s contents with `bytes`: observers see
+    /// either the old content or the new, never a mixture.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the storage fails.
+    fn replace(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError>;
+
+    /// The full contents of `file`, or `None` if it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the storage fails.
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, WalError>;
+
+    /// Names of all files present (arbitrary order).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the storage fails.
+    fn list(&self) -> Result<Vec<String>, WalError>;
+
+    /// Delete `file` if it exists.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the storage fails.
+    fn remove(&mut self, file: &str) -> Result<(), WalError>;
+}
+
+/// Real-directory storage: one flat directory, appends through cached file
+/// handles, `replace` via temp file + rename (atomic on POSIX), `sync` via
+/// `File::sync_all`.
+#[derive(Debug)]
+pub struct DirFs {
+    dir: PathBuf,
+    handles: HashMap<String, File>,
+}
+
+impl DirFs {
+    /// Open (creating if needed) the directory at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| WalError::io(dir.display().to_string(), &e))?;
+        Ok(DirFs {
+            dir,
+            handles: HashMap::new(),
+        })
+    }
+
+    /// The directory this store writes into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn handle(&mut self, file: &str) -> Result<&mut File, WalError> {
+        if !self.handles.contains_key(file) {
+            let path = self.dir.join(file);
+            let handle = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| WalError::io(file, &e))?;
+            self.handles.insert(file.to_string(), handle);
+        }
+        Ok(self.handles.get_mut(file).expect("handle just inserted"))
+    }
+}
+
+impl WalFs for DirFs {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.handle(file)?
+            .write_all(bytes)
+            .map_err(|e| WalError::io(file, &e))
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), WalError> {
+        self.handle(file)?
+            .sync_all()
+            .map_err(|e| WalError::io(file, &e))
+    }
+
+    fn replace(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        // Drop the cached append handle: after the rename it would keep
+        // writing into the unlinked old inode.
+        self.handles.remove(file);
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        let target = self.dir.join(file);
+        let write = || -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &target)
+        };
+        write().map_err(|e| WalError::io(file, &e))
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, WalError> {
+        match std::fs::read(self.dir.join(file)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(WalError::io(file, &e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, WalError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| WalError::io(self.dir.display().to_string(), &e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| WalError::io(self.dir.display().to_string(), &e))?;
+            let is_file = entry
+                .file_type()
+                .map_err(|e| WalError::io(self.dir.display().to_string(), &e))?
+                .is_file();
+            if is_file {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), WalError> {
+        self.handles.remove(file);
+        match std::fs::remove_file(self.dir.join(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(WalError::io(file, &e)),
+        }
+    }
+}
+
+/// Shared in-memory storage. `Clone` shares the underlying store, so a test
+/// can keep one handle, hand a clone to a service, "crash" the service by
+/// dropping it, and recover a fresh service from the surviving handle.
+#[derive(Debug, Clone, Default)]
+pub struct MemFs {
+    store: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl MemFs {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    /// Total bytes held across all files (for bench reporting).
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.store
+            .lock()
+            .expect("wal store poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Overwrite `file` with raw `bytes` — for tests that hand-corrupt
+    /// specific offsets.
+    pub fn put(&mut self, file: &str, bytes: Vec<u8>) {
+        self.store
+            .lock()
+            .expect("wal store poisoned")
+            .insert(file.to_string(), bytes);
+    }
+}
+
+impl WalFs for MemFs {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.store
+            .lock()
+            .expect("wal store poisoned")
+            .entry(file.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, _file: &str) -> Result<(), WalError> {
+        Ok(())
+    }
+
+    fn replace(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.put(file, bytes.to_vec());
+        Ok(())
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, WalError> {
+        Ok(self
+            .store
+            .lock()
+            .expect("wal store poisoned")
+            .get(file)
+            .cloned())
+    }
+
+    fn list(&self) -> Result<Vec<String>, WalError> {
+        let mut names: Vec<String> = self
+            .store
+            .lock()
+            .expect("wal store poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), WalError> {
+        self.store.lock().expect("wal store poisoned").remove(file);
+        Ok(())
+    }
+}
+
+/// Deterministic fault injection: wraps any [`WalFs`] and kills a scripted
+/// append after a scripted byte offset, writing only that prefix — exactly
+/// the torn write a power loss leaves behind. After the kill fires, every
+/// further operation fails, like a process that is gone.
+///
+/// ```
+/// use sag_wal::{FailpointFs, MemFs, WalFs};
+///
+/// let mut fs = FailpointFs::new(MemFs::new()).kill_at_append(1, 3);
+/// fs.append("t.wal", b"first").unwrap();           // append #0: untouched
+/// assert!(fs.append("t.wal", b"second").is_err()); // append #1: 3 bytes land
+/// assert!(fs.crashed());
+/// let inner = fs.into_inner();
+/// assert_eq!(inner.read("t.wal").unwrap().unwrap(), b"firstsec");
+/// ```
+#[derive(Debug)]
+pub struct FailpointFs<F: WalFs> {
+    inner: F,
+    /// Kill at this 0-based append index, or `None` for no failpoint.
+    kill_index: Option<u64>,
+    /// Bytes of the doomed append that still land.
+    kill_offset: usize,
+    appends_seen: u64,
+    crashed: bool,
+}
+
+impl<F: WalFs> FailpointFs<F> {
+    /// Wrap `inner` with no failpoint armed.
+    #[must_use]
+    pub fn new(inner: F) -> Self {
+        FailpointFs {
+            inner,
+            kill_index: None,
+            kill_offset: 0,
+            appends_seen: 0,
+            crashed: false,
+        }
+    }
+
+    /// Arm the failpoint: the `index`-th append (0-based, counted across
+    /// all files) writes only its first `offset` bytes, then the "process"
+    /// dies.
+    #[must_use]
+    pub fn kill_at_append(mut self, index: u64, offset: usize) -> Self {
+        self.kill_index = Some(index);
+        self.kill_offset = offset;
+        self
+    }
+
+    /// Whether the scripted crash has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Appends observed so far (the next append's index).
+    #[must_use]
+    pub fn appends_seen(&self) -> u64 {
+        self.appends_seen
+    }
+
+    /// Unwrap the surviving storage, as recovery would see it.
+    #[must_use]
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+
+    fn check_alive(&self, file: &str) -> Result<(), WalError> {
+        if self.crashed {
+            return Err(WalError::Io {
+                file: file.to_string(),
+                message: "injected crash: process is down".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<F: WalFs> WalFs for FailpointFs<F> {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.check_alive(file)?;
+        let index = self.appends_seen;
+        self.appends_seen += 1;
+        if self.kill_index == Some(index) {
+            let torn = &bytes[..self.kill_offset.min(bytes.len())];
+            if !torn.is_empty() {
+                self.inner.append(file, torn)?;
+            }
+            self.crashed = true;
+            return Err(WalError::Io {
+                file: file.to_string(),
+                message: format!(
+                    "injected crash at append #{index} after {} of {} bytes",
+                    torn.len(),
+                    bytes.len()
+                ),
+            });
+        }
+        self.inner.append(file, bytes)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), WalError> {
+        self.check_alive(file)?;
+        self.inner.sync(file)
+    }
+
+    fn replace(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        self.check_alive(file)?;
+        self.inner.replace(file, bytes)
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, WalError> {
+        self.check_alive(file)?;
+        self.inner.read(file)
+    }
+
+    fn list(&self) -> Result<Vec<String>, WalError> {
+        self.check_alive("")?;
+        self.inner.list()
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), WalError> {
+        self.check_alive(file)?;
+        self.inner.remove(file)
+    }
+}
+
+impl WalFs for Box<dyn WalFs> {
+    fn append(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        (**self).append(file, bytes)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<(), WalError> {
+        (**self).sync(file)
+    }
+
+    fn replace(&mut self, file: &str, bytes: &[u8]) -> Result<(), WalError> {
+        (**self).replace(file, bytes)
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>, WalError> {
+        (**self).read(file)
+    }
+
+    fn list(&self) -> Result<Vec<String>, WalError> {
+        (**self).list()
+    }
+
+    fn remove(&mut self, file: &str) -> Result<(), WalError> {
+        (**self).remove(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_clone_shares_the_store_and_appends_accumulate() {
+        let mut a = MemFs::new();
+        let b = a.clone();
+        a.append("t.wal", b"ab").unwrap();
+        a.append("t.wal", b"cd").unwrap();
+        assert_eq!(b.read("t.wal").unwrap().unwrap(), b"abcd");
+        assert_eq!(b.total_bytes(), 4);
+        a.replace("t.wal", b"z").unwrap();
+        assert_eq!(b.read("t.wal").unwrap().unwrap(), b"z");
+        assert_eq!(b.list().unwrap(), vec!["t.wal".to_string()]);
+        a.remove("t.wal").unwrap();
+        assert_eq!(b.read("t.wal").unwrap(), None);
+        a.remove("t.wal").unwrap();
+    }
+
+    #[test]
+    fn failpoint_tears_the_scripted_append_and_stays_dead() {
+        let mut fs = FailpointFs::new(MemFs::new()).kill_at_append(2, 1);
+        fs.append("a", b"one").unwrap();
+        fs.append("b", b"two").unwrap();
+        assert!(!fs.crashed());
+        let err = fs.append("a", b"three").unwrap_err();
+        assert!(matches!(err, WalError::Io { .. }), "{err:?}");
+        assert!(fs.crashed());
+        assert!(fs.append("a", b"x").is_err());
+        assert!(fs.sync("a").is_err());
+        assert!(fs.read("a").is_err());
+        assert!(fs.list().is_err());
+        let inner = fs.into_inner();
+        assert_eq!(inner.read("a").unwrap().unwrap(), b"onet");
+        assert_eq!(inner.read("b").unwrap().unwrap(), b"two");
+    }
+
+    #[test]
+    fn failpoint_offset_zero_loses_the_whole_append() {
+        let mut fs = FailpointFs::new(MemFs::new()).kill_at_append(0, 0);
+        assert!(fs.append("a", b"gone").is_err());
+        assert_eq!(fs.into_inner().read("a").unwrap(), None);
+    }
+}

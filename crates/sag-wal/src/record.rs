@@ -1,0 +1,511 @@
+//! WAL records: the framed codec and the tail-tolerant scanner.
+
+use crate::{crc32, WalError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sag_sim::binary::{decode_day, encode_day};
+use sag_sim::{Alert, AlertTypeId, DayLog, TimeOfDay};
+
+/// Magic number opening every WAL file ("SAGW").
+pub const WAL_MAGIC: u32 = 0x5341_4757;
+
+/// Format version this build reads and writes.
+pub const WAL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload. A real record is a few tens of bytes
+/// (or one day log); a length beyond this is corruption, not data.
+pub const MAX_RECORD: usize = 1 << 24;
+
+const KIND_OPEN_DAY: u8 = 1;
+const KIND_PUSH_ALERT: u8 = 2;
+const KIND_FINISH_DAY: u8 = 3;
+const KIND_HISTORY_DAY: u8 = 4;
+
+/// One durable mutation of the audit service, as logged before it is
+/// acknowledged. The payload carries exactly what replay needs to rebuild
+/// the session bitwise — person references are not serialised, matching
+/// [`sag_sim::binary`]: the game consumes only `(day, time, type,
+/// is_attack)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A session was opened for this tenant.
+    OpenDay {
+        /// The service-unique session id handed out.
+        session: u64,
+        /// Pinned day index, if the request carried one.
+        day: Option<u32>,
+        /// Budget override, if the request carried one.
+        budget: Option<f64>,
+    },
+    /// A warning decision was committed for one arriving alert.
+    PushAlert {
+        /// The session the alert was pushed into.
+        session: u64,
+        /// The alert, minus person references.
+        alert: Alert,
+    },
+    /// The session was closed and its cycle result returned.
+    FinishDay {
+        /// The session that finished.
+        session: u64,
+    },
+    /// A finished day was appended to the tenant's rolling history.
+    HistoryDay(DayLog),
+}
+
+impl WalRecord {
+    /// Encode the record's payload (no frame).
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            WalRecord::OpenDay {
+                session,
+                day,
+                budget,
+            } => {
+                buf.put_u8(KIND_OPEN_DAY);
+                buf.put_u64_le(*session);
+                let mut flags = 0u8;
+                if day.is_some() {
+                    flags |= 1;
+                }
+                if budget.is_some() {
+                    flags |= 2;
+                }
+                buf.put_u8(flags);
+                if let Some(day) = day {
+                    buf.put_u32_le(*day);
+                }
+                if let Some(budget) = budget {
+                    buf.put_u64_le(budget.to_bits());
+                }
+            }
+            WalRecord::PushAlert { session, alert } => {
+                buf.put_u8(KIND_PUSH_ALERT);
+                buf.put_u64_le(*session);
+                buf.put_u32_le(alert.day);
+                buf.put_u32_le(alert.time.seconds());
+                buf.put_u16_le(alert.type_id.0);
+                buf.put_u8(u8::from(alert.is_attack));
+            }
+            WalRecord::FinishDay { session } => {
+                buf.put_u8(KIND_FINISH_DAY);
+                buf.put_u64_le(*session);
+            }
+            WalRecord::HistoryDay(day) => {
+                buf.put_u8(KIND_HISTORY_DAY);
+                buf.extend_from_slice(&encode_day(day));
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Encode the record as one complete frame:
+    /// `len:u32 crc:u32 payload[len]`.
+    #[must_use]
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut buf = BytesMut::with_capacity(8 + payload.len());
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_u32_le(crc32(&payload));
+        buf.extend_from_slice(&payload);
+        buf.to_vec()
+    }
+
+    fn decode_payload(payload: &[u8], file: &str, offset: u64) -> Result<WalRecord, WalError> {
+        let invalid = |reason: &str| WalError::InvalidRecord {
+            file: file.to_string(),
+            offset,
+            reason: reason.to_string(),
+        };
+        let mut buf = Bytes::from(payload.to_vec());
+        if buf.remaining() < 1 {
+            return Err(invalid("empty payload"));
+        }
+        let kind = buf.get_u8();
+        match kind {
+            KIND_OPEN_DAY => {
+                if buf.remaining() < 9 {
+                    return Err(invalid("short OpenDay body"));
+                }
+                let session = buf.get_u64_le();
+                let flags = buf.get_u8();
+                let day = if flags & 1 != 0 {
+                    if buf.remaining() < 4 {
+                        return Err(invalid("short OpenDay day field"));
+                    }
+                    Some(buf.get_u32_le())
+                } else {
+                    None
+                };
+                let budget = if flags & 2 != 0 {
+                    if buf.remaining() < 8 {
+                        return Err(invalid("short OpenDay budget field"));
+                    }
+                    Some(f64::from_bits(buf.get_u64_le()))
+                } else {
+                    None
+                };
+                Ok(WalRecord::OpenDay {
+                    session,
+                    day,
+                    budget,
+                })
+            }
+            KIND_PUSH_ALERT => {
+                if buf.remaining() < 19 {
+                    return Err(invalid("short PushAlert body"));
+                }
+                let session = buf.get_u64_le();
+                let day = buf.get_u32_le();
+                let seconds = buf.get_u32_le();
+                let type_id = buf.get_u16_le();
+                let flags = buf.get_u8();
+                Ok(WalRecord::PushAlert {
+                    session,
+                    alert: Alert {
+                        day,
+                        time: TimeOfDay::from_seconds(seconds),
+                        type_id: AlertTypeId(type_id),
+                        employee: None,
+                        patient: None,
+                        is_attack: flags & 1 != 0,
+                    },
+                })
+            }
+            KIND_FINISH_DAY => {
+                if buf.remaining() < 8 {
+                    return Err(invalid("short FinishDay body"));
+                }
+                Ok(WalRecord::FinishDay {
+                    session: buf.get_u64_le(),
+                })
+            }
+            KIND_HISTORY_DAY => {
+                let day = decode_day(&mut buf)
+                    .map_err(|e| invalid(&format!("malformed embedded day log: {e}")))?;
+                Ok(WalRecord::HistoryDay(day))
+            }
+            other => Err(invalid(&format!("unknown record kind {other}"))),
+        }
+    }
+}
+
+/// Encode a WAL file header for `tenant`.
+///
+/// # Panics
+///
+/// Panics if the tenant name exceeds `u16::MAX` bytes.
+#[must_use]
+pub fn encode_wal_header(tenant: &str) -> Vec<u8> {
+    assert!(
+        tenant.len() <= usize::from(u16::MAX),
+        "tenant name too long"
+    );
+    let mut buf = BytesMut::with_capacity(8 + tenant.len());
+    buf.put_u32_le(WAL_MAGIC);
+    buf.put_u16_le(WAL_VERSION);
+    buf.put_u16_le(tenant.len() as u16);
+    buf.extend_from_slice(tenant.as_bytes());
+    buf.to_vec()
+}
+
+/// Parse a WAL header. `Ok(None)` means the file ends inside the header —
+/// a crash during log creation, before any record could have been
+/// acknowledged; callers may rewrite the header and carry on.
+///
+/// # Errors
+///
+/// [`WalError::BadMagic`] / [`WalError::VersionMismatch`] /
+/// [`WalError::InvalidRecord`] when the header bytes present are wrong
+/// rather than missing.
+pub fn decode_wal_header(bytes: &[u8], file: &str) -> Result<Option<(String, usize)>, WalError> {
+    if bytes.len() < 4 {
+        return Ok(None);
+    }
+    let mut buf = Bytes::from(bytes[..bytes.len().min(8)].to_vec());
+    let magic = buf.get_u32_le();
+    if magic != WAL_MAGIC {
+        return Err(WalError::BadMagic {
+            file: file.to_string(),
+            found: magic,
+        });
+    }
+    if bytes.len() < 6 {
+        return Ok(None);
+    }
+    let version = buf.get_u16_le();
+    if version != WAL_VERSION {
+        return Err(WalError::VersionMismatch {
+            file: file.to_string(),
+            found: version,
+            expected: WAL_VERSION,
+        });
+    }
+    if bytes.len() < 8 {
+        return Ok(None);
+    }
+    let tenant_len = usize::from(buf.get_u16_le());
+    if bytes.len() < 8 + tenant_len {
+        return Ok(None);
+    }
+    let tenant =
+        std::str::from_utf8(&bytes[8..8 + tenant_len]).map_err(|_| WalError::InvalidRecord {
+            file: file.to_string(),
+            offset: 8,
+            reason: "tenant name is not UTF-8".to_string(),
+        })?;
+    Ok(Some((tenant.to_string(), 8 + tenant_len)))
+}
+
+/// The result of scanning one WAL file: every complete, checksummed record
+/// in order, plus what the scan had to tolerate at the tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Tenant recorded in the header; `None` when the header itself was
+    /// torn (which also implies no records).
+    pub tenant: Option<String>,
+    /// Every complete record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Whether an incomplete final frame (torn write / truncated tail) was
+    /// discarded.
+    pub torn_tail: bool,
+}
+
+/// Scan a WAL file's bytes, tolerating a torn tail.
+///
+/// The tail rules mirror what a crashed append can physically leave
+/// behind — a *prefix* of one frame at the end of the file:
+///
+/// * fewer than 8 bytes of frame header left → torn tail, discarded;
+/// * declared length overruns the end of file → torn tail, discarded;
+/// * CRC mismatch on a frame that ends exactly at EOF → torn tail,
+///   discarded;
+/// * CRC mismatch on any earlier frame → [`WalError::CorruptChecksum`]
+///   (a torn write cannot corrupt a record with data after it).
+///
+/// # Errors
+///
+/// Header errors from [`decode_wal_header`], [`WalError::CorruptChecksum`]
+/// for mid-file corruption, and [`WalError::InvalidRecord`] for a frame
+/// that checksums correctly but does not decode.
+pub fn read_wal(bytes: &[u8], file: &str) -> Result<WalScan, WalError> {
+    let Some((tenant, header_len)) = decode_wal_header(bytes, file)? else {
+        return Ok(WalScan {
+            tenant: None,
+            records: Vec::new(),
+            torn_tail: !bytes.is_empty(),
+        });
+    };
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut offset = header_len;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < 8 {
+            torn_tail = true;
+            break;
+        }
+        let mut head = Bytes::from(bytes[offset..offset + 8].to_vec());
+        let len = head.get_u32_le() as usize;
+        let crc = head.get_u32_le();
+        if len > remaining - 8 {
+            // The frame claims more bytes than the file holds. Either the
+            // length field itself is a torn prefix or the payload is; both
+            // are the expected signature of a crashed append.
+            torn_tail = true;
+            break;
+        }
+        if len > MAX_RECORD {
+            return Err(WalError::InvalidRecord {
+                file: file.to_string(),
+                offset: offset as u64,
+                reason: format!("oversized frame ({len} bytes)"),
+            });
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        if crc32(payload) != crc {
+            if offset + 8 + len == bytes.len() {
+                // Final frame: a torn write that stopped inside the payload
+                // after the full length happened to be there, or a tear
+                // within the last sector. Discard it.
+                torn_tail = true;
+                break;
+            }
+            return Err(WalError::CorruptChecksum {
+                file: file.to_string(),
+                offset: offset as u64,
+            });
+        }
+        records.push(WalRecord::decode_payload(payload, file, offset as u64)?);
+        offset += 8 + len;
+    }
+    Ok(WalScan {
+        tenant: Some(tenant),
+        records,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sag_sim::{StreamConfig, StreamGenerator};
+
+    fn sample_records() -> Vec<WalRecord> {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(5));
+        let day = gen.generate_day(3);
+        let alert = day.alerts()[0];
+        vec![
+            WalRecord::OpenDay {
+                session: 7,
+                day: Some(3),
+                budget: Some(12.5),
+            },
+            WalRecord::OpenDay {
+                session: 8,
+                day: None,
+                budget: None,
+            },
+            WalRecord::PushAlert { session: 7, alert },
+            WalRecord::FinishDay { session: 7 },
+            WalRecord::HistoryDay(day),
+        ]
+    }
+
+    fn wal_bytes(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = encode_wal_header("icu");
+        for record in records {
+            bytes.extend_from_slice(&record.encode_framed());
+        }
+        bytes
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let records = sample_records();
+        let scan = read_wal(&wal_bytes(&records), "icu.wal").unwrap();
+        assert_eq!(scan.tenant.as_deref(), Some("icu"));
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.records.len(), records.len());
+        for (a, b) in records.iter().zip(&scan.records) {
+            match (a, b) {
+                // Person references are intentionally dropped in the codec.
+                (
+                    WalRecord::PushAlert { session, alert },
+                    WalRecord::PushAlert {
+                        session: s2,
+                        alert: a2,
+                    },
+                ) => {
+                    assert_eq!(session, s2);
+                    assert_eq!(alert.day, a2.day);
+                    assert_eq!(alert.time, a2.time);
+                    assert_eq!(alert.type_id, a2.type_id);
+                    assert_eq!(alert.is_attack, a2.is_attack);
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn every_possible_torn_prefix_is_tolerated() {
+        let records = sample_records();
+        let full = wal_bytes(&records);
+        let header_len = encode_wal_header("icu").len();
+        // Every strict prefix of the file is what some crash could leave.
+        for cut in 0..full.len() {
+            let scan = read_wal(&full[..cut], "icu.wal").unwrap();
+            if cut < header_len {
+                assert_eq!(scan.tenant, None, "cut={cut}");
+                assert!(scan.records.is_empty());
+            } else {
+                assert_eq!(scan.tenant.as_deref(), Some("icu"));
+                // Only whole frames survive; the torn flag fires unless the
+                // cut lands exactly on a frame boundary.
+                let mut boundary = header_len;
+                let mut whole = 0;
+                for record in &records {
+                    let next = boundary + record.encode_framed().len();
+                    if next > cut {
+                        break;
+                    }
+                    boundary = next;
+                    whole += 1;
+                }
+                assert_eq!(scan.records.len(), whole, "cut={cut}");
+                assert_eq!(scan.torn_tail, cut != boundary, "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error_but_tail_corruption_is_torn() {
+        let records = sample_records();
+        let mut bytes = wal_bytes(&records);
+        let header_len = encode_wal_header("icu").len();
+
+        // Flip a payload byte in the FIRST frame: corruption before the
+        // tail must refuse to replay.
+        let mut corrupt = bytes.clone();
+        corrupt[header_len + 8] ^= 0xFF;
+        let err = read_wal(&corrupt, "icu.wal").unwrap_err();
+        assert!(
+            matches!(err, WalError::CorruptChecksum { offset, .. } if offset == header_len as u64),
+            "{err:?}"
+        );
+
+        // Flip a byte in the LAST frame's payload: indistinguishable from a
+        // sector tear, discarded as the torn tail.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let scan = read_wal(&bytes, "icu.wal").unwrap();
+        assert_eq!(scan.records.len(), records.len() - 1);
+        assert!(scan.torn_tail);
+    }
+
+    #[test]
+    fn header_problems_are_structured() {
+        let err = read_wal(b"NOTAWAL\x00\x00\x00\x00\x00", "x.wal").unwrap_err();
+        assert!(matches!(err, WalError::BadMagic { .. }), "{err:?}");
+
+        let mut wrong_version = encode_wal_header("t");
+        wrong_version[4] = 99;
+        let err = read_wal(&wrong_version, "t.wal").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WalError::VersionMismatch {
+                    found: 99,
+                    expected: WAL_VERSION,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        // An empty file is a valid "nothing yet" state, not torn.
+        let scan = read_wal(b"", "t.wal").unwrap();
+        assert_eq!(scan.tenant, None);
+        assert!(!scan.torn_tail);
+    }
+
+    #[test]
+    fn valid_checksum_with_garbage_payload_is_invalid_record() {
+        let mut bytes = encode_wal_header("t");
+        let payload = [42u8, 1, 2, 3];
+        let mut frame = BytesMut::with_capacity(8 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32(&payload));
+        frame.extend_from_slice(&payload);
+        bytes.extend_from_slice(&frame);
+        // A trailing valid record proves the garbage frame is not the tail.
+        bytes.extend_from_slice(&WalRecord::FinishDay { session: 1 }.encode_framed());
+        let err = read_wal(&bytes, "t.wal").unwrap_err();
+        assert!(
+            matches!(err, WalError::InvalidRecord { ref reason, .. } if reason.contains("unknown record kind")),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Tenant snapshots: the periodic full-state copy that lets the WAL be
+//! truncated.
+
+use crate::{crc32, WalError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sag_sim::binary::{decode_day, encode_day};
+use sag_sim::DayLog;
+
+/// Magic number opening every snapshot file ("SAGS").
+pub const SNAPSHOT_MAGIC: u32 = 0x5341_4753;
+
+/// Everything the service must retain about a tenant when its WAL is
+/// truncated: the rolling history window and the session-id counter (ids
+/// are never reused, so the counter must survive restarts).
+///
+/// Snapshots are written atomically (temp file + rename by
+/// [`crate::DirFs`]), so unlike the WAL they are *never* expected to be
+/// torn: any decode failure is a hard error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The tenant this snapshot belongs to.
+    pub tenant: String,
+    /// The service's next-session counter at snapshot time.
+    pub next_session: u64,
+    /// Byte length of the tenant's WAL this snapshot supersedes. A
+    /// snapshot is written first and the WAL truncated second; if a crash
+    /// lands between the two, recovery recognises the stale WAL by this
+    /// length plus [`wal_crc`](Self::wal_crc) and finishes the truncation
+    /// instead of replaying days the snapshot already contains.
+    pub wal_len: u64,
+    /// CRC-32 of the superseded WAL bytes (see [`wal_len`](Self::wal_len)).
+    pub wal_crc: u32,
+    /// The tenant's rolling history window, oldest day first.
+    pub history: Vec<DayLog>,
+}
+
+impl Snapshot {
+    /// Encode the snapshot, CRC-sealed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant name exceeds `u16::MAX` bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.tenant.len() <= usize::from(u16::MAX),
+            "tenant name too long"
+        );
+        let mut buf = BytesMut::with_capacity(32 + self.history.len() * 64);
+        buf.put_u32_le(SNAPSHOT_MAGIC);
+        buf.put_u16_le(crate::WAL_VERSION);
+        buf.put_u16_le(self.tenant.len() as u16);
+        buf.extend_from_slice(self.tenant.as_bytes());
+        buf.put_u64_le(self.next_session);
+        buf.put_u64_le(self.wal_len);
+        buf.put_u32_le(self.wal_crc);
+        buf.put_u32_le(self.history.len() as u32);
+        for day in &self.history {
+            buf.extend_from_slice(&encode_day(day));
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.to_vec()
+    }
+
+    /// Decode and verify a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::BadMagic`], [`WalError::VersionMismatch`],
+    /// [`WalError::Truncated`] when the structure ends early, and
+    /// [`WalError::CorruptChecksum`] when the sealing CRC does not match.
+    pub fn decode(bytes: &[u8], file: &str) -> Result<Snapshot, WalError> {
+        let truncated = || WalError::Truncated {
+            file: file.to_string(),
+        };
+        if bytes.len() < 12 {
+            return Err(truncated());
+        }
+        // Verify the seal first: everything else assumes intact bytes.
+        let body = &bytes[..bytes.len() - 4];
+        let mut tail = Bytes::from(bytes[bytes.len() - 4..].to_vec());
+        if crc32(body) != tail.get_u32_le() {
+            return Err(WalError::CorruptChecksum {
+                file: file.to_string(),
+                offset: 0,
+            });
+        }
+        let mut buf = Bytes::from(body.to_vec());
+        let magic = buf.get_u32_le();
+        if magic != SNAPSHOT_MAGIC {
+            return Err(WalError::BadMagic {
+                file: file.to_string(),
+                found: magic,
+            });
+        }
+        let version = buf.get_u16_le();
+        if version != crate::WAL_VERSION {
+            return Err(WalError::VersionMismatch {
+                file: file.to_string(),
+                found: version,
+                expected: crate::WAL_VERSION,
+            });
+        }
+        let tenant_len = usize::from(buf.get_u16_le());
+        if buf.remaining() < tenant_len + 24 {
+            return Err(truncated());
+        }
+        let mut tenant_bytes = vec![0u8; tenant_len];
+        buf.copy_to_slice(&mut tenant_bytes);
+        let tenant = String::from_utf8(tenant_bytes).map_err(|_| WalError::InvalidRecord {
+            file: file.to_string(),
+            offset: 8,
+            reason: "tenant name is not UTF-8".to_string(),
+        })?;
+        let next_session = buf.get_u64_le();
+        let wal_len = buf.get_u64_le();
+        let wal_crc = buf.get_u32_le();
+        let num_days = buf.get_u32_le() as usize;
+        let mut history = Vec::with_capacity(num_days);
+        for _ in 0..num_days {
+            history.push(decode_day(&mut buf).map_err(|_| truncated())?);
+        }
+        Ok(Snapshot {
+            tenant,
+            next_session,
+            wal_len,
+            wal_crc,
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sag_sim::{StreamConfig, StreamGenerator};
+
+    fn sample() -> Snapshot {
+        let mut gen = StreamGenerator::new(StreamConfig::paper_multi_type(4));
+        Snapshot {
+            tenant: "ward 7".to_string(),
+            next_session: 42,
+            wal_len: 123,
+            wal_crc: 0xABCD_EF01,
+            history: gen.generate_days(3),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode(), "w.snap").unwrap();
+        assert_eq!(decoded.tenant, snap.tenant);
+        assert_eq!(decoded.next_session, snap.next_session);
+        assert_eq!(decoded.wal_len, snap.wal_len);
+        assert_eq!(decoded.wal_crc, snap.wal_crc);
+        assert_eq!(decoded.history.len(), snap.history.len());
+        for (a, b) in snap.history.iter().zip(&decoded.history) {
+            assert_eq!(a.day(), b.day());
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn any_truncation_or_bitflip_is_rejected() {
+        let bytes = sample().encode();
+        // Truncations: either too short outright or a broken seal.
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            let err = Snapshot::decode(&bytes[..cut], "w.snap").unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WalError::Truncated { .. } | WalError::CorruptChecksum { .. }
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+        // A flipped byte anywhere breaks the seal.
+        for at in [0, 6, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x01;
+            let err = Snapshot::decode(&corrupt, "w.snap").unwrap_err();
+            assert!(
+                matches!(err, WalError::CorruptChecksum { .. }),
+                "at={at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_structured() {
+        let mut snap = sample();
+        snap.tenant = "t".to_string();
+        let good = snap.encode();
+
+        // Re-seal with a wrong magic so the CRC passes but the magic fails.
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] ^= 0xFF;
+        let body_len = wrong_magic.len() - 4;
+        let crc = crate::crc32(&wrong_magic[..body_len]).to_le_bytes();
+        wrong_magic[body_len..].copy_from_slice(&crc);
+        assert!(matches!(
+            Snapshot::decode(&wrong_magic, "t.snap").unwrap_err(),
+            WalError::BadMagic { .. }
+        ));
+
+        let mut wrong_version = good;
+        wrong_version[4] = 0xEE;
+        let body_len = wrong_version.len() - 4;
+        let crc = crate::crc32(&wrong_version[..body_len]).to_le_bytes();
+        wrong_version[body_len..].copy_from_slice(&crc);
+        assert!(matches!(
+            Snapshot::decode(&wrong_version, "t.snap").unwrap_err(),
+            WalError::VersionMismatch { found: 0xEE, .. }
+        ));
+    }
+}

@@ -1,76 +1,140 @@
-//! Hardening the warning policy against attackers who do not behave exactly
-//! as the model assumes.
+//! Warnings that survive a crash: kill the audit service mid-day, recover
+//! from its write-ahead log, and finish with bitwise-identical results.
 //!
-//! The standard OSSP makes a warned attacker *exactly indifferent* between
-//! proceeding and quitting. That is optimal against a perfectly rational
-//! attacker, but brittle: an attacker who overestimates his gains by a few
-//! percent — or who suffers from alert fatigue and clicks through warnings —
-//! will proceed, and the auditor eats the loss. This example shows how to use
-//! the robustness extension to trade a little nominal utility for a explicit
-//! deterrence margin, and how the two policies compare as the fraction of
-//! warning-ignoring attackers grows.
+//! A warning is a *commitment* — the paper's signaling schemes only deter
+//! because the attacker believes the auditor will follow through. A service
+//! that forgets its half-finished day on a crash breaks that commitment:
+//! budget already spent on warnings evaporates, and the replacement process
+//! re-decides alerts it already answered. The durable `AuditService` closes
+//! the gap by logging every mutation to a per-tenant, checksummed WAL
+//! *before* acknowledging it, so a restart replays the day back to the
+//! exact committed state.
+//!
+//! This example stages the full lifecycle against a real directory:
+//!
+//! 1. run an uninterrupted day as the ground truth;
+//! 2. run the same day durably and kill the process mid-day;
+//! 3. hand-tear the WAL tail, as a power loss mid-write would;
+//! 4. recover with `ServiceBuilder::recover_from`, resume, finish — and
+//!    assert the utilities match the uninterrupted run exactly.
 //!
 //! Run with: `cargo run --release --example robust_warnings`
 
-use sag::core::robust::{evaluate_against_oblivious, robust_ossp};
 use sag::prelude::*;
 
-fn main() {
-    // Type 4 (Same Address) from the paper's Table 2, at a realistic
-    // mid-morning coverage level.
-    let payoffs = *PayoffTable::paper_table2().get(AlertTypeId(3));
-    let theta = 0.20;
+/// Zero the wall-clock timing field so two runs can be compared exactly.
+fn untimed(mut cycle: CycleResult) -> CycleResult {
+    for o in &mut cycle.outcomes {
+        o.solve_micros = 0;
+    }
+    cycle
+}
 
-    let standard = ossp_closed_form(&payoffs, theta);
-    println!("standard OSSP at theta = {theta}");
-    println!(
-        "  auditor expected utility (rational attacker): {:8.2}",
-        standard.auditor_utility
-    );
-    println!(
-        "  conditional utility a warned attacker sees    : {:8.2}",
-        standard.scheme.audit_given_warning() * payoffs.attacker_covered
-            + (1.0 - standard.scheme.audit_given_warning()) * payoffs.attacker_uncovered
-    );
+fn builder(history: Vec<sag::sim::DayLog>) -> ServiceBuilder {
+    AuditService::builder().workers(0).tenant_with_history(
+        "county-hospital",
+        EngineBuilder::paper_multi_type(),
+        history,
+    )
+}
 
-    // Demand a deterrence margin of 150 utility units: a warned attacker must
-    // expect to LOSE at least 150 by proceeding.
-    let margin = 150.0;
-    let robust = robust_ossp(&payoffs, theta, margin);
-    println!("\nmargin-robust OSSP (margin = {margin})");
+fn main() -> sag::Result<()> {
+    // The WAL lives in a real directory under target/ so a rerun starts
+    // clean but the bytes are inspectable after a run.
+    let wal_dir = std::path::Path::new("target").join("robust_warnings_wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let mut generator = StreamGenerator::new(StreamConfig::paper_multi_type(41));
+    let (history, mut test_days) = generator.generate_split(8, 1);
+    let day = test_days.remove(0);
+    let hospital = TenantId::from("county-hospital");
+
+    // 1. Ground truth: the same day with no crash and no WAL.
+    let control_service = builder(history.clone()).build()?;
+    let control = untimed(control_service.open_day(&hospital, None)?.drive(&day)?);
     println!(
-        "  auditor expected utility (rational attacker): {:8.2}",
-        robust.auditor_utility
-    );
-    println!(
-        "  achieved deterrence margin                   : {:8.2}",
-        robust.achieved_margin
-    );
-    println!(
-        "  margin feasible at this coverage             : {}",
-        robust.margin_feasible
-    );
-    println!(
-        "  cost of robustness (utility given up)        : {:8.2}",
-        standard.auditor_utility - robust.auditor_utility
+        "uninterrupted day: {} alerts, mean OSSP utility {:.2}",
+        control.len(),
+        control.mean_ossp_utility().unwrap_or(0.0)
     );
 
-    // How do the two commitments fare when a fraction rho of attackers
-    // ignores the warning entirely?
-    println!(
-        "\n{:>6} {:>18} {:>18}",
-        "rho", "standard scheme", "robust scheme"
-    );
-    for rho in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
-        let (standard_utility, _) = evaluate_against_oblivious(&standard.scheme, &payoffs, rho);
-        let (robust_utility, _) = evaluate_against_oblivious(&robust.scheme, &payoffs, rho);
-        println!("{rho:>6.2} {standard_utility:>18.2} {robust_utility:>18.2}");
+    // 2. The durable run: every OpenDay/PushAlert is on disk before it is
+    //    acknowledged. We push just over half the day, then the "process"
+    //    dies — here, the service is dropped on the floor.
+    let kill_at = day.len() / 2 + 1;
+    let session;
+    {
+        let mut service = builder(history.clone()).durable(&wal_dir).build()?;
+        let Response::DayOpened { session: id, .. } = service.handle(Request::OpenDay {
+            tenant: hospital.clone(),
+            budget: None,
+            day: Some(day.day()),
+        })?
+        else {
+            unreachable!()
+        };
+        session = id;
+        for alert in &day.alerts()[..kill_at] {
+            service.handle(Request::PushAlert {
+                session,
+                alert: *alert,
+            })?;
+        }
+        println!(
+            "durable run killed after alert {kill_at}/{} on {session}",
+            day.len()
+        );
+        // <-- power loss. Everything in memory is gone.
     }
 
+    // 3. Worse: the crash landed mid-write, leaving half a frame at the
+    //    tail of the log. Recovery discards a torn final record — it was
+    //    never acknowledged, so nobody is owed it.
+    let wal_file = wal_dir.join("county-hospital.wal");
+    let mut bytes = std::fs::read(&wal_file).expect("wal file exists");
+    let intact = bytes.len();
+    bytes.extend_from_slice(&[0x2a; 11]);
+    std::fs::write(&wal_file, &bytes).expect("wal file writable");
+    println!("tore the WAL tail: {intact} intact bytes + 11 garbage bytes appended");
+
+    // 4. The restarted deployment makes one call. The torn tail is
+    //    dropped, the day is rebuilt to the exact committed state, and the
+    //    session id survives.
+    let mut recovered = builder(history).recover_from(&wal_dir)?;
+    let handle = recovered
+        .session(session)
+        .expect("mid-day session recovered");
+    let done = handle.alerts_processed();
     println!(
-        "\nReading the table: at rho = 0 the standard scheme is (weakly) better — it is the\n\
-         optimum of the perfectly-rational model. As rho grows, both schemes lose value, but\n\
-         the robust scheme's stronger warning keeps more of the audit probability where the\n\
-         ignoring attackers actually get caught."
+        "recovered {session}: {done} alerts already committed, budgets ({:.2}, {:.2})",
+        handle.remaining_budget_ossp(),
+        handle.remaining_budget_online()
     );
+    assert_eq!(done, kill_at, "recovery must land on the committed state");
+
+    // Resume the feed where the recovered session says it stopped.
+    for alert in &day.alerts()[done..] {
+        recovered.handle(Request::PushAlert {
+            session,
+            alert: *alert,
+        })?;
+    }
+    let Response::DayClosed { result, .. } = recovered.handle(Request::FinishDay { session })?
+    else {
+        unreachable!()
+    };
+    let result = untimed(result);
+    println!(
+        "finished after recovery: {} alerts, mean OSSP utility {:.2}",
+        result.len(),
+        result.mean_ossp_utility().unwrap_or(0.0)
+    );
+
+    // The whole point: the crash is invisible in the results.
+    assert_eq!(
+        result, control,
+        "recovered day must be bitwise identical to the uninterrupted day"
+    );
+    println!("crash + torn tail + recovery = bitwise-identical day ✓");
+    Ok(())
 }

@@ -268,6 +268,74 @@ def main():
                 + (f" — {note}" if note else "")
             )
 
+    # ---- BENCH_2: WAL cost and crash recovery ------------------------------
+    # The durability section logs a 10k-alert day through the write-ahead
+    # log (fsync on and off) and recovers it from the surviving bytes. The
+    # bitwise-equality flag is a hard correctness gate: a recovered day that
+    # diverges from the uninterrupted run is a bug regardless of runner
+    # noise. Throughput floors are absolute like the scenario replays —
+    # fsync-on gets a much lower floor because a barrier per record is
+    # disk-bound, not CPU-bound, and CI disks vary wildly.
+    durability = scenarios.get("durability")
+    durability_ok = isinstance(durability, dict)
+    check(
+        "durability.present",
+        durability_ok,
+        "BENCH_2 carries a durability block",
+    )
+    if durability_ok:
+        check(
+            "durability.alerts",
+            durability["alerts"] >= 10000,
+            f'{durability["alerts"]} alerts logged and recovered',
+        )
+        check(
+            "durability.recovered_bitwise_equal",
+            durability.get("recovered_bitwise_equal") is True,
+            "recovered day matches the uninterrupted run bitwise",
+        )
+        check(
+            "durability.fsync_off_alerts_per_sec",
+            durability["fsync_off_alerts_per_sec"] >= scenario_floor_aps,
+            f'{durability["fsync_off_alerts_per_sec"]:.0f} alerts/sec '
+            f"(floor {scenario_floor_aps:.0f})",
+        )
+        check(
+            "durability.fsync_on_alerts_per_sec",
+            durability["fsync_on_alerts_per_sec"] >= 25.0,
+            f'{durability["fsync_on_alerts_per_sec"]:.0f} alerts/sec '
+            "(floor 25, disk-bound)",
+        )
+        check(
+            "durability.recovery_alerts_per_sec",
+            durability["recovery_alerts_per_sec"] >= scenario_floor_aps,
+            f'{durability["recovery_alerts_per_sec"]:.0f} alerts/sec '
+            f'replayed in {durability["recovery_wall_seconds"]:.3f}s '
+            f"(floor {scenario_floor_aps:.0f})",
+        )
+        if scenario_baseline is not None:
+            durability_base = scenario_baseline.get("durability")
+            if durability_base:
+                recovery_floor = (
+                    durability_base["recovery_alerts_per_sec"] * args.floor)
+                check(
+                    "durability.recovery_vs_baseline",
+                    durability["recovery_alerts_per_sec"] >= recovery_floor,
+                    f'{durability["recovery_alerts_per_sec"]:.0f} alerts/sec '
+                    f"(floor {recovery_floor:.0f}, baseline "
+                    f'{durability_base["recovery_alerts_per_sec"]:.0f})',
+                )
+            else:
+                # A missing committed section would silently disarm the
+                # gate; fail loudly so a stale BENCH_2 baseline cannot mask
+                # a recovery regression.
+                check(
+                    "durability.recovery_vs_baseline",
+                    False,
+                    "section missing from the committed scenario baseline; "
+                    "regenerate BENCH_2.json to re-arm the gate",
+                )
+
     # ---- Sharded replay must actually scale on multi-core runners ---------
     # The comparison is only meaningful when the binary was built with the
     # `parallel` feature (otherwise replay_sharded runs sequentially and the

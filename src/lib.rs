@@ -14,7 +14,12 @@
 //!   ([`sag_forecast`]).
 //! * [`core`] — the Signaling Audit Game itself: online SSE, OSSP signaling,
 //!   baselines and the audit-cycle engine ([`sag_core`]).
-//! * [`service`] — the multi-tenant front door ([`sag_service`]).
+//! * [`wal`] — crash safety: per-tenant write-ahead logs, snapshots, and a
+//!   deterministic fault-injection harness ([`sag_wal`]).
+//! * [`service`] — the multi-tenant front door ([`sag_service`]); built
+//!   durable, it logs every mutation before acknowledging it and recovers
+//!   bitwise-identical open sessions via
+//!   [`ServiceBuilder::recover_from`](service::ServiceBuilder::recover_from).
 //! * [`scenarios`] — the named-workload registry and replay drivers
 //!   ([`sag_scenarios`]).
 //!
@@ -35,6 +40,7 @@ pub use sag_lp as lp;
 pub use sag_scenarios as scenarios;
 pub use sag_service as service;
 pub use sag_sim as sim;
+pub use sag_wal as wal;
 
 /// Unified facade-level error: everything a SAG workflow can fail with,
 /// from the LP substrate to the service front door.
@@ -53,7 +59,7 @@ pub enum Error {
     /// [`sag_core::ConfigError`].
     Core(sag_core::SagError),
     /// The service front door failed (unknown tenant/session, duplicate
-    /// registration, or a wrapped engine error).
+    /// registration, a wrapped engine error, or a durability failure).
     Service(sag_service::ServiceError),
 }
 
@@ -101,6 +107,12 @@ impl From<sag_service::ServiceError> for Error {
     }
 }
 
+impl From<sag_wal::WalError> for Error {
+    fn from(e: sag_wal::WalError) -> Self {
+        Error::Service(e.into())
+    }
+}
+
 /// Result alias over the facade-level [`Error`].
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -129,13 +141,14 @@ pub mod prelude {
         stream_scenario_sized, Scenario, ScenarioRun, ServiceRun, StreamingRun,
     };
     pub use sag_service::{
-        AuditService, Request, Response, ServiceBuilder, ServiceError, ServiceJob, SessionHandle,
-        SessionId, TenantId,
+        AuditService, DurabilityOptions, Request, Response, ServiceBuilder, ServiceError,
+        ServiceJob, SessionHandle, SessionId, TenantId,
     };
     pub use sag_sim::{
         Alert, AlertCatalog, AlertTypeId, AlertTypeInfo, ArrivalProcess, DayLog, DiurnalProfile,
         StreamConfig, StreamGenerator, TimeOfDay, VolumeTrend,
     };
+    pub use sag_wal::{DirFs, FailpointFs, MemFs, Snapshot, WalError, WalFs, WalRecord};
 }
 
 #[cfg(test)]

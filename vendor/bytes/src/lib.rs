@@ -41,6 +41,13 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         u32::from_le_bytes(b)
     }
+
+    /// Read a little-endian `u64` and advance.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
 }
 
 impl<B: Buf + ?Sized> Buf for &mut B {
@@ -70,6 +77,11 @@ pub trait BufMut {
 
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 }
@@ -222,11 +234,13 @@ mod tests {
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u16_le(0x1234);
         buf.put_u8(0x7F);
+        buf.put_u64_le(0x0102_0304_0506_0708);
         let mut bytes = buf.freeze();
-        assert_eq!(bytes.remaining(), 7);
+        assert_eq!(bytes.remaining(), 15);
         assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(bytes.get_u16_le(), 0x1234);
         assert_eq!(bytes.get_u8(), 0x7F);
+        assert_eq!(bytes.get_u64_le(), 0x0102_0304_0506_0708);
         assert_eq!(bytes.remaining(), 0);
     }
 
