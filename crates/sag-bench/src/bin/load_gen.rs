@@ -1,0 +1,101 @@
+//! Drive concurrent tenants against the `sag-net` front door over real
+//! sockets and record the `service_network` section of `BENCH_2.json`.
+//!
+//! ```text
+//! load_gen [--addr HOST:PORT] [--scenario NAME] [--tenants N] [--seed N]
+//!          [--history-days N] [--test-days N] [--out BENCH_2.json]
+//! ```
+//!
+//! Without `--addr` the generator starts its own in-process server on an
+//! ephemeral loopback port (still real sockets and the full wire codec) and
+//! additionally runs the deterministic shed probe, whose server config it
+//! controls. With `--addr` it drives an already-running `sag_server` — the
+//! CI network-smoke job points it at the release binary it just booted; the
+//! server must be freshly booted (counters are cumulative) and built over
+//! the same scenario/seed/fleet flags so the generated streams match.
+//!
+//! Exit status is non-zero when the load run fails, when any scraped
+//! metrics identity is violated, or (in-process) when the shed probe is
+//! inconclusive — so CI can gate on the binary alone.
+
+use sag_bench::netload::{merge_service_network, NetLoadConfig};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let external = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let out = parse_flag(&args, "--out", String::new());
+    let config = NetLoadConfig {
+        scenario: parse_flag(&args, "--scenario", String::from("paper-baseline")),
+        seed: parse_flag(&args, "--seed", 11u64),
+        tenants: parse_flag(&args, "--tenants", 4usize),
+        history_days: parse_flag(&args, "--history-days", 5u32),
+        test_days: parse_flag(&args, "--test-days", 2u32),
+        external,
+    };
+
+    println!(
+        "network load: scenario={} tenants={} seed={} days={} mode={}",
+        config.scenario,
+        config.tenants,
+        config.seed,
+        config.test_days,
+        config
+            .external
+            .as_deref()
+            .map_or("in-process".to_owned(), |a| format!("external {a}")),
+    );
+    let report = match sag_bench::run_network_load(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "  served    : {} alerts / {} requests in {:.3} s ({:.0} alerts/sec sustained)",
+        report.alerts, report.requests, report.wall_seconds, report.alerts_per_sec
+    );
+    println!(
+        "  latency   : p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
+        report.latency.p50, report.latency.p95, report.latency.p99, report.latency.max
+    );
+    match &report.shed_probe {
+        Some(probe) => println!(
+            "  shed probe: burst {} vs quota {} -> {} served, {} shed, {} retried ok",
+            probe.burst, probe.quota, probe.served, probe.shed, probe.retried_ok
+        ),
+        None => println!("  shed probe: skipped (external server owns its config)"),
+    }
+    println!(
+        "  metrics   : {}",
+        if report.metrics_consistent {
+            "every scraped counter identity holds".to_owned()
+        } else {
+            format!("INCONSISTENT — {}", report.metrics_notes.join("; "))
+        }
+    );
+
+    if !out.is_empty() {
+        if let Err(e) = merge_service_network(&out, &report) {
+            eprintln!("failed to merge service_network into {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("  merged service_network into {out}");
+    }
+    if !report.metrics_consistent {
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod netload;
 pub mod report;
 pub mod scenario_suite;
 pub mod setup;
@@ -25,6 +26,10 @@ pub use experiments::{
     figure2_experiment, figure3_experiment, rollback_ablation, run_figure_experiment,
     runtime_experiment, table1_experiment, ExperimentOutput, FigureExperimentConfig,
     RollbackAblation, RuntimeStats, Table1Row,
+};
+pub use netload::{
+    merge_service_network, render_network_json, run_network_load, LatencyMicros, NetLoadConfig,
+    NetLoadReport, ShedProbeReport,
 };
 pub use scenario_suite::{
     render_suite_json, scenario_suite, ScenarioReport, ScenarioSuiteReport, ShardingReport,

@@ -1,0 +1,637 @@
+//! Network load generation against the `sag-net` front door.
+//!
+//! [`run_network_load`] drives a tenant fleet over *real loopback sockets*
+//! — one connection per tenant, concurrent client threads, the full wire
+//! codec — and measures what the in-process benches cannot: sustained
+//! alerts/sec through the framed protocol, per-decision round-trip latency
+//! percentiles, and the shedding behaviour under an over-quota flood. The
+//! report lands as the `service_network` section of `BENCH_2.json`
+//! ([`merge_service_network`]) and is gated by `scripts/check_perf.py`.
+//!
+//! Two modes:
+//!
+//! * **In-process** (default): starts its own [`Server`] on an ephemeral
+//!   loopback port, so it also controls the config for the deterministic
+//!   shed probe (tiny per-tenant quota plus an injected handle delay).
+//! * **External** (`external: Some(addr)`): drives an already-running
+//!   `sag_server` booted with the same scenario/seed/fleet flags — the CI
+//!   network-smoke job uses this against the real release binary. The
+//!   metrics-consistency check assumes the server is freshly booted (its
+//!   counters are cumulative); the shed probe is skipped because the
+//!   server's quota config is not ours to set.
+
+use crate::scenario_suite::json_escape;
+use sag_net::{fetch_metrics, parse_metric, Client, Server, ServerConfig, WireError};
+use sag_scenarios::{find_scenario, tenant_fleet, FleetTenant};
+use sag_service::{Request, Response};
+use std::fmt::Write as _;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// What to drive and where.
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Registered scenario name (see `sag_scenarios::registry`).
+    pub scenario: String,
+    /// Base seed; tenant `t` generates its stream from `seed + t`.
+    pub seed: u64,
+    /// Number of tenants, each on its own connection and client thread.
+    pub tenants: usize,
+    /// Days registered as history at fleet build time.
+    pub history_days: u32,
+    /// Days driven over the wire per tenant.
+    pub test_days: u32,
+    /// Drive this already-running server instead of starting one.
+    pub external: Option<String>,
+}
+
+impl NetLoadConfig {
+    /// The `BENCH_2.json` configuration: 4 tenants x 2 days of the paper
+    /// baseline, served in-process.
+    #[must_use]
+    pub fn bench(seed: u64) -> NetLoadConfig {
+        NetLoadConfig {
+            scenario: "paper-baseline".to_owned(),
+            seed,
+            tenants: 4,
+            history_days: 5,
+            test_days: 2,
+            external: None,
+        }
+    }
+}
+
+/// Round-trip latency percentiles over every `PushAlert` call, microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyMicros {
+    /// Median round trip.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed round trip.
+    pub max: f64,
+}
+
+/// Outcome of the deterministic over-quota flood (in-process mode only).
+#[derive(Debug, Clone, Copy)]
+pub struct ShedProbeReport {
+    /// Pipelined pushes sent without reading replies.
+    pub burst: usize,
+    /// The per-tenant pending quota the probe server enforced.
+    pub quota: usize,
+    /// Replies that were structured `Overloaded` sheds.
+    pub shed: usize,
+    /// Replies that were served decisions.
+    pub served: usize,
+    /// Shed pushes that succeeded on retry once the backlog drained.
+    pub retried_ok: usize,
+}
+
+/// Everything the load run measured; rendered into `BENCH_2.json` by
+/// [`merge_service_network`].
+#[derive(Debug, Clone)]
+pub struct NetLoadReport {
+    /// Scenario driven.
+    pub scenario: String,
+    /// Concurrent tenants (= connections = client threads).
+    pub tenants: usize,
+    /// Days driven per tenant.
+    pub days_per_tenant: u32,
+    /// Alerts pushed and answered across all tenants.
+    pub alerts: u64,
+    /// Total protocol requests (opens + pushes + closes).
+    pub requests: u64,
+    /// Wall-clock of the measured burst, seconds.
+    pub wall_seconds: f64,
+    /// Sustained decision throughput over the wire.
+    pub alerts_per_sec: f64,
+    /// Per-decision round-trip latency percentiles.
+    pub latency: LatencyMicros,
+    /// Shed-probe outcome; `None` in external mode.
+    pub shed_probe: Option<ShedProbeReport>,
+    /// Every scraped-counter identity held (see `metrics_notes`).
+    pub metrics_consistent: bool,
+    /// Human-readable description of each violated identity; empty when
+    /// `metrics_consistent`.
+    pub metrics_notes: Vec<String>,
+    /// `available_parallelism` on the measuring host.
+    pub threads_available: usize,
+}
+
+/// Run the load: measured burst, metrics scrape, and (in-process) the shed
+/// probe.
+///
+/// # Errors
+///
+/// A human-readable description of the first failure: an unknown scenario,
+/// a fleet/bind error, a connection failure, or a wire-level protocol
+/// violation (a shed that never happened, a retry that never landed, a day
+/// result whose length disagrees with what was pushed).
+pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String> {
+    let scenario = find_scenario(&config.scenario)
+        .ok_or_else(|| format!("unknown scenario {:?}", config.scenario))?;
+    let fleet = tenant_fleet(
+        scenario.as_ref(),
+        config.seed,
+        config.tenants,
+        config.history_days,
+        config.test_days,
+    )
+    .map_err(|e| format!("fleet build failed: {e}"))?;
+
+    // Budgets are precomputed so the worker threads never touch the
+    // scenario object.
+    let budgets: Vec<Vec<Option<f64>>> = fleet
+        .tenants
+        .iter()
+        .map(|t| {
+            t.test_days
+                .iter()
+                .map(|d| scenario.budget_for_day(d.day()))
+                .collect()
+        })
+        .collect();
+
+    // In-process mode owns a server for the measured burst; external mode
+    // borrows yours.
+    let mut own_server = None;
+    let addr = match &config.external {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = Server::start(fleet.service, "127.0.0.1:0", ServerConfig::default())
+                .map_err(|e| format!("server start failed: {e}"))?;
+            let addr = server.local_addr().to_string();
+            own_server = Some(server);
+            addr
+        }
+    };
+
+    let (latencies, alerts, requests, wall_seconds) =
+        measured_burst(&addr, &fleet.tenants, &budgets)?;
+
+    // Scrape over the wire — the same endpoint an operator's curl hits —
+    // and check the counters against what we know we sent. Every violated
+    // identity is recorded; `check_perf.py` treats any as a hard failure.
+    let mut notes = Vec::new();
+    let page = fetch_metrics(&addr).map_err(|e| format!("metrics scrape failed: {e}"))?;
+    let metric = |name: &str| parse_metric(&page, name);
+    let days = (config.tenants as u64) * u64::from(config.test_days);
+    let expected = [
+        ("sag_requests_total", requests as f64),
+        ("sag_alerts_total", alerts as f64),
+        ("sag_days_opened_total", days as f64),
+        ("sag_days_closed_total", days as f64),
+        ("sag_errors_total", 0.0),
+        ("sag_frames_in_total", requests as f64),
+        ("sag_frames_out_total", requests as f64),
+        ("sag_shed_total", 0.0),
+        ("sag_queue_depth", 0.0),
+    ];
+    for (name, want) in expected {
+        match metric(name) {
+            Some(got) if (got - want).abs() < 1e-9 => {}
+            Some(got) => notes.push(format!("{name} = {got}, expected {want}")),
+            None => notes.push(format!("{name} missing from the metrics page")),
+        }
+    }
+    let per_tenant: f64 = fleet
+        .tenants
+        .iter()
+        .map(|t| metric(&format!("sag_tenant_alerts_total{{tenant=\"{}\"}}", t.id)).unwrap_or(-1.0))
+        .sum();
+    if (per_tenant - alerts as f64).abs() > 1e-9 {
+        notes.push(format!(
+            "per-tenant alert counts sum to {per_tenant}, expected {alerts}"
+        ));
+    }
+    drop(own_server);
+
+    // The shed probe needs to own the server config (a 2-deep quota and an
+    // injected service delay make the flood deterministic), so it only
+    // runs in-process, on a fresh fleet.
+    let shed_probe = match config.external {
+        Some(_) => None,
+        None => Some(run_shed_probe(config)?),
+    };
+
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx] as f64
+    };
+    Ok(NetLoadReport {
+        scenario: config.scenario.clone(),
+        tenants: config.tenants,
+        days_per_tenant: config.test_days,
+        alerts,
+        requests,
+        wall_seconds,
+        alerts_per_sec: alerts as f64 / wall_seconds.max(1e-9),
+        latency: LatencyMicros {
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: sorted.last().copied().unwrap_or(0) as f64,
+        },
+        shed_probe,
+        metrics_consistent: notes.is_empty(),
+        metrics_notes: notes,
+        threads_available: std::thread::available_parallelism().map_or(1, usize::from),
+    })
+}
+
+/// One client thread per tenant, synchronized on a barrier; returns the
+/// pooled push latencies, totals, and the burst wall-clock.
+fn measured_burst(
+    addr: &str,
+    tenants: &[FleetTenant],
+    budgets: &[Vec<Option<f64>>],
+) -> Result<(Vec<u64>, u64, u64, f64), String> {
+    let barrier = Barrier::new(tenants.len() + 1);
+    let mut pooled = Vec::new();
+    let mut alerts = 0u64;
+    let mut requests = 0u64;
+    let mut wall_seconds = 0.0;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for (tenant, tenant_budgets) in tenants.iter().zip(budgets) {
+            let barrier = &barrier;
+            handles.push(
+                scope.spawn(move || -> Result<(Vec<u64>, u64, u64), String> {
+                    // Connect *before* the barrier but fail *after* it: every
+                    // thread must reach the barrier exactly once or the rest of
+                    // the fleet (and the main thread) deadlocks on it.
+                    let connected = Client::connect(addr);
+                    barrier.wait();
+                    let mut client =
+                        connected.map_err(|e| format!("{}: connect: {e}", tenant.id))?;
+                    let mut latencies = Vec::new();
+                    let mut alerts = 0u64;
+                    let mut requests = 0u64;
+                    for (day, budget) in tenant.test_days.iter().zip(tenant_budgets) {
+                        let session = client
+                            .open_day(&tenant.id, *budget, Some(day.day()))
+                            .map_err(|e| format!("{}: open day {}: {e}", tenant.id, day.day()))?;
+                        for alert in day.alerts() {
+                            let start = Instant::now();
+                            let outcome = client
+                                .push_alert(session, alert)
+                                .map_err(|e| format!("{}: push: {e}", tenant.id))?;
+                            latencies.push(start.elapsed().as_micros() as u64);
+                            if !outcome.ossp_scheme.is_valid() {
+                                return Err(format!(
+                                    "{}: invalid signaling scheme served",
+                                    tenant.id
+                                ));
+                            }
+                        }
+                        let result = client
+                            .finish_day(session)
+                            .map_err(|e| format!("{}: finish day {}: {e}", tenant.id, day.day()))?;
+                        if result.len() != day.len() {
+                            return Err(format!(
+                                "{}: day {} closed with {} outcomes, pushed {}",
+                                tenant.id,
+                                day.day(),
+                                result.len(),
+                                day.len()
+                            ));
+                        }
+                        alerts += day.len() as u64;
+                        requests += day.len() as u64 + 2;
+                    }
+                    Ok((latencies, alerts, requests))
+                }),
+            );
+        }
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            let (lat, a, r) = handle
+                .join()
+                .map_err(|_| "client thread panicked".to_owned())??;
+            pooled.extend(lat);
+            alerts += a;
+            requests += r;
+        }
+        wall_seconds = start.elapsed().as_secs_f64();
+        Ok(())
+    })?;
+    Ok((pooled, alerts, requests, wall_seconds))
+}
+
+/// Flood one tenant past a 2-deep quota on a slowed service and verify the
+/// contract: some pushes shed with structured `Overloaded`, some serve,
+/// every shed push succeeds on retry, and the closed day accounts for all
+/// of them.
+fn run_shed_probe(config: &NetLoadConfig) -> Result<ShedProbeReport, String> {
+    let scenario = find_scenario(&config.scenario)
+        .ok_or_else(|| format!("unknown scenario {:?}", config.scenario))?;
+    let fleet = tenant_fleet(scenario.as_ref(), config.seed, 1, config.history_days, 1)
+        .map_err(|e| format!("shed-probe fleet build failed: {e}"))?;
+    let quota = 2usize;
+    let server = Server::start(
+        fleet.service,
+        "127.0.0.1:0",
+        ServerConfig {
+            queue_capacity: 256,
+            tenant_pending_limit: quota,
+            handle_delay: Some(Duration::from_millis(10)),
+        },
+    )
+    .map_err(|e| format!("shed-probe server start failed: {e}"))?;
+    let tenant = &fleet.tenants[0];
+    let day = &tenant.test_days[0];
+    let mut client =
+        Client::connect(server.local_addr()).map_err(|e| format!("shed-probe connect: {e}"))?;
+    let session = client
+        .open_day(
+            &tenant.id,
+            scenario.budget_for_day(day.day()),
+            Some(day.day()),
+        )
+        .map_err(|e| format!("shed-probe open: {e}"))?;
+
+    let burst: Vec<_> = day.alerts().iter().take(16).cloned().collect();
+    for alert in &burst {
+        client
+            .send(&Request::PushAlert {
+                session,
+                alert: *alert,
+            })
+            .map_err(|e| format!("shed-probe send: {e}"))?;
+    }
+    let mut shed_indices = Vec::new();
+    let mut served = 0usize;
+    for (i, _) in burst.iter().enumerate() {
+        match client.recv().map_err(|e| format!("shed-probe recv: {e}"))? {
+            Ok(Response::Decision { .. }) => served += 1,
+            Err(WireError::Overloaded { .. }) => shed_indices.push(i),
+            other => return Err(format!("shed-probe reply {i} was {other:?}")),
+        }
+    }
+    let shed = shed_indices.len();
+    if shed == 0 || served == 0 {
+        return Err(format!(
+            "shed probe inconclusive: {served} served, {shed} shed out of {} \
+             (expected both kinds against a quota of {quota})",
+            burst.len()
+        ));
+    }
+
+    let mut retried_ok = 0usize;
+    for &i in &shed_indices {
+        let mut attempts = 0;
+        loop {
+            match client
+                .call(&Request::PushAlert {
+                    session,
+                    alert: burst[i],
+                })
+                .map_err(|e| format!("shed-probe retry: {e}"))?
+            {
+                Ok(Response::Decision { .. }) => break,
+                Err(WireError::Overloaded { .. }) => {
+                    attempts += 1;
+                    if attempts > 1000 {
+                        return Err("shed-probe retry never admitted".to_owned());
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => return Err(format!("shed-probe retry answered {other:?}")),
+            }
+        }
+        retried_ok += 1;
+    }
+    let result = client
+        .finish_day(session)
+        .map_err(|e| format!("shed-probe finish: {e}"))?;
+    if result.len() != burst.len() {
+        return Err(format!(
+            "shed-probe day closed with {} outcomes, expected {}",
+            result.len(),
+            burst.len()
+        ));
+    }
+    Ok(ShedProbeReport {
+        burst: burst.len(),
+        quota,
+        shed,
+        served,
+        retried_ok,
+    })
+}
+
+/// Render the report as the `"service_network"` JSON object (the value
+/// only, indented to sit at the top level of `BENCH_2.json`).
+#[must_use]
+pub fn render_network_json(report: &NetLoadReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "    \"scenario\": \"{}\",",
+        json_escape(&report.scenario)
+    );
+    let _ = writeln!(out, "    \"tenants\": {},", report.tenants);
+    let _ = writeln!(out, "    \"days_per_tenant\": {},", report.days_per_tenant);
+    let _ = writeln!(out, "    \"alerts\": {},", report.alerts);
+    let _ = writeln!(out, "    \"requests\": {},", report.requests);
+    let _ = writeln!(out, "    \"wall_seconds\": {:.6},", report.wall_seconds);
+    let _ = writeln!(out, "    \"alerts_per_sec\": {:.2},", report.alerts_per_sec);
+    let _ = writeln!(out, "    \"latency_micros\": {{");
+    let _ = writeln!(out, "      \"p50\": {:.1},", report.latency.p50);
+    let _ = writeln!(out, "      \"p95\": {:.1},", report.latency.p95);
+    let _ = writeln!(out, "      \"p99\": {:.1},", report.latency.p99);
+    let _ = writeln!(out, "      \"max\": {:.1}", report.latency.max);
+    let _ = writeln!(out, "    }},");
+    if let Some(probe) = &report.shed_probe {
+        let _ = writeln!(out, "    \"shed_probe\": {{");
+        let _ = writeln!(out, "      \"burst\": {},", probe.burst);
+        let _ = writeln!(out, "      \"quota\": {},", probe.quota);
+        let _ = writeln!(out, "      \"shed\": {},", probe.shed);
+        let _ = writeln!(out, "      \"served\": {},", probe.served);
+        let _ = writeln!(out, "      \"retried_ok\": {}", probe.retried_ok);
+        let _ = writeln!(out, "    }},");
+    }
+    let _ = writeln!(
+        out,
+        "    \"metrics_consistent\": {},",
+        report.metrics_consistent
+    );
+    if !report.metrics_notes.is_empty() {
+        let notes = report
+            .metrics_notes
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "    \"metrics_notes\": [{notes}],");
+    }
+    let _ = writeln!(
+        out,
+        "    \"threads_available\": {}",
+        report.threads_available
+    );
+    out.push_str("  }");
+    out
+}
+
+/// Merge the report into `path` as the top-level `"service_network"` key.
+///
+/// The file is the `BENCH_2.json` written by `repro_scenarios`; an existing
+/// `"service_network"` member (from a previous merge) is replaced. When the
+/// file does not exist, a minimal document holding only this section is
+/// written, so the CI network-smoke job can gate the section without
+/// rerunning the whole scenario suite.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; rejects a file that does not look like a
+/// JSON object.
+pub fn merge_service_network(path: &str, report: &NetLoadReport) -> std::io::Result<()> {
+    let section = render_network_json(report);
+    let body = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let text = strip_service_network(text.trim_end());
+            let Some(close) = text.rfind('}') else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{path} is not a JSON object"),
+                ));
+            };
+            let prefix = text[..close].trim_end();
+            // An empty object gets no separating comma.
+            let sep = if prefix.ends_with('{') { "\n" } else { ",\n" };
+            format!("{prefix}{sep}  \"service_network\": {section}\n}}\n")
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            format!("{{\n  \"bench\": \"service_network_load\",\n  \"service_network\": {section}\n}}\n")
+        }
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+/// Remove an existing top-level `"service_network"` member (and the comma
+/// that preceded it) from the document text. The member is always the last
+/// one — [`merge_service_network`] appends it — so a single backward comma
+/// scan plus brace matching is exact.
+fn strip_service_network(text: &str) -> String {
+    let Some(key) = text.find("\"service_network\"") else {
+        return text.to_owned();
+    };
+    let start = text[..key].rfind(',').unwrap_or(key);
+    let Some(open) = text[key..].find('{').map(|i| key + i) else {
+        return text.to_owned();
+    };
+    let mut depth = 0usize;
+    for (i, b) in text[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let mut out = String::with_capacity(text.len());
+                    out.push_str(&text[..start]);
+                    out.push_str(&text[open + i + 1..]);
+                    return out;
+                }
+            }
+            _ => {}
+        }
+    }
+    text.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> NetLoadReport {
+        NetLoadReport {
+            scenario: "paper-baseline".to_owned(),
+            tenants: 2,
+            days_per_tenant: 1,
+            alerts: 100,
+            requests: 104,
+            wall_seconds: 0.5,
+            alerts_per_sec: 200.0,
+            latency: LatencyMicros {
+                p50: 10.0,
+                p95: 20.0,
+                p99: 30.0,
+                max: 40.0,
+            },
+            shed_probe: Some(ShedProbeReport {
+                burst: 16,
+                quota: 2,
+                shed: 12,
+                served: 4,
+                retried_ok: 12,
+            }),
+            metrics_consistent: true,
+            metrics_notes: Vec::new(),
+            threads_available: 1,
+        }
+    }
+
+    #[test]
+    fn merge_inserts_and_replaces_the_section() {
+        let dir = std::env::temp_dir().join("sag_netload_merge_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bench2.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, "{\n  \"bench\": \"x\",\n  \"scenarios\": [1, 2]\n}\n").unwrap();
+
+        let mut report = sample_report();
+        merge_service_network(path, &report).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"service_network\": {"));
+        assert!(text.contains("\"scenarios\": [1, 2]"));
+        assert!(text.contains("\"metrics_consistent\": true"));
+        assert_eq!(text.matches("\"alerts_per_sec\"").count(), 1);
+
+        // A second merge replaces, never duplicates.
+        report.alerts_per_sec = 999.0;
+        merge_service_network(path, &report).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.matches("\"service_network\"").count(), 1);
+        assert!(text.contains("\"alerts_per_sec\": 999.00"));
+        assert!(!text.contains(",\n,"), "double comma after strip");
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn merge_creates_a_minimal_document_when_missing() {
+        let dir = std::env::temp_dir().join("sag_netload_create_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("fresh.json");
+        let _ = std::fs::remove_file(&path);
+        let path = path.to_str().unwrap();
+        merge_service_network(path, &sample_report()).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("{\n  \"bench\": \"service_network_load\""));
+        assert!(text.trim_end().ends_with('}'));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rendered_section_omits_probe_and_notes_when_absent() {
+        let mut report = sample_report();
+        report.shed_probe = None;
+        report.metrics_consistent = false;
+        report.metrics_notes = vec!["sag_shed_total = 1, expected 0".to_owned()];
+        let json = render_network_json(&report);
+        assert!(!json.contains("shed_probe"));
+        assert!(json.contains("\"metrics_consistent\": false"));
+        assert!(json.contains("\"metrics_notes\": [\"sag_shed_total = 1, expected 0\"]"));
+        assert!(!json.contains(",\n  }"), "trailing comma before close");
+    }
+}

@@ -577,7 +577,7 @@ fn service_error_to_sag(e: sag_service::ServiceError) -> sag_core::SagError {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

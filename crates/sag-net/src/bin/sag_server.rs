@@ -1,0 +1,77 @@
+//! Boot a SAG network server over a scenario tenant fleet.
+//!
+//! ```text
+//! sag_server [--addr HOST:PORT] [--scenario NAME] [--tenants N] [--seed N]
+//!            [--history-days N] [--test-days N] [--queue N]
+//!            [--tenant-limit N] [--handle-delay-micros N]
+//! ```
+//!
+//! Builds `--tenants` instances of `--scenario` (each with its registered
+//! history, per [`sag_scenarios::tenant_fleet`]), starts the TCP front
+//! door, prints one `listening on ADDR` line to stdout, and serves until
+//! killed. The metrics page answers `curl http://ADDR/` on the same port.
+
+use sag_net::{Server, ServerConfig};
+use sag_scenarios::{find_scenario, tenant_fleet};
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = parse_flag(&args, "--addr", String::from("127.0.0.1:0"));
+    let scenario_name = parse_flag(&args, "--scenario", String::from("paper-baseline"));
+    let tenants = parse_flag(&args, "--tenants", 4usize);
+    let seed = parse_flag(&args, "--seed", 11u64);
+    let history_days = parse_flag(&args, "--history-days", 5u32);
+    let test_days = parse_flag(&args, "--test-days", 2u32);
+    let config = ServerConfig {
+        queue_capacity: parse_flag(&args, "--queue", 1024usize),
+        tenant_pending_limit: parse_flag(&args, "--tenant-limit", 64usize),
+        handle_delay: match parse_flag(&args, "--handle-delay-micros", 0u64) {
+            0 => None,
+            micros => Some(Duration::from_micros(micros)),
+        },
+    };
+
+    let Some(scenario) = find_scenario(&scenario_name) else {
+        eprintln!("unknown scenario {scenario_name:?}; registered scenarios:");
+        for s in sag_scenarios::registry() {
+            eprintln!("  {}", s.name());
+        }
+        std::process::exit(2);
+    };
+    let fleet = match tenant_fleet(scenario.as_ref(), seed, tenants, history_days, test_days) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("failed to build the tenant fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(fleet.service, addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // The smoke harness waits for this exact prefix before driving load.
+    println!(
+        "listening on {} scenario={scenario_name} tenants={tenants} seed={seed}",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed; the threads do all the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

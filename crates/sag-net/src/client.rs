@@ -1,0 +1,205 @@
+//! A blocking client for the SAG wire protocol.
+//!
+//! [`Client`] supports two styles. The call style —
+//! [`open_day`](Client::open_day), [`push_alert`](Client::push_alert),
+//! [`finish_day`](Client::finish_day) — sends one request and blocks for
+//! its reply. The pipelined style — [`send`](Client::send) then
+//! [`recv`](Client::recv) — keeps many requests in flight on one
+//! connection; the server guarantees replies come back in request order,
+//! so the caller matches them by counting.
+
+use crate::codec::{
+    decode_reply, encode_request, read_frame, write_frame, write_handshake, CodecError, NetError,
+    Reply, WireError,
+};
+use sag_core::{AlertOutcome, CycleResult};
+use sag_service::{Request, Response, SessionId, TenantId};
+use sag_sim::Alert;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect and perform the protocol handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on connect/socket failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        write_handshake(&mut writer)?;
+        writer.flush()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer,
+        })
+    }
+
+    /// Send one request without waiting for its reply (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on socket failure.
+    pub fn send(&mut self, request: &Request) -> Result<(), NetError> {
+        write_frame(&mut self.writer, &encode_request(request))?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receive the next reply, in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] when the connection dies or the frame is malformed; a
+    /// clean server-side close surfaces as [`CodecError::Truncated`].
+    pub fn recv(&mut self) -> Result<Reply, NetError> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Ok(decode_reply(&payload)?),
+            None => Err(CodecError::Truncated.into()),
+        }
+    }
+
+    /// Send one request and block for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] on transport failure (a *served* error travels inside
+    /// the `Ok` as [`Reply`]'s `Err` arm).
+    pub fn call(&mut self, request: &Request) -> Result<Reply, NetError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Open an audit day for `tenant`; returns the server-minted session id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a service-side error reply.
+    pub fn open_day(
+        &mut self,
+        tenant: &TenantId,
+        budget: Option<f64>,
+        day: Option<u32>,
+    ) -> Result<SessionId, ClientError> {
+        let reply = self.call(&Request::OpenDay {
+            tenant: tenant.clone(),
+            budget,
+            day,
+        })?;
+        match reply {
+            Ok(Response::DayOpened { session, .. }) => Ok(session),
+            Ok(other) => Err(ClientError::UnexpectedReply(reply_kind(&other))),
+            Err(e) => Err(ClientError::Service(e)),
+        }
+    }
+
+    /// Push one alert into an open session; returns the warning decision.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a service-side error reply.
+    pub fn push_alert(
+        &mut self,
+        session: SessionId,
+        alert: &Alert,
+    ) -> Result<AlertOutcome, ClientError> {
+        let reply = self.call(&Request::PushAlert {
+            session,
+            alert: *alert,
+        })?;
+        match reply {
+            Ok(Response::Decision { outcome, .. }) => Ok(outcome),
+            Ok(other) => Err(ClientError::UnexpectedReply(reply_kind(&other))),
+            Err(e) => Err(ClientError::Service(e)),
+        }
+    }
+
+    /// Close an open session; returns the full day result.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a service-side error reply.
+    pub fn finish_day(&mut self, session: SessionId) -> Result<CycleResult, ClientError> {
+        let reply = self.call(&Request::FinishDay { session })?;
+        match reply {
+            Ok(Response::DayClosed { result, .. }) => Ok(result),
+            Ok(other) => Err(ClientError::UnexpectedReply(reply_kind(&other))),
+            Err(e) => Err(ClientError::Service(e)),
+        }
+    }
+}
+
+fn reply_kind(response: &Response) -> &'static str {
+    match response {
+        Response::DayOpened { .. } => "DayOpened",
+        Response::Decision { .. } => "Decision",
+        Response::DayClosed { .. } => "DayClosed",
+    }
+}
+
+/// Failure of a typed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection or codec failed.
+    Net(NetError),
+    /// The server answered with a structured error.
+    Service(WireError),
+    /// The server answered a different response kind than the request
+    /// implies — a protocol bug, not an operational error.
+    UnexpectedReply(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "{e}"),
+            ClientError::Service(e) => write!(f, "{e}"),
+            ClientError::UnexpectedReply(kind) => {
+                write!(f, "protocol violation: unexpected {kind} reply")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Net(e) => Some(e),
+            ClientError::Service(e) => Some(e),
+            ClientError::UnexpectedReply(_) => None,
+        }
+    }
+}
+
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> Self {
+        ClientError::Net(e)
+    }
+}
+
+/// Fetch the plaintext metrics page from a server address over HTTP.
+///
+/// # Errors
+///
+/// [`NetError::Io`] on socket failure, [`CodecError::Truncated`] when the
+/// response carries no body.
+pub fn fetch_metrics(addr: impl ToSocketAddrs) -> Result<String, NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| NetError::Codec(CodecError::BadUtf8))?;
+    match text.split_once("\r\n\r\n") {
+        Some((_headers, body)) => Ok(body.to_owned()),
+        None => Err(CodecError::Truncated.into()),
+    }
+}

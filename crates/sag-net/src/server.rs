@@ -1,0 +1,524 @@
+//! The threaded TCP server fronting one [`AuditService`].
+//!
+//! ## Threading model
+//!
+//! The service owns per-tenant engines behind `&mut self`, so exactly one
+//! **service thread** drives [`AuditService::handle`], consuming jobs from
+//! a *bounded* [`std::sync::mpsc::sync_channel`]. Everything in front of
+//! it is allowed to be many: an **acceptor** thread hands each connection
+//! to its own **reader** thread (decodes frames, admits against quotas,
+//! enqueues) paired with a **writer** thread (sends replies back in
+//! request order).
+//!
+//! ## Backpressure and shedding
+//!
+//! Admission happens on the reader thread, *before* the queue:
+//!
+//! 1. **Per-tenant quota** — each tenant's [`TenantGauge`] counts admitted
+//!    but unanswered requests; at [`ServerConfig::tenant_pending_limit`]
+//!    the request is shed with a structured
+//!    [`WireError::Overloaded`] reply. One tenant flooding its
+//!    queue cannot starve the others past its quota.
+//! 2. **Global bound** — the job queue itself is bounded
+//!    ([`ServerConfig::queue_capacity`]); `try_send` never blocks the
+//!    reader, so a full queue sheds instead of wedging the socket.
+//!
+//! A shed reply travels through the same ordered reply path as a served
+//! one, so pipelined clients see responses in the order they asked.
+//! Nothing about shedding touches session state: a shed request can be
+//! retried verbatim once the backlog drains.
+//!
+//! ## Reply ordering
+//!
+//! The reader gives every admitted (or shed) request a one-shot channel
+//! and queues the receiving half to the writer in arrival order; the
+//! writer blocks on the *oldest* outstanding reply. Pipelining costs the
+//! client nothing and replies can never reorder.
+//!
+//! ## The metrics endpoint
+//!
+//! The same listener serves observability: a connection whose first bytes
+//! are `"GET "` gets an HTTP/1.0 plaintext page rendered from the live
+//! counters ([`NetMetrics::render`]) and is closed — `curl
+//! http://host:port/metrics` works against the protocol port, no second
+//! listener, no HTTP stack.
+
+use crate::codec::{
+    decode_request, encode_reply, read_frame, write_frame, NetError, Reply, WireError, MAGIC,
+    VERSION,
+};
+use crate::metrics::{NetMetrics, TenantGauge};
+use bytes::Bytes;
+use sag_service::{AuditService, Request, Response, ServiceCounters};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Capacity of the global bounded job queue in front of the service
+    /// thread. A full queue sheds (never blocks the readers).
+    pub queue_capacity: usize,
+    /// Per-tenant bound on admitted-but-unanswered requests; beyond it the
+    /// tenant's requests are shed with [`WireError::Overloaded`].
+    pub tenant_pending_limit: usize,
+    /// Test-only fault injection: sleep this long before serving each job,
+    /// so shedding tests can fill queues deterministically on fast
+    /// machines. `None` (the default) in production.
+    pub handle_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 1024,
+            tenant_pending_limit: 64,
+            handle_delay: None,
+        }
+    }
+}
+
+/// One unit of work for the service thread.
+struct Job {
+    request: Request,
+    /// One-shot reply path back to the connection's writer thread.
+    reply: Sender<Bytes>,
+    /// The admission gauge charged for this request, released when served.
+    gauge: Option<Arc<TenantGauge>>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    net: Arc<NetMetrics>,
+    counters: Arc<ServiceCounters>,
+    /// Open session → the tenant gauge its requests are charged to.
+    /// Written only by the service thread (insert on `DayOpened`, remove on
+    /// `DayClosed`); read by connection readers at admission.
+    session_gauges: Mutex<HashMap<u64, Arc<TenantGauge>>>,
+    shutdown: AtomicBool,
+    /// Clones of every live protocol socket, so shutdown can unblock the
+    /// reader threads parked in `read_frame`.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running SAG network server. Dropping it shuts it down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    acceptor: Option<JoinHandle<()>>,
+    service: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` and start serving `service` on background threads.
+    ///
+    /// Installs a fresh [`ServiceCounters`] on the service unless one is
+    /// already present (the existing sink keeps counting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(
+        mut service: AuditService,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let counters = match service.counters() {
+            Some(existing) => existing.clone(),
+            None => {
+                let fresh = Arc::new(ServiceCounters::new());
+                service.set_counters(fresh.clone());
+                fresh
+            }
+        };
+        let shared = Arc::new(Shared {
+            net: Arc::new(NetMetrics::new()),
+            counters,
+            session_gauges: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        // Pre-register every tenant so the metrics page lists all of them
+        // from the first scrape, served traffic or not.
+        for tenant in service.tenants() {
+            let _ = shared.net.tenant_gauge(tenant);
+        }
+
+        let (job_tx, job_rx) = sync_channel::<Job>(config.queue_capacity);
+
+        let service_thread = {
+            let shared = shared.clone();
+            let delay = config.handle_delay;
+            thread::Builder::new()
+                .name("sag-service".into())
+                .spawn(move || service_loop(service, &job_rx, &shared, delay))?
+        };
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = shared.clone();
+            let config = config.clone();
+            let conn_threads = conn_threads.clone();
+            thread::Builder::new()
+                .name("sag-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = shared.clone();
+                        let config = config.clone();
+                        let job_tx = job_tx.clone();
+                        let handle = thread::Builder::new()
+                            .name("sag-conn".into())
+                            .spawn(move || handle_connection(stream, &shared, &config, &job_tx));
+                        if let Ok(handle) = handle {
+                            conn_threads
+                                .lock()
+                                .expect("connection registry poisoned")
+                                .push(handle);
+                        }
+                    }
+                    // Dropping the master `job_tx` here lets the service
+                    // thread exit once the last connection hangs up.
+                })?
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            config,
+            acceptor: Some(acceptor),
+            service: Some(service_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live service counters (shared with the service hot path).
+    #[must_use]
+    pub fn counters(&self) -> &Arc<ServiceCounters> {
+        &self.shared.counters
+    }
+
+    /// The live transport metrics.
+    #[must_use]
+    pub fn net_metrics(&self) -> &Arc<NetMetrics> {
+        &self.shared.net
+    }
+
+    /// The configuration the server was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Render the metrics page exactly as the endpoint serves it.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        self.shared.net.render(&self.shared.counters.snapshot())
+    }
+
+    /// Stop accepting, unblock and drain every connection, serve what was
+    /// already admitted, and join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Unblock reader threads parked on their sockets; admitted jobs
+        // still get served and written back before the writers exit.
+        for stream in self
+            .shared
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .iter()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = std::mem::take(
+            &mut *self
+                .conn_threads
+                .lock()
+                .expect("connection registry poisoned"),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // All job senders are gone now; the service thread drains and exits.
+        if let Some(handle) = self.service.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The single thread that owns the [`AuditService`].
+fn service_loop(
+    mut service: AuditService,
+    jobs: &Receiver<Job>,
+    shared: &Shared,
+    delay: Option<Duration>,
+) {
+    for job in jobs {
+        shared.net.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if let Some(delay) = delay {
+            thread::sleep(delay);
+        }
+        let result = service.handle(job.request);
+        match &result {
+            Ok(Response::DayOpened { session, tenant }) => {
+                let gauge = job
+                    .gauge
+                    .clone()
+                    .unwrap_or_else(|| shared.net.tenant_gauge(tenant));
+                shared
+                    .session_gauges
+                    .lock()
+                    .expect("session gauge map poisoned")
+                    .insert(session.raw(), gauge);
+            }
+            Ok(Response::Decision { outcome, .. }) => {
+                if let Some(gauge) = &job.gauge {
+                    gauge.record_decision(outcome.ossp_utility);
+                }
+            }
+            Ok(Response::DayClosed { session, .. }) => {
+                shared
+                    .session_gauges
+                    .lock()
+                    .expect("session gauge map poisoned")
+                    .remove(&session.raw());
+            }
+            Err(_) => {}
+        }
+        if let Some(gauge) = &job.gauge {
+            gauge.release();
+        }
+        let reply: Reply = result.map_err(|e| WireError::from(&e));
+        // A dead connection just drops its replies; nothing to do here.
+        let _ = job.reply.send(encode_reply(&reply));
+    }
+}
+
+/// Dispatch one accepted connection: protocol handshake or metrics scrape.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    config: &ServerConfig,
+    job_tx: &SyncSender<Job>,
+) {
+    // Replies are single buffered frames; leaving Nagle on would hold each
+    // one hostage to the peer's delayed ACK (~40ms per round trip).
+    let _ = stream.set_nodelay(true);
+    let mut first = [0u8; 4];
+    if stream.read_exact(&mut first).is_err() {
+        return;
+    }
+    if &first == b"GET " {
+        serve_metrics(&mut stream, shared);
+        return;
+    }
+    if first != MAGIC.to_le_bytes() {
+        // Not our protocol and not HTTP: close without a word.
+        return;
+    }
+    let mut version = [0u8; 2];
+    if stream.read_exact(&mut version).is_err() {
+        return;
+    }
+    let version = u16::from_le_bytes(version);
+    if version != VERSION {
+        let reply: Reply = Err(WireError::BadRequest(format!(
+            "unsupported protocol version {version} (server speaks {VERSION})"
+        )));
+        let _ = write_frame(&mut stream, &encode_reply(&reply));
+        return;
+    }
+    shared
+        .net
+        .connections_opened
+        .fetch_add(1, Ordering::Relaxed);
+    if let Ok(registered) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .push(registered);
+    }
+    serve_protocol(stream, shared, config, job_tx);
+    shared
+        .net
+        .connections_closed
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// Serve one plaintext metrics scrape and close.
+fn serve_metrics(stream: &mut TcpStream, shared: &Shared) {
+    shared.net.scrapes.fetch_add(1, Ordering::Relaxed);
+    // Drain whatever remains of the request line; one read is plenty for
+    // the scrapers we serve, and the response does not depend on it.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 512];
+    let _ = stream.read(&mut scratch);
+    let body = shared.net.render(&shared.counters.snapshot());
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reader half of one protocol connection (spawns its paired writer).
+fn serve_protocol(
+    stream: TcpStream,
+    shared: &Shared,
+    config: &ServerConfig,
+    job_tx: &SyncSender<Job>,
+) {
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    // FIFO of one-shot reply receivers: arrival order in, reply order out.
+    let (slot_tx, slot_rx) = std::sync::mpsc::channel::<Receiver<Bytes>>();
+    let writer = {
+        let net = shared.net.clone();
+        thread::Builder::new()
+            .name("sag-conn-writer".into())
+            .spawn(move || {
+                // Buffer so header + payload leave as one packet per frame.
+                let mut writer = std::io::BufWriter::new(write_stream);
+                for slot in slot_rx {
+                    let Ok(bytes) = slot.recv() else { continue };
+                    if write_frame(&mut writer, &bytes).is_err() {
+                        break;
+                    }
+                    // Count before the flush makes the frame visible to the
+                    // peer, so a client that scrapes metrics right after its
+                    // last reply never reads a counter lagging behind it.
+                    net.frames_out.fetch_add(1, Ordering::Relaxed);
+                    if writer.flush().is_err() {
+                        break;
+                    }
+                }
+                if let Ok(stream) = writer.into_inner() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            })
+    };
+
+    let mut stream = stream;
+    let reply_now = |reply: &Reply| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let _ = tx.send(encode_reply(reply));
+        let _ = slot_tx.send(rx);
+    };
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            // Clean close, socket death, or a torn/oversized/corrupt frame
+            // (after which the stream offset can no longer be trusted).
+            Ok(None) | Err(NetError::Io(_)) => break,
+            Err(NetError::Codec(e)) => {
+                shared.net.decode_errors.fetch_add(1, Ordering::Relaxed);
+                reply_now(&Err(WireError::BadRequest(e.to_string())));
+                break;
+            }
+        };
+        shared.net.frames_in.fetch_add(1, Ordering::Relaxed);
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame was well-formed, so the stream is still in
+                // sync: answer the bad payload and keep serving.
+                shared.net.decode_errors.fetch_add(1, Ordering::Relaxed);
+                reply_now(&Err(WireError::BadRequest(e.to_string())));
+                continue;
+            }
+        };
+
+        let gauge: Option<Arc<TenantGauge>> = match &request {
+            Request::OpenDay { tenant, .. } => Some(shared.net.tenant_gauge(tenant)),
+            Request::PushAlert { session, .. } | Request::FinishDay { session } => shared
+                .session_gauges
+                .lock()
+                .expect("session gauge map poisoned")
+                .get(&session.raw())
+                .cloned(),
+        };
+        if let Some(gauge) = &gauge {
+            if let Err(pending) = gauge.try_admit(config.tenant_pending_limit) {
+                shared.net.shed.fetch_add(1, Ordering::Relaxed);
+                reply_now(&Err(WireError::Overloaded {
+                    tenant: gauge.tenant().as_str().to_owned(),
+                    pending: pending as u64,
+                    limit: config.tenant_pending_limit as u64,
+                }));
+                continue;
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job = Job {
+            request,
+            reply: tx,
+            gauge: gauge.clone(),
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => {
+                shared.net.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let _ = slot_tx.send(rx);
+            }
+            Err(TrySendError::Full(_)) => {
+                if let Some(gauge) = &gauge {
+                    gauge.release();
+                }
+                shared.net.shed.fetch_add(1, Ordering::Relaxed);
+                let tenant = gauge
+                    .as_ref()
+                    .map_or("", |g| g.tenant().as_str())
+                    .to_owned();
+                reply_now(&Err(WireError::Overloaded {
+                    tenant,
+                    pending: config.queue_capacity as u64,
+                    limit: config.queue_capacity as u64,
+                }));
+            }
+            // The server is shutting down; stop reading.
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    drop(slot_tx);
+    if let Ok(writer) = writer {
+        let _ = writer.join();
+    }
+}

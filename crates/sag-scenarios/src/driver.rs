@@ -400,6 +400,75 @@ pub fn run_scenario_service_with(
     })
 }
 
+/// One tenant of a [`TenantFleet`]: its id and the recorded test days a
+/// client should stream at the service.
+#[derive(Debug, Clone)]
+pub struct FleetTenant {
+    /// The tenant's service id (`"{scenario}-t{index}"`).
+    pub id: TenantId,
+    /// The tenant's test days, in day order (history is already registered
+    /// on the service).
+    pub test_days: Vec<sag_sim::DayLog>,
+}
+
+/// A scenario instantiated as a multi-tenant [`AuditService`] plus the
+/// per-tenant alert streams to drive at it — the shared setup of the
+/// `sag-net` server binary, the network load generator, and the loopback
+/// equivalence tests.
+///
+/// Tenant `t` is named `"{scenario}-t{t}"` and streams days seeded
+/// `seed + t`, the same convention as [`run_scenario_service`], so results
+/// line up across replay modes. Unlike the batch driver (where rolling
+/// history rides on each [`ServiceJob`]), every tenant registers its
+/// `history_days` of history up front and all test days replay against
+/// that fixed window — the convention a wire client can actually follow,
+/// since [`sag_service::Request::OpenDay`] sources history from the
+/// service, not the request.
+#[derive(Debug)]
+pub struct TenantFleet {
+    /// The built service, one registered tenant per fleet entry.
+    pub service: AuditService,
+    /// The fleet, in tenant-index order.
+    pub tenants: Vec<FleetTenant>,
+}
+
+/// Build a [`TenantFleet`]: `tenants` instances of `scenario`, each with
+/// `history_days` of registered history and `test_days` recorded days to
+/// stream.
+///
+/// # Errors
+///
+/// Propagates service construction and engine-configuration errors.
+pub fn tenant_fleet(
+    scenario: &dyn Scenario,
+    seed: u64,
+    tenants: usize,
+    history_days: u32,
+    test_days: u32,
+) -> std::result::Result<TenantFleet, ServiceError> {
+    let config = scenario.engine_config();
+    let mut builder = AuditService::builder();
+    let mut fleet = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let id = TenantId::new(format!("{}-t{t}", scenario.name()));
+        let mut days = scenario.generate_days(seed + t as u64, history_days + test_days);
+        let test = days.split_off(history_days as usize);
+        builder = builder.tenant_with_history(
+            id.clone(),
+            EngineBuilder::from_config(config.clone()),
+            days,
+        );
+        fleet.push(FleetTenant {
+            id,
+            test_days: test,
+        });
+    }
+    Ok(TenantFleet {
+        service: builder.build()?,
+        tenants: fleet,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

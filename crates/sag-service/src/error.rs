@@ -22,6 +22,20 @@ pub enum ServiceError {
     /// The request named a session that is not open (never opened, already
     /// finished, or checked out to a caller).
     UnknownSession(SessionId),
+    /// The tenant's inbound queue is full: the request was shed *before*
+    /// touching any session state and can be retried once the backlog
+    /// drains. Raised by transports in front of the service (the `sag-net`
+    /// server's bounded per-tenant queues), never by the in-process paths —
+    /// it lives in this taxonomy so the wire codec and the facade error
+    /// carry shedding as a structured, matchable variant.
+    Overloaded {
+        /// The tenant whose queue is full.
+        tenant: TenantId,
+        /// Requests already queued or in flight for the tenant.
+        pending: usize,
+        /// The configured per-tenant bound the request would have exceeded.
+        limit: usize,
+    },
     /// The engine rejected the operation; the payload says exactly why.
     Engine(SagError),
     /// The durability layer failed: the mutation was **not** logged and
@@ -40,6 +54,14 @@ impl fmt::Display for ServiceError {
                 write!(f, "tenant {tenant} is already registered")
             }
             ServiceError::UnknownSession(session) => write!(f, "no open session {session}"),
+            ServiceError::Overloaded {
+                tenant,
+                pending,
+                limit,
+            } => write!(
+                f,
+                "tenant {tenant} overloaded: {pending} requests pending (limit {limit}); retry later"
+            ),
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
             #[cfg(feature = "wal")]
             ServiceError::Wal(e) => write!(f, "durability error: {e}"),

@@ -109,6 +109,7 @@
 #[cfg(feature = "wal")]
 pub mod durability;
 pub mod error;
+pub mod metrics;
 pub mod request;
 pub mod service;
 pub mod session;
@@ -116,6 +117,7 @@ pub mod session;
 #[cfg(feature = "wal")]
 pub use durability::DurabilityOptions;
 pub use error::ServiceError;
+pub use metrics::{CountersSnapshot, ServiceCounters};
 pub use request::{Request, Response};
 pub use service::{AuditService, ServiceBuilder, ServiceJob, TenantId};
 pub use session::{SessionHandle, SessionId};

@@ -1,0 +1,251 @@
+//! Lock-free live counters exported from the service hot path.
+//!
+//! A [`ServiceCounters`] is a block of [`AtomicU64`]s shared (through an
+//! `Arc`) between an [`crate::AuditService`] and whatever observability
+//! surface wants to watch it — the `sag-net` server renders a snapshot on
+//! its plaintext metrics endpoint. Every counter is updated with relaxed
+//! atomics on the [`crate::AuditService::handle`] path: no locks, no
+//! allocation, one `fetch_add` per field touched, so instrumentation cost
+//! is noise next to a single LP pivot.
+//!
+//! Utilities are accumulated as `f64` sums stored in their IEEE-754 bit
+//! patterns, updated with a compare-exchange loop — the standard lock-free
+//! "atomic f64 add". Sums are exact in the same sense a single-threaded
+//! `+=` loop is; snapshot readers divide by the alert count for means.
+//!
+//! Counters are monotonically non-decreasing and a
+//! [`snapshot`](ServiceCounters::snapshot) is *not* a consistent cut while requests
+//! are in flight — individual fields may be mid-update. Once the service is
+//! quiescent, the identity
+//! `requests == days_opened + alerts + days_closed + errors` holds
+//! exactly, and the solver-work counters equal the sums of the served
+//! [`AlertOutcome`]s' `sse_stats` (the CI network-smoke job and the
+//! metrics-consistency test both assert this).
+
+use sag_core::AlertOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters of everything an [`crate::AuditService`] served
+/// through [`handle`](crate::AuditService::handle).
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    /// Requests received (including ones answered with an error).
+    requests: AtomicU64,
+    /// Successful `OpenDay` requests.
+    days_opened: AtomicU64,
+    /// Successful `FinishDay` requests.
+    days_closed: AtomicU64,
+    /// Successful `PushAlert` requests (warning decisions committed).
+    alerts: AtomicU64,
+    /// Requests answered with a [`crate::ServiceError`].
+    errors: AtomicU64,
+    /// Candidate LPs solved across all served alerts.
+    lp_solves: AtomicU64,
+    /// LPs that attempted a warm-started basis.
+    warm_attempts: AtomicU64,
+    /// LPs whose warm start was accepted.
+    warm_hits: AtomicU64,
+    /// Total simplex pivots.
+    pivots: AtomicU64,
+    /// Candidate LPs skipped by the incremental pruning bound.
+    pruned_lps: AtomicU64,
+    /// Alerts answered entirely by the single-type closed form.
+    fast_path_solves: AtomicU64,
+    /// Summed per-alert solve time in microseconds.
+    solve_micros: AtomicU64,
+    /// Summed OSSP auditor utility, as `f64` bits (see the module docs).
+    ossp_utility_bits: AtomicU64,
+    /// Summed online-SSE auditor utility, as `f64` bits.
+    online_utility_bits: AtomicU64,
+}
+
+/// Add `v` to an `f64` accumulator stored as its bit pattern in an
+/// [`AtomicU64`] — the standard lock-free compare-exchange loop. Public so
+/// other observability surfaces (the `sag-net` per-tenant gauges) can share
+/// the idiom instead of re-deriving it.
+pub fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + v).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+impl ServiceCounters {
+    /// Fresh counters, all zero.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceCounters::default()
+    }
+
+    /// One request arrived (called before the outcome is known).
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A day was opened.
+    pub(crate) fn record_open(&self) {
+        self.days_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A day was closed.
+    pub(crate) fn record_close(&self) {
+        self.days_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request failed with a service error.
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A warning decision was committed; fold its solver work and utilities
+    /// into the totals.
+    pub(crate) fn record_outcome(&self, outcome: &AlertOutcome) {
+        self.alerts.fetch_add(1, Ordering::Relaxed);
+        let stats = &outcome.sse_stats;
+        self.lp_solves
+            .fetch_add(u64::from(stats.lp_solves), Ordering::Relaxed);
+        self.warm_attempts
+            .fetch_add(u64::from(stats.warm_attempts), Ordering::Relaxed);
+        self.warm_hits
+            .fetch_add(u64::from(stats.warm_hits), Ordering::Relaxed);
+        self.pivots
+            .fetch_add(u64::from(stats.pivots), Ordering::Relaxed);
+        self.pruned_lps
+            .fetch_add(u64::from(stats.pruned_lps), Ordering::Relaxed);
+        self.fast_path_solves
+            .fetch_add(u64::from(stats.fast_path), Ordering::Relaxed);
+        self.solve_micros
+            .fetch_add(outcome.solve_micros, Ordering::Relaxed);
+        add_f64(&self.ossp_utility_bits, outcome.ossp_utility);
+        add_f64(&self.online_utility_bits, outcome.online_sse_utility);
+    }
+
+    /// A relaxed-atomic read of every counter. See the module docs for what
+    /// a snapshot does and does not guarantee.
+    #[must_use]
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            days_opened: self.days_opened.load(Ordering::Relaxed),
+            days_closed: self.days_closed.load(Ordering::Relaxed),
+            alerts: self.alerts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            lp_solves: self.lp_solves.load(Ordering::Relaxed),
+            warm_attempts: self.warm_attempts.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            pivots: self.pivots.load(Ordering::Relaxed),
+            pruned_lps: self.pruned_lps.load(Ordering::Relaxed),
+            fast_path_solves: self.fast_path_solves.load(Ordering::Relaxed),
+            solve_micros: self.solve_micros.load(Ordering::Relaxed),
+            ossp_utility_sum: f64::from_bits(self.ossp_utility_bits.load(Ordering::Relaxed)),
+            online_utility_sum: f64::from_bits(self.online_utility_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One point-in-time read of a [`ServiceCounters`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountersSnapshot {
+    /// Requests received (including ones answered with an error).
+    pub requests: u64,
+    /// Successful `OpenDay` requests.
+    pub days_opened: u64,
+    /// Successful `FinishDay` requests.
+    pub days_closed: u64,
+    /// Warning decisions committed.
+    pub alerts: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Candidate LPs solved.
+    pub lp_solves: u64,
+    /// LPs that attempted a warm start.
+    pub warm_attempts: u64,
+    /// LPs whose warm start was accepted.
+    pub warm_hits: u64,
+    /// Total simplex pivots.
+    pub pivots: u64,
+    /// Candidate LPs pruned without solving.
+    pub pruned_lps: u64,
+    /// Alerts answered by the closed form.
+    pub fast_path_solves: u64,
+    /// Summed per-alert solve time, microseconds.
+    pub solve_micros: u64,
+    /// Summed OSSP auditor utility.
+    pub ossp_utility_sum: f64,
+    /// Summed online-SSE auditor utility.
+    pub online_utility_sum: f64,
+}
+
+impl CountersSnapshot {
+    /// Warm-start hit rate over the LPs that attempted one; 0 when none did.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Fraction of candidate LPs retired by the pruning bound, out of every
+    /// candidate considered (solved + pruned); 0 when none were considered.
+    #[must_use]
+    pub fn pruned_lp_fraction(&self) -> f64 {
+        let considered = self.lp_solves + self.pruned_lps;
+        if considered == 0 {
+            0.0
+        } else {
+            self.pruned_lps as f64 / considered as f64
+        }
+    }
+
+    /// Mean OSSP auditor utility per served alert; 0 before the first alert.
+    #[must_use]
+    pub fn mean_ossp_utility(&self) -> f64 {
+        if self.alerts == 0 {
+            0.0
+        } else {
+            self.ossp_utility_sum / self.alerts as f64
+        }
+    }
+
+    /// Mean online-SSE auditor utility per served alert.
+    #[must_use]
+    pub fn mean_online_utility(&self) -> f64 {
+        if self.alerts == 0 {
+            0.0
+        } else {
+            self.online_utility_sum / self.alerts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_accumulation_is_exact_for_sequential_adds() {
+        let counters = ServiceCounters::new();
+        let mut reference = 0.0f64;
+        for i in 0..100 {
+            let v = -(i as f64) * 0.37;
+            add_f64(&counters.ossp_utility_bits, v);
+            reference += v;
+        }
+        assert_eq!(counters.snapshot().ossp_utility_sum, reference);
+    }
+
+    #[test]
+    fn derived_rates_handle_zero_denominators() {
+        let empty = ServiceCounters::new().snapshot();
+        assert_eq!(empty.warm_hit_rate(), 0.0);
+        assert_eq!(empty.pruned_lp_fraction(), 0.0);
+        assert_eq!(empty.mean_ossp_utility(), 0.0);
+        assert_eq!(empty.mean_online_utility(), 0.0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The [`AuditService`] front door and its [`ServiceBuilder`].
 
 use crate::error::ServiceError;
+use crate::metrics::ServiceCounters;
 use crate::request::{Request, Response};
 use crate::session::{SessionHandle, SessionId};
 use sag_core::engine::EngineBuilder;
@@ -110,6 +111,10 @@ pub struct AuditService {
     /// as the engine's own lazy fan-out pool).
     pool: OnceLock<Option<WorkerPool>>,
     history_window: usize,
+    /// Live counters updated lock-free on every [`handle`](Self::handle)
+    /// call, when the builder installed a sink (see
+    /// [`ServiceBuilder::counters`]).
+    counters: Option<Arc<ServiceCounters>>,
     /// The write-ahead log, when the service was built durable. Every
     /// [`handle`](Self::handle) mutation and
     /// [`record_history`](Self::record_history) call is logged here
@@ -271,6 +276,21 @@ impl AuditService {
         self.durability.is_some()
     }
 
+    /// The live counter sink installed at build time, if any. Shared: the
+    /// same `Arc` the builder was given, so observability surfaces can hold
+    /// their own handle and read snapshots without borrowing the service.
+    #[must_use]
+    pub fn counters(&self) -> Option<&Arc<ServiceCounters>> {
+        self.counters.as_ref()
+    }
+
+    /// Install (or replace) the live counter sink after construction — the
+    /// post-build twin of [`ServiceBuilder::counters`], for callers handed
+    /// an already-built service (the `sag-net` server front door).
+    pub fn set_counters(&mut self, counters: Arc<ServiceCounters>) {
+        self.counters = Some(counters);
+    }
+
     fn next_session_id(&self) -> SessionId {
         SessionId(self.next_session.fetch_add(1, Ordering::Relaxed))
     }
@@ -337,6 +357,24 @@ impl AuditService {
     /// be logged — in which case it was **not** applied: log-before-
     /// acknowledge never acknowledges what a restart would forget.
     pub fn handle(&mut self, request: Request) -> Result<Response, ServiceError> {
+        let counters = self.counters.clone();
+        if let Some(counters) = &counters {
+            counters.record_request();
+        }
+        let result = self.handle_uncounted(request);
+        if let Some(counters) = &counters {
+            match &result {
+                Ok(Response::DayOpened { .. }) => counters.record_open(),
+                Ok(Response::Decision { outcome, .. }) => counters.record_outcome(outcome),
+                Ok(Response::DayClosed { .. }) => counters.record_close(),
+                Err(_) => counters.record_error(),
+            }
+        }
+        result
+    }
+
+    /// [`handle`](Self::handle) without touching the installed counters.
+    fn handle_uncounted(&mut self, request: Request) -> Result<Response, ServiceError> {
         match request {
             Request::OpenDay {
                 tenant,
@@ -639,6 +677,7 @@ pub struct ServiceBuilder {
     tenants: Vec<(TenantId, EngineBuilder, Vec<DayLog>)>,
     workers: Option<usize>,
     history_window: usize,
+    counters: Option<Arc<ServiceCounters>>,
     #[cfg(feature = "wal")]
     durability: Option<(WalTarget, DurabilityOptions)>,
 }
@@ -657,9 +696,21 @@ impl ServiceBuilder {
             tenants: Vec::new(),
             workers: None,
             history_window: DEFAULT_HISTORY_WINDOW,
+            counters: None,
             #[cfg(feature = "wal")]
             durability: None,
         }
+    }
+
+    /// Install a live counter sink: every [`AuditService::handle`] call
+    /// updates it lock-free (see [`ServiceCounters`]). Pass a clone of an
+    /// `Arc` you keep, and read [`ServiceCounters::snapshot`] from any
+    /// thread — this is how the `sag-net` metrics endpoint watches the hot
+    /// path.
+    #[must_use]
+    pub fn counters(mut self, counters: Arc<ServiceCounters>) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     /// Worker threads for [`AuditService::replay_concurrent`]. `0` disables
@@ -836,6 +887,7 @@ impl ServiceBuilder {
             workers,
             pool: OnceLock::new(),
             history_window: self.history_window,
+            counters: self.counters,
             #[cfg(feature = "wal")]
             durability,
         })

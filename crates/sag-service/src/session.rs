@@ -13,6 +13,24 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub(crate) u64);
 
+impl SessionId {
+    /// Rebuild a session id from its raw wire representation. Ids are
+    /// opaque tokens minted by [`crate::AuditService`]; this exists so a
+    /// transport can carry them across a connection, not so callers can
+    /// invent them — an id the service never handed out simply answers
+    /// [`crate::ServiceError::UnknownSession`].
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw wire representation of this id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "session#{}", self.0)

@@ -3,17 +3,33 @@
 
 Compares a freshly measured BENCH_1.json (per-alert solve-chain throughput)
 against the committed baseline and sanity-checks BENCH_2.json (the scenario
-registry replay). Floors are deliberately generous — CI runners are noisy —
-so only real regressions (a lost warm-start path, an accidentally quadratic
-replay) trip them.
+registry replay, the service front door, durability, and the network load
+run). Floors are deliberately generous — CI runners are noisy — so only
+real regressions (a lost warm-start path, an accidentally quadratic replay)
+trip them.
 
-Exit status is non-zero on any violation; every check prints PASS/FAIL so
-the workflow log reads as a report.
+The checks are grouped into named sections selectable with `--sections`
+(comma-separated), so each CI job gates exactly the reports it produced:
+the perf-smoke job runs everything, the network-smoke job runs only
+`service_network`. Every section is isolated: a malformed or truncated
+report fails its own section's checks and the run still prints every other
+section's verdicts, so one broken file can never mask the rest of the
+report. Exit status is non-zero on any violation; every check prints
+PASS/FAIL so the workflow log reads as a report.
 """
 
 import argparse
 import json
 import sys
+
+SECTIONS = (
+    "bench1",
+    "scenarios",
+    "service_concurrent",
+    "durability",
+    "sharding",
+    "service_network",
+)
 
 failures = []
 
@@ -25,42 +41,28 @@ def check(label, ok, detail):
         failures.append(label)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_1.json baseline")
-    parser.add_argument("--throughput", required=True,
-                        help="freshly measured BENCH_1.json")
-    parser.add_argument("--scenarios", required=True,
-                        help="freshly measured BENCH_2.json")
-    parser.add_argument("--scenario-baseline", default=None,
-                        help="committed BENCH_2.json baseline (enables "
-                             "per-scenario throughput floors for the "
-                             "federated workloads)")
-    parser.add_argument("--floor", type=float, default=0.25,
-                        help="fraction of the baseline the fresh run must retain")
-    args = parser.parse_args()
+def load_json(path, label):
+    """Load a report, charging unreadability to `label` instead of dying."""
+    if not path:
+        return None
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        check(f"{label}.readable", False, f"{path}: {e}")
+        return None
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.throughput) as f:
-        fresh = json.load(f)
-    with open(args.scenarios) as f:
-        scenarios = json.load(f)
-    scenario_baseline = None
-    if args.scenario_baseline:
-        with open(args.scenario_baseline) as f:
-            scenario_baseline = json.load(f)
 
-    # ---- BENCH_1: solve-chain throughput vs the committed baseline --------
-    floor_aps = baseline["alerts_per_sec"] * args.floor
+def check_bench1(baseline, fresh, floor):
+    """BENCH_1: solve-chain throughput, streaming latency, pruning."""
+    floor_aps = baseline["alerts_per_sec"] * floor
     check(
         "throughput.alerts_per_sec",
         fresh["alerts_per_sec"] >= floor_aps,
         f'{fresh["alerts_per_sec"]:.0f} alerts/sec (floor {floor_aps:.0f}, '
         f'baseline {baseline["alerts_per_sec"]:.0f})',
     )
-    floor_hit = baseline["warm_start_hit_rate"] * args.floor
+    floor_hit = baseline["warm_start_hit_rate"] * floor
     check(
         "throughput.warm_start_hit_rate",
         fresh["warm_start_hit_rate"] >= floor_hit,
@@ -72,7 +74,6 @@ def main():
         f'{fresh["warm_vs_cold_5type"]["speedup"]:.2f}x warm-vs-cold',
     )
 
-    # ---- BENCH_1: streaming (push_alert) decision latency -----------------
     # The streaming block must exist with sane percentiles (a missing or
     # zeroed block means the session ingest path silently stopped being
     # measured), its throughput is floored like the bulk replay, and its p99
@@ -94,14 +95,14 @@ def main():
             0.0 < lat["p50"] <= lat["p99"],
             f'p50 {lat["p50"]:.1f}us <= p99 {lat["p99"]:.1f}us',
         )
-        floor_stream_aps = baseline["streaming"]["alerts_per_sec"] * args.floor
+        floor_stream_aps = baseline["streaming"]["alerts_per_sec"] * floor
         check(
             "streaming.alerts_per_sec",
             streaming["alerts_per_sec"] >= floor_stream_aps,
             f'{streaming["alerts_per_sec"]:.0f} alerts/sec '
             f"(floor {floor_stream_aps:.0f})",
         )
-        p99_ceiling = baseline["streaming"]["latency_micros"]["p99"] / args.floor
+        p99_ceiling = baseline["streaming"]["latency_micros"]["p99"] / floor
         check(
             "streaming.p99_micros",
             lat["p99"] <= p99_ceiling,
@@ -109,13 +110,12 @@ def main():
             f'{baseline["streaming"]["latency_micros"]["p99"]:.1f}us)',
         )
 
-    # ---- BENCH_1: incremental candidate pruning ---------------------------
-    # The skip counters are deterministic (unlike wall-clock), so they are
-    # gated tightly: the pruned arm must actually retire most candidate LPs,
-    # and the exhaustive arm must still solve one LP per type (proving the
-    # comparison measures what it claims). The wall-clock speedup only needs
-    # to clear 1.0 loosely — a pruning layer that *slows the solver down*
-    # is a regression even on a noisy runner.
+    # The pruning skip counters are deterministic (unlike wall-clock), so
+    # they are gated tightly: the pruned arm must actually retire most
+    # candidate LPs, and the exhaustive arm must still solve one LP per type
+    # (proving the comparison measures what it claims). The wall-clock
+    # speedup only needs to clear 1.0 loosely — a pruning layer that *slows
+    # the solver down* is a regression even on a noisy runner.
     pruning = fresh.get("pruning")
     pruning_ok = isinstance(pruning, dict)
     check("pruning.present", pruning_ok, "BENCH_1 carries a pruning block")
@@ -137,12 +137,20 @@ def main():
             f'{pruning["speedup"]:.2f}x pruned vs exhaustive',
         )
 
-    # ---- BENCH_2: every registered scenario replays at real throughput ----
+
+def check_scenarios(scenarios, scenario_baseline, baseline, floor):
+    """BENCH_2: every registered scenario replays at real throughput."""
     # The throughput floor here is deliberately absolute, not derived from
     # the 7-type BENCH_1 baseline: scenarios are free to be intrinsically
     # heavier (more types, bigger populations). The floor only catches
     # catastrophic regressions like an accidentally quadratic replay.
     scenario_floor_aps = 500.0
+    # The warm-hit floor rides on the BENCH_1 baseline when it was loaded;
+    # standalone runs of this section fall back to an absolute floor.
+    if baseline is not None:
+        floor_hit = baseline["warm_start_hit_rate"] * floor
+    else:
+        floor_hit = 0.2
     # The federated scenarios are what the incremental solve layer exists
     # for; their pruning skip rate is gated (deterministic) and — when a
     # committed BENCH_2 baseline is supplied — so is their throughput.
@@ -184,7 +192,7 @@ def main():
                 f"{fraction:.4f} of candidate LPs pruned (floor 0.5)",
             )
             if name in baseline_rows:
-                scen_floor = baseline_rows[name]["alerts_per_sec"] * args.floor
+                scen_floor = baseline_rows[name]["alerts_per_sec"] * floor
                 check(
                     f"scenario.{name}.alerts_per_sec_vs_baseline",
                     row["alerts_per_sec"] >= scen_floor,
@@ -203,12 +211,15 @@ def main():
                     "regenerate BENCH_2.json to re-arm the gate",
                 )
 
-    # ---- BENCH_2: multi-tenant AuditService throughput ---------------------
+
+def check_service_concurrent(scenarios, scenario_baseline, floor):
+    """BENCH_2: multi-tenant AuditService throughput."""
     # The service front door multiplexes N tenants' owned sessions over a
     # worker pool; its concurrent throughput is floored both absolutely
     # (catastrophic-regression catch) and against the committed baseline
     # (same convention as the federated scenarios). The concurrent-vs-serial
     # speedup is only gated on hosts that can physically show one.
+    scenario_floor_aps = 500.0
     service = scenarios.get("service_concurrent")
     service_ok = isinstance(service, dict)
     check(
@@ -216,59 +227,62 @@ def main():
         service_ok,
         "BENCH_2 carries a service_concurrent block",
     )
-    if service_ok:
-        check(
-            "service_concurrent.alerts",
-            service["alerts"] > 1000,
-            f'{service["alerts"]} alerts served across '
-            f'{service["tenants"]} tenants',
-        )
-        check(
-            "service_concurrent.alerts_per_sec",
-            service["alerts_per_sec"] >= scenario_floor_aps,
-            f'{service["alerts_per_sec"]:.0f} alerts/sec '
-            f"(absolute floor {scenario_floor_aps:.0f})",
-        )
-        if scenario_baseline is not None:
-            service_base = scenario_baseline.get("service_concurrent")
-            if service_base:
-                service_floor = service_base["alerts_per_sec"] * args.floor
-                check(
-                    "service_concurrent.alerts_per_sec_vs_baseline",
-                    service["alerts_per_sec"] >= service_floor,
-                    f'{service["alerts_per_sec"]:.0f} alerts/sec (floor '
-                    f"{service_floor:.0f}, baseline "
-                    f'{service_base["alerts_per_sec"]:.0f})',
-                )
-            else:
-                # A missing committed section would silently disarm the
-                # gate; fail loudly so a stale BENCH_2 baseline cannot mask
-                # a front-door regression.
-                check(
-                    "service_concurrent.alerts_per_sec_vs_baseline",
-                    False,
-                    "section missing from the committed scenario baseline; "
-                    "regenerate BENCH_2.json to re-arm the gate",
-                )
-        service_threads = service["threads_available"]
-        if service_threads >= 4 and service["workers"] > 1:
+    if not service_ok:
+        return
+    check(
+        "service_concurrent.alerts",
+        service["alerts"] > 1000,
+        f'{service["alerts"]} alerts served across '
+        f'{service["tenants"]} tenants',
+    )
+    check(
+        "service_concurrent.alerts_per_sec",
+        service["alerts_per_sec"] >= scenario_floor_aps,
+        f'{service["alerts_per_sec"]:.0f} alerts/sec '
+        f"(absolute floor {scenario_floor_aps:.0f})",
+    )
+    if scenario_baseline is not None:
+        service_base = scenario_baseline.get("service_concurrent")
+        if service_base:
+            service_floor = service_base["alerts_per_sec"] * floor
             check(
-                "service_concurrent.speedup_vs_serial",
-                service["speedup_vs_serial"] > 1.3,
-                f'{service["speedup_vs_serial"]:.2f}x over '
-                f'{service["workers"]} workers '
-                f"({service_threads} threads available)",
+                "service_concurrent.alerts_per_sec_vs_baseline",
+                service["alerts_per_sec"] >= service_floor,
+                f'{service["alerts_per_sec"]:.0f} alerts/sec (floor '
+                f"{service_floor:.0f}, baseline "
+                f'{service_base["alerts_per_sec"]:.0f})',
             )
         else:
-            note = service.get("note", "")
-            print(
-                f"[SKIP] service_concurrent.speedup_vs_serial: only "
-                f"{service_threads} thread(s) available, measured "
-                f'{service["speedup_vs_serial"]:.2f}x'
-                + (f" — {note}" if note else "")
+            # A missing committed section would silently disarm the gate;
+            # fail loudly so a stale BENCH_2 baseline cannot mask a
+            # front-door regression.
+            check(
+                "service_concurrent.alerts_per_sec_vs_baseline",
+                False,
+                "section missing from the committed scenario baseline; "
+                "regenerate BENCH_2.json to re-arm the gate",
             )
+    service_threads = service["threads_available"]
+    if service_threads >= 4 and service["workers"] > 1:
+        check(
+            "service_concurrent.speedup_vs_serial",
+            service["speedup_vs_serial"] > 1.3,
+            f'{service["speedup_vs_serial"]:.2f}x over '
+            f'{service["workers"]} workers '
+            f"({service_threads} threads available)",
+        )
+    else:
+        note = service.get("note", "")
+        print(
+            f"[SKIP] service_concurrent.speedup_vs_serial: only "
+            f"{service_threads} thread(s) available, measured "
+            f'{service["speedup_vs_serial"]:.2f}x'
+            + (f" — {note}" if note else "")
+        )
 
-    # ---- BENCH_2: WAL cost and crash recovery ------------------------------
+
+def check_durability(scenarios, scenario_baseline, floor):
+    """BENCH_2: WAL cost and crash recovery."""
     # The durability section logs a 10k-alert day through the write-ahead
     # log (fsync on and off) and recovers it from the surviving bytes. The
     # bitwise-equality flag is a hard correctness gate: a recovered day that
@@ -276,6 +290,7 @@ def main():
     # noise. Throughput floors are absolute like the scenario replays —
     # fsync-on gets a much lower floor because a barrier per record is
     # disk-bound, not CPU-bound, and CI disks vary wildly.
+    scenario_floor_aps = 500.0
     durability = scenarios.get("durability")
     durability_ok = isinstance(durability, dict)
     check(
@@ -283,60 +298,60 @@ def main():
         durability_ok,
         "BENCH_2 carries a durability block",
     )
-    if durability_ok:
-        check(
-            "durability.alerts",
-            durability["alerts"] >= 10000,
-            f'{durability["alerts"]} alerts logged and recovered',
-        )
-        check(
-            "durability.recovered_bitwise_equal",
-            durability.get("recovered_bitwise_equal") is True,
-            "recovered day matches the uninterrupted run bitwise",
-        )
-        check(
-            "durability.fsync_off_alerts_per_sec",
-            durability["fsync_off_alerts_per_sec"] >= scenario_floor_aps,
-            f'{durability["fsync_off_alerts_per_sec"]:.0f} alerts/sec '
-            f"(floor {scenario_floor_aps:.0f})",
-        )
-        check(
-            "durability.fsync_on_alerts_per_sec",
-            durability["fsync_on_alerts_per_sec"] >= 25.0,
-            f'{durability["fsync_on_alerts_per_sec"]:.0f} alerts/sec '
-            "(floor 25, disk-bound)",
-        )
-        check(
-            "durability.recovery_alerts_per_sec",
-            durability["recovery_alerts_per_sec"] >= scenario_floor_aps,
-            f'{durability["recovery_alerts_per_sec"]:.0f} alerts/sec '
-            f'replayed in {durability["recovery_wall_seconds"]:.3f}s '
-            f"(floor {scenario_floor_aps:.0f})",
-        )
-        if scenario_baseline is not None:
-            durability_base = scenario_baseline.get("durability")
-            if durability_base:
-                recovery_floor = (
-                    durability_base["recovery_alerts_per_sec"] * args.floor)
-                check(
-                    "durability.recovery_vs_baseline",
-                    durability["recovery_alerts_per_sec"] >= recovery_floor,
-                    f'{durability["recovery_alerts_per_sec"]:.0f} alerts/sec '
-                    f"(floor {recovery_floor:.0f}, baseline "
-                    f'{durability_base["recovery_alerts_per_sec"]:.0f})',
-                )
-            else:
-                # A missing committed section would silently disarm the
-                # gate; fail loudly so a stale BENCH_2 baseline cannot mask
-                # a recovery regression.
-                check(
-                    "durability.recovery_vs_baseline",
-                    False,
-                    "section missing from the committed scenario baseline; "
-                    "regenerate BENCH_2.json to re-arm the gate",
-                )
+    if not durability_ok:
+        return
+    check(
+        "durability.alerts",
+        durability["alerts"] >= 10000,
+        f'{durability["alerts"]} alerts logged and recovered',
+    )
+    check(
+        "durability.recovered_bitwise_equal",
+        durability.get("recovered_bitwise_equal") is True,
+        "recovered day matches the uninterrupted run bitwise",
+    )
+    check(
+        "durability.fsync_off_alerts_per_sec",
+        durability["fsync_off_alerts_per_sec"] >= scenario_floor_aps,
+        f'{durability["fsync_off_alerts_per_sec"]:.0f} alerts/sec '
+        f"(floor {scenario_floor_aps:.0f})",
+    )
+    check(
+        "durability.fsync_on_alerts_per_sec",
+        durability["fsync_on_alerts_per_sec"] >= 25.0,
+        f'{durability["fsync_on_alerts_per_sec"]:.0f} alerts/sec '
+        "(floor 25, disk-bound)",
+    )
+    check(
+        "durability.recovery_alerts_per_sec",
+        durability["recovery_alerts_per_sec"] >= scenario_floor_aps,
+        f'{durability["recovery_alerts_per_sec"]:.0f} alerts/sec '
+        f'replayed in {durability["recovery_wall_seconds"]:.3f}s '
+        f"(floor {scenario_floor_aps:.0f})",
+    )
+    if scenario_baseline is not None:
+        durability_base = scenario_baseline.get("durability")
+        if durability_base:
+            recovery_floor = (
+                durability_base["recovery_alerts_per_sec"] * floor)
+            check(
+                "durability.recovery_vs_baseline",
+                durability["recovery_alerts_per_sec"] >= recovery_floor,
+                f'{durability["recovery_alerts_per_sec"]:.0f} alerts/sec '
+                f"(floor {recovery_floor:.0f}, baseline "
+                f'{durability_base["recovery_alerts_per_sec"]:.0f})',
+            )
+        else:
+            check(
+                "durability.recovery_vs_baseline",
+                False,
+                "section missing from the committed scenario baseline; "
+                "regenerate BENCH_2.json to re-arm the gate",
+            )
 
-    # ---- Sharded replay must actually scale on multi-core runners ---------
+
+def check_sharding(scenarios):
+    """BENCH_2: sharded replay must actually scale on multi-core runners."""
     # The comparison is only meaningful when the binary was built with the
     # `parallel` feature (otherwise replay_sharded runs sequentially and the
     # "speedup" is pure timer noise) — the perf-smoke job always builds with
@@ -369,8 +384,171 @@ def main():
             + (f" — {note}" if note else "")
         )
 
+
+def check_service_network(scenarios, scenario_baseline, floor):
+    """BENCH_2: the TCP front door under concurrent load (load_gen)."""
+    # Produced by `load_gen` driving a tenant fleet over real loopback
+    # sockets. `metrics_consistent` is a hard correctness gate — the
+    # counters scraped from the wire either account for every request the
+    # generator sent or the observability layer is lying. Throughput gets
+    # an absolute floor well under the committed numbers (socket framing
+    # on a noisy shared runner), latency is ceilinged against the
+    # committed baseline like BENCH_1's streaming block, and the shed
+    # probe's counters are deterministic, so they are gated exactly.
+    network_floor_aps = 300.0
+    network = scenarios.get("service_network")
+    network_ok = isinstance(network, dict)
+    check(
+        "service_network.present",
+        network_ok,
+        "report carries a service_network block",
+    )
+    if not network_ok:
+        return
+    check(
+        "service_network.metrics_consistent",
+        network.get("metrics_consistent") is True,
+        "scraped counters account for every request sent"
+        + (f' — {"; ".join(network["metrics_notes"])}'
+           if network.get("metrics_notes") else ""),
+    )
+    check(
+        "service_network.alerts",
+        network["alerts"] > 500,
+        f'{network["alerts"]} alerts served to {network["tenants"]} '
+        "concurrent tenants",
+    )
+    check(
+        "service_network.alerts_per_sec",
+        network["alerts_per_sec"] >= network_floor_aps,
+        f'{network["alerts_per_sec"]:.0f} alerts/sec sustained '
+        f"(absolute floor {network_floor_aps:.0f})",
+    )
+    lat = network["latency_micros"]
+    check(
+        "service_network.latency_sane",
+        0.0 < lat["p50"] <= lat["p99"],
+        f'p50 {lat["p50"]:.0f}us <= p99 {lat["p99"]:.0f}us',
+    )
+    probe = network.get("shed_probe")
+    probe_ok = isinstance(probe, dict)
+    check(
+        "service_network.shed_probe.present",
+        probe_ok,
+        "report carries the over-quota shed probe",
+    )
+    if probe_ok:
+        check(
+            "service_network.shed_probe.sheds",
+            probe["shed"] >= 1 and probe["served"] >= 1,
+            f'{probe["burst"]}-deep burst vs quota {probe["quota"]}: '
+            f'{probe["served"]} served, {probe["shed"]} shed',
+        )
+        check(
+            "service_network.shed_probe.retries",
+            probe["retried_ok"] == probe["shed"],
+            f'{probe["retried_ok"]}/{probe["shed"]} shed pushes succeeded '
+            "on retry",
+        )
+    if scenario_baseline is not None:
+        network_base = scenario_baseline.get("service_network")
+        if network_base:
+            aps_floor = network_base["alerts_per_sec"] * floor
+            check(
+                "service_network.alerts_per_sec_vs_baseline",
+                network["alerts_per_sec"] >= aps_floor,
+                f'{network["alerts_per_sec"]:.0f} alerts/sec (floor '
+                f"{aps_floor:.0f}, baseline "
+                f'{network_base["alerts_per_sec"]:.0f})',
+            )
+            p99_ceiling = network_base["latency_micros"]["p99"] / floor
+            check(
+                "service_network.p99_micros",
+                lat["p99"] <= p99_ceiling,
+                f'{lat["p99"]:.0f}us (ceiling {p99_ceiling:.0f}us, baseline '
+                f'{network_base["latency_micros"]["p99"]:.0f}us)',
+            )
+        else:
+            check(
+                "service_network.alerts_per_sec_vs_baseline",
+                False,
+                "section missing from the committed scenario baseline; "
+                "regenerate BENCH_2.json to re-arm the gate",
+            )
+
+
+def run_section(name, fn, *args):
+    """Run one section; a crash (missing key, wrong shape) fails that
+    section without silencing the others."""
+    try:
+        fn(*args)
+    except (KeyError, TypeError, IndexError) as e:
+        check(f"{name}.well_formed", False,
+              f"section check crashed on malformed report: {e!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline",
+                        help="committed BENCH_1.json baseline "
+                             "(required by the bench1 section)")
+    parser.add_argument("--throughput",
+                        help="freshly measured BENCH_1.json "
+                             "(required by the bench1 section)")
+    parser.add_argument("--scenarios",
+                        help="freshly measured BENCH_2.json (required by "
+                             "every section except bench1)")
+    parser.add_argument("--scenario-baseline", default=None,
+                        help="committed BENCH_2.json baseline (enables "
+                             "per-scenario, service and network floors "
+                             "against the committed numbers)")
+    parser.add_argument("--sections", default=",".join(SECTIONS),
+                        help="comma-separated subset of: "
+                             + ", ".join(SECTIONS))
+    parser.add_argument("--floor", type=float, default=0.25,
+                        help="fraction of the baseline the fresh run must "
+                             "retain")
+    args = parser.parse_args()
+
+    selected = [s.strip() for s in args.sections.split(",") if s.strip()]
+    unknown = [s for s in selected if s not in SECTIONS]
+    if unknown:
+        parser.error(f"unknown section(s): {', '.join(unknown)}")
+
+    needs_bench1 = "bench1" in selected
+    needs_scenarios = any(s != "bench1" for s in selected)
+    if needs_bench1 and not (args.baseline and args.throughput):
+        parser.error("the bench1 section needs --baseline and --throughput")
+    if needs_scenarios and not args.scenarios:
+        parser.error("every section except bench1 needs --scenarios")
+
+    baseline = load_json(args.baseline, "bench1") if needs_bench1 else None
+    fresh = load_json(args.throughput, "bench1") if needs_bench1 else None
+    scenarios = (load_json(args.scenarios, "scenarios")
+                 if needs_scenarios else None)
+    scenario_baseline = load_json(args.scenario_baseline, "scenario_baseline")
+
+    if needs_bench1 and baseline is not None and fresh is not None:
+        run_section("bench1", check_bench1, baseline, fresh, args.floor)
+    if scenarios is not None:
+        if "scenarios" in selected:
+            run_section("scenarios", check_scenarios, scenarios,
+                        scenario_baseline, baseline, args.floor)
+        if "service_concurrent" in selected:
+            run_section("service_concurrent", check_service_concurrent,
+                        scenarios, scenario_baseline, args.floor)
+        if "durability" in selected:
+            run_section("durability", check_durability, scenarios,
+                        scenario_baseline, args.floor)
+        if "sharding" in selected:
+            run_section("sharding", check_sharding, scenarios)
+        if "service_network" in selected:
+            run_section("service_network", check_service_network, scenarios,
+                        scenario_baseline, args.floor)
+
     if failures:
-        print(f"\n{len(failures)} perf floor(s) violated: {', '.join(failures)}")
+        print(f"\n{len(failures)} perf floor(s) violated: "
+              f"{', '.join(failures)}")
         return 1
     print("\nall perf floors hold")
     return 0

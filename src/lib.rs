@@ -22,6 +22,11 @@
 //!   [`ServiceBuilder::recover_from`](service::ServiceBuilder::recover_from).
 //! * [`scenarios`] — the named-workload registry and replay drivers
 //!   ([`sag_scenarios`]).
+//! * [`net`] — the network front door ([`sag_net`]): a threaded TCP server
+//!   speaking a length-prefixed, CRC-checked binary codec for the service
+//!   [`Request`](service::Request)/[`Response`](service::Response) types,
+//!   with bounded per-tenant admission, load shedding, and a plaintext
+//!   metrics endpoint on the same listener.
 //!
 //! Construction goes through validated builders —
 //! [`EngineBuilder`](core::EngineBuilder) for one engine,
@@ -37,6 +42,7 @@
 pub use sag_core as core;
 pub use sag_forecast as forecast;
 pub use sag_lp as lp;
+pub use sag_net as net;
 pub use sag_scenarios as scenarios;
 pub use sag_service as service;
 pub use sag_sim as sim;
@@ -136,6 +142,7 @@ pub mod prelude {
     pub use sag_core::{ConfigError, SagError};
     pub use sag_forecast::{ArrivalModel, FutureAlertEstimator, RollbackPolicy};
     pub use sag_lp::{LpProblem, Objective as LpObjective, Relation};
+    pub use sag_net::{Client, Server, ServerConfig};
     pub use sag_scenarios::{
         find_scenario, registry, run_scenario, run_scenario_service, run_scenario_sized,
         stream_scenario_sized, Scenario, ScenarioRun, ServiceRun, StreamingRun,
