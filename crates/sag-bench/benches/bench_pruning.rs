@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sag_core::sse::{SseCache, SseInput, SseSolver};
 use sag_pool::{Task, WorkerPool};
-use sag_scenarios::library::{MetroGrid, MultiSite, PaperBaseline};
+use sag_scenarios::library::{ContinentalSprawl, GlobalMesh, MetroGrid, MultiSite, PaperBaseline};
 use sag_scenarios::Scenario;
 use std::hint::black_box;
 
@@ -28,15 +28,20 @@ fn scenario_inputs(scenario: &dyn Scenario) -> (sag_core::GameConfig, Vec<f64>, 
 
 /// Steady-state cached solves over a drifting budget (the shape of
 /// consecutive alerts), pruned vs exhaustive, on the paper's 7-type game,
-/// the 14-type multi-site federation and the 28-type metro grid. The ratio
-/// of the two arms at each size is the headline pruning speedup; its growth
-/// with the type count is the scale-with-change (not type-count) claim.
+/// the 14-type multi-site federation, the 28-type metro grid and the
+/// unregistered 64/128-type XL synthesized federations. The ratio of the
+/// two arms at each size is the headline pruning speedup; its growth with
+/// the type count is the scale-with-change (not type-count) claim.
 fn pruned_vs_exhaustive(c: &mut Criterion) {
     let mut group = c.benchmark_group("sse_pruning");
-    let scenarios: [(&str, &dyn Scenario); 3] = [
+    let scenarios: [(&str, &dyn Scenario); 5] = [
         ("7_types_paper", &PaperBaseline),
         ("14_types_multi_site", &MultiSite),
         ("28_types_metro_grid", &MetroGrid),
+        // The unregistered XL synthesized federations: the scaling story the
+        // blocked kernel and the ε-approximate mode exist for.
+        ("64_types_continental_sprawl", &ContinentalSprawl),
+        ("128_types_global_mesh", &GlobalMesh),
     ];
     for (size_label, scenario) in scenarios {
         let (game, estimates, budget) = scenario_inputs(scenario);

@@ -3,7 +3,8 @@
 //! bulk alerts/sec, p50/p99 per-alert latency, simplex pivots per LP, the
 //! warm-start hit rate, the per-alert *decision* latency of the streaming
 //! `DaySession` ingest mode, and the warm-vs-cold speedup on the 5-type
-//! game.
+//! game — plus the blocked-kernel vs frozen-reference LP comparison at
+//! 28/64/128 types and the certified ε-approximate mode leg.
 //!
 //! Usage: `cargo run --release -p sag-bench --bin repro_throughput [seed] [out.json]`
 
@@ -73,6 +74,32 @@ fn main() {
         p.lp_solves_per_solve_pruned,
         p.lp_solves_per_solve_exhaustive,
         p.pruned_lp_fraction * 100.0
+    );
+    println!("LP kernel (blocked vs frozen reference, cold candidate LPs):");
+    for size in &report.lp_kernel.sizes {
+        println!(
+            "  {:>3} types           : {:>8.1} us ref vs {:>8.1} us kernel ({:.2}x), \
+             {:.1} pivots/LP, {:.0} ns/pivot",
+            size.types,
+            size.reference_micros,
+            size.kernel_micros,
+            size.speedup,
+            size.pivots_per_lp,
+            size.kernel_nanos_per_pivot
+        );
+    }
+    let e = &report.lp_kernel.epsilon_mode;
+    println!(
+        "eps mode (global-mesh): eps {:.0} skipped {:.1}% of candidate decisions \
+         ({} LPs over {} solves)",
+        e.epsilon,
+        e.skip_fraction * 100.0,
+        e.skipped_lps,
+        e.solves
+    );
+    println!(
+        "  certified loss      : {:>10.3} worst day, {:.3} total over {} day(s)",
+        e.worst_day_certified_loss, e.total_certified_loss, e.days
     );
     println!("paper reference       : ~20000.0 us per alert (2017 laptop hardware)");
 

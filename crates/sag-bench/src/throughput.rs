@@ -13,6 +13,14 @@
 //!   update, both worlds' SSE solves, the signaling scheme and the budget
 //!   charge.
 //!
+//! Two further legs ride along in the same report: the **LP kernel**
+//! comparison (cold candidate-LP solves through the blocked production
+//! kernel vs the frozen scalar reference at 28/64/128 types, objectives
+//! asserted bitwise equal) and the **ε-approximate mode** replay of the
+//! unregistered 128-type `global-mesh` game, which records how many
+//! candidate LPs the ε-widened Lagrangian bound retired and the certified
+//! utility-loss bound the engine surfaced for it.
+//!
 //! The workload comes from the `sag-scenarios` registry (default:
 //! `paper-baseline`), so this bench and `repro_scenarios` can never drift
 //! apart on what they replay.
@@ -23,6 +31,8 @@
 use crate::setup;
 use sag_core::sse::{SseCache, SseSolver};
 use sag_core::CycleResult;
+use sag_lp::{LpProblem, ReferenceWorkspace, SimplexWorkspace};
+use sag_scenarios::library::GlobalMesh;
 use sag_scenarios::{
     find_scenario, run_scenario_sized, run_scenario_sized_with, stream_scenario_sized,
 };
@@ -42,6 +52,16 @@ pub struct ThroughputConfig {
     pub test_days: Option<u32>,
     /// Solves per arm of the warm-vs-cold 5-type comparison.
     pub comparison_solves: usize,
+    /// Cold candidate-LP solves per size and per arm of the blocked-kernel
+    /// vs frozen-reference comparison.
+    pub kernel_solves: usize,
+    /// Utility-loss tolerance of the ε-approximate mode leg (0 would make
+    /// the leg measure the exact mode and skip nothing).
+    pub epsilon: f64,
+    /// History days of the ε-mode `global-mesh` replay.
+    pub epsilon_history_days: u32,
+    /// Test days of the ε-mode `global-mesh` replay.
+    pub epsilon_test_days: u32,
 }
 
 impl ThroughputConfig {
@@ -55,9 +75,18 @@ impl ThroughputConfig {
             history_days: None,
             test_days: None,
             comparison_solves: 2_000,
+            kernel_solves: 160,
+            epsilon: 50.0,
+            epsilon_history_days: 2,
+            epsilon_test_days: 2,
         }
     }
 }
+
+/// Type counts of the kernel comparison: the largest registered federation
+/// (metro-grid) and the two unregistered XL synthesized games
+/// (`continental-sprawl`, `global-mesh`).
+pub const KERNEL_SIZES: [usize; 3] = [28, 64, 128];
 
 /// Per-alert decision-latency percentiles of the streaming ingest mode.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +124,62 @@ pub struct PruningReport {
     pub lp_solves_per_solve_exhaustive: f64,
 }
 
+/// One size point of the blocked-kernel vs frozen-reference comparison:
+/// cold solves of identical candidate-shaped LPs through both kernels, with
+/// the objectives asserted bitwise equal (both run Bland pricing, so the
+/// pivot sequences match by construction).
+#[derive(Debug, Clone, Copy)]
+pub struct LpKernelSizeReport {
+    /// Alert-type count (= variable count of each candidate LP).
+    pub types: usize,
+    /// Cold solves timed per arm.
+    pub solves: usize,
+    /// Mean cold solve through the frozen scalar reference, microseconds.
+    pub reference_micros: f64,
+    /// Mean cold solve through the blocked production kernel, microseconds.
+    pub kernel_micros: f64,
+    /// `reference / kernel` — above 1 means the blocked kernel won.
+    pub speedup: f64,
+    /// Mean simplex pivots per candidate LP (identical across the arms).
+    pub pivots_per_lp: f64,
+    /// Mean blocked-kernel time per pivot, nanoseconds.
+    pub kernel_nanos_per_pivot: f64,
+}
+
+/// The ε-approximate mode measured on a `global-mesh` (128-type) replay:
+/// how many candidate LPs the Lagrangian bound retired under the ε slack,
+/// and the certified utility-loss bound the engine surfaced for it.
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonModeReport {
+    /// Utility-loss tolerance the replay ran with.
+    pub epsilon: f64,
+    /// Alert-type count of the replayed game.
+    pub types: usize,
+    /// Test days replayed.
+    pub days: u32,
+    /// SSE solves across the replay.
+    pub solves: u64,
+    /// Candidate LPs skipped by the ε-widened bound.
+    pub skipped_lps: u64,
+    /// `skipped / (skipped + pruned + solved)` — the fraction of candidate
+    /// decisions the ε certificate retired.
+    pub skip_fraction: f64,
+    /// Largest per-day `CycleResult::certified_eps_loss` seen.
+    pub worst_day_certified_loss: f64,
+    /// Summed certified loss across all replayed days.
+    pub total_certified_loss: f64,
+}
+
+/// The LP-kernel section of the report: the per-size kernel comparison plus
+/// the ε-approximate mode leg.
+#[derive(Debug, Clone, Copy)]
+pub struct LpKernelReport {
+    /// One entry per [`KERNEL_SIZES`] type count.
+    pub sizes: [LpKernelSizeReport; 3],
+    /// The ε-approximate mode leg on the 128-type game.
+    pub epsilon_mode: EpsilonModeReport,
+}
+
 /// Everything a throughput run measures.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputReport {
@@ -125,6 +210,8 @@ pub struct ThroughputReport {
     pub warm_speedup_5type: f64,
     /// Pruned-vs-exhaustive comparison on the same workload.
     pub pruning: PruningReport,
+    /// Blocked-kernel vs reference comparison and the ε-mode leg.
+    pub lp_kernel: LpKernelReport,
 }
 
 /// Run the full throughput experiment.
@@ -152,6 +239,7 @@ pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
     let streaming = streaming_experiment(config);
     let (warm_micros_5type, cold_micros_5type) = warm_vs_cold_5type(config.comparison_solves);
     let pruning = pruning_experiment(config);
+    let lp_kernel = lp_kernel_experiment(config);
     summarize(
         &run.cycles,
         run.wall_seconds,
@@ -159,7 +247,158 @@ pub fn throughput_experiment(config: &ThroughputConfig) -> ThroughputReport {
         warm_micros_5type,
         cold_micros_5type,
         pruning,
+        lp_kernel,
     )
+}
+
+/// Compare the blocked production kernel against the frozen scalar
+/// reference on cold candidate-shaped LPs at every [`KERNEL_SIZES`] type
+/// count, then measure the ε-approximate mode on a `global-mesh` replay.
+///
+/// # Panics
+///
+/// Panics if any LP fails to solve, if the two kernels disagree on an
+/// objective bitwise, or if the `global-mesh` replay fails — all workspace
+/// bugs rather than user errors.
+#[must_use]
+pub fn lp_kernel_experiment(config: &ThroughputConfig) -> LpKernelReport {
+    let sizes = KERNEL_SIZES.map(|types| kernel_size_comparison(types, config.kernel_solves));
+    let epsilon_mode = epsilon_mode_experiment(
+        config.seed,
+        config.epsilon,
+        config.epsilon_history_days,
+        config.epsilon_test_days,
+    );
+    LpKernelReport {
+        sizes,
+        epsilon_mode,
+    }
+}
+
+/// One timed cold solve through the frozen reference kernel.
+fn timed_reference(workspace: &mut ReferenceWorkspace, lp: &LpProblem, nanos: &mut u128) -> f64 {
+    let started = Instant::now();
+    let solution = workspace.solve(lp).expect("reference kernel solves");
+    *nanos += started.elapsed().as_nanos();
+    let objective = solution.objective();
+    workspace.recycle(solution);
+    objective
+}
+
+/// One timed cold solve through the blocked production kernel.
+fn timed_kernel(
+    workspace: &mut SimplexWorkspace,
+    lp: &LpProblem,
+    nanos: &mut u128,
+    pivots: &mut u64,
+) -> f64 {
+    let started = Instant::now();
+    let solution = lp.solve_with(workspace).expect("blocked kernel solves");
+    *nanos += started.elapsed().as_nanos();
+    *pivots += workspace.last_pivots() as u64;
+    let objective = solution.objective();
+    workspace.recycle(solution);
+    objective
+}
+
+/// Time `solves` cold candidate-LP solves at one type count through both
+/// kernels, asserting the objectives bitwise equal per program. The arm
+/// order alternates per step so problem-construction cache warmth cannot
+/// systematically favour one side.
+fn kernel_size_comparison(types: usize, solves: usize) -> LpKernelSizeReport {
+    let solves = solves.max(2);
+    let mut reference = ReferenceWorkspace::new();
+    let mut kernel = SimplexWorkspace::new();
+    let mut reference_nanos = 0u128;
+    let mut kernel_nanos = 0u128;
+    let mut pivots = 0u64;
+
+    // Unmeasured warmup so neither arm pays its workspace's buffer growth.
+    let warmup = setup::candidate_lp(types, 0);
+    let mut scratch = 0u128;
+    let mut scratch_pivots = 0u64;
+    timed_reference(&mut reference, &warmup, &mut scratch);
+    timed_kernel(&mut kernel, &warmup, &mut scratch, &mut scratch_pivots);
+
+    for step in 0..solves {
+        let lp = setup::candidate_lp(types, step);
+        let (reference_objective, kernel_objective) = if step % 2 == 0 {
+            let r = timed_reference(&mut reference, &lp, &mut reference_nanos);
+            let k = timed_kernel(&mut kernel, &lp, &mut kernel_nanos, &mut pivots);
+            (r, k)
+        } else {
+            let k = timed_kernel(&mut kernel, &lp, &mut kernel_nanos, &mut pivots);
+            let r = timed_reference(&mut reference, &lp, &mut reference_nanos);
+            (r, k)
+        };
+        assert_eq!(
+            reference_objective.to_bits(),
+            kernel_objective.to_bits(),
+            "blocked kernel diverged from the frozen reference at {types} types (step {step}): \
+             {reference_objective} vs {kernel_objective}"
+        );
+    }
+
+    let reference_micros = reference_nanos as f64 / 1e3 / solves as f64;
+    let kernel_micros = kernel_nanos as f64 / 1e3 / solves as f64;
+    LpKernelSizeReport {
+        types,
+        solves,
+        reference_micros,
+        kernel_micros,
+        speedup: if kernel_micros > 0.0 {
+            reference_micros / kernel_micros
+        } else {
+            0.0
+        },
+        pivots_per_lp: pivots as f64 / solves as f64,
+        kernel_nanos_per_pivot: if pivots > 0 {
+            kernel_nanos as f64 / pivots as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Replay the unregistered 128-type `global-mesh` scenario with the
+/// ε-approximate mode on and report what the certificate retired and what
+/// it cost. The loss bound comes straight from the per-day
+/// [`CycleResult::certified_eps_loss`] the engine surfaces.
+///
+/// # Panics
+///
+/// Panics if the replay fails (a workspace bug rather than a user error).
+#[must_use]
+pub fn epsilon_mode_experiment(
+    seed: u64,
+    epsilon: f64,
+    history_days: u32,
+    test_days: u32,
+) -> EpsilonModeReport {
+    let run = run_scenario_sized_with(&GlobalMesh, seed, 1, history_days, test_days, |engine| {
+        engine.epsilon = epsilon;
+    })
+    .expect("global-mesh replay succeeds");
+    let totals = run.sse_totals();
+    let decisions = totals.eps_skipped_lps + totals.pruned_lps + totals.lp_solves;
+    EpsilonModeReport {
+        epsilon,
+        types: GlobalMesh::TYPES,
+        days: test_days,
+        solves: totals.solves,
+        skipped_lps: totals.eps_skipped_lps,
+        skip_fraction: if decisions > 0 {
+            totals.eps_skipped_lps as f64 / decisions as f64
+        } else {
+            0.0
+        },
+        worst_day_certified_loss: run
+            .cycles
+            .iter()
+            .map(|c| c.certified_eps_loss)
+            .fold(0.0, f64::max),
+        total_certified_loss: run.certified_eps_loss(),
+    }
 }
 
 /// Replay the configured workload twice — incremental pruning on, then off
@@ -286,6 +525,7 @@ fn summarize(
     warm_micros_5type: f64,
     cold_micros_5type: f64,
     pruning: PruningReport,
+    lp_kernel: LpKernelReport,
 ) -> ThroughputReport {
     let mut latencies: Vec<u64> = cycles
         .iter()
@@ -348,6 +588,7 @@ fn summarize(
             0.0
         },
         pruning,
+        lp_kernel,
     }
 }
 
@@ -465,6 +706,51 @@ pub fn render_json(report: &ThroughputReport) -> String {
         "    \"lp_solves_per_solve_exhaustive\": {:.3}",
         p.lp_solves_per_solve_exhaustive
     );
+    let _ = writeln!(out, "  }},");
+    let k = &report.lp_kernel;
+    let _ = writeln!(out, "  \"lp_kernel\": {{");
+    let _ = writeln!(out, "    \"sizes\": [");
+    for (i, size) in k.sizes.iter().enumerate() {
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(out, "        \"types\": {},", size.types);
+        let _ = writeln!(out, "        \"solves\": {},", size.solves);
+        let _ = writeln!(
+            out,
+            "        \"reference_micros\": {:.3},",
+            size.reference_micros
+        );
+        let _ = writeln!(out, "        \"kernel_micros\": {:.3},", size.kernel_micros);
+        let _ = writeln!(out, "        \"speedup\": {:.3},", size.speedup);
+        let _ = writeln!(out, "        \"pivots_per_lp\": {:.3},", size.pivots_per_lp);
+        let _ = writeln!(
+            out,
+            "        \"kernel_nanos_per_pivot\": {:.1}",
+            size.kernel_nanos_per_pivot
+        );
+        let close = if i + 1 == k.sizes.len() { "}" } else { "}," };
+        let _ = writeln!(out, "      {close}");
+    }
+    let _ = writeln!(out, "    ],");
+    let e = &k.epsilon_mode;
+    let _ = writeln!(out, "    \"epsilon_mode\": {{");
+    let _ = writeln!(out, "      \"scenario\": \"global-mesh\",");
+    let _ = writeln!(out, "      \"types\": {},", e.types);
+    let _ = writeln!(out, "      \"epsilon\": {:.3},", e.epsilon);
+    let _ = writeln!(out, "      \"test_days\": {},", e.days);
+    let _ = writeln!(out, "      \"solves\": {},", e.solves);
+    let _ = writeln!(out, "      \"skipped_candidate_lps\": {},", e.skipped_lps);
+    let _ = writeln!(out, "      \"skip_fraction\": {:.4},", e.skip_fraction);
+    let _ = writeln!(
+        out,
+        "      \"worst_day_certified_loss\": {:.4},",
+        e.worst_day_certified_loss
+    );
+    let _ = writeln!(
+        out,
+        "      \"total_certified_loss\": {:.4}",
+        e.total_certified_loss
+    );
+    let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "  }}");
     out.push('}');
     out
@@ -482,6 +768,10 @@ mod tests {
             history_days: Some(6),
             test_days: Some(2),
             comparison_solves: 50,
+            kernel_solves: 6,
+            epsilon: 50.0,
+            epsilon_history_days: 1,
+            epsilon_test_days: 1,
         };
         let report = throughput_experiment(&config);
         assert!(report.alerts > 100);
@@ -528,6 +818,43 @@ mod tests {
             p.pruned_lp_fraction
         );
         assert!(p.lp_solves_per_solve_pruned < p.lp_solves_per_solve_exhaustive);
+        // The kernel comparison itself asserts bitwise-equal objectives; the
+        // report must carry real work at every size. Wall-clock speedup is
+        // left ungated — this is a debug-mode smoke run.
+        let k = &report.lp_kernel;
+        for (expected, size) in KERNEL_SIZES.iter().zip(&k.sizes) {
+            assert_eq!(size.types, *expected);
+            assert!(size.reference_micros > 0.0);
+            assert!(size.kernel_micros > 0.0);
+            assert!(
+                size.pivots_per_lp >= 1.0,
+                "{} types: {} pivots/LP",
+                size.types,
+                size.pivots_per_lp
+            );
+            assert!(size.kernel_nanos_per_pivot > 0.0);
+        }
+        // Pivot work must grow with the type count, or the candidate-shaped
+        // programs have degenerated into trivial LPs.
+        assert!(k.sizes[0].pivots_per_lp < k.sizes[2].pivots_per_lp);
+        // The ε leg replays a real day of global-mesh; its certificate obeys
+        // the per-day ε × solves bound the engine guarantees.
+        let e = &k.epsilon_mode;
+        assert_eq!(e.types, 128);
+        assert!(e.solves > 0);
+        assert!((0.0..=1.0).contains(&e.skip_fraction));
+        assert!(e.worst_day_certified_loss >= 0.0);
+        assert!(e.worst_day_certified_loss <= e.total_certified_loss + 1e-12);
+        assert!(
+            e.total_certified_loss <= e.epsilon * e.solves as f64 + 1e-9,
+            "certified loss {} above ε × solves",
+            e.total_certified_loss
+        );
+        assert!(
+            e.skipped_lps > 0,
+            "ε = {} skipped no candidate LPs on global-mesh",
+            e.epsilon
+        );
     }
 
     #[test]
@@ -560,6 +887,47 @@ mod tests {
                 lp_solves_per_solve_pruned: 1.1,
                 lp_solves_per_solve_exhaustive: 7.0,
             },
+            lp_kernel: LpKernelReport {
+                sizes: [
+                    LpKernelSizeReport {
+                        types: 28,
+                        solves: 160,
+                        reference_micros: 9.0,
+                        kernel_micros: 6.0,
+                        speedup: 1.5,
+                        pivots_per_lp: 24.0,
+                        kernel_nanos_per_pivot: 250.0,
+                    },
+                    LpKernelSizeReport {
+                        types: 64,
+                        solves: 160,
+                        reference_micros: 60.0,
+                        kernel_micros: 30.0,
+                        speedup: 2.0,
+                        pivots_per_lp: 55.0,
+                        kernel_nanos_per_pivot: 545.5,
+                    },
+                    LpKernelSizeReport {
+                        types: 128,
+                        solves: 160,
+                        reference_micros: 400.0,
+                        kernel_micros: 160.0,
+                        speedup: 2.5,
+                        pivots_per_lp: 110.0,
+                        kernel_nanos_per_pivot: 1454.5,
+                    },
+                ],
+                epsilon_mode: EpsilonModeReport {
+                    epsilon: 50.0,
+                    types: 128,
+                    days: 2,
+                    solves: 7000,
+                    skipped_lps: 900,
+                    skip_fraction: 0.1234,
+                    worst_day_certified_loss: 31.5,
+                    total_certified_loss: 44.25,
+                },
+            },
         };
         let json = render_json(&report);
         for needle in [
@@ -577,6 +945,21 @@ mod tests {
             "\"pruned_lp_fraction\": 0.8400",
             "\"lp_solves_per_solve_pruned\": 1.100",
             "\"lp_solves_per_solve_exhaustive\": 7.000",
+            "\"lp_kernel\"",
+            "\"types\": 28",
+            "\"types\": 128",
+            "\"reference_micros\": 400.000",
+            "\"kernel_micros\": 160.000",
+            "\"speedup\": 2.500",
+            "\"pivots_per_lp\": 110.000",
+            "\"kernel_nanos_per_pivot\": 1454.5",
+            "\"epsilon_mode\"",
+            "\"scenario\": \"global-mesh\"",
+            "\"epsilon\": 50.000",
+            "\"skipped_candidate_lps\": 900",
+            "\"skip_fraction\": 0.1234",
+            "\"worst_day_certified_loss\": 31.5000",
+            "\"total_certified_loss\": 44.2500",
         ] {
             assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
         }

@@ -133,6 +133,14 @@ impl EngineBuilder {
         self
     }
 
+    /// ε-approximate solve tolerance (auditor-utility units); `0.0` is the
+    /// exact mode. Must be finite and nonnegative.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
     /// Validate the accumulated configuration and return it without
     /// constructing an engine (scenario definitions and tests use this).
     ///
@@ -188,6 +196,7 @@ mod tests {
             .signal_noise(0.1)
             .backend(SolverBackendKind::SimplexLp)
             .pruning(false)
+            .epsilon(0.25)
             .accounting(BudgetAccounting::Sampled { seed: 3 })
             .build_config()
             .unwrap();
@@ -196,6 +205,7 @@ mod tests {
         assert_eq!(config.signal_noise, 0.1);
         assert_eq!(config.backend, SolverBackendKind::SimplexLp);
         assert!(!config.pruning);
+        assert_eq!(config.epsilon, 0.25);
         assert_eq!(config.accounting, BudgetAccounting::Sampled { seed: 3 });
     }
 
@@ -211,6 +221,12 @@ mod tests {
         assert!(matches!(
             EngineBuilder::paper_multi_type().budget(-1.0).build(),
             Err(SagError::InvalidConfig(ConfigError::InvalidBudget { .. }))
+        ));
+        assert!(matches!(
+            EngineBuilder::paper_multi_type().epsilon(-0.5).build(),
+            Err(SagError::InvalidConfig(
+                ConfigError::EpsilonOutOfRange { .. }
+            ))
         ));
         assert!(matches!(
             EngineBuilder::paper_multi_type()

@@ -54,6 +54,14 @@ pub struct EngineConfig {
     /// caveat in [`crate::sse`]); the switch exists for the equivalence
     /// tests and benchmarks, not as a behavioural knob.
     pub pruning: bool,
+    /// ε-approximate solve tolerance (auditor-utility units). With
+    /// `epsilon > 0.0` (and pruning on), cached SSE solves may also skip
+    /// candidate LPs whose certified re-priced bound exceeds the incumbent
+    /// by at most ε; the accumulated per-day utility-loss bound is surfaced
+    /// as [`crate::engine::CycleResult::certified_eps_loss`]. `0.0` (the
+    /// default) is the exact mode and is bitwise-identical to it — results
+    /// *and* work counters. Must be finite and nonnegative.
+    pub epsilon: f64,
 }
 
 impl EngineConfig {
@@ -70,6 +78,7 @@ impl EngineConfig {
             signal_noise: 0.0,
             backend: SolverBackendKind::Auto,
             pruning: true,
+            epsilon: 0.0,
         }
     }
 
@@ -97,6 +106,12 @@ impl EngineConfig {
         if !(self.signal_noise >= 0.0 && self.signal_noise <= 1.0) {
             return Err(ConfigError::SignalNoiseOutOfRange {
                 value: self.signal_noise,
+            }
+            .into());
+        }
+        if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
+            return Err(ConfigError::EpsilonOutOfRange {
+                value: self.epsilon,
             }
             .into());
         }

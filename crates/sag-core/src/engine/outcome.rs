@@ -67,6 +67,12 @@ pub struct CycleResult {
     /// Aggregate solver work of the OSSP-world SSE cache over this day
     /// (solves, warm-start attempts/hits, pivots).
     pub sse_totals: SseCacheTotals,
+    /// Certified upper bound on the auditor utility given up by the
+    /// ε-approximate solve mode over this day (OSSP world), summed across
+    /// the day's solves. Exactly `0.0` when the engine runs exact
+    /// (`epsilon = 0.0`); with `epsilon > 0` the bound is at most
+    /// `epsilon × sse_totals.solves`.
+    pub certified_eps_loss: f64,
 }
 
 impl CycleResult {

@@ -106,6 +106,10 @@ pub struct Session<E: Borrow<AuditCycleEngine>> {
     outcomes: Vec<AlertOutcome>,
     backends: SessionBackends,
     totals_at_open: SseCacheTotals,
+    /// OSSP backend's cumulative certified ε loss when the session opened,
+    /// so `finish` can attribute exactly this day's loss (the backend is
+    /// reused across the days of a replay shard, like the totals).
+    eps_loss_at_open: f64,
     /// Reusable per-alert estimate buffer (one forecast vector per push).
     estimates: Vec<f64>,
     /// Day index reported on the [`CycleResult`]; pinned by
@@ -134,7 +138,7 @@ impl AuditCycleEngine {
     /// game's type count).
     pub fn new(config: EngineConfig) -> Result<Self> {
         config.validate()?;
-        let solver = SseSolver::with_pruning(config.pruning);
+        let solver = SseSolver::with_options(config.pruning, config.epsilon);
         Ok(AuditCycleEngine {
             config,
             solver,
@@ -170,6 +174,7 @@ impl AuditCycleEngine {
         let wants_fan_out = self.config.game.num_types() >= crate::sse::solver::PARALLEL_MIN_TYPES;
         BackendOptions {
             pruning: self.config.pruning,
+            epsilon: self.config.epsilon,
             pool: if wants_fan_out {
                 self.pool().cloned()
             } else {
@@ -343,6 +348,7 @@ impl<E: Borrow<AuditCycleEngine>> Session<E> {
         };
 
         let totals_at_open = backends.ossp.totals();
+        let eps_loss_at_open = backends.ossp.certified_eps_loss();
         Ok(Session {
             engine,
             estimator,
@@ -353,6 +359,7 @@ impl<E: Borrow<AuditCycleEngine>> Session<E> {
             outcomes: Vec::new(),
             backends,
             totals_at_open,
+            eps_loss_at_open,
             estimates: Vec::new(),
             day: None,
         })
@@ -539,6 +546,7 @@ impl<E: Borrow<AuditCycleEngine>> Session<E> {
                 .map(|t| self.offline.coverage_of(AlertTypeId(t as u16)))
                 .collect(),
             sse_totals: self.backends.ossp.totals().since(&self.totals_at_open),
+            certified_eps_loss: self.backends.ossp.certified_eps_loss() - self.eps_loss_at_open,
         };
         (result, self.backends)
     }

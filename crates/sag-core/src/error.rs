@@ -70,6 +70,11 @@ pub enum ConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// `epsilon` is negative or non-finite.
+    EpsilonOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
     /// The selected solver backend cannot solve a game with this type count
     /// (e.g. the closed-form backend on a multi-type game).
     UnsupportedBackend {
@@ -126,6 +131,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::SignalNoiseOutOfRange { value } => {
                 write!(f, "signal_noise must be in [0, 1], got {value}")
+            }
+            ConfigError::EpsilonOutOfRange { value } => {
+                write!(f, "epsilon must be finite and nonnegative, got {value}")
             }
             ConfigError::UnsupportedBackend { backend, num_types } => write!(
                 f,

@@ -55,6 +55,14 @@ pub trait SolverBackend: std::fmt::Debug + Send {
     /// Cumulative solver-work counters across every solve of this backend.
     fn totals(&self) -> SseCacheTotals;
 
+    /// Cumulative certified utility-loss bound of the ε-approximate mode
+    /// across every solve of this backend. Exact backends (and ε = 0
+    /// configurations) report 0.0; a backend running with ε > 0 reports the
+    /// sum over solves of its per-solve certified loss, each term ≤ ε.
+    fn certified_eps_loss(&self) -> f64 {
+        0.0
+    }
+
     /// Hand a finished solution back so the backend can reuse its buffers
     /// for a later solve. Optional: the default drops the solution.
     fn recycle(&mut self, solution: SseSolution) {
@@ -70,6 +78,12 @@ pub struct BackendOptions {
     /// Whether cached solves use incremental candidate pruning (results are
     /// identical either way; see [`SseSolver::exhaustive`]).
     pub pruning: bool,
+    /// ε-approximate mode tolerance (auditor-utility units): cached pruned
+    /// solves may also skip candidates whose certified bound exceeds the
+    /// incumbent by at most ε, with the accumulated loss reported through
+    /// [`SolverBackend::certified_eps_loss`]. `0.0` (the default) is the
+    /// exact mode — bitwise identical results and counters.
+    pub epsilon: f64,
     /// Worker pool for the exhaustive candidate fan-out of games with many
     /// types. `None` solves candidates sequentially.
     pub pool: Option<Arc<WorkerPool>>,
@@ -79,6 +93,7 @@ impl Default for BackendOptions {
     fn default() -> Self {
         BackendOptions {
             pruning: true,
+            epsilon: 0.0,
             pool: None,
         }
     }
@@ -176,10 +191,11 @@ impl SimplexLpBackend {
         }
     }
 
-    /// Apply shared [`BackendOptions`]: pruning mode and worker pool.
+    /// Apply shared [`BackendOptions`]: pruning mode, ε tolerance and
+    /// worker pool.
     #[must_use]
     pub fn with_options(mut self, options: &BackendOptions) -> Self {
-        self.solver = SseSolver::with_pruning(options.pruning);
+        self.solver = SseSolver::with_options(options.pruning, options.epsilon);
         self.pool = options.pool.clone();
         self
     }
@@ -209,6 +225,10 @@ impl SolverBackend for SimplexLpBackend {
 
     fn totals(&self) -> SseCacheTotals {
         self.cache.totals
+    }
+
+    fn certified_eps_loss(&self) -> f64 {
+        self.cache.certified_eps_loss()
     }
 
     fn recycle(&mut self, solution: SseSolution) {

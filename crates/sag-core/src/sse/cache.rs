@@ -32,6 +32,12 @@ pub struct SseCache {
     pub(super) spare_solutions: Vec<(Vec<f64>, Vec<f64>)>,
     /// Cumulative counters across every solve performed with this cache.
     pub totals: SseCacheTotals,
+    /// Cumulative certified utility-loss bound of the ε-approximate mode:
+    /// the sum over solves of `max(0, max ε-skipped upper bound − winner
+    /// utility)`. Each per-solve term is ≤ ε, so this is ≤ ε × solves.
+    /// Kept outside [`SseCacheTotals`] because it is a float (the totals
+    /// stay `Eq`-comparable integer counters). Always 0.0 at ε = 0.
+    pub(super) eps_loss: f64,
 }
 
 /// One candidate best-response type's warm-start slot: its cached LP, the
@@ -67,6 +73,9 @@ pub struct SseCacheTotals {
     /// Candidate LPs skipped because the incremental pruning bound proved
     /// they could not beat the incumbent winner (see [`super::SseSolver`]).
     pub pruned_lps: u64,
+    /// Candidate LPs skipped by the ε-approximate mode (bound above the
+    /// incumbent, but by no more than ε). Always zero at ε = 0.
+    pub eps_skipped_lps: u64,
 }
 
 impl SseCacheTotals {
@@ -83,6 +92,7 @@ impl SseCacheTotals {
             pivots: self.pivots - earlier.pivots,
             fast_path_solves: self.fast_path_solves - earlier.fast_path_solves,
             pruned_lps: self.pruned_lps - earlier.pruned_lps,
+            eps_skipped_lps: self.eps_skipped_lps - earlier.eps_skipped_lps,
         }
     }
 
@@ -124,6 +134,13 @@ impl SseCache {
     #[must_use]
     pub fn new() -> Self {
         SseCache::default()
+    }
+
+    /// Cumulative certified utility-loss bound accumulated by ε-approximate
+    /// solves through this cache (0.0 when every solve ran exactly).
+    #[must_use]
+    pub fn certified_eps_loss(&self) -> f64 {
+        self.eps_loss
     }
 
     /// Make sure the cache matches a game with `n` types, resetting the

@@ -17,6 +17,10 @@ pub struct SseSolveStats {
     /// Candidate LPs skipped by the incremental pruning bound (always zero
     /// on exhaustive solves).
     pub pruned_lps: u32,
+    /// Candidate LPs skipped by the ε-approximate mode: their re-priced
+    /// upper bound exceeded the incumbent, but by no more than ε (always
+    /// zero when ε = 0 or on exhaustive solves).
+    pub eps_skipped_lps: u32,
     /// Whether the single-type closed form bypassed the LP entirely.
     pub fast_path: bool,
 }

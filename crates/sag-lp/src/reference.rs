@@ -1,0 +1,480 @@
+//! Frozen pre-refactor simplex kernel, kept verbatim as a bitwise oracle.
+//!
+//! This module is the dense two-phase primal simplex exactly as it existed
+//! before the blocked/vectorized kernel landed in [`crate::simplex`]. It is
+//! **not** part of the production solve path: [`LpProblem::solve`] and the
+//! SSE solver always run the new kernel. The frozen copy exists for two
+//! purposes only:
+//!
+//! * **equivalence testing** — property tests solve randomized and golden
+//!   LPs through both kernels and assert bitwise-identical objectives,
+//!   values, duals, bases and pivot counts (the refactor's hard bar);
+//! * **benchmarking** — `sag-bench` measures kernel-vs-seed speedups by
+//!   timing identical solve sequences on both workspaces.
+//!
+//! Do not "fix" or optimize this file; any behavioral edit silently
+//! invalidates the oracle. The only intended differences from the original
+//! `simplex.rs` are the type rename (`SimplexWorkspace` →
+//! [`ReferenceWorkspace`]), the promotion of the two free solve functions to
+//! public methods, and a trimmed test module (the full suite moved to the
+//! new kernel, which the property tests hold to this one).
+
+use crate::problem::LpProblem;
+use crate::solution::{LpSolution, SolveStats};
+use crate::standard::StandardForm;
+use crate::{LpError, Result, EPS};
+
+/// Hard cap on pivots (the pre-refactor behavior: a fixed budget regardless
+/// of instance size; the new kernel scales its budget with the dimensions).
+const MAX_PIVOTS: usize = 100_000;
+
+/// Reusable state for repeated solves through the frozen reference kernel.
+///
+/// Mirrors the pre-refactor `SimplexWorkspace` field-for-field. Create one
+/// and call [`ReferenceWorkspace::solve`] /
+/// [`ReferenceWorkspace::solve_from_basis`] directly; the builder API on
+/// [`LpProblem`] always routes to the new kernel.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceWorkspace {
+    /// Standard form of the most recently loaded problem.
+    sf: StandardForm,
+    /// Flat `rows × total` tableau (structural + slack | artificials).
+    a: Vec<f64>,
+    /// Right-hand side per row (kept nonnegative by pivoting).
+    b: Vec<f64>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Cost vector of the current phase, length `total`.
+    costs: Vec<f64>,
+    /// Basic components of `costs`, refreshed before each pricing pass.
+    cb: Vec<f64>,
+    /// Scratch copy of the pivot row (avoids aliasing during elimination).
+    pivot_row: Vec<f64>,
+    /// Recycled buffers for [`LpSolution`] values.
+    spare_values: Vec<Vec<f64>>,
+    /// Recycled buffers for [`LpSolution`] bases.
+    spare_bases: Vec<Vec<usize>>,
+    /// Recycled buffers for [`LpSolution`] duals.
+    spare_duals: Vec<Vec<f64>>,
+    /// When set, solves skip the dual-extraction sweep.
+    skip_duals: bool,
+    /// Number of rows of the loaded tableau.
+    rows: usize,
+    /// Number of non-artificial columns of the loaded tableau.
+    n: usize,
+    /// Total number of columns, including artificials.
+    total: usize,
+    /// Pivot counter across phases (excluding warm-start factorization).
+    pivots: usize,
+}
+
+impl ReferenceWorkspace {
+    /// Create an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        ReferenceWorkspace::default()
+    }
+
+    /// Pivots performed by the most recent solve attempt on this workspace,
+    /// including attempts that ended in an error.
+    #[must_use]
+    pub fn last_pivots(&self) -> usize {
+        self.pivots
+    }
+
+    /// Choose whether solves on this workspace extract the constraint duals
+    /// into the returned [`LpSolution`] (on by default).
+    pub fn set_collect_duals(&mut self, collect: bool) {
+        self.skip_duals = !collect;
+    }
+
+    /// Return a solved instance's buffers to the workspace so the next solve
+    /// can reuse them instead of allocating.
+    pub fn recycle(&mut self, solution: LpSolution) {
+        let (values, basis, duals) = solution.into_buffers();
+        self.spare_values.push(values);
+        self.spare_bases.push(basis);
+        self.spare_duals.push(duals);
+    }
+
+    /// Solve a validated problem cold (two phases) through the frozen
+    /// kernel, reusing this workspace's buffers.
+    pub fn solve(&mut self, problem: &LpProblem) -> Result<LpSolution> {
+        problem.validate()?;
+        self.load(problem);
+        self.solve_loaded()
+    }
+
+    /// Solve a validated problem warm through the frozen kernel: seed phase
+    /// 2 from `basis_hint` and fall back to the cold two-phase path when the
+    /// hint is not a feasible basis for the new data.
+    pub fn solve_from_basis(
+        &mut self,
+        problem: &LpProblem,
+        basis_hint: &[usize],
+    ) -> Result<LpSolution> {
+        problem.validate()?;
+        self.load(problem);
+        if !self.factorize_basis(basis_hint) {
+            self.init_tableau();
+            return self.solve_loaded();
+        }
+        for v in &mut self.b {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        self.set_phase2_costs();
+        self.optimize(false)?;
+        Ok(self.extract(0, true))
+    }
+
+    /// The cold two-phase path over an already-loaded workspace.
+    fn solve_loaded(&mut self) -> Result<LpSolution> {
+        // ------------- Phase 1: minimize the sum of artificials -------------
+        self.set_phase1_costs();
+        self.optimize(true)?;
+        if self.objective() > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        let phase1_pivots = self.pivots;
+
+        // Drive any artificial still in the basis out of it (degenerate rows).
+        for i in 0..self.rows {
+            if self.basis[i] >= self.n {
+                if let Some(col) = (0..self.n).find(|&j| self.a[i * self.total + j].abs() > EPS) {
+                    self.pivot(i, col);
+                }
+                // If the whole row is zero the constraint was redundant; the
+                // artificial stays basic at value zero, which is harmless.
+            }
+        }
+
+        // ------------- Phase 2: original objective -------------
+        self.set_phase2_costs();
+        self.optimize(false)?;
+
+        Ok(self.extract(phase1_pivots, false))
+    }
+
+    /// Load `problem` into the workspace: rebuild the standard form and the
+    /// `[A | I]` tableau with the all-artificial basis.
+    fn load(&mut self, problem: &LpProblem) {
+        self.sf.rebuild(problem);
+        self.init_tableau();
+    }
+
+    /// (Re)initialize the `[A | I]` tableau and the all-artificial basis
+    /// from the already-built standard form.
+    fn init_tableau(&mut self) {
+        let m = self.sf.num_rows();
+        let n = self.sf.num_cols();
+        let total = n + m;
+        self.rows = m;
+        self.n = n;
+        self.total = total;
+        self.pivots = 0;
+
+        self.a.clear();
+        self.a.resize(m * total, 0.0);
+        for i in 0..m {
+            let row = &mut self.a[i * total..i * total + n];
+            row.copy_from_slice(self.sf.row(i));
+            self.a[i * total + n + i] = 1.0;
+        }
+        self.b.clear();
+        self.b.extend_from_slice(&self.sf.b);
+        self.basis.clear();
+        self.basis.extend(n..n + m);
+        self.pivot_row.clear();
+        self.pivot_row.resize(total, 0.0);
+        self.cb.clear();
+        self.cb.resize(m, 0.0);
+    }
+
+    /// Fill [`Self::costs`] with the phase-1 objective (sum of artificials).
+    fn set_phase1_costs(&mut self) {
+        self.costs.clear();
+        self.costs.resize(self.total, 0.0);
+        for cost in self.costs.iter_mut().skip(self.n) {
+            *cost = 1.0;
+        }
+    }
+
+    /// Fill [`Self::costs`] with the original (phase-2) objective.
+    fn set_phase2_costs(&mut self) {
+        self.costs.clear();
+        self.costs.extend_from_slice(&self.sf.c);
+        self.costs.resize(self.total, 0.0);
+    }
+
+    /// Perform one pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let t = self.total;
+        let pivot_val = self.a[row * t + col];
+        debug_assert!(pivot_val.abs() > EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / pivot_val;
+        {
+            let r = &mut self.a[row * t..(row + 1) * t];
+            for v in r.iter_mut() {
+                *v *= inv;
+            }
+            // Clean tiny noise on the pivot column of the pivot row.
+            r[col] = 1.0;
+            self.pivot_row.copy_from_slice(r);
+        }
+        self.b[row] *= inv;
+        let b_row = self.b[row];
+
+        for i in 0..self.rows {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i * t + col];
+            if factor.abs() <= EPS {
+                self.a[i * t + col] = 0.0;
+                continue;
+            }
+            let r = &mut self.a[i * t..(i + 1) * t];
+            for (v, &p) in r.iter_mut().zip(&self.pivot_row) {
+                *v -= factor * p;
+            }
+            r[col] = 0.0;
+            self.b[i] -= factor * b_row;
+            if self.b[i].abs() < EPS {
+                self.b[i] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Reduced cost of column `j` under the current phase costs.
+    fn reduced_cost(&self, j: usize) -> f64 {
+        let mut rc = self.costs[j];
+        for (i, &cb) in self.cb.iter().enumerate() {
+            if cb != 0.0 {
+                rc -= cb * self.a[i * self.total + j];
+            }
+        }
+        rc
+    }
+
+    /// Objective value of the current basic solution under the phase costs.
+    fn objective(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.b)
+            .map(|(&bi, &b)| self.costs[bi] * b)
+            .sum()
+    }
+
+    /// Run primal simplex iterations under the phase costs.
+    fn optimize(&mut self, allow_artificials: bool) -> Result<()> {
+        let scan = if allow_artificials {
+            self.total
+        } else {
+            self.n
+        };
+        loop {
+            if self.pivots > MAX_PIVOTS {
+                return Err(self.iteration_limit());
+            }
+            for (i, &bi) in self.basis.iter().enumerate() {
+                self.cb[i] = self.costs[bi];
+            }
+            // Bland's rule: entering column = smallest index with negative
+            // reduced cost.
+            let entering = (0..scan).find(|&j| self.reduced_cost(j) < -EPS);
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on the smallest basic column index.
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.rows {
+                let aij = self.a[i * self.total + col];
+                if aij > EPS {
+                    let ratio = self.b[i] / aij;
+                    let better = match best {
+                        None => true,
+                        Some((bi, br)) => {
+                            ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        }
+                    };
+                    if better {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// Re-derive the tableau for a caller-supplied basis by pivoting each
+    /// hinted column into the corresponding row.
+    fn factorize_basis(&mut self, hint: &[usize]) -> bool {
+        if hint.len() != self.rows || hint.iter().any(|&j| j >= self.n) {
+            return false;
+        }
+        for &col in hint {
+            // Pick the not-yet-assigned row with the largest pivot magnitude
+            // (partial pivoting keeps the factorization stable).
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.rows {
+                if self.basis[i] < self.n {
+                    continue; // row already assigned to a hinted column
+                }
+                let mag = self.a[i * self.total + col].abs();
+                if mag > EPS && best.is_none_or(|(_, m)| mag > m) {
+                    best = Some((i, mag));
+                }
+            }
+            let Some((row, _)) = best else {
+                return false; // singular: the hinted columns are dependent
+            };
+            self.pivot(row, col);
+        }
+        // Factorization pivots are initialization, not simplex iterations.
+        self.pivots = 0;
+        // The basis is only usable if the implied basic point is feasible.
+        self.b.iter().all(|&v| v >= -1e-9)
+    }
+
+    /// The error reported when [`MAX_PIVOTS`] is exceeded.
+    fn iteration_limit(&self) -> LpError {
+        LpError::IterationLimit {
+            iterations: self.pivots,
+            rows: self.rows,
+            cols: self.n,
+        }
+    }
+
+    /// Extract the solution of the optimized tableau.
+    fn extract(&mut self, phase1_pivots: usize, warm_started: bool) -> LpSolution {
+        let mut values = self.spare_values.pop().unwrap_or_default();
+        values.clear();
+        values.resize(self.sf.num_structural, 0.0);
+        let mut min_obj = 0.0;
+        for (i, &bi) in self.basis.iter().enumerate() {
+            if bi < self.n {
+                min_obj += self.sf.c[bi] * self.b[i];
+                if bi < self.sf.num_structural {
+                    values[bi] = self.b[i];
+                }
+            }
+        }
+        for (j, v) in values.iter_mut().enumerate() {
+            *v += self.sf.shifts[j];
+        }
+        let objective = self.sf.original_objective(min_obj);
+
+        let mut basis = self.spare_bases.pop().unwrap_or_default();
+        basis.clear();
+        basis.extend_from_slice(&self.basis);
+
+        let duals = if self.skip_duals {
+            let mut duals = self.spare_duals.pop().unwrap_or_default();
+            duals.clear();
+            duals
+        } else {
+            self.extract_duals()
+        };
+
+        let stats = SolveStats {
+            pivots: self.pivots,
+            phase1_pivots,
+            rows: self.rows,
+            cols: self.n,
+            warm_started,
+        };
+        LpSolution::new(objective, values, basis, duals, stats)
+    }
+
+    /// Compute the dual multipliers of the *original* constraints from the
+    /// optimized tableau (see [`LpSolution::duals`] for the convention).
+    fn extract_duals(&mut self) -> Vec<f64> {
+        let mut duals = self.spare_duals.pop().unwrap_or_default();
+        duals.clear();
+        let num_original = self.sf.row_signs.len();
+        let sign_obj = if self.sf.maximize { -1.0 } else { 1.0 };
+        for i in 0..num_original {
+            let mut pi = 0.0;
+            for (r, &bi) in self.basis.iter().enumerate() {
+                let cost = self.costs[bi];
+                if cost != 0.0 {
+                    pi += cost * self.a[r * self.total + self.n + i];
+                }
+            }
+            duals.push(sign_obj * self.sf.row_signs[i] * pi);
+        }
+        duals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ReferenceWorkspace;
+    use crate::{LpError, LpProblem, Objective, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig's example)
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 3.0);
+        lp.set_objective(y, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let mut ws = ReferenceWorkspace::new();
+        let sol = ws.solve(&lp).unwrap();
+        assert_close(sol.objective(), 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+        assert_eq!(sol.duals().len(), 3);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_are_detected() {
+        let mut ws = ReferenceWorkspace::new();
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, 1.0);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(ws.solve(&lp).unwrap_err(), LpError::Infeasible);
+
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        lp.set_objective(x, 1.0);
+        lp.add_constraint(&[(x, -1.0)], Relation::Le, 1.0);
+        assert_eq!(ws.solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn warm_start_from_own_optimal_basis_takes_zero_pivots() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY);
+        let y = lp.add_var("y", 0.0, f64::INFINITY);
+        lp.set_objective(x, 3.0);
+        lp.set_objective(y, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let mut ws = ReferenceWorkspace::new();
+        let cold = ws.solve(&lp).unwrap();
+        let warm = ws.solve_from_basis(&lp, cold.basis()).unwrap();
+        assert!(warm.stats().warm_started);
+        assert_eq!(warm.stats().pivots, 0);
+        assert_eq!(warm.objective().to_bits(), cold.objective().to_bits());
+        assert_eq!(warm.values(), cold.values());
+        assert_eq!(warm.duals(), cold.duals());
+    }
+}

@@ -1,14 +1,43 @@
-//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//! Dense two-phase primal simplex with a blocked, autovectorizable kernel.
 //!
 //! The tableau is a single flat row-major `Vec<f64>` owned by a reusable
 //! [`SimplexWorkspace`]; once a workspace has grown to the steady-state
 //! problem size, repeated solves perform no heap allocation (the returned
 //! [`LpSolution`] buffers are recycled through
-//! [`SimplexWorkspace::recycle`]). Reduced costs are recomputed from the
-//! basis on every iteration and Bland's rule picks both the entering and the
-//! leaving variable, which is O(m·n) work per pivot — perfectly adequate for
-//! the tiny programs produced by the SAG (≤ ~10 rows and columns) while
-//! guaranteeing termination on degenerate instances.
+//! [`SimplexWorkspace::recycle`]). The three hot loops are written so the
+//! stable-Rust autovectorizer turns them into SIMD without any nightly
+//! features:
+//!
+//! * **pricing** — reduced costs are computed [`PRICE_BLOCK`] columns at a
+//!   time: the block is seeded from the cost row and each basic row with a
+//!   nonzero cost subtracts its contiguous `width`-wide slice in one pass.
+//!   Per column this performs the exact operation sequence of the classic
+//!   one-column-at-a-time scan (rows visited in ascending order, zero-cost
+//!   rows skipped), so the values — and therefore the entering choice — are
+//!   bitwise-identical to the frozen reference kernel while the inner loop
+//!   runs over sequential memory instead of a `total`-strided walk;
+//! * **ratio test** — the entering column is first gathered into a
+//!   contiguous scratch buffer, then scanned sequentially;
+//! * **elimination** — each row update runs in fixed-width
+//!   [`ELIM_CHUNK`]-wide chunks plus a scalar remainder; element order and
+//!   the `v -= factor * p` operation are unchanged, so every intermediate
+//!   tableau is bit-for-bit the one the reference kernel produces.
+//!
+//! Entering-variable pricing defaults to Bland's rule (smallest index with a
+//! negative reduced cost), which both guarantees termination on degenerate
+//! instances and pins the pivot sequence to the pre-refactor kernel — the
+//! property tests in `tests/property.rs` hold the whole solve bitwise equal
+//! to [`crate::reference::ReferenceWorkspace`]. An opt-in
+//! [`Pricing::Dantzig`] mode picks the most-negative reduced cost instead
+//! (fewer pivots on larger programs) and automatically falls back to
+//! Bland's rule after a streak of degenerate pivots, restoring the
+//! anti-cycling guarantee.
+//!
+//! The pivot budget scales with the instance dimensions (see
+//! [`SimplexWorkspace::pivot_limit`]) instead of the old hard
+//! `MAX_PIVOTS = 100_000` cap, so a 128-type game cannot be starved by a
+//! budget tuned for ≤10-row programs, and a genuinely pathological instance
+//! still fails fast with its dimensions in [`LpError::IterationLimit`].
 //!
 //! Two entry points exist on top of the classic cold start:
 //!
@@ -24,9 +53,39 @@ use crate::solution::{LpSolution, SolveStats};
 use crate::standard::StandardForm;
 use crate::{LpError, Result, EPS};
 
-/// Hard cap on pivots. The SAG LPs finish in a handful of pivots; anything
-/// approaching this bound indicates a malformed or pathological instance.
-const MAX_PIVOTS: usize = 100_000;
+/// Number of columns priced per blocked reduced-cost pass. 64 doubles
+/// (512 B) fit comfortably in L1 alongside one tableau row slice, and the
+/// fixed width lets the compiler unroll the inner subtraction into SIMD.
+const PRICE_BLOCK: usize = 64;
+
+/// Fixed chunk width of the row-elimination inner loop (8 doubles = one
+/// 64-byte cache line; wide enough for 2×AVX2 / 1×AVX-512 per iteration).
+const ELIM_CHUNK: usize = 8;
+
+/// Base of the dimension-scaled pivot budget: even a 1×1 instance gets this
+/// many pivots before the solver declares it pathological.
+const PIVOT_LIMIT_BASE: usize = 1_000;
+
+/// Per-dimension slope of the pivot budget. Non-degenerate simplex visits
+/// at most one basis per vertex on a path whose practical length is a small
+/// multiple of `rows + cols`; 500 per dimension is orders of magnitude above
+/// anything a well-posed instance needs.
+const PIVOT_LIMIT_PER_DIM: usize = 500;
+
+/// Entering-variable pricing rule (see [`SimplexWorkspace::set_pricing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Bland's rule: smallest column index with a negative reduced cost.
+    /// Terminates on degenerate instances and reproduces the frozen
+    /// reference kernel's pivot sequence bit-for-bit. The default.
+    #[default]
+    Bland,
+    /// Dantzig's rule: most-negative reduced cost (ties break to the lowest
+    /// index). Usually fewer pivots on larger programs, with an automatic
+    /// fallback to Bland's rule after a streak of degenerate pivots so the
+    /// anti-cycling guarantee is preserved.
+    Dantzig,
+}
 
 /// Reusable state for repeated simplex solves.
 ///
@@ -49,6 +108,8 @@ pub struct SimplexWorkspace {
     cb: Vec<f64>,
     /// Scratch copy of the pivot row (avoids aliasing during elimination).
     pivot_row: Vec<f64>,
+    /// Contiguous gather of the entering column for the ratio test.
+    col: Vec<f64>,
     /// Recycled buffers for [`LpSolution`] values.
     spare_values: Vec<Vec<f64>>,
     /// Recycled buffers for [`LpSolution`] bases.
@@ -59,6 +120,11 @@ pub struct SimplexWorkspace {
     /// with an empty [`LpSolution::duals`] slice (see
     /// [`Self::set_collect_duals`]).
     skip_duals: bool,
+    /// Entering-variable pricing rule for this workspace.
+    pricing: Pricing,
+    /// Consecutive degenerate pivots (leaving row at value zero); drives the
+    /// Dantzig → Bland anti-cycling fallback.
+    degenerate_streak: usize,
     /// Number of rows of the loaded tableau.
     rows: usize,
     /// Number of non-artificial columns of the loaded tableau.
@@ -96,6 +162,20 @@ impl SimplexWorkspace {
         self.skip_duals = !collect;
     }
 
+    /// Select the entering-variable [`Pricing`] rule for subsequent solves.
+    /// The default, [`Pricing::Bland`], reproduces the frozen reference
+    /// kernel's pivot sequence exactly; [`Pricing::Dantzig`] trades that
+    /// reproducibility for fewer pivots on larger programs.
+    pub fn set_pricing(&mut self, pricing: Pricing) {
+        self.pricing = pricing;
+    }
+
+    /// The workspace's current entering-variable pricing rule.
+    #[must_use]
+    pub fn pricing(&self) -> Pricing {
+        self.pricing
+    }
+
     /// Return a solved instance's buffers to the workspace so the next solve
     /// can reuse them instead of allocating.
     pub fn recycle(&mut self, solution: LpSolution) {
@@ -122,6 +202,7 @@ impl SimplexWorkspace {
         self.n = n;
         self.total = total;
         self.pivots = 0;
+        self.degenerate_streak = 0;
 
         self.a.clear();
         self.a.resize(m * total, 0.0);
@@ -184,7 +265,22 @@ impl SimplexWorkspace {
                 continue;
             }
             let r = &mut self.a[i * t..(i + 1) * t];
-            for (v, &p) in r.iter_mut().zip(&self.pivot_row) {
+            // Fixed-width chunks give the autovectorizer straight-line
+            // bodies; per-element order and the fused `v - factor * p`
+            // expression are unchanged, so the updated row is bitwise the
+            // one a scalar sweep produces.
+            let mut r_chunks = r.chunks_exact_mut(ELIM_CHUNK);
+            let mut p_chunks = self.pivot_row.chunks_exact(ELIM_CHUNK);
+            for (rv, pv) in r_chunks.by_ref().zip(p_chunks.by_ref()) {
+                for k in 0..ELIM_CHUNK {
+                    rv[k] -= factor * pv[k];
+                }
+            }
+            for (v, &p) in r_chunks
+                .into_remainder()
+                .iter_mut()
+                .zip(p_chunks.remainder())
+            {
                 *v -= factor * p;
             }
             r[col] = 0.0;
@@ -197,15 +293,92 @@ impl SimplexWorkspace {
         self.pivots += 1;
     }
 
-    /// Reduced cost of column `j` under the current phase costs.
-    fn reduced_cost(&self, j: usize) -> f64 {
-        let mut rc = self.costs[j];
+    /// Compute the reduced costs of columns `j0 .. j0 + rc.len()` into `rc`.
+    ///
+    /// The accumulation visits basic rows in ascending order and skips
+    /// zero-cost rows — the reference kernel's per-column operation sequence
+    /// — so each value is bitwise-identical to its one-column scan; only the
+    /// traversal is restructured so the inner loop covers contiguous
+    /// tableau entries the autovectorizer can pack into SIMD lanes.
+    fn price_block(&self, j0: usize, rc: &mut [f64]) {
+        let width = rc.len();
+        rc.copy_from_slice(&self.costs[j0..j0 + width]);
         for (i, &cb) in self.cb.iter().enumerate() {
-            if cb != 0.0 {
-                rc -= cb * self.a[i * self.total + j];
+            if cb == 0.0 {
+                continue;
+            }
+            let row = &self.a[i * self.total + j0..i * self.total + j0 + width];
+            for (r, &v) in rc.iter_mut().zip(row) {
+                *r -= cb * v;
             }
         }
-        rc
+    }
+
+    /// Bland's rule over blocked reduced costs: the first column (lowest
+    /// index) whose reduced cost is below `-EPS`, scanning block by block so
+    /// later blocks are never priced once a candidate is found.
+    fn price_entering_bland(&self, scan: usize) -> Option<usize> {
+        let mut rc = [0.0_f64; PRICE_BLOCK];
+        let mut j0 = 0;
+        while j0 < scan {
+            let width = PRICE_BLOCK.min(scan - j0);
+            self.price_block(j0, &mut rc[..width]);
+            if let Some(k) = rc[..width].iter().position(|&r| r < -EPS) {
+                return Some(j0 + k);
+            }
+            j0 += width;
+        }
+        None
+    }
+
+    /// Dantzig's rule over blocked reduced costs: the most-negative reduced
+    /// cost across the full scan range, ties broken toward the lowest index.
+    fn price_entering_dantzig(&self, scan: usize) -> Option<usize> {
+        let mut rc = [0.0_f64; PRICE_BLOCK];
+        let mut best: Option<(usize, f64)> = None;
+        let mut j0 = 0;
+        while j0 < scan {
+            let width = PRICE_BLOCK.min(scan - j0);
+            self.price_block(j0, &mut rc[..width]);
+            for (k, &r) in rc[..width].iter().enumerate() {
+                if r < -EPS && best.is_none_or(|(_, br)| r < br) {
+                    best = Some((j0 + k, r));
+                }
+            }
+            j0 += width;
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Gather the entering column into the contiguous [`Self::col`] scratch
+    /// buffer so the ratio test reads sequential memory.
+    fn gather_column(&mut self, col: usize) {
+        self.col.clear();
+        self.col
+            .extend((0..self.rows).map(|i| self.a[i * self.total + col]));
+    }
+
+    /// Leaving-row ratio test over the gathered entering column; Bland
+    /// tie-break on the smallest basic column index. Performs the same
+    /// comparisons on the same values as the reference kernel's strided
+    /// test, so the leaving choice is identical.
+    fn ratio_test(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &aij) in self.col.iter().enumerate() {
+            if aij > EPS {
+                let ratio = self.b[i] / aij;
+                let better = match best {
+                    None => true,
+                    Some((bi, br)) => {
+                        ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                    }
+                };
+                if better {
+                    best = Some((i, ratio));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
     }
 
     /// Objective value of the current basic solution under the phase costs.
@@ -217,6 +390,22 @@ impl SimplexWorkspace {
             .sum()
     }
 
+    /// Pivot budget for the loaded instance, scaled with its dimensions.
+    /// Replaces the pre-refactor hard `100_000` cap: small SAG programs keep
+    /// a still-enormous budget, while a 128-type game's larger instances
+    /// earn a proportionally larger one, so a limit hit always means a
+    /// pathological instance rather than an undersized constant.
+    fn pivot_limit(&self) -> usize {
+        PIVOT_LIMIT_BASE + PIVOT_LIMIT_PER_DIM * (self.rows + self.total)
+    }
+
+    /// Degenerate-pivot streak at which Dantzig pricing falls back to
+    /// Bland's rule (scaled with the row count: longer degenerate chains are
+    /// legitimate on taller instances).
+    fn stall_limit(&self) -> usize {
+        16 + 2 * self.rows
+    }
+
     /// Run primal simplex iterations under the phase costs. When
     /// `allow_artificials` is false, artificial columns may not enter the
     /// basis. Returns `Ok(())` at optimality.
@@ -226,39 +415,36 @@ impl SimplexWorkspace {
         } else {
             self.n
         };
+        let limit = self.pivot_limit();
         loop {
-            if self.pivots > MAX_PIVOTS {
+            if self.pivots > limit {
                 return Err(self.iteration_limit());
             }
             for (i, &bi) in self.basis.iter().enumerate() {
                 self.cb[i] = self.costs[bi];
             }
-            // Bland's rule: entering column = smallest index with negative
-            // reduced cost.
-            let entering = (0..scan).find(|&j| self.reduced_cost(j) < -EPS);
+            // Dantzig pricing hands over to Bland's rule while a degenerate
+            // streak is running: Bland cannot cycle, and the streak resets
+            // on the first pivot that moves the objective.
+            let use_bland =
+                self.pricing == Pricing::Bland || self.degenerate_streak > self.stall_limit();
+            let entering = if use_bland {
+                self.price_entering_bland(scan)
+            } else {
+                self.price_entering_dantzig(scan)
+            };
             let Some(col) = entering else {
                 return Ok(());
             };
-            // Ratio test; Bland tie-break on the smallest basic column index.
-            let mut best: Option<(usize, f64)> = None;
-            for i in 0..self.rows {
-                let aij = self.a[i * self.total + col];
-                if aij > EPS {
-                    let ratio = self.b[i] / aij;
-                    let better = match best {
-                        None => true,
-                        Some((bi, br)) => {
-                            ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
-                        }
-                    };
-                    if better {
-                        best = Some((i, ratio));
-                    }
-                }
-            }
-            let Some((row, _)) = best else {
+            self.gather_column(col);
+            let Some(row) = self.ratio_test() else {
                 return Err(LpError::Unbounded);
             };
+            if self.b[row] <= EPS {
+                self.degenerate_streak += 1;
+            } else {
+                self.degenerate_streak = 0;
+            }
             self.pivot(row, col);
         }
     }
@@ -294,12 +480,13 @@ impl SimplexWorkspace {
         // Factorization pivots are initialization, not simplex iterations;
         // keep them out of the reported pivot count (see [`SolveStats`]).
         self.pivots = 0;
+        self.degenerate_streak = 0;
         // The basis is only usable if the implied basic point is feasible.
         self.b.iter().all(|&v| v >= -1e-9)
     }
 
-    /// The error reported when [`MAX_PIVOTS`] is exceeded, carrying the
-    /// instance dimensions for debuggability.
+    /// The error reported when [`Self::pivot_limit`] is exceeded, carrying
+    /// the instance dimensions for debuggability.
     fn iteration_limit(&self) -> LpError {
         LpError::IterationLimit {
             iterations: self.pivots,
@@ -443,7 +630,8 @@ pub(crate) fn solve_warm(
 
 #[cfg(test)]
 mod tests {
-    use super::SimplexWorkspace;
+    use super::{Pricing, SimplexWorkspace};
+    use crate::reference::ReferenceWorkspace;
     use crate::{LpError, LpProblem, Objective, Relation};
 
     fn assert_close(a: f64, b: f64) {
@@ -659,6 +847,23 @@ mod tests {
         lp
     }
 
+    /// A wide box-constrained program whose standard form spans several
+    /// 64-column pricing blocks.
+    fn wide_program(vars: usize) -> LpProblem {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let ids: Vec<_> = (0..vars)
+            .map(|i| lp.add_var(format!("x{i}"), 0.0, 1.0))
+            .collect();
+        for (i, &v) in ids.iter().enumerate() {
+            lp.set_objective(v, 1.0 + (i % 7) as f64);
+        }
+        let all: Vec<_> = ids.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&all, Relation::Le, vars as f64 / 10.0);
+        let half: Vec<_> = ids.iter().step_by(2).map(|&v| (v, 2.0)).collect();
+        lp.add_constraint(&half, Relation::Ge, 1.0);
+        lp
+    }
+
     #[test]
     fn duals_of_the_textbook_maximization_satisfy_strong_duality() {
         // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: the classic
@@ -867,5 +1072,112 @@ mod tests {
         let b = dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
         assert_close(b.objective(), expected.0);
         assert_eq!(b.values(), &expected.1[..]);
+    }
+
+    #[test]
+    fn kernel_matches_the_frozen_reference_bitwise() {
+        // The full-suite bitwise property lives in tests/property.rs; this
+        // smoke check pins the contract on the canonical textbook program.
+        let lp = dantzig_with_budget(18.0);
+        let mut ws = SimplexWorkspace::new();
+        let mut reference = ReferenceWorkspace::new();
+        let new = lp.solve_with(&mut ws).unwrap();
+        let old = reference.solve(&lp).unwrap();
+        assert_eq!(new.objective().to_bits(), old.objective().to_bits());
+        assert_eq!(new.values(), old.values());
+        assert_eq!(new.duals(), old.duals());
+        assert_eq!(new.basis(), old.basis());
+        assert_eq!(new.stats(), old.stats());
+    }
+
+    #[test]
+    fn wide_programs_cross_block_boundaries_bitwise() {
+        // 150 structural variables push the standard form well past two
+        // PRICE_BLOCK widths, exercising the blocked pricing remainder path
+        // against the frozen reference on every block boundary.
+        let lp = wide_program(150);
+        let mut ws = SimplexWorkspace::new();
+        let mut reference = ReferenceWorkspace::new();
+        let new = lp.solve_with(&mut ws).unwrap();
+        let old = reference.solve(&lp).unwrap();
+        assert_eq!(new.objective().to_bits(), old.objective().to_bits());
+        assert_eq!(new.values(), old.values());
+        assert_eq!(new.duals(), old.duals());
+        assert_eq!(new.basis(), old.basis());
+        assert_eq!(new.stats(), old.stats());
+        assert!(new.stats().pivots > 0);
+    }
+
+    #[test]
+    fn pivot_limit_scales_with_dimensions() {
+        let mut ws = SimplexWorkspace::new();
+        dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
+        let small_limit = ws.pivot_limit();
+        // The old behavior was a hard 100_000 regardless of size; the small
+        // SAG-sized instance now gets a tighter (still enormous) budget.
+        assert!(small_limit >= 1_000);
+        wide_program(150).solve_with(&mut ws).unwrap();
+        let large_limit = ws.pivot_limit();
+        assert!(
+            large_limit > small_limit,
+            "expected the 150-var budget {large_limit} to exceed the 2-var budget {small_limit}"
+        );
+        // Large instances earn budgets beyond the old hard cap.
+        assert!(large_limit > 100_000);
+    }
+
+    #[test]
+    fn dantzig_pricing_reaches_the_same_optimum() {
+        let mut ws = SimplexWorkspace::new();
+        ws.set_pricing(Pricing::Dantzig);
+        assert_eq!(ws.pricing(), Pricing::Dantzig);
+        let sol = dantzig_with_budget(18.0).solve_with(&mut ws).unwrap();
+        assert_close(sol.objective(), 36.0);
+        let wide = wide_program(150);
+        let fast = wide.solve_with(&mut ws).unwrap();
+        let mut bland_ws = SimplexWorkspace::new();
+        let exact = wide.solve_with(&mut bland_ws).unwrap();
+        assert_close(fast.objective(), exact.objective());
+    }
+
+    #[test]
+    fn dantzig_pricing_terminates_on_degenerate_instances() {
+        // The Beale-style restricted cycling example: Dantzig's rule alone
+        // can cycle here; the stall fallback must hand over to Bland's rule
+        // and still reach the optimum.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x1 = lp.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = lp.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = lp.add_var("x3", 0.0, f64::INFINITY);
+        lp.set_objective(x1, 10.0);
+        lp.set_objective(x2, -57.0);
+        lp.set_objective(x3, -9.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 1.0)], Relation::Le, 1.0);
+        let mut ws = SimplexWorkspace::new();
+        ws.set_pricing(Pricing::Dantzig);
+        let sol = lp.solve_with(&mut ws).unwrap();
+        assert!(sol.objective() >= 1.0 - 1e-7);
+        assert!(lp.is_feasible(sol.values(), 1e-7));
+    }
+
+    #[test]
+    fn warm_starts_stay_bitwise_equal_to_the_reference() {
+        let mut ws = SimplexWorkspace::new();
+        let mut reference = ReferenceWorkspace::new();
+        let base = dantzig_with_budget(18.0);
+        let cold = base.solve_with(&mut ws).unwrap();
+        for step in 1..=10 {
+            let budget = 18.0 - 0.5 * step as f64;
+            let lp = dantzig_with_budget(budget);
+            let new = lp.solve_from_basis(&mut ws, cold.basis()).unwrap();
+            let old = reference.solve_from_basis(&lp, cold.basis()).unwrap();
+            assert_eq!(new.objective().to_bits(), old.objective().to_bits());
+            assert_eq!(new.values(), old.values());
+            assert_eq!(new.duals(), old.duals());
+            assert_eq!(new.basis(), old.basis());
+            assert_eq!(new.stats(), old.stats());
+        }
     }
 }

@@ -20,7 +20,10 @@
 //! The constraint matrix is stored as a single flat row-major `Vec<f64>` (see
 //! [`StandardForm::row`]), and [`StandardForm::rebuild`] refills an existing
 //! instance in place so the per-alert hot path performs no allocation once
-//! the buffers have grown to the steady-state problem size.
+//! the buffers have grown to the steady-state problem size. Row-major
+//! contiguity is what the blocked simplex kernel's chunked pricing and
+//! elimination loops vectorize over — keep any new layout changes row-major
+//! or the kernel's speedup on many-type candidate LPs evaporates.
 
 use crate::problem::{LpProblem, Objective, Relation};
 

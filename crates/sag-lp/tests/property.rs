@@ -14,7 +14,38 @@
 //! 5. scaling the objective scales the optimum.
 
 use proptest::prelude::*;
-use sag_lp::{LpError, LpProblem, Objective, Relation, SimplexWorkspace, VarId};
+use sag_lp::{
+    LpError, LpProblem, LpSolution, Objective, ReferenceWorkspace, Relation, SimplexWorkspace,
+    VarId,
+};
+
+/// Assert that two solutions are identical down to the last bit: objective,
+/// values, duals, basis and the full pivot statistics. This is the hard bar
+/// the blocked kernel refactor is held to — not "numerically close", but the
+/// same floating-point trajectory.
+fn assert_bitwise_equal(new: &LpSolution, old: &LpSolution, context: &str) {
+    assert_eq!(
+        new.objective().to_bits(),
+        old.objective().to_bits(),
+        "{context}: objective bits differ ({} vs {})",
+        new.objective(),
+        old.objective()
+    );
+    assert_eq!(new.values().len(), old.values().len(), "{context}: values");
+    for (j, (a, b)) in new.values().iter().zip(old.values()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{context}: value {j} ({a} vs {b})"
+        );
+    }
+    assert_eq!(new.duals().len(), old.duals().len(), "{context}: duals");
+    for (i, (a, b)) in new.duals().iter().zip(old.duals()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: dual {i} ({a} vs {b})");
+    }
+    assert_eq!(new.basis(), old.basis(), "{context}: basis");
+    assert_eq!(new.stats(), old.stats(), "{context}: stats");
+}
 
 /// A compact, generatable description of a random LP instance.
 #[derive(Debug, Clone)]
@@ -296,6 +327,50 @@ proptest! {
         }
     }
 
+    /// The blocked kernel reproduces the frozen pre-refactor kernel
+    /// bit-for-bit on randomized instances — cold solves, error outcomes,
+    /// and warm restarts from the previous optimal basis alike.
+    #[test]
+    fn new_kernel_is_bitwise_identical_to_the_frozen_reference(
+        instance in random_lp_strategy(),
+        rhs_factor in 0.6f64..1.3,
+    ) {
+        let (lp, _ids) = instance.build();
+        let mut ws = SimplexWorkspace::new();
+        let mut reference = ReferenceWorkspace::new();
+        let (new, old) = (lp.solve_with(&mut ws), reference.solve(&lp));
+        match (new, old) {
+            (Ok(new), Ok(old)) => {
+                assert_bitwise_equal(&new, &old, "cold solve");
+                // Warm restart from the shared optimal basis on a drifted
+                // instance must also track the reference exactly.
+                let mut drifted = lp.clone();
+                for c in 0..drifted.num_constraints() {
+                    drifted.set_constraint_rhs(c, lp.constraints()[c].rhs * rhs_factor);
+                }
+                let warm_new = drifted.solve_from_basis(&mut ws, new.basis());
+                let warm_old = reference.solve_from_basis(&drifted, old.basis());
+                match (warm_new, warm_old) {
+                    (Ok(wn), Ok(wo)) => assert_bitwise_equal(&wn, &wo, "warm solve"),
+                    (Err(en), Err(eo)) => prop_assert_eq!(en, eo),
+                    (wn, wo) => prop_assert!(
+                        false,
+                        "warm solve diverged: new {:?} vs reference {:?}",
+                        wn.map(|s| s.objective()),
+                        wo.map(|s| s.objective())
+                    ),
+                }
+            }
+            (Err(new_err), Err(old_err)) => prop_assert_eq!(new_err, old_err),
+            (new, old) => prop_assert!(
+                false,
+                "cold solve diverged: new {:?} vs reference {:?}",
+                new.map(|s| s.objective()),
+                old.map(|s| s.objective())
+            ),
+        }
+    }
+
     #[test]
     fn objective_scaling_scales_optimum(instance in random_lp_strategy(), scale in 0.1f64..10.0) {
         let (lp, ids) = instance.build();
@@ -307,6 +382,109 @@ proptest! {
             let sol2 = scaled.solve().expect("scaled LP unsolvable");
             prop_assert!((sol2.objective() - sol.objective() * scale).abs() < 1e-5 * (1.0 + sol.objective().abs()),
                 "scaling by {} changed optimum {} -> {}", scale, sol.objective(), sol2.objective());
+        }
+    }
+}
+
+/// Golden vectors: fixed instances whose exact solution components are
+/// representable f64 literals. Both kernels must reproduce every component
+/// bit-for-bit — a drift in either one (or in the standard-form rewrite they
+/// share) fails loudly with the offending component named.
+#[test]
+fn golden_vectors_pin_both_kernels_bitwise() {
+    struct Golden {
+        name: &'static str,
+        lp: LpProblem,
+        objective: f64,
+        values: Vec<f64>,
+        duals: Vec<f64>,
+    }
+
+    let mut goldens = Vec::new();
+
+    // Dantzig's textbook example: all components exactly representable.
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let x = lp.add_var("x", 0.0, f64::INFINITY);
+    let y = lp.add_var("y", 0.0, f64::INFINITY);
+    lp.set_objective(x, 3.0);
+    lp.set_objective(y, 5.0);
+    lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+    lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+    lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+    goldens.push(Golden {
+        name: "dantzig_textbook",
+        lp,
+        objective: 36.0,
+        values: vec![2.0, 6.0],
+        // The slack row's dual is a negated 0.0 (the maximize sign flip),
+        // and a bitwise golden must spell that out.
+        duals: vec![-0.0, 1.5, 1.0],
+    });
+
+    // Minimization with a flipped (>=) row and shifted lower bounds.
+    let mut lp = LpProblem::new(Objective::Minimize);
+    let x = lp.add_var("x", 2.0, f64::INFINITY);
+    let y = lp.add_var("y", 3.0, f64::INFINITY);
+    lp.set_objective(x, 2.0);
+    lp.set_objective(y, 3.0);
+    lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+    goldens.push(Golden {
+        name: "min_with_ge_and_shifts",
+        lp,
+        objective: 23.0,
+        values: vec![7.0, 3.0],
+        duals: vec![2.0],
+    });
+
+    // Equality-constrained program with an upper-bounded variable.
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let x = lp.add_var("x", 0.0, 3.0);
+    let y = lp.add_var("y", 0.0, f64::INFINITY);
+    lp.set_objective(x, 1.0);
+    lp.set_objective(y, 1.0);
+    lp.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
+    goldens.push(Golden {
+        name: "equality_with_box",
+        lp,
+        objective: 3.5,
+        values: vec![3.0, 0.5],
+        duals: vec![0.5],
+    });
+
+    let mut ws = SimplexWorkspace::new();
+    let mut reference = ReferenceWorkspace::new();
+    for golden in &goldens {
+        let new = golden
+            .lp
+            .solve_with(&mut ws)
+            .unwrap_or_else(|e| panic!("{}: new kernel failed: {e}", golden.name));
+        let old = reference
+            .solve(&golden.lp)
+            .unwrap_or_else(|e| panic!("{}: reference kernel failed: {e}", golden.name));
+        assert_bitwise_equal(&new, &old, golden.name);
+        assert_eq!(
+            new.objective().to_bits(),
+            golden.objective.to_bits(),
+            "{}: objective {} != golden {}",
+            golden.name,
+            new.objective(),
+            golden.objective
+        );
+        for (j, (got, want)) in new.values().iter().zip(&golden.values).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}: value {j} is {got}, golden says {want}",
+                golden.name
+            );
+        }
+        for (i, (got, want)) in new.duals().iter().zip(&golden.duals).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}: dual {i} is {got}, golden says {want}",
+                golden.name
+            );
         }
     }
 }

@@ -476,6 +476,7 @@ fn put_outcome(buf: &mut BytesMut, o: &AlertOutcome) {
     buf.put_u32_le(o.sse_stats.warm_hits);
     buf.put_u32_le(o.sse_stats.pivots);
     buf.put_u32_le(o.sse_stats.pruned_lps);
+    buf.put_u32_le(o.sse_stats.eps_skipped_lps);
     buf.put_u8(u8::from(o.sse_stats.fast_path));
 }
 
@@ -508,6 +509,7 @@ fn read_outcome(r: &mut Reader<'_>) -> Result<AlertOutcome, CodecError> {
         warm_hits: r.u32()?,
         pivots: r.u32()?,
         pruned_lps: r.u32()?,
+        eps_skipped_lps: r.u32()?,
         fast_path: r.u8()? != 0,
     };
     Ok(AlertOutcome {
@@ -554,9 +556,11 @@ fn put_result(buf: &mut BytesMut, result: &CycleResult) {
         t.pivots,
         t.fast_path_solves,
         t.pruned_lps,
+        t.eps_skipped_lps,
     ] {
         buf.put_u64_le(v);
     }
+    buf.put_u64_le(result.certified_eps_loss.to_bits());
 }
 
 fn read_result(r: &mut Reader<'_>) -> Result<CycleResult, CodecError> {
@@ -586,7 +590,9 @@ fn read_result(r: &mut Reader<'_>) -> Result<CycleResult, CodecError> {
         pivots: r.u64()?,
         fast_path_solves: r.u64()?,
         pruned_lps: r.u64()?,
+        eps_skipped_lps: r.u64()?,
     };
+    let certified_eps_loss = r.f64()?;
     Ok(CycleResult {
         day,
         outcomes,
@@ -594,6 +600,7 @@ fn read_result(r: &mut Reader<'_>) -> Result<CycleResult, CodecError> {
         offline_attacker_utility,
         offline_coverage,
         sse_totals,
+        certified_eps_loss,
     })
 }
 

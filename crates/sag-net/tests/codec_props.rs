@@ -75,17 +75,27 @@ fn arb_stats() -> impl Strategy<Value = SseSolveStats> {
         any::<u32>(),
         any::<u32>(),
         any::<u32>(),
-        any::<u32>(),
+        (any::<u32>(), any::<u32>()),
         any::<bool>(),
     )
         .prop_map(
-            |(lp_solves, warm_attempts, warm_hits, pivots, pruned_lps, fast_path)| SseSolveStats {
+            |(
                 lp_solves,
                 warm_attempts,
                 warm_hits,
                 pivots,
-                pruned_lps,
+                (pruned_lps, eps_skipped),
                 fast_path,
+            )| {
+                SseSolveStats {
+                    lp_solves,
+                    warm_attempts,
+                    warm_hits,
+                    pivots,
+                    pruned_lps,
+                    eps_skipped_lps: eps_skipped,
+                    fast_path,
+                }
             },
         )
 }
@@ -145,24 +155,29 @@ fn arb_result() -> impl Strategy<Value = CycleResult> {
             any::<u64>(),
             any::<u64>(),
         ),
-        any::<u64>(),
+        (any::<u64>(), any::<u64>(), arb_f64()),
     )
         .prop_map(
-            |(day, outcomes, (auditor, attacker), offline_coverage, totals, pruned)| CycleResult {
-                day,
-                outcomes,
-                offline_auditor_utility: auditor,
-                offline_attacker_utility: attacker,
-                offline_coverage,
-                sse_totals: SseCacheTotals {
-                    solves: totals.0,
-                    lp_solves: totals.1,
-                    warm_attempts: totals.2,
-                    warm_hits: totals.3,
-                    pivots: totals.4,
-                    fast_path_solves: totals.5,
-                    pruned_lps: pruned,
-                },
+            |(day, outcomes, (auditor, attacker), offline_coverage, totals, tail)| {
+                let (pruned, eps_skipped, eps_loss) = tail;
+                CycleResult {
+                    day,
+                    outcomes,
+                    offline_auditor_utility: auditor,
+                    offline_attacker_utility: attacker,
+                    offline_coverage,
+                    sse_totals: SseCacheTotals {
+                        solves: totals.0,
+                        lp_solves: totals.1,
+                        warm_attempts: totals.2,
+                        warm_hits: totals.3,
+                        pivots: totals.4,
+                        fast_path_solves: totals.5,
+                        pruned_lps: pruned,
+                        eps_skipped_lps: eps_skipped,
+                    },
+                    certified_eps_loss: eps_loss,
+                }
             },
         )
 }

@@ -69,8 +69,16 @@ impl ScenarioRun {
             totals.pivots += c.sse_totals.pivots;
             totals.fast_path_solves += c.sse_totals.fast_path_solves;
             totals.pruned_lps += c.sse_totals.pruned_lps;
+            totals.eps_skipped_lps += c.sse_totals.eps_skipped_lps;
         }
         totals
+    }
+
+    /// Summed certified ε utility-loss bound across all replayed days
+    /// (0.0 for exact runs).
+    #[must_use]
+    pub fn certified_eps_loss(&self) -> f64 {
+        self.cycles.iter().map(|c| c.certified_eps_loss).sum()
     }
 
     /// Alert-weighted mean of a per-outcome quantity. Weighting by alert

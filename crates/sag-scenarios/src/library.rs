@@ -12,6 +12,13 @@
 //! | `noisy-evidence`  | the perfect warning channel (leaky signals, noisy Bayesian posterior) |
 //! | `multi-site`      | the single homogeneous population (two-hospital federation, 14 types) |
 //! | `metro-grid`      | per-alert solve cost at scale (four-site metro federation, 28 types) |
+//!
+//! Two further **XL stress scenarios** — [`ContinentalSprawl`] (64 types)
+//! and [`GlobalMesh`] (128 types) — are public but deliberately *not*
+//! registered in [`crate::registry()`](fn@crate::registry): the registry-wide equivalence suites
+//! replay every registered scenario in debug builds, and a 128-type game
+//! multiplies that cost far past what a test run should pay. The kernel
+//! benchmarks (`sag-bench`) and the ε-mode tests construct them directly.
 
 use crate::scenario::Scenario;
 use sag_core::engine::EngineConfig;
@@ -348,6 +355,149 @@ impl Scenario for MetroGrid {
     }
 }
 
+// ---------------------------------------------------------------------------
+// XL synthesized federations (continental-sprawl, global-mesh) — unregistered
+// ---------------------------------------------------------------------------
+
+/// Deterministic `(volume, stakes, cost)` scales of the `i`-th synthesized
+/// type. Volumes taper off (a long tail of quiet sites), stakes and audit
+/// costs cycle through co-prime periods so no two types of the same base
+/// kind are exact copies — which keeps the candidate LPs genuinely distinct
+/// at 64/128 types instead of a degenerate block of ties.
+fn synthesized_scale(i: usize) -> (f64, f64, f64) {
+    let volume = 0.35 + 0.65 / (1.0 + i as f64 / 12.0);
+    let stakes = 1.0 + 0.06 * ((i % 11) as f64);
+    let cost = 1.0 + 0.05 * ((i % 13) as f64);
+    (volume, stakes, cost)
+}
+
+/// A synthesized `count`-type catalogue: type `i` is a scaled copy of the
+/// paper's base type `i mod 7`, with [`synthesized_scale`] volumes.
+fn synthesized_catalog(count: usize) -> AlertCatalog {
+    let base = AlertCatalog::paper_table1();
+    let types = (0..count)
+        .map(|i| {
+            let info = base
+                .get(AlertTypeId((i % 7) as u16))
+                .expect("paper base type");
+            let (volume, _, _) = synthesized_scale(i);
+            AlertTypeInfo {
+                id: AlertTypeId(i as u16),
+                description: format!("xl-{i}: {}", info.description),
+                rules: info.rules,
+                daily_mean: info.daily_mean * volume,
+                daily_std: info.daily_std * volume.sqrt(),
+            }
+        })
+        .collect();
+    AlertCatalog::new(types)
+}
+
+/// The synthesized `count`-type game: Table-2 payoffs scaled per type by
+/// [`synthesized_scale`], one shared budget.
+fn synthesized_game(count: usize, budget: f64) -> GameConfig {
+    let base = PayoffTable::paper_table2();
+    let mut payoffs = Vec::new();
+    let mut audit_costs = Vec::new();
+    for i in 0..count {
+        let p = base.get(AlertTypeId((i % 7) as u16));
+        let (_, stakes, cost) = synthesized_scale(i);
+        payoffs.push(Payoffs::new(
+            p.auditor_covered * stakes,
+            p.auditor_uncovered * stakes,
+            p.attacker_covered * stakes,
+            p.attacker_uncovered * stakes,
+        ));
+        audit_costs.push(cost);
+    }
+    GameConfig {
+        catalog: synthesized_catalog(count),
+        payoffs: PayoffTable::new(payoffs),
+        audit_costs,
+        budget,
+    }
+}
+
+/// A 64-type synthesized continental federation — the first of the two XL
+/// stress scenarios behind the large-type-count solver work (ROADMAP open
+/// item 2). Public but **not registered**: see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContinentalSprawl;
+
+impl ContinentalSprawl {
+    /// Number of alert types.
+    pub const TYPES: usize = 64;
+
+    /// The synthesized 64-type game (shared budget 260).
+    #[must_use]
+    pub fn game() -> GameConfig {
+        synthesized_game(Self::TYPES, 260.0)
+    }
+}
+
+impl Scenario for ContinentalSprawl {
+    fn name(&self) -> &'static str {
+        "continental-sprawl"
+    }
+
+    fn description(&self) -> &'static str {
+        "64-type synthesized continental federation, shared budget 260 (unregistered XL stress)"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_defaults(Self::game())
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        let config = StreamConfig::stationary(
+            synthesized_catalog(Self::TYPES),
+            DiurnalProfile::standard_hco(),
+            seed,
+        );
+        generate(config, num_days)
+    }
+}
+
+/// A 128-type synthesized global federation — the larger XL stress scenario
+/// and the size the `lp_kernel` BENCH_1 floors are gated on. Public but
+/// **not registered**: see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalMesh;
+
+impl GlobalMesh {
+    /// Number of alert types.
+    pub const TYPES: usize = 128;
+
+    /// The synthesized 128-type game (shared budget 470).
+    #[must_use]
+    pub fn game() -> GameConfig {
+        synthesized_game(Self::TYPES, 470.0)
+    }
+}
+
+impl Scenario for GlobalMesh {
+    fn name(&self) -> &'static str {
+        "global-mesh"
+    }
+
+    fn description(&self) -> &'static str {
+        "128-type synthesized global federation, shared budget 470 (unregistered XL stress)"
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::paper_defaults(Self::game())
+    }
+
+    fn generate_days(&self, seed: u64, num_days: u32) -> Vec<DayLog> {
+        let config = StreamConfig::stationary(
+            synthesized_catalog(Self::TYPES),
+            DiurnalProfile::standard_hco(),
+            seed,
+        );
+        generate(config, num_days)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +556,59 @@ mod tests {
             .get(AlertTypeId(t as u16))
             .expect("paper type")
             .daily_mean
+    }
+
+    #[test]
+    fn xl_games_are_valid_federations_of_the_declared_size() {
+        let sprawl = ContinentalSprawl::game();
+        sprawl.validate().expect("64-type game validates");
+        assert_eq!(sprawl.num_types(), 64);
+        assert_eq!(sprawl.catalog.len(), 64);
+
+        let mesh = GlobalMesh::game();
+        mesh.validate().expect("128-type game validates");
+        assert_eq!(mesh.num_types(), 128);
+        assert_eq!(mesh.catalog.len(), 128);
+
+        // Type i is the scaled paper base type i mod 7.
+        let base = PayoffTable::paper_table2();
+        for i in [0usize, 6, 7, 63, 64, 127] {
+            let (volume, stakes, cost) = synthesized_scale(i);
+            let p = mesh.payoffs.get(AlertTypeId(i as u16));
+            let r = base.get(AlertTypeId((i % 7) as u16));
+            assert!((p.auditor_uncovered - r.auditor_uncovered * stakes).abs() < 1e-12);
+            assert_eq!(mesh.audit_costs[i], cost);
+            let info = mesh.catalog.get(AlertTypeId(i as u16)).expect("type");
+            let base_mean = base_catalog_mean(i % 7);
+            assert!(
+                (info.daily_mean - base_mean * volume).abs() < 1e-9,
+                "type {i}"
+            );
+        }
+        // The scale cycle must keep same-base types distinct, not copies.
+        let a = mesh.payoffs.get(AlertTypeId(0));
+        let b = mesh.payoffs.get(AlertTypeId(7));
+        assert_ne!(a.auditor_uncovered, b.auditor_uncovered);
+    }
+
+    #[test]
+    fn xl_scenarios_generate_days_and_stay_unregistered() {
+        for scenario in [&ContinentalSprawl as &dyn Scenario, &GlobalMesh] {
+            let days = scenario.generate_days(5, 2);
+            assert_eq!(days.len(), 2);
+            assert!(days.iter().all(|d| !d.alerts().is_empty()));
+            scenario
+                .engine_config()
+                .game
+                .validate()
+                .expect("XL engine config validates");
+            assert!(
+                crate::registry::find_scenario(scenario.name()).is_none(),
+                "{} must stay out of the registry (debug suites replay every \
+                 registered scenario)",
+                scenario.name()
+            );
+        }
     }
 
     #[test]
