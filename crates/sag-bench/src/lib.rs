@@ -28,8 +28,9 @@ pub use experiments::{
     RollbackAblation, RuntimeStats, Table1Row,
 };
 pub use netload::{
-    merge_service_network, render_network_json, run_network_load, LatencyMicros, NetLoadConfig,
-    NetLoadReport, ShedProbeReport,
+    merge_service_chaos, merge_service_network, render_chaos_json, render_network_json,
+    run_chaos_load, run_kill_recover, run_network_load, ChaosLoadConfig, ChaosLoadReport,
+    KillRecoverReport, LatencyMicros, NetLoadConfig, NetLoadReport, ShedProbeReport,
 };
 pub use scenario_suite::{
     render_suite_json, scenario_suite, ScenarioReport, ScenarioSuiteReport, ShardingReport,

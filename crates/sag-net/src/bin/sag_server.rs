@@ -4,15 +4,22 @@
 //! sag_server [--addr HOST:PORT] [--scenario NAME] [--tenants N] [--seed N]
 //!            [--history-days N] [--test-days N] [--queue N]
 //!            [--tenant-limit N] [--handle-delay-micros N]
+//!            [--wal-dir DIR] [--recover]
 //! ```
 //!
 //! Builds `--tenants` instances of `--scenario` (each with its registered
 //! history, per [`sag_scenarios::tenant_fleet`]), starts the TCP front
 //! door, prints one `listening on ADDR` line to stdout, and serves until
-//! killed. The metrics page answers `curl http://ADDR/` on the same port.
+//! killed. The metrics page answers `curl http://ADDR/` on the same port,
+//! and `/healthz` answers `ok` — poll it for readiness instead of sleeping.
+//!
+//! With `--wal-dir DIR` every mutation is logged before it is acknowledged;
+//! `--recover` additionally replays an existing WAL in DIR on boot, so a
+//! SIGKILLed server restarted with the same directory resumes with its
+//! open sessions, applied request ids, and dedup windows intact.
 
 use sag_net::{Server, ServerConfig};
-use sag_scenarios::{find_scenario, tenant_fleet};
+use sag_scenarios::{find_scenario, tenant_fleet_parts};
 use std::time::Duration;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -40,6 +47,9 @@ fn main() {
         },
     };
 
+    let wal_dir = parse_flag(&args, "--wal-dir", String::new());
+    let recover = args.iter().any(|a| a == "--recover");
+
     let Some(scenario) = find_scenario(&scenario_name) else {
         eprintln!("unknown scenario {scenario_name:?}; registered scenarios:");
         for s in sag_scenarios::registry() {
@@ -47,14 +57,21 @@ fn main() {
         }
         std::process::exit(2);
     };
-    let fleet = match tenant_fleet(scenario.as_ref(), seed, tenants, history_days, test_days) {
-        Ok(fleet) => fleet,
+    let (builder, _tenants) =
+        tenant_fleet_parts(scenario.as_ref(), seed, tenants, history_days, test_days);
+    let service = match (wal_dir.as_str(), recover) {
+        ("", _) => builder.build(),
+        (dir, false) => builder.durable(dir).build(),
+        (dir, true) => builder.recover_from(dir),
+    };
+    let service = match service {
+        Ok(service) => service,
         Err(e) => {
             eprintln!("failed to build the tenant fleet: {e}");
             std::process::exit(1);
         }
     };
-    let server = match Server::start(fleet.service, addr.as_str(), config) {
+    let server = match Server::start(service, addr.as_str(), config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("failed to bind {addr}: {e}");

@@ -1,0 +1,339 @@
+//! A fault-injecting TCP proxy for torturing the wire protocol.
+//!
+//! [`ChaosProxy`] sits between a [`crate::Client`] and a [`crate::Server`],
+//! forwarding the handshake verbatim and then relaying *frames* (it parses
+//! the `len|crc|payload` framing but deliberately never validates CRCs —
+//! corruption must be caught by the real endpoints). A [`ChaosPlan`] decides
+//! per frame whether to forward it clean or inject a [`Fault`]: duplicate
+//! it, flip a bit, delay it, deliver only a prefix, reset the connection,
+//! or swallow it whole.
+//!
+//! Two properties make it useful for *deterministic* chaos tests:
+//!
+//! * **Scripted faults** target an exact (direction, frame index) pair, so
+//!   a test can say "corrupt the 3rd reply" and assert the precise client
+//!   behaviour that must follow.
+//! * **Shared state survives reconnects.** Frame counters, the RNG, and
+//!   the upstream address live behind the proxy, not the connection — a
+//!   client that reconnects after a fault keeps marching through the same
+//!   plan, and [`set_upstream`](ChaosProxy::set_upstream) lets a test
+//!   repoint the proxy at a *restarted* server while clients keep dialing
+//!   the same proxy address.
+
+use crate::codec::MAX_FRAME;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Which way a frame is travelling through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Requests: client → server.
+    ClientToServer,
+    /// Replies: server → client.
+    ServerToClient,
+}
+
+/// One injected failure mode, applied to a single frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward the frame twice, back to back — a redelivery.
+    Duplicate,
+    /// Flip one payload bit before forwarding; the receiver's CRC check
+    /// must reject the frame.
+    Bitflip,
+    /// Hold the frame (and everything behind it) for this long.
+    Delay(Duration),
+    /// Forward only the first `n` bytes of the frame, then kill the
+    /// connection — a partial write.
+    Truncate(usize),
+    /// Tear the connection down without forwarding the frame.
+    Reset,
+    /// Swallow the frame silently; the connection stays up and the
+    /// receiver simply never hears about it (a timeout, eventually).
+    Blackhole,
+}
+
+/// Random fault rates for unscripted chaos, driven by a seeded
+/// deterministic RNG — the same seed injects the same fault sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomChaos {
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability a frame is duplicated.
+    pub duplicate_rate: f64,
+    /// Probability a frame is delayed by [`delay`](RandomChaos::delay).
+    pub delay_rate: f64,
+    /// How long a randomly delayed frame is held.
+    pub delay: Duration,
+    /// Probability the connection is reset instead of forwarding.
+    pub reset_rate: f64,
+}
+
+/// What to do to which frames. Scripted faults win over random rates.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    scripted: HashMap<(Direction, u64), Fault>,
+    random: Option<RandomChaos>,
+}
+
+impl ChaosPlan {
+    /// A plan that forwards everything untouched.
+    #[must_use]
+    pub fn clean() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Inject `fault` on the `index`-th frame (0-based, counted per
+    /// direction across the proxy's whole lifetime, reconnects included).
+    #[must_use]
+    pub fn fault(mut self, direction: Direction, index: u64, fault: Fault) -> Self {
+        self.scripted.insert((direction, index), fault);
+        self
+    }
+
+    /// Add seeded random faults to every frame no scripted entry claims.
+    #[must_use]
+    pub fn random(mut self, random: RandomChaos) -> Self {
+        self.random = Some(random);
+        self
+    }
+}
+
+struct Shared {
+    upstream: Mutex<SocketAddr>,
+    plan: ChaosPlan,
+    counts: [AtomicU64; 2],
+    faults: AtomicU64,
+    rng: Mutex<u64>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn next_index(&self, direction: Direction) -> u64 {
+        self.counts[direction as usize].fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn fault_for(&self, direction: Direction, index: u64) -> Option<Fault> {
+        if let Some(fault) = self.plan.scripted.get(&(direction, index)) {
+            return Some(*fault);
+        }
+        let random = self.plan.random?;
+        let mut rng = self.rng.lock().expect("chaos rng poisoned");
+        let draw = |state: &mut u64| (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64;
+        if draw(&mut rng) < random.duplicate_rate {
+            return Some(Fault::Duplicate);
+        }
+        if draw(&mut rng) < random.delay_rate {
+            return Some(Fault::Delay(random.delay));
+        }
+        if draw(&mut rng) < random.reset_rate {
+            return Some(Fault::Reset);
+        }
+        None
+    }
+}
+
+/// A running fault-injecting proxy. Dropping it stops the listener.
+pub struct ChaosProxy {
+    local: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ChaosProxy {
+    /// Bind a local port, start proxying to `upstream` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the listener cannot bind or `upstream` does
+    /// not resolve.
+    pub fn start(upstream: impl ToSocketAddrs, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "upstream resolved to nothing",
+            )
+        })?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        let seed = plan.random.map_or(0x00dd_5eed, |r| r.seed);
+        let shared = Arc::new(Shared {
+            upstream: Mutex::new(upstream),
+            plan,
+            counts: [AtomicU64::new(0), AtomicU64::new(0)],
+            faults: AtomicU64::new(0),
+            rng: Mutex::new(seed),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            for inbound in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = inbound else { break };
+                let conn_shared = Arc::clone(&accept_shared);
+                thread::spawn(move || proxy_connection(client, &conn_shared));
+            }
+        });
+        Ok(ChaosProxy { local, shared })
+    }
+
+    /// The address clients should dial instead of the real server.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Repoint *future* connections at a new upstream — the restarted
+    /// server's address after a crash. Existing connections keep their
+    /// dead upstream and die naturally.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when `upstream` does not resolve.
+    pub fn set_upstream(&self, upstream: impl ToSocketAddrs) -> std::io::Result<()> {
+        let addr = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "upstream resolved to nothing",
+            )
+        })?;
+        *self.shared.upstream.lock().expect("upstream poisoned") = addr;
+        Ok(())
+    }
+
+    /// Total faults injected so far, both directions.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.faults.load(Ordering::Relaxed)
+    }
+
+    /// Frames seen so far in one direction (faulted or not).
+    #[must_use]
+    pub fn frames_seen(&self, direction: Direction) -> u64 {
+        self.shared.counts[direction as usize].load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting new connections. Existing connections drain.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn proxy_connection(client: TcpStream, shared: &Arc<Shared>) {
+    let upstream = *shared.upstream.lock().expect("upstream poisoned");
+    let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(3)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let c2s_shared = Arc::clone(shared);
+    thread::spawn(move || pump(Direction::ClientToServer, client, server, &c2s_shared));
+    let s2c_shared = Arc::clone(shared);
+    thread::spawn(move || pump(Direction::ServerToClient, server2, client2, &s2c_shared));
+}
+
+/// Relay frames one way until the stream dies or a fault kills it.
+fn pump(direction: Direction, mut from: TcpStream, mut to: TcpStream, shared: &Arc<Shared>) {
+    // The 6-byte protocol handshake precedes framing on the request
+    // direction; pass it through untouched.
+    if direction == Direction::ClientToServer {
+        let mut handshake = [0u8; 6];
+        if from.read_exact(&mut handshake).is_err() || to.write_all(&handshake).is_err() {
+            shutdown_pair(&from, &to);
+            return;
+        }
+    }
+    while let Some(frame) = read_raw_frame(&mut from) {
+        let index = shared.next_index(direction);
+        let fault = shared.fault_for(direction, index);
+        if fault.is_some() {
+            shared.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        match fault {
+            None => {
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Duplicate) => {
+                if to.write_all(&frame).is_err() || to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Bitflip) => {
+                let mut corrupted = frame;
+                // Flip a payload bit when there is one, else a CRC bit —
+                // either way the receiver's CRC check must fire.
+                let target = if corrupted.len() > 8 { 8 } else { 4 };
+                corrupted[target] ^= 0x01;
+                if to.write_all(&corrupted).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Delay(pause)) => {
+                thread::sleep(pause);
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Truncate(n)) => {
+                let n = n.min(frame.len());
+                let _ = to.write_all(&frame[..n]);
+                let _ = to.flush();
+                break;
+            }
+            Some(Fault::Reset) => break,
+            Some(Fault::Blackhole) => continue,
+        }
+        if to.flush().is_err() {
+            break;
+        }
+    }
+    shutdown_pair(&from, &to);
+}
+
+fn shutdown_pair(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+/// Read one raw frame (8-byte header + payload) without validating its
+/// CRC — corruption is the endpoints' problem, by design.
+fn read_raw_frame(from: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut header = [0u8; 8];
+    from.read_exact(&mut header).ok()?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len > MAX_FRAME {
+        return None;
+    }
+    let mut frame = vec![0u8; 8 + len];
+    frame[..8].copy_from_slice(&header);
+    from.read_exact(&mut frame[8..]).ok()?;
+    Some(frame)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -28,11 +28,22 @@
 //! 9-byte shape of [`sag_sim::binary`] (person references are not
 //! serialized; the game consumes only time, type and ground truth).
 //!
+//! Since protocol version 2 every request travels inside an idempotency
+//! envelope — `request_id:u64le tenant:str` — and every reply echoes the
+//! id of the request it answers. Ids are per-tenant, client-assigned,
+//! monotonically increasing from 1 (0 is the untagged sentinel); a
+//! redelivered id is answered from the server's dedup window instead of
+//! re-applied, and the echoed id lets a client discard duplicate replies
+//! its own retries provoked. Replies to frames that never decoded far
+//! enough to carry an id echo id 0.
+//!
 //! ```text
-//! Request  := 1 tenant:str flags:u8 [day:u32] [budget:f64]   (OpenDay)
+//! Request  := id:u64 tenant:str body
+//! body     := 1 tenant:str flags:u8 [day:u32] [budget:f64]   (OpenDay)
 //!           | 2 session:u64 day:u32 secs:u32 type:u16 att:u8 (PushAlert)
 //!           | 3 session:u64                                  (FinishDay)
-//! Reply    := 1 session:u64 tenant:str                       (DayOpened)
+//! Reply    := id:u64 answer
+//! answer   := 1 session:u64 tenant:str                       (DayOpened)
 //!           | 2 session:u64 outcome                          (Decision)
 //!           | 3 session:u64 tenant:str result                (DayClosed)
 //!           | 4 code:u8 ...                                  (WireError)
@@ -54,8 +65,10 @@ use std::io::{Read, Write};
 /// Handshake magic: `"SAGN"` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SAGN");
 
-/// Wire protocol version carried in the handshake.
-pub const VERSION: u16 = 1;
+/// Wire protocol version carried in the handshake. Version 2 added the
+/// idempotency envelope (request ids on every request, echoed on every
+/// reply); version-1 peers are refused with a structured `BadRequest`.
+pub const VERSION: u16 = 2;
 
 /// Hard ceiling on one frame's payload length (16 MiB, matching the WAL's
 /// record bound). Checked before allocating.
@@ -92,6 +105,16 @@ pub enum CodecError {
     /// The payload decoded cleanly but left unread bytes behind — a codec
     /// drift between peers, surfaced loudly instead of ignored.
     TrailingBytes(usize),
+    /// A reply echoed a request id *ahead* of the oldest in-flight request
+    /// — the server answered something this client never sent. Replies
+    /// behind the expected id are skipped as redeliveries; ahead means the
+    /// streams have desynchronised, which no retry can repair.
+    BadReplyId {
+        /// The id the reply carried.
+        got: u64,
+        /// The oldest id the client was still waiting on.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -115,17 +138,30 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBytes(n) => {
                 write!(f, "{n} trailing bytes after a complete message")
             }
+            CodecError::BadReplyId { got, expected } => {
+                write!(
+                    f,
+                    "reply for request id {got} while still waiting on {expected}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-/// Transport-level failure: an I/O error or a structured codec error.
+/// Transport-level failure: an I/O error, a deadline expiring, or a
+/// structured codec error.
 #[derive(Debug)]
 pub enum NetError {
     /// The socket failed.
     Io(std::io::Error),
+    /// A configured connect/read/write deadline expired before the peer
+    /// responded.
+    Timeout {
+        /// Which operation timed out (`"connect"`, `"read"`, `"write"`).
+        op: &'static str,
+    },
     /// The bytes arrived but do not parse.
     Codec(CodecError),
 }
@@ -134,6 +170,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Timeout { op } => write!(f, "{op} timed out"),
             NetError::Codec(e) => write!(f, "protocol error: {e}"),
         }
     }
@@ -143,6 +180,7 @@ impl std::error::Error for NetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NetError::Io(e) => Some(e),
+            NetError::Timeout { .. } => None,
             NetError::Codec(e) => Some(e),
         }
     }
@@ -150,7 +188,15 @@ impl std::error::Error for NetError {
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
+        // With `SO_RCVTIMEO`/`SO_SNDTIMEO` armed, an expired deadline
+        // surfaces as `WouldBlock` (Unix) or `TimedOut` (Windows; also
+        // `connect_timeout`). Both mean the same thing to a caller: the
+        // peer did not answer in time, and the request is retryable.
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock => NetError::Timeout { op: "read" },
+            std::io::ErrorKind::TimedOut => NetError::Timeout { op: "read" },
+            _ => NetError::Io(e),
+        }
     }
 }
 
@@ -189,6 +235,15 @@ pub enum WireError {
     Wal(String),
     /// The server could not decode the request frame.
     BadRequest(String),
+    /// The request id was applied so long ago its cached reply fell out of
+    /// the server's dedup window. Nothing was re-applied; a client whose
+    /// ids are assigned by [`crate::Client`] never sees this.
+    Stale {
+        /// The duplicate id the server refused to re-apply.
+        request_id: u64,
+        /// The highest id the server has applied for this tenant.
+        last_applied: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -207,6 +262,13 @@ impl fmt::Display for WireError {
             WireError::Engine(m) => write!(f, "engine error: {m}"),
             WireError::Wal(m) => write!(f, "durability error: {m}"),
             WireError::BadRequest(m) => write!(f, "bad request: {m}"),
+            WireError::Stale {
+                request_id,
+                last_applied,
+            } => write!(
+                f,
+                "request id {request_id} fell out of the dedup window (last applied {last_applied})"
+            ),
         }
     }
 }
@@ -321,10 +383,15 @@ const REQ_FINISH_DAY: u8 = 3;
 const OPEN_HAS_DAY: u8 = 1 << 0;
 const OPEN_HAS_BUDGET: u8 = 1 << 1;
 
-/// Encode a request payload (framing is [`write_frame`]'s job).
+/// Encode a request payload inside its idempotency envelope (framing is
+/// [`write_frame`]'s job). `request_id` is the per-tenant monotonically
+/// increasing id the reply will echo; `tenant` is the tenant the id is
+/// scoped to (for `OpenDay` it must match the body's tenant).
 #[must_use]
-pub fn encode_request(request: &Request) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
+pub fn encode_request(request_id: u64, tenant: &TenantId, request: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(48);
+    buf.put_u64_le(request_id);
+    put_str(&mut buf, tenant.as_str());
     match request {
         Request::OpenDay {
             tenant,
@@ -364,13 +431,15 @@ pub fn encode_request(request: &Request) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a request payload.
+/// Decode a request payload into `(request_id, envelope tenant, request)`.
 ///
 /// # Errors
 ///
 /// Structured [`CodecError`] on any malformed input; never panics.
-pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
+pub fn decode_request(payload: &[u8]) -> Result<(u64, TenantId, Request), CodecError> {
     let mut r = Reader::new(payload);
+    let request_id = r.u64()?;
+    let envelope_tenant = TenantId::from(r.str()?);
     let request = match r.u8()? {
         REQ_OPEN_DAY => {
             let tenant = TenantId::from(r.str()?);
@@ -415,7 +484,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         kind => return Err(CodecError::UnknownKind(kind)),
     };
     r.finish()?;
-    Ok(request)
+    Ok((request_id, envelope_tenant, request))
 }
 
 // --- replies ----------------------------------------------------------------
@@ -431,6 +500,7 @@ const ERR_OVERLOADED: u8 = 3;
 const ERR_ENGINE: u8 = 4;
 const ERR_WAL: u8 = 5;
 const ERR_BAD_REQUEST: u8 = 6;
+const ERR_STALE: u8 = 7;
 
 const OUTCOME_DETERRED: u8 = 1 << 0;
 const OUTCOME_APPLIED: u8 = 1 << 1;
@@ -604,10 +674,12 @@ fn read_result(r: &mut Reader<'_>) -> Result<CycleResult, CodecError> {
     })
 }
 
-/// Encode a server reply payload.
+/// Encode a server reply payload, echoing the id of the request it
+/// answers (0 for replies to frames that never carried a decodable id).
 #[must_use]
-pub fn encode_reply(reply: &Reply) -> Bytes {
+pub fn encode_reply(request_id: u64, reply: &Reply) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    buf.put_u64_le(request_id);
     match reply {
         Ok(Response::DayOpened { session, tenant }) => {
             buf.put_u8(REP_DAY_OPENED);
@@ -662,19 +734,28 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
                     buf.put_u8(ERR_BAD_REQUEST);
                     put_str(&mut buf, m);
                 }
+                WireError::Stale {
+                    request_id,
+                    last_applied,
+                } => {
+                    buf.put_u8(ERR_STALE);
+                    buf.put_u64_le(*request_id);
+                    buf.put_u64_le(*last_applied);
+                }
             }
         }
     }
     buf.freeze()
 }
 
-/// Decode a server reply payload.
+/// Decode a server reply payload into `(echoed request id, reply)`.
 ///
 /// # Errors
 ///
 /// Structured [`CodecError`] on any malformed input; never panics.
-pub fn decode_reply(payload: &[u8]) -> Result<Reply, CodecError> {
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), CodecError> {
     let mut r = Reader::new(payload);
+    let request_id = r.u64()?;
     let reply = match r.u8()? {
         REP_DAY_OPENED => {
             let session = SessionId::from_raw(r.u64()?);
@@ -707,12 +788,16 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, CodecError> {
             ERR_ENGINE => WireError::Engine(r.str()?.to_owned()),
             ERR_WAL => WireError::Wal(r.str()?.to_owned()),
             ERR_BAD_REQUEST => WireError::BadRequest(r.str()?.to_owned()),
+            ERR_STALE => WireError::Stale {
+                request_id: r.u64()?,
+                last_applied: r.u64()?,
+            },
             code => return Err(CodecError::UnknownErrorCode(code)),
         }),
         kind => return Err(CodecError::UnknownKind(kind)),
     };
     r.finish()?;
-    Ok(reply)
+    Ok((request_id, reply))
 }
 
 // --- frame I/O --------------------------------------------------------------
@@ -820,17 +905,26 @@ mod tests {
                 session: SessionId::from_raw(u64::MAX),
             },
         ];
-        for request in requests {
-            let bytes = encode_request(&request);
-            assert_eq!(decode_request(&bytes).unwrap(), request);
+        for (i, request) in requests.into_iter().enumerate() {
+            let id = i as u64 + 1;
+            let tenant = TenantId::from("icu");
+            let bytes = encode_request(id, &tenant, &request);
+            let (back_id, back_tenant, back) = decode_request(&bytes).unwrap();
+            assert_eq!(back_id, id);
+            assert_eq!(back_tenant, tenant);
+            assert_eq!(back, request);
         }
     }
 
     #[test]
     fn truncated_request_is_structured_not_a_panic() {
-        let bytes = encode_request(&Request::FinishDay {
-            session: SessionId::from_raw(1),
-        });
+        let bytes = encode_request(
+            3,
+            &TenantId::from("icu"),
+            &Request::FinishDay {
+                session: SessionId::from_raw(1),
+            },
+        );
         for cut in 0..bytes.len() {
             match decode_request(&bytes[..cut]) {
                 Err(CodecError::Truncated) | Err(CodecError::UnknownKind(_)) => {}
@@ -841,9 +935,13 @@ mod tests {
 
     #[test]
     fn frames_round_trip_and_reject_corruption() {
-        let payload = encode_request(&Request::FinishDay {
-            session: SessionId::from_raw(7),
-        });
+        let payload = encode_request(
+            7,
+            &TenantId::from("icu"),
+            &Request::FinishDay {
+                session: SessionId::from_raw(7),
+            },
+        );
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
         let back = read_frame(&mut wire.as_slice()).unwrap().unwrap();
@@ -859,6 +957,28 @@ mod tests {
 
         // Clean EOF between frames is not an error.
         assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn reply_envelope_echoes_the_request_id() {
+        let replies: [Reply; 3] = [
+            Ok(Response::DayOpened {
+                session: SessionId::from_raw(4),
+                tenant: TenantId::from("icu"),
+            }),
+            Err(WireError::Stale {
+                request_id: 9,
+                last_applied: 512,
+            }),
+            Err(WireError::BadRequest("nope".to_owned())),
+        ];
+        for (i, reply) in replies.into_iter().enumerate() {
+            let id = i as u64 * 17;
+            let bytes = encode_reply(id, &reply);
+            let (back_id, back) = decode_reply(&bytes).unwrap();
+            assert_eq!(back_id, id);
+            assert_eq!(back, reply);
+        }
     }
 
     #[test]

@@ -25,8 +25,9 @@
 //!
 //! ```no_run
 //! use sag_core::EngineBuilder;
-//! use sag_net::{Client, Server, ServerConfig};
-//! use sag_service::{AuditService, TenantId};
+//! use sag_net::{Client, ClientConfig, RetryPolicy, Server, ServerConfig};
+//! use sag_service::AuditService;
+//! use std::time::Duration;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let service = AuditService::builder()
@@ -34,8 +35,16 @@
 //!     .build()?;
 //! let server = Server::start(service, "127.0.0.1:0", ServerConfig::default())?;
 //!
-//! let mut client = Client::connect(server.local_addr())?;
-//! let session = client.open_day(&TenantId::from("icu"), None, None)?;
+//! // Deadlines + retries are explicit: this client gives up on a wedged
+//! // server after 2s per read and resolves ambiguous failures by
+//! // re-sending the same request id (the server dedups).
+//! let config = ClientConfig {
+//!     read_timeout: Duration::from_secs(2),
+//!     retry: RetryPolicy { max_attempts: 4, ..RetryPolicy::default() },
+//!     ..ClientConfig::default()
+//! };
+//! let mut client = Client::connect_with(server.local_addr(), "icu", config)?;
+//! let session = client.open_day(None, None)?;
 //! // ... push alerts, then:
 //! let result = client.finish_day(session)?;
 //! # let _ = result;
@@ -45,12 +54,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod metrics;
 pub mod server;
 
-pub use client::{fetch_metrics, Client, ClientError};
+pub use chaos::{ChaosPlan, ChaosProxy, Direction, Fault, RandomChaos};
+pub use client::{
+    fetch_health, fetch_metrics, Client, ClientConfig, ClientError, ClientStats, RetryPolicy,
+};
 pub use codec::{CodecError, NetError, Reply, WireError, MAGIC, MAX_FRAME, VERSION};
 pub use metrics::{parse_metric, NetMetrics, TenantGauge};
 pub use server::{Server, ServerConfig};

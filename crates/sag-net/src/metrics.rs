@@ -253,6 +253,8 @@ impl NetMetrics {
         );
         put_u64(&mut out, "sag_queue_depth", self.queue_depth() as u64);
         put_u64(&mut out, "sag_shed_total", self.shed_total());
+        put_u64(&mut out, "sag_dup_suppressed_total", service.dup_suppressed);
+        put_u64(&mut out, "sag_dup_replayed_total", service.dup_replayed);
         put_u64(
             &mut out,
             "sag_decode_errors_total",

@@ -49,7 +49,7 @@ use crate::codec::{
 };
 use crate::metrics::{NetMetrics, TenantGauge};
 use bytes::Bytes;
-use sag_service::{AuditService, Request, Response, ServiceCounters};
+use sag_service::{AuditService, Handled, Request, Response, ServiceCounters, TenantId};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -86,6 +86,10 @@ impl Default for ServerConfig {
 
 /// One unit of work for the service thread.
 struct Job {
+    /// The idempotency envelope: the client-assigned request id…
+    request_id: u64,
+    /// …and the tenant it is scoped to.
+    tenant: TenantId,
     request: Request,
     /// One-shot reply path back to the connection's writer thread.
     reply: Sender<Bytes>,
@@ -290,39 +294,64 @@ fn service_loop(
         if let Some(delay) = delay {
             thread::sleep(delay);
         }
-        let result = service.handle(job.request);
-        match &result {
-            Ok(Response::DayOpened { session, tenant }) => {
-                let gauge = job
-                    .gauge
-                    .clone()
-                    .unwrap_or_else(|| shared.net.tenant_gauge(tenant));
-                shared
-                    .session_gauges
-                    .lock()
-                    .expect("session gauge map poisoned")
-                    .insert(session.raw(), gauge);
-            }
-            Ok(Response::Decision { outcome, .. }) => {
-                if let Some(gauge) = &job.gauge {
-                    gauge.record_decision(outcome.ossp_utility);
+        let reply: Reply = match service.handle_tagged(&job.tenant, job.request_id, job.request) {
+            Handled::Applied(result) => {
+                match &result {
+                    Ok(Response::DayOpened { session, tenant }) => {
+                        let gauge = job
+                            .gauge
+                            .clone()
+                            .unwrap_or_else(|| shared.net.tenant_gauge(tenant));
+                        shared
+                            .session_gauges
+                            .lock()
+                            .expect("session gauge map poisoned")
+                            .insert(session.raw(), gauge);
+                    }
+                    Ok(Response::Decision { outcome, .. }) => {
+                        if let Some(gauge) = &job.gauge {
+                            gauge.record_decision(outcome.ossp_utility);
+                        }
+                    }
+                    Ok(Response::DayClosed { session, .. }) => {
+                        shared
+                            .session_gauges
+                            .lock()
+                            .expect("session gauge map poisoned")
+                            .remove(&session.raw());
+                    }
+                    Err(_) => {}
                 }
+                result.map_err(|e| WireError::from(&e))
             }
-            Ok(Response::DayClosed { session, .. }) => {
-                shared
-                    .session_gauges
-                    .lock()
-                    .expect("session gauge map poisoned")
-                    .remove(&session.raw());
+            Handled::Replayed(response) => {
+                // Nothing was re-applied, so no per-tenant decision stats —
+                // but a replayed DayOpened must (re-)register the session's
+                // gauge: after a crash+recover the map starts empty, and the
+                // session is live again.
+                if let Response::DayOpened { session, tenant } = &response {
+                    let gauge = shared.net.tenant_gauge(tenant);
+                    shared
+                        .session_gauges
+                        .lock()
+                        .expect("session gauge map poisoned")
+                        .insert(session.raw(), gauge);
+                }
+                Ok(response)
             }
-            Err(_) => {}
-        }
+            Handled::Stale {
+                request_id,
+                last_applied,
+            } => Err(WireError::Stale {
+                request_id,
+                last_applied,
+            }),
+        };
         if let Some(gauge) = &job.gauge {
             gauge.release();
         }
-        let reply: Reply = result.map_err(|e| WireError::from(&e));
         // A dead connection just drops its replies; nothing to do here.
-        let _ = job.reply.send(encode_reply(&reply));
+        let _ = job.reply.send(encode_reply(job.request_id, &reply));
     }
 }
 
@@ -341,7 +370,7 @@ fn handle_connection(
         return;
     }
     if &first == b"GET " {
-        serve_metrics(&mut stream, shared);
+        serve_http(&mut stream, shared);
         return;
     }
     if first != MAGIC.to_le_bytes() {
@@ -357,7 +386,7 @@ fn handle_connection(
         let reply: Reply = Err(WireError::BadRequest(format!(
             "unsupported protocol version {version} (server speaks {VERSION})"
         )));
-        let _ = write_frame(&mut stream, &encode_reply(&reply));
+        let _ = write_frame(&mut stream, &encode_reply(0, &reply));
         return;
     }
     shared
@@ -378,15 +407,25 @@ fn handle_connection(
         .fetch_add(1, Ordering::Relaxed);
 }
 
-/// Serve one plaintext metrics scrape and close.
-fn serve_metrics(stream: &mut TcpStream, shared: &Shared) {
-    shared.net.scrapes.fetch_add(1, Ordering::Relaxed);
-    // Drain whatever remains of the request line; one read is plenty for
-    // the scrapers we serve, and the response does not depend on it.
+/// Serve one plaintext HTTP request (`GET ` already consumed) and close.
+///
+/// Two paths exist: `/healthz` answers a bare 200 `ok` the moment the
+/// listener is accepting — what a readiness probe polls instead of
+/// sleeping — and everything else serves the metrics page.
+fn serve_http(stream: &mut TcpStream, shared: &Shared) {
+    // Read the rest of the request line; one read is plenty for the
+    // scrapers and probes we serve, and only the path matters.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut scratch = [0u8; 512];
-    let _ = stream.read(&mut scratch);
-    let body = shared.net.render(&shared.counters.snapshot());
+    let n = stream.read(&mut scratch).unwrap_or(0);
+    let line = String::from_utf8_lossy(&scratch[..n]);
+    let path = line.split_whitespace().next().unwrap_or("");
+    let body = if path == "/healthz" {
+        "ok\n".to_owned()
+    } else {
+        shared.net.scrapes.fetch_add(1, Ordering::Relaxed);
+        shared.net.render(&shared.counters.snapshot())
+    };
     let header = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -435,9 +474,9 @@ fn serve_protocol(
     };
 
     let mut stream = stream;
-    let reply_now = |reply: &Reply| {
+    let reply_now = |request_id: u64, reply: &Reply| {
         let (tx, rx) = std::sync::mpsc::channel();
-        let _ = tx.send(encode_reply(reply));
+        let _ = tx.send(encode_reply(request_id, reply));
         let _ = slot_tx.send(rx);
     };
     loop {
@@ -446,26 +485,41 @@ fn serve_protocol(
         }
         let payload = match read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
-            // Clean close, socket death, or a torn/oversized/corrupt frame
-            // (after which the stream offset can no longer be trusted).
-            Ok(None) | Err(NetError::Io(_)) => break,
-            Err(NetError::Codec(e)) => {
+            // Clean close, socket death, or a timeout.
+            Ok(None) | Err(NetError::Io(_)) | Err(NetError::Timeout { .. }) => break,
+            Err(NetError::Codec(_)) => {
+                // A torn, oversized or CRC-corrupt frame: the stream offset
+                // can no longer be trusted, so any reply might answer bytes
+                // the client never sent. Close without one — the client
+                // sees a dead transport and safely retries under the same
+                // request id.
                 shared.net.decode_errors.fetch_add(1, Ordering::Relaxed);
-                reply_now(&Err(WireError::BadRequest(e.to_string())));
                 break;
             }
         };
         shared.net.frames_in.fetch_add(1, Ordering::Relaxed);
-        let request = match decode_request(&payload) {
-            Ok(request) => request,
+        let (request_id, envelope_tenant, request) = match decode_request(&payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
-                // The frame was well-formed, so the stream is still in
-                // sync: answer the bad payload and keep serving.
+                // The frame checksummed, so the stream is still in sync and
+                // this is a genuine client bug, not line noise: answer the
+                // bad payload structurally and keep serving.
                 shared.net.decode_errors.fetch_add(1, Ordering::Relaxed);
-                reply_now(&Err(WireError::BadRequest(e.to_string())));
+                reply_now(0, &Err(WireError::BadRequest(e.to_string())));
                 continue;
             }
         };
+        if let Request::OpenDay { tenant, .. } = &request {
+            if *tenant != envelope_tenant {
+                reply_now(
+                    request_id,
+                    &Err(WireError::BadRequest(format!(
+                        "envelope tenant {envelope_tenant} does not match OpenDay tenant {tenant}"
+                    ))),
+                );
+                continue;
+            }
+        }
 
         let gauge: Option<Arc<TenantGauge>> = match &request {
             Request::OpenDay { tenant, .. } => Some(shared.net.tenant_gauge(tenant)),
@@ -479,16 +533,21 @@ fn serve_protocol(
         if let Some(gauge) = &gauge {
             if let Err(pending) = gauge.try_admit(config.tenant_pending_limit) {
                 shared.net.shed.fetch_add(1, Ordering::Relaxed);
-                reply_now(&Err(WireError::Overloaded {
-                    tenant: gauge.tenant().as_str().to_owned(),
-                    pending: pending as u64,
-                    limit: config.tenant_pending_limit as u64,
-                }));
+                reply_now(
+                    request_id,
+                    &Err(WireError::Overloaded {
+                        tenant: gauge.tenant().as_str().to_owned(),
+                        pending: pending as u64,
+                        limit: config.tenant_pending_limit as u64,
+                    }),
+                );
                 continue;
             }
         }
         let (tx, rx) = std::sync::mpsc::channel();
         let job = Job {
+            request_id,
+            tenant: envelope_tenant,
             request,
             reply: tx,
             gauge: gauge.clone(),
@@ -507,11 +566,14 @@ fn serve_protocol(
                     .as_ref()
                     .map_or("", |g| g.tenant().as_str())
                     .to_owned();
-                reply_now(&Err(WireError::Overloaded {
-                    tenant,
-                    pending: config.queue_capacity as u64,
-                    limit: config.queue_capacity as u64,
-                }));
+                reply_now(
+                    request_id,
+                    &Err(WireError::Overloaded {
+                        tenant,
+                        pending: config.queue_capacity as u64,
+                        limit: config.queue_capacity as u64,
+                    }),
+                );
             }
             // The server is shutting down; stop reading.
             Err(TrySendError::Disconnected(_)) => break,

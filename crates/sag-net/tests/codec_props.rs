@@ -183,7 +183,7 @@ fn arb_result() -> impl Strategy<Value = CycleResult> {
 }
 
 fn arb_wire_error() -> impl Strategy<Value = WireError> {
-    (0u8..6, arb_name(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+    (0u8..7, arb_name(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
         |(code, text, a, b, c)| match code {
             0 => WireError::UnknownTenant(text),
             1 => WireError::UnknownSession(a),
@@ -194,6 +194,10 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
             },
             3 => WireError::Engine(text),
             4 => WireError::Wal(text),
+            5 => WireError::Stale {
+                request_id: a,
+                last_applied: b,
+            },
             _ => WireError::BadRequest(text),
         },
     )
@@ -230,24 +234,25 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
-    fn requests_round_trip_bitwise(request in arb_request()) {
-        let bytes = encode_request(&request);
-        prop_assert_eq!(decode_request(&bytes).unwrap(), request);
+    fn requests_round_trip_bitwise(id in any::<u64>(), tenant in arb_name(), request in arb_request()) {
+        let tenant = TenantId::from(tenant.as_str());
+        let bytes = encode_request(id, &tenant, &request);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), (id, tenant, request));
     }
 
     #[test]
-    fn replies_round_trip_bitwise(reply in arb_reply()) {
-        let bytes = encode_reply(&reply);
-        prop_assert_eq!(decode_reply(&bytes).unwrap(), reply);
+    fn replies_round_trip_bitwise(id in any::<u64>(), reply in arb_reply()) {
+        let bytes = encode_reply(id, &reply);
+        prop_assert_eq!(decode_reply(&bytes).unwrap(), (id, reply));
     }
 
     #[test]
-    fn truncated_payloads_are_structured_errors(reply in arb_reply(), frac in 0.0f64..1.0) {
+    fn truncated_payloads_are_structured_errors(id in any::<u64>(), reply in arb_reply(), frac in 0.0f64..1.0) {
         // Every strict prefix of a valid payload must fail cleanly — a
         // decode that "succeeds" on a prefix would mean two messages share
         // an encoding, and a panic would mean a hostile peer can kill the
         // server. Check one random cut (plus the ends) per case.
-        let bytes = encode_reply(&reply);
+        let bytes = encode_reply(id, &reply);
         for cut in [0, (bytes.len() as f64 * frac) as usize, bytes.len().saturating_sub(1)] {
             if cut >= bytes.len() {
                 continue;
@@ -260,15 +265,15 @@ proptest! {
     }
 
     #[test]
-    fn trailing_bytes_are_rejected(request in arb_request(), extra in 1usize..16) {
-        let mut bytes = encode_request(&request).to_vec();
+    fn trailing_bytes_are_rejected(id in any::<u64>(), tenant in arb_name(), request in arb_request(), extra in 1usize..16) {
+        let mut bytes = encode_request(id, &TenantId::from(tenant.as_str()), &request).to_vec();
         bytes.extend(std::iter::repeat_n(0u8, extra));
         prop_assert_eq!(decode_request(&bytes), Err(CodecError::TrailingBytes(extra)));
     }
 
     #[test]
-    fn payload_bitflips_never_pass_the_frame_crc(request in arb_request(), flip in any::<u32>()) {
-        let payload = encode_request(&request);
+    fn payload_bitflips_never_pass_the_frame_crc(id in any::<u64>(), request in arb_request(), flip in any::<u32>()) {
+        let payload = encode_request(id, &TenantId::from("prop"), &request);
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
         // Flip one bit inside the payload (offset >= 8 skips the header):
@@ -283,8 +288,8 @@ proptest! {
     }
 
     #[test]
-    fn truncated_frames_are_structured_errors(request in arb_request(), frac in 0.0f64..1.0) {
-        let payload = encode_request(&request);
+    fn truncated_frames_are_structured_errors(id in any::<u64>(), request in arb_request(), frac in 0.0f64..1.0) {
+        let payload = encode_request(id, &TenantId::from("prop"), &request);
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
         let cut = 1 + (frac * (wire.len() - 1) as f64) as usize;
@@ -309,11 +314,20 @@ proptest! {
     }
 
     #[test]
-    fn unknown_discriminants_are_structured_errors(kind in 5u8..255, body in collection::vec(any::<u32>(), 0..4)) {
-        let mut bytes = vec![kind];
-        bytes.extend(body.iter().flat_map(|v| v.to_le_bytes()));
-        prop_assert_eq!(decode_request(&bytes), Err(CodecError::UnknownKind(kind)));
-        match decode_reply(&bytes) {
+    fn unknown_discriminants_are_structured_errors(id in any::<u64>(), kind in 5u8..255, body in collection::vec(any::<u32>(), 0..4)) {
+        // Requests carry `id:u64 | tenant:str | kind:u8 | ...`; replies carry
+        // `id:u64 | kind:u8 | ...`. Build each envelope prefix so the decoder
+        // reaches the unknown discriminant rather than failing earlier.
+        let mut request_bytes = id.to_le_bytes().to_vec();
+        request_bytes.extend_from_slice(&0u16.to_le_bytes()); // empty tenant
+        request_bytes.push(kind);
+        request_bytes.extend(body.iter().flat_map(|v| v.to_le_bytes()));
+        prop_assert_eq!(decode_request(&request_bytes), Err(CodecError::UnknownKind(kind)));
+
+        let mut reply_bytes = id.to_le_bytes().to_vec();
+        reply_bytes.push(kind);
+        reply_bytes.extend(body.iter().flat_map(|v| v.to_le_bytes()));
+        match decode_reply(&reply_bytes) {
             Err(CodecError::UnknownKind(k)) => prop_assert_eq!(k, kind),
             other => panic!("reply kind {kind} gave {other:?}"),
         }

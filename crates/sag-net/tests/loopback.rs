@@ -76,12 +76,10 @@ fn network_replay_is_bitwise_identical_to_direct_handle() {
     let mut requests_total = 0u64;
     for tenant in &served.tenants {
         // One connection per tenant, as a deployment would run it.
-        let mut client = Client::connect(addr).unwrap();
+        let mut client = Client::connect(addr, tenant.id.clone()).unwrap();
         for day in &tenant.test_days {
             let budget = scenario.budget_for_day(day.day());
-            let session = client
-                .open_day(&tenant.id, budget, Some(day.day()))
-                .unwrap();
+            let session = client.open_day(budget, Some(day.day())).unwrap();
             let mut outcomes = Vec::with_capacity(day.len());
             for alert in day.alerts() {
                 outcomes.push(client.push_alert(session, alert).unwrap());
@@ -128,6 +126,18 @@ fn network_replay_is_bitwise_identical_to_direct_handle() {
     assert_eq!(metric("sag_frames_out_total"), requests_total as f64);
     assert_eq!(metric("sag_shed_total"), 0.0);
     assert_eq!(metric("sag_queue_depth"), 0.0);
+    // No duplicates were delivered, so the dedup machinery must not fire —
+    // and the transport identity must hold: every complete inbound frame
+    // is either served, shed, suppressed as a duplicate, or a decode error.
+    assert_eq!(metric("sag_dup_suppressed_total"), 0.0);
+    assert_eq!(metric("sag_dup_replayed_total"), 0.0);
+    assert_eq!(
+        metric("sag_frames_in_total"),
+        metric("sag_requests_total")
+            + metric("sag_shed_total")
+            + metric("sag_dup_suppressed_total")
+            + metric("sag_decode_errors_total"),
+    );
     // Per-tenant decision counts must partition the total.
     let per_tenant: f64 = served
         .tenants
@@ -212,10 +222,9 @@ fn over_quota_tenant_sheds_while_others_progress() {
 
     let flooder = &fleet.tenants[0];
     let victim_day = &flooder.test_days[0];
-    let mut flood = Client::connect(addr).unwrap();
+    let mut flood = Client::connect(addr, flooder.id.clone()).unwrap();
     let session = flood
         .open_day(
-            &flooder.id,
             scenario.budget_for_day(victim_day.day()),
             Some(victim_day.day()),
         )
@@ -236,10 +245,9 @@ fn over_quota_tenant_sheds_while_others_progress() {
     // tenant on its own connection must still get served end to end.
     let other = &fleet.tenants[1];
     let other_day = &other.test_days[0];
-    let mut polite = Client::connect(addr).unwrap();
+    let mut polite = Client::connect(addr, other.id.clone()).unwrap();
     let other_session = polite
         .open_day(
-            &other.id,
             scenario.budget_for_day(other_day.day()),
             Some(other_day.day()),
         )
@@ -255,7 +263,7 @@ fn over_quota_tenant_sheds_while_others_progress() {
     let mut served = 0usize;
     let mut shed_indices = Vec::new();
     for (i, _) in burst.iter().enumerate() {
-        match flood.recv().unwrap() {
+        match flood.recv().unwrap().1 {
             Ok(Response::Decision { .. }) => served += 1,
             Err(WireError::Overloaded {
                 tenant,
@@ -319,8 +327,10 @@ fn wire_errors_are_structured_and_the_stream_survives_bad_payloads() {
     let server = Server::start(fleet.service, "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = server.local_addr();
 
-    let mut client = Client::connect(addr).unwrap();
-    // Unknown tenant and unknown session answer structured errors.
+    // Unknown tenant and unknown session answer structured errors. The
+    // client is *bound* to the unknown tenant — the envelope and the
+    // OpenDay body must agree, and neither is registered.
+    let mut client = Client::connect(addr, "no-such-tenant").unwrap();
     match client.call(&Request::OpenDay {
         tenant: TenantId::from("no-such-tenant"),
         budget: None,
@@ -336,36 +346,63 @@ fn wire_errors_are_structured_and_the_stream_survives_bad_payloads() {
         other => panic!("unknown session answered {other:?}"),
     }
 
-    // A well-framed frame holding a garbage payload gets BadRequest, and
-    // the connection keeps serving afterwards.
+    // A well-framed frame holding a garbage payload gets BadRequest (with
+    // the untagged reply id 0), and the connection keeps serving afterwards.
+    let tenant = fleet.tenants[0].id.clone();
     let mut raw = std::net::TcpStream::connect(addr).unwrap();
     write_handshake(&mut raw).unwrap();
     raw.flush().unwrap();
     write_frame(&mut raw, &[0xFF, 0x00, 0x01]).unwrap();
-    let reply: Reply =
+    let (id, reply): (u64, Reply) =
         sag_net::codec::decode_reply(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+    assert_eq!(id, 0, "undecodable requests answer with the untagged id");
     assert!(matches!(reply, Err(WireError::BadRequest(_))), "{reply:?}");
-    let tenant = fleet.tenants[0].id.clone();
     write_frame(
         &mut raw,
-        &encode_request(&Request::OpenDay {
-            tenant,
-            budget: None,
-            day: None,
-        }),
+        &encode_request(
+            7,
+            &tenant,
+            &Request::OpenDay {
+                tenant: tenant.clone(),
+                budget: None,
+                day: None,
+            },
+        ),
     )
     .unwrap();
-    let reply: Reply =
+    let (id, reply): (u64, Reply) =
         sag_net::codec::decode_reply(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+    assert_eq!(id, 7, "replies echo the request id");
     assert!(matches!(reply, Ok(Response::DayOpened { .. })), "{reply:?}");
+
+    // An OpenDay whose body names a different tenant than its envelope is
+    // refused before touching the service.
+    write_frame(
+        &mut raw,
+        &encode_request(
+            8,
+            &TenantId::from("someone-else"),
+            &Request::OpenDay {
+                tenant: tenant.clone(),
+                budget: None,
+                day: None,
+            },
+        ),
+    )
+    .unwrap();
+    let (id, reply): (u64, Reply) =
+        sag_net::codec::decode_reply(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+    assert_eq!(id, 8);
+    assert!(matches!(reply, Err(WireError::BadRequest(_))), "{reply:?}");
 
     // A wrong-version handshake is answered (structured) and refused.
     let mut stale = std::net::TcpStream::connect(addr).unwrap();
     stale.write_all(&sag_net::MAGIC.to_le_bytes()).unwrap();
     stale.write_all(&999u16.to_le_bytes()).unwrap();
     stale.flush().unwrap();
-    let reply: Reply =
+    let (id, reply): (u64, Reply) =
         sag_net::codec::decode_reply(&read_frame(&mut stale).unwrap().unwrap()).unwrap();
+    assert_eq!(id, 0);
     assert!(matches!(reply, Err(WireError::BadRequest(_))), "{reply:?}");
 
     // Decode errors were counted.

@@ -24,7 +24,7 @@ use crate::scenario::Scenario;
 use sag_core::engine::{AuditCycleEngine, EngineBuilder, ReplayJob};
 use sag_core::sse::SseCacheTotals;
 use sag_core::{CycleResult, Result};
-use sag_service::{AuditService, ServiceError, ServiceJob, TenantId};
+use sag_service::{AuditService, ServiceBuilder, ServiceError, ServiceJob, TenantId};
 use std::time::Instant;
 
 /// The outcome of replaying one scenario.
@@ -454,6 +454,27 @@ pub fn tenant_fleet(
     history_days: u32,
     test_days: u32,
 ) -> std::result::Result<TenantFleet, ServiceError> {
+    let (builder, fleet) = tenant_fleet_parts(scenario, seed, tenants, history_days, test_days);
+    Ok(TenantFleet {
+        service: builder.build()?,
+        tenants: fleet,
+    })
+}
+
+/// The unbuilt half of [`tenant_fleet`]: the populated [`ServiceBuilder`]
+/// plus the per-tenant streams. Callers that need to decorate the service
+/// before building — a WAL directory, a dedup-window size, a recovery
+/// (`recover_from`) instead of a fresh build — finish it themselves; the
+/// tenant naming and seeding convention stays identical to
+/// [`tenant_fleet`], so results remain comparable across entry points.
+#[must_use]
+pub fn tenant_fleet_parts(
+    scenario: &dyn Scenario,
+    seed: u64,
+    tenants: usize,
+    history_days: u32,
+    test_days: u32,
+) -> (ServiceBuilder, Vec<FleetTenant>) {
     let config = scenario.engine_config();
     let mut builder = AuditService::builder();
     let mut fleet = Vec::with_capacity(tenants);
@@ -471,10 +492,7 @@ pub fn tenant_fleet(
             test_days: test,
         });
     }
-    Ok(TenantFleet {
-        service: builder.build()?,
-        tenants: fleet,
-    })
+    (builder, fleet)
 }
 
 #[cfg(test)]

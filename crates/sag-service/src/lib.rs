@@ -106,6 +106,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dedup;
 #[cfg(feature = "wal")]
 pub mod durability;
 pub mod error;
@@ -114,6 +115,7 @@ pub mod request;
 pub mod service;
 pub mod session;
 
+pub use dedup::{Handled, DEFAULT_DEDUP_WINDOW};
 #[cfg(feature = "wal")]
 pub use durability::DurabilityOptions;
 pub use error::ServiceError;

@@ -53,6 +53,13 @@ pub struct ServiceCounters {
     fast_path_solves: AtomicU64,
     /// Summed per-alert solve time in microseconds.
     solve_micros: AtomicU64,
+    /// Duplicate deliveries suppressed by the request-id dedup window
+    /// (replayed-from-cache plus stale-beyond-window). These are *not*
+    /// requests: the command was never re-applied.
+    dup_suppressed: AtomicU64,
+    /// The subset of suppressed duplicates answered by replaying the
+    /// cached response bitwise.
+    dup_replayed: AtomicU64,
     /// Summed OSSP auditor utility, as `f64` bits (see the module docs).
     ossp_utility_bits: AtomicU64,
     /// Summed online-SSE auditor utility, as `f64` bits.
@@ -101,6 +108,18 @@ impl ServiceCounters {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A duplicate delivery was answered by replaying the cached response.
+    pub(crate) fn record_dup_replayed(&self) {
+        self.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+        self.dup_replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A duplicate delivery was suppressed but its cached response had
+    /// already been evicted from the window (answered `Stale`).
+    pub(crate) fn record_dup_stale(&self) {
+        self.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A warning decision was committed; fold its solver work and utilities
     /// into the totals.
     pub(crate) fn record_outcome(&self, outcome: &AlertOutcome) {
@@ -141,6 +160,8 @@ impl ServiceCounters {
             pruned_lps: self.pruned_lps.load(Ordering::Relaxed),
             fast_path_solves: self.fast_path_solves.load(Ordering::Relaxed),
             solve_micros: self.solve_micros.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            dup_replayed: self.dup_replayed.load(Ordering::Relaxed),
             ossp_utility_sum: f64::from_bits(self.ossp_utility_bits.load(Ordering::Relaxed)),
             online_utility_sum: f64::from_bits(self.online_utility_bits.load(Ordering::Relaxed)),
         }
@@ -174,6 +195,11 @@ pub struct CountersSnapshot {
     pub fast_path_solves: u64,
     /// Summed per-alert solve time, microseconds.
     pub solve_micros: u64,
+    /// Duplicate deliveries suppressed by the dedup window (not counted
+    /// in `requests`: nothing was re-applied).
+    pub dup_suppressed: u64,
+    /// Suppressed duplicates answered by replaying the cached response.
+    pub dup_replayed: u64,
     /// Summed OSSP auditor utility.
     pub ossp_utility_sum: f64,
     /// Summed online-SSE auditor utility.

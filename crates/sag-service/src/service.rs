@@ -1,5 +1,6 @@
 //! The [`AuditService`] front door and its [`ServiceBuilder`].
 
+use crate::dedup::{DedupWindow, Handled, Lookup, DEFAULT_DEDUP_WINDOW};
 use crate::error::ServiceError;
 use crate::metrics::ServiceCounters;
 use crate::request::{Request, Response};
@@ -115,6 +116,11 @@ pub struct AuditService {
     /// call, when the builder installed a sink (see
     /// [`ServiceBuilder::counters`]).
     counters: Option<Arc<ServiceCounters>>,
+    /// Per-tenant duplicate-suppression state for the tagged command API
+    /// ([`handle_tagged`](Self::handle_tagged)).
+    dedup: HashMap<TenantId, DedupWindow>,
+    /// Bound on each tenant's dedup window, in cached responses.
+    dedup_window: usize,
     /// The write-ahead log, when the service was built durable. Every
     /// [`handle`](Self::handle) mutation and
     /// [`record_history`](Self::record_history) call is logged here
@@ -357,11 +363,103 @@ impl AuditService {
     /// be logged — in which case it was **not** applied: log-before-
     /// acknowledge never acknowledges what a restart would forget.
     pub fn handle(&mut self, request: Request) -> Result<Response, ServiceError> {
+        self.handle_counted(request, 0)
+    }
+
+    /// Serve one command of the typed API under an idempotency contract:
+    /// `request_id` is the tenant's monotonically increasing client-side
+    /// id, and a redelivery of an id the service already applied is
+    /// answered from the per-tenant dedup window (see [`Handled`]) instead
+    /// of re-applied. Id 0 is the untagged sentinel and behaves exactly
+    /// like [`handle`](Self::handle).
+    ///
+    /// Only successful responses enter the window: an errored request
+    /// applied nothing, so re-sending it re-executes it (transient
+    /// failures stay retryable; deterministic rejections re-reject).
+    ///
+    /// `tenant` is the envelope tenant the id is scoped to. For
+    /// session-scoped commands it must match the session's owning tenant —
+    /// a mismatch answers [`ServiceError::UnknownSession`], revealing
+    /// nothing about other tenants' session ids.
+    pub fn handle_tagged(
+        &mut self,
+        tenant: &TenantId,
+        request_id: u64,
+        request: Request,
+    ) -> Handled {
+        if request_id == 0 {
+            return Handled::Applied(self.handle_counted(request, 0));
+        }
+        if let Some(window) = self.dedup.get(tenant) {
+            match window.lookup(request_id) {
+                Lookup::New => {}
+                Lookup::Replayed(response) => {
+                    if let Some(counters) = &self.counters {
+                        counters.record_dup_replayed();
+                    }
+                    return Handled::Replayed(response);
+                }
+                Lookup::Stale { last_applied } => {
+                    if let Some(counters) = &self.counters {
+                        counters.record_dup_stale();
+                    }
+                    return Handled::Stale {
+                        request_id,
+                        last_applied,
+                    };
+                }
+            }
+        }
+        // The envelope tenant owns the id; it must also own the session it
+        // is driving, or a misrouted (or probing) command could read
+        // another tenant's cycle.
+        let named_session = match &request {
+            Request::PushAlert { session, .. } | Request::FinishDay { session } => Some(*session),
+            Request::OpenDay { .. } => None,
+        };
+        if let Some(session) = named_session {
+            if let Some(handle) = self.open.get(&session) {
+                if handle.tenant() != tenant {
+                    return Handled::Applied(
+                        self.count_rejection(ServiceError::UnknownSession(session)),
+                    );
+                }
+            }
+        }
+        let result = self.handle_counted(request, request_id);
+        if let Ok(response) = &result {
+            let capacity = self.dedup_window;
+            self.dedup.entry(tenant.clone()).or_default().record(
+                request_id,
+                response.clone(),
+                capacity,
+            );
+        }
+        Handled::Applied(result)
+    }
+
+    /// Reject a request before it reaches [`handle_uncounted`], keeping the
+    /// counter identity (`requests == … + errors`) intact.
+    fn count_rejection(&self, error: ServiceError) -> Result<Response, ServiceError> {
+        if let Some(counters) = &self.counters {
+            counters.record_request();
+            counters.record_error();
+        }
+        Err(error)
+    }
+
+    /// [`handle`](Self::handle) with the counters updated and the request
+    /// id threaded through to the WAL records it appends.
+    fn handle_counted(
+        &mut self,
+        request: Request,
+        request_id: u64,
+    ) -> Result<Response, ServiceError> {
         let counters = self.counters.clone();
         if let Some(counters) = &counters {
             counters.record_request();
         }
-        let result = self.handle_uncounted(request);
+        let result = self.handle_uncounted(request, request_id);
         if let Some(counters) = &counters {
             match &result {
                 Ok(Response::DayOpened { .. }) => counters.record_open(),
@@ -374,7 +472,11 @@ impl AuditService {
     }
 
     /// [`handle`](Self::handle) without touching the installed counters.
-    fn handle_uncounted(&mut self, request: Request) -> Result<Response, ServiceError> {
+    fn handle_uncounted(
+        &mut self,
+        request: Request,
+        _request_id: u64,
+    ) -> Result<Response, ServiceError> {
         match request {
             Request::OpenDay {
                 tenant,
@@ -394,6 +496,7 @@ impl AuditService {
                             session: session.0,
                             day,
                             budget,
+                            request_id: _request_id,
                         },
                     )?;
                 }
@@ -412,6 +515,7 @@ impl AuditService {
                         &WalRecord::PushAlert {
                             session: session.0,
                             alert,
+                            request_id: _request_id,
                         },
                     )?;
                 }
@@ -428,7 +532,13 @@ impl AuditService {
                         .tenant()
                         .clone();
                     if let Some(durability) = self.durability.as_mut() {
-                        durability.append(&tenant, &WalRecord::FinishDay { session: session.0 })?;
+                        durability.append(
+                            &tenant,
+                            &WalRecord::FinishDay {
+                                session: session.0,
+                                request_id: _request_id,
+                            },
+                        )?;
                     }
                 }
                 let handle = self
@@ -495,6 +605,21 @@ impl AuditService {
             .into_iter()
             .map(|slot| slot.expect("every job replayed"))
             .collect()
+    }
+
+    /// Stash a response rebuilt during WAL replay in the tenant's dedup
+    /// window, so redeliveries that raced the crash still replay instead
+    /// of re-applying. Untagged records (id 0) carry no contract.
+    #[cfg(feature = "wal")]
+    fn record_replayed_dedup(&mut self, tenant: &TenantId, request_id: u64, response: Response) {
+        if request_id == 0 {
+            return;
+        }
+        let capacity = self.dedup_window;
+        self.dedup
+            .entry(tenant.clone())
+            .or_default()
+            .record(request_id, response, capacity);
     }
 
     /// Rebuild in-memory state from `durability`'s storage: per tenant,
@@ -604,6 +729,7 @@ impl AuditService {
                         session,
                         day,
                         budget,
+                        request_id,
                     } => {
                         next_session = next_session.max(session + 1);
                         let mut handle = {
@@ -618,8 +744,20 @@ impl AuditService {
                             handle.set_day(day);
                         }
                         self.open.insert(SessionId(session), handle);
+                        self.record_replayed_dedup(
+                            tenant,
+                            request_id,
+                            Response::DayOpened {
+                                session: SessionId(session),
+                                tenant: tenant.clone(),
+                            },
+                        );
                     }
-                    WalRecord::PushAlert { session, alert } => {
+                    WalRecord::PushAlert {
+                        session,
+                        alert,
+                        request_id,
+                    } => {
                         let handle = self.open.get_mut(&SessionId(session)).ok_or_else(|| {
                             ServiceError::Wal(WalError::InvalidRecord {
                                 file: wal_file.clone(),
@@ -627,9 +765,23 @@ impl AuditService {
                                 reason: format!("PushAlert for session {session} that is not open"),
                             })
                         })?;
-                        handle.push_alert(&alert)?;
+                        // Deterministic replay makes this outcome the very
+                        // bytes the pre-crash decision carried, so the
+                        // rebuilt dedup entry replays bitwise too.
+                        let outcome = handle.push_alert(&alert)?;
+                        self.record_replayed_dedup(
+                            tenant,
+                            request_id,
+                            Response::Decision {
+                                session: SessionId(session),
+                                outcome,
+                            },
+                        );
                     }
-                    WalRecord::FinishDay { session } => {
+                    WalRecord::FinishDay {
+                        session,
+                        request_id,
+                    } => {
                         let handle = self.open.remove(&SessionId(session)).ok_or_else(|| {
                             ServiceError::Wal(WalError::InvalidRecord {
                                 file: wal_file.clone(),
@@ -637,9 +789,19 @@ impl AuditService {
                                 reason: format!("FinishDay for session {session} that is not open"),
                             })
                         })?;
-                        // The result was already returned to the original
-                        // caller before the crash; nothing to deliver.
-                        let _ = handle.finish();
+                        // The result may already have reached the original
+                        // caller — or the ack was lost and a redelivery is
+                        // coming, so cache it under its id either way.
+                        let result = handle.finish();
+                        self.record_replayed_dedup(
+                            tenant,
+                            request_id,
+                            Response::DayClosed {
+                                session: SessionId(session),
+                                tenant: tenant.clone(),
+                                result,
+                            },
+                        );
                     }
                 }
             }
@@ -677,6 +839,7 @@ pub struct ServiceBuilder {
     tenants: Vec<(TenantId, EngineBuilder, Vec<DayLog>)>,
     workers: Option<usize>,
     history_window: usize,
+    dedup_window: usize,
     counters: Option<Arc<ServiceCounters>>,
     #[cfg(feature = "wal")]
     durability: Option<(WalTarget, DurabilityOptions)>,
@@ -696,6 +859,7 @@ impl ServiceBuilder {
             tenants: Vec::new(),
             workers: None,
             history_window: DEFAULT_HISTORY_WINDOW,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
             counters: None,
             #[cfg(feature = "wal")]
             durability: None,
@@ -726,6 +890,17 @@ impl ServiceBuilder {
     #[must_use]
     pub fn history_window(mut self, days: usize) -> Self {
         self.history_window = days.max(1);
+        self
+    }
+
+    /// Bound on each tenant's duplicate-suppression window, in cached
+    /// responses (at least 1) — how far back a redelivered request id can
+    /// still be answered with its original response by
+    /// [`AuditService::handle_tagged`]. Default
+    /// [`DEFAULT_DEDUP_WINDOW`] responses.
+    #[must_use]
+    pub fn dedup_window(mut self, responses: usize) -> Self {
+        self.dedup_window = responses.max(1);
         self
     }
 
@@ -887,6 +1062,8 @@ impl ServiceBuilder {
             workers,
             pool: OnceLock::new(),
             history_window: self.history_window,
+            dedup: HashMap::new(),
+            dedup_window: self.dedup_window.max(1),
             counters: self.counters,
             #[cfg(feature = "wal")]
             durability,

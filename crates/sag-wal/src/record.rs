@@ -35,6 +35,8 @@ pub enum WalRecord {
         day: Option<u32>,
         /// Budget override, if the request carried one.
         budget: Option<f64>,
+        /// Client request id that produced this record (0 = untagged).
+        request_id: u64,
     },
     /// A warning decision was committed for one arriving alert.
     PushAlert {
@@ -42,11 +44,15 @@ pub enum WalRecord {
         session: u64,
         /// The alert, minus person references.
         alert: Alert,
+        /// Client request id that produced this record (0 = untagged).
+        request_id: u64,
     },
     /// The session was closed and its cycle result returned.
     FinishDay {
         /// The session that finished.
         session: u64,
+        /// Client request id that produced this record (0 = untagged).
+        request_id: u64,
     },
     /// A finished day was appended to the tenant's rolling history.
     HistoryDay(DayLog),
@@ -62,6 +68,7 @@ impl WalRecord {
                 session,
                 day,
                 budget,
+                request_id,
             } => {
                 buf.put_u8(KIND_OPEN_DAY);
                 buf.put_u64_le(*session);
@@ -79,18 +86,28 @@ impl WalRecord {
                 if let Some(budget) = budget {
                     buf.put_u64_le(budget.to_bits());
                 }
+                buf.put_u64_le(*request_id);
             }
-            WalRecord::PushAlert { session, alert } => {
+            WalRecord::PushAlert {
+                session,
+                alert,
+                request_id,
+            } => {
                 buf.put_u8(KIND_PUSH_ALERT);
                 buf.put_u64_le(*session);
                 buf.put_u32_le(alert.day);
                 buf.put_u32_le(alert.time.seconds());
                 buf.put_u16_le(alert.type_id.0);
                 buf.put_u8(u8::from(alert.is_attack));
+                buf.put_u64_le(*request_id);
             }
-            WalRecord::FinishDay { session } => {
+            WalRecord::FinishDay {
+                session,
+                request_id,
+            } => {
                 buf.put_u8(KIND_FINISH_DAY);
                 buf.put_u64_le(*session);
+                buf.put_u64_le(*request_id);
             }
             WalRecord::HistoryDay(day) => {
                 buf.put_u8(KIND_HISTORY_DAY);
@@ -150,6 +167,7 @@ impl WalRecord {
                     session,
                     day,
                     budget,
+                    request_id: read_request_id(&mut buf),
                 })
             }
             KIND_PUSH_ALERT => {
@@ -171,14 +189,17 @@ impl WalRecord {
                         patient: None,
                         is_attack: flags & 1 != 0,
                     },
+                    request_id: read_request_id(&mut buf),
                 })
             }
             KIND_FINISH_DAY => {
                 if buf.remaining() < 8 {
                     return Err(invalid("short FinishDay body"));
                 }
+                let session = buf.get_u64_le();
                 Ok(WalRecord::FinishDay {
-                    session: buf.get_u64_le(),
+                    session,
+                    request_id: read_request_id(&mut buf),
                 })
             }
             KIND_HISTORY_DAY => {
@@ -188,6 +209,18 @@ impl WalRecord {
             }
             other => Err(invalid(&format!("unknown record kind {other}"))),
         }
+    }
+}
+
+/// Read the trailing request id, tolerating its absence: logs written
+/// before ids existed simply end where the id would start, and decode as
+/// the untagged sentinel 0. The frame CRC already vouches for the bytes,
+/// so leniency here cannot mask corruption.
+fn read_request_id(buf: &mut Bytes) -> u64 {
+    if buf.remaining() >= 8 {
+        buf.get_u64_le()
+    } else {
+        0
     }
 }
 
@@ -361,14 +394,23 @@ mod tests {
                 session: 7,
                 day: Some(3),
                 budget: Some(12.5),
+                request_id: 41,
             },
             WalRecord::OpenDay {
                 session: 8,
                 day: None,
                 budget: None,
+                request_id: 0,
             },
-            WalRecord::PushAlert { session: 7, alert },
-            WalRecord::FinishDay { session: 7 },
+            WalRecord::PushAlert {
+                session: 7,
+                alert,
+                request_id: 42,
+            },
+            WalRecord::FinishDay {
+                session: 7,
+                request_id: 43,
+            },
             WalRecord::HistoryDay(day),
         ]
     }
@@ -392,13 +434,19 @@ mod tests {
             match (a, b) {
                 // Person references are intentionally dropped in the codec.
                 (
-                    WalRecord::PushAlert { session, alert },
+                    WalRecord::PushAlert {
+                        session,
+                        alert,
+                        request_id,
+                    },
                     WalRecord::PushAlert {
                         session: s2,
                         alert: a2,
+                        request_id: r2,
                     },
                 ) => {
                     assert_eq!(session, s2);
+                    assert_eq!(request_id, r2);
                     assert_eq!(alert.day, a2.day);
                     assert_eq!(alert.time, a2.time);
                     assert_eq!(alert.type_id, a2.type_id);
@@ -492,6 +540,46 @@ mod tests {
     }
 
     #[test]
+    fn records_without_a_trailing_id_decode_as_untagged() {
+        // Hand-build the pre-request-id payload layouts: logs written by
+        // older builds must keep replaying, with the id defaulting to 0.
+        let mut open = BytesMut::with_capacity(32);
+        open.put_u8(KIND_OPEN_DAY);
+        open.put_u64_le(7);
+        open.put_u8(3); // day + budget present
+        open.put_u32_le(5);
+        open.put_u64_le(12.5f64.to_bits());
+        let mut finish = BytesMut::with_capacity(16);
+        finish.put_u8(KIND_FINISH_DAY);
+        finish.put_u64_le(7);
+
+        let mut bytes = encode_wal_header("t");
+        for payload in [&open[..], &finish[..]] {
+            let mut frame = BytesMut::with_capacity(8 + payload.len());
+            frame.put_u32_le(payload.len() as u32);
+            frame.put_u32_le(crc32(payload));
+            frame.extend_from_slice(payload);
+            bytes.extend_from_slice(&frame);
+        }
+        let scan = read_wal(&bytes, "t.wal").unwrap();
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord::OpenDay {
+                    session: 7,
+                    day: Some(5),
+                    budget: Some(12.5),
+                    request_id: 0,
+                },
+                WalRecord::FinishDay {
+                    session: 7,
+                    request_id: 0,
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn valid_checksum_with_garbage_payload_is_invalid_record() {
         let mut bytes = encode_wal_header("t");
         let payload = [42u8, 1, 2, 3];
@@ -501,7 +589,13 @@ mod tests {
         frame.extend_from_slice(&payload);
         bytes.extend_from_slice(&frame);
         // A trailing valid record proves the garbage frame is not the tail.
-        bytes.extend_from_slice(&WalRecord::FinishDay { session: 1 }.encode_framed());
+        bytes.extend_from_slice(
+            &WalRecord::FinishDay {
+                session: 1,
+                request_id: 0,
+            }
+            .encode_framed(),
+        );
         let err = read_wal(&bytes, "t.wal").unwrap_err();
         assert!(
             matches!(err, WalError::InvalidRecord { ref reason, .. } if reason.contains("unknown record kind")),

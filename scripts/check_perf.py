@@ -30,6 +30,7 @@ SECTIONS = (
     "durability",
     "sharding",
     "service_network",
+    "service_chaos",
 )
 
 failures = []
@@ -564,6 +565,79 @@ def check_service_network(scenarios, scenario_baseline, floor):
             )
 
 
+def check_service_chaos(scenarios, scenario_baseline, floor):
+    """BENCH_2: the front door under injected faults (load_gen --chaos)."""
+    # Produced by `load_gen --chaos`: the fleet driven through a seeded
+    # fault-injecting proxy (duplicates, resets, delays, plus two scripted
+    # faults that guarantee the retry and dedup paths fire every run).
+    # `bitwise_equal` and `recovery_converged` are hard correctness gates —
+    # exactly-once either holds under faults or the protocol is broken.
+    # Goodput gets a low absolute floor: the run spends real wall-clock in
+    # backoff sleeps by design.
+    chaos_floor_aps = 100.0
+    chaos = scenarios.get("service_chaos")
+    chaos_ok = isinstance(chaos, dict)
+    check(
+        "service_chaos.present",
+        chaos_ok,
+        "report carries a service_chaos block",
+    )
+    if not chaos_ok:
+        return
+    check(
+        "service_chaos.bitwise_equal",
+        chaos.get("bitwise_equal") is True,
+        "faulted results match the unfaulted control bitwise",
+    )
+    check(
+        "service_chaos.recovery_converged",
+        chaos.get("recovery_converged") is True,
+        "kill-and-recover probe converged through the WAL",
+    )
+    check(
+        "service_chaos.faults_injected",
+        chaos["faults_injected"] >= 10,
+        f'{chaos["faults_injected"]} faults injected — the proxy did real '
+        "damage",
+    )
+    check(
+        "service_chaos.retries",
+        chaos["retries"] >= 1,
+        f'{chaos["retries"]} client retries ({chaos["reconnects"]} '
+        "reconnects)",
+    )
+    check(
+        "service_chaos.duplicates_suppressed",
+        chaos["duplicates_suppressed"] + chaos["duplicates_replayed"] >= 1,
+        f'{chaos["duplicates_suppressed"]} suppressed / '
+        f'{chaos["duplicates_replayed"]} replayed server-side',
+    )
+    check(
+        "service_chaos.goodput_alerts_per_sec",
+        chaos["goodput_alerts_per_sec"] >= chaos_floor_aps,
+        f'{chaos["goodput_alerts_per_sec"]:.0f} alerts/sec goodput under '
+        f"faults (absolute floor {chaos_floor_aps:.0f})",
+    )
+    if scenario_baseline is not None:
+        chaos_base = scenario_baseline.get("service_chaos")
+        if chaos_base:
+            goodput_floor = chaos_base["goodput_alerts_per_sec"] * floor
+            check(
+                "service_chaos.goodput_vs_baseline",
+                chaos["goodput_alerts_per_sec"] >= goodput_floor,
+                f'{chaos["goodput_alerts_per_sec"]:.0f} alerts/sec (floor '
+                f"{goodput_floor:.0f}, baseline "
+                f'{chaos_base["goodput_alerts_per_sec"]:.0f})',
+            )
+        else:
+            check(
+                "service_chaos.goodput_vs_baseline",
+                False,
+                "section missing from the committed scenario baseline; "
+                "regenerate BENCH_2.json to re-arm the gate",
+            )
+
+
 def run_section(name, fn, *args):
     """Run one section; a crash (missing key, wrong shape) fails that
     section without silencing the others."""
@@ -638,6 +712,9 @@ def main():
             run_section("sharding", check_sharding, scenarios)
         if "service_network" in selected:
             run_section("service_network", check_service_network, scenarios,
+                        scenario_baseline, args.floor)
+        if "service_chaos" in selected:
+            run_section("service_chaos", check_service_chaos, scenarios,
                         scenario_baseline, args.floor)
 
     if failures:
