@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! load_gen [--addr HOST:PORT] [--scenario NAME] [--tenants N] [--seed N]
-//!          [--history-days N] [--test-days N] [--out BENCH_2.json]
-//!          [--chaos] [--chaos-kill --server-bin PATH]
+//!          [--history-days N] [--test-days N] [--shards N]
+//!          [--out BENCH_2.json] [--chaos] [--chaos-kill --server-bin PATH]
 //! ```
 //!
 //! Without `--addr` the generator starts its own in-process server on an
@@ -14,6 +14,11 @@
 //! CI network-smoke job points it at the release binary it just booted; the
 //! server must be freshly booted (counters are cumulative) and built over
 //! the same scenario/seed/fleet flags so the generated streams match.
+//!
+//! `--shards N` drives (or, in-process, starts) a consistent-hash cluster
+//! of N `AuditService` shards behind the one listener — match the
+//! `--shards` the external server was booted with — and records a
+//! per-shard shed/latency breakdown next to the aggregate numbers.
 //!
 //! `--chaos` runs the fault-injection leg instead: the fleet through a
 //! seeded [`sag_net::ChaosProxy`], bitwise-compared against an unfaulted
@@ -143,15 +148,17 @@ fn main() {
         tenants: parse_flag(&args, "--tenants", 4usize),
         history_days: parse_flag(&args, "--history-days", 5u32),
         test_days: parse_flag(&args, "--test-days", 2u32),
+        shards: parse_flag(&args, "--shards", 1usize).max(1),
         external,
     };
 
     println!(
-        "network load: scenario={} tenants={} seed={} days={} mode={}",
+        "network load: scenario={} tenants={} seed={} days={} shards={} mode={}",
         config.scenario,
         config.tenants,
         config.seed,
         config.test_days,
+        config.shards,
         config
             .external
             .as_deref()
@@ -173,6 +180,14 @@ fn main() {
         "  latency   : p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
         report.latency.p50, report.latency.p95, report.latency.p99, report.latency.max
     );
+    if report.shards > 1 {
+        for s in &report.per_shard {
+            println!(
+                "  shard {}   : {} tenant(s), {} alerts, {} shed retries, p50 {:.0} us, p99 {:.0} us",
+                s.shard, s.tenants, s.alerts, s.shed_retries, s.p50_micros, s.p99_micros
+            );
+        }
+    }
     match &report.shed_probe {
         Some(probe) => println!(
             "  shed probe: burst {} vs quota {} -> {} served, {} shed, {} retried ok",

@@ -99,6 +99,42 @@ fn main() {
         }
     );
 
+    let cl = &report.cluster;
+    println!(
+        "\ncluster ({} tenants x {} days of {}, {} thread(s) available, parallel feature {}):",
+        cl.tenants,
+        cl.days_per_tenant,
+        cl.scenario,
+        cl.threads_available,
+        if cl.parallel_feature { "on" } else { "off" }
+    );
+    println!(
+        "  {:>7} {:>12} {:>9} {:>12} {:>14} {:>9}",
+        "shards", "replay s", "speedup", "cluster s", "alerts/sec", "speedup"
+    );
+    for p in &cl.points {
+        println!(
+            "  {:>7} {:>12.4} {:>8.2}x {:>12.4} {:>14.0} {:>8.2}x",
+            p.workers,
+            p.replay_wall_seconds,
+            p.replay_speedup,
+            p.cluster_wall_seconds,
+            p.cluster_alerts_per_sec,
+            p.cluster_speedup
+        );
+    }
+    println!(
+        "  results : {}",
+        if cl.results_identical {
+            "bitwise identical at every shard count"
+        } else {
+            "DIVERGED across shard counts (correctness bug)"
+        }
+    );
+    if let Some(note) = &cl.note {
+        println!("  note    : {note}");
+    }
+
     let json = render_suite_json(&report);
     std::fs::write(&out_path, format!("{json}\n")).expect("write scenario report");
     println!("\nwrote {out_path}");

@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod netload;
 pub mod report;
@@ -22,6 +23,7 @@ pub mod setup;
 pub mod sweeps;
 pub mod throughput;
 
+pub use cluster::{cluster_scaling_report, ClusterScalePoint, ClusterScalingReport};
 pub use experiments::{
     figure2_experiment, figure3_experiment, rollback_ablation, run_figure_experiment,
     runtime_experiment, table1_experiment, ExperimentOutput, FigureExperimentConfig,
@@ -30,7 +32,8 @@ pub use experiments::{
 pub use netload::{
     merge_service_chaos, merge_service_network, render_chaos_json, render_network_json,
     run_chaos_load, run_kill_recover, run_network_load, ChaosLoadConfig, ChaosLoadReport,
-    KillRecoverReport, LatencyMicros, NetLoadConfig, NetLoadReport, ShedProbeReport,
+    KillRecoverReport, LatencyMicros, NetLoadConfig, NetLoadReport, ShardLoadReport,
+    ShedProbeReport,
 };
 pub use scenario_suite::{
     render_suite_json, scenario_suite, ScenarioReport, ScenarioSuiteReport, ShardingReport,

@@ -19,13 +19,22 @@
 //!   metrics-consistency check assumes the server is freshly booted (its
 //!   counters are cumulative); the shed probe is skipped because the
 //!   server's quota config is not ours to set.
+//!
+//! With `shards > 1` the in-process server is a consistent-hash
+//! [`sag_cluster`] deployment behind one listener (external mode expects a
+//! server booted with the same `--shards`), and the report adds a
+//! per-shard breakdown of the burst — tenants, alerts, client retries, and
+//! latency percentiles per shard — grouped by the same hash the server
+//! routes with. The scraped identities are cluster-wide aggregates either
+//! way.
 
 use crate::scenario_suite::json_escape;
+use sag_cluster::ShardRouter;
 use sag_net::{
     fetch_metrics, parse_metric, ChaosPlan, ChaosProxy, Client, ClientConfig, Direction, Fault,
     RandomChaos, RetryPolicy, Server, ServerConfig, WireError,
 };
-use sag_scenarios::{find_scenario, tenant_fleet, FleetTenant};
+use sag_scenarios::{find_scenario, tenant_fleet, tenant_fleet_cluster_parts, FleetTenant};
 use sag_service::{Request, Response};
 use std::fmt::Write as _;
 use std::sync::Barrier;
@@ -44,6 +53,11 @@ pub struct NetLoadConfig {
     pub history_days: u32,
     /// Days driven over the wire per tenant.
     pub test_days: u32,
+    /// Shard count of the server: in-process mode starts a consistent-hash
+    /// cluster of this many `AuditService` shards behind the one listener;
+    /// external mode must match the `--shards` the server was booted with
+    /// (it only affects the per-shard breakdown, not the identities).
+    pub shards: usize,
     /// Drive this already-running server instead of starting one.
     pub external: Option<String>,
 }
@@ -59,6 +73,7 @@ impl NetLoadConfig {
             tenants: 4,
             history_days: 5,
             test_days: 2,
+            shards: 1,
             external: None,
         }
     }
@@ -92,6 +107,25 @@ pub struct ShedProbeReport {
     pub retried_ok: usize,
 }
 
+/// One shard's slice of the measured burst, grouped by the same
+/// consistent hash the server routes with.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLoadReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Tenants the hash placed on this shard.
+    pub tenants: usize,
+    /// Alerts those tenants pushed.
+    pub alerts: u64,
+    /// Client retries (sheds and transport errors) those tenants absorbed;
+    /// 0 in a clean burst.
+    pub shed_retries: u64,
+    /// Median push round trip for this shard's tenants, microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile push round trip for this shard's tenants.
+    pub p99_micros: f64,
+}
+
 /// Everything the load run measured; rendered into `BENCH_2.json` by
 /// [`merge_service_network`].
 #[derive(Debug, Clone)]
@@ -100,6 +134,8 @@ pub struct NetLoadReport {
     pub scenario: String,
     /// Concurrent tenants (= connections = client threads).
     pub tenants: usize,
+    /// Shards the fleet was consistent-hashed across (1 = unsharded).
+    pub shards: usize,
     /// Days driven per tenant.
     pub days_per_tenant: u32,
     /// Alerts pushed and answered across all tenants.
@@ -112,6 +148,8 @@ pub struct NetLoadReport {
     pub alerts_per_sec: f64,
     /// Per-decision round-trip latency percentiles.
     pub latency: LatencyMicros,
+    /// The burst broken down per shard (one entry when unsharded).
+    pub per_shard: Vec<ShardLoadReport>,
     /// Shed-probe outcome; `None` in external mode.
     pub shed_probe: Option<ShedProbeReport>,
     /// Every scraped-counter identity held (see `metrics_notes`).
@@ -135,19 +173,19 @@ pub struct NetLoadReport {
 pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String> {
     let scenario = find_scenario(&config.scenario)
         .ok_or_else(|| format!("unknown scenario {:?}", config.scenario))?;
-    let fleet = tenant_fleet(
+    let shards = config.shards.max(1);
+    let (builder, tenants) = tenant_fleet_cluster_parts(
         scenario.as_ref(),
         config.seed,
         config.tenants,
         config.history_days,
         config.test_days,
-    )
-    .map_err(|e| format!("fleet build failed: {e}"))?;
+        shards,
+    );
 
     // Budgets are precomputed so the worker threads never touch the
     // scenario object.
-    let budgets: Vec<Vec<Option<f64>>> = fleet
-        .tenants
+    let budgets: Vec<Vec<Option<f64>>> = tenants
         .iter()
         .map(|t| {
             t.test_days
@@ -158,12 +196,16 @@ pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String>
         .collect();
 
     // In-process mode owns a server for the measured burst; external mode
-    // borrows yours.
+    // borrows yours. Either way the fleet is the same, and a 1-shard
+    // cluster is bitwise the plain server.
     let mut own_server = None;
     let addr = match &config.external {
         Some(addr) => addr.clone(),
         None => {
-            let server = Server::start(fleet.service, "127.0.0.1:0", ServerConfig::default())
+            let cluster = builder
+                .build()
+                .map_err(|e| format!("fleet build failed: {e}"))?;
+            let server = Server::start_cluster(cluster, "127.0.0.1:0", ServerConfig::default())
                 .map_err(|e| format!("server start failed: {e}"))?;
             let addr = server.local_addr().to_string();
             own_server = Some(server);
@@ -171,8 +213,44 @@ pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String>
         }
     };
 
-    let (latencies, alerts, requests, wall_seconds) =
-        measured_burst(&addr, &fleet.tenants, &budgets)?;
+    let (bursts, wall_seconds) = measured_burst(&addr, &tenants, &budgets)?;
+    let alerts: u64 = bursts.iter().map(|b| b.alerts).sum();
+    let requests: u64 = bursts.iter().map(|b| b.requests).sum();
+    let latencies: Vec<u64> = bursts.iter().flat_map(|b| b.latencies.clone()).collect();
+
+    // Group the burst by the same hash the server routes with, so the
+    // per-shard breakdown matches the server's actual placement.
+    let router = ShardRouter::new(shards);
+    let per_shard: Vec<ShardLoadReport> = (0..shards)
+        .map(|shard| {
+            let mut shard_latencies: Vec<u64> = Vec::new();
+            let (mut shard_tenants, mut shard_alerts, mut shed_retries) = (0usize, 0u64, 0u64);
+            for (tenant, burst) in tenants.iter().zip(&bursts) {
+                if router.shard_for(&tenant.id) == shard {
+                    shard_tenants += 1;
+                    shard_alerts += burst.alerts;
+                    shed_retries += burst.retries;
+                    shard_latencies.extend_from_slice(&burst.latencies);
+                }
+            }
+            shard_latencies.sort_unstable();
+            let pct = |p: f64| -> f64 {
+                if shard_latencies.is_empty() {
+                    return 0.0;
+                }
+                let idx = ((shard_latencies.len() as f64 - 1.0) * p).round() as usize;
+                shard_latencies[idx] as f64
+            };
+            ShardLoadReport {
+                shard,
+                tenants: shard_tenants,
+                alerts: shard_alerts,
+                shed_retries,
+                p50_micros: pct(0.50),
+                p99_micros: pct(0.99),
+            }
+        })
+        .collect();
 
     // Scrape over the wire — the same endpoint an operator's curl hits —
     // and check the counters against what we know we sent. Every violated
@@ -201,8 +279,7 @@ pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String>
             None => notes.push(format!("{name} missing from the metrics page")),
         }
     }
-    let per_tenant: f64 = fleet
-        .tenants
+    let per_tenant: f64 = tenants
         .iter()
         .map(|t| metric(&format!("sag_tenant_alerts_total{{tenant=\"{}\"}}", t.id)).unwrap_or(-1.0))
         .sum();
@@ -233,6 +310,7 @@ pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String>
     Ok(NetLoadReport {
         scenario: config.scenario.clone(),
         tenants: config.tenants,
+        shards,
         days_per_tenant: config.test_days,
         alerts,
         requests,
@@ -244,6 +322,7 @@ pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String>
             p99: pct(0.99),
             max: sorted.last().copied().unwrap_or(0) as f64,
         },
+        per_shard,
         shed_probe,
         metrics_consistent: notes.is_empty(),
         metrics_notes: notes,
@@ -251,84 +330,91 @@ pub fn run_network_load(config: &NetLoadConfig) -> Result<NetLoadReport, String>
     })
 }
 
-/// One client thread per tenant, synchronized on a barrier; returns the
-/// pooled push latencies, totals, and the burst wall-clock.
+/// One tenant's slice of the measured burst.
+struct TenantBurst {
+    latencies: Vec<u64>,
+    alerts: u64,
+    requests: u64,
+    /// Client-side retries the tenant needed (sheds + transport errors).
+    retries: u64,
+}
+
+/// One client thread per tenant, synchronized on a barrier; returns each
+/// tenant's push latencies/totals (in fleet order) and the burst
+/// wall-clock.
 fn measured_burst(
     addr: &str,
     tenants: &[FleetTenant],
     budgets: &[Vec<Option<f64>>],
-) -> Result<(Vec<u64>, u64, u64, f64), String> {
+) -> Result<(Vec<TenantBurst>, f64), String> {
     let barrier = Barrier::new(tenants.len() + 1);
-    let mut pooled = Vec::new();
-    let mut alerts = 0u64;
-    let mut requests = 0u64;
+    let mut bursts = Vec::with_capacity(tenants.len());
     let mut wall_seconds = 0.0;
     std::thread::scope(|scope| -> Result<(), String> {
         let mut handles = Vec::new();
         for (tenant, tenant_budgets) in tenants.iter().zip(budgets) {
             let barrier = &barrier;
-            handles.push(
-                scope.spawn(move || -> Result<(Vec<u64>, u64, u64), String> {
-                    // Connect *before* the barrier but fail *after* it: every
-                    // thread must reach the barrier exactly once or the rest of
-                    // the fleet (and the main thread) deadlocks on it.
-                    let connected = Client::connect(addr, tenant.id.clone());
-                    barrier.wait();
-                    let mut client =
-                        connected.map_err(|e| format!("{}: connect: {e}", tenant.id))?;
-                    let mut latencies = Vec::new();
-                    let mut alerts = 0u64;
-                    let mut requests = 0u64;
-                    for (day, budget) in tenant.test_days.iter().zip(tenant_budgets) {
-                        let session = client
-                            .open_day(*budget, Some(day.day()))
-                            .map_err(|e| format!("{}: open day {}: {e}", tenant.id, day.day()))?;
-                        for alert in day.alerts() {
-                            let start = Instant::now();
-                            let outcome = client
-                                .push_alert(session, alert)
-                                .map_err(|e| format!("{}: push: {e}", tenant.id))?;
-                            latencies.push(start.elapsed().as_micros() as u64);
-                            if !outcome.ossp_scheme.is_valid() {
-                                return Err(format!(
-                                    "{}: invalid signaling scheme served",
-                                    tenant.id
-                                ));
-                            }
+            handles.push(scope.spawn(move || -> Result<TenantBurst, String> {
+                // Connect *before* the barrier but fail *after* it: every
+                // thread must reach the barrier exactly once or the rest of
+                // the fleet (and the main thread) deadlocks on it.
+                let connected = Client::connect(addr, tenant.id.clone());
+                barrier.wait();
+                let mut client = connected.map_err(|e| format!("{}: connect: {e}", tenant.id))?;
+                let mut latencies = Vec::new();
+                let mut alerts = 0u64;
+                let mut requests = 0u64;
+                for (day, budget) in tenant.test_days.iter().zip(tenant_budgets) {
+                    let session = client
+                        .open_day(*budget, Some(day.day()))
+                        .map_err(|e| format!("{}: open day {}: {e}", tenant.id, day.day()))?;
+                    for alert in day.alerts() {
+                        let start = Instant::now();
+                        let outcome = client
+                            .push_alert(session, alert)
+                            .map_err(|e| format!("{}: push: {e}", tenant.id))?;
+                        latencies.push(start.elapsed().as_micros() as u64);
+                        if !outcome.ossp_scheme.is_valid() {
+                            return Err(format!("{}: invalid signaling scheme served", tenant.id));
                         }
-                        let result = client
-                            .finish_day(session)
-                            .map_err(|e| format!("{}: finish day {}: {e}", tenant.id, day.day()))?;
-                        if result.len() != day.len() {
-                            return Err(format!(
-                                "{}: day {} closed with {} outcomes, pushed {}",
-                                tenant.id,
-                                day.day(),
-                                result.len(),
-                                day.len()
-                            ));
-                        }
-                        alerts += day.len() as u64;
-                        requests += day.len() as u64 + 2;
                     }
-                    Ok((latencies, alerts, requests))
-                }),
-            );
+                    let result = client
+                        .finish_day(session)
+                        .map_err(|e| format!("{}: finish day {}: {e}", tenant.id, day.day()))?;
+                    if result.len() != day.len() {
+                        return Err(format!(
+                            "{}: day {} closed with {} outcomes, pushed {}",
+                            tenant.id,
+                            day.day(),
+                            result.len(),
+                            day.len()
+                        ));
+                    }
+                    alerts += day.len() as u64;
+                    requests += day.len() as u64 + 2;
+                }
+                let retries = client.stats().retries;
+                Ok(TenantBurst {
+                    latencies,
+                    alerts,
+                    requests,
+                    retries,
+                })
+            }));
         }
         barrier.wait();
         let start = Instant::now();
         for handle in handles {
-            let (lat, a, r) = handle
-                .join()
-                .map_err(|_| "client thread panicked".to_owned())??;
-            pooled.extend(lat);
-            alerts += a;
-            requests += r;
+            bursts.push(
+                handle
+                    .join()
+                    .map_err(|_| "client thread panicked".to_owned())??,
+            );
         }
         wall_seconds = start.elapsed().as_secs_f64();
         Ok(())
     })?;
-    Ok((pooled, alerts, requests, wall_seconds))
+    Ok((bursts, wall_seconds))
 }
 
 /// Flood one tenant past a 2-deep quota on a slowed service and verify the
@@ -1001,6 +1087,7 @@ pub fn render_network_json(report: &NetLoadReport) -> String {
         json_escape(&report.scenario)
     );
     let _ = writeln!(out, "    \"tenants\": {},", report.tenants);
+    let _ = writeln!(out, "    \"shards\": {},", report.shards);
     let _ = writeln!(out, "    \"days_per_tenant\": {},", report.days_per_tenant);
     let _ = writeln!(out, "    \"alerts\": {},", report.alerts);
     let _ = writeln!(out, "    \"requests\": {},", report.requests);
@@ -1012,6 +1099,21 @@ pub fn render_network_json(report: &NetLoadReport) -> String {
     let _ = writeln!(out, "      \"p99\": {:.1},", report.latency.p99);
     let _ = writeln!(out, "      \"max\": {:.1}", report.latency.max);
     let _ = writeln!(out, "    }},");
+    if report.shards > 1 {
+        let _ = writeln!(out, "    \"per_shard\": [");
+        let last = report.per_shard.len().saturating_sub(1);
+        for (i, s) in report.per_shard.iter().enumerate() {
+            let _ = writeln!(out, "      {{");
+            let _ = writeln!(out, "        \"shard\": {},", s.shard);
+            let _ = writeln!(out, "        \"tenants\": {},", s.tenants);
+            let _ = writeln!(out, "        \"alerts\": {},", s.alerts);
+            let _ = writeln!(out, "        \"shed_retries\": {},", s.shed_retries);
+            let _ = writeln!(out, "        \"p50_micros\": {:.1},", s.p50_micros);
+            let _ = writeln!(out, "        \"p99_micros\": {:.1}", s.p99_micros);
+            let _ = writeln!(out, "      }}{}", if i == last { "" } else { "," });
+        }
+        let _ = writeln!(out, "    ],");
+    }
     if let Some(probe) = &report.shed_probe {
         let _ = writeln!(out, "    \"shed_probe\": {{");
         let _ = writeln!(out, "      \"burst\": {},", probe.burst);
@@ -1194,6 +1296,7 @@ mod tests {
         NetLoadReport {
             scenario: "paper-baseline".to_owned(),
             tenants: 2,
+            shards: 1,
             days_per_tenant: 1,
             alerts: 100,
             requests: 104,
@@ -1205,6 +1308,14 @@ mod tests {
                 p99: 30.0,
                 max: 40.0,
             },
+            per_shard: vec![ShardLoadReport {
+                shard: 0,
+                tenants: 2,
+                alerts: 100,
+                shed_retries: 0,
+                p50_micros: 10.0,
+                p99_micros: 30.0,
+            }],
             shed_probe: Some(ShedProbeReport {
                 burst: 16,
                 quota: 2,
@@ -1313,8 +1424,42 @@ mod tests {
         report.metrics_notes = vec!["sag_shed_total = 1, expected 0".to_owned()];
         let json = render_network_json(&report);
         assert!(!json.contains("shed_probe"));
+        assert!(
+            !json.contains("per_shard"),
+            "unsharded report should omit the per-shard breakdown"
+        );
         assert!(json.contains("\"metrics_consistent\": false"));
         assert!(json.contains("\"metrics_notes\": [\"sag_shed_total = 1, expected 0\"]"));
         assert!(!json.contains(",\n  }"), "trailing comma before close");
+    }
+
+    #[test]
+    fn sharded_section_renders_the_per_shard_breakdown() {
+        let mut report = sample_report();
+        report.shards = 2;
+        report.per_shard = vec![
+            ShardLoadReport {
+                shard: 0,
+                tenants: 1,
+                alerts: 60,
+                shed_retries: 0,
+                p50_micros: 9.0,
+                p99_micros: 25.0,
+            },
+            ShardLoadReport {
+                shard: 1,
+                tenants: 1,
+                alerts: 40,
+                shed_retries: 0,
+                p50_micros: 11.0,
+                p99_micros: 31.0,
+            },
+        ];
+        let json = render_network_json(&report);
+        assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains("\"per_shard\": ["));
+        assert_eq!(json.matches("\"shed_retries\"").count(), 2);
+        assert!(json.contains("\"p99_micros\": 31.0"));
+        assert!(!json.contains(",\n      }"), "trailing comma in a shard");
     }
 }

@@ -12,8 +12,11 @@
 //! write-ahead log: logged decision throughput with the fsync barrier on
 //! and off, and the wall-clock cost of recovering a large mid-flight day
 //! from its WAL — with the recovered result checked bitwise against the
-//! uninterrupted run.
+//! uninterrupted run. A `cluster` section (see [`crate::cluster`]) records
+//! per-core-count scaling curves for the sharded replay and the
+//! consistent-hash `sag-cluster` deployment shape.
 
+use crate::cluster::{cluster_scaling_report, ClusterScalingReport};
 use sag_core::engine::EngineBuilder;
 use sag_core::{CycleResult, Result};
 use sag_scenarios::{
@@ -184,6 +187,8 @@ pub struct ScenarioSuiteReport {
     pub service_concurrent: ServiceConcurrentReport,
     /// The WAL cost/recovery profile.
     pub durability: DurabilityReport,
+    /// The multi-core cluster scaling curves.
+    pub cluster: ClusterScalingReport,
 }
 
 /// Configuration of a suite run.
@@ -203,6 +208,9 @@ pub struct SuiteConfig {
     pub service_tenants: usize,
     /// Alerts in the durability section's logged-and-recovered day.
     pub durability_alerts: usize,
+    /// Tenants consistent-hashed across the shards in the `cluster`
+    /// scaling curves.
+    pub cluster_tenants: usize,
 }
 
 impl SuiteConfig {
@@ -217,6 +225,7 @@ impl SuiteConfig {
             sharding_jobs: 12,
             service_tenants: 8,
             durability_alerts: 10_000,
+            cluster_tenants: 8,
         }
     }
 }
@@ -373,11 +382,19 @@ pub fn scenario_suite(config: &SuiteConfig) -> Result<ScenarioSuiteReport> {
     };
 
     let durability = durability_report(baseline.as_ref(), config);
+    let cluster = cluster_scaling_report(
+        baseline.as_ref(),
+        config.seed,
+        config.cluster_tenants,
+        history_days,
+        config.test_days.unwrap_or(2),
+    );
 
     Ok(ScenarioSuiteReport {
         seed: config.seed,
         scenarios,
         durability,
+        cluster,
         sharding: ShardingReport {
             scenario: "paper-baseline".to_string(),
             jobs: config.sharding_jobs as usize,
@@ -721,6 +738,45 @@ pub fn render_suite_json(report: &ScenarioSuiteReport) -> String {
         "    \"recovered_bitwise_equal\": {}",
         d.recovered_bitwise_equal
     );
+    let _ = writeln!(out, "  }},");
+    let cl = &report.cluster;
+    let _ = writeln!(out, "  \"cluster\": {{");
+    let _ = writeln!(out, "    \"scenario\": \"{}\",", json_escape(&cl.scenario));
+    let _ = writeln!(out, "    \"tenants\": {},", cl.tenants);
+    let _ = writeln!(out, "    \"days_per_tenant\": {},", cl.days_per_tenant);
+    let _ = writeln!(out, "    \"alerts\": {},", cl.alerts);
+    let _ = writeln!(out, "    \"threads_available\": {},", cl.threads_available);
+    let _ = writeln!(out, "    \"parallel_feature\": {},", cl.parallel_feature);
+    let _ = writeln!(out, "    \"points\": [");
+    let last_point = cl.points.len().saturating_sub(1);
+    for (i, p) in cl.points.iter().enumerate() {
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(out, "        \"workers\": {},", p.workers);
+        let _ = writeln!(
+            out,
+            "        \"replay_wall_seconds\": {:.6},",
+            p.replay_wall_seconds
+        );
+        let _ = writeln!(out, "        \"replay_speedup\": {:.2},", p.replay_speedup);
+        let _ = writeln!(
+            out,
+            "        \"cluster_wall_seconds\": {:.6},",
+            p.cluster_wall_seconds
+        );
+        let _ = writeln!(
+            out,
+            "        \"cluster_alerts_per_sec\": {:.2},",
+            p.cluster_alerts_per_sec
+        );
+        let _ = writeln!(out, "        \"cluster_speedup\": {:.2}", p.cluster_speedup);
+        let _ = writeln!(out, "      }}{}", if i == last_point { "" } else { "," });
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(out, "    \"results_identical\": {}", cl.results_identical);
+    if let Some(note) = &cl.note {
+        out.truncate(out.len() - 1);
+        let _ = writeln!(out, ",\n    \"note\": \"{}\"", json_escape(note));
+    }
     let _ = writeln!(out, "  }}");
     out.push('}');
     out
@@ -750,6 +806,7 @@ mod tests {
             sharding_jobs: 4,
             service_tenants: 2,
             durability_alerts: 250,
+            cluster_tenants: 2,
         };
         let report = scenario_suite(&config).unwrap();
         assert!(report.scenarios.len() >= 7);
@@ -798,6 +855,20 @@ mod tests {
             d.recovered_bitwise_equal,
             "recovered day diverged from the uninterrupted run"
         );
+        let cl = &report.cluster;
+        assert_eq!(cl.scenario, "paper-baseline");
+        assert_eq!(cl.tenants, 2);
+        // 2 tenants cap the curve at 2 shards.
+        let counts: Vec<usize> = cl.points.iter().map(|p| p.workers).collect();
+        assert_eq!(counts, vec![1, 2]);
+        assert!(
+            cl.results_identical,
+            "shard count changed cluster results bitwise"
+        );
+        for p in &cl.points {
+            assert!(p.replay_wall_seconds > 0.0 && p.cluster_wall_seconds > 0.0);
+            assert!(p.cluster_alerts_per_sec > 0.0);
+        }
         // Multi-type scenarios must actually exercise the pruning layer.
         let multi_site = report
             .scenarios
@@ -834,6 +905,11 @@ mod tests {
             "\"fsync_off_alerts_per_sec\"",
             "\"recovery_alerts_per_sec\"",
             "\"recovered_bitwise_equal\": true",
+            "\"cluster\"",
+            "\"cluster_alerts_per_sec\"",
+            "\"cluster_speedup\"",
+            "\"replay_speedup\"",
+            "\"results_identical\": true",
         ] {
             assert!(json.contains(needle), "missing `{needle}`");
         }

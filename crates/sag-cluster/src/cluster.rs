@@ -1,0 +1,555 @@
+//! The in-process cluster: N independent [`AuditService`] shards behind one
+//! typed [`Request`]/[`Response`] front door.
+//!
+//! Each shard owns its own engines, worker pool, counters, and — when the
+//! `wal` feature is on — its own WAL directory (`<dir>/shard-<i>`), so a
+//! crashed shard recovers from its own bytes while every other shard keeps
+//! serving untouched. Because the paper's scheme is per-tenant-independent,
+//! per-tenant results are bitwise-identical regardless of the shard count;
+//! the registry-wide suites in `sag-scenarios` assert exactly that against
+//! the unsharded service.
+
+use crate::router::ShardRouter;
+use sag_core::EngineBuilder;
+use sag_service::{
+    AuditService, Handled, Request, Response, ServiceBuilder, ServiceCounters, ServiceError,
+    TenantId,
+};
+use sag_sim::DayLog;
+use std::sync::Arc;
+
+#[cfg(feature = "wal")]
+use sag_service::DurabilityOptions;
+#[cfg(feature = "wal")]
+use std::path::{Path, PathBuf};
+
+use sag_service::CountersSnapshot;
+
+/// The WAL directory a shard logs under: `<dir>/shard-<index>`.
+///
+/// Exposed so operators and tests can point a single-shard recovery (or a
+/// disk-usage probe) at the right subtree without re-deriving the layout.
+#[cfg(feature = "wal")]
+#[must_use]
+pub fn shard_wal_dir(dir: impl AsRef<Path>, shard: usize) -> PathBuf {
+    dir.as_ref().join(format!("shard-{shard}"))
+}
+
+/// Builder for a [`ClusterService`]: tenant specs plus per-shard knobs.
+///
+/// Tenants are placed by the [`ShardRouter`]'s consistent hash at
+/// [`build`](Self::build) time; each shard gets its own
+/// [`ServiceBuilder`] carrying only the tenants it owns, so duplicate
+/// registrations are still caught (the same id always hashes to the same
+/// shard) and every shard validates independently.
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    router: ShardRouter,
+    tenants: Vec<(TenantId, EngineBuilder, Vec<DayLog>)>,
+    workers: Option<usize>,
+    history_window: Option<usize>,
+    dedup_window: Option<usize>,
+    with_counters: bool,
+    #[cfg(feature = "wal")]
+    durability: Option<(PathBuf, DurabilityOptions)>,
+}
+
+impl ClusterBuilder {
+    /// Start a cluster over `shards` shards (clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> ClusterBuilder {
+        ClusterBuilder {
+            router: ShardRouter::new(shards),
+            tenants: Vec::new(),
+            workers: None,
+            history_window: None,
+            dedup_window: None,
+            with_counters: false,
+            #[cfg(feature = "wal")]
+            durability: None,
+        }
+    }
+
+    /// The router this cluster will place tenants with.
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Register a tenant with no prior history.
+    #[must_use]
+    pub fn tenant(self, id: impl Into<TenantId>, engine: EngineBuilder) -> Self {
+        self.tenant_with_history(id, engine, Vec::new())
+    }
+
+    /// Register a tenant seeded with recorded history days.
+    #[must_use]
+    pub fn tenant_with_history(
+        mut self,
+        id: impl Into<TenantId>,
+        engine: EngineBuilder,
+        history: Vec<DayLog>,
+    ) -> Self {
+        self.tenants.push((id.into(), engine, history));
+        self
+    }
+
+    /// Worker-pool size for **each** shard (shards never share a pool).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Rolling history window per tenant (see
+    /// [`ServiceBuilder::history_window`]).
+    #[must_use]
+    pub fn history_window(mut self, days: usize) -> Self {
+        self.history_window = Some(days);
+        self
+    }
+
+    /// Per-tenant dedup window size (see [`ServiceBuilder::dedup_window`]).
+    #[must_use]
+    pub fn dedup_window(mut self, responses: usize) -> Self {
+        self.dedup_window = Some(responses);
+        self
+    }
+
+    /// Install a fresh, independent [`ServiceCounters`] on every shard.
+    /// Aggregate with [`ClusterService::counters_snapshot`] — the quiescent
+    /// identity (`requests == days_opened + alerts + days_closed + errors`)
+    /// holds on the summed snapshot because it holds on every shard's.
+    #[must_use]
+    pub fn counters(mut self) -> Self {
+        self.with_counters = true;
+        self
+    }
+
+    /// Log every shard under `<dir>/shard-<i>` with default
+    /// [`DurabilityOptions`]. Recovery stays shard-local: one shard's crash
+    /// is recovered from its own subtree (see
+    /// [`recover_shard`](Self::recover_shard)).
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn durable(self, dir: impl AsRef<Path>) -> Self {
+        self.durable_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`durable`](Self::durable) with explicit options (applied to every
+    /// shard).
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn durable_with(mut self, dir: impl AsRef<Path>, options: DurabilityOptions) -> Self {
+        self.durability = Some((dir.as_ref().to_path_buf(), options));
+        self
+    }
+
+    /// Place every tenant and build one [`ServiceBuilder`] per shard.
+    fn into_shard_builders(self) -> (ShardRouter, Vec<ServiceBuilder>) {
+        let router = self.router;
+        let shards = router.num_shards();
+        let mut per_shard: Vec<Vec<(TenantId, EngineBuilder, Vec<DayLog>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (id, engine, history) in self.tenants {
+            let shard = router.shard_for(&id);
+            per_shard[shard].push((id, engine, history));
+        }
+        let builders = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(shard, tenants)| {
+                let mut builder = AuditService::builder();
+                if let Some(workers) = self.workers {
+                    builder = builder.workers(workers);
+                }
+                if let Some(days) = self.history_window {
+                    builder = builder.history_window(days);
+                }
+                if let Some(responses) = self.dedup_window {
+                    builder = builder.dedup_window(responses);
+                }
+                if self.with_counters {
+                    builder = builder.counters(Arc::new(ServiceCounters::new()));
+                }
+                #[cfg(feature = "wal")]
+                if let Some((dir, options)) = &self.durability {
+                    builder = builder.durable_with(shard_wal_dir(dir, shard), *options);
+                }
+                #[cfg(not(feature = "wal"))]
+                let _ = shard;
+                for (id, engine, history) in tenants {
+                    builder = builder.tenant_with_history(id, engine, history);
+                }
+                builder
+            })
+            .collect();
+        (router, builders)
+    }
+
+    /// Build every shard fresh.
+    ///
+    /// # Errors
+    ///
+    /// Any shard's [`ServiceBuilder::build`] failure (duplicate tenant,
+    /// invalid engine config, or — when durable — pre-existing WAL state).
+    pub fn build(self) -> Result<ClusterService, ServiceError> {
+        let (router, builders) = self.into_shard_builders();
+        let shards = builders
+            .into_iter()
+            .map(ServiceBuilder::build)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ClusterService { router, shards })
+    }
+
+    /// Recover every shard from its own WAL subtree under the configured
+    /// durable directory (requires [`durable`](Self::durable)).
+    ///
+    /// # Errors
+    ///
+    /// Any shard's [`ServiceBuilder::recover`] failure.
+    #[cfg(feature = "wal")]
+    pub fn recover(self) -> Result<ClusterService, ServiceError> {
+        let (router, builders) = self.into_shard_builders();
+        let shards = builders
+            .into_iter()
+            .map(ServiceBuilder::recover)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ClusterService { router, shards })
+    }
+
+    /// [`recover`](Self::recover) from an explicit directory.
+    ///
+    /// # Errors
+    ///
+    /// Any shard's recovery failure.
+    #[cfg(feature = "wal")]
+    pub fn recover_from(self, dir: impl AsRef<Path>) -> Result<ClusterService, ServiceError> {
+        self.durable(dir).recover()
+    }
+
+    /// Recover **one** shard from its WAL subtree, leaving every other
+    /// shard's state on disk untouched — the shard-local recovery path.
+    ///
+    /// The builder must describe the same fleet (same tenants, same shard
+    /// count, same durable directory) as the cluster that crashed; only the
+    /// tenants the router places on `shard` are rebuilt. Swap the result in
+    /// with [`ClusterService::replace_shard`].
+    ///
+    /// # Errors
+    ///
+    /// The shard's [`ServiceBuilder::recover`] failure, or an
+    /// out-of-range `shard`.
+    #[cfg(feature = "wal")]
+    pub fn recover_shard(self, shard: usize) -> Result<AuditService, ServiceError> {
+        let num_shards = self.router.num_shards();
+        if shard >= num_shards {
+            return Err(ServiceError::Wal(sag_service::WalError::Io {
+                file: format!("shard-{shard}"),
+                message: format!(
+                    "shard index {shard} out of range for a {num_shards}-shard cluster"
+                ),
+            }));
+        }
+        let (_, mut builders) = self.into_shard_builders();
+        builders.swap_remove(shard).recover()
+    }
+}
+
+/// N independent [`AuditService`] shards behind one typed command API.
+///
+/// `handle`/`handle_tagged` route by the [`ShardRouter`], rewrite session
+/// ids between the cluster form clients hold and each shard's local form
+/// (the bijection documented on [`ShardRouter`]), and otherwise behave
+/// exactly like the
+/// unsharded service — including the per-tenant dedup window, which lives
+/// on the tenant's shard and survives that shard's recovery.
+#[derive(Debug)]
+pub struct ClusterService {
+    router: ShardRouter,
+    shards: Vec<AuditService>,
+}
+
+impl ClusterService {
+    /// Start building a cluster over `shards` shards.
+    #[must_use]
+    pub fn builder(shards: usize) -> ClusterBuilder {
+        ClusterBuilder::new(shards)
+    }
+
+    /// The placement/translation router (stateless and `Copy`).
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// How many shards this cluster runs.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's service.
+    ///
+    /// # Panics
+    ///
+    /// When `shard` is out of range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &AuditService {
+        &self.shards[shard]
+    }
+
+    /// Read access to every shard, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[AuditService] {
+        &self.shards
+    }
+
+    /// Swap in a replacement service for `shard` (the tail of the
+    /// shard-local recovery flow: recover with
+    /// [`ClusterBuilder::recover_shard`], then swap). Returns the displaced
+    /// service. No other shard is touched — they keep serving throughout.
+    ///
+    /// # Panics
+    ///
+    /// When `shard` is out of range.
+    pub fn replace_shard(&mut self, shard: usize, service: AuditService) -> AuditService {
+        std::mem::replace(&mut self.shards[shard], service)
+    }
+
+    /// Total registered tenants across every shard.
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.shards.iter().map(AuditService::num_tenants).sum()
+    }
+
+    /// Every registered tenant, grouped by shard.
+    pub fn tenants(&self) -> impl Iterator<Item = &TenantId> {
+        self.shards.iter().flat_map(AuditService::tenants)
+    }
+
+    /// Open sessions across every shard.
+    #[must_use]
+    pub fn open_sessions(&self) -> usize {
+        self.shards.iter().map(AuditService::open_sessions).sum()
+    }
+
+    /// Whether every shard logs through a WAL.
+    #[cfg(feature = "wal")]
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.shards.iter().all(AuditService::is_durable)
+    }
+
+    /// The shard that owns `tenant`.
+    #[must_use]
+    pub fn shard_for(&self, tenant: &TenantId) -> usize {
+        self.router.shard_for(tenant)
+    }
+
+    /// Sum every shard's counters into one cluster-wide snapshot (see
+    /// [`CountersSnapshot::merged`]). `None` when no shard has counters
+    /// installed; shards without counters contribute zeros otherwise.
+    #[must_use]
+    pub fn counters_snapshot(&self) -> Option<CountersSnapshot> {
+        let mut merged: Option<CountersSnapshot> = None;
+        for shard in &self.shards {
+            if let Some(counters) = shard.counters() {
+                let snapshot = counters.snapshot();
+                merged = Some(match merged {
+                    Some(sum) => sum.merged(&snapshot),
+                    None => snapshot,
+                });
+            }
+        }
+        merged
+    }
+
+    /// Serve one command, routed to the owning shard with session ids
+    /// translated both ways.
+    ///
+    /// # Errors
+    ///
+    /// The owning shard's [`ServiceError`], with any session id rewritten
+    /// back to cluster form.
+    pub fn handle(&mut self, request: Request) -> Result<Response, ServiceError> {
+        let shard = self.router.shard_for_request(&request);
+        let local = self.router.to_local(request);
+        self.shards[shard]
+            .handle(local)
+            .map(|response| self.router.to_cluster(response, shard))
+            .map_err(|error| self.router.to_cluster_error(error, shard))
+    }
+
+    /// Serve one command under the idempotency contract (see
+    /// [`AuditService::handle_tagged`]). The dedup window is the owning
+    /// shard's: redeliveries route to the same shard by construction, so
+    /// exactly-once holds per shard and therefore cluster-wide.
+    pub fn handle_tagged(
+        &mut self,
+        tenant: &TenantId,
+        request_id: u64,
+        request: Request,
+    ) -> Handled {
+        let shard = self.router.shard_for_request(&request);
+        let local = self.router.to_local(request);
+        match self.shards[shard].handle_tagged(tenant, request_id, local) {
+            Handled::Applied(result) => Handled::Applied(
+                result
+                    .map(|response| self.router.to_cluster(response, shard))
+                    .map_err(|error| self.router.to_cluster_error(error, shard)),
+            ),
+            Handled::Replayed(response) => {
+                Handled::Replayed(self.router.to_cluster(response, shard))
+            }
+            stale @ Handled::Stale { .. } => stale,
+        }
+    }
+
+    /// Tear the cluster apart into its router and shard services, in shard
+    /// order — how the network front door takes ownership to give every
+    /// shard its own service thread.
+    #[must_use]
+    pub fn into_shards(self) -> (ShardRouter, Vec<AuditService>) {
+        (self.router, self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sag_service::{Response, SessionId};
+
+    fn two_tenant_cluster(shards: usize) -> ClusterService {
+        ClusterService::builder(shards)
+            .workers(0)
+            .counters()
+            .tenant("alpha", EngineBuilder::paper_single_type())
+            .tenant("beta", EngineBuilder::paper_multi_type())
+            .build()
+            .expect("cluster builds")
+    }
+
+    #[test]
+    fn tenants_land_on_their_hashed_shard() {
+        let cluster = two_tenant_cluster(4);
+        assert_eq!(cluster.num_tenants(), 2);
+        for tenant in [TenantId::from("alpha"), TenantId::from("beta")] {
+            let shard = cluster.shard_for(&tenant);
+            assert!(
+                cluster.shard(shard).tenants().any(|t| *t == tenant),
+                "{tenant} not on its hashed shard {shard}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_tenants_are_rejected_at_build() {
+        let err = ClusterService::builder(4)
+            .workers(0)
+            .tenant("dup", EngineBuilder::paper_single_type())
+            .tenant("dup", EngineBuilder::paper_single_type())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::DuplicateTenant(_)));
+    }
+
+    #[test]
+    fn cluster_session_ids_encode_their_shard_and_route_back() {
+        let mut cluster = two_tenant_cluster(4);
+        let alpha = TenantId::from("alpha");
+        let shard = cluster.shard_for(&alpha);
+        let opened = cluster
+            .handle(Request::OpenDay {
+                tenant: alpha.clone(),
+                budget: None,
+                day: Some(0),
+            })
+            .expect("day opens");
+        let session = match opened {
+            Response::DayOpened { session, tenant } => {
+                assert_eq!(tenant, alpha);
+                session
+            }
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(cluster.router().shard_for_session(session), shard);
+        assert_eq!(cluster.open_sessions(), 1);
+        match cluster
+            .handle(Request::FinishDay { session })
+            .expect("day closes")
+        {
+            Response::DayClosed {
+                session: closed, ..
+            } => assert_eq!(closed, session),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(cluster.open_sessions(), 0);
+    }
+
+    #[test]
+    fn unknown_cluster_session_errors_echo_the_cluster_id() {
+        let mut cluster = two_tenant_cluster(4);
+        let bogus = SessionId::from_raw(4 * 9 + 2);
+        let err = cluster
+            .handle(Request::FinishDay { session: bogus })
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownSession(bogus));
+    }
+
+    #[test]
+    fn tagged_duplicates_replay_from_the_owning_shard() {
+        let mut cluster = two_tenant_cluster(2);
+        let alpha = TenantId::from("alpha");
+        let open = Request::OpenDay {
+            tenant: alpha.clone(),
+            budget: None,
+            day: Some(0),
+        };
+        let first = match cluster.handle_tagged(&alpha, 1, open.clone()) {
+            Handled::Applied(Ok(response)) => response,
+            other => panic!("first delivery should apply: {other:?}"),
+        };
+        match cluster.handle_tagged(&alpha, 1, open) {
+            Handled::Replayed(replayed) => assert_eq!(replayed, first),
+            other => panic!("duplicate should replay: {other:?}"),
+        }
+        assert_eq!(cluster.open_sessions(), 1);
+    }
+
+    #[test]
+    fn counters_aggregate_and_hold_the_quiescent_identity() {
+        let mut cluster = two_tenant_cluster(4);
+        for tenant in [TenantId::from("alpha"), TenantId::from("beta")] {
+            let session = match cluster
+                .handle(Request::OpenDay {
+                    tenant: tenant.clone(),
+                    budget: None,
+                    day: Some(0),
+                })
+                .expect("day opens")
+            {
+                Response::DayOpened { session, .. } => session,
+                other => panic!("unexpected response {other:?}"),
+            };
+            cluster
+                .handle(Request::FinishDay { session })
+                .expect("day closes");
+        }
+        // One deliberate rejection so `errors` participates too.
+        let _ = cluster
+            .handle(Request::FinishDay {
+                session: SessionId::from_raw(999),
+            })
+            .unwrap_err();
+        let snapshot = cluster.counters_snapshot().expect("counters installed");
+        assert_eq!(snapshot.requests, 5);
+        assert_eq!(snapshot.days_opened, 2);
+        assert_eq!(snapshot.days_closed, 2);
+        assert_eq!(snapshot.errors, 1);
+        assert!(
+            snapshot.quiescent_identity_holds(),
+            "cluster-wide identity violated: {snapshot:?}"
+        );
+    }
+}

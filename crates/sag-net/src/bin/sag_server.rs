@@ -4,7 +4,7 @@
 //! sag_server [--addr HOST:PORT] [--scenario NAME] [--tenants N] [--seed N]
 //!            [--history-days N] [--test-days N] [--queue N]
 //!            [--tenant-limit N] [--handle-delay-micros N]
-//!            [--wal-dir DIR] [--recover]
+//!            [--wal-dir DIR] [--recover] [--shards N]
 //! ```
 //!
 //! Builds `--tenants` instances of `--scenario` (each with its registered
@@ -17,9 +17,14 @@
 //! `--recover` additionally replays an existing WAL in DIR on boot, so a
 //! SIGKILLed server restarted with the same directory resumes with its
 //! open sessions, applied request ids, and dedup windows intact.
+//!
+//! With `--shards N` (N > 1) the same fleet is consistent-hashed across N
+//! independent `AuditService` shards behind the one listener — each shard
+//! its own service thread, counters, and (under `--wal-dir`) its own
+//! `shard-<i>` WAL subdirectory — and `/metrics` aggregates across shards.
 
 use sag_net::{Server, ServerConfig};
-use sag_scenarios::{find_scenario, tenant_fleet_parts};
+use sag_scenarios::{find_scenario, tenant_fleet_cluster_parts, tenant_fleet_parts};
 use std::time::Duration;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -49,6 +54,7 @@ fn main() {
 
     let wal_dir = parse_flag(&args, "--wal-dir", String::new());
     let recover = args.iter().any(|a| a == "--recover");
+    let shards = parse_flag(&args, "--shards", 1usize).max(1);
 
     let Some(scenario) = find_scenario(&scenario_name) else {
         eprintln!("unknown scenario {scenario_name:?}; registered scenarios:");
@@ -57,21 +63,46 @@ fn main() {
         }
         std::process::exit(2);
     };
-    let (builder, _tenants) =
-        tenant_fleet_parts(scenario.as_ref(), seed, tenants, history_days, test_days);
-    let service = match (wal_dir.as_str(), recover) {
-        ("", _) => builder.build(),
-        (dir, false) => builder.durable(dir).build(),
-        (dir, true) => builder.recover_from(dir),
+    let server = if shards > 1 {
+        let (builder, _tenants) = tenant_fleet_cluster_parts(
+            scenario.as_ref(),
+            seed,
+            tenants,
+            history_days,
+            test_days,
+            shards,
+        );
+        let cluster = match (wal_dir.as_str(), recover) {
+            ("", _) => builder.build(),
+            (dir, false) => builder.durable(dir).build(),
+            (dir, true) => builder.recover_from(dir),
+        };
+        let cluster = match cluster {
+            Ok(cluster) => cluster,
+            Err(e) => {
+                eprintln!("failed to build the tenant fleet: {e}");
+                std::process::exit(1);
+            }
+        };
+        Server::start_cluster(cluster, addr.as_str(), config)
+    } else {
+        let (builder, _tenants) =
+            tenant_fleet_parts(scenario.as_ref(), seed, tenants, history_days, test_days);
+        let service = match (wal_dir.as_str(), recover) {
+            ("", _) => builder.build(),
+            (dir, false) => builder.durable(dir).build(),
+            (dir, true) => builder.recover_from(dir),
+        };
+        let service = match service {
+            Ok(service) => service,
+            Err(e) => {
+                eprintln!("failed to build the tenant fleet: {e}");
+                std::process::exit(1);
+            }
+        };
+        Server::start(service, addr.as_str(), config)
     };
-    let service = match service {
-        Ok(service) => service,
-        Err(e) => {
-            eprintln!("failed to build the tenant fleet: {e}");
-            std::process::exit(1);
-        }
-    };
-    let server = match Server::start(service, addr.as_str(), config) {
+    let server = match server {
         Ok(server) => server,
         Err(e) => {
             eprintln!("failed to bind {addr}: {e}");
@@ -81,7 +112,7 @@ fn main() {
 
     // The smoke harness waits for this exact prefix before driving load.
     println!(
-        "listening on {} scenario={scenario_name} tenants={tenants} seed={seed}",
+        "listening on {} scenario={scenario_name} tenants={tenants} seed={seed} shards={shards}",
         server.local_addr()
     );
     use std::io::Write as _;

@@ -1,14 +1,25 @@
-//! The threaded TCP server fronting one [`AuditService`].
+//! The threaded TCP server fronting one [`AuditService`] — or a whole
+//! [`ClusterService`] of them behind one listener.
 //!
 //! ## Threading model
 //!
-//! The service owns per-tenant engines behind `&mut self`, so exactly one
-//! **service thread** drives [`AuditService::handle`], consuming jobs from
-//! a *bounded* [`std::sync::mpsc::sync_channel`]. Everything in front of
-//! it is allowed to be many: an **acceptor** thread hands each connection
-//! to its own **reader** thread (decodes frames, admits against quotas,
-//! enqueues) paired with a **writer** thread (sends replies back in
-//! request order).
+//! A service owns per-tenant engines behind `&mut self`, so exactly one
+//! **service thread per shard** drives [`AuditService::handle`], consuming
+//! jobs from its own *bounded* [`std::sync::mpsc::sync_channel`]. The
+//! unsharded [`Server::start`] is literally the one-shard special case of
+//! [`Server::start_cluster`]: same acceptor, same readers, one queue, one
+//! service thread. Everything in front of the queues is allowed to be
+//! many: an **acceptor** thread hands each connection to its own
+//! **reader** thread (decodes frames, admits against quotas, routes to the
+//! owning shard's queue via the [`ShardRouter`], enqueues) paired with a
+//! **writer** thread (sends replies back in request order).
+//!
+//! Shards never share state — each has its own engines, counters, and (when
+//! durable) WAL directory — so the only cross-shard artifacts are the
+//! session ids on the wire, which carry their shard in the low bits
+//! (`cluster = local × N + shard`). Readers route session requests by that
+//! residue without any lookup; service threads translate ids at the
+//! boundary, so each shard still sees its own dense local sequence.
 //!
 //! ## Backpressure and shedding
 //!
@@ -41,7 +52,11 @@
 //! are `"GET "` gets an HTTP/1.0 plaintext page rendered from the live
 //! counters ([`NetMetrics::render`]) and is closed — `curl
 //! http://host:port/metrics` works against the protocol port, no second
-//! listener, no HTTP stack.
+//! listener, no HTTP stack. Under a cluster the page **aggregates**: the
+//! service counters are the field-wise sum over every shard's sink
+//! ([`CountersSnapshot::sum`]), so the quiescent identity
+//! (`requests == opens + alerts + closes + errors`) holds cluster-wide on
+//! the one page a probe scrapes.
 
 use crate::codec::{
     decode_request, encode_reply, read_frame, write_frame, NetError, Reply, WireError, MAGIC,
@@ -49,7 +64,10 @@ use crate::codec::{
 };
 use crate::metrics::{NetMetrics, TenantGauge};
 use bytes::Bytes;
-use sag_service::{AuditService, Handled, Request, Response, ServiceCounters, TenantId};
+use sag_cluster::{ClusterService, ShardRouter};
+use sag_service::{
+    AuditService, CountersSnapshot, Handled, Request, Response, ServiceCounters, TenantId,
+};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -100,15 +118,29 @@ struct Job {
 /// State shared by every thread of one server.
 struct Shared {
     net: Arc<NetMetrics>,
-    counters: Arc<ServiceCounters>,
-    /// Open session → the tenant gauge its requests are charged to.
-    /// Written only by the service thread (insert on `DayOpened`, remove on
-    /// `DayClosed`); read by connection readers at admission.
+    /// Routes requests to shards; `ShardRouter::new(1)` (the identity
+    /// translation) for an unsharded server.
+    router: ShardRouter,
+    /// One counter sink per shard; the metrics page serves their sum.
+    counters: Vec<Arc<ServiceCounters>>,
+    /// Open session (cluster id) → the tenant gauge its requests are
+    /// charged to. Written only by the owning shard's service thread
+    /// (insert on `DayOpened`, remove on `DayClosed`); read by connection
+    /// readers at admission. Keyed by *cluster* ids, which are unique
+    /// across shards, so one map serves all of them.
     session_gauges: Mutex<HashMap<u64, Arc<TenantGauge>>>,
     shutdown: AtomicBool,
     /// Clones of every live protocol socket, so shutdown can unblock the
     /// reader threads parked in `read_frame`.
     conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    /// The cluster-wide service snapshot: field-wise sum over every shard.
+    fn snapshot(&self) -> CountersSnapshot {
+        let shards: Vec<CountersSnapshot> = self.counters.iter().map(|c| c.snapshot()).collect();
+        CountersSnapshot::sum(&shards)
+    }
 }
 
 /// A running SAG network server. Dropping it shuts it down.
@@ -117,7 +149,7 @@ pub struct Server {
     shared: Arc<Shared>,
     config: ServerConfig,
     acceptor: Option<JoinHandle<()>>,
-    service: Option<JoinHandle<()>>,
+    services: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -127,27 +159,65 @@ impl Server {
     /// Installs a fresh [`ServiceCounters`] on the service unless one is
     /// already present (the existing sink keeps counting).
     ///
+    /// This is exactly [`Server::start_cluster`] with one shard: the
+    /// session-id translation at shard count 1 is the identity, so the
+    /// wire behavior is byte-for-byte the pre-cluster server's.
+    ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn start(
-        mut service: AuditService,
+        service: AuditService,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::start_shards(ShardRouter::new(1), vec![service], addr, config)
+    }
+
+    /// Bind `addr` and serve a whole [`ClusterService`] behind one
+    /// listener: one reader/writer pair per connection as usual, plus one
+    /// service thread *per shard*, each consuming its own bounded queue.
+    /// Readers route every request to its owning shard with the cluster's
+    /// [`ShardRouter`]; `/metrics` and `/healthz` aggregate across shards.
+    ///
+    /// Installs a fresh [`ServiceCounters`] on any shard that lacks one
+    /// (shards built via `ClusterBuilder::counters()` keep their sinks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start_cluster(
+        cluster: ClusterService,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let (router, shards) = cluster.into_shards();
+        Server::start_shards(router, shards, addr, config)
+    }
+
+    fn start_shards(
+        router: ShardRouter,
+        mut shards: Vec<AuditService>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
 
-        let counters = match service.counters() {
-            Some(existing) => existing.clone(),
-            None => {
-                let fresh = Arc::new(ServiceCounters::new());
-                service.set_counters(fresh.clone());
-                fresh
-            }
-        };
+        let counters: Vec<Arc<ServiceCounters>> = shards
+            .iter_mut()
+            .map(|shard| match shard.counters() {
+                Some(existing) => existing.clone(),
+                None => {
+                    let fresh = Arc::new(ServiceCounters::new());
+                    shard.set_counters(fresh.clone());
+                    fresh
+                }
+            })
+            .collect();
         let shared = Arc::new(Shared {
             net: Arc::new(NetMetrics::new()),
+            router,
             counters,
             session_gauges: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
@@ -155,19 +225,28 @@ impl Server {
         });
         // Pre-register every tenant so the metrics page lists all of them
         // from the first scrape, served traffic or not.
-        for tenant in service.tenants() {
-            let _ = shared.net.tenant_gauge(tenant);
+        for shard in &shards {
+            for tenant in shard.tenants() {
+                let _ = shared.net.tenant_gauge(tenant);
+            }
         }
 
-        let (job_tx, job_rx) = sync_channel::<Job>(config.queue_capacity);
-
-        let service_thread = {
+        // One bounded queue and one service thread per shard. Each queue
+        // gets the full configured capacity: the global bound scales with
+        // the fleet the way the worker pools and WAL directories do.
+        let mut job_txs = Vec::with_capacity(shards.len());
+        let mut services = Vec::with_capacity(shards.len());
+        for (shard_index, shard) in shards.into_iter().enumerate() {
+            let (job_tx, job_rx) = sync_channel::<Job>(config.queue_capacity);
+            job_txs.push(job_tx);
             let shared = shared.clone();
             let delay = config.handle_delay;
-            thread::Builder::new()
-                .name("sag-service".into())
-                .spawn(move || service_loop(service, &job_rx, &shared, delay))?
-        };
+            services.push(
+                thread::Builder::new()
+                    .name(format!("sag-service-{shard_index}"))
+                    .spawn(move || service_loop(shard, shard_index, &job_rx, &shared, delay))?,
+            );
+        }
 
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -184,10 +263,10 @@ impl Server {
                         let Ok(stream) = stream else { continue };
                         let shared = shared.clone();
                         let config = config.clone();
-                        let job_tx = job_tx.clone();
+                        let job_txs = job_txs.clone();
                         let handle = thread::Builder::new()
                             .name("sag-conn".into())
-                            .spawn(move || handle_connection(stream, &shared, &config, &job_tx));
+                            .spawn(move || handle_connection(stream, &shared, &config, &job_txs));
                         if let Ok(handle) = handle {
                             conn_threads
                                 .lock()
@@ -195,8 +274,8 @@ impl Server {
                                 .push(handle);
                         }
                     }
-                    // Dropping the master `job_tx` here lets the service
-                    // thread exit once the last connection hangs up.
+                    // Dropping the master `job_txs` here lets the service
+                    // threads exit once the last connection hangs up.
                 })?
         };
 
@@ -205,7 +284,7 @@ impl Server {
             shared,
             config,
             acceptor: Some(acceptor),
-            service: Some(service_thread),
+            services,
             conn_threads,
         })
     }
@@ -216,9 +295,25 @@ impl Server {
         self.local_addr
     }
 
-    /// The live service counters (shared with the service hot path).
+    /// The number of shards serving behind this listener (1 when started
+    /// with [`Server::start`]).
     #[must_use]
-    pub fn counters(&self) -> &Arc<ServiceCounters> {
+    pub fn num_shards(&self) -> usize {
+        self.shared.router.num_shards()
+    }
+
+    /// The cluster-wide service snapshot: the field-wise sum over every
+    /// shard's live counters. On a one-shard server this is exactly the
+    /// service's own snapshot.
+    #[must_use]
+    pub fn counters_snapshot(&self) -> CountersSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// The live per-shard counter sinks (shared with the service hot
+    /// paths), indexed by shard.
+    #[must_use]
+    pub fn shard_counters(&self) -> &[Arc<ServiceCounters>] {
         &self.shared.counters
     }
 
@@ -234,10 +329,11 @@ impl Server {
         &self.config
     }
 
-    /// Render the metrics page exactly as the endpoint serves it.
+    /// Render the metrics page exactly as the endpoint serves it
+    /// (aggregated across shards).
     #[must_use]
     pub fn render_metrics(&self) -> String {
-        self.shared.net.render(&self.shared.counters.snapshot())
+        self.shared.net.render(&self.shared.snapshot())
     }
 
     /// Stop accepting, unblock and drain every connection, serve what was
@@ -269,8 +365,8 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
-        // All job senders are gone now; the service thread drains and exits.
-        if let Some(handle) = self.service.take() {
+        // All job senders are gone now; the service threads drain and exit.
+        for handle in self.services.drain(..) {
             let _ = handle.join();
         }
     }
@@ -282,20 +378,32 @@ impl Drop for Server {
     }
 }
 
-/// The single thread that owns the [`AuditService`].
+/// The single thread that owns one [`AuditService`] shard.
+///
+/// Jobs arrive in cluster form; the shard sees local session ids
+/// ([`ShardRouter::to_local`]) and its responses and errors are translated
+/// back ([`ShardRouter::to_cluster`]) before anything touches the gauge
+/// maps or the wire — so every id a client or a reader ever sees is a
+/// cluster id. At one shard both translations are the identity.
 fn service_loop(
     mut service: AuditService,
+    shard_index: usize,
     jobs: &Receiver<Job>,
     shared: &Shared,
     delay: Option<Duration>,
 ) {
+    let router = shared.router;
     for job in jobs {
         shared.net.queue_depth.fetch_sub(1, Ordering::Relaxed);
         if let Some(delay) = delay {
             thread::sleep(delay);
         }
-        let reply: Reply = match service.handle_tagged(&job.tenant, job.request_id, job.request) {
+        let request = router.to_local(job.request);
+        let reply: Reply = match service.handle_tagged(&job.tenant, job.request_id, request) {
             Handled::Applied(result) => {
+                let result = result
+                    .map(|response| router.to_cluster(response, shard_index))
+                    .map_err(|e| router.to_cluster_error(e, shard_index));
                 match &result {
                     Ok(Response::DayOpened { session, tenant }) => {
                         let gauge = job
@@ -325,6 +433,7 @@ fn service_loop(
                 result.map_err(|e| WireError::from(&e))
             }
             Handled::Replayed(response) => {
+                let response = router.to_cluster(response, shard_index);
                 // Nothing was re-applied, so no per-tenant decision stats —
                 // but a replayed DayOpened must (re-)register the session's
                 // gauge: after a crash+recover the map starts empty, and the
@@ -360,7 +469,7 @@ fn handle_connection(
     mut stream: TcpStream,
     shared: &Shared,
     config: &ServerConfig,
-    job_tx: &SyncSender<Job>,
+    job_txs: &[SyncSender<Job>],
 ) {
     // Replies are single buffered frames; leaving Nagle on would hold each
     // one hostage to the peer's delayed ACK (~40ms per round trip).
@@ -400,7 +509,7 @@ fn handle_connection(
             .expect("connection registry poisoned")
             .push(registered);
     }
-    serve_protocol(stream, shared, config, job_tx);
+    serve_protocol(stream, shared, config, job_txs);
     shared
         .net
         .connections_closed
@@ -424,7 +533,7 @@ fn serve_http(stream: &mut TcpStream, shared: &Shared) {
         "ok\n".to_owned()
     } else {
         shared.net.scrapes.fetch_add(1, Ordering::Relaxed);
-        shared.net.render(&shared.counters.snapshot())
+        shared.net.render(&shared.snapshot())
     };
     let header = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -440,7 +549,7 @@ fn serve_protocol(
     stream: TcpStream,
     shared: &Shared,
     config: &ServerConfig,
-    job_tx: &SyncSender<Job>,
+    job_txs: &[SyncSender<Job>],
 ) {
     let Ok(write_stream) = stream.try_clone() else {
         return;
@@ -544,6 +653,9 @@ fn serve_protocol(
                 continue;
             }
         }
+        // Route to the owning shard: OpenDay by tenant hash, session
+        // requests by the shard encoded in the session id itself.
+        let shard = shared.router.shard_for_request(&request);
         let (tx, rx) = std::sync::mpsc::channel();
         let job = Job {
             request_id,
@@ -552,7 +664,7 @@ fn serve_protocol(
             reply: tx,
             gauge: gauge.clone(),
         };
-        match job_tx.try_send(job) {
+        match job_txs[shard].try_send(job) {
             Ok(()) => {
                 shared.net.queue_depth.fetch_add(1, Ordering::Relaxed);
                 let _ = slot_tx.send(rx);

@@ -6,7 +6,7 @@
 
 use sag_net::codec::{encode_request, read_frame, write_frame, write_handshake};
 use sag_net::{fetch_metrics, parse_metric, Client, Reply, Server, ServerConfig, WireError};
-use sag_scenarios::{find_scenario, tenant_fleet, Scenario};
+use sag_scenarios::{find_scenario, tenant_fleet, tenant_fleet_cluster_parts, Scenario};
 use sag_service::{AuditService, Request, Response, TenantId};
 use sag_sim::DayLog;
 use std::io::Write as _;
@@ -146,6 +146,86 @@ fn network_replay_is_bitwise_identical_to_direct_handle() {
         .sum();
     assert_eq!(per_tenant, alerts_total as f64);
     assert!(metric("sag_warm_hits_total") > 0.0, "warm cache never hit");
+}
+
+#[test]
+fn sharded_server_is_bitwise_identical_to_the_unsharded_one() {
+    // The cluster front door must be wire-invisible: the same fleet served
+    // behind 1, 2, or 4 shards answers every request with the same bytes
+    // (modulo session ids, which clients treat as opaque, and wall-clock
+    // solve time), and the aggregated metrics page keeps the quiescent
+    // identity cluster-wide.
+    let scenario = scenario();
+    let mut reference = {
+        let (_, mut direct) = twin_fleets();
+        let mut results = Vec::new();
+        for tenant in &direct.tenants.clone() {
+            for day in &tenant.test_days {
+                let budget = scenario.budget_for_day(day.day());
+                let mut r = drive_direct(&mut direct.service, &tenant.id, day, budget);
+                zero_solve_micros(&mut r);
+                results.push(r);
+            }
+        }
+        results
+    };
+    reference.sort_by_key(|r| r.day);
+
+    for shards in [1usize, 2, 4] {
+        let (builder, tenants) = tenant_fleet_cluster_parts(
+            scenario.as_ref(),
+            SEED,
+            TENANTS,
+            HISTORY_DAYS,
+            TEST_DAYS,
+            shards,
+        );
+        let cluster = builder.build().unwrap();
+        assert_eq!(cluster.num_shards(), shards);
+        let server =
+            Server::start_cluster(cluster, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        assert_eq!(server.num_shards(), shards);
+        let addr = server.local_addr();
+
+        let mut over_wire = Vec::new();
+        let mut requests_total = 0u64;
+        for tenant in &tenants {
+            let mut client = Client::connect(addr, tenant.id.clone()).unwrap();
+            for day in &tenant.test_days {
+                let budget = scenario.budget_for_day(day.day());
+                let session = client.open_day(budget, Some(day.day())).unwrap();
+                for alert in day.alerts() {
+                    client.push_alert(session, alert).unwrap();
+                }
+                let mut result = client.finish_day(session).unwrap();
+                requests_total += day.len() as u64 + 2;
+                zero_solve_micros(&mut result);
+                over_wire.push(result);
+            }
+        }
+        over_wire.sort_by_key(|r| r.day);
+        assert_eq!(over_wire, reference, "results diverged at {shards} shards");
+
+        // The metrics page is the sum over per-shard sinks; quiescent here,
+        // so the identities are exact — including the satellite invariant
+        // that requests partition into opens + alerts + closes + errors
+        // *cluster-wide*.
+        let page = fetch_metrics(addr).unwrap();
+        let metric = |name: &str| parse_metric(&page, name).unwrap_or(-1.0);
+        assert_eq!(metric("sag_requests_total"), requests_total as f64);
+        assert_eq!(metric("sag_errors_total"), 0.0);
+        assert_eq!(
+            metric("sag_requests_total"),
+            metric("sag_days_opened_total")
+                + metric("sag_alerts_total")
+                + metric("sag_days_closed_total")
+                + metric("sag_errors_total"),
+        );
+        let snapshot = server.counters_snapshot();
+        assert!(snapshot.quiescent_identity_holds());
+        assert_eq!(snapshot.requests, requests_total);
+        assert_eq!(server.shard_counters().len(), shards);
+    }
 }
 
 #[test]

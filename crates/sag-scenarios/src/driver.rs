@@ -21,6 +21,7 @@
 //!   results are bitwise identical to replaying each tenant serially.
 
 use crate::scenario::Scenario;
+use sag_cluster::ClusterBuilder;
 use sag_core::engine::{AuditCycleEngine, EngineBuilder, ReplayJob};
 use sag_core::sse::SseCacheTotals;
 use sag_core::{CycleResult, Result};
@@ -477,6 +478,46 @@ pub fn tenant_fleet_parts(
 ) -> (ServiceBuilder, Vec<FleetTenant>) {
     let config = scenario.engine_config();
     let mut builder = AuditService::builder();
+    let mut fleet = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let id = TenantId::new(format!("{}-t{t}", scenario.name()));
+        let mut days = scenario.generate_days(seed + t as u64, history_days + test_days);
+        let test = days.split_off(history_days as usize);
+        builder = builder.tenant_with_history(
+            id.clone(),
+            EngineBuilder::from_config(config.clone()),
+            days,
+        );
+        fleet.push(FleetTenant {
+            id,
+            test_days: test,
+        });
+    }
+    (builder, fleet)
+}
+
+/// The sharded counterpart of [`tenant_fleet_parts`]: the same fleet —
+/// identical tenant names, seeds, histories, and test-day streams — loaded
+/// into a [`ClusterBuilder`] over `shards` consistent-hashed shards instead
+/// of one [`ServiceBuilder`]. Because the naming and seeding convention is
+/// shared, a cluster built from these parts must produce per-tenant results
+/// bitwise identical to the unsharded fleet's at any shard count; the
+/// registry-wide suites in this crate's tests hold it to that.
+///
+/// Callers finish the builder themselves (`workers`, `counters`,
+/// `durable`/`recover_from`, or per-shard `recover_shard`), exactly like
+/// the unsharded parts function.
+#[must_use]
+pub fn tenant_fleet_cluster_parts(
+    scenario: &dyn Scenario,
+    seed: u64,
+    tenants: usize,
+    history_days: u32,
+    test_days: u32,
+    shards: usize,
+) -> (ClusterBuilder, Vec<FleetTenant>) {
+    let config = scenario.engine_config();
+    let mut builder = ClusterBuilder::new(shards);
     let mut fleet = Vec::with_capacity(tenants);
     for t in 0..tenants {
         let id = TenantId::new(format!("{}-t{t}", scenario.name()));

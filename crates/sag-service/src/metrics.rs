@@ -168,8 +168,10 @@ impl ServiceCounters {
     }
 }
 
-/// One point-in-time read of a [`ServiceCounters`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One point-in-time read of a [`ServiceCounters`]. `Default` is the
+/// all-zero snapshot — the identity element of [`merged`](Self::merged),
+/// so shard snapshots fold cleanly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CountersSnapshot {
     /// Requests received (including ones answered with an error).
     pub requests: u64,
@@ -207,6 +209,51 @@ pub struct CountersSnapshot {
 }
 
 impl CountersSnapshot {
+    /// Field-wise sum of two snapshots — how independent services' counters
+    /// (one per cluster shard) aggregate into one fleet-wide view. Every
+    /// field is a sum (counts and utility sums alike), so the quiescent
+    /// identity and the derived rates are computed on the merged snapshot
+    /// exactly as on a single service's.
+    #[must_use]
+    pub fn merged(&self, other: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            requests: self.requests + other.requests,
+            days_opened: self.days_opened + other.days_opened,
+            days_closed: self.days_closed + other.days_closed,
+            alerts: self.alerts + other.alerts,
+            errors: self.errors + other.errors,
+            lp_solves: self.lp_solves + other.lp_solves,
+            warm_attempts: self.warm_attempts + other.warm_attempts,
+            warm_hits: self.warm_hits + other.warm_hits,
+            pivots: self.pivots + other.pivots,
+            pruned_lps: self.pruned_lps + other.pruned_lps,
+            fast_path_solves: self.fast_path_solves + other.fast_path_solves,
+            solve_micros: self.solve_micros + other.solve_micros,
+            dup_suppressed: self.dup_suppressed + other.dup_suppressed,
+            dup_replayed: self.dup_replayed + other.dup_replayed,
+            ossp_utility_sum: self.ossp_utility_sum + other.ossp_utility_sum,
+            online_utility_sum: self.online_utility_sum + other.online_utility_sum,
+        }
+    }
+
+    /// Sum any number of snapshots (an empty iterator yields the zero
+    /// snapshot).
+    #[must_use]
+    pub fn sum<'a>(snapshots: impl IntoIterator<Item = &'a CountersSnapshot>) -> CountersSnapshot {
+        snapshots
+            .into_iter()
+            .fold(CountersSnapshot::default(), |sum, s| sum.merged(s))
+    }
+
+    /// The quiescent accounting identity: once no request is in flight,
+    /// every request was exactly one of an open, an alert decision, a close,
+    /// or an error. Holds per service and — because [`merged`](Self::merged)
+    /// sums both sides — cluster-wide across any number of shards.
+    #[must_use]
+    pub fn quiescent_identity_holds(&self) -> bool {
+        self.requests == self.days_opened + self.alerts + self.days_closed + self.errors
+    }
+
     /// Warm-start hit rate over the LPs that attempted one; 0 when none did.
     #[must_use]
     pub fn warm_hit_rate(&self) -> f64 {
@@ -264,6 +311,44 @@ mod tests {
             reference += v;
         }
         assert_eq!(counters.snapshot().ossp_utility_sum, reference);
+    }
+
+    #[test]
+    fn merged_snapshots_sum_field_wise_and_keep_the_identity() {
+        let a = CountersSnapshot {
+            requests: 7,
+            days_opened: 2,
+            days_closed: 2,
+            alerts: 3,
+            errors: 0,
+            ossp_utility_sum: -1.5,
+            ..CountersSnapshot::default()
+        };
+        let b = CountersSnapshot {
+            requests: 4,
+            days_opened: 1,
+            days_closed: 1,
+            alerts: 1,
+            errors: 1,
+            ossp_utility_sum: -2.25,
+            ..CountersSnapshot::default()
+        };
+        assert!(a.quiescent_identity_holds());
+        assert!(b.quiescent_identity_holds());
+        let merged = a.merged(&b);
+        assert_eq!(merged.requests, 11);
+        assert_eq!(merged.alerts, 4);
+        assert_eq!(merged.errors, 1);
+        assert_eq!(merged.ossp_utility_sum, -3.75);
+        assert!(merged.quiescent_identity_holds());
+        assert_eq!(CountersSnapshot::sum([&a, &b]), merged);
+        assert_eq!(CountersSnapshot::sum([]), CountersSnapshot::default());
+        // A violated identity on either side is visible in the sum.
+        let broken = CountersSnapshot {
+            requests: 5,
+            ..CountersSnapshot::default()
+        };
+        assert!(!a.merged(&broken).quiescent_identity_holds());
     }
 
     #[test]

@@ -29,6 +29,7 @@ SECTIONS = (
     "service_concurrent",
     "durability",
     "sharding",
+    "cluster",
     "service_network",
     "service_chaos",
 )
@@ -473,6 +474,68 @@ def check_sharding(scenarios):
         )
 
 
+def check_cluster(scenarios):
+    """BENCH_2: the consistent-hash cluster's multi-core scaling curves."""
+    # Two curves per shard count (1/2/4/8, capped at the tenant count): the
+    # engine's sharded batch replay, and the sag-cluster deployment shape —
+    # N independent AuditService shards each driven by its own OS thread.
+    # `results_identical` is a hard correctness gate: a shard count that
+    # changes any per-tenant result bitwise breaks the routing invariant.
+    # Speedup floors are only enforced at points the host can physically
+    # show (workers <= cores); an honest ~1.0x elsewhere is a pass. The
+    # cluster curve threads regardless of the `parallel` feature; the
+    # replay curve additionally needs it to fan out.
+    cluster = scenarios.get("cluster")
+    cluster_ok = isinstance(cluster, dict) and isinstance(
+        cluster.get("points"), list)
+    check(
+        "cluster.present",
+        cluster_ok,
+        "BENCH_2 carries a cluster scaling block",
+    )
+    if not cluster_ok:
+        return
+    check(
+        "cluster.results_identical",
+        cluster.get("results_identical") is True,
+        "per-tenant results bitwise identical at every shard count",
+    )
+    points = cluster["points"]
+    check(
+        "cluster.points",
+        len(points) >= 1 and points[0]["workers"] == 1,
+        f"{len(points)} point(s), curve starts at 1 shard",
+    )
+    threads = cluster["threads_available"]
+    parallel = cluster.get("parallel_feature", False)
+    for point in points:
+        workers = point["workers"]
+        if workers <= 1:
+            continue
+        label = f"cluster.speedup_{workers}shards"
+        if threads >= workers:
+            check(
+                label,
+                point["cluster_speedup"] > 1.2,
+                f'{point["cluster_speedup"]:.2f}x thread-per-shard over '
+                f"{workers} shards ({threads} threads available)",
+            )
+            if parallel:
+                check(
+                    f"cluster.replay_speedup_{workers}shards",
+                    point["replay_speedup"] > 1.2,
+                    f'{point["replay_speedup"]:.2f}x sharded replay over '
+                    f"{workers} shards",
+                )
+        else:
+            note = cluster.get("note", "")
+            print(
+                f"[SKIP] {label}: only {threads} thread(s) available for "
+                f'{workers} shards, measured {point["cluster_speedup"]:.2f}x'
+                + (f" — {note}" if note else "")
+            )
+
+
 def check_service_network(scenarios, scenario_baseline, floor):
     """BENCH_2: the TCP front door under concurrent load (load_gen)."""
     # Produced by `load_gen` driving a tenant fleet over real loopback
@@ -518,6 +581,20 @@ def check_service_network(scenarios, scenario_baseline, floor):
         0.0 < lat["p50"] <= lat["p99"],
         f'p50 {lat["p50"]:.0f}us <= p99 {lat["p99"]:.0f}us',
     )
+    # A sharded run (load_gen --shards N) carries a per-shard breakdown;
+    # the shard slices must account for exactly the aggregate burst.
+    shards = network.get("shards", 1)
+    if shards > 1:
+        per_shard = network.get("per_shard")
+        per_shard_ok = isinstance(per_shard, list) and len(per_shard) == shards
+        shard_alerts = (
+            sum(s["alerts"] for s in per_shard) if per_shard_ok else -1)
+        check(
+            "service_network.per_shard",
+            per_shard_ok and shard_alerts == network["alerts"],
+            f"{len(per_shard) if per_shard_ok else 0} shard slice(s) "
+            f"accounting for {shard_alerts}/{network['alerts']} alerts",
+        )
     probe = network.get("shed_probe")
     probe_ok = isinstance(probe, dict)
     check(
@@ -710,6 +787,8 @@ def main():
                         scenario_baseline, args.floor)
         if "sharding" in selected:
             run_section("sharding", check_sharding, scenarios)
+        if "cluster" in selected:
+            run_section("cluster", check_cluster, scenarios)
         if "service_network" in selected:
             run_section("service_network", check_service_network, scenarios,
                         scenario_baseline, args.floor)

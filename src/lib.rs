@@ -20,6 +20,13 @@
 //!   durable, it logs every mutation before acknowledging it and recovers
 //!   bitwise-identical open sessions via
 //!   [`ServiceBuilder::recover_from`](service::ServiceBuilder::recover_from).
+//! * [`cluster`] — horizontal tenant sharding ([`sag_cluster`]): a
+//!   consistent-hash [`ShardRouter`](cluster::ShardRouter) places every
+//!   tenant on one of N independent `AuditService` shards (each with its
+//!   own engines, pool, counters, and WAL directory) behind a
+//!   [`ClusterService`](cluster::ClusterService) speaking the same typed
+//!   command API — per-tenant results are bitwise-identical regardless of
+//!   shard count, and recovery stays shard-local.
 //! * [`scenarios`] — the named-workload registry and replay drivers
 //!   ([`sag_scenarios`]).
 //! * [`net`] — the network front door ([`sag_net`]): a threaded TCP server
@@ -39,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use sag_cluster as cluster;
 pub use sag_core as core;
 pub use sag_forecast as forecast;
 pub use sag_lp as lp;
@@ -129,6 +137,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// scenario and simulation layers ride along for callers that drop a level.
 pub mod prelude {
     pub use crate::{Error, Result};
+    pub use sag_cluster::{ClusterBuilder, ClusterService, ShardRouter};
     pub use sag_core::engine::{
         recommended_shards, AlertOutcome, AuditCycleEngine, BudgetAccounting, CycleResult,
         DaySession, EngineBuilder, EngineConfig, OwnedDaySession, ReplayJob, Session,
